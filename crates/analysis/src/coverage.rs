@@ -1,0 +1,47 @@
+//! Code-coverage measurement for inputs (§3.2.2, §4.2.1).
+
+use peppa_ir::Module;
+use peppa_vm::{ExecLimits, RunStatus, Vm};
+
+/// Static-instruction coverage achieved by running `inputs`, or `None`
+/// if the run does not exit cleanly.
+pub fn input_coverage(module: &Module, inputs: &[f64], limits: ExecLimits) -> Option<f64> {
+    let vm = Vm::new(module, limits);
+    let out = vm.run_numeric(inputs, None);
+    if out.status != RunStatus::Ok {
+        return None;
+    }
+    Some(out.profile.coverage())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branchy_program_coverage_varies_with_input() {
+        let m = peppa_lang::compile(
+            r#"fn main(x: int) {
+                if (x > 100) {
+                    output x * 2;
+                    output x * 3;
+                    output x * 4;
+                } else {
+                    output x;
+                }
+            }"#,
+            "cov",
+        )
+        .unwrap();
+        let hi = input_coverage(&m, &[200.0], ExecLimits::default()).unwrap();
+        let lo = input_coverage(&m, &[1.0], ExecLimits::default()).unwrap();
+        assert!(hi > lo, "hi {hi} lo {lo}");
+    }
+
+    #[test]
+    fn failing_run_gives_none() {
+        let m = peppa_lang::compile("fn main(x: int) { output 1 / x; }", "cov").unwrap();
+        assert!(input_coverage(&m, &[0.0], ExecLimits::default()).is_none());
+        assert!(input_coverage(&m, &[2.0], ExecLimits::default()).is_some());
+    }
+}

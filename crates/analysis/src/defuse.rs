@@ -1,0 +1,200 @@
+//! Intra-procedural def-use analysis over PIR.
+
+use peppa_ir::{InstrId, Module, Operand, Term, ValueId};
+use std::collections::{BTreeSet, HashMap};
+
+/// The def-use graph of a module: an undirected adjacency over static
+/// instruction ids, where an edge means "one instruction's result flows
+/// into the other's operands" (possibly through block parameters).
+///
+/// The analysis is intra-procedural, like the per-function dataflow a
+/// compiler pass would see: call results are defs (the `call` instruction
+/// itself), and callee parameters are roots.
+#[derive(Debug, Clone)]
+pub struct DefUse {
+    /// `adj[sid]` lists the sids connected to `sid` (sorted, deduped).
+    pub adj: Vec<Vec<u32>>,
+    /// Directed edges `(producer, consumer)` for clients that need flow
+    /// direction.
+    pub edges: Vec<(InstrId, InstrId)>,
+}
+
+impl DefUse {
+    /// Neighbours of one instruction.
+    pub fn neighbours(&self, sid: InstrId) -> &[u32] {
+        &self.adj[sid.0 as usize]
+    }
+}
+
+/// Builds the def-use graph of `module`.
+pub fn def_use(module: &Module) -> DefUse {
+    let n = module.num_instrs;
+    let mut adj: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+    let mut edges: Vec<(InstrId, InstrId)> = Vec::new();
+
+    for func in &module.functions {
+        // Which instruction produces each value?
+        let mut producer: HashMap<ValueId, InstrId> = HashMap::new();
+        for ins in func.instrs() {
+            if let Some(r) = ins.result {
+                producer.insert(r, ins.sid);
+            }
+        }
+
+        // Incoming operands of each block parameter, gathered from every
+        // branch edge.
+        let mut param_inputs: HashMap<ValueId, Vec<Operand>> = HashMap::new();
+        for b in &func.blocks {
+            let mut record = |target: peppa_ir::BlockId, args: &[Operand]| {
+                let params = &func.blocks[target.0 as usize].params;
+                for (&p, &a) in params.iter().zip(args) {
+                    param_inputs.entry(p).or_default().push(a);
+                }
+            };
+            match &b.term {
+                Term::Br { target, args } => record(*target, args),
+                Term::CondBr { then_target, then_args, else_target, else_args, .. } => {
+                    record(*then_target, then_args);
+                    record(*else_target, else_args);
+                }
+                Term::Ret { .. } => {}
+            }
+        }
+
+        // sources[v] = set of instructions whose results reach value v
+        // through block-parameter wires. Fixpoint so loop-carried chains
+        // resolve fully.
+        let nv = func.value_types.len();
+        let mut sources: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); nv];
+        for (&v, &sid) in &producer {
+            sources[v.0 as usize].insert(sid.0);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (&p, inputs) in &param_inputs {
+                // Union the sources of every incoming operand into p.
+                let mut acc: BTreeSet<u32> = std::mem::take(&mut sources[p.0 as usize]);
+                let before = acc.len();
+                for a in inputs {
+                    if let Some(v) = a.value() {
+                        // Borrow-safe: clone the (small) source set.
+                        let add: Vec<u32> = sources[v.0 as usize].iter().copied().collect();
+                        acc.extend(add);
+                    }
+                }
+                if acc.len() != before {
+                    changed = true;
+                }
+                sources[p.0 as usize] = acc;
+            }
+        }
+
+        // Instruction operands -> edges.
+        for ins in func.instrs() {
+            for op in ins.op.operands() {
+                if let Some(v) = op.value() {
+                    for &src in &sources[v.0 as usize] {
+                        if src != ins.sid.0 {
+                            edges.push((InstrId(src), ins.sid));
+                            adj[src as usize].insert(ins.sid.0);
+                            adj[ins.sid.0 as usize].insert(src);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    DefUse { adj: adj.into_iter().map(|s| s.into_iter().collect()).collect(), edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> Module {
+        peppa_lang::compile(src, "du").unwrap()
+    }
+
+    #[test]
+    fn straight_line_chain() {
+        // a -> b -> c chain: add feeds mul feeds output.
+        let m = compile("fn main(x: int) { let a = x + 1; let b = a * 2; output b; }");
+        let du = def_use(&m);
+        // sid0 = add, sid1 = mul, sid2 = output.
+        assert!(du.neighbours(InstrId(0)).contains(&1));
+        assert!(du.neighbours(InstrId(1)).contains(&2));
+    }
+
+    #[test]
+    fn dataflow_crosses_loop_phi() {
+        // acc is loop-carried: the add in the body must connect to the
+        // output after the loop, through the block parameters.
+        let m = compile(
+            r#"fn main(n: int) {
+                let acc = 0;
+                for (i = 0; i < n; i = i + 1) { acc = acc + i; }
+                output acc;
+            }"#,
+        );
+        let du = def_use(&m);
+        // Find the `output` consumer: it's the last instruction.
+        let out_sid = (m.num_instrs - 1) as u32;
+        let (_, out_instr) = m.all_instrs()[out_sid as usize];
+        assert_eq!(out_instr.op.mnemonic(), "output");
+        // The body add (acc + i) must be among its dataflow neighbours.
+        let add_sids: Vec<u32> = m
+            .all_instrs()
+            .iter()
+            .filter(|(_, i)| i.op.mnemonic() == "add")
+            .map(|(_, i)| i.sid.0)
+            .collect();
+        let neigh = du.neighbours(InstrId(out_sid));
+        assert!(
+            add_sids.iter().any(|s| neigh.contains(s)),
+            "output not connected to loop-carried add: {neigh:?}"
+        );
+    }
+
+    #[test]
+    fn unrelated_chains_not_connected() {
+        let m = compile(
+            "fn main(x: int, y: int) { let a = x * 2; let b = y * 3; output a; output b; }",
+        );
+        let du = def_use(&m);
+        // mul(x) is sid0, mul(y) is sid1: no edge between them.
+        assert!(!du.neighbours(InstrId(0)).contains(&1));
+    }
+
+    #[test]
+    fn no_self_edges() {
+        let m = compile(
+            "fn main(n: int) { let a = 1; for (i = 0; i < n; i = i + 1) { a = a * 2; } output a; }",
+        );
+        let du = def_use(&m);
+        for (sid, ns) in du.adj.iter().enumerate() {
+            assert!(!ns.contains(&(sid as u32)), "self edge at {sid}");
+        }
+    }
+
+    #[test]
+    fn edges_are_symmetric() {
+        let m = compile(
+            r#"fn main(x: float) {
+                let a = x * 2.0;
+                let b = sqrt(a);
+                if (b > 1.0) { output b; } else { output a; }
+            }"#,
+        );
+        let du = def_use(&m);
+        for (s, ns) in du.adj.iter().enumerate() {
+            for &t in ns {
+                assert!(
+                    du.adj[t as usize].contains(&(s as u32)),
+                    "edge {s}->{t} not symmetric"
+                );
+            }
+        }
+    }
+}

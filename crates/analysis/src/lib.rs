@@ -1,0 +1,25 @@
+//! Static program analysis for PEPPA-X.
+//!
+//! Two analyses from the paper live here:
+//!
+//! * **Def-use dataflow** ([`defuse`]): which static instructions feed
+//!   which. Block parameters (the φ-replacement) are treated as
+//!   transparent wires, so a dataflow chain survives crossing a block
+//!   boundary, just as it would through an LLVM φ.
+//! * **FI-space pruning** ([`pruning`], §4.2.2): instructions along one
+//!   static data dependency share similar SDC probabilities, *except*
+//!   compares, logic operators, bit-manipulation casts, and pointer
+//!   operations, which "consistently differentiate" and start their own
+//!   subgroup. Fault injection then only needs one representative per
+//!   subgroup.
+//!
+//! Code-coverage helpers ([`coverage`]) support the small-FI-input fuzzing
+//! step (§4.2.1) and the coverage-vs-SDC correlation study (Table 2).
+
+pub mod coverage;
+pub mod defuse;
+pub mod pruning;
+
+pub use coverage::input_coverage;
+pub use defuse::DefUse;
+pub use pruning::{prune_fi_space, PruningResult};

@@ -1,0 +1,213 @@
+//! FI-space pruning (§4.2.2).
+//!
+//! Instructions connected by static data dependencies share similar SDC
+//! probabilities, *except* for a handful of opcode classes — compares,
+//! logic operators, bit-manipulation casts, and pointer operations — that
+//! "consistently differentiate the SDC probability with previous
+//! data-dependent instructions". The pruning therefore:
+//!
+//! 1. builds the def-use graph;
+//! 2. removes the boundary-class instructions;
+//! 3. takes connected components of what remains as subgroups;
+//! 4. gives every boundary instruction its own singleton subgroup.
+//!
+//! Fault injection then measures one *representative* per subgroup and
+//! propagates its SDC score to the rest (Figure 4's example prunes a
+//! load/add/icmp chain from 3 FI targets to 2).
+
+use crate::defuse::def_use;
+use peppa_ir::{InstrId, Module};
+use serde::{Deserialize, Serialize};
+
+/// Result of pruning the FI space of a module.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PruningResult {
+    /// Subgroups of injectable instructions; each is non-empty and sorted
+    /// by sid. The first member is the representative.
+    pub groups: Vec<Vec<InstrId>>,
+    /// `group_of[sid]`: the subgroup containing `sid`, or `None` for
+    /// non-injectable instructions (no result value).
+    pub group_of: Vec<Option<u32>>,
+    /// Number of injectable static instructions.
+    pub injectable: usize,
+}
+
+impl PruningResult {
+    /// One representative per subgroup (its lowest-sid member).
+    pub fn representatives(&self) -> Vec<InstrId> {
+        self.groups.iter().map(|g| g[0]).collect()
+    }
+
+    /// Fraction of the FI space avoided: `pruned / all`, Table 4's
+    /// metric (e.g. 58.44% for CoMD, average 49.32%).
+    pub fn pruning_ratio(&self) -> f64 {
+        if self.injectable == 0 {
+            return 0.0;
+        }
+        1.0 - self.groups.len() as f64 / self.injectable as f64
+    }
+}
+
+/// Prunes the FI space of `module` by dataflow grouping.
+pub fn prune_fi_space(module: &Module) -> PruningResult {
+    let du = def_use(module);
+    let n = module.num_instrs;
+
+    // Injectable = has a result value. Boundary = subgroup-splitting class.
+    let mut injectable = vec![false; n];
+    let mut boundary = vec![false; n];
+    for (_, ins) in module.all_instrs() {
+        let i = ins.sid.0 as usize;
+        injectable[i] = ins.result.is_some();
+        boundary[i] = ins.op.is_group_boundary();
+    }
+
+    let mut group_of: Vec<Option<u32>> = vec![None; n];
+    let mut groups: Vec<Vec<InstrId>> = Vec::new();
+
+    // Boundary instructions: singleton subgroups.
+    for sid in 0..n {
+        if injectable[sid] && boundary[sid] {
+            group_of[sid] = Some(groups.len() as u32);
+            groups.push(vec![InstrId(sid as u32)]);
+        }
+    }
+
+    // Non-boundary instructions: connected components of the def-use
+    // graph restricted to non-boundary injectables.
+    let mut stack = Vec::new();
+    for seed in 0..n {
+        if !injectable[seed] || boundary[seed] || group_of[seed].is_some() {
+            continue;
+        }
+        let gid = groups.len() as u32;
+        let mut members = Vec::new();
+        stack.push(seed);
+        group_of[seed] = Some(gid);
+        while let Some(s) = stack.pop() {
+            members.push(InstrId(s as u32));
+            for &t in &du.adj[s] {
+                let t = t as usize;
+                if injectable[t] && !boundary[t] && group_of[t].is_none() {
+                    group_of[t] = Some(gid);
+                    stack.push(t);
+                }
+            }
+        }
+        members.sort();
+        groups.push(members);
+    }
+
+    let injectable_count = injectable.iter().filter(|&&b| b).count();
+    PruningResult { groups, group_of, injectable: injectable_count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> Module {
+        peppa_lang::compile(src, "prune").unwrap()
+    }
+
+    #[test]
+    fn figure4_style_chain() {
+        // load -> add -> icmp: load+add share a subgroup, icmp is its own.
+        // (3 FI targets pruned to 2, as in the paper's Figure 4.)
+        let m = compile(
+            r#"global int k[4];
+               fn main() {
+                   let a = k[0];      // gep (boundary) + load
+                   let b = a + 1;     // add
+                   if (b == 5) { output 1; } else { output 0; }
+               }"#,
+        );
+        let p = prune_fi_space(&m);
+        // Find sids by mnemonic.
+        let by_mn = |mn: &str| -> Vec<usize> {
+            m.all_instrs()
+                .iter()
+                .filter(|(_, i)| i.op.mnemonic() == mn)
+                .map(|(_, i)| i.sid.0 as usize)
+                .collect()
+        };
+        let load = by_mn("load")[0];
+        let add = by_mn("add")[0];
+        let icmp = by_mn("icmp")[0];
+        assert_eq!(p.group_of[load], p.group_of[add], "load and add must share a subgroup");
+        assert_ne!(p.group_of[icmp], p.group_of[add], "icmp must split off");
+        // icmp is a singleton.
+        let icmp_group = &p.groups[p.group_of[icmp].unwrap() as usize];
+        assert_eq!(icmp_group.len(), 1);
+    }
+
+    #[test]
+    fn every_injectable_in_exactly_one_group() {
+        let m = compile(
+            r#"fn main(n: int, s: float) {
+                let acc = 0.0;
+                for (i = 0; i < n; i = i + 1) {
+                    let x = i2f(i) * s;
+                    if (x > 2.0) { acc = acc + sqrt(x); } else { acc = acc + x; }
+                }
+                output acc;
+            }"#,
+        );
+        let p = prune_fi_space(&m);
+        let mut seen = vec![0u32; m.num_instrs];
+        for g in &p.groups {
+            assert!(!g.is_empty());
+            for s in g {
+                seen[s.0 as usize] += 1;
+            }
+        }
+        for (_, ins) in m.all_instrs() {
+            let i = ins.sid.0 as usize;
+            if ins.result.is_some() {
+                assert_eq!(seen[i], 1, "sid {i} in {} groups", seen[i]);
+                assert!(p.group_of[i].is_some());
+            } else {
+                assert_eq!(seen[i], 0);
+                assert!(p.group_of[i].is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_ratio_positive_on_real_kernels() {
+        let m = compile(
+            r#"global float a[64];
+               fn main(n: int) {
+                   for (i = 0; i < n; i = i + 1) {
+                       let t = i2f(i) + 1.0;
+                       a[i] = t * t + 0.5 * t;
+                   }
+                   let s = 0.0;
+                   for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+                   output s;
+               }"#,
+        );
+        let p = prune_fi_space(&m);
+        assert!(p.pruning_ratio() > 0.0, "ratio {}", p.pruning_ratio());
+        assert!(p.pruning_ratio() < 1.0);
+        assert_eq!(p.representatives().len(), p.groups.len());
+    }
+
+    #[test]
+    fn representatives_are_group_minima() {
+        let m = compile("fn main(x: int) { let a = x + 1; let b = a * 2; output a + b; }");
+        let p = prune_fi_space(&m);
+        for (g, rep) in p.groups.iter().zip(p.representatives()) {
+            assert_eq!(g[0], rep);
+            assert!(g.iter().all(|s| *s >= rep));
+        }
+    }
+
+    #[test]
+    fn empty_fi_space() {
+        let m = compile("fn main() { output 1; }");
+        let p = prune_fi_space(&m);
+        assert_eq!(p.injectable, 0);
+        assert_eq!(p.pruning_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Structural checks of the static analyses over the real benchmark
+//! modules (the same modules the experiments run on).
+
+use peppa_analysis::{defuse::def_use, prune_fi_space};
+use peppa_ir::OpClass;
+
+#[test]
+fn pruning_ratios_land_in_table4_band() {
+    // Paper's Table 4: 25.49%..58.69%, average 49.32%. Our kernels are
+    // smaller, so accept a wider band, but every kernel must prune a
+    // nontrivial fraction and the average must be substantial.
+    let mut sum = 0.0;
+    let benches = peppa_apps::all_benchmarks();
+    for b in &benches {
+        let p = prune_fi_space(&b.module);
+        let r = p.pruning_ratio();
+        assert!(r > 0.10, "{}: pruning ratio only {:.1}%", b.name, r * 100.0);
+        assert!(r < 0.90, "{}: pruning ratio implausibly high {:.1}%", b.name, r * 100.0);
+        sum += r;
+    }
+    let avg = sum / benches.len() as f64;
+    assert!(avg > 0.25 && avg < 0.75, "average pruning ratio {:.1}%", avg * 100.0);
+}
+
+#[test]
+fn subgroups_never_mix_boundary_and_plain_instructions() {
+    for b in peppa_apps::all_benchmarks() {
+        let p = prune_fi_space(&b.module);
+        let instrs = b.module.all_instrs();
+        for g in &p.groups {
+            let boundary_members =
+                g.iter().filter(|s| instrs[s.0 as usize].1.op.is_group_boundary()).count();
+            if boundary_members > 0 {
+                assert_eq!(
+                    g.len(),
+                    1,
+                    "{}: boundary instruction grouped with others: {:?}",
+                    b.name,
+                    g
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compare_instructions_are_singletons() {
+    // The Figure 4 rule in force on real code: every icmp/fcmp is
+    // measured on its own.
+    for b in peppa_apps::all_benchmarks() {
+        let p = prune_fi_space(&b.module);
+        for (_, ins) in b.module.all_instrs() {
+            if ins.op.class() == OpClass::Compare {
+                let gid = p.group_of[ins.sid.0 as usize]
+                    .unwrap_or_else(|| panic!("{}: unmeasured compare", b.name));
+                assert_eq!(p.groups[gid as usize].len(), 1, "{}", b.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn def_use_graphs_are_substantial_and_symmetric() {
+    for b in peppa_apps::all_benchmarks() {
+        let du = def_use(&b.module);
+        let edge_count: usize = du.adj.iter().map(|n| n.len()).sum::<usize>() / 2;
+        assert!(
+            edge_count >= b.module.num_instrs / 2,
+            "{}: suspiciously sparse def-use graph ({} edges for {} instrs)",
+            b.name,
+            edge_count,
+            b.module.num_instrs
+        );
+        for (s, ns) in du.adj.iter().enumerate() {
+            for &t in ns {
+                assert!(
+                    du.adj[t as usize].contains(&(s as u32)),
+                    "{}: asymmetric edge {s}->{t}",
+                    b.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn outputs_are_dataflow_connected_to_computation() {
+    // Every benchmark's `output` instructions must sit in the def-use
+    // graph (they consume computed values) — guards against kernels
+    // whose observables are disconnected from the computation.
+    for b in peppa_apps::all_benchmarks() {
+        let du = def_use(&b.module);
+        let mut outputs = 0;
+        let mut connected = 0;
+        for (_, ins) in b.module.all_instrs() {
+            if ins.op.mnemonic() == "output" {
+                outputs += 1;
+                if !du.adj[ins.sid.0 as usize].is_empty() {
+                    connected += 1;
+                }
+            }
+        }
+        assert!(outputs > 0, "{}: no outputs", b.name);
+        assert_eq!(connected, outputs, "{}: disconnected output", b.name);
+    }
+}

@@ -1,0 +1,168 @@
+//! CoMD (Mantevo): Lennard-Jones molecular dynamics.
+//!
+//! Atoms start on a jittered cubic lattice; each timestep computes O(n²)
+//! pairwise Lennard-Jones forces with a cutoff branch, integrates with
+//! explicit Euler, and reports total energy — the force/integrate
+//! skeleton of Mantevo's CoMD at miniature scale. The cutoff test makes
+//! control flow data-dependent (a corrupted coordinate moves pairs in
+//! and out of range); the symmetric force accumulation gives partial
+//! error cancellation, reproducing CoMD's comparatively narrow SDC range
+//! in Figure 1.
+//!
+//! Inputs: `natoms`, `nsteps` (footprint), `dt` (integration step →
+//! sensitivity of trajectories), `cutoff` (pair-list density), `lseed`
+//! (lattice jitter).
+
+use crate::registry::{ArgSpec, Benchmark};
+
+pub const SOURCE: &str = r#"
+// Miniature CoMD: Lennard-Jones MD with cutoff, sigma = epsilon = 1.
+global float posx[64];
+global float posy[64];
+global float posz[64];
+global float velx[64];
+global float vely[64];
+global float velz[64];
+global float fx[64];
+global float fy[64];
+global float fz[64];
+
+fn lcg(x: int) -> int {
+    return (x * 1103515245 + 12345) % 2147483648;
+}
+
+fn main(natoms: int, nsteps: int, dt: float, cutoff: float, lseed: int) {
+    // Jittered 4x4x4 lattice at ~2^(1/6) spacing (the LJ minimum).
+    let s = lseed;
+    for (a = 0; a < natoms; a = a + 1) {
+        let ix = a % 4;
+        let iy = (a / 4) % 4;
+        let iz = a / 16;
+        s = lcg(s);
+        let jx = i2f(abs(s) % 100) * 0.002 - 0.1;
+        s = lcg(s);
+        let jy = i2f(abs(s) % 100) * 0.002 - 0.1;
+        s = lcg(s);
+        let jz = i2f(abs(s) % 100) * 0.002 - 0.1;
+        posx[a] = i2f(ix) * 1.1225 + jx;
+        posy[a] = i2f(iy) * 1.1225 + jy;
+        posz[a] = i2f(iz) * 1.1225 + jz;
+        velx[a] = 0.0;
+        vely[a] = 0.0;
+        velz[a] = 0.0;
+    }
+
+    let cut2 = cutoff * cutoff;
+    for (step = 0; step < nsteps; step = step + 1) {
+        for (a = 0; a < natoms; a = a + 1) {
+            fx[a] = 0.0;
+            fy[a] = 0.0;
+            fz[a] = 0.0;
+        }
+
+        // Pairwise Lennard-Jones forces within the cutoff.
+        let pe = 0.0;
+        for (a = 0; a < natoms; a = a + 1) {
+            for (b = a + 1; b < natoms; b = b + 1) {
+                let dx = posx[a] - posx[b];
+                let dy = posy[a] - posy[b];
+                let dz = posz[a] - posz[b];
+                let r2 = dx * dx + dy * dy + dz * dz;
+                if (r2 < cut2 && r2 > 0.0001) {
+                    let ir2 = 1.0 / r2;
+                    let s6 = ir2 * ir2 * ir2;
+                    let f = 24.0 * (2.0 * s6 * s6 - s6) * ir2;
+                    fx[a] = fx[a] + f * dx;
+                    fy[a] = fy[a] + f * dy;
+                    fz[a] = fz[a] + f * dz;
+                    fx[b] = fx[b] - f * dx;
+                    fy[b] = fy[b] - f * dy;
+                    fz[b] = fz[b] - f * dz;
+                    pe = pe + 4.0 * (s6 * s6 - s6);
+                }
+            }
+        }
+
+        // Integrate and accumulate kinetic energy. Aggressive timesteps
+        // trigger a velocity clamp (the thermostat path of the original).
+        let ke = 0.0;
+        for (a = 0; a < natoms; a = a + 1) {
+            velx[a] = velx[a] + fx[a] * dt;
+            vely[a] = vely[a] + fy[a] * dt;
+            velz[a] = velz[a] + fz[a] * dt;
+            if (dt > 0.005) {
+                velx[a] = fmax(-10.0, fmin(velx[a], 10.0));
+                vely[a] = fmax(-10.0, fmin(vely[a], 10.0));
+                velz[a] = fmax(-10.0, fmin(velz[a], 10.0));
+            }
+            posx[a] = posx[a] + velx[a] * dt;
+            posy[a] = posy[a] + vely[a] * dt;
+            posz[a] = posz[a] + velz[a] * dt;
+            ke = ke + 0.5 * (velx[a] * velx[a] + vely[a] * vely[a] + velz[a] * velz[a]);
+        }
+        output floor((pe + ke) * 10000.0 + 0.5);
+    }
+
+    // Final position checksum.
+    let cs = 0.0;
+    for (a = 0; a < natoms; a = a + 1) {
+        cs = cs + posx[a] + posy[a] + posz[a];
+    }
+    output floor(cs * 1000.0 + 0.5);
+}
+"#;
+
+/// Builds the compiled benchmark.
+pub fn benchmark() -> Benchmark {
+    Benchmark::compile(
+        "CoMD",
+        "Mantevo",
+        "Molecular dynamics algorithms and workloads (Lennard-Jones kernel)",
+        SOURCE,
+        vec![
+            ArgSpec::int("natoms", 8, 64, (8, 12)),
+            ArgSpec::int("nsteps", 1, 10, (1, 2)),
+            ArgSpec::float("dt", 0.0001, 0.01, (0.0005, 0.002)),
+            ArgSpec::float("cutoff", 1.5, 4.0, (1.5, 2.0)),
+            ArgSpec::int("lseed", 1, 1_000_000, (1, 64)),
+        ],
+        vec![48.0, 5.0, 0.003, 2.5, 42.0],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppa_vm::{ExecLimits, RunStatus, Vm};
+
+    #[test]
+    fn compiles_and_runs() {
+        let b = benchmark();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let out = vm.run_numeric(&b.reference_input, None);
+        assert_eq!(out.status, RunStatus::Ok);
+        assert_eq!(out.output.len(), 6); // 5 energies + checksum
+    }
+
+    #[test]
+    fn energy_roughly_conserved_at_small_dt() {
+        let b = benchmark();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let out = vm.run_numeric(&[32.0, 8.0, 0.0005, 3.0, 11.0], None);
+        let energies: Vec<f64> =
+            out.output[..8].iter().map(|&b| f64::from_bits(b) / 10000.0).collect();
+        let spread = energies.iter().cloned().fold(f64::MIN, f64::max)
+            - energies.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread.abs() < 1.0, "energy drifted {spread} over {energies:?}");
+    }
+
+    #[test]
+    fn cutoff_changes_pair_count_and_footprint() {
+        let b = benchmark();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let near = vm.run_numeric(&[48.0, 2.0, 0.002, 1.5, 5.0], None);
+        let far = vm.run_numeric(&[48.0, 2.0, 0.002, 4.0, 5.0], None);
+        // Larger cutoff exercises the force-body more often.
+        assert!(far.profile.dynamic > near.profile.dynamic);
+    }
+}

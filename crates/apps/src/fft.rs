@@ -1,0 +1,150 @@
+//! FFT (SPLASH-2): radix-2 decimation-in-time 1-D FFT.
+//!
+//! Bit-reversal permutation followed by the standard butterfly ladder
+//! with on-the-fly twiddle factors. The bit-reversal inner loop is pure
+//! shift/mask manipulation — the opcode class the pruning heuristic
+//! isolates — while the butterflies are an FP dataflow in which flipped
+//! mantissa bits propagate to every output bin.
+//!
+//! Inputs: `logn` (transform size → footprint), `fseed` (signal), `amp`
+//! (signal amplitude → quantization masking of low-order corruption).
+
+use crate::registry::{ArgSpec, Benchmark};
+
+pub const SOURCE: &str = r#"
+// Radix-2 DIT FFT with bit-reversal, n = 2^logn <= 512.
+global float re[512];
+global float im[512];
+
+fn lcg(x: int) -> int {
+    return (x * 1103515245 + 12345) % 2147483648;
+}
+
+fn main(logn: int, fseed: int, amp: float) {
+    let n = 1 << logn;
+    let s = fseed;
+    for (i = 0; i < n; i = i + 1) {
+        s = lcg(s);
+        re[i] = (i2f(abs(s) % 2000) * 0.001 - 1.0) * amp;
+        s = lcg(s);
+        im[i] = (i2f(abs(s) % 2000) * 0.001 - 1.0) * amp;
+    }
+
+    // Bit-reversal permutation.
+    for (i = 0; i < n; i = i + 1) {
+        let rev = 0;
+        let x = i;
+        for (b = 0; b < logn; b = b + 1) {
+            rev = (rev << 1) | (x & 1);
+            x = x >> 1;
+        }
+        if (rev > i) {
+            let tr = re[i];
+            re[i] = re[rev];
+            re[rev] = tr;
+            let ti = im[i];
+            im[i] = im[rev];
+            im[rev] = ti;
+        }
+    }
+
+    // Butterfly ladder.
+    let len = 2;
+    while (len <= n) {
+        let half = len / 2;
+        let theta = -6.283185307179586 / i2f(len);
+        for (start = 0; start < n; start = start + len) {
+            for (k = 0; k < half; k = k + 1) {
+                let ang = theta * i2f(k);
+                let wr = cos(ang);
+                let wi = sin(ang);
+                let br = re[start + k + half];
+                let bi = im[start + k + half];
+                let vr = br * wr - bi * wi;
+                let vi = br * wi + bi * wr;
+                let ur = re[start + k];
+                let ui = im[start + k];
+                re[start + k] = ur + vr;
+                im[start + k] = ui + vi;
+                re[start + k + half] = ur - vr;
+                im[start + k + half] = ui - vi;
+            }
+        }
+        len = len * 2;
+    }
+
+    // Large-amplitude signals get a scaled (overflow-safe) power pass —
+    // a path only high-gain configurations execute.
+    let cs = 0.0;
+    if (amp > 50.0) {
+        for (i = 0; i < n; i = i + 1) {
+            let sr = re[i] * 0.01;
+            let si = im[i] * 0.01;
+            cs = cs + (sr * sr + si * si) * 10000.0;
+        }
+    } else {
+        for (i = 0; i < n; i = i + 1) {
+            cs = cs + re[i] * re[i] + im[i] * im[i];
+        }
+    }
+    output floor(cs * 100.0 + 0.5);
+    output floor(re[1] * 1000.0 + 0.5);
+    output floor(im[n / 2] * 1000.0 + 0.5);
+}
+"#;
+
+/// Builds the compiled benchmark.
+pub fn benchmark() -> Benchmark {
+    Benchmark::compile(
+        "FFT",
+        "SPLASH-2",
+        "1D fast Fourier transform (radix-2 DIT with bit reversal)",
+        SOURCE,
+        vec![
+            ArgSpec::int("logn", 3, 9, (3, 4)),
+            ArgSpec::int("fseed", 1, 1_000_000, (1, 64)),
+            ArgSpec::float("amp", 0.1, 100.0, (0.5, 2.0)),
+        ],
+        vec![8.0, 4242.0, 1.0],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppa_vm::{ExecLimits, RunStatus, Vm};
+
+    #[test]
+    fn compiles_and_runs() {
+        let b = benchmark();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let out = vm.run_numeric(&b.reference_input, None);
+        assert_eq!(out.status, RunStatus::Ok);
+        assert_eq!(out.output.len(), 3);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        // Parseval: sum |X|^2 = n * sum |x|^2. The input signal is in
+        // [-amp, amp], so time-domain power <= 2 n amp^2.
+        let b = benchmark();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let logn = 6.0;
+        let amp = 2.0;
+        let out = vm.run_numeric(&[logn, 7.0, amp], None);
+        let n = 1u64 << (logn as u32);
+        let power = f64::from_bits(out.output[0]) / 100.0;
+        let bound = (n * n) as f64 * 2.0 * amp * amp;
+        assert!(power > 0.0 && power < bound, "power {power} vs bound {bound}");
+    }
+
+    #[test]
+    fn size_scales_footprint_superlinearly() {
+        let b = benchmark();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let small = vm.run_numeric(&[3.0, 7.0, 1.0], None);
+        let large = vm.run_numeric(&[9.0, 7.0, 1.0], None);
+        // n log n: 512*9 / 8*3 = 192x ratio on butterfly work.
+        assert!(large.profile.dynamic > 50 * small.profile.dynamic);
+    }
+}

@@ -1,0 +1,119 @@
+//! Random program-input generation (§3.1.2).
+//!
+//! The paper keeps a generated input only if (1) the program runs to
+//! completion without errors, and (2) the dynamic instruction count stays
+//! under a budget that keeps experiments tractable. We apply the same two
+//! rules, scaled to the interpreter.
+
+use crate::registry::Benchmark;
+use peppa_stats::Pcg64;
+use peppa_vm::{ExecLimits, RunStatus, Vm};
+
+/// Default dynamic-instruction cap for accepted inputs — the interpreter
+/// counterpart of the paper's 40-billion-instruction ceiling.
+pub const DEFAULT_DYNAMIC_CAP: u64 = 20_000_000;
+
+/// Checks the paper's two validity rules for one input.
+pub fn valid_input(bench: &Benchmark, inputs: &[f64], limits: ExecLimits, cap: u64) -> bool {
+    let vm = Vm::new(&bench.module, limits);
+    let out = vm.run_numeric(inputs, None);
+    out.status == RunStatus::Ok && out.profile.dynamic <= cap
+}
+
+/// Samples one candidate input uniformly within the benchmark's argument
+/// ranges (no validity check).
+pub fn sample_input(bench: &Benchmark, rng: &mut Pcg64) -> Vec<f64> {
+    bench
+        .args
+        .iter()
+        .map(|a| {
+            let x = rng.gen_range_f64(a.lo, a.hi);
+            a.clamp(x)
+        })
+        .collect()
+}
+
+/// Generates `count` valid random inputs. Panics if the acceptance rate
+/// is pathologically low (>100 rejections per accepted input), which
+/// would indicate a broken argument spec.
+pub fn random_inputs(
+    bench: &Benchmark,
+    count: usize,
+    seed: u64,
+    limits: ExecLimits,
+    cap: u64,
+) -> Vec<Vec<f64>> {
+    let mut rng = Pcg64::new(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut rejects = 0usize;
+    while out.len() < count {
+        let candidate = sample_input(bench, &mut rng);
+        if valid_input(bench, &candidate, limits, cap) {
+            out.push(candidate);
+        } else {
+            rejects += 1;
+            assert!(
+                rejects < 100 * (count + 1),
+                "benchmark {} rejects nearly all random inputs",
+                bench.name
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::all_benchmarks;
+
+    #[test]
+    fn every_benchmark_accepts_random_inputs() {
+        for b in all_benchmarks() {
+            let inputs = random_inputs(&b, 3, 42, ExecLimits::default(), DEFAULT_DYNAMIC_CAP);
+            assert_eq!(inputs.len(), 3, "{}", b.name);
+            for input in &inputs {
+                assert_eq!(input.len(), b.args.len());
+                for (x, spec) in input.iter().zip(&b.args) {
+                    assert!(*x >= spec.lo && *x <= spec.hi, "{} out of range", spec.name);
+                    if spec.integer {
+                        assert_eq!(x.fract(), 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let b = crate::pathfinder::benchmark();
+        let a = random_inputs(&b, 5, 7, ExecLimits::default(), DEFAULT_DYNAMIC_CAP);
+        let c = random_inputs(&b, 5, 7, ExecLimits::default(), DEFAULT_DYNAMIC_CAP);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn reference_inputs_are_valid() {
+        for b in all_benchmarks() {
+            assert!(
+                valid_input(&b, &b.reference_input, ExecLimits::default(), DEFAULT_DYNAMIC_CAP),
+                "{} reference input invalid",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn table1_static_instruction_counts() {
+        // Shape check mirroring Table 1: every kernel is a real program,
+        // tens to hundreds of static instructions, CoMD the largest-ish.
+        for b in all_benchmarks() {
+            assert!(
+                b.static_instrs() > 40,
+                "{} suspiciously small: {}",
+                b.name,
+                b.static_instrs()
+            );
+        }
+    }
+}

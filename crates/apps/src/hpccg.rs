@@ -1,0 +1,181 @@
+//! HPCCG (Mantevo): conjugate gradient on a 3-D chimney domain.
+//!
+//! Matrix-free CG with the 27-point stencil HPCCG generates (diagonal 27,
+//! every existing neighbour −1) and the standard right-hand side that
+//! makes the all-ones vector the exact solution. The residual norm is
+//! emitted every iteration — a long chain of dot products and AXPYs in
+//! which *any* surviving FP corruption shows up in the output, matching
+//! HPCCG's position as the most SDC-prone benchmark in Figure 1 and its
+//! dense-dark heat map in Figure 6.
+//!
+//! Inputs: `nx`, `ny`, `nz` (domain → footprint), `maxit` (iteration
+//! budget), `tol` (convergence threshold → input-dependent trip count).
+
+use crate::registry::{ArgSpec, Benchmark};
+
+pub const SOURCE: &str = r#"
+// HPCCG: CG solve of A x = b, A = 27-point stencil, matrix-free.
+global float xv[216];
+global float bv[216];
+global float rv[216];
+global float pv[216];
+global float av[216]; // A * p
+
+// av = A * pv for the 27-point stencil on an nx x ny x nz box.
+fn spmv(nx: int, ny: int, nz: int) {
+    for (k = 0; k < nz; k = k + 1) {
+        for (j = 0; j < ny; j = j + 1) {
+            for (i = 0; i < nx; i = i + 1) {
+                let row = (k * ny + j) * nx + i;
+                let acc = 27.0 * pv[row];
+                for (dk = -1; dk <= 1; dk = dk + 1) {
+                    for (dj = -1; dj <= 1; dj = dj + 1) {
+                        for (di = -1; di <= 1; di = di + 1) {
+                            if (!(di == 0 && dj == 0 && dk == 0)) {
+                                let ii = i + di;
+                                let jj = j + dj;
+                                let kk = k + dk;
+                                if (ii >= 0 && ii < nx && jj >= 0 && jj < ny
+                                    && kk >= 0 && kk < nz) {
+                                    acc = acc - pv[(kk * ny + jj) * nx + ii];
+                                }
+                            }
+                        }
+                    }
+                }
+                av[row] = acc;
+            }
+        }
+    }
+}
+
+fn main(nx: int, ny: int, nz: int, maxit: int, tol: float) {
+    let n = nx * ny * nz;
+
+    // b chosen so the exact solution is all ones: b[row] = 27 - #neighbours.
+    for (k = 0; k < nz; k = k + 1) {
+        for (j = 0; j < ny; j = j + 1) {
+            for (i = 0; i < nx; i = i + 1) {
+                let row = (k * ny + j) * nx + i;
+                let cnt = 0;
+                for (dk = -1; dk <= 1; dk = dk + 1) {
+                    for (dj = -1; dj <= 1; dj = dj + 1) {
+                        for (di = -1; di <= 1; di = di + 1) {
+                            let ii = i + di;
+                            let jj = j + dj;
+                            let kk = k + dk;
+                            if (!(di == 0 && dj == 0 && dk == 0)
+                                && ii >= 0 && ii < nx && jj >= 0 && jj < ny
+                                && kk >= 0 && kk < nz) {
+                                cnt = cnt + 1;
+                            }
+                        }
+                    }
+                }
+                bv[row] = 27.0 - i2f(cnt);
+                xv[row] = 0.0;
+            }
+        }
+    }
+
+    // r = b, p = r, rho = r . r   (x starts at zero)
+    let rho = 0.0;
+    for (q = 0; q < n; q = q + 1) {
+        rv[q] = bv[q];
+        pv[q] = bv[q];
+        rho = rho + rv[q] * rv[q];
+    }
+
+    let iters = 0;
+    for (it = 0; it < maxit; it = it + 1) {
+        spmv(nx, ny, nz);
+        let pap = 0.0;
+        for (q = 0; q < n; q = q + 1) { pap = pap + pv[q] * av[q]; }
+        let alpha = rho / (pap + 0.000000000001);
+        let rho2 = 0.0;
+        for (q = 0; q < n; q = q + 1) {
+            xv[q] = xv[q] + alpha * pv[q];
+            rv[q] = rv[q] - alpha * av[q];
+            rho2 = rho2 + rv[q] * rv[q];
+        }
+        let rnorm = sqrt(rho2);
+        output floor(rnorm * 1000000.0 + 0.5);
+        iters = iters + 1;
+        if (rnorm < tol) {
+            // Converged: report the achieved accuracy class, a path only
+            // tight tolerances reach within the iteration budget.
+            output f2i(rnorm * 1000000000.0);
+            break;
+        }
+        let beta = rho2 / (rho + 0.000000000001);
+        for (q = 0; q < n; q = q + 1) { pv[q] = rv[q] + beta * pv[q]; }
+        rho = rho2;
+    }
+
+    // Solution checksum: should be ~n at convergence.
+    let cs = 0.0;
+    for (q = 0; q < n; q = q + 1) { cs = cs + xv[q]; }
+    output floor(cs * 10000.0 + 0.5);
+    output iters;
+}
+"#;
+
+/// Builds the compiled benchmark.
+pub fn benchmark() -> Benchmark {
+    Benchmark::compile(
+        "Hpccg",
+        "Mantevo",
+        "A simple conjugate gradient benchmark code for a 3D chimney domain",
+        SOURCE,
+        vec![
+            ArgSpec::int("nx", 3, 6, (3, 3)),
+            ArgSpec::int("ny", 3, 6, (3, 3)),
+            ArgSpec::int("nz", 3, 6, (3, 3)),
+            ArgSpec::int("maxit", 5, 30, (5, 6)),
+            ArgSpec::float("tol", 1e-8, 1e-2, (1e-4, 1e-2)),
+        ],
+        vec![5.0, 5.0, 5.0, 25.0, 1e-6],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppa_vm::{ExecLimits, RunStatus, Vm};
+
+    #[test]
+    fn converges_to_all_ones() {
+        let b = benchmark();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let out = vm.run_numeric(&b.reference_input, None);
+        assert_eq!(out.status, RunStatus::Ok);
+        // Second-to-last output is the solution checksum; exact solution
+        // is all ones -> checksum ~ n = 125.
+        let cs = f64::from_bits(out.output[out.output.len() - 2]) / 10000.0;
+        assert!((cs - 125.0).abs() < 0.1, "checksum {cs}");
+    }
+
+    #[test]
+    fn residuals_decrease() {
+        let b = benchmark();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let out = vm.run_numeric(&[4.0, 4.0, 4.0, 10.0, 1e-8], None);
+        // Output layout: [r_1 .. r_iters, (accuracy class if converged),
+        // checksum, iters]; iters is last.
+        let iters = *out.output.last().unwrap() as usize;
+        let first = f64::from_bits(out.output[0]);
+        let last_resid = f64::from_bits(out.output[iters - 1]);
+        assert!(last_resid < first, "residual did not decrease: {first} -> {last_resid}");
+    }
+
+    #[test]
+    fn tolerance_controls_iteration_count() {
+        let b = benchmark();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let loose = vm.run_numeric(&[4.0, 4.0, 4.0, 30.0, 1e-2], None);
+        let tight = vm.run_numeric(&[4.0, 4.0, 4.0, 30.0, 1e-8], None);
+        let it_loose = *loose.output.last().unwrap();
+        let it_tight = *tight.output.last().unwrap();
+        assert!(it_tight > it_loose, "iters {it_loose} !< {it_tight}");
+    }
+}

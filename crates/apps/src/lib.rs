@@ -1,0 +1,42 @@
+//! The seven HPC benchmark kernels of the PEPPA-X evaluation (Table 1),
+//! re-implemented in MiniC and compiled to PIR.
+//!
+//! | Benchmark     | Suite     | Kernel reproduced                              |
+//! |---------------|-----------|-------------------------------------------------|
+//! | Pathfinder    | Rodinia   | dynamic-programming min-path over a 2-D grid    |
+//! | Needle        | Rodinia   | Needleman–Wunsch DNA sequence alignment DP      |
+//! | Particlefilter| Rodinia   | Bayesian particle filter tracking a noisy target|
+//! | CoMD          | Mantevo   | Lennard-Jones molecular-dynamics force/integrate|
+//! | HPCCG         | Mantevo   | conjugate gradient on a 3-D chimney stencil     |
+//! | XSBench       | CESAR     | Monte Carlo neutronics macroscopic-XS lookup    |
+//! | FFT           | SPLASH-2  | radix-2 DIT FFT with bit-reversal               |
+//!
+//! Scale substitution (documented in DESIGN.md): the paper's inputs run
+//! ~4.4 billion dynamic instructions on native hardware; ours run 10⁴–10⁶
+//! on the PIR interpreter. Every PEPPA-X metric is a probability or a
+//! ranking over the *shape* of the computation (masking structure,
+//! footprint distribution), which these kernels preserve: the same
+//! algorithmic skeletons, the same masking idioms (min/max in DP
+//! wavefronts, cutoff branches, convergence loops, table lookups,
+//! bit-reversal), and genuinely input-dependent control and data flow.
+//!
+//! Each benchmark declares:
+//! * numeric input arguments with valid ranges ([`ArgSpec`]) — the search
+//!   space of PEPPA-X;
+//! * a **default reference input** — standing in for the benchmark
+//!   suite's provided test input (§3.2.1);
+//! * a **small seed range** per argument — the starting window for the
+//!   small-FI-input fuzzing step (§4.2.1).
+
+pub mod comd;
+pub mod fft;
+pub mod gen;
+pub mod hpccg;
+pub mod needle;
+pub mod particlefilter;
+pub mod pathfinder;
+pub mod registry;
+pub mod xsbench;
+
+pub use gen::{random_inputs, sample_input, valid_input};
+pub use registry::{all_benchmarks, benchmark_by_name, ArgSpec, Benchmark};

@@ -1,0 +1,150 @@
+//! Particlefilter (Rodinia): Bayesian particle filter tracking a noisy
+//! target.
+//!
+//! Each step predicts particle positions, weights them against a noisy
+//! measurement with a Gaussian likelihood (`exp` of a squared distance),
+//! normalizes, emits the weighted-mean estimate, and systematically
+//! resamples from the cumulative weight distribution. The resampling
+//! index walk is the characteristic compare-and-index structure of the
+//! original; weight normalization gives a division chain whose
+//! corruption spreads to every particle.
+//!
+//! Inputs: `nparticles`, `nsteps` (footprint), `noise` (likelihood
+//! bandwidth → masking strength), `pseed` (noise pattern).
+
+use crate::registry::{ArgSpec, Benchmark};
+
+pub const SOURCE: &str = r#"
+// Particle filter: 1-D target tracking with systematic resampling.
+global float px[256];
+global float pw[256];
+global float cdf[256];
+global float npx[256];
+
+fn lcg(x: int) -> int {
+    return (x * 1103515245 + 12345) % 2147483648;
+}
+
+fn main(nparticles: int, nsteps: int, noise: float, pseed: int) {
+    let s = pseed;
+    for (p = 0; p < nparticles; p = p + 1) {
+        s = lcg(s);
+        px[p] = i2f(abs(s) % 1000) * 0.002 - 1.0;
+    }
+
+    let truex = 0.0;
+    for (t = 0; t < nsteps; t = t + 1) {
+        let drift = 1.0 + sin(i2f(t) * 0.5);
+        truex = truex + drift;
+        s = lcg(s);
+        let meas = truex + (i2f(abs(s) % 1000) * 0.002 - 1.0) * noise;
+
+        // Predict and weight.
+        let wsum = 0.0;
+        for (p = 0; p < nparticles; p = p + 1) {
+            s = lcg(s);
+            let jitter = (i2f(abs(s) % 1000) * 0.002 - 1.0) * noise;
+            px[p] = px[p] + drift + jitter;
+            let d = px[p] - meas;
+            pw[p] = exp(0.0 - d * d / (2.0 * noise * noise + 0.0001));
+            wsum = wsum + pw[p];
+        }
+
+        // Degeneracy rescue: when all weights collapse (high noise far
+        // from the target), reset to uniform — a path only noisy
+        // configurations exercise.
+        if (wsum < 0.000001 * i2f(nparticles)) {
+            for (p = 0; p < nparticles; p = p + 1) {
+                pw[p] = 1.0 / i2f(nparticles);
+            }
+            wsum = 1.0;
+        }
+
+        // Normalize and build the CDF.
+        let c = 0.0;
+        for (p = 0; p < nparticles; p = p + 1) {
+            pw[p] = pw[p] / (wsum + 0.000001);
+            c = c + pw[p];
+            cdf[p] = c;
+        }
+
+        // Weighted-mean estimate is the step's observable.
+        let est = 0.0;
+        for (p = 0; p < nparticles; p = p + 1) {
+            est = est + px[p] * pw[p];
+        }
+        output floor(est * 1000.0 + 0.5);
+
+        // Systematic resampling.
+        s = lcg(s);
+        let u0 = i2f(abs(s) % 1000) * 0.001 / i2f(nparticles);
+        let idx = 0;
+        for (p = 0; p < nparticles; p = p + 1) {
+            let u = u0 + i2f(p) / i2f(nparticles);
+            while (idx < nparticles - 1 && cdf[idx] < u) {
+                idx = idx + 1;
+            }
+            npx[p] = px[idx];
+        }
+        for (p = 0; p < nparticles; p = p + 1) {
+            px[p] = npx[p];
+        }
+    }
+}
+"#;
+
+/// Builds the compiled benchmark.
+pub fn benchmark() -> Benchmark {
+    Benchmark::compile(
+        "Particlefilter",
+        "Rodinia",
+        "Statistical estimator of the location of a target object given noisy measurements",
+        SOURCE,
+        vec![
+            ArgSpec::int("nparticles", 8, 192, (8, 16)),
+            ArgSpec::int("nsteps", 2, 24, (2, 3)),
+            ArgSpec::float("noise", 0.05, 4.0, (0.1, 0.5)),
+            ArgSpec::int("pseed", 1, 1_000_000, (1, 64)),
+        ],
+        vec![64.0, 10.0, 1.0, 1234.0],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppa_vm::{ExecLimits, RunStatus, Vm};
+
+    #[test]
+    fn compiles_and_runs() {
+        let b = benchmark();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let out = vm.run_numeric(&b.reference_input, None);
+        assert_eq!(out.status, RunStatus::Ok);
+        assert_eq!(out.output.len(), 10); // one estimate per step
+    }
+
+    #[test]
+    fn estimates_track_the_target() {
+        // With low noise the final estimate should be near the true
+        // trajectory sum_t (1 + sin(t/2)).
+        let b = benchmark();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let out = vm.run_numeric(&[128.0, 8.0, 0.1, 42.0], None);
+        let est = f64::from_bits(*out.output.last().unwrap()) / 1000.0;
+        let mut truex = 0.0;
+        for t in 0..8 {
+            truex += 1.0 + (t as f64 * 0.5).sin();
+        }
+        assert!((est - truex).abs() < 1.0, "estimate {est} vs true {truex}");
+    }
+
+    #[test]
+    fn noise_changes_behaviour() {
+        let b = benchmark();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let low = vm.run_numeric(&[64.0, 6.0, 0.1, 7.0], None).output;
+        let high = vm.run_numeric(&[64.0, 6.0, 3.0, 7.0], None).output;
+        assert_ne!(low, high);
+    }
+}

@@ -1,0 +1,132 @@
+//! Pathfinder (Rodinia): dynamic-programming minimum path on a 2-D grid.
+//!
+//! The kernel fills a grid with pseudo-random costs, then sweeps row by
+//! row keeping the minimum cumulative cost reachable at each column —
+//! the same wavefront-with-`min` structure as Rodinia's pathfinder. The
+//! repeated `fmin` is a strong masking idiom: a corrupted candidate that
+//! is not the minimum vanishes without a trace, which is why the paper
+//! finds Pathfinder's SDC-bound inputs *sparse* in the input space
+//! (Figure 6, bottom row).
+//!
+//! Inputs: `rows`, `cols` (grid shape → footprint), `vseed` (cost
+//! pattern), `spread` (cost magnitude scale → how often `min` masks a
+//! flipped low-order bit).
+
+use crate::registry::{ArgSpec, Benchmark};
+
+pub const SOURCE: &str = r#"
+// Pathfinder: DP min-path over a rows x cols grid.
+global float grid[4096];
+global float dst[64];
+global float tmp[64];
+
+fn lcg(x: int) -> int {
+    return (x * 1103515245 + 12345) % 2147483648;
+}
+
+fn main(rows: int, cols: int, vseed: int, spread: float) {
+    // Generate grid costs in [1, 1 + spread).
+    let s = vseed;
+    for (i = 0; i < rows * cols; i = i + 1) {
+        s = lcg(s);
+        grid[i] = i2f(abs(s) % 1000) * 0.001 * spread + 1.0;
+    }
+
+    // Wide-spread grids are renormalized (an input-dependent path, as in
+    // the original's data preconditioning for large weight ranges).
+    if (spread > 50.0) {
+        let peak = 0.0;
+        for (i = 0; i < rows * cols; i = i + 1) { peak = fmax(peak, grid[i]); }
+        for (i = 0; i < rows * cols; i = i + 1) {
+            grid[i] = grid[i] * 50.0 / peak + 1.0;
+        }
+    }
+
+    // First row seeds the wavefront.
+    for (j = 0; j < cols; j = j + 1) {
+        dst[j] = grid[j];
+    }
+
+    // DP sweep: each cell takes its cost plus the cheapest of the three
+    // neighbours in the previous row.
+    for (i = 1; i < rows; i = i + 1) {
+        for (j = 0; j < cols; j = j + 1) {
+            let best = dst[j];
+            if (j > 0) { best = fmin(best, dst[j - 1]); }
+            if (j < cols - 1) { best = fmin(best, dst[j + 1]); }
+            tmp[j] = grid[i * cols + j] + best;
+        }
+        for (j = 0; j < cols; j = j + 1) {
+            dst[j] = tmp[j];
+        }
+    }
+
+    // Observables: cheapest path cost and the frontier checksum,
+    // quantized as a printf("%.4f")-style output would be.
+    let best = dst[0];
+    let sum = 0.0;
+    for (j = 0; j < cols; j = j + 1) {
+        best = fmin(best, dst[j]);
+        sum = sum + dst[j];
+    }
+    output floor(best * 10000.0 + 0.5);
+    output floor(sum * 100.0 + 0.5);
+}
+"#;
+
+/// Builds the compiled benchmark.
+pub fn benchmark() -> Benchmark {
+    Benchmark::compile(
+        "Pathfinder",
+        "Rodinia",
+        "Use dynamic programming to find a path on a 2-D grid",
+        SOURCE,
+        vec![
+            ArgSpec::int("rows", 4, 56, (4, 8)),
+            ArgSpec::int("cols", 4, 64, (4, 8)),
+            ArgSpec::int("vseed", 1, 1_000_000, (1, 64)),
+            ArgSpec::float("spread", 0.001, 100.0, (0.01, 0.2)),
+        ],
+        vec![32.0, 48.0, 7919.0, 10.0],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppa_vm::{ExecLimits, RunStatus, Vm};
+
+    #[test]
+    fn compiles_and_runs_reference_input() {
+        let b = benchmark();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let out = vm.run_numeric(&b.reference_input, None);
+        assert_eq!(out.status, RunStatus::Ok);
+        assert_eq!(out.output.len(), 2);
+        // Path cost must be at least `rows` (every cell costs >= 1).
+        let best = f64::from_bits(out.output[0]) / 10000.0;
+        assert!(best >= 32.0, "path cost {best}");
+    }
+
+    #[test]
+    fn output_depends_on_every_input_dimension() {
+        let b = benchmark();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let base = vm.run_numeric(&b.reference_input, None).output;
+        for (i, delta) in [(0usize, 4.0), (1, 4.0), (2, 17.0), (3, 1.5)] {
+            let mut input = b.reference_input.clone();
+            input[i] += delta;
+            let out = vm.run_numeric(&input, None).output;
+            assert_ne!(out, base, "changing arg {i} did not change the output");
+        }
+    }
+
+    #[test]
+    fn grid_shape_changes_footprint() {
+        let b = benchmark();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let small = vm.run_numeric(&[4.0, 4.0, 1.0, 1.0], None);
+        let large = vm.run_numeric(&[56.0, 64.0, 1.0, 1.0], None);
+        assert!(large.profile.dynamic > 20 * small.profile.dynamic);
+    }
+}

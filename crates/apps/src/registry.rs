@@ -1,0 +1,115 @@
+//! Benchmark metadata and registry.
+
+use peppa_ir::Module;
+use serde::{Deserialize, Serialize};
+
+/// One numeric input argument of a benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArgSpec {
+    pub name: &'static str,
+    /// Inclusive lower bound of the valid range.
+    pub lo: f64,
+    /// Inclusive upper bound of the valid range.
+    pub hi: f64,
+    /// Integer-valued argument (sizes, seeds, iteration counts).
+    pub integer: bool,
+    /// Lower/upper bound of the *small* starting window used by the
+    /// small-FI-input fuzzing step (§4.2.1) — a light-workload corner of
+    /// the range.
+    pub small: (f64, f64),
+}
+
+impl ArgSpec {
+    pub fn int(name: &'static str, lo: i64, hi: i64, small: (i64, i64)) -> ArgSpec {
+        ArgSpec {
+            name,
+            lo: lo as f64,
+            hi: hi as f64,
+            integer: true,
+            small: (small.0 as f64, small.1 as f64),
+        }
+    }
+
+    pub fn float(name: &'static str, lo: f64, hi: f64, small: (f64, f64)) -> ArgSpec {
+        ArgSpec { name, lo, hi, integer: false, small }
+    }
+
+    /// Clamps a raw value into the argument's valid range.
+    pub fn clamp(&self, x: f64) -> f64 {
+        let c = x.clamp(self.lo, self.hi);
+        if self.integer {
+            c.round().clamp(self.lo, self.hi)
+        } else {
+            c
+        }
+    }
+}
+
+/// A compiled benchmark with its search-space metadata.
+pub struct Benchmark {
+    pub name: &'static str,
+    pub suite: &'static str,
+    pub description: &'static str,
+    /// The MiniC source the module was compiled from.
+    pub source: &'static str,
+    pub module: Module,
+    pub args: Vec<ArgSpec>,
+    /// The "default reference input" — the stand-in for the input
+    /// shipped with the benchmark suite (§3.2.1's red marks).
+    pub reference_input: Vec<f64>,
+}
+
+impl Benchmark {
+    pub(crate) fn compile(
+        name: &'static str,
+        suite: &'static str,
+        description: &'static str,
+        source: &'static str,
+        args: Vec<ArgSpec>,
+        reference_input: Vec<f64>,
+    ) -> Benchmark {
+        let module = peppa_lang::compile(source, name)
+            .unwrap_or_else(|e| panic!("benchmark {name} failed to compile: {e}"));
+        assert_eq!(
+            module.entry_func().params.len(),
+            args.len(),
+            "benchmark {name}: arg spec arity mismatch"
+        );
+        assert_eq!(reference_input.len(), args.len());
+        Benchmark { name, suite, description, source, module, args, reference_input }
+    }
+
+    /// Static instruction count (Table 1's rightmost column).
+    pub fn static_instrs(&self) -> usize {
+        self.module.num_instrs
+    }
+}
+
+/// Compiles and returns all seven benchmarks, in the paper's Table 1
+/// order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        crate::pathfinder::benchmark(),
+        crate::needle::benchmark(),
+        crate::particlefilter::benchmark(),
+        crate::comd::benchmark(),
+        crate::hpccg::benchmark(),
+        crate::xsbench::benchmark(),
+        crate::fft::benchmark(),
+    ]
+}
+
+/// Looks a benchmark up by (case-insensitive) name.
+pub fn benchmark_by_name(name: &str) -> Option<Benchmark> {
+    let lower = name.to_lowercase();
+    match lower.as_str() {
+        "pathfinder" => Some(crate::pathfinder::benchmark()),
+        "needle" => Some(crate::needle::benchmark()),
+        "particlefilter" => Some(crate::particlefilter::benchmark()),
+        "comd" => Some(crate::comd::benchmark()),
+        "hpccg" => Some(crate::hpccg::benchmark()),
+        "xsbench" => Some(crate::xsbench::benchmark()),
+        "fft" => Some(crate::fft::benchmark()),
+        _ => None,
+    }
+}

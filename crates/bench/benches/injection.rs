@@ -1,0 +1,57 @@
+//! Fault-injection microbenchmarks: single-trial cost and campaign
+//! scaling, including thread-parallel campaigns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peppa_inject::{run_campaign, CampaignConfig};
+use peppa_vm::{ExecLimits, Injection, InjectionTarget, Vm};
+
+fn injection_benches(c: &mut Criterion) {
+    let bench = peppa_apps::benchmark_by_name("Needle").unwrap();
+    let limits = ExecLimits::default();
+    let vm = Vm::new(&bench.module, limits);
+    let golden = vm.run_numeric(&bench.reference_input, None);
+
+    // One faulty run vs one golden run: the injection hook's overhead.
+    let mut group = c.benchmark_group("single_run");
+    group.sample_size(20);
+    group.bench_function("golden", |b| {
+        b.iter(|| vm.run_numeric(std::hint::black_box(&bench.reference_input), None).profile.dynamic)
+    });
+    let inj = Injection {
+        target: InjectionTarget::DynamicIndex(golden.profile.value_dynamic / 2),
+        bit: 17,
+                burst: 0,
+            };
+    group.bench_function("injected", |b| {
+        b.iter(|| {
+            vm.run_numeric(std::hint::black_box(&bench.reference_input), Some(inj)).fault_activated
+        })
+    });
+    group.finish();
+
+    // Campaign scaling across thread counts.
+    let mut group = c.benchmark_group("campaign_100_trials");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    run_campaign(
+                        &bench.module,
+                        &bench.reference_input,
+                        limits,
+                        CampaignConfig { trials: 100, seed: 5, hang_factor: 8, threads, burst: 0 },
+                    )
+                    .unwrap()
+                    .sdc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, injection_benches);
+criterion_main!(benches);

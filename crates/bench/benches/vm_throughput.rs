@@ -1,0 +1,30 @@
+//! Interpreter throughput on each benchmark kernel (the substrate cost
+//! underlying every experiment: one FI trial ≈ one of these runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use peppa_vm::{ExecLimits, Vm};
+
+fn vm_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_golden_run");
+    for bench in peppa_apps::all_benchmarks() {
+        let vm = Vm::new(&bench.module, ExecLimits::default());
+        let dynamic = vm.run_numeric(&bench.reference_input, None).profile.dynamic;
+        group.throughput(Throughput::Elements(dynamic));
+        group.sample_size(20);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name),
+            &bench.reference_input,
+            |b, input| {
+                b.iter(|| {
+                    let out = vm.run_numeric(std::hint::black_box(input), None);
+                    assert!(out.status.is_ok());
+                    out.profile.dynamic
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, vm_throughput);
+criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! `repro` — regenerate the PEPPA-X paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--scale quick|paper] [--seed N] [--out DIR]
+//!
+//! experiments:
+//!   fig1 table2        initial FI study (shared runs)
+//!   fig2 table3        per-instruction rankings
+//!   table4             pruning ratios (static, fast)
+//!   table5             distribution-analysis time
+//!   fig5 fig7 fig8     search comparison (shared runs)
+//!   fig6               input-space heat maps
+//!   table6             per-input evaluation time
+//!   fig9               protection stress test
+//!   all                everything above
+//! ```
+//!
+//! Each experiment prints a paper-shaped text rendering and, with
+//! `--out`, writes the raw data as JSON for downstream plotting.
+
+use peppa_bench::{render, scale::Scale, Ctx};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|table2..6|all> [--scale quick|paper] [--seed N] [--out DIR]");
+        std::process::exit(2);
+    }
+
+    let mut experiments: Vec<String> = Vec::new();
+    let mut scale = Scale::Quick;
+    let mut seed = 2021u64; // the paper's year, why not
+    let mut out: Option<PathBuf> = None;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value");
+                scale = Scale::parse(&v).unwrap_or_else(|| panic!("unknown scale `{v}`"));
+            }
+            "--seed" => {
+                seed = it.next().expect("--seed needs a value").parse().expect("seed must be u64");
+            }
+            "--out" => out = Some(PathBuf::from(it.next().expect("--out needs a dir"))),
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "fig1", "table2", "fig2", "table3", "table4", "table5", "fig5", "fig6", "fig7",
+            "fig8", "table6", "fig9", "faultmodel", "ablation",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let ctx = Ctx::new(scale, seed);
+    if let Some(dir) = &out {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+
+    let dump = |name: &str, json: String| {
+        if let Some(dir) = &out {
+            let path = dir.join(format!("{name}.json"));
+            std::fs::write(&path, json).expect("write json");
+            eprintln!("[repro] wrote {}", path.display());
+        }
+    };
+
+    // The search experiment feeds several artifacts; compute lazily once.
+    let mut search_report: Option<peppa_bench::search_exp::SearchReportAll> = None;
+    let mut study_report: Option<peppa_bench::study::StudyReport> = None;
+    let mut rank_report: Option<peppa_bench::ranks::RankReport> = None;
+
+    for exp in &experiments {
+        eprintln!("[repro] running {exp} at {scale:?} scale (seed {seed})...");
+        let t0 = std::time::Instant::now();
+        match exp.as_str() {
+            "fig1" | "table2" => {
+                if study_report.is_none() {
+                    study_report = Some(peppa_bench::study::run_study(&ctx));
+                }
+                let r = study_report.as_ref().unwrap();
+                if exp == "fig1" {
+                    println!("{}", render::render_fig1(r));
+                } else {
+                    println!("{}", render::render_table2(r));
+                }
+                dump("study", serde_json::to_string_pretty(r).unwrap());
+            }
+            "fig2" | "table3" => {
+                if rank_report.is_none() {
+                    rank_report = Some(peppa_bench::ranks::run_ranks(&ctx));
+                }
+                let r = rank_report.as_ref().unwrap();
+                if exp == "fig2" {
+                    println!("{}", render::render_fig2(r));
+                } else {
+                    println!("{}", render::render_table3(r));
+                }
+                dump("ranks", serde_json::to_string_pretty(r).unwrap());
+            }
+            "table4" => {
+                let r = peppa_bench::pruning_exp::run_pruning_ratios();
+                println!("{}", render::render_table4(&r));
+                dump("table4", serde_json::to_string_pretty(&r).unwrap());
+            }
+            "table5" => {
+                let r = peppa_bench::pruning_exp::run_analysis_time(&ctx);
+                println!("{}", render::render_table5(&r));
+                dump("table5", serde_json::to_string_pretty(&r).unwrap());
+            }
+            "fig5" | "fig7" | "fig8" => {
+                if search_report.is_none() {
+                    search_report = Some(peppa_bench::search_exp::run_search(&ctx));
+                }
+                let r = search_report.as_ref().unwrap();
+                match exp.as_str() {
+                    "fig5" => println!("{}", render::render_fig5(r)),
+                    "fig7" => println!("{}", render::render_fig7(r)),
+                    _ => println!("{}", render::render_fig8(r)),
+                }
+                dump("search", serde_json::to_string_pretty(r).unwrap());
+            }
+            "fig6" => {
+                let maps = peppa_bench::heatmap::run_heatmaps(&ctx);
+                println!("{}", render::render_fig6(&maps));
+                dump("fig6", serde_json::to_string_pretty(&maps).unwrap());
+            }
+            "table6" => {
+                let r = peppa_bench::search_exp::run_per_input_time(&ctx);
+                println!("{}", render::render_table6(&r));
+                dump("table6", serde_json::to_string_pretty(&r).unwrap());
+            }
+            "fig9" => {
+                // Reuse SDC-bound inputs from a fig5 run when available.
+                let bound: Vec<(String, Vec<f64>)> = search_report
+                    .as_ref()
+                    .map(|r| {
+                        r.rows
+                            .iter()
+                            .map(|row| (row.benchmark.clone(), row.sdc_bound_input.clone()))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let r = peppa_bench::protect_exp::run_protect(&ctx, &bound);
+                println!("{}", render::render_fig9(&r));
+                dump("fig9", serde_json::to_string_pretty(&r).unwrap());
+            }
+            "faultmodel" => {
+                let r = peppa_bench::faultmodel::run_fault_models(&ctx);
+                println!("{}", render::render_faultmodel(&r));
+                dump("faultmodel", serde_json::to_string_pretty(&r).unwrap());
+            }
+            "ablation" => {
+                let bound: Vec<(String, Vec<f64>)> = search_report
+                    .as_ref()
+                    .map(|r| {
+                        r.rows
+                            .iter()
+                            .map(|row| (row.benchmark.clone(), row.sdc_bound_input.clone()))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let r = peppa_bench::protect_exp::run_ablation(&ctx, &bound);
+                println!("{}", render::render_ablation(&r));
+                dump("ablation", serde_json::to_string_pretty(&r).unwrap());
+            }
+            other => {
+                eprintln!("[repro] unknown experiment `{other}` — skipping");
+            }
+        }
+        eprintln!("[repro] {exp} done in {:.1}s\n", t0.elapsed().as_secs_f64());
+    }
+}

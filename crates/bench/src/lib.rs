@@ -1,0 +1,33 @@
+//! Experiment harness: regenerates every table and figure of the
+//! PEPPA-X paper's evaluation.
+//!
+//! | Paper artifact | Module | `repro` subcommand |
+//! |----------------|--------|--------------------|
+//! | Figure 1 (overall SDC probability ranges)       | [`study`]       | `fig1` |
+//! | Table 2 (coverage ↔ SDC correlation)            | [`study`]       | `table2` |
+//! | Figure 2 (per-instruction SDC ranges, CoMD)     | [`ranks`]       | `fig2` |
+//! | Table 3 (per-instruction ranking stability)     | [`ranks`]       | `table3` |
+//! | Table 4 (FI-space pruning ratios)               | [`pruning_exp`] | `table4` |
+//! | Table 5 (distribution-analysis time, ±heuristics)| [`pruning_exp`]| `table5` |
+//! | Figure 5 (PEPPA-X vs baseline over generations) | [`search_exp`]  | `fig5` |
+//! | Figure 6 (input-space SDC heat maps)            | [`heatmap`]     | `fig6` |
+//! | Figure 7 (baseline with 5× search time)         | [`search_exp`]  | `fig7` |
+//! | Figure 8 (total time vs generations)            | [`search_exp`]  | `fig8` |
+//! | Table 6 (per-input evaluation time)             | [`search_exp`]  | `table6` |
+//! | Figure 9 (stress-testing selective duplication) | [`protect_exp`] | `fig9` |
+//!
+//! Every experiment takes a [`Scale`]: `Quick` finishes in minutes on a
+//! laptop; `Paper` uses the paper's trial counts (1,000-trial campaigns,
+//! 100 trials/instruction, 1,000 GA generations) and runs for hours.
+
+pub mod faultmodel;
+pub mod heatmap;
+pub mod pruning_exp;
+pub mod protect_exp;
+pub mod ranks;
+pub mod render;
+pub mod scale;
+pub mod search_exp;
+pub mod study;
+
+pub use scale::{Ctx, Scale};

@@ -1,0 +1,301 @@
+//! Figure 9: stress-testing selective instruction duplication (§6).
+//!
+//! For each benchmark and protection level (30%/50%/70% overhead):
+//!
+//! 1. measure per-instruction SDC probabilities with the **default
+//!    reference input** (as all prior protection work does);
+//! 2. knapsack-select the duplication set and record its *expected*
+//!    coverage;
+//! 3. apply the duplicate-and-check transform;
+//! 4. measure the *actual* coverage by FI campaigns with the SDC-bound
+//!    input found by PEPPA-X.
+
+use crate::scale::Ctx;
+use peppa_apps::{all_benchmarks, Benchmark};
+use peppa_core::{PeppaConfig, PeppaX};
+use peppa_protect::plan::{measure_for_planning, plan_from_measurement};
+use peppa_protect::{apply_protection, measure_coverage};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One (benchmark, level) cell of Figure 9.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProtectPoint {
+    pub level: f64,
+    pub expected_coverage: f64,
+    /// Coverage measured with the reference input (sanity: should be
+    /// close to expected).
+    pub reference_coverage: f64,
+    /// Coverage measured with the SDC-bound input (the stress test).
+    pub actual_coverage: f64,
+    pub protected_instrs: usize,
+}
+
+/// One benchmark's Figure 9 row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProtectRow {
+    pub benchmark: String,
+    pub sdc_bound_input: Vec<f64>,
+    pub points: Vec<ProtectPoint>,
+}
+
+/// Figure 9 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProtectReport {
+    pub rows: Vec<ProtectRow>,
+}
+
+impl ProtectReport {
+    /// Mean expected/actual coverage per level, the numbers the paper
+    /// quotes (85.23/96.63/99.18% expected vs 33.52/38.02/38.28%
+    /// actual).
+    pub fn level_means(&self) -> Vec<(f64, f64, f64)> {
+        let mut out = Vec::new();
+        if self.rows.is_empty() {
+            return out;
+        }
+        let levels: Vec<f64> = self.rows[0].points.iter().map(|p| p.level).collect();
+        for (k, &level) in levels.iter().enumerate() {
+            let n = self.rows.len() as f64;
+            let exp = self.rows.iter().map(|r| r.points[k].expected_coverage).sum::<f64>() / n;
+            let act = self.rows.iter().map(|r| r.points[k].actual_coverage).sum::<f64>() / n;
+            out.push((level, exp, act));
+        }
+        out
+    }
+}
+
+/// Runs the stress test for one benchmark, given its SDC-bound input
+/// (from a prior PEPPA-X search; pass `None` to search here).
+pub fn protect_benchmark(
+    bench: &Benchmark,
+    ctx: &Ctx,
+    sdc_bound_input: Option<Vec<f64>>,
+) -> ProtectRow {
+    let sdc_bound_input = sdc_bound_input.unwrap_or_else(|| {
+        let cfg = PeppaConfig {
+            seed: ctx.seed,
+            population: ctx.population(),
+            distribution_trials: ctx.distribution_trials(),
+            final_fi_trials: ctx.campaign_trials(),
+            limits: ctx.limits,
+            threads: ctx.threads,
+            ..Default::default()
+        };
+        let px = PeppaX::prepare(bench, cfg).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let report = px.search(&[ctx.saturation_checkpoint()]);
+        report.sdc_bound().input.clone()
+    });
+
+    // Step 1: per-instruction probabilities on the reference input.
+    let measured = measure_for_planning(
+        &bench.module,
+        &bench.reference_input,
+        ctx.limits,
+        ctx.per_instr_trials(),
+        ctx.seed ^ 0x9999,
+        ctx.threads,
+    )
+    .expect("reference input must run");
+
+    let mut points = Vec::new();
+    for level in ctx.protection_levels() {
+        // Step 2: knapsack.
+        let plan =
+            plan_from_measurement(&bench.module, &bench.reference_input, ctx.limits, &measured, level);
+
+        // Step 3: transform.
+        let selected: HashSet<_> = plan.selected.iter().copied().collect();
+        let protected = apply_protection(&bench.module, &selected);
+
+        // Step 4: coverage with reference and SDC-bound inputs.
+        let ref_cov = measure_coverage(
+            &bench.module,
+            &protected.module,
+            &bench.reference_input,
+            ctx.limits,
+            ctx.campaign_trials(),
+            ctx.seed ^ 0x1111,
+            ctx.threads,
+        )
+        .expect("reference coverage");
+        let stress_cov = measure_coverage(
+            &bench.module,
+            &protected.module,
+            &sdc_bound_input,
+            ctx.limits,
+            ctx.campaign_trials(),
+            ctx.seed ^ 0x2222,
+            ctx.threads,
+        )
+        .expect("stress coverage");
+
+        points.push(ProtectPoint {
+            level,
+            expected_coverage: plan.expected_coverage,
+            reference_coverage: ref_cov.coverage,
+            actual_coverage: stress_cov.coverage,
+            protected_instrs: plan.selected.len(),
+        });
+    }
+
+    ProtectRow { benchmark: bench.name.to_string(), sdc_bound_input, points }
+}
+
+/// Runs Figure 9 for every benchmark. `bound_inputs` lets the caller
+/// reuse SDC-bound inputs from a prior Figure 5 run (keyed by benchmark
+/// name).
+pub fn run_protect(ctx: &Ctx, bound_inputs: &[(String, Vec<f64>)]) -> ProtectReport {
+    let rows = all_benchmarks()
+        .iter()
+        .map(|b| {
+            let pre = bound_inputs
+                .iter()
+                .find(|(name, _)| name == b.name)
+                .map(|(_, input)| input.clone());
+            protect_benchmark(b, ctx, pre)
+        })
+        .collect();
+    ProtectReport { rows }
+}
+
+/// Ablation (the paper's deferred future work): classic reference-input
+/// planning vs input-aware planning over {reference, random, SDC-bound}
+/// inputs, both stress-tested with the SDC-bound input.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    pub benchmark: String,
+    pub level: f64,
+    pub classic_stress_coverage: f64,
+    pub aware_stress_coverage: f64,
+    pub classic_reference_coverage: f64,
+    pub aware_reference_coverage: f64,
+}
+
+/// Ablation report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationReport {
+    pub rows: Vec<AblationRow>,
+}
+
+/// Runs the input-aware-planning ablation for one benchmark.
+pub fn ablation_benchmark(
+    bench: &Benchmark,
+    ctx: &Ctx,
+    sdc_bound_input: Vec<f64>,
+    level: f64,
+) -> AblationRow {
+    use peppa_protect::plan_multi_input;
+
+    let ref_meas = measure_for_planning(
+        &bench.module,
+        &bench.reference_input,
+        ctx.limits,
+        ctx.per_instr_trials(),
+        ctx.seed ^ 0xab1,
+        ctx.threads,
+    )
+    .expect("reference measurement");
+    let bound_meas = measure_for_planning(
+        &bench.module,
+        &sdc_bound_input,
+        ctx.limits,
+        ctx.per_instr_trials(),
+        ctx.seed ^ 0xab2,
+        ctx.threads,
+    )
+    .expect("bound-input measurement");
+
+    let classic = plan_from_measurement(
+        &bench.module,
+        &bench.reference_input,
+        ctx.limits,
+        &ref_meas,
+        level,
+    );
+    let aware = plan_multi_input(
+        &bench.module,
+        &[bench.reference_input.clone(), sdc_bound_input.clone()],
+        ctx.limits,
+        &[ref_meas, bound_meas],
+        level,
+    );
+
+    let coverage = |plan: &peppa_protect::ProtectionPlan, input: &[f64], seed: u64| -> f64 {
+        let selected: HashSet<_> = plan.selected.iter().copied().collect();
+        let protected = apply_protection(&bench.module, &selected);
+        measure_coverage(
+            &bench.module,
+            &protected.module,
+            input,
+            ctx.limits,
+            ctx.campaign_trials(),
+            seed,
+            ctx.threads,
+        )
+        .expect("coverage measurement")
+        .coverage
+    };
+
+    AblationRow {
+        benchmark: bench.name.to_string(),
+        level,
+        classic_stress_coverage: coverage(&classic, &sdc_bound_input, ctx.seed ^ 1),
+        aware_stress_coverage: coverage(&aware, &sdc_bound_input, ctx.seed ^ 2),
+        classic_reference_coverage: coverage(&classic, &bench.reference_input, ctx.seed ^ 3),
+        aware_reference_coverage: coverage(&aware, &bench.reference_input, ctx.seed ^ 4),
+    }
+}
+
+/// Runs the ablation over all benchmarks at the 50% level, reusing
+/// SDC-bound inputs where provided.
+pub fn run_ablation(ctx: &Ctx, bound_inputs: &[(String, Vec<f64>)]) -> AblationReport {
+    let rows = all_benchmarks()
+        .iter()
+        .map(|b| {
+            let bound = bound_inputs
+                .iter()
+                .find(|(name, _)| name == b.name)
+                .map(|(_, input)| input.clone())
+                .unwrap_or_else(|| {
+                    let cfg = PeppaConfig {
+                        seed: ctx.seed,
+                        population: ctx.population(),
+                        distribution_trials: ctx.distribution_trials(),
+                        final_fi_trials: ctx.campaign_trials(),
+                        limits: ctx.limits,
+                        threads: ctx.threads,
+                        ..Default::default()
+                    };
+                    let px = PeppaX::prepare(b, cfg).expect("prepare");
+                    px.search(&[ctx.saturation_checkpoint()]).sdc_bound().input.clone()
+                });
+            ablation_benchmark(b, ctx, bound, 0.5)
+        })
+        .collect();
+    AblationReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn stress_test_shapes_on_pathfinder() {
+        let mut ctx = Ctx::new(Scale::Quick, 4);
+        ctx.threads = 0;
+        let b = peppa_apps::pathfinder::benchmark();
+        // Hand the test a stressing input (wide spread exposes more
+        // SDCs) so it skips the expensive search.
+        let row = protect_benchmark(&b, &ctx, Some(vec![40.0, 56.0, 1234.0, 80.0]));
+        assert_eq!(row.points.len(), 3);
+        for p in &row.points {
+            assert!((0.0..=1.0).contains(&p.expected_coverage), "{p:?}");
+            assert!((0.0..=1.0).contains(&p.actual_coverage), "{p:?}");
+            assert!(p.protected_instrs > 0);
+        }
+        // Coverage should not decrease with a bigger budget.
+        assert!(row.points[2].expected_coverage >= row.points[0].expected_coverage - 1e-9);
+    }
+}

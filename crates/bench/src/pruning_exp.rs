@@ -1,0 +1,149 @@
+//! FI-space pruning experiments: Table 4 (pruning ratios) and Table 5
+//! (time for the SDC-sensitivity-distribution analysis with and without
+//! the heuristics).
+
+use crate::scale::Ctx;
+use peppa_analysis::prune_fi_space;
+use peppa_apps::all_benchmarks;
+use peppa_core::{derive_sdc_scores, fuzz_small_input, SmallInputConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Table 4's row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PruningRow {
+    pub benchmark: String,
+    pub injectable: usize,
+    pub groups: usize,
+    pub pruning_ratio: f64,
+}
+
+/// Table 4 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PruningReport {
+    pub rows: Vec<PruningRow>,
+}
+
+impl PruningReport {
+    /// The paper's Table 4 average (49.32%).
+    pub fn average_ratio(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.pruning_ratio).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+/// Runs Table 4 (static, fast).
+pub fn run_pruning_ratios() -> PruningReport {
+    let rows = all_benchmarks()
+        .iter()
+        .map(|b| {
+            let p = prune_fi_space(&b.module);
+            PruningRow {
+                benchmark: b.name.to_string(),
+                injectable: p.injectable,
+                groups: p.groups.len(),
+                pruning_ratio: p.pruning_ratio(),
+            }
+        })
+        .collect();
+    PruningReport { rows }
+}
+
+/// Table 5's row: distribution-analysis cost with and without the
+/// heuristics (small input + pruning + reduced trials vs reference input
+/// + exhaustive + per-instruction trials).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalysisTimeRow {
+    pub benchmark: String,
+    pub with_heuristics_secs: f64,
+    pub without_heuristics_secs: f64,
+    pub with_cost_dynamic: u64,
+    pub without_cost_dynamic: u64,
+    pub speedup: f64,
+}
+
+/// Table 5 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalysisTimeReport {
+    pub rows: Vec<AnalysisTimeRow>,
+}
+
+impl AnalysisTimeReport {
+    pub fn mean_speedup(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.speedup).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+/// Runs Table 5. The "without heuristics" arm uses the default reference
+/// input, no pruning, and the per-instruction trial count — exactly the
+/// strawman of challenge C1.
+pub fn run_analysis_time(ctx: &Ctx) -> AnalysisTimeReport {
+    let mut rows = Vec::new();
+    for b in all_benchmarks() {
+        let small = fuzz_small_input(&b, ctx.limits, SmallInputConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+
+        let t0 = Instant::now();
+        let with = derive_sdc_scores(
+            &b,
+            &small.input,
+            ctx.limits,
+            ctx.distribution_trials(),
+            ctx.seed,
+            true,
+            ctx.threads,
+        )
+        .expect("with-heuristics analysis");
+        let with_secs = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let without = derive_sdc_scores(
+            &b,
+            &b.reference_input,
+            ctx.limits,
+            ctx.per_instr_trials(),
+            ctx.seed,
+            false,
+            ctx.threads,
+        )
+        .expect("without-heuristics analysis");
+        let without_secs = t1.elapsed().as_secs_f64();
+
+        rows.push(AnalysisTimeRow {
+            benchmark: b.name.to_string(),
+            with_heuristics_secs: with_secs,
+            without_heuristics_secs: without_secs,
+            with_cost_dynamic: with.cost_dynamic + small.cost_dynamic,
+            without_cost_dynamic: without.cost_dynamic,
+            speedup: if with_secs > 0.0 { without_secs / with_secs } else { f64::INFINITY },
+        });
+    }
+    AnalysisTimeReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_ratios_in_paper_ballpark() {
+        let r = run_pruning_ratios();
+        assert_eq!(r.rows.len(), 7);
+        for row in &r.rows {
+            assert!(
+                row.pruning_ratio > 0.05 && row.pruning_ratio < 0.95,
+                "{}: ratio {}",
+                row.benchmark,
+                row.pruning_ratio
+            );
+        }
+        // Paper average: 49.32%. Accept a generous band around it.
+        let avg = r.average_ratio();
+        assert!(avg > 0.15 && avg < 0.85, "average ratio {avg}");
+    }
+}

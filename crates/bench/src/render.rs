@@ -1,0 +1,306 @@
+//! Plain-text rendering of experiment reports, shaped like the paper's
+//! tables and figures.
+
+use crate::heatmap::{render_ascii, HeatMap};
+use crate::pruning_exp::{AnalysisTimeReport, PruningReport};
+use crate::protect_exp::ProtectReport;
+use crate::ranks::RankReport;
+use crate::search_exp::{PerInputTimeReport, SearchReportAll};
+use crate::study::StudyReport;
+use std::fmt::Write;
+
+fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Figure 1: per-benchmark SDC-probability ranges + reference marks.
+pub fn render_fig1(r: &StudyReport) -> String {
+    let mut s = String::from(
+        "Figure 1 — Range of overall program SDC probability across random inputs\n\
+         (ref = default reference input, as the paper's red marks)\n\n",
+    );
+    let _ = writeln!(
+        s,
+        "{:<15} {:>9} {:>9} {:>9} {:>9}  ref-percentile",
+        "benchmark", "min", "max", "ref", "spread"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            s,
+            "{:<15} {:>9} {:>9} {:>9} {:>9}  {:.0}% of random inputs exceed ref",
+            row.benchmark,
+            pct(row.sdc_min()),
+            pct(row.sdc_max()),
+            pct(row.reference.sdc_prob),
+            pct(row.sdc_max() - row.sdc_min()),
+            (1.0 - row.reference_percentile()) * 100.0,
+        );
+    }
+    s
+}
+
+/// Table 2: coverage ↔ SDC-probability correlation.
+pub fn render_table2(r: &StudyReport) -> String {
+    let mut s = String::from(
+        "Table 2 — Spearman correlation between code coverage and program SDC probability\n\n",
+    );
+    for row in &r.rows {
+        let _ = writeln!(s, "{:<15} {:>6.2}", row.benchmark, row.coverage_correlation);
+    }
+    let _ = writeln!(s, "{:<15} {:>6.2}   (paper average: 0.01)", "average", r.mean_correlation());
+    s
+}
+
+/// Figure 2: per-instruction SDC-probability ranges (sampled).
+pub fn render_fig2(r: &RankReport) -> String {
+    let mut s = String::from(
+        "Figure 2 — Range of per-instruction SDC probabilities across inputs\n\n",
+    );
+    for row in &r.rows {
+        let _ = writeln!(s, "{} ({} instructions measurable under all inputs):", row.benchmark, row.common_instrs);
+        for ir in &row.sampled_ranges {
+            let _ = writeln!(
+                s,
+                "  sid {:>5} {:<8} {:>9} .. {:<9}",
+                ir.sid,
+                ir.mnemonic,
+                pct(ir.min),
+                pct(ir.max)
+            );
+        }
+    }
+    s
+}
+
+/// Table 3: per-instruction ranking stability.
+pub fn render_table3(r: &RankReport) -> String {
+    let mut s = String::from(
+        "Table 3 — Correlation between rankings of per-instruction SDC probabilities\n\
+         across inputs (paper: 0.59–0.96)\n\n",
+    );
+    for row in &r.rows {
+        let _ = writeln!(s, "{:<15} {:>6.2}", row.benchmark, row.rank_stability);
+    }
+    s
+}
+
+/// Table 4: pruning ratios.
+pub fn render_table4(r: &PruningReport) -> String {
+    let mut s = String::from("Table 4 — FI-space pruning ratio (paper avg: 49.32%)\n\n");
+    let _ = writeln!(s, "{:<15} {:>11} {:>8} {:>9}", "benchmark", "injectable", "groups", "ratio");
+    for row in &r.rows {
+        let _ = writeln!(
+            s,
+            "{:<15} {:>11} {:>8} {:>9}",
+            row.benchmark,
+            row.injectable,
+            row.groups,
+            pct(row.pruning_ratio)
+        );
+    }
+    let _ = writeln!(s, "{:<15} {:>29}", "average", pct(r.average_ratio()));
+    s
+}
+
+/// Table 5: analysis time with/without heuristics.
+pub fn render_table5(r: &AnalysisTimeReport) -> String {
+    let mut s = String::from(
+        "Table 5 — Time for the analysis of SDC sensitivity distribution\n\
+         (paper: 10.45h with vs 841.20h without, ≈84× speedup)\n\n",
+    );
+    let _ = writeln!(
+        s,
+        "{:<15} {:>12} {:>14} {:>9}",
+        "benchmark", "with (s)", "without (s)", "speedup"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            s,
+            "{:<15} {:>12.2} {:>14.2} {:>8.1}x",
+            row.benchmark, row.with_heuristics_secs, row.without_heuristics_secs, row.speedup
+        );
+    }
+    let _ = writeln!(s, "{:<15} {:>36} {:>8.1}x", "average", "", r.mean_speedup());
+    s
+}
+
+/// Figure 5: PEPPA-X vs baseline across generation budgets.
+pub fn render_fig5(r: &SearchReportAll) -> String {
+    let mut s = String::from(
+        "Figure 5 — Bounded SDC probability vs search budget (equal budgets per column)\n\n",
+    );
+    for row in &r.rows {
+        let _ = writeln!(s, "{}:", row.benchmark);
+        let _ = writeln!(
+            s,
+            "  {:>12} {:>12} {:>12} {:>16}",
+            "generations", "PEPPA-X", "baseline", "budget (Mdyn)"
+        );
+        for p in &row.points {
+            let _ = writeln!(
+                s,
+                "  {:>12} {:>12} {:>12} {:>16.1}",
+                p.generation,
+                pct(p.peppa_sdc),
+                pct(p.baseline_sdc),
+                p.budget_dynamic as f64 / 1e6
+            );
+        }
+    }
+    s
+}
+
+/// Figure 7: baseline with 5× more budget vs PEPPA-X at saturation.
+pub fn render_fig7(r: &SearchReportAll) -> String {
+    let mut s = String::from(
+        "Figure 7 — PEPPA-X at the saturation checkpoint vs baseline with 5× more budget\n\n",
+    );
+    let _ = writeln!(s, "{:<15} {:>14} {:>16}", "benchmark", "PEPPA-X", "baseline (5x)");
+    for row in &r.rows {
+        let _ = writeln!(
+            s,
+            "{:<15} {:>14} {:>16}",
+            row.benchmark,
+            pct(row.peppa_at_saturation),
+            pct(row.baseline_5x)
+        );
+    }
+    s
+}
+
+/// Figure 8: timing breakdown.
+pub fn render_fig8(r: &SearchReportAll) -> String {
+    let mut s = String::from(
+        "Figure 8 — PEPPA-X wall time: fixed analysis cost + per-generation search\n\n",
+    );
+    let _ = writeln!(
+        s,
+        "{:<15} {:>14} {:>13} {:>20}",
+        "benchmark", "analysis (s)", "search (s)", "analysis (Mdyn)"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            s,
+            "{:<15} {:>14.2} {:>13.2} {:>20.1}",
+            row.benchmark,
+            row.analysis_secs,
+            row.search_secs,
+            row.analysis_cost_dynamic as f64 / 1e6
+        );
+    }
+    s
+}
+
+/// Table 6: per-input evaluation time.
+pub fn render_table6(r: &PerInputTimeReport) -> String {
+    let mut s = String::from(
+        "Table 6 — Per-input evaluation time (paper: 3.94s vs 56508.84s, >4 orders)\n\n",
+    );
+    let _ = writeln!(
+        s,
+        "{:<15} {:>14} {:>16} {:>10}",
+        "benchmark", "PEPPA-X (s)", "baseline (s)", "speedup"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            s,
+            "{:<15} {:>14.6} {:>16.3} {:>9.0}x",
+            row.benchmark, row.peppa_secs, row.baseline_secs, row.speedup
+        );
+    }
+    let _ = writeln!(s, "{:<15} {:>41} {:>9.0}x", "average", "", r.mean_speedup());
+    s
+}
+
+/// Figure 6: ASCII heat maps.
+pub fn render_fig6(maps: &[HeatMap]) -> String {
+    let mut s = String::from("Figure 6 — SDC-probability heat maps over the input space\n\n");
+    for m in maps {
+        s.push_str(&render_ascii(m));
+        let _ = writeln!(
+            s,
+            "mean cell sits at the {:.0}th percentile of the map\n",
+            m.mean_percentile * 100.0
+        );
+    }
+    s
+}
+
+/// Fault-model sensitivity: single vs multi-bit flips.
+pub fn render_faultmodel(r: &crate::faultmodel::FaultModelReport) -> String {
+    let mut s = String::from(
+        "Fault-model sensitivity — SDC probability under 1/2/3-bit flips\n\
+         (§3.1.3's premise: multi-bit differs little at application level)\n\n",
+    );
+    let _ = writeln!(s, "{:<15} {:>9} {:>9} {:>9}", "benchmark", "1-bit", "2-bit", "3-bit");
+    for row in &r.rows {
+        let _ = writeln!(
+            s,
+            "{:<15} {:>9} {:>9} {:>9}",
+            row.benchmark,
+            pct(row.sdc_by_bits[0]),
+            pct(row.sdc_by_bits[1]),
+            pct(row.sdc_by_bits[2])
+        );
+    }
+    let _ = writeln!(s, "\nmax deviation from single-bit: {}", pct(r.max_sdc_deviation()));
+    s
+}
+
+/// Ablation: classic vs input-aware protection planning.
+pub fn render_ablation(r: &crate::protect_exp::AblationReport) -> String {
+    let mut s = String::from(
+        "Ablation — input-aware protection planning (the paper's future work)\n\
+         Coverage under the SDC-bound (stress) input, 50% overhead level:\n\n",
+    );
+    let _ = writeln!(
+        s,
+        "{:<15} {:>16} {:>15} {:>14} {:>13}",
+        "benchmark", "classic-stress", "aware-stress", "classic-ref", "aware-ref"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            s,
+            "{:<15} {:>16} {:>15} {:>14} {:>13}",
+            row.benchmark,
+            pct(row.classic_stress_coverage),
+            pct(row.aware_stress_coverage),
+            pct(row.classic_reference_coverage),
+            pct(row.aware_reference_coverage)
+        );
+    }
+    s
+}
+
+/// Figure 9: expected vs actual coverage per protection level.
+pub fn render_fig9(r: &ProtectReport) -> String {
+    let mut s = String::from(
+        "Figure 9 — Stress-testing selective instruction duplication\n\
+         (expected = knapsack's promise on the reference input;\n\
+          actual = measured with PEPPA-X's SDC-bound input)\n\n",
+    );
+    for row in &r.rows {
+        let _ = writeln!(s, "{}:", row.benchmark);
+        let _ = writeln!(
+            s,
+            "  {:>7} {:>10} {:>11} {:>9} {:>11}",
+            "level", "expected", "ref-meas.", "actual", "#protected"
+        );
+        for p in &row.points {
+            let _ = writeln!(
+                s,
+                "  {:>6.0}% {:>10} {:>11} {:>9} {:>11}",
+                p.level * 100.0,
+                pct(p.expected_coverage),
+                pct(p.reference_coverage),
+                pct(p.actual_coverage),
+                p.protected_instrs
+            );
+        }
+    }
+    let _ = writeln!(s, "\nper-level means (level, expected, actual):");
+    for (l, e, a) in r.level_means() {
+        let _ = writeln!(s, "  {:>4.0}%  {:>8}  {:>8}", l * 100.0, pct(e), pct(a));
+    }
+    s
+}

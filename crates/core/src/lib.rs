@@ -1,0 +1,43 @@
+//! The PEPPA-X pipeline (§4) and the baseline search (§5.1).
+//!
+//! PEPPA-X finds an *SDC-bound input*: a program input that (approximately)
+//! maximizes the program's SDC probability, giving developers a
+//! conservative bound for resilience evaluation. The pipeline:
+//!
+//! 1. **Fuzz for a small FI input** ([`small_input`], §4.2.1) — a
+//!    light-workload input matching the reference input's code coverage,
+//!    so the distribution analysis runs on a cheap execution.
+//! 2. **Prune the FI space** (`peppa-analysis`, §4.2.2) — group
+//!    instructions along static data dependencies; measure one
+//!    representative per subgroup.
+//! 3. **Derive SDC scores** ([`distribution`], §4.2.3) — ~30 FI trials
+//!    per representative on the small input, normalized into a
+//!    per-instruction SDC-sensitivity distribution. The paper's key
+//!    insight (§3.2.3) is that this distribution is *stationary across
+//!    inputs*, so it can be measured once.
+//! 4. **Search with a genetic engine** ([`search`], §4.2.4) — candidates
+//!    are program inputs; fitness is the *dynamic SDC-vulnerability
+//!    potential* of Eq. 2 ([`fitness`], §4.2.5): one profiled run per
+//!    candidate, no fault injection.
+//! 5. **Final FI evaluation** — only the reported SDC-bound input gets a
+//!    full statistical FI campaign.
+//!
+//! The [`baseline`] module implements the comparison method: random input
+//! generation where *every* candidate needs a full FI campaign.
+//!
+//! Budget accounting: search costs are measured in **dynamic instructions
+//! executed** — the deterministic, hardware-independent analogue of the
+//! paper's wall-clock search time (each FI trial or profiled run costs
+//! roughly one program execution of its input).
+
+pub mod baseline;
+pub mod distribution;
+pub mod fitness;
+pub mod search;
+pub mod small_input;
+
+pub use baseline::{baseline_search, BaselineConfig, BaselineReport};
+pub use distribution::{derive_sdc_scores, SdcScores};
+pub use fitness::{fitness_of_input, FitnessOracle};
+pub use search::{PeppaConfig, PeppaX, SearchCheckpoint, SearchReport};
+pub use small_input::{fuzz_small_input, SmallInput, SmallInputConfig};

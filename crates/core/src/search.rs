@@ -1,0 +1,271 @@
+//! The PEPPA-X search driver (§4.1, §4.2.4).
+
+use crate::distribution::{derive_sdc_scores, SdcScores};
+use crate::fitness::FitnessOracle;
+use crate::small_input::{fuzz_small_input, SmallInput, SmallInputConfig};
+use peppa_apps::Benchmark;
+use peppa_ga::{ArgBounds, GaConfig, GeneticEngine};
+use peppa_inject::{run_campaign, CampaignConfig, CampaignResult};
+use peppa_vm::ExecLimits;
+use serde::{Deserialize, Serialize};
+
+/// Full PEPPA-X configuration; defaults follow the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct PeppaConfig {
+    pub seed: u64,
+    /// GA population size.
+    pub population: usize,
+    /// §4.2.4: mutation rate 0.4.
+    pub mutation_rate: f64,
+    /// §4.2.4: crossover rate 0.05.
+    pub crossover_rate: f64,
+    /// §4.2.3: FI trials per pruned representative (30).
+    pub distribution_trials: u32,
+    /// Final FI campaign size for the reported SDC-bound input (1,000).
+    pub final_fi_trials: u32,
+    pub limits: ExecLimits,
+    /// Worker threads for FI phases; 0 = all cores.
+    pub threads: usize,
+    pub small_input: SmallInputConfig,
+}
+
+impl Default for PeppaConfig {
+    fn default() -> Self {
+        PeppaConfig {
+            seed: 0xbeef,
+            population: 20,
+            mutation_rate: 0.4,
+            crossover_rate: 0.05,
+            distribution_trials: 30,
+            final_fi_trials: 1000,
+            limits: ExecLimits::default(),
+            threads: 0,
+            small_input: SmallInputConfig::default(),
+        }
+    }
+}
+
+/// Errors during the preparation phase.
+#[derive(Debug)]
+pub enum PrepareError {
+    SmallInput(crate::small_input::SmallInputError),
+    Distribution(peppa_inject::campaign::CampaignError),
+}
+
+impl std::fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrepareError::SmallInput(e) => write!(f, "small-input fuzzing failed: {e}"),
+            PrepareError::Distribution(e) => write!(f, "distribution analysis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {}
+
+/// The search state at one generation checkpoint, FI-evaluated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchCheckpoint {
+    pub generation: u64,
+    /// Best input found so far.
+    pub input: Vec<f64>,
+    /// Its Eq.-2 fitness.
+    pub fitness: f64,
+    /// Its measured SDC probability (the checkpoint's FI campaign).
+    pub sdc: CampaignResult,
+    /// Dynamic-instruction search cost up to this generation (analysis +
+    /// GA evaluations, excluding the final FI evaluations).
+    pub search_cost_dynamic: u64,
+}
+
+/// Outcome of one PEPPA-X search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchReport {
+    pub benchmark: String,
+    pub checkpoints: Vec<SearchCheckpoint>,
+    /// Fixed cost: small-input fuzzing + distribution analysis (Figure
+    /// 8's dark series).
+    pub analysis_cost_dynamic: u64,
+    /// GA evaluations performed in total.
+    pub ga_evaluations: u64,
+}
+
+impl SearchReport {
+    /// The SDC-bound input: the checkpoint whose FI evaluation is
+    /// highest.
+    pub fn sdc_bound(&self) -> &SearchCheckpoint {
+        self.checkpoints
+            .iter()
+            .max_by(|a, b| {
+                a.sdc
+                    .sdc_prob()
+                    .partial_cmp(&b.sdc.sdc_prob())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("search produced no checkpoints")
+    }
+}
+
+/// A prepared PEPPA-X instance: small FI input fuzzed, SDC-sensitivity
+/// distribution measured. Reusable across searches with different
+/// budgets or seeds.
+pub struct PeppaX<'b> {
+    pub bench: &'b Benchmark,
+    pub cfg: PeppaConfig,
+    pub small: SmallInput,
+    pub scores: SdcScores,
+}
+
+impl<'b> PeppaX<'b> {
+    /// Runs steps 1–3 of the pipeline (Figure 3's ❶–❸).
+    pub fn prepare(bench: &'b Benchmark, cfg: PeppaConfig) -> Result<Self, PrepareError> {
+        let small = fuzz_small_input(bench, cfg.limits, cfg.small_input)
+            .map_err(PrepareError::SmallInput)?;
+        let scores = derive_sdc_scores(
+            bench,
+            &small.input,
+            cfg.limits,
+            cfg.distribution_trials,
+            cfg.seed ^ 0xd157,
+            true,
+            cfg.threads,
+        )
+        .map_err(PrepareError::Distribution)?;
+        Ok(PeppaX { bench, cfg, small, scores })
+    }
+
+    fn ga_bounds(&self) -> Vec<ArgBounds> {
+        self.bench
+            .args
+            .iter()
+            .map(|a| ArgBounds { lo: a.lo, hi: a.hi, integer: a.integer })
+            .collect()
+    }
+
+    /// Runs the GA search (Figure 3's ❹–❺), recording and FI-evaluating
+    /// the best input at each generation checkpoint. `checkpoints` must
+    /// be sorted ascending; the search runs to the last one.
+    pub fn search(&self, checkpoints: &[u64]) -> SearchReport {
+        assert!(!checkpoints.is_empty(), "need at least one checkpoint");
+        assert!(checkpoints.windows(2).all(|w| w[0] < w[1]), "checkpoints must be ascending");
+
+        let mut oracle = FitnessOracle::new(self.bench, &self.scores, self.cfg.limits);
+        let ga_cfg = GaConfig {
+            population: self.cfg.population,
+            mutation_rate: self.cfg.mutation_rate,
+            crossover_rate: self.cfg.crossover_rate,
+            seed: self.cfg.seed,
+            bounds: self.ga_bounds(),
+        };
+
+        struct OracleAdapter<'x, 'y>(&'x mut FitnessOracle<'y>);
+        impl peppa_ga::Fitness for OracleAdapter<'_, '_> {
+            fn eval(&mut self, genome: &[f64]) -> Option<f64> {
+                self.0.eval(genome)
+            }
+        }
+
+        let mut adapter = OracleAdapter(&mut oracle);
+        let mut ga = GeneticEngine::new(ga_cfg, &mut adapter);
+
+        let mut pending: Vec<(u64, Vec<f64>, f64, u64)> = Vec::new();
+        let last = *checkpoints.last().unwrap();
+        let mut next_cp = 0usize;
+        for gen in 1..=last {
+            ga.step(&mut adapter);
+            if next_cp < checkpoints.len() && gen == checkpoints[next_cp] {
+                let best = ga.best().clone();
+                let cost = self.scores.cost_dynamic
+                    + self.small.cost_dynamic
+                    + adapter.0.cost_dynamic;
+                pending.push((gen, best.genome, best.fitness, cost));
+                next_cp += 1;
+            }
+        }
+        let ga_evaluations = ga.evaluations();
+
+        // FI-evaluate each checkpoint's best input (§4.1: FI only at the
+        // end of the search).
+        let mut results = Vec::with_capacity(pending.len());
+        for (generation, input, fitness, search_cost_dynamic) in pending {
+            let campaign_cfg = CampaignConfig {
+                trials: self.cfg.final_fi_trials,
+                seed: self.cfg.seed ^ generation,
+                hang_factor: 8,
+                threads: self.cfg.threads,
+                burst: 0,
+            };
+            let sdc = run_campaign(&self.bench.module, &input, self.cfg.limits, campaign_cfg)
+                .expect("GA best input must be valid (oracle rejected invalid genomes)");
+            results.push(SearchCheckpoint {
+                generation,
+                input,
+                fitness,
+                sdc,
+                search_cost_dynamic,
+            });
+        }
+
+        SearchReport {
+            benchmark: self.bench.name.to_string(),
+            checkpoints: results,
+            analysis_cost_dynamic: self.scores.cost_dynamic + self.small.cost_dynamic,
+            ga_evaluations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppa_apps::pathfinder;
+
+    fn quick_cfg() -> PeppaConfig {
+        PeppaConfig {
+            seed: 11,
+            population: 8,
+            distribution_trials: 8,
+            final_fi_trials: 80,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_search_improves_over_generations() {
+        let b = pathfinder::benchmark();
+        let px = PeppaX::prepare(&b, quick_cfg()).unwrap();
+        let report = px.search(&[2, 10]);
+        assert_eq!(report.checkpoints.len(), 2);
+        let early = &report.checkpoints[0];
+        let late = &report.checkpoints[1];
+        assert!(late.fitness >= early.fitness, "fitness regressed");
+        assert!(late.search_cost_dynamic > early.search_cost_dynamic);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let b = pathfinder::benchmark();
+        let r1 = PeppaX::prepare(&b, quick_cfg()).unwrap().search(&[5]);
+        let r2 = PeppaX::prepare(&b, quick_cfg()).unwrap().search(&[5]);
+        assert_eq!(r1.checkpoints[0].input, r2.checkpoints[0].input);
+        assert_eq!(r1.checkpoints[0].sdc.sdc, r2.checkpoints[0].sdc.sdc);
+    }
+
+    #[test]
+    fn sdc_bound_is_max_checkpoint() {
+        let b = pathfinder::benchmark();
+        let report = PeppaX::prepare(&b, quick_cfg()).unwrap().search(&[2, 5, 8]);
+        let best = report.sdc_bound();
+        for c in &report.checkpoints {
+            assert!(best.sdc.sdc_prob() >= c.sdc.sdc_prob());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn checkpoints_must_ascend() {
+        let b = pathfinder::benchmark();
+        let px = PeppaX::prepare(&b, quick_cfg()).unwrap();
+        px.search(&[5, 5]);
+    }
+}

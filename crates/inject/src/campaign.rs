@@ -1,0 +1,289 @@
+//! Program-level statistical FI campaigns.
+
+use crate::outcome::{classify, FaultOutcome};
+use peppa_ir::Module;
+use peppa_stats::{binomial_ci, ci::Z_95, BinomialCi, Pcg64};
+use peppa_vm::{ExecLimits, Injection, InjectionTarget, RunOutput, Vm};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Number of FI trials (the paper uses 1,000 for program-level
+    /// measurements).
+    pub trials: u32,
+    /// Seed for fault-site sampling. Trial `t` uses a stream derived from
+    /// `(seed, t)`, so results do not depend on scheduling.
+    pub seed: u64,
+    /// Hang budget for faulty runs, as a multiple of the golden run's
+    /// dynamic instruction count.
+    pub hang_factor: u64,
+    /// Additional adjacent bits to flip per fault (0 = the paper's
+    /// single-bit model; 1 = adjacent double-bit, etc.).
+    pub burst: u8,
+    /// Number of worker threads; 0 means use all available cores.
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { trials: 1000, seed: 0x5eed, hang_factor: 8, threads: 0, burst: 0 }
+    }
+}
+
+/// Aggregated campaign outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    pub trials: u32,
+    pub sdc: u32,
+    pub crash: u32,
+    pub hang: u32,
+    pub benign: u32,
+    /// 95% Wilson interval on the SDC probability.
+    pub sdc_ci: BinomialCi,
+    /// Total program executions consumed (trials + the golden run) — the
+    /// cost unit used when comparing search budgets with the baseline.
+    pub executions: u64,
+    /// Dynamic instructions of the golden run.
+    pub golden_dynamic: u64,
+}
+
+impl CampaignResult {
+    /// SDC probability: `P(SDC | fault activated)`. Return-value flips
+    /// always activate, so the denominator is the trial count.
+    pub fn sdc_prob(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.sdc as f64 / self.trials as f64
+    }
+
+    pub fn crash_prob(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.crash as f64 / self.trials as f64
+    }
+}
+
+/// Errors that stop a campaign before any trial runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The golden run did not exit cleanly; the input is invalid for
+    /// resilience measurement (§3.1.2 discards inputs that error out).
+    GoldenRunFailed(String),
+    /// The program executed no value-producing instructions.
+    NoFaultSites,
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::GoldenRunFailed(s) => write!(f, "golden run failed: {s}"),
+            CampaignError::NoFaultSites => write!(f, "no value-producing dynamic instructions"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Runs the golden execution for `inputs`, checking it is clean.
+pub fn golden_run(
+    module: &Module,
+    inputs: &[f64],
+    limits: ExecLimits,
+) -> Result<RunOutput, CampaignError> {
+    let vm = Vm::new(module, limits);
+    let golden = vm.run_numeric(inputs, None);
+    if !golden.status.is_ok() {
+        return Err(CampaignError::GoldenRunFailed(format!("{:?}", golden.status)));
+    }
+    Ok(golden)
+}
+
+/// Samples one fault site uniformly over the golden run's value-producing
+/// dynamic instructions.
+pub fn sample_fault(rng: &mut Pcg64, value_dynamic: u64) -> Injection {
+    sample_fault_burst(rng, value_dynamic, 0)
+}
+
+/// Samples a fault site under the multi-bit (burst) model.
+pub fn sample_fault_burst(rng: &mut Pcg64, value_dynamic: u64, burst: u8) -> Injection {
+    let dyn_index = rng.gen_range_u64(value_dynamic);
+    let bit = rng.gen_range_u64(64) as u32;
+    Injection { target: InjectionTarget::DynamicIndex(dyn_index), bit, burst }
+}
+
+/// Runs a statistical FI campaign for one input.
+pub fn run_campaign(
+    module: &Module,
+    inputs: &[f64],
+    limits: ExecLimits,
+    cfg: CampaignConfig,
+) -> Result<CampaignResult, CampaignError> {
+    let golden = golden_run(module, inputs, limits)?;
+    if golden.profile.value_dynamic == 0 {
+        return Err(CampaignError::NoFaultSites);
+    }
+
+    let faulty_limits = ExecLimits {
+        max_dynamic: golden
+            .profile
+            .dynamic
+            .saturating_mul(cfg.hang_factor)
+            .saturating_add(10_000),
+        ..limits
+    };
+
+    let nthreads = effective_threads(cfg.threads, cfg.trials as usize);
+    let mut outcomes = vec![FaultOutcome::Benign; cfg.trials as usize];
+
+    let run_trial = |t: u32| -> FaultOutcome {
+        // Per-trial stream independent of scheduling.
+        let mut rng = Pcg64::new(cfg.seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        let inj = sample_fault_burst(&mut rng, golden.profile.value_dynamic, cfg.burst);
+        let vm = Vm::new(module, faulty_limits);
+        let faulty = vm.run_numeric(inputs, Some(inj));
+        classify(&golden, &faulty)
+    };
+
+    if nthreads <= 1 {
+        for (t, slot) in outcomes.iter_mut().enumerate() {
+            *slot = run_trial(t as u32);
+        }
+    } else {
+        let chunk = outcomes.len().div_ceil(nthreads);
+        crossbeam::thread::scope(|s| {
+            for (ci, chunk_slice) in outcomes.chunks_mut(chunk).enumerate() {
+                let run_trial = &run_trial;
+                s.spawn(move |_| {
+                    for (off, slot) in chunk_slice.iter_mut().enumerate() {
+                        *slot = run_trial((ci * chunk + off) as u32);
+                    }
+                });
+            }
+        })
+        .expect("campaign worker panicked");
+    }
+
+    let mut sdc = 0;
+    let mut crash = 0;
+    let mut hang = 0;
+    let mut benign = 0;
+    for o in &outcomes {
+        match o {
+            FaultOutcome::Sdc => sdc += 1,
+            FaultOutcome::Crash => crash += 1,
+            FaultOutcome::Hang => hang += 1,
+            FaultOutcome::Benign => benign += 1,
+        }
+    }
+
+    Ok(CampaignResult {
+        trials: cfg.trials,
+        sdc,
+        crash,
+        hang,
+        benign,
+        sdc_ci: binomial_ci(sdc as u64, cfg.trials as u64, Z_95),
+        executions: cfg.trials as u64 + 1,
+        golden_dynamic: golden.profile.dynamic,
+    })
+}
+
+pub(crate) fn effective_threads(requested: usize, work_items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let n = if requested == 0 { hw } else { requested };
+    n.clamp(1, work_items.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A kernel where faults visibly matter: accumulates a function of
+    /// the input and outputs the sum plus a guard value.
+    const SRC: &str = r#"
+        global float buf[64];
+        fn main(n: int, s: float) {
+            for (i = 0; i < n; i = i + 1) {
+                buf[i] = s * i2f(i) + 1.0;
+            }
+            let acc = 0.0;
+            for (i = 0; i < n; i = i + 1) {
+                acc = acc + buf[i] * buf[i];
+            }
+            output acc;
+        }
+    "#;
+
+    fn module() -> Module {
+        peppa_lang::compile(SRC, "camp").unwrap()
+    }
+
+    #[test]
+    fn campaign_counts_sum_to_trials() {
+        let m = module();
+        let cfg = CampaignConfig { trials: 200, seed: 1, ..Default::default() };
+        let r = run_campaign(&m, &[16.0, 0.5], ExecLimits::default(), cfg).unwrap();
+        assert_eq!(r.sdc + r.crash + r.hang + r.benign, r.trials);
+        assert!(r.sdc > 0, "expected some SDCs, got {r:?}");
+        assert_eq!(r.executions, 201);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let m = module();
+        let base = CampaignConfig { trials: 120, seed: 77, hang_factor: 8, threads: 1, burst: 0 };
+        let a = run_campaign(&m, &[12.0, 0.25], ExecLimits::default(), base).unwrap();
+        let b = run_campaign(
+            &m,
+            &[12.0, 0.25],
+            ExecLimits::default(),
+            CampaignConfig { threads: 4, ..base },
+        )
+        .unwrap();
+        assert_eq!((a.sdc, a.crash, a.hang, a.benign), (b.sdc, b.crash, b.hang, b.benign));
+    }
+
+    #[test]
+    fn different_seeds_vary() {
+        let m = module();
+        let mk = |seed| CampaignConfig { trials: 150, seed, ..Default::default() };
+        let a = run_campaign(&m, &[16.0, 0.5], ExecLimits::default(), mk(1)).unwrap();
+        let b = run_campaign(&m, &[16.0, 0.5], ExecLimits::default(), mk(2)).unwrap();
+        // Same distribution, different sample: exact tie across all four
+        // counters is very unlikely.
+        assert!(
+            (a.sdc, a.crash, a.hang, a.benign) != (b.sdc, b.crash, b.hang, b.benign),
+            "two seeds produced identical outcome vectors"
+        );
+    }
+
+    #[test]
+    fn golden_failure_rejected() {
+        // x = 0 divides by zero in the golden run, so the input is
+        // rejected before any trial.
+        let m = peppa_lang::compile("fn main(x: int) { output 100 / x; }", "div").unwrap();
+        let e = run_campaign(&m, &[0.0], ExecLimits::default(), Default::default());
+        assert!(matches!(e, Err(CampaignError::GoldenRunFailed(_))));
+        // A clean divisor works.
+        let ok = run_campaign(
+            &m,
+            &[5.0],
+            ExecLimits::default(),
+            CampaignConfig { trials: 50, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(ok.trials, 50);
+    }
+
+    #[test]
+    fn sdc_probability_and_ci_consistent() {
+        let m = module();
+        let cfg = CampaignConfig { trials: 300, seed: 5, ..Default::default() };
+        let r = run_campaign(&m, &[20.0, 1.5], ExecLimits::default(), cfg).unwrap();
+        let p = r.sdc_prob();
+        assert!(r.sdc_ci.lo <= p && p <= r.sdc_ci.hi);
+    }
+}

@@ -1,0 +1,29 @@
+//! Statistical fault injection for PIR programs — the LLFI analogue.
+//!
+//! The paper's measurement methodology (§3.1.3–3.1.4):
+//!
+//! * single bit flips in a random dynamic instruction's **return value**
+//!   (computing-component faults only; memory assumed ECC-protected);
+//! * outcome classification into **SDC** (clean exit, wrong output),
+//!   **crash** (trap), **hang** (budget exhaustion), or **benign**
+//!   (identical output);
+//! * SDC probability = SDCs / activated faults (return-value flips always
+//!   activate, so the denominator is the trial count);
+//! * 1,000 trials per program-level measurement, ~100 per instruction for
+//!   per-instruction probabilities, 30 per representative in the pruned
+//!   distribution analysis.
+//!
+//! Campaigns are embarrassingly parallel; [`campaign::run_campaign`]
+//! fans trials out over scoped threads while keeping the per-trial RNG
+//! stream independent of the thread schedule, so results are bit-for-bit
+//! reproducible at any parallelism level.
+
+pub mod campaign;
+pub mod outcome;
+pub mod per_instr;
+pub mod propagation;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use outcome::{classify, FaultOutcome};
+pub use per_instr::{per_instruction_sdc, PerInstrConfig, PerInstrResult};
+pub use propagation::{generate_corpus, trace_propagation, CorpusEntry, PropagationTrace};

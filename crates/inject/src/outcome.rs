@@ -1,0 +1,62 @@
+//! Fault outcome classification.
+
+use peppa_vm::{RunOutput, RunStatus};
+use serde::{Deserialize, Serialize};
+
+/// The four failure categories of §2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultOutcome {
+    /// Clean exit with output mismatching the golden run.
+    Sdc,
+    /// Hardware trap (out-of-bounds access, division by zero, …).
+    Crash,
+    /// Dynamic-instruction budget exhausted.
+    Hang,
+    /// Clean exit, output identical to the golden run — the fault was
+    /// masked or overwritten.
+    Benign,
+}
+
+/// Classifies a faulty run against its golden counterpart.
+pub fn classify(golden: &RunOutput, faulty: &RunOutput) -> FaultOutcome {
+    match faulty.status {
+        RunStatus::Trap(_) => FaultOutcome::Crash,
+        RunStatus::Hang => FaultOutcome::Hang,
+        RunStatus::Ok => {
+            if faulty.output != golden.output || faulty.ret != golden.ret {
+                FaultOutcome::Sdc
+            } else {
+                FaultOutcome::Benign
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppa_vm::Profile;
+
+    fn mk(status: RunStatus, output: Vec<u64>, ret: Option<u64>) -> RunOutput {
+        RunOutput { status, output, ret, profile: Profile::new(0), fault_activated: true, memory: None }
+    }
+
+    #[test]
+    fn classification_matrix() {
+        let golden = mk(RunStatus::Ok, vec![1, 2], Some(3));
+        assert_eq!(classify(&golden, &mk(RunStatus::Ok, vec![1, 2], Some(3))), FaultOutcome::Benign);
+        assert_eq!(classify(&golden, &mk(RunStatus::Ok, vec![1, 9], Some(3))), FaultOutcome::Sdc);
+        assert_eq!(classify(&golden, &mk(RunStatus::Ok, vec![1, 2], Some(4))), FaultOutcome::Sdc);
+        assert_eq!(
+            classify(&golden, &mk(RunStatus::Trap(peppa_vm::Trap::DivByZero), vec![], None)),
+            FaultOutcome::Crash
+        );
+        assert_eq!(classify(&golden, &mk(RunStatus::Hang, vec![1], None)), FaultOutcome::Hang);
+    }
+
+    #[test]
+    fn truncated_output_is_sdc() {
+        let golden = mk(RunStatus::Ok, vec![1, 2], None);
+        assert_eq!(classify(&golden, &mk(RunStatus::Ok, vec![1], None)), FaultOutcome::Sdc);
+    }
+}

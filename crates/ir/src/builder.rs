@@ -1,0 +1,492 @@
+//! Programmatic construction of PIR modules.
+//!
+//! The builder assigns dense module-wide instruction ids (`sid`s) in the
+//! order instructions are created, mirroring how LLFI enumerates static
+//! instructions of a compiled module.
+
+use crate::instr::{BinOp, CastKind, FPred, IPred, Instr, InstrId, Op, Operand, Term, UnOp};
+use crate::module::{Block, BlockId, FuncId, Function, Global, Module, ValueId};
+use crate::types::Ty;
+
+/// Builds a [`Module`]: declare globals and function signatures first,
+/// then define each function body with [`ModuleBuilder::define`].
+pub struct ModuleBuilder {
+    name: String,
+    functions: Vec<Option<Function>>,
+    sigs: Vec<(String, Vec<Ty>, Option<Ty>)>,
+    globals: Vec<Global>,
+    next_global_addr: u64,
+    next_sid: u32,
+    entry: Option<FuncId>,
+}
+
+impl ModuleBuilder {
+    pub fn new(name: &str) -> ModuleBuilder {
+        ModuleBuilder {
+            name: name.to_string(),
+            functions: Vec::new(),
+            sigs: Vec::new(),
+            globals: Vec::new(),
+            next_global_addr: 1, // address 0 is the reserved null word
+            next_sid: 0,
+            entry: None,
+        }
+    }
+
+    /// Declares a global array of `words` 64-bit words and returns its
+    /// base address as a pointer constant usable as an operand.
+    pub fn global(&mut self, name: &str, words: u64) -> Operand {
+        self.global_init(name, words, Vec::new())
+    }
+
+    /// Declares a global with an initializer (tail zero-filled).
+    pub fn global_init(&mut self, name: &str, words: u64, init: Vec<u64>) -> Operand {
+        assert!(init.len() as u64 <= words, "initializer longer than global");
+        let addr = self.next_global_addr;
+        self.next_global_addr += words;
+        self.globals.push(Global { name: name.to_string(), words, init });
+        Operand::Const(crate::module::Const::ptr(addr))
+    }
+
+    /// Declares a function signature; the body is supplied later via
+    /// [`define`](Self::define). Call sites may reference the id before
+    /// the body exists.
+    pub fn declare(&mut self, name: &str, params: &[Ty], ret: Option<Ty>) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        self.functions.push(None);
+        self.sigs.push((name.to_string(), params.to_vec(), ret));
+        id
+    }
+
+    /// Signature of a declared function.
+    pub fn sig(&self, f: FuncId) -> (&[Ty], Option<Ty>) {
+        let (_, p, r) = &self.sigs[f.0 as usize];
+        (p, *r)
+    }
+
+    /// Starts building the body of a declared function.
+    pub fn define(&mut self, f: FuncId) -> FunctionBuilder<'_> {
+        let (name, params, ret) = self.sigs[f.0 as usize].clone();
+        let value_types = params.clone();
+        FunctionBuilder {
+            mb: self,
+            id: f,
+            func: Function {
+                name,
+                params,
+                ret,
+                blocks: vec![Block {
+                    params: Vec::new(),
+                    instrs: Vec::new(),
+                    term: Term::Ret { value: None },
+                }],
+                value_types,
+            },
+            terminated: vec![false],
+            cur: BlockId(0),
+        }
+    }
+
+    /// Marks the program entry point.
+    pub fn set_entry(&mut self, f: FuncId) {
+        self.entry = Some(f);
+    }
+
+    /// Finalizes the module. Panics if any declared function lacks a body
+    /// or no entry was set.
+    pub fn finish(self) -> Module {
+        let functions: Vec<Function> = self
+            .functions
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| f.unwrap_or_else(|| panic!("function #{i} declared but never defined")))
+            .collect();
+        Module {
+            name: self.name,
+            functions,
+            globals: self.globals,
+            entry: self.entry.expect("module entry not set"),
+            num_instrs: self.next_sid as usize,
+        }
+    }
+
+    fn alloc_sid(&mut self) -> InstrId {
+        let id = InstrId(self.next_sid);
+        self.next_sid += 1;
+        id
+    }
+}
+
+/// Builds one function body. Dropping without [`finish`](Self::finish)
+/// discards the body.
+pub struct FunctionBuilder<'a> {
+    mb: &'a mut ModuleBuilder,
+    id: FuncId,
+    func: Function,
+    terminated: Vec<bool>,
+    cur: BlockId,
+}
+
+impl<'a> FunctionBuilder<'a> {
+    /// The `i`-th function parameter as an operand.
+    pub fn param(&self, i: usize) -> Operand {
+        assert!(i < self.func.params.len(), "param index out of range");
+        Operand::Value(ValueId(i as u32))
+    }
+
+    /// Creates a new block with the given parameter types; returns the
+    /// block id and the parameter values.
+    pub fn new_block(&mut self, params: &[Ty]) -> (BlockId, Vec<Operand>) {
+        let id = BlockId(self.func.blocks.len() as u32);
+        let mut vals = Vec::with_capacity(params.len());
+        for &ty in params {
+            vals.push(Operand::Value(self.new_value(ty)));
+        }
+        let param_ids = vals.iter().map(|o| o.value().unwrap()).collect();
+        self.func.blocks.push(Block {
+            params: param_ids,
+            instrs: Vec::new(),
+            term: Term::Ret { value: None },
+        });
+        self.terminated.push(false);
+        (id, vals)
+    }
+
+    /// Adds a parameter to an existing block after creation. Used by SSA
+    /// construction (the frontend discovers a block needs a φ only once a
+    /// back edge is seen). Existing branches to `b` must be patched with
+    /// [`append_branch_arg`](Self::append_branch_arg).
+    pub fn add_block_param(&mut self, b: BlockId, ty: Ty) -> Operand {
+        let v = self.new_value(ty);
+        self.func.blocks[b.0 as usize].params.push(v);
+        Operand::Value(v)
+    }
+
+    /// Appends `arg` to every edge `pred -> target` in `pred`'s
+    /// terminator. Panics if `pred` is unterminated or has no such edge.
+    pub fn append_branch_arg(&mut self, pred: BlockId, target: BlockId, arg: Operand) {
+        assert!(self.terminated[pred.0 as usize], "pred block not terminated yet");
+        let term = &mut self.func.blocks[pred.0 as usize].term;
+        let mut patched = false;
+        match term {
+            Term::Br { target: t, args } if *t == target => {
+                args.push(arg);
+                patched = true;
+            }
+            Term::Br { .. } => {}
+            Term::CondBr { then_target, then_args, else_target, else_args, .. } => {
+                if *then_target == target {
+                    then_args.push(arg);
+                    patched = true;
+                }
+                if *else_target == target {
+                    else_args.push(arg);
+                    patched = true;
+                }
+            }
+            Term::Ret { .. } => {}
+        }
+        assert!(patched, "no edge {pred:?} -> {target:?} to patch");
+    }
+
+    /// Redirects subsequent instructions into `b`.
+    pub fn switch_to(&mut self, b: BlockId) {
+        assert!(
+            !self.terminated[b.0 as usize],
+            "cannot append to already-terminated block {b:?}"
+        );
+        self.cur = b;
+    }
+
+    /// The block currently being appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Whether `b` already has its terminator.
+    pub fn is_block_terminated(&self, b: BlockId) -> bool {
+        self.terminated[b.0 as usize]
+    }
+
+    /// Number of blocks created so far.
+    pub fn num_blocks(&self) -> usize {
+        self.func.blocks.len()
+    }
+
+    fn new_value(&mut self, ty: Ty) -> ValueId {
+        let id = ValueId(self.func.value_types.len() as u32);
+        self.func.value_types.push(ty);
+        id
+    }
+
+    fn push_value_instr(&mut self, op: Op, ty: Ty) -> Operand {
+        assert!(!self.terminated[self.cur.0 as usize], "block already terminated");
+        let result = self.new_value(ty);
+        let sid = self.mb.alloc_sid();
+        self.func.blocks[self.cur.0 as usize]
+            .instrs
+            .push(Instr { sid, op, result: Some(result) });
+        Operand::Value(result)
+    }
+
+    fn push_void_instr(&mut self, op: Op) {
+        assert!(!self.terminated[self.cur.0 as usize], "block already terminated");
+        let sid = self.mb.alloc_sid();
+        self.func.blocks[self.cur.0 as usize]
+            .instrs
+            .push(Instr { sid, op, result: None });
+    }
+
+    fn operand_ty(&self, op: Operand) -> Ty {
+        self.func.operand_ty(&op)
+    }
+
+    // ---- value-producing instructions ------------------------------------
+
+    pub fn bin(&mut self, op: BinOp, a: Operand, b: Operand) -> Operand {
+        let ty = self.operand_ty(a);
+        self.push_value_instr(Op::Bin { op, a, b }, ty)
+    }
+
+    pub fn add(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::Add, a, b)
+    }
+    pub fn sub(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::Sub, a, b)
+    }
+    pub fn mul(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::Mul, a, b)
+    }
+    pub fn fadd(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::FAdd, a, b)
+    }
+    pub fn fsub(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::FSub, a, b)
+    }
+    pub fn fmul(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::FMul, a, b)
+    }
+    pub fn fdiv(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::FDiv, a, b)
+    }
+
+    pub fn un(&mut self, op: UnOp, a: Operand) -> Operand {
+        let ty = self.operand_ty(a);
+        self.push_value_instr(Op::Un { op, a }, ty)
+    }
+
+    pub fn icmp(&mut self, pred: IPred, a: Operand, b: Operand) -> Operand {
+        self.push_value_instr(Op::Icmp { pred, a, b }, Ty::I1)
+    }
+
+    pub fn fcmp(&mut self, pred: FPred, a: Operand, b: Operand) -> Operand {
+        self.push_value_instr(Op::Fcmp { pred, a, b }, Ty::I1)
+    }
+
+    pub fn select(&mut self, cond: Operand, t: Operand, f: Operand) -> Operand {
+        let ty = self.operand_ty(t);
+        self.push_value_instr(Op::Select { cond, t, f }, ty)
+    }
+
+    pub fn cast(&mut self, kind: CastKind, a: Operand, to: Ty) -> Operand {
+        self.push_value_instr(Op::Cast { kind, a, to }, to)
+    }
+
+    pub fn load(&mut self, addr: Operand, ty: Ty) -> Operand {
+        self.push_value_instr(Op::Load { addr, ty }, ty)
+    }
+
+    pub fn gep(&mut self, base: Operand, index: Operand) -> Operand {
+        self.push_value_instr(Op::Gep { base, index }, Ty::Ptr)
+    }
+
+    pub fn alloca(&mut self, words: Operand) -> Operand {
+        self.push_value_instr(Op::Alloca { words }, Ty::Ptr)
+    }
+
+    /// Emits a call; returns the result operand for non-void callees.
+    pub fn call(&mut self, func: FuncId, args: &[Operand]) -> Option<Operand> {
+        let (_, ret) = self.mb.sig(func);
+        match ret {
+            Some(ty) => {
+                Some(self.push_value_instr(Op::Call { func, args: args.to_vec() }, ty))
+            }
+            None => {
+                self.push_void_instr(Op::Call { func, args: args.to_vec() });
+                None
+            }
+        }
+    }
+
+    // ---- void instructions ------------------------------------------------
+
+    pub fn store(&mut self, addr: Operand, value: Operand) {
+        self.push_void_instr(Op::Store { addr, value });
+    }
+
+    pub fn output(&mut self, value: Operand) {
+        self.push_void_instr(Op::Output { value });
+    }
+
+    // ---- terminators --------------------------------------------------------
+
+    fn terminate(&mut self, term: Term) {
+        assert!(
+            !self.terminated[self.cur.0 as usize],
+            "block {:?} already terminated",
+            self.cur
+        );
+        self.func.blocks[self.cur.0 as usize].term = term;
+        self.terminated[self.cur.0 as usize] = true;
+    }
+
+    pub fn br(&mut self, target: BlockId, args: &[Operand]) {
+        self.terminate(Term::Br { target, args: args.to_vec() });
+    }
+
+    pub fn cond_br(
+        &mut self,
+        cond: Operand,
+        then_target: BlockId,
+        then_args: &[Operand],
+        else_target: BlockId,
+        else_args: &[Operand],
+    ) {
+        self.terminate(Term::CondBr {
+            cond,
+            then_target,
+            then_args: then_args.to_vec(),
+            else_target,
+            else_args: else_args.to_vec(),
+        });
+    }
+
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.terminate(Term::Ret { value });
+    }
+
+    /// Installs the finished body into the module. Panics if any block is
+    /// missing a terminator.
+    pub fn finish(self) {
+        for (i, t) in self.terminated.iter().enumerate() {
+            assert!(*t, "block {i} of {} lacks a terminator", self.func.name);
+        }
+        self.mb.functions[self.id.0 as usize] = Some(self.func);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds `fn main(x: i64) -> i64 { if x > 0 { x*2 } else { 0 - x } }`.
+    fn sample() -> Module {
+        let mut mb = ModuleBuilder::new("sample");
+        let main = mb.declare("main", &[Ty::I64], Some(Ty::I64));
+        {
+            let mut f = mb.define(main);
+            let x = f.param(0);
+            let (then_b, _) = f.new_block(&[]);
+            let (else_b, _) = f.new_block(&[]);
+            let (join, jvals) = f.new_block(&[Ty::I64]);
+            let c = f.icmp(IPred::Sgt, x, Operand::i64(0));
+            f.cond_br(c, then_b, &[], else_b, &[]);
+            f.switch_to(then_b);
+            let t = f.mul(x, Operand::i64(2));
+            f.br(join, &[t]);
+            f.switch_to(else_b);
+            let e = f.sub(Operand::i64(0), x);
+            f.br(join, &[e]);
+            f.switch_to(join);
+            f.output(jvals[0]);
+            f.ret(Some(jvals[0]));
+            f.finish();
+        }
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    #[test]
+    fn sids_dense_and_ordered() {
+        let m = sample();
+        let sids: Vec<u32> = m.all_instrs().iter().map(|(_, i)| i.sid.0).collect();
+        assert_eq!(sids, (0..m.num_instrs as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn instruction_count() {
+        let m = sample();
+        // icmp, mul, sub, output.
+        assert_eq!(m.num_instrs, 4);
+    }
+
+    #[test]
+    fn block_params_typed() {
+        let m = sample();
+        let f = m.entry_func();
+        let join = &f.blocks[3];
+        assert_eq!(join.params.len(), 1);
+        assert_eq!(f.ty_of(join.params[0]), Ty::I64);
+    }
+
+    #[test]
+    fn globals_layout() {
+        let mut mb = ModuleBuilder::new("g");
+        let a = mb.global("a", 10);
+        let b = mb.global("b", 5);
+        match (a, b) {
+            (Operand::Const(ca), Operand::Const(cb)) => {
+                assert_eq!(ca.bits, 1);
+                assert_eq!(cb.bits, 11);
+            }
+            _ => panic!("globals should be pointer constants"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks a terminator")]
+    fn unterminated_block_panics() {
+        let mut mb = ModuleBuilder::new("bad");
+        let f = mb.declare("f", &[], None);
+        let mut fb = mb.define(f);
+        let _ = fb.new_block(&[]); // never terminated, never reached
+        fb.ret(None);
+        fb.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn double_terminate_panics() {
+        let mut mb = ModuleBuilder::new("bad2");
+        let f = mb.declare("f", &[], None);
+        let mut fb = mb.define(f);
+        fb.ret(None);
+        fb.ret(None);
+    }
+
+    #[test]
+    fn call_result_type_follows_signature() {
+        let mut mb = ModuleBuilder::new("call");
+        let helper = mb.declare("helper", &[Ty::F64], Some(Ty::F64));
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(helper);
+            let p = f.param(0);
+            let r = f.fmul(p, Operand::f64(2.0));
+            f.ret(Some(r));
+            f.finish();
+        }
+        {
+            let mut f = mb.define(main);
+            let v = f.call(helper, &[Operand::f64(1.5)]).unwrap();
+            f.output(v);
+            f.ret(None);
+            f.finish();
+        }
+        mb.set_entry(main);
+        let m = mb.finish();
+        let f = m.entry_func();
+        let call = f.instrs().next().unwrap();
+        assert_eq!(f.ty_of(call.result.unwrap()), Ty::F64);
+    }
+}

@@ -1,0 +1,233 @@
+//! Module / function / block containers for PIR.
+
+use crate::instr::{Instr, InstrId, Op, Operand, Term};
+use crate::types::Ty;
+use serde::{Deserialize, Serialize};
+
+/// Index of a function within its [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+/// Index of a basic block within its [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+/// A virtual register local to one function. Function parameters occupy
+/// the first ids, followed by block parameters and instruction results in
+/// creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ValueId(pub u32);
+
+/// A typed constant, stored as raw bits (`f64` constants hold
+/// `f64::to_bits`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Const {
+    pub ty: Ty,
+    pub bits: u64,
+}
+
+impl Const {
+    pub fn i64(v: i64) -> Const {
+        Const { ty: Ty::I64, bits: v as u64 }
+    }
+    pub fn i32(v: i32) -> Const {
+        Const { ty: Ty::I32, bits: (v as u32) as u64 }
+    }
+    pub fn bool(v: bool) -> Const {
+        Const { ty: Ty::I1, bits: v as u64 }
+    }
+    pub fn f64(v: f64) -> Const {
+        Const { ty: Ty::F64, bits: v.to_bits() }
+    }
+    pub fn ptr(words: u64) -> Const {
+        Const { ty: Ty::Ptr, bits: words }
+    }
+    /// The constant's value interpreted as f64 (only valid for `F64`).
+    pub fn as_f64(self) -> f64 {
+        debug_assert_eq!(self.ty, Ty::F64);
+        f64::from_bits(self.bits)
+    }
+    /// The constant's value interpreted as a signed integer.
+    pub fn as_i64(self) -> i64 {
+        match self.ty {
+            Ty::I32 => self.bits as u32 as i32 as i64,
+            _ => self.bits as i64,
+        }
+    }
+}
+
+/// A basic block: a parameter list (the φ-replacement), a straight-line
+/// instruction body, and one terminator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Block {
+    /// Values bound on entry by the predecessor's branch arguments.
+    pub params: Vec<ValueId>,
+    /// Non-terminator instructions in execution order.
+    pub instrs: Vec<Instr>,
+    /// The block terminator.
+    pub term: Term,
+}
+
+/// A PIR function.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Function {
+    pub name: String,
+    /// Parameter types; parameters are values `0..params.len()`.
+    pub params: Vec<Ty>,
+    /// Return type; `None` for void functions.
+    pub ret: Option<Ty>,
+    /// Basic blocks; block 0 is the entry and has no parameters.
+    pub blocks: Vec<Block>,
+    /// Type of every value in the function, indexed by [`ValueId`].
+    pub value_types: Vec<Ty>,
+}
+
+impl Function {
+    /// Type of a value.
+    pub fn ty_of(&self, v: ValueId) -> Ty {
+        self.value_types[v.0 as usize]
+    }
+
+    /// Type of an operand.
+    pub fn operand_ty(&self, op: &Operand) -> Ty {
+        match op {
+            Operand::Value(v) => self.ty_of(*v),
+            Operand::Const(c) => c.ty,
+        }
+    }
+
+    /// Iterates all instructions of the function in block order.
+    pub fn instrs(&self) -> impl Iterator<Item = &Instr> {
+        self.blocks.iter().flat_map(|b| b.instrs.iter())
+    }
+
+    /// Number of static (non-terminator) instructions.
+    pub fn num_instrs(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+}
+
+/// A statically allocated global array of 64-bit words.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Global {
+    pub name: String,
+    /// Size in 64-bit words.
+    pub words: u64,
+    /// Optional initializer (shorter than `words` means the tail is
+    /// zero-filled).
+    pub init: Vec<u64>,
+}
+
+/// A complete PIR program.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Module {
+    pub name: String,
+    pub functions: Vec<Function>,
+    pub globals: Vec<Global>,
+    /// The function executed by the VM; its parameters are the *program
+    /// input* that PEPPA-X searches over.
+    pub entry: FuncId,
+    /// Total number of static instructions across all functions. Assigned
+    /// by the builder; instruction `sid`s are dense in `0..num_instrs`.
+    pub num_instrs: usize,
+}
+
+impl Module {
+    pub fn func(&self, f: FuncId) -> &Function {
+        &self.functions[f.0 as usize]
+    }
+
+    pub fn entry_func(&self) -> &Function {
+        self.func(self.entry)
+    }
+
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Base word address of each global in the VM's memory layout:
+    /// globals are laid out contiguously from address 1 (address 0 is
+    /// reserved as a poison/null word so a null dereference traps).
+    pub fn global_layout(&self) -> Vec<u64> {
+        let mut addr = 1u64;
+        let mut out = Vec::with_capacity(self.globals.len());
+        for g in &self.globals {
+            out.push(addr);
+            addr += g.words;
+        }
+        out
+    }
+
+    /// Total words of global storage, including the reserved null word.
+    pub fn globals_words(&self) -> u64 {
+        1 + self.globals.iter().map(|g| g.words).sum::<u64>()
+    }
+
+    /// Resolves an instruction id to `(function, block, index-in-block)`.
+    /// O(#instructions); intended for reporting, not hot paths.
+    pub fn locate(&self, sid: InstrId) -> Option<(FuncId, BlockId, usize)> {
+        for (fi, f) in self.functions.iter().enumerate() {
+            for (bi, b) in f.blocks.iter().enumerate() {
+                for (ii, ins) in b.instrs.iter().enumerate() {
+                    if ins.sid == sid {
+                        return Some((FuncId(fi as u32), BlockId(bi as u32), ii));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns every instruction together with its containing function,
+    /// in `sid` order (the builder assigns sids in traversal order).
+    pub fn all_instrs(&self) -> Vec<(FuncId, &Instr)> {
+        let mut out: Vec<(FuncId, &Instr)> = Vec::with_capacity(self.num_instrs);
+        for (fi, f) in self.functions.iter().enumerate() {
+            for ins in f.instrs() {
+                out.push((FuncId(fi as u32), ins));
+            }
+        }
+        out.sort_by_key(|(_, i)| i.sid);
+        out
+    }
+
+    /// The opcode of a static instruction, by id.
+    pub fn op_of(&self, sid: InstrId) -> Option<&Op> {
+        // all_instrs is sid-sorted and sids are dense.
+        self.all_instrs().get(sid.0 as usize).map(|(_, i)| &i.op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_roundtrips() {
+        assert_eq!(Const::i64(-5).as_i64(), -5);
+        assert_eq!(Const::i32(-5).as_i64(), -5);
+        assert_eq!(Const::f64(2.5).as_f64(), 2.5);
+        assert_eq!(Const::bool(true).bits, 1);
+        assert_eq!(Const::ptr(9).bits, 9);
+    }
+
+    #[test]
+    fn global_layout_reserves_null() {
+        let m = Module {
+            name: "t".into(),
+            functions: vec![],
+            globals: vec![
+                Global { name: "a".into(), words: 4, init: vec![] },
+                Global { name: "b".into(), words: 2, init: vec![] },
+            ],
+            entry: FuncId(0),
+            num_instrs: 0,
+        };
+        assert_eq!(m.global_layout(), vec![1, 5]);
+        assert_eq!(m.globals_words(), 7);
+    }
+}

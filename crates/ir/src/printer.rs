@@ -1,0 +1,187 @@
+//! Textual dump of PIR modules, in an LLVM-flavoured syntax.
+//!
+//! The printer exists for debugging and for the "source mapping" role the
+//! paper assigns to LLVM IR (§2.3): every line carries the instruction's
+//! module-wide `sid`, so SDC reports can be mapped back to IR locations.
+
+use crate::instr::{FPred, IPred, Op, Operand, Term};
+use crate::module::{Const, Function, Module};
+use crate::types::Ty;
+use std::fmt::Write;
+
+fn fmt_const(c: &Const) -> String {
+    match c.ty {
+        Ty::F64 => format!("{:?}", c.as_f64()),
+        Ty::I1 => format!("{}", c.bits != 0),
+        Ty::Ptr => format!("ptr:{}", c.bits),
+        _ => format!("{}", c.as_i64()),
+    }
+}
+
+fn fmt_operand(o: &Operand) -> String {
+    match o {
+        Operand::Value(v) => format!("%{}", v.0),
+        Operand::Const(c) => fmt_const(c),
+    }
+}
+
+fn fmt_ipred(p: IPred) -> &'static str {
+    match p {
+        IPred::Eq => "eq",
+        IPred::Ne => "ne",
+        IPred::Slt => "slt",
+        IPred::Sle => "sle",
+        IPred::Sgt => "sgt",
+        IPred::Sge => "sge",
+        IPred::Ult => "ult",
+    }
+}
+
+fn fmt_fpred(p: FPred) -> &'static str {
+    match p {
+        FPred::Oeq => "oeq",
+        FPred::One => "one",
+        FPred::Olt => "olt",
+        FPred::Ole => "ole",
+        FPred::Ogt => "ogt",
+        FPred::Oge => "oge",
+    }
+}
+
+fn fmt_args(args: &[Operand]) -> String {
+    args.iter().map(fmt_operand).collect::<Vec<_>>().join(", ")
+}
+
+/// Renders one function.
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut s = String::new();
+    let params = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("%{i}: {t}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let ret = f.ret.map(|t| format!(" -> {t}")).unwrap_or_default();
+    let _ = writeln!(s, "fn @{}({}){} {{", f.name, params, ret);
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let bparams = b
+            .params
+            .iter()
+            .map(|p| format!("%{}: {}", p.0, f.ty_of(*p)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        if bparams.is_empty() {
+            let _ = writeln!(s, "bb{bi}:");
+        } else {
+            let _ = writeln!(s, "bb{bi}({bparams}):");
+        }
+        for ins in &b.instrs {
+            let lhs = match ins.result {
+                Some(r) => format!("%{} = ", r.0),
+                None => String::new(),
+            };
+            let body = match &ins.op {
+                Op::Bin { a, b, .. } | Op::Icmp { a, b, .. } | Op::Fcmp { a, b, .. } => {
+                    let pred = match &ins.op {
+                        Op::Icmp { pred, .. } => format!(" {}", fmt_ipred(*pred)),
+                        Op::Fcmp { pred, .. } => format!(" {}", fmt_fpred(*pred)),
+                        _ => String::new(),
+                    };
+                    format!("{}{} {}, {}", ins.op.mnemonic(), pred, fmt_operand(a), fmt_operand(b))
+                }
+                Op::Un { a, .. } => format!("{} {}", ins.op.mnemonic(), fmt_operand(a)),
+                Op::Select { cond, t, f } => format!(
+                    "select {}, {}, {}",
+                    fmt_operand(cond),
+                    fmt_operand(t),
+                    fmt_operand(f)
+                ),
+                Op::Cast { a, to, .. } => {
+                    format!("{} {} to {}", ins.op.mnemonic(), fmt_operand(a), to)
+                }
+                Op::Load { addr, ty } => format!("load {ty}, {}", fmt_operand(addr)),
+                Op::Store { addr, value } => {
+                    format!("store {}, {}", fmt_operand(value), fmt_operand(addr))
+                }
+                Op::Gep { base, index } => {
+                    format!("gep {}, {}", fmt_operand(base), fmt_operand(index))
+                }
+                Op::Alloca { words } => format!("alloca {}", fmt_operand(words)),
+                Op::Call { func, args } => {
+                    format!("call @{}({})", m.func(*func).name, fmt_args(args))
+                }
+                Op::Output { value } => format!("output {}", fmt_operand(value)),
+            };
+            let _ = writeln!(s, "  {lhs}{body}  ; sid {}", ins.sid.0);
+        }
+        let term = match &b.term {
+            Term::Br { target, args } => {
+                if args.is_empty() {
+                    format!("br bb{}", target.0)
+                } else {
+                    format!("br bb{}({})", target.0, fmt_args(args))
+                }
+            }
+            Term::CondBr { cond, then_target, then_args, else_target, else_args } => format!(
+                "condbr {}, bb{}({}), bb{}({})",
+                fmt_operand(cond),
+                then_target.0,
+                fmt_args(then_args),
+                else_target.0,
+                fmt_args(else_args)
+            ),
+            Term::Ret { value: Some(v) } => format!("ret {}", fmt_operand(v)),
+            Term::Ret { value: None } => "ret".to_string(),
+        };
+        let _ = writeln!(s, "  {term}");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+impl std::fmt::Display for Module {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "; module {} ({} static instructions)", self.name, self.num_instrs)?;
+        for g in &self.globals {
+            writeln!(f, "global @{}[{}]", g.name, g.words)?;
+        }
+        for (i, func) in self.functions.iter().enumerate() {
+            let marker = if crate::module::FuncId(i as u32) == self.entry { " ; entry" } else { "" };
+            write!(f, "{}{}", print_function(self, func), marker)?;
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ModuleBuilder;
+    use crate::instr::{IPred, Operand};
+    use crate::types::Ty;
+
+    #[test]
+    fn dump_contains_expected_lines() {
+        let mut mb = ModuleBuilder::new("p");
+        let _g = mb.global("table", 8);
+        let main = mb.declare("main", &[Ty::I64], Some(Ty::I64));
+        let mut f = mb.define(main);
+        let x = f.param(0);
+        let y = f.add(x, Operand::i64(7));
+        let c = f.icmp(IPred::Slt, y, Operand::i64(100));
+        let z = f.select(c, y, x);
+        f.output(z);
+        f.ret(Some(z));
+        f.finish();
+        mb.set_entry(main);
+        let m = mb.finish();
+        let text = m.to_string();
+        assert!(text.contains("global @table[8]"), "{text}");
+        assert!(text.contains("fn @main(%0: i64) -> i64 {"), "{text}");
+        assert!(text.contains("add %0, 7"), "{text}");
+        assert!(text.contains("icmp slt"), "{text}");
+        assert!(text.contains("; sid 0"), "{text}");
+        assert!(text.contains("ret %3"), "{text}");
+    }
+}

@@ -1,0 +1,98 @@
+//! The PIR type system: a deliberately small subset of LLVM's first-class
+//! types, sufficient for the seven benchmark kernels.
+
+use serde::{Deserialize, Serialize};
+
+/// A first-class PIR type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ty {
+    /// 1-bit boolean (comparison results, branch conditions).
+    I1,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// IEEE-754 binary64 float.
+    F64,
+    /// Pointer: a 64-bit word index into the flat VM memory.
+    Ptr,
+}
+
+impl Ty {
+    /// Number of *meaningful* bits in a value of this type. Fault
+    /// injection flips a uniformly random bit among these (LLFI flips a
+    /// random bit of the destination register width).
+    pub fn bits(self) -> u32 {
+        match self {
+            Ty::I1 => 1,
+            Ty::I32 => 32,
+            Ty::I64 | Ty::F64 | Ty::Ptr => 64,
+        }
+    }
+
+    /// True for the integer family (including booleans and pointers).
+    pub fn is_int(self) -> bool {
+        matches!(self, Ty::I1 | Ty::I32 | Ty::I64 | Ty::Ptr)
+    }
+
+    /// True for floating point.
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F64)
+    }
+
+    /// Masks a raw 64-bit payload down to this type's width, preserving
+    /// the canonical in-register representation (sign-extension is applied
+    /// at *use*, not at rest; narrow values are stored zero-padded).
+    pub fn truncate_bits(self, bits: u64) -> u64 {
+        match self.bits() {
+            64 => bits,
+            w => bits & ((1u64 << w) - 1),
+        }
+    }
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Ty::I1 => "i1",
+            Ty::I32 => "i32",
+            Ty::I64 => "i64",
+            Ty::F64 => "f64",
+            Ty::Ptr => "ptr",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(Ty::I1.bits(), 1);
+        assert_eq!(Ty::I32.bits(), 32);
+        assert_eq!(Ty::I64.bits(), 64);
+        assert_eq!(Ty::F64.bits(), 64);
+        assert_eq!(Ty::Ptr.bits(), 64);
+    }
+
+    #[test]
+    fn truncation() {
+        assert_eq!(Ty::I1.truncate_bits(0xff), 1);
+        assert_eq!(Ty::I32.truncate_bits(u64::MAX), 0xffff_ffff);
+        assert_eq!(Ty::I64.truncate_bits(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn families() {
+        assert!(Ty::I1.is_int() && Ty::Ptr.is_int());
+        assert!(Ty::F64.is_float() && !Ty::F64.is_int());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ty::F64.to_string(), "f64");
+        assert_eq!(Ty::Ptr.to_string(), "ptr");
+    }
+}

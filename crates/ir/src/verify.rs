@@ -1,0 +1,511 @@
+//! Structural and type verification of PIR modules.
+//!
+//! The verifier enforces the invariants the VM and the analyses rely on:
+//! well-typed operands, matching branch-argument lists, single assignment,
+//! and definite-definition-before-use along every CFG path (checked with a
+//! forward must-be-defined dataflow, the block-parameter analogue of
+//! LLVM's dominance check).
+
+use crate::instr::{CastKind, Op, Operand, Term, UnOp};
+use crate::module::{BlockId, Function, Module, ValueId};
+use crate::types::Ty;
+
+/// A verification failure, with enough context to locate the offender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    pub function: String,
+    pub block: Option<u32>,
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.block {
+            Some(b) => write!(f, "{}: bb{}: {}", self.function, b, self.message),
+            None => write!(f, "{}: {}", self.function, self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies the whole module; returns the first error found.
+pub fn verify(m: &Module) -> Result<(), VerifyError> {
+    if m.functions.is_empty() {
+        return Err(err("<module>", None, "module has no functions"));
+    }
+    if m.entry.0 as usize >= m.functions.len() {
+        return Err(err("<module>", None, "entry function id out of range"));
+    }
+    for f in &m.functions {
+        verify_function(m, f)?;
+    }
+    let mut sids: Vec<u32> = m
+        .functions
+        .iter()
+        .flat_map(|f| f.instrs().map(|i| i.sid.0))
+        .collect();
+    sids.sort_unstable();
+    for (expect, got) in sids.iter().enumerate() {
+        if expect as u32 != *got {
+            return Err(err("<module>", None, "instruction sids are not dense"));
+        }
+    }
+    if sids.len() != m.num_instrs {
+        return Err(err("<module>", None, "num_instrs does not match instruction count"));
+    }
+    Ok(())
+}
+
+fn err(func: &str, block: Option<BlockId>, msg: impl Into<String>) -> VerifyError {
+    VerifyError { function: func.to_string(), block: block.map(|b| b.0), message: msg.into() }
+}
+
+fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
+    if f.blocks.is_empty() {
+        return Err(err(&f.name, None, "function has no blocks"));
+    }
+    if !f.blocks[0].params.is_empty() {
+        return Err(err(&f.name, Some(BlockId(0)), "entry block must have no parameters"));
+    }
+
+    // Single assignment: every value defined at most once.
+    let nvals = f.value_types.len();
+    let mut defined_by = vec![false; nvals];
+    defined_by[..f.params.len()].fill(true);
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for &p in &b.params {
+            let slot = &mut defined_by[p.0 as usize];
+            if *slot {
+                return Err(err(&f.name, Some(BlockId(bi as u32)), "value defined twice (param)"));
+            }
+            *slot = true;
+        }
+        for ins in &b.instrs {
+            if let Some(r) = ins.result {
+                let slot = &mut defined_by[r.0 as usize];
+                if *slot {
+                    return Err(err(&f.name, Some(BlockId(bi as u32)), "value defined twice"));
+                }
+                *slot = true;
+            }
+        }
+    }
+
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let bid = BlockId(bi as u32);
+        for ins in &b.instrs {
+            check_instr_types(m, f, bid, ins)?;
+        }
+        check_term_types(f, bid, &b.term)?;
+        for succ in b.term.successors() {
+            if succ.0 as usize >= f.blocks.len() {
+                return Err(err(&f.name, Some(bid), "branch target out of range"));
+            }
+        }
+    }
+
+    check_defined_before_use(f)?;
+    Ok(())
+}
+
+fn ty_of(f: &Function, o: &Operand) -> Ty {
+    f.operand_ty(o)
+}
+
+fn expect_ty(
+    f: &Function,
+    b: BlockId,
+    o: &Operand,
+    want: Ty,
+    what: &str,
+) -> Result<(), VerifyError> {
+    let got = ty_of(f, o);
+    if got != want {
+        return Err(err(&f.name, Some(b), format!("{what}: expected {want}, got {got}")));
+    }
+    Ok(())
+}
+
+fn check_instr_types(
+    m: &Module,
+    f: &Function,
+    b: BlockId,
+    ins: &crate::instr::Instr,
+) -> Result<(), VerifyError> {
+    // Operand registers in range.
+    for o in ins.op.operands() {
+        if let Some(v) = o.value() {
+            if v.0 as usize >= f.value_types.len() {
+                return Err(err(&f.name, Some(b), "operand value id out of range"));
+            }
+        }
+    }
+    let result_ty = ins.result.map(|r| f.ty_of(r));
+    match &ins.op {
+        Op::Bin { op, a, b: rhs } => {
+            let ta = ty_of(f, a);
+            let tb = ty_of(f, rhs);
+            if ta != tb {
+                return Err(err(&f.name, Some(b), format!("bin operands differ: {ta} vs {tb}")));
+            }
+            if op.is_float() && !ta.is_float() {
+                return Err(err(&f.name, Some(b), "float opcode on integer operands"));
+            }
+            if !op.is_float() && ta.is_float() {
+                return Err(err(&f.name, Some(b), "integer opcode on float operands"));
+            }
+            if ta == Ty::Ptr {
+                return Err(err(&f.name, Some(b), "arithmetic on ptr (use gep)"));
+            }
+            if result_ty != Some(ta) {
+                return Err(err(&f.name, Some(b), "bin result type mismatch"));
+            }
+        }
+        Op::Un { op, a } => {
+            let ta = ty_of(f, a);
+            match op {
+                UnOp::Not => {
+                    if !ta.is_int() || ta == Ty::Ptr {
+                        return Err(err(&f.name, Some(b), "not requires an integer"));
+                    }
+                }
+                _ => {
+                    if ta != Ty::F64 {
+                        return Err(err(&f.name, Some(b), "float unary op requires f64"));
+                    }
+                }
+            }
+            if result_ty != Some(ta) {
+                return Err(err(&f.name, Some(b), "unary result type mismatch"));
+            }
+        }
+        Op::Icmp { a, b: rhs, .. } => {
+            let ta = ty_of(f, a);
+            let tb = ty_of(f, rhs);
+            if ta != tb || !ta.is_int() {
+                return Err(err(&f.name, Some(b), "icmp requires matching integer operands"));
+            }
+            if result_ty != Some(Ty::I1) {
+                return Err(err(&f.name, Some(b), "icmp must produce i1"));
+            }
+        }
+        Op::Fcmp { a, b: rhs, .. } => {
+            expect_ty(f, b, a, Ty::F64, "fcmp lhs")?;
+            expect_ty(f, b, rhs, Ty::F64, "fcmp rhs")?;
+            if result_ty != Some(Ty::I1) {
+                return Err(err(&f.name, Some(b), "fcmp must produce i1"));
+            }
+        }
+        Op::Select { cond, t, f: fv } => {
+            expect_ty(f, b, cond, Ty::I1, "select cond")?;
+            let tt = ty_of(f, t);
+            if tt != ty_of(f, fv) || result_ty != Some(tt) {
+                return Err(err(&f.name, Some(b), "select arm/result types mismatch"));
+            }
+        }
+        Op::Cast { kind, a, to } => {
+            let from = ty_of(f, a);
+            let ok = match kind {
+                CastKind::Trunc => from.is_int() && to.is_int() && to.bits() < from.bits(),
+                CastKind::ZExt | CastKind::SExt => {
+                    from.is_int() && to.is_int() && to.bits() > from.bits()
+                }
+                CastKind::FpToSi => from == Ty::F64 && matches!(to, Ty::I32 | Ty::I64),
+                CastKind::SiToFp => matches!(from, Ty::I1 | Ty::I32 | Ty::I64) && *to == Ty::F64,
+                CastKind::Bitcast => {
+                    (from == Ty::F64 && *to == Ty::I64) || (from == Ty::I64 && *to == Ty::F64)
+                }
+                CastKind::PtrToInt => from == Ty::Ptr && *to == Ty::I64,
+                CastKind::IntToPtr => from == Ty::I64 && *to == Ty::Ptr,
+            };
+            if !ok {
+                return Err(err(&f.name, Some(b), format!("invalid cast {from} -> {to}")));
+            }
+            if result_ty != Some(*to) {
+                return Err(err(&f.name, Some(b), "cast result type mismatch"));
+            }
+        }
+        Op::Load { addr, ty } => {
+            expect_ty(f, b, addr, Ty::Ptr, "load address")?;
+            if result_ty != Some(*ty) {
+                return Err(err(&f.name, Some(b), "load result type mismatch"));
+            }
+        }
+        Op::Store { addr, .. } => {
+            expect_ty(f, b, addr, Ty::Ptr, "store address")?;
+            if ins.result.is_some() {
+                return Err(err(&f.name, Some(b), "store must not produce a value"));
+            }
+        }
+        Op::Gep { base, index } => {
+            expect_ty(f, b, base, Ty::Ptr, "gep base")?;
+            expect_ty(f, b, index, Ty::I64, "gep index")?;
+            if result_ty != Some(Ty::Ptr) {
+                return Err(err(&f.name, Some(b), "gep must produce ptr"));
+            }
+        }
+        Op::Alloca { words } => {
+            expect_ty(f, b, words, Ty::I64, "alloca size")?;
+            if result_ty != Some(Ty::Ptr) {
+                return Err(err(&f.name, Some(b), "alloca must produce ptr"));
+            }
+        }
+        Op::Call { func, args } => {
+            if func.0 as usize >= m.functions.len() {
+                return Err(err(&f.name, Some(b), "call target out of range"));
+            }
+            let callee = m.func(*func);
+            if callee.params.len() != args.len() {
+                return Err(err(&f.name, Some(b), "call arity mismatch"));
+            }
+            for (i, (arg, want)) in args.iter().zip(&callee.params).enumerate() {
+                if ty_of(f, arg) != *want {
+                    return Err(err(&f.name, Some(b), format!("call arg {i} type mismatch")));
+                }
+            }
+            if result_ty != callee.ret {
+                return Err(err(&f.name, Some(b), "call result/ret type mismatch"));
+            }
+        }
+        Op::Output { .. } => {
+            if ins.result.is_some() {
+                return Err(err(&f.name, Some(b), "output must not produce a value"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_term_types(f: &Function, bid: BlockId, term: &Term) -> Result<(), VerifyError> {
+    let check_args = |target: BlockId, args: &[Operand]| -> Result<(), VerifyError> {
+        let tb = &f.blocks[target.0 as usize];
+        if tb.params.len() != args.len() {
+            return Err(err(&f.name, Some(bid), "branch argument count mismatch"));
+        }
+        for (a, &p) in args.iter().zip(&tb.params) {
+            if ty_of(f, a) != f.ty_of(p) {
+                return Err(err(&f.name, Some(bid), "branch argument type mismatch"));
+            }
+        }
+        Ok(())
+    };
+    match term {
+        Term::Br { target, args } => {
+            if target.0 as usize >= f.blocks.len() {
+                return Err(err(&f.name, Some(bid), "br target out of range"));
+            }
+            check_args(*target, args)
+        }
+        Term::CondBr { cond, then_target, then_args, else_target, else_args } => {
+            expect_ty(f, bid, cond, Ty::I1, "condbr condition")?;
+            if then_target.0 as usize >= f.blocks.len()
+                || else_target.0 as usize >= f.blocks.len()
+            {
+                return Err(err(&f.name, Some(bid), "condbr target out of range"));
+            }
+            check_args(*then_target, then_args)?;
+            check_args(*else_target, else_args)
+        }
+        Term::Ret { value } => match (value, f.ret) {
+            (Some(v), Some(want)) => expect_ty(f, bid, v, want, "return value"),
+            (None, None) => Ok(()),
+            (Some(_), None) => Err(err(&f.name, Some(bid), "returning a value from void fn")),
+            (None, Some(_)) => Err(err(&f.name, Some(bid), "missing return value")),
+        },
+    }
+}
+
+/// Forward must-analysis: a value may be used in block B only if it is
+/// defined on *every* path from entry to that use.
+fn check_defined_before_use(f: &Function) -> Result<(), VerifyError> {
+    let nb = f.blocks.len();
+    let nv = f.value_types.len();
+
+    // in_defined[b] = set of values definitely defined at entry of b.
+    // Start optimistic (all defined) except entry, and intersect.
+    let mut in_defined: Vec<Vec<bool>> = vec![vec![true; nv]; nb];
+    let mut entry_set = vec![false; nv];
+    entry_set[..f.params.len()].fill(true);
+    in_defined[0] = entry_set;
+
+    let out_of = |inp: &[bool], b: &crate::module::Block| -> Vec<bool> {
+        let mut s = inp.to_vec();
+        for &p in &b.params {
+            s[p.0 as usize] = true;
+        }
+        for ins in &b.instrs {
+            if let Some(r) = ins.result {
+                s[r.0 as usize] = true;
+            }
+        }
+        s
+    };
+
+    // Fixpoint over the CFG.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in 0..nb {
+            let out = out_of(&in_defined[bi], &f.blocks[bi]);
+            for succ in f.blocks[bi].term.successors() {
+                let si = succ.0 as usize;
+                let mut any = false;
+                for v in 0..nv {
+                    if in_defined[si][v] && !out[v] && !f.blocks[si].params.contains(&ValueId(v as u32)) {
+                        in_defined[si][v] = false;
+                        any = true;
+                    }
+                }
+                changed |= any;
+            }
+        }
+    }
+
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let bid = BlockId(bi as u32);
+        // Walk the block, tracking definitions as they happen, to catch
+        // uses before defs inside the block.
+        let mut defined = in_defined[bi].clone();
+        for &p in &b.params {
+            defined[p.0 as usize] = true;
+        }
+        let check_use = |o: &Operand, defined: &[bool]| -> Result<(), VerifyError> {
+            if let Some(v) = o.value() {
+                if !defined[v.0 as usize] {
+                    return Err(err(
+                        &f.name,
+                        Some(bid),
+                        format!("use of value v{} before definition", v.0),
+                    ));
+                }
+            }
+            Ok(())
+        };
+        for ins in &b.instrs {
+            for o in ins.op.operands() {
+                check_use(&o, &defined)?;
+            }
+            if let Some(r) = ins.result {
+                defined[r.0 as usize] = true;
+            }
+        }
+        for o in b.term.operands() {
+            check_use(&o, &defined)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::instr::IPred;
+
+    fn good_module() -> Module {
+        let mut mb = ModuleBuilder::new("ok");
+        let main = mb.declare("main", &[Ty::I64], Some(Ty::I64));
+        let mut f = mb.define(main);
+        let x = f.param(0);
+        let (then_b, _) = f.new_block(&[]);
+        let (join, jv) = f.new_block(&[Ty::I64]);
+        let c = f.icmp(IPred::Sgt, x, Operand::i64(0));
+        f.cond_br(c, then_b, &[], join, &[Operand::i64(0)]);
+        f.switch_to(then_b);
+        let d = f.add(x, Operand::i64(1));
+        f.br(join, &[d]);
+        f.switch_to(join);
+        f.output(jv[0]);
+        f.ret(Some(jv[0]));
+        f.finish();
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    #[test]
+    fn good_module_verifies() {
+        verify(&good_module()).unwrap();
+    }
+
+    #[test]
+    fn detects_type_mismatch() {
+        let mut m = good_module();
+        // Corrupt: make the add mix i64 and f64.
+        let f = &mut m.functions[0];
+        if let Op::Bin { b, .. } = &mut f.blocks[1].instrs[0].op {
+            *b = Operand::f64(1.0);
+        }
+        let e = verify(&m).unwrap_err();
+        assert!(e.message.contains("differ"), "{e}");
+    }
+
+    #[test]
+    fn detects_branch_arity_mismatch() {
+        let mut m = good_module();
+        let f = &mut m.functions[0];
+        if let Term::Br { args, .. } = &mut f.blocks[1].term {
+            args.clear();
+        }
+        let e = verify(&m).unwrap_err();
+        assert!(e.message.contains("argument count"), "{e}");
+    }
+
+    #[test]
+    fn detects_use_before_def() {
+        // Block 1 defines v; block 2 uses v but is reachable without
+        // passing through block 1.
+        let mut mb = ModuleBuilder::new("ubd");
+        let main = mb.declare("main", &[Ty::I1], None);
+        let mut f = mb.define(main);
+        let c = f.param(0);
+        let (b1, _) = f.new_block(&[]);
+        let (b2, _) = f.new_block(&[]);
+        f.cond_br(c, b1, &[], b2, &[]);
+        f.switch_to(b1);
+        let v = f.add(Operand::i64(1), Operand::i64(2));
+        f.output(v);
+        f.br(b2, &[]);
+        f.switch_to(b2);
+        f.finish_use(v);
+        f.ret(None);
+        f.finish();
+        mb.set_entry(main);
+        let m = mb.finish();
+        let e = verify(&m).unwrap_err();
+        assert!(e.message.contains("before definition"), "{e}");
+    }
+
+    impl crate::builder::FunctionBuilder<'_> {
+        /// Test helper: emits `output v` in the current block.
+        fn finish_use(&mut self, v: Operand) {
+            self.output(v);
+        }
+    }
+
+    #[test]
+    fn detects_missing_return_value() {
+        let mut mb = ModuleBuilder::new("mr");
+        let main = mb.declare("main", &[], Some(Ty::I64));
+        let mut f = mb.define(main);
+        f.ret(None);
+        f.finish();
+        mb.set_entry(main);
+        let e = verify(&mb.finish()).unwrap_err();
+        assert!(e.message.contains("missing return"), "{e}");
+    }
+
+    #[test]
+    fn detects_bad_cast() {
+        let mut mb = ModuleBuilder::new("bc");
+        let main = mb.declare("main", &[], None);
+        let mut f = mb.define(main);
+        // Trunc i64 -> i64 is invalid (must narrow).
+        let _ = f.cast(CastKind::Trunc, Operand::i64(1), Ty::I64);
+        f.ret(None);
+        f.finish();
+        mb.set_entry(main);
+        let e = verify(&mb.finish()).unwrap_err();
+        assert!(e.message.contains("invalid cast"), "{e}");
+    }
+}

@@ -1,0 +1,111 @@
+//! MiniC abstract syntax tree.
+
+/// Surface scalar types. Conditions have an internal `bool` type that has
+/// no surface syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    Int,
+    Float,
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+/// An expression with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    IntLit(i64),
+    FloatLit(f64),
+    Var(String),
+    Index { array: String, index: Box<Expr> },
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    Binary { op: BinaryOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Call { name: String, args: Vec<Expr> },
+}
+
+/// A statement with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `let x = e;` or `let x: int = e;`
+    Let { name: String, ty: Option<Type>, init: Expr },
+    /// `x = e;`
+    Assign { name: String, value: Expr },
+    /// `a[i] = e;`
+    StoreIndex { array: String, index: Expr, value: Expr },
+    /// `var float buf[n];` — stack array, size evaluated at runtime.
+    LocalArray { name: String, elem: Type, size: Expr },
+    If { cond: Expr, then_blk: Vec<Stmt>, else_blk: Option<Vec<Stmt>> },
+    While { cond: Expr, body: Vec<Stmt> },
+    /// `for (i = init; cond; i = step) body` — `i` is implicitly declared.
+    For { var: String, init: Expr, cond: Expr, step: Expr, body: Vec<Stmt> },
+    Return(Option<Expr>),
+    Output(Expr),
+    Break,
+    Continue,
+    ExprStmt(Expr),
+}
+
+/// `global float g[256];`
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    pub name: String,
+    pub elem: Type,
+    pub size: u64,
+    pub line: u32,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    pub name: String,
+    pub params: Vec<(String, Type)>,
+    pub ret: Option<Type>,
+    pub body: Vec<Stmt>,
+    pub line: u32,
+}
+
+/// A whole MiniC program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub globals: Vec<GlobalDecl>,
+    pub funcs: Vec<FuncDecl>,
+}

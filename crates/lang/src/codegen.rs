@@ -1,0 +1,832 @@
+//! MiniC → PIR code generation with on-the-fly SSA construction.
+//!
+//! Scalar variables are renamed into SSA form directly during generation
+//! using Braun et al.'s algorithm ("Simple and Efficient Construction of
+//! Static Single Assignment Form", CC'13), adapted to PIR's
+//! block-parameter form: where the paper inserts a φ, we add a block
+//! parameter and append the corresponding argument to every incoming
+//! branch. Redundant (trivial) parameters are left in place — they are
+//! semantically transparent and the VM executes branch argument passing
+//! for free (block arguments are not instructions, so they do not perturb
+//! instruction counts or the fault-site population).
+
+use crate::ast::*;
+use crate::CompileError;
+use peppa_ir::{
+    BinOp, BlockId, CastKind, FPred, FuncId, FunctionBuilder, IPred, Module, ModuleBuilder,
+    Operand, Ty, UnOp,
+};
+use std::collections::HashMap;
+
+/// Language-level value types (the surface types plus internal `bool`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ly {
+    Int,
+    Float,
+    Bool,
+}
+
+impl Ly {
+    fn ir(self) -> Ty {
+        match self {
+            Ly::Int => Ty::I64,
+            Ly::Float => Ty::F64,
+            Ly::Bool => Ty::I1,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Ly::Int => "int",
+            Ly::Float => "float",
+            Ly::Bool => "bool",
+        }
+    }
+}
+
+fn ly_of(t: Type) -> Ly {
+    match t {
+        Type::Int => Ly::Int,
+        Type::Float => Ly::Float,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Val {
+    op: Operand,
+    ty: Ly,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Binding {
+    Scalar(usize), // index into Cg::vars
+    Array { base: Operand, elem: Ly },
+}
+
+/// Compiles a parsed program into a PIR module. The entry point is the
+/// function named `main`; its parameters are the program's inputs.
+pub fn compile_program(prog: &Program, module_name: &str) -> Result<Module, CompileError> {
+    let mut mb = ModuleBuilder::new(module_name);
+
+    let mut globals: HashMap<String, Binding> = HashMap::new();
+    for g in &prog.globals {
+        if globals.contains_key(&g.name) {
+            return Err(err(g.line, format!("duplicate global `{}`", g.name)));
+        }
+        let base = mb.global(&g.name, g.size);
+        globals.insert(g.name.clone(), Binding::Array { base, elem: ly_of(g.elem) });
+    }
+
+    let mut sigs: HashMap<String, (FuncId, Vec<Ly>, Option<Ly>)> = HashMap::new();
+    for f in &prog.funcs {
+        if sigs.contains_key(&f.name) {
+            return Err(err(f.line, format!("duplicate function `{}`", f.name)));
+        }
+        let ptys: Vec<Ty> = f.params.iter().map(|(_, t)| ly_of(*t).ir()).collect();
+        let id = mb.declare(&f.name, &ptys, f.ret.map(|t| ly_of(t).ir()));
+        sigs.insert(
+            f.name.clone(),
+            (id, f.params.iter().map(|(_, t)| ly_of(*t)).collect(), f.ret.map(ly_of)),
+        );
+    }
+
+    let main = sigs
+        .get("main")
+        .map(|(id, _, _)| *id)
+        .ok_or_else(|| err(0, "program must define a `main` function".to_string()))?;
+
+    for f in &prog.funcs {
+        let (fid, _, _) = sigs[&f.name];
+        let fb = mb.define(fid);
+        let cg = Cg::new(fb, f, &globals, &sigs)?;
+        cg.gen_body()?;
+    }
+
+    mb.set_entry(main);
+    Ok(mb.finish())
+}
+
+fn err(line: u32, message: String) -> CompileError {
+    CompileError { line, message }
+}
+
+struct Cg<'a, 'p> {
+    fb: FunctionBuilder<'a>,
+    func: &'p FuncDecl,
+    globals: &'p HashMap<String, Binding>,
+    sigs: &'p HashMap<String, (FuncId, Vec<Ly>, Option<Ly>)>,
+    ret: Option<Ly>,
+
+    /// Scalar variable table; `vars[i]` is the declared type.
+    vars: Vec<Ly>,
+    /// Lexical scopes mapping names to bindings.
+    scopes: Vec<HashMap<String, Binding>>,
+
+    // Braun-SSA bookkeeping, indexed by BlockId.
+    defs: Vec<HashMap<usize, Operand>>,
+    sealed: Vec<bool>,
+    incomplete: Vec<Vec<(usize, Operand)>>,
+    preds: Vec<Vec<BlockId>>,
+
+    /// `(continue_target, break_target)` stack.
+    loops: Vec<(BlockId, BlockId)>,
+    /// False after `return` / `break` / `continue` until a new block.
+    reachable: bool,
+}
+
+impl<'a, 'p> Cg<'a, 'p> {
+    fn new(
+        fb: FunctionBuilder<'a>,
+        func: &'p FuncDecl,
+        globals: &'p HashMap<String, Binding>,
+        sigs: &'p HashMap<String, (FuncId, Vec<Ly>, Option<Ly>)>,
+    ) -> Result<Self, CompileError> {
+        let mut cg = Cg {
+            fb,
+            func,
+            globals,
+            sigs,
+            ret: func.ret.map(ly_of),
+            vars: Vec::new(),
+            scopes: vec![HashMap::new()],
+            defs: vec![HashMap::new()],
+            sealed: vec![true],
+            incomplete: vec![Vec::new()],
+            preds: vec![Vec::new()],
+            loops: Vec::new(),
+            reachable: true,
+        };
+        for (i, (name, ty)) in func.params.iter().enumerate() {
+            let var = cg.declare_scalar(name, ly_of(*ty), func.line)?;
+            let p = cg.fb.param(i);
+            cg.write_var(var, p);
+        }
+        Ok(cg)
+    }
+
+    // ---- SSA machinery ----------------------------------------------------
+
+    fn cur(&self) -> BlockId {
+        self.fb.current_block()
+    }
+
+    fn mk_block(&mut self) -> BlockId {
+        let (b, _) = self.fb.new_block(&[]);
+        self.defs.push(HashMap::new());
+        self.sealed.push(false);
+        self.incomplete.push(Vec::new());
+        self.preds.push(Vec::new());
+        b
+    }
+
+    fn write_var(&mut self, var: usize, value: Operand) {
+        let b = self.cur();
+        self.defs[b.0 as usize].insert(var, value);
+    }
+
+    fn read_var(&mut self, var: usize, block: BlockId) -> Operand {
+        if let Some(v) = self.defs[block.0 as usize].get(&var) {
+            return *v;
+        }
+        self.read_var_recursive(var, block)
+    }
+
+    fn read_var_recursive(&mut self, var: usize, block: BlockId) -> Operand {
+        let bi = block.0 as usize;
+        let val;
+        if !self.sealed[bi] {
+            let p = self.fb.add_block_param(block, self.vars[var].ir());
+            self.incomplete[bi].push((var, p));
+            val = p;
+        } else if self.preds[bi].len() == 1 {
+            let pred = self.preds[bi][0];
+            val = self.read_var(var, pred);
+        } else if self.preds[bi].is_empty() {
+            // Entry (or unreachable) block and no definition: the scoping
+            // rules make this impossible for user code; emit a typed zero
+            // so internal invariants hold.
+            val = zero_of(self.vars[var]);
+        } else {
+            let p = self.fb.add_block_param(block, self.vars[var].ir());
+            self.defs[bi].insert(var, p); // break cycles before recursing
+            let preds = self.preds[bi].clone();
+            for pred in preds {
+                let a = self.read_var(var, pred);
+                self.fb.append_branch_arg(pred, block, a);
+            }
+            val = p;
+        }
+        self.defs[bi].insert(var, val);
+        val
+    }
+
+    fn seal(&mut self, block: BlockId) {
+        let bi = block.0 as usize;
+        debug_assert!(!self.sealed[bi], "sealing twice");
+        self.sealed[bi] = true;
+        let pending = std::mem::take(&mut self.incomplete[bi]);
+        for (var, _param) in pending {
+            let preds = self.preds[bi].clone();
+            for pred in preds {
+                let a = self.read_var(var, pred);
+                self.fb.append_branch_arg(pred, block, a);
+            }
+        }
+    }
+
+    /// Emits an unconditional edge to `target` if the current point is
+    /// reachable.
+    fn goto(&mut self, target: BlockId) {
+        if self.reachable {
+            let from = self.cur();
+            self.fb.br(target, &[]);
+            self.preds[target.0 as usize].push(from);
+        }
+    }
+
+    fn cond_goto(&mut self, cond: Operand, t: BlockId, e: BlockId) {
+        debug_assert!(self.reachable);
+        let from = self.cur();
+        self.fb.cond_br(cond, t, &[], e, &[]);
+        self.preds[t.0 as usize].push(from);
+        self.preds[e.0 as usize].push(from);
+    }
+
+    // ---- scopes --------------------------------------------------------------
+
+    fn declare_scalar(&mut self, name: &str, ty: Ly, line: u32) -> Result<usize, CompileError> {
+        let scope = self.scopes.last_mut().expect("scope stack empty");
+        if scope.contains_key(name) {
+            return Err(err(line, format!("`{name}` already declared in this scope")));
+        }
+        let var = self.vars.len();
+        self.vars.push(ty);
+        scope.insert(name.to_string(), Binding::Scalar(var));
+        Ok(var)
+    }
+
+    fn declare_array(
+        &mut self,
+        name: &str,
+        base: Operand,
+        elem: Ly,
+        line: u32,
+    ) -> Result<(), CompileError> {
+        let scope = self.scopes.last_mut().expect("scope stack empty");
+        if scope.contains_key(name) {
+            return Err(err(line, format!("`{name}` already declared in this scope")));
+        }
+        scope.insert(name.to_string(), Binding::Array { base, elem });
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str, line: u32) -> Result<Binding, CompileError> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(b) = scope.get(name) {
+                return Ok(*b);
+            }
+        }
+        if let Some(b) = self.globals.get(name) {
+            return Ok(*b);
+        }
+        Err(err(line, format!("unknown variable `{name}`")))
+    }
+
+    // ---- statements -----------------------------------------------------------
+
+    fn gen_body(mut self) -> Result<(), CompileError> {
+        self.gen_block(&self.func.body)?;
+        if self.reachable {
+            match self.ret {
+                None => self.fb.ret(None),
+                Some(_) => {
+                    return Err(err(
+                        self.func.line,
+                        format!("function `{}` may finish without returning a value", self.func.name),
+                    ))
+                }
+            }
+        }
+        // Unreachable merge blocks still need structural terminators.
+        for b in 0..self.fb.num_blocks() {
+            let bid = BlockId(b as u32);
+            if !self.fb.is_block_terminated(bid) {
+                self.fb.switch_to(bid);
+                let value = self.ret.map(zero_of);
+                self.fb.ret(value);
+            }
+        }
+        self.fb.finish();
+        Ok(())
+    }
+
+    fn gen_block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for s in stmts {
+            if !self.reachable {
+                break; // statically unreachable code is dropped
+            }
+            self.gen_stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn gen_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match &s.kind {
+            StmtKind::Let { name, ty, init } => {
+                let v = self.gen_expr(init)?;
+                if v.ty == Ly::Bool {
+                    return Err(err(s.line, "cannot store a bool in a variable".into()));
+                }
+                if let Some(want) = ty {
+                    if ly_of(*want) != v.ty {
+                        return Err(err(
+                            s.line,
+                            format!("`{name}` declared {} but initialized with {}",
+                                ly_of(*want).name(), v.ty.name()),
+                        ));
+                    }
+                }
+                let var = self.declare_scalar(name, v.ty, s.line)?;
+                self.write_var(var, v.op);
+            }
+            StmtKind::Assign { name, value } => {
+                let v = self.gen_expr(value)?;
+                match self.lookup(name, s.line)? {
+                    Binding::Scalar(var) => {
+                        if self.vars[var] != v.ty {
+                            return Err(err(
+                                s.line,
+                                format!("assigning {} to {} variable `{name}`",
+                                    v.ty.name(), self.vars[var].name()),
+                            ));
+                        }
+                        self.write_var(var, v.op);
+                    }
+                    Binding::Array { .. } => {
+                        return Err(err(s.line, format!("`{name}` is an array; index it")))
+                    }
+                }
+            }
+            StmtKind::StoreIndex { array, index, value } => {
+                let (base, elem) = match self.lookup(array, s.line)? {
+                    Binding::Array { base, elem } => (base, elem),
+                    Binding::Scalar(_) => {
+                        return Err(err(s.line, format!("`{array}` is not an array")))
+                    }
+                };
+                let idx = self.gen_expr(index)?;
+                if idx.ty != Ly::Int {
+                    return Err(err(s.line, "array index must be int".into()));
+                }
+                let v = self.gen_expr(value)?;
+                if v.ty != elem {
+                    return Err(err(
+                        s.line,
+                        format!("storing {} into {} array `{array}`", v.ty.name(), elem.name()),
+                    ));
+                }
+                let addr = self.fb.gep(base, idx.op);
+                self.fb.store(addr, v.op);
+            }
+            StmtKind::LocalArray { name, elem, size } => {
+                let n = self.gen_expr(size)?;
+                if n.ty != Ly::Int {
+                    return Err(err(s.line, "array size must be int".into()));
+                }
+                let base = self.fb.alloca(n.op);
+                self.declare_array(name, base, ly_of(*elem), s.line)?;
+            }
+            StmtKind::If { cond, then_blk, else_blk } => {
+                let c = self.gen_bool(cond)?;
+                let then_b = self.mk_block();
+                let merge = self.mk_block();
+                let else_b = if else_blk.is_some() { self.mk_block() } else { merge };
+                self.cond_goto(c, then_b, else_b);
+                self.seal(then_b);
+                if else_blk.is_some() {
+                    self.seal(else_b);
+                }
+
+                self.fb.switch_to(then_b);
+                self.reachable = true;
+                self.gen_block(then_blk)?;
+                self.goto(merge);
+                let then_reaches = self.reachable;
+
+                let mut else_reaches = true;
+                if let Some(eb) = else_blk {
+                    self.fb.switch_to(else_b);
+                    self.reachable = true;
+                    self.gen_block(eb)?;
+                    self.goto(merge);
+                    else_reaches = self.reachable;
+                }
+
+                self.seal(merge);
+                self.fb.switch_to(merge);
+                self.reachable = then_reaches || else_reaches || else_blk.is_none();
+            }
+            StmtKind::While { cond, body } => {
+                let header = self.mk_block();
+                let body_b = self.mk_block();
+                let exit = self.mk_block();
+                self.goto(header);
+                self.fb.switch_to(header);
+                self.reachable = true;
+                let c = self.gen_bool(cond)?;
+                self.cond_goto(c, body_b, exit);
+                self.seal(body_b);
+
+                self.loops.push((header, exit));
+                self.fb.switch_to(body_b);
+                self.reachable = true;
+                self.gen_block(body)?;
+                self.goto(header);
+                self.loops.pop();
+
+                self.seal(header);
+                self.seal(exit);
+                self.fb.switch_to(exit);
+                self.reachable = true;
+            }
+            StmtKind::For { var, init, cond, step, body } => {
+                self.scopes.push(HashMap::new());
+                let iv = self.gen_expr(init)?;
+                if iv.ty == Ly::Bool {
+                    return Err(err(s.line, "loop variable cannot be bool".into()));
+                }
+                let vslot = self.declare_scalar(var, iv.ty, s.line)?;
+                self.write_var(vslot, iv.op);
+
+                let header = self.mk_block();
+                let body_b = self.mk_block();
+                let step_b = self.mk_block();
+                let exit = self.mk_block();
+
+                self.goto(header);
+                self.fb.switch_to(header);
+                self.reachable = true;
+                let c = self.gen_bool(cond)?;
+                self.cond_goto(c, body_b, exit);
+                self.seal(body_b);
+
+                self.loops.push((step_b, exit));
+                self.fb.switch_to(body_b);
+                self.reachable = true;
+                self.gen_block(body)?;
+                self.goto(step_b);
+                self.loops.pop();
+
+                self.seal(step_b);
+                self.fb.switch_to(step_b);
+                self.reachable = true;
+                let sv = self.gen_expr(step)?;
+                if sv.ty != iv.ty {
+                    return Err(err(s.line, "loop step changes the variable's type".into()));
+                }
+                self.write_var(vslot, sv.op);
+                self.goto(header);
+
+                self.seal(header);
+                self.seal(exit);
+                self.fb.switch_to(exit);
+                self.reachable = true;
+                self.scopes.pop();
+            }
+            StmtKind::Return(value) => {
+                match (value, self.ret) {
+                    (Some(e), Some(want)) => {
+                        let v = self.gen_expr(e)?;
+                        if v.ty != want {
+                            return Err(err(
+                                s.line,
+                                format!("returning {} from a {} function", v.ty.name(), want.name()),
+                            ));
+                        }
+                        self.fb.ret(Some(v.op));
+                    }
+                    (None, None) => self.fb.ret(None),
+                    (Some(_), None) => {
+                        return Err(err(s.line, "returning a value from a void function".into()))
+                    }
+                    (None, Some(_)) => {
+                        return Err(err(s.line, "missing return value".into()))
+                    }
+                }
+                self.reachable = false;
+            }
+            StmtKind::Output(e) => {
+                let v = self.gen_expr(e)?;
+                if v.ty == Ly::Bool {
+                    return Err(err(s.line, "cannot output a bool".into()));
+                }
+                self.fb.output(v.op);
+            }
+            StmtKind::Break => {
+                let (_, exit) =
+                    *self.loops.last().ok_or_else(|| err(s.line, "`break` outside loop".into()))?;
+                self.goto(exit);
+                self.reachable = false;
+            }
+            StmtKind::Continue => {
+                let (cont, _) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| err(s.line, "`continue` outside loop".into()))?;
+                self.goto(cont);
+                self.reachable = false;
+            }
+            StmtKind::ExprStmt(e) => {
+                if let ExprKind::Call { name, args } = &e.kind {
+                    // Void calls are only legal as statements.
+                    self.gen_call(name, args, e.line, true)?;
+                } else {
+                    self.gen_expr(e)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- expressions ---------------------------------------------------------
+
+    fn gen_bool(&mut self, e: &Expr) -> Result<Operand, CompileError> {
+        let v = self.gen_expr(e)?;
+        if v.ty != Ly::Bool {
+            return Err(err(e.line, format!("condition must be bool, found {}", v.ty.name())));
+        }
+        Ok(v.op)
+    }
+
+    fn gen_expr(&mut self, e: &Expr) -> Result<Val, CompileError> {
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok(Val { op: Operand::i64(*v), ty: Ly::Int }),
+            ExprKind::FloatLit(v) => Ok(Val { op: Operand::f64(*v), ty: Ly::Float }),
+            ExprKind::Var(name) => match self.lookup(name, e.line)? {
+                Binding::Scalar(var) => {
+                    let cur = self.cur();
+                    Ok(Val { op: self.read_var(var, cur), ty: self.vars[var] })
+                }
+                Binding::Array { .. } => {
+                    Err(err(e.line, format!("array `{name}` used as a scalar")))
+                }
+            },
+            ExprKind::Index { array, index } => {
+                let (base, elem) = match self.lookup(array, e.line)? {
+                    Binding::Array { base, elem } => (base, elem),
+                    Binding::Scalar(_) => {
+                        return Err(err(e.line, format!("`{array}` is not an array")))
+                    }
+                };
+                let idx = self.gen_expr(index)?;
+                if idx.ty != Ly::Int {
+                    return Err(err(e.line, "array index must be int".into()));
+                }
+                let addr = self.fb.gep(base, idx.op);
+                Ok(Val { op: self.fb.load(addr, elem.ir()), ty: elem })
+            }
+            ExprKind::Unary { op, expr } => {
+                let v = self.gen_expr(expr)?;
+                match op {
+                    UnaryOp::Neg => match v.ty {
+                        Ly::Int => {
+                            Ok(Val { op: self.fb.sub(Operand::i64(0), v.op), ty: Ly::Int })
+                        }
+                        Ly::Float => Ok(Val { op: self.fb.un(UnOp::FNeg, v.op), ty: Ly::Float }),
+                        Ly::Bool => Err(err(e.line, "cannot negate a bool".into())),
+                    },
+                    UnaryOp::Not => {
+                        if v.ty != Ly::Bool {
+                            return Err(err(e.line, "`!` needs a bool".into()));
+                        }
+                        Ok(Val { op: self.fb.un(UnOp::Not, v.op), ty: Ly::Bool })
+                    }
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let l = self.gen_expr(lhs)?;
+                let r = self.gen_expr(rhs)?;
+                self.gen_binary(*op, l, r, e.line)
+            }
+            ExprKind::Call { name, args } => {
+                let v = self.gen_call(name, args, e.line, false)?;
+                Ok(v.expect("non-statement call returns a value"))
+            }
+        }
+    }
+
+    fn gen_binary(&mut self, op: BinaryOp, l: Val, r: Val, line: u32) -> Result<Val, CompileError> {
+        use BinaryOp::*;
+        let need_same = |l: Val, r: Val| -> Result<Ly, CompileError> {
+            if l.ty != r.ty {
+                return Err(err(
+                    line,
+                    format!("operand types differ: {} vs {} (use i2f/f2i)", l.ty.name(), r.ty.name()),
+                ));
+            }
+            Ok(l.ty)
+        };
+        match op {
+            Add | Sub | Mul | Div => {
+                let ty = need_same(l, r)?;
+                let ir = match (op, ty) {
+                    (Add, Ly::Int) => BinOp::Add,
+                    (Sub, Ly::Int) => BinOp::Sub,
+                    (Mul, Ly::Int) => BinOp::Mul,
+                    (Div, Ly::Int) => BinOp::SDiv,
+                    (Add, Ly::Float) => BinOp::FAdd,
+                    (Sub, Ly::Float) => BinOp::FSub,
+                    (Mul, Ly::Float) => BinOp::FMul,
+                    (Div, Ly::Float) => BinOp::FDiv,
+                    _ => return Err(err(line, "arithmetic on bool".into())),
+                };
+                Ok(Val { op: self.fb.bin(ir, l.op, r.op), ty })
+            }
+            Rem | BitAnd | BitOr | BitXor | Shl | Shr => {
+                if l.ty != Ly::Int || r.ty != Ly::Int {
+                    return Err(err(line, "bitwise/modulo operators need int operands".into()));
+                }
+                let ir = match op {
+                    Rem => BinOp::SRem,
+                    BitAnd => BinOp::And,
+                    BitOr => BinOp::Or,
+                    BitXor => BinOp::Xor,
+                    Shl => BinOp::Shl,
+                    Shr => BinOp::AShr,
+                    _ => unreachable!(),
+                };
+                Ok(Val { op: self.fb.bin(ir, l.op, r.op), ty: Ly::Int })
+            }
+            Lt | Le | Gt | Ge | Eq | Ne => {
+                let ty = need_same(l, r)?;
+                let v = match ty {
+                    Ly::Int => {
+                        let pred = match op {
+                            Lt => IPred::Slt,
+                            Le => IPred::Sle,
+                            Gt => IPred::Sgt,
+                            Ge => IPred::Sge,
+                            Eq => IPred::Eq,
+                            Ne => IPred::Ne,
+                            _ => unreachable!(),
+                        };
+                        self.fb.icmp(pred, l.op, r.op)
+                    }
+                    Ly::Float => {
+                        let pred = match op {
+                            Lt => FPred::Olt,
+                            Le => FPred::Ole,
+                            Gt => FPred::Ogt,
+                            Ge => FPred::Oge,
+                            Eq => FPred::Oeq,
+                            Ne => FPred::One,
+                            _ => unreachable!(),
+                        };
+                        self.fb.fcmp(pred, l.op, r.op)
+                    }
+                    Ly::Bool => return Err(err(line, "cannot compare bools".into())),
+                };
+                Ok(Val { op: v, ty: Ly::Bool })
+            }
+            And | Or => {
+                if l.ty != Ly::Bool || r.ty != Ly::Bool {
+                    return Err(err(line, "`&&`/`||` need bool operands".into()));
+                }
+                let ir = if op == And { BinOp::And } else { BinOp::Or };
+                Ok(Val { op: self.fb.bin(ir, l.op, r.op), ty: Ly::Bool })
+            }
+        }
+    }
+
+    fn gen_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        line: u32,
+        statement: bool,
+    ) -> Result<Option<Val>, CompileError> {
+        // Builtins.
+        let unary_float = |me: &mut Self, op: UnOp, args: &[Expr]| -> Result<Option<Val>, CompileError> {
+            if args.len() != 1 {
+                return Err(err(line, format!("`{name}` takes one argument")));
+            }
+            let a = me.gen_expr(&args[0])?;
+            if a.ty != Ly::Float {
+                return Err(err(line, format!("`{name}` needs a float argument")));
+            }
+            Ok(Some(Val { op: me.fb.un(op, a.op), ty: Ly::Float }))
+        };
+        match name {
+            "sqrt" => return unary_float(self, UnOp::Sqrt, args),
+            "sin" => return unary_float(self, UnOp::Sin, args),
+            "cos" => return unary_float(self, UnOp::Cos, args),
+            "exp" => return unary_float(self, UnOp::Exp, args),
+            "log" => return unary_float(self, UnOp::Log, args),
+            "floor" => return unary_float(self, UnOp::Floor, args),
+            "fabs" => return unary_float(self, UnOp::FAbs, args),
+            "i2f" => {
+                if args.len() != 1 {
+                    return Err(err(line, "`i2f` takes one argument".into()));
+                }
+                let a = self.gen_expr(&args[0])?;
+                if a.ty != Ly::Int {
+                    return Err(err(line, "`i2f` needs an int".into()));
+                }
+                let v = self.fb.cast(CastKind::SiToFp, a.op, Ty::F64);
+                return Ok(Some(Val { op: v, ty: Ly::Float }));
+            }
+            "f2i" => {
+                if args.len() != 1 {
+                    return Err(err(line, "`f2i` takes one argument".into()));
+                }
+                let a = self.gen_expr(&args[0])?;
+                if a.ty != Ly::Float {
+                    return Err(err(line, "`f2i` needs a float".into()));
+                }
+                let v = self.fb.cast(CastKind::FpToSi, a.op, Ty::I64);
+                return Ok(Some(Val { op: v, ty: Ly::Int }));
+            }
+            "abs" => {
+                if args.len() != 1 {
+                    return Err(err(line, "`abs` takes one argument".into()));
+                }
+                let a = self.gen_expr(&args[0])?;
+                if a.ty != Ly::Int {
+                    return Err(err(line, "`abs` needs an int (use fabs for floats)".into()));
+                }
+                let neg = self.fb.sub(Operand::i64(0), a.op);
+                let isneg = self.fb.icmp(IPred::Slt, a.op, Operand::i64(0));
+                let v = self.fb.select(isneg, neg, a.op);
+                return Ok(Some(Val { op: v, ty: Ly::Int }));
+            }
+            "min" | "max" | "fmin" | "fmax" => {
+                if args.len() != 2 {
+                    return Err(err(line, format!("`{name}` takes two arguments")));
+                }
+                let a = self.gen_expr(&args[0])?;
+                let b = self.gen_expr(&args[1])?;
+                let is_float = name.starts_with('f');
+                let want = if is_float { Ly::Float } else { Ly::Int };
+                if a.ty != want || b.ty != want {
+                    return Err(err(line, format!("`{name}` needs two {} arguments", want.name())));
+                }
+                let lt = if is_float {
+                    self.fb.fcmp(FPred::Olt, a.op, b.op)
+                } else {
+                    self.fb.icmp(IPred::Slt, a.op, b.op)
+                };
+                let v = if name.ends_with("min") {
+                    self.fb.select(lt, a.op, b.op)
+                } else {
+                    self.fb.select(lt, b.op, a.op)
+                };
+                return Ok(Some(Val { op: v, ty: want }));
+            }
+            _ => {}
+        }
+
+        let (fid, ptys, ret) = self
+            .sigs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| err(line, format!("unknown function `{name}`")))?;
+        if args.len() != ptys.len() {
+            return Err(err(
+                line,
+                format!("`{name}` takes {} arguments, got {}", ptys.len(), args.len()),
+            ));
+        }
+        let mut ops = Vec::with_capacity(args.len());
+        for (a, want) in args.iter().zip(&ptys) {
+            let v = self.gen_expr(a)?;
+            if v.ty != *want {
+                return Err(err(
+                    a.line,
+                    format!("argument type mismatch: expected {}, got {}", want.name(), v.ty.name()),
+                ));
+            }
+            ops.push(v.op);
+        }
+        let result = self.fb.call(fid, &ops);
+        match (result, ret) {
+            (Some(op), Some(ty)) => Ok(Some(Val { op, ty })),
+            (None, None) => {
+                if !statement {
+                    return Err(err(line, format!("void function `{name}` used in an expression")));
+                }
+                Ok(None)
+            }
+            _ => unreachable!("builder/result mismatch"),
+        }
+    }
+}
+
+fn zero_of(ty: Ly) -> Operand {
+    match ty {
+        Ly::Int => Operand::i64(0),
+        Ly::Float => Operand::f64(0.0),
+        Ly::Bool => Operand::bool(false),
+    }
+}

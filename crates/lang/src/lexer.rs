@@ -1,0 +1,252 @@
+//! MiniC lexer.
+
+use crate::token::{SpannedTok, Tok};
+use crate::CompileError;
+
+/// Tokenizes MiniC source. Supports `//` line comments and `/* */` block
+/// comments.
+pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let err = |line: u32, msg: String| CompileError { line, message: msg };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err(start, "unterminated block comment".into()));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &source[start..i];
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| err(line, format!("bad float literal `{text}`")))?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| err(line, format!("bad int literal `{text}`")))?)
+                };
+                out.push(SpannedTok { tok, line });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                let tok = match word {
+                    "fn" => Tok::Fn,
+                    "let" => Tok::Let,
+                    "var" => Tok::Var,
+                    "global" => Tok::Global,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "for" => Tok::For,
+                    "return" => Tok::Return,
+                    "output" => Tok::Output,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    "int" => Tok::TyInt,
+                    "float" => Tok::TyFloat,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(SpannedTok { tok, line });
+            }
+            _ => {
+                // Two-byte operator lookahead must not slice mid-way
+                // through a multi-byte UTF-8 character.
+                let two = if i + 1 < bytes.len()
+                    && bytes[i].is_ascii()
+                    && bytes[i + 1].is_ascii()
+                {
+                    &source[i..i + 2]
+                } else {
+                    ""
+                };
+                let (tok, len) = match two {
+                    "->" => (Tok::Arrow, 2),
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    "&&" => (Tok::AmpAmp, 2),
+                    "||" => (Tok::PipePipe, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::NotEq, 2),
+                    _ => {
+                        let t = match c {
+                            b'(' => Tok::LParen,
+                            b')' => Tok::RParen,
+                            b'{' => Tok::LBrace,
+                            b'}' => Tok::RBrace,
+                            b'[' => Tok::LBracket,
+                            b']' => Tok::RBracket,
+                            b',' => Tok::Comma,
+                            b';' => Tok::Semi,
+                            b':' => Tok::Colon,
+                            b'=' => Tok::Assign,
+                            b'+' => Tok::Plus,
+                            b'-' => Tok::Minus,
+                            b'*' => Tok::Star,
+                            b'/' => Tok::Slash,
+                            b'%' => Tok::Percent,
+                            b'&' => Tok::Amp,
+                            b'|' => Tok::Pipe,
+                            b'^' => Tok::Caret,
+                            b'!' => Tok::Bang,
+                            b'<' => Tok::Lt,
+                            b'>' => Tok::Gt,
+                            other => {
+                                return Err(err(
+                                    line,
+                                    format!("unexpected character `{}`", other as char),
+                                ))
+                            }
+                        };
+                        (t, 1)
+                    }
+                };
+                out.push(SpannedTok { tok, line });
+                i += len;
+            }
+        }
+    }
+    out.push(SpannedTok { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("fn foo int floaty"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("foo".into()),
+                Tok::TyInt,
+                Tok::Ident("floaty".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 3.5 1e3 2.5e-2 7"),
+            vec![
+                Tok::Int(42),
+                Tok::Float(3.5),
+                Tok::Float(1000.0),
+                Tok::Float(0.025),
+                Tok::Int(7),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn int_then_method_like_dot_is_error_free() {
+        // `1.` without digits stays an int followed by something else.
+        let r = lex("1.");
+        // '.' is not a valid token on its own.
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("-> << >> && || <= >= == !="),
+            vec![
+                Tok::Arrow,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::AmpAmp,
+                Tok::PipePipe,
+                Tok::Le,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_lines_counted() {
+        let ts = lex("// one\n/* two\nthree */ x").unwrap();
+        assert_eq!(ts[0].tok, Tok::Ident("x".into()));
+        assert_eq!(ts[0].line, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn line_numbers() {
+        let ts = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = ts.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+}

@@ -1,0 +1,74 @@
+//! MiniC — a small C-like language compiled to PIR.
+//!
+//! The paper's users "only need to provide the source code of the target
+//! program" (§4.1); the benchmarks are C/C++ mini-apps compiled to LLVM IR
+//! with clang 3.4. MiniC plays clang's role here: the seven benchmark
+//! kernels in `peppa-apps` are written in MiniC and compiled to PIR by
+//! this crate.
+//!
+//! The language is deliberately small but covers what HPC kernels need:
+//!
+//! * `int` (i64) and `float` (f64) scalars, `bool`-typed conditions;
+//! * global and stack arrays of either element type;
+//! * `if`/`else`, `while`, C-style `for`, `break`/`continue`;
+//! * functions with scalar parameters and results;
+//! * arithmetic, comparisons, bitwise ops on `int` (`& | ^ << >>`, `%`),
+//!   logical `&& || !` (non-short-circuiting — both sides evaluate);
+//! * math builtins `sqrt sin cos exp log floor fabs fmin fmax min max
+//!   abs i2f f2i`;
+//! * `output e;` — appends a value to the program's observable output,
+//!   the stream compared against the golden run for SDC detection.
+//!
+//! Compilation builds pruned SSA directly (Braun et al.'s algorithm,
+//! adapted to block parameters), so the emitted PIR resembles optimized
+//! LLVM IR — the form fault-injection studies run on — rather than the
+//! load/store soup of `-O0`.
+//!
+//! ```
+//! let src = r#"
+//!     fn main(n: int) -> int {
+//!         let sum = 0;
+//!         for (i = 0; i < n; i = i + 1) { sum = sum + i * i; }
+//!         output sum;
+//!         return sum;
+//!     }
+//! "#;
+//! let module = peppa_lang::compile(src, "sum_squares").unwrap();
+//! assert!(module.num_instrs > 0);
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{Program, Type};
+pub use codegen::compile_program;
+pub use parser::parse;
+
+/// A compilation failure with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles MiniC source to a verified PIR module.
+pub fn compile(source: &str, module_name: &str) -> Result<peppa_ir::Module, CompileError> {
+    let program = parse(source)?;
+    let module = compile_program(&program, module_name)?;
+    peppa_ir::verify(&module).map_err(|e| CompileError {
+        line: 0,
+        message: format!("internal: generated IR failed verification: {e}"),
+    })?;
+    Ok(module)
+}

@@ -1,0 +1,483 @@
+//! Recursive-descent parser for MiniC.
+
+use crate::ast::*;
+use crate::lexer::lex;
+use crate::token::{SpannedTok, Tok};
+use crate::CompileError;
+
+/// Parses MiniC source into a [`Program`].
+pub fn parse(source: &str) -> Result<Program, CompileError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == want {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), CompileError> {
+        if self.peek() == &want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {}, found {}", want.describe(), self.peek().describe())))
+        }
+    }
+
+    fn err(&self, message: String) -> CompileError {
+        CompileError { line: self.line(), message }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type, CompileError> {
+        match self.bump() {
+            Tok::TyInt => Ok(Type::Int),
+            Tok::TyFloat => Ok(Type::Float),
+            other => Err(self.err(format!("expected type, found {}", other.describe()))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut prog = Program::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Global => prog.globals.push(self.global()?),
+                Tok::Fn => prog.funcs.push(self.func()?),
+                other => {
+                    return Err(self.err(format!(
+                        "expected `global` or `fn` at top level, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        }
+        Ok(prog)
+    }
+
+    fn global(&mut self) -> Result<GlobalDecl, CompileError> {
+        let line = self.line();
+        self.expect(Tok::Global)?;
+        let elem = self.ty()?;
+        let name = self.ident()?;
+        self.expect(Tok::LBracket)?;
+        let size = match self.bump() {
+            Tok::Int(v) if v > 0 => v as u64,
+            other => {
+                return Err(self.err(format!(
+                    "global size must be a positive integer literal, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        self.expect(Tok::RBracket)?;
+        self.expect(Tok::Semi)?;
+        Ok(GlobalDecl { name, elem, size, line })
+    }
+
+    fn func(&mut self) -> Result<FuncDecl, CompileError> {
+        let line = self.line();
+        self.expect(Tok::Fn)?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                let pname = self.ident()?;
+                self.expect(Tok::Colon)?;
+                let pty = self.ty()?;
+                params.push((pname, pty));
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(Tok::Comma)?;
+            }
+        }
+        let ret = if self.eat(&Tok::Arrow) { Some(self.ty()?) } else { None };
+        let body = self.block()?;
+        Ok(FuncDecl { name, params, ret, body, line })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.peek() == &Tok::Eof {
+                return Err(self.err("unterminated block".into()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        let kind = match self.peek().clone() {
+            Tok::Let => {
+                self.bump();
+                let name = self.ident()?;
+                let ty = if self.eat(&Tok::Colon) { Some(self.ty()?) } else { None };
+                self.expect(Tok::Assign)?;
+                let init = self.expr()?;
+                self.expect(Tok::Semi)?;
+                StmtKind::Let { name, ty, init }
+            }
+            Tok::Var => {
+                self.bump();
+                let elem = self.ty()?;
+                let name = self.ident()?;
+                self.expect(Tok::LBracket)?;
+                let size = self.expr()?;
+                self.expect(Tok::RBracket)?;
+                self.expect(Tok::Semi)?;
+                StmtKind::LocalArray { name, elem, size }
+            }
+            Tok::If => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then_blk = self.block()?;
+                let else_blk = if self.eat(&Tok::Else) {
+                    if self.peek() == &Tok::If {
+                        // `else if`: wrap the nested if as a one-statement block.
+                        Some(vec![self.stmt()?])
+                    } else {
+                        Some(self.block()?)
+                    }
+                } else {
+                    None
+                };
+                return Ok(Stmt { kind: StmtKind::If { cond, then_blk, else_blk }, line });
+            }
+            Tok::While => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                return Ok(Stmt { kind: StmtKind::While { cond, body }, line });
+            }
+            Tok::For => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let var = self.ident()?;
+                self.expect(Tok::Assign)?;
+                let init = self.expr()?;
+                self.expect(Tok::Semi)?;
+                let cond = self.expr()?;
+                self.expect(Tok::Semi)?;
+                let var2 = self.ident()?;
+                if var2 != var {
+                    return Err(self.err(format!(
+                        "for-loop step must assign to `{var}`, found `{var2}`"
+                    )));
+                }
+                self.expect(Tok::Assign)?;
+                let step = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                return Ok(Stmt { kind: StmtKind::For { var, init, cond, step, body }, line });
+            }
+            Tok::Return => {
+                self.bump();
+                let value = if self.peek() == &Tok::Semi { None } else { Some(self.expr()?) };
+                self.expect(Tok::Semi)?;
+                StmtKind::Return(value)
+            }
+            Tok::Output => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::Semi)?;
+                StmtKind::Output(e)
+            }
+            Tok::Break => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                StmtKind::Break
+            }
+            Tok::Continue => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                StmtKind::Continue
+            }
+            Tok::Ident(name) => {
+                // Could be: assignment, indexed store, or expression stmt.
+                match &self.tokens[self.pos + 1].tok {
+                    Tok::Assign => {
+                        self.bump();
+                        self.bump();
+                        let value = self.expr()?;
+                        self.expect(Tok::Semi)?;
+                        StmtKind::Assign { name, value }
+                    }
+                    Tok::LBracket => {
+                        // Lookahead cannot distinguish `a[i] = e;` from the
+                        // expression `a[i] + 1;` without parsing the index.
+                        let save = self.pos;
+                        self.bump();
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(Tok::RBracket)?;
+                        if self.eat(&Tok::Assign) {
+                            let value = self.expr()?;
+                            self.expect(Tok::Semi)?;
+                            StmtKind::StoreIndex { array: name, index, value }
+                        } else {
+                            self.pos = save;
+                            let e = self.expr()?;
+                            self.expect(Tok::Semi)?;
+                            StmtKind::ExprStmt(e)
+                        }
+                    }
+                    _ => {
+                        let e = self.expr()?;
+                        self.expect(Tok::Semi)?;
+                        StmtKind::ExprStmt(e)
+                    }
+                }
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect(Tok::Semi)?;
+                StmtKind::ExprStmt(e)
+            }
+        };
+        Ok(Stmt { kind, line })
+    }
+
+    // Expression parsing: precedence climbing.
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::PipePipe => (BinaryOp::Or, 1),
+                Tok::AmpAmp => (BinaryOp::And, 2),
+                Tok::Pipe => (BinaryOp::BitOr, 3),
+                Tok::Caret => (BinaryOp::BitXor, 4),
+                Tok::Amp => (BinaryOp::BitAnd, 5),
+                Tok::EqEq => (BinaryOp::Eq, 6),
+                Tok::NotEq => (BinaryOp::Ne, 6),
+                Tok::Lt => (BinaryOp::Lt, 7),
+                Tok::Le => (BinaryOp::Le, 7),
+                Tok::Gt => (BinaryOp::Gt, 7),
+                Tok::Ge => (BinaryOp::Ge, 7),
+                Tok::Shl => (BinaryOp::Shl, 8),
+                Tok::Shr => (BinaryOp::Shr, 8),
+                Tok::Plus => (BinaryOp::Add, 9),
+                Tok::Minus => (BinaryOp::Sub, 9),
+                Tok::Star => (BinaryOp::Mul, 10),
+                Tok::Slash => (BinaryOp::Div, 10),
+                Tok::Percent => (BinaryOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr { kind: ExprKind::Unary { op: UnaryOp::Neg, expr: Box::new(e) }, line })
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr { kind: ExprKind::Unary { op: UnaryOp::Not, expr: Box::new(e) }, line })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        let kind = match self.bump() {
+            Tok::Int(v) => ExprKind::IntLit(v),
+            Tok::Float(v) => ExprKind::FloatLit(v),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                return Ok(e);
+            }
+            Tok::Ident(name) => match self.peek() {
+                Tok::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(Tok::Comma)?;
+                        }
+                    }
+                    ExprKind::Call { name, args }
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    let index = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    ExprKind::Index { array: name, index: Box::new(index) }
+                }
+                _ => ExprKind::Var(name),
+            },
+            other => {
+                return Err(CompileError {
+                    line,
+                    message: format!("expected expression, found {}", other.describe()),
+                })
+            }
+        };
+        Ok(Expr { kind, line })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_function() {
+        let p = parse("fn main() { }").unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "main");
+        assert!(p.funcs[0].body.is_empty());
+    }
+
+    #[test]
+    fn parses_globals() {
+        let p = parse("global float grid[64]; global int idx[8]; fn main() {}").unwrap();
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[0].size, 64);
+        assert_eq!(p.globals[1].elem, Type::Int);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("fn main() { let x = 1 + 2 * 3; }").unwrap();
+        let StmtKind::Let { init, .. } = &p.funcs[0].body[0].kind else { panic!() };
+        let ExprKind::Binary { op: BinaryOp::Add, rhs, .. } = &init.kind else {
+            panic!("expected top-level add, got {init:?}")
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary { op: BinaryOp::Mul, .. }));
+    }
+
+    #[test]
+    fn precedence_cmp_over_and() {
+        let p = parse("fn main() { let x = 1; if (x < 2 && x > 0) { } }").unwrap();
+        let StmtKind::If { cond, .. } = &p.funcs[0].body[1].kind else { panic!() };
+        assert!(matches!(cond.kind, ExprKind::Binary { op: BinaryOp::And, .. }));
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let p = parse("fn main() { for (i = 0; i < 10; i = i + 1) { output i; } }").unwrap();
+        let StmtKind::For { var, body, .. } = &p.funcs[0].body[0].kind else { panic!() };
+        assert_eq!(var, "i");
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn for_step_var_must_match() {
+        let e = parse("fn main() { for (i = 0; i < 10; j = j + 1) { } }").unwrap_err();
+        assert!(e.message.contains("must assign to `i`"), "{e}");
+    }
+
+    #[test]
+    fn indexed_store_vs_expression() {
+        let p = parse("global int a[4]; fn main() { a[0] = 1; a[0]; }").unwrap();
+        assert!(matches!(p.funcs[0].body[0].kind, StmtKind::StoreIndex { .. }));
+        assert!(matches!(p.funcs[0].body[1].kind, StmtKind::ExprStmt(_)));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = parse("fn main(x: int) { if (x < 0) { } else if (x > 0) { } else { } }").unwrap();
+        let StmtKind::If { else_blk, .. } = &p.funcs[0].body[0].kind else { panic!() };
+        let inner = else_blk.as_ref().unwrap();
+        assert!(matches!(inner[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn call_with_args() {
+        let p = parse("fn main() { let y = f(1, 2.5, g()); }").unwrap();
+        let StmtKind::Let { init, .. } = &p.funcs[0].body[0].kind else { panic!() };
+        let ExprKind::Call { name, args } = &init.kind else { panic!() };
+        assert_eq!(name, "f");
+        assert_eq!(args.len(), 3);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = parse("fn main() {\n let x = ;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn unary_chains() {
+        let p = parse("fn main() { let x = --1; let y = 1; if (!(y < 2)) { } }").unwrap();
+        assert_eq!(p.funcs[0].body.len(), 3);
+    }
+
+    #[test]
+    fn return_void_and_value() {
+        let p = parse("fn a() { return; } fn b() -> int { return 3; }").unwrap();
+        assert!(matches!(p.funcs[0].body[0].kind, StmtKind::Return(None)));
+        assert!(matches!(p.funcs[1].body[0].kind, StmtKind::Return(Some(_))));
+    }
+}

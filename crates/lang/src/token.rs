@@ -1,0 +1,128 @@
+//! MiniC tokens.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and identifiers
+    Int(i64),
+    Float(f64),
+    Ident(String),
+    // Keywords
+    Fn,
+    Let,
+    Var,
+    Global,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Output,
+    Break,
+    Continue,
+    TyInt,
+    TyFloat,
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Arrow,
+    // Operators
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    AmpAmp,
+    PipePipe,
+    Bang,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    Eof,
+}
+
+impl Tok {
+    /// Human-readable name for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Int(v) => format!("integer literal {v}"),
+            Tok::Float(v) => format!("float literal {v}"),
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        match self {
+            Tok::Fn => "fn",
+            Tok::Let => "let",
+            Tok::Var => "var",
+            Tok::Global => "global",
+            Tok::If => "if",
+            Tok::Else => "else",
+            Tok::While => "while",
+            Tok::For => "for",
+            Tok::Return => "return",
+            Tok::Output => "output",
+            Tok::Break => "break",
+            Tok::Continue => "continue",
+            Tok::TyInt => "int",
+            Tok::TyFloat => "float",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::Comma => ",",
+            Tok::Semi => ";",
+            Tok::Colon => ":",
+            Tok::Arrow => "->",
+            Tok::Assign => "=",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::Amp => "&",
+            Tok::Pipe => "|",
+            Tok::Caret => "^",
+            Tok::Shl => "<<",
+            Tok::Shr => ">>",
+            Tok::AmpAmp => "&&",
+            Tok::PipePipe => "||",
+            Tok::Bang => "!",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Gt => ">",
+            Tok::Ge => ">=",
+            Tok::EqEq => "==",
+            Tok::NotEq => "!=",
+            Tok::Int(_) | Tok::Float(_) | Tok::Ident(_) | Tok::Eof => unreachable!(),
+        }
+    }
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub line: u32,
+}

@@ -1,0 +1,393 @@
+//! End-to-end tests: compile MiniC, execute on the PIR VM, compare the
+//! observable output against a Rust reference computation.
+
+use peppa_vm::{ExecLimits, RunStatus, Vm};
+use proptest::prelude::*;
+
+fn run(src: &str, inputs: &[f64]) -> peppa_vm::RunOutput {
+    let m = peppa_lang::compile(src, "test").expect("compile");
+    let vm = Vm::new(&m, ExecLimits::default());
+    vm.run_numeric(inputs, None)
+}
+
+fn run_ok(src: &str, inputs: &[f64]) -> Vec<u64> {
+    let out = run(src, inputs);
+    assert_eq!(out.status, RunStatus::Ok, "program did not exit cleanly");
+    out.output
+}
+
+fn as_f64(bits: &[u64]) -> Vec<f64> {
+    bits.iter().map(|&b| f64::from_bits(b)).collect()
+}
+
+#[test]
+fn arithmetic_and_output() {
+    let out = run_ok(
+        "fn main(a: int, b: int) { output a + b * 2; output a % b; output a / b; }",
+        &[17.0, 5.0],
+    );
+    assert_eq!(out, vec![27, 2, 3]);
+}
+
+#[test]
+fn float_math_builtins() {
+    let out = run_ok(
+        "fn main(x: float) { output sqrt(x); output fabs(0.0 - x); output floor(x); }",
+        &[6.25],
+    );
+    assert_eq!(as_f64(&out), vec![2.5, 6.25, 6.0]);
+}
+
+#[test]
+fn while_loop_factorial() {
+    let src = r#"
+        fn main(n: int) {
+            let f = 1;
+            let i = 1;
+            while (i <= n) { f = f * i; i = i + 1; }
+            output f;
+        }
+    "#;
+    assert_eq!(run_ok(src, &[10.0]), vec![3628800]);
+}
+
+#[test]
+fn for_loop_with_break_continue() {
+    let src = r#"
+        fn main(n: int) {
+            let acc = 0;
+            for (i = 0; i < n; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                if (i > 20) { break; }
+                acc = acc + i;
+            }
+            output acc;
+        }
+    "#;
+    // 1+3+...+19 = 100.
+    assert_eq!(run_ok(src, &[1000.0]), vec![100]);
+}
+
+#[test]
+fn nested_loops_and_arrays() {
+    let src = r#"
+        global float grid[100];
+        fn main(n: int) {
+            for (i = 0; i < n; i = i + 1) {
+                for (j = 0; j < n; j = j + 1) {
+                    grid[i * n + j] = i2f(i) * 10.0 + i2f(j);
+                }
+            }
+            let sum = 0.0;
+            for (k = 0; k < n * n; k = k + 1) { sum = sum + grid[k]; }
+            output sum;
+        }
+    "#;
+    // n=4: sum over i,j of (10i + j) = 10*16*1.5 + 16*1.5 = 240+24.
+    assert_eq!(as_f64(&run_ok(src, &[4.0])), vec![264.0]);
+}
+
+#[test]
+fn local_stack_arrays() {
+    let src = r#"
+        fn main(n: int) {
+            var int buf[n];
+            for (i = 0; i < n; i = i + 1) { buf[i] = i * i; }
+            let s = 0;
+            for (i = 0; i < n; i = i + 1) { s = s + buf[i]; }
+            output s;
+        }
+    "#;
+    assert_eq!(run_ok(src, &[5.0]), vec![30]);
+}
+
+#[test]
+fn functions_and_recursion() {
+    let src = r#"
+        fn fib(n: int) -> int {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main(n: int) { output fib(n); }
+    "#;
+    assert_eq!(run_ok(src, &[15.0]), vec![610]);
+}
+
+#[test]
+fn if_else_chains_ssa_merge() {
+    let src = r#"
+        fn main(x: int) {
+            let y = 0;
+            if (x < 0) { y = 1; }
+            else if (x == 0) { y = 2; }
+            else { y = 3; }
+            output y;
+        }
+    "#;
+    assert_eq!(run_ok(src, &[-5.0]), vec![1]);
+    assert_eq!(run_ok(src, &[0.0]), vec![2]);
+    assert_eq!(run_ok(src, &[9.0]), vec![3]);
+}
+
+#[test]
+fn variable_defined_in_both_arms() {
+    // The classic SSA diamond: both arms assign, merge needs a φ.
+    let src = r#"
+        fn main(x: int) {
+            let a = x;
+            let b = 0;
+            if (a > 10) { b = a * 2; a = 1; } else { b = a + 100; a = 2; }
+            output a + b;
+        }
+    "#;
+    assert_eq!(run_ok(src, &[20.0]), vec![41]);
+    assert_eq!(run_ok(src, &[3.0]), vec![105]);
+}
+
+#[test]
+fn loop_carried_ssa_values() {
+    // Two interleaved loop-carried variables exercise back-edge φs.
+    let src = r#"
+        fn main(n: int) {
+            let a = 0;
+            let b = 1;
+            for (i = 0; i < n; i = i + 1) {
+                let t = a + b;
+                a = b;
+                b = t;
+            }
+            output a;
+        }
+    "#;
+    assert_eq!(run_ok(src, &[10.0]), vec![55]); // fib(10)
+}
+
+#[test]
+fn bitwise_ops() {
+    let src = r#"
+        fn main(x: int, y: int) {
+            output x & y;
+            output x | y;
+            output x ^ y;
+            output x << 3;
+            output x >> 1;
+        }
+    "#;
+    assert_eq!(run_ok(src, &[12.0, 10.0]), vec![8, 14, 6, 96, 6]);
+}
+
+#[test]
+fn logical_ops_non_short_circuit() {
+    let src = r#"
+        fn main(x: int) {
+            let r = 0;
+            if (x > 0 && x < 10) { r = 1; }
+            if (x < 0 || x > 100) { r = r + 2; }
+            if (!(x == 5)) { r = r + 4; }
+            output r;
+        }
+    "#;
+    assert_eq!(run_ok(src, &[5.0]), vec![1]);
+    assert_eq!(run_ok(src, &[200.0]), vec![6]);
+}
+
+#[test]
+fn min_max_abs_builtins() {
+    let src = r#"
+        fn main(a: int, x: float) {
+            output min(a, 3);
+            output max(a, 3);
+            output abs(0 - a);
+            output fmin(x, 1.5);
+            output fmax(x, 1.5);
+        }
+    "#;
+    let out = run_ok(src, &[7.0, 0.5]);
+    assert_eq!(&out[..3], &[3, 7, 7]);
+    assert_eq!(as_f64(&out[3..]), vec![0.5, 1.5]);
+}
+
+#[test]
+fn conversions() {
+    let src = "fn main(x: float, n: int) { output f2i(x); output i2f(n) * 0.5; }";
+    let out = run_ok(src, &[7.9, 9.0]);
+    assert_eq!(out[0], 7); // trunc toward zero
+    assert_eq!(f64::from_bits(out[1]), 4.5);
+}
+
+#[test]
+fn early_return_skips_output() {
+    let src = r#"
+        fn main(x: int) {
+            if (x > 0) { output 1; return; }
+            output 2;
+        }
+    "#;
+    assert_eq!(run_ok(src, &[5.0]), vec![1]);
+    assert_eq!(run_ok(src, &[-5.0]), vec![2]);
+}
+
+#[test]
+fn unreachable_code_after_return_in_both_arms() {
+    let src = r#"
+        fn main(x: int) -> int {
+            if (x > 0) { return 1; } else { return 2; }
+        }
+    "#;
+    let out = run(src, &[1.0]);
+    assert_eq!(out.status, RunStatus::Ok);
+    assert_eq!(out.ret, Some(1));
+}
+
+#[test]
+fn void_function_call_statement() {
+    let src = r#"
+        global int acc[1];
+        fn bump(v: int) { acc[0] = acc[0] + v; }
+        fn main() { bump(3); bump(4); output acc[0]; }
+    "#;
+    assert_eq!(run_ok(src, &[]), vec![7]);
+}
+
+#[test]
+fn shadowing_in_inner_scopes() {
+    let src = r#"
+        fn main() {
+            let x = 1;
+            if (x == 1) {
+                let x = 50;
+                output x;
+            }
+            output x;
+        }
+    "#;
+    assert_eq!(run_ok(src, &[]), vec![50, 1]);
+}
+
+// ---- compile errors -------------------------------------------------------
+
+#[test]
+fn type_error_mixed_arithmetic() {
+    let e = peppa_lang::compile("fn main() { let x = 1 + 2.0; }", "t").unwrap_err();
+    assert!(e.message.contains("i2f"), "{e}");
+}
+
+#[test]
+fn error_unknown_variable() {
+    let e = peppa_lang::compile("fn main() { output y; }", "t").unwrap_err();
+    assert!(e.message.contains("unknown variable"), "{e}");
+}
+
+#[test]
+fn error_missing_main() {
+    let e = peppa_lang::compile("fn helper() { }", "t").unwrap_err();
+    assert!(e.message.contains("main"), "{e}");
+}
+
+#[test]
+fn error_break_outside_loop() {
+    let e = peppa_lang::compile("fn main() { break; }", "t").unwrap_err();
+    assert!(e.message.contains("break"), "{e}");
+}
+
+#[test]
+fn error_missing_return_path() {
+    let e = peppa_lang::compile(
+        "fn main(x: int) -> int { if (x > 0) { return 1; } }",
+        "t",
+    )
+    .unwrap_err();
+    assert!(e.message.contains("without returning"), "{e}");
+}
+
+#[test]
+fn error_condition_not_bool() {
+    let e = peppa_lang::compile("fn main(x: int) { if (x) { } }", "t").unwrap_err();
+    assert!(e.message.contains("bool"), "{e}");
+}
+
+#[test]
+fn error_wrong_arity() {
+    let e = peppa_lang::compile(
+        "fn f(a: int) -> int { return a; } fn main() { output f(1, 2); }",
+        "t",
+    )
+    .unwrap_err();
+    assert!(e.message.contains("arguments"), "{e}");
+}
+
+// ---- property tests ---------------------------------------------------------
+
+/// Reference semantics for the property-tested kernel below.
+fn reference_kernel(n: i64, a: i64, b: i64) -> i64 {
+    let mut acc: i64 = 0;
+    let mut x = a;
+    for i in 0..n {
+        if x % 3 == 0 {
+            x = x.wrapping_mul(2).wrapping_add(b);
+        } else {
+            x = x.wrapping_sub(i);
+        }
+        acc = acc.wrapping_add(x.min(1000));
+    }
+    acc
+}
+
+const KERNEL: &str = r#"
+    fn main(n: int, a: int, b: int) {
+        let acc = 0;
+        let x = a;
+        for (i = 0; i < n; i = i + 1) {
+            if (x % 3 == 0) { x = x * 2 + b; }
+            else { x = x - i; }
+            acc = acc + min(x, 1000);
+        }
+        output acc;
+    }
+"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compiled_kernel_matches_rust_reference(
+        n in 0i64..60,
+        a in -1000i64..1000,
+        b in -50i64..50,
+    ) {
+        let out = run_ok(KERNEL, &[n as f64, a as f64, b as f64]);
+        prop_assert_eq!(out[0] as i64, reference_kernel(n, a, b));
+    }
+
+    #[test]
+    fn float_accumulation_matches(
+        n in 1i64..40,
+        s in 0.1f64..10.0,
+    ) {
+        let src = r#"
+            fn main(n: int, s: float) {
+                let acc = 0.0;
+                for (i = 0; i < n; i = i + 1) {
+                    acc = acc + sqrt(s + i2f(i));
+                }
+                output acc;
+            }
+        "#;
+        let out = run_ok(src, &[n as f64, s]);
+        let mut want = 0.0f64;
+        for i in 0..n {
+            want += (s + i as f64).sqrt();
+        }
+        prop_assert_eq!(f64::from_bits(out[0]), want);
+    }
+
+    #[test]
+    fn deterministic_across_runs(n in 0i64..30, a in -100i64..100) {
+        let m = peppa_lang::compile(KERNEL, "t").unwrap();
+        let vm = Vm::new(&m, ExecLimits::default());
+        let r1 = vm.run_numeric(&[n as f64, a as f64, 7.0], None);
+        let r2 = vm.run_numeric(&[n as f64, a as f64, 7.0], None);
+        prop_assert_eq!(r1.output, r2.output);
+        prop_assert_eq!(r1.profile.exec_counts, r2.profile.exec_counts);
+    }
+}

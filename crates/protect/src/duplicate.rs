@@ -1,0 +1,297 @@
+//! The duplicate-and-check IR transform.
+//!
+//! For each protected instruction `r = op a, b`, the transform inserts:
+//!
+//! ```text
+//! r' = op a, b                 ; recompute
+//! c  = icmp eq r, r'           ; (via bitcast to i64 for f64 values)
+//! p  = select c, @scratch, null
+//! store 0, p                   ; null store traps => fault detected
+//! ```
+//!
+//! A transient fault that corrupts `r` (or `r'`, or the checker itself)
+//! makes the comparison fail, steering the store to the null address —
+//! an immediate trap, turning a would-be SDC into a detected failure.
+//! This is the semantics of compiler-level selective duplication [1, 18,
+//! 28]: side-effect-free value-producing instructions are protectable;
+//! calls and allocas are not (re-execution would change program state).
+
+use peppa_ir::{
+    Block, CastKind, Const, IPred, Instr, InstrId, Module, Op, Operand, Ty, ValueId,
+};
+use std::collections::HashSet;
+
+/// A protected module plus the mapping from its (renumbered) instruction
+/// ids back to the original module's ids.
+#[derive(Debug, Clone)]
+pub struct ProtectedModule {
+    pub module: Module,
+    /// `origin[new_sid] = Some(old_sid)` for instructions carried over
+    /// from the original program, `None` for inserted detector code.
+    pub origin: Vec<Option<InstrId>>,
+}
+
+/// True if the duplicate-and-check transform can protect this opcode.
+pub fn protectable(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Bin { .. }
+            | Op::Un { .. }
+            | Op::Icmp { .. }
+            | Op::Fcmp { .. }
+            | Op::Select { .. }
+            | Op::Cast { .. }
+            | Op::Gep { .. }
+            | Op::Load { .. }
+    )
+}
+
+/// Applies selective duplication to `module`, protecting the
+/// instructions in `selected` (non-protectable entries are ignored).
+pub fn apply_protection(module: &Module, selected: &HashSet<InstrId>) -> ProtectedModule {
+    let mut out = module.clone();
+
+    // Scratch word the detector stores to on the OK path.
+    let scratch_addr = out.globals_words();
+    out.globals.push(peppa_ir::Global {
+        name: "__detect_ok".to_string(),
+        words: 1,
+        init: Vec::new(),
+    });
+
+    for func in &mut out.functions {
+        let mut new_blocks = Vec::with_capacity(func.blocks.len());
+        for block in &func.blocks {
+            let mut instrs: Vec<Instr> = Vec::with_capacity(block.instrs.len());
+            for ins in &block.instrs {
+                instrs.push(ins.clone());
+                let protect = selected.contains(&ins.sid) && protectable(&ins.op);
+                if !protect {
+                    continue;
+                }
+                let r = ins.result.expect("protectable ops produce values");
+                let ty = func.value_types[r.0 as usize];
+
+                let new_value = |value_types: &mut Vec<Ty>, t: Ty| -> ValueId {
+                    let id = ValueId(value_types.len() as u32);
+                    value_types.push(t);
+                    id
+                };
+
+                // Recompute.
+                let dup = new_value(&mut func.value_types, ty);
+                instrs.push(Instr {
+                    sid: InstrId(u32::MAX),
+                    op: ins.op.clone(),
+                    result: Some(dup),
+                });
+
+                // Compare (bitwise for floats).
+                let (lhs, rhs) = if ty == Ty::F64 {
+                    let a = new_value(&mut func.value_types, Ty::I64);
+                    instrs.push(Instr {
+                        sid: InstrId(u32::MAX),
+                        op: Op::Cast {
+                            kind: CastKind::Bitcast,
+                            a: Operand::Value(r),
+                            to: Ty::I64,
+                        },
+                        result: Some(a),
+                    });
+                    let b = new_value(&mut func.value_types, Ty::I64);
+                    instrs.push(Instr {
+                        sid: InstrId(u32::MAX),
+                        op: Op::Cast {
+                            kind: CastKind::Bitcast,
+                            a: Operand::Value(dup),
+                            to: Ty::I64,
+                        },
+                        result: Some(b),
+                    });
+                    (Operand::Value(a), Operand::Value(b))
+                } else {
+                    (Operand::Value(r), Operand::Value(dup))
+                };
+                let eq = new_value(&mut func.value_types, Ty::I1);
+                instrs.push(Instr {
+                    sid: InstrId(u32::MAX),
+                    op: Op::Icmp { pred: IPred::Eq, a: lhs, b: rhs },
+                    result: Some(eq),
+                });
+
+                // Steer a store through null on mismatch.
+                let addr = new_value(&mut func.value_types, Ty::Ptr);
+                instrs.push(Instr {
+                    sid: InstrId(u32::MAX),
+                    op: Op::Select {
+                        cond: Operand::Value(eq),
+                        t: Operand::Const(Const::ptr(scratch_addr)),
+                        f: Operand::Const(Const::ptr(0)),
+                    },
+                    result: Some(addr),
+                });
+                instrs.push(Instr {
+                    sid: InstrId(u32::MAX),
+                    op: Op::Store { addr: Operand::Value(addr), value: Operand::i64(0) },
+                    result: None,
+                });
+            }
+            new_blocks.push(Block {
+                params: block.params.clone(),
+                instrs,
+                term: block.term.clone(),
+            });
+        }
+        func.blocks = new_blocks;
+    }
+
+    // Renumber sids densely in program order, recording provenance.
+    let mut origin = Vec::new();
+    let mut next = 0u32;
+    for func in &mut out.functions {
+        for block in &mut func.blocks {
+            for ins in &mut block.instrs {
+                origin.push(if ins.sid == InstrId(u32::MAX) { None } else { Some(ins.sid) });
+                ins.sid = InstrId(next);
+                next += 1;
+            }
+        }
+    }
+    out.num_instrs = next as usize;
+
+    peppa_ir::verify(&out).expect("protected module must verify");
+    ProtectedModule { module: out, origin }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppa_vm::{ExecLimits, InjectionTarget, RunStatus, Trap, Vm};
+
+    const SRC: &str = r#"
+        fn main(n: int) {
+            let acc = 0;
+            for (i = 0; i < n; i = i + 1) {
+                acc = acc + i * i;
+            }
+            output acc;
+        }
+    "#;
+
+    fn protect_all(src: &str) -> (Module, ProtectedModule) {
+        let m = peppa_lang::compile(src, "dup").unwrap();
+        let all: HashSet<InstrId> = m
+            .all_instrs()
+            .iter()
+            .filter(|(_, i)| protectable(&i.op))
+            .map(|(_, i)| i.sid)
+            .collect();
+        let p = apply_protection(&m, &all);
+        (m, p)
+    }
+
+    #[test]
+    fn protected_program_computes_same_output() {
+        let (m, p) = protect_all(SRC);
+        let vm0 = Vm::new(&m, ExecLimits::default());
+        let vm1 = Vm::new(&p.module, ExecLimits::default());
+        for n in [0.0, 1.0, 7.0, 20.0] {
+            let a = vm0.run_numeric(&[n], None);
+            let b = vm1.run_numeric(&[n], None);
+            assert_eq!(b.status, RunStatus::Ok);
+            assert_eq!(a.output, b.output, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fault_in_protected_instruction_is_detected() {
+        let (_, p) = protect_all(SRC);
+        let vm = Vm::new(&p.module, ExecLimits::default());
+        let golden = vm.run_numeric(&[10.0], None);
+        assert_eq!(golden.status, RunStatus::Ok);
+        // Flip a high bit in every original (protected) instruction's
+        // first instance; each must end in a trap (detected), a benign
+        // outcome, or a crash — never an SDC.
+        let mut detected = 0;
+        let mut sdc = 0;
+        for (new_sid, orig) in p.origin.iter().enumerate() {
+            if orig.is_none() {
+                continue;
+            }
+            let ins = &p.module.all_instrs()[new_sid].1.clone();
+            if ins.result.is_none() || golden.profile.exec_counts[new_sid] == 0 {
+                continue;
+            }
+            let inj = peppa_vm::Injection {
+                target: InjectionTarget::StaticInstance {
+                    sid: InstrId(new_sid as u32),
+                    instance: 0,
+                },
+                bit: 40,
+                burst: 0,
+            };
+            let out = vm.run_numeric(&[10.0], Some(inj));
+            match out.status {
+                RunStatus::Trap(Trap::OutOfBounds { addr: 0 }) => detected += 1,
+                RunStatus::Ok if out.output != golden.output => sdc += 1,
+                _ => {}
+            }
+        }
+        assert!(detected > 0, "no faults detected by the checker");
+        assert_eq!(sdc, 0, "protected instructions still produced SDCs");
+    }
+
+    #[test]
+    fn unprotected_module_unchanged_when_nothing_selected() {
+        let m = peppa_lang::compile(SRC, "dup").unwrap();
+        let p = apply_protection(&m, &HashSet::new());
+        assert_eq!(p.module.num_instrs, m.num_instrs);
+        let vm0 = Vm::new(&m, ExecLimits::default());
+        let vm1 = Vm::new(&p.module, ExecLimits::default());
+        assert_eq!(
+            vm0.run_numeric(&[5.0], None).output,
+            vm1.run_numeric(&[5.0], None).output
+        );
+    }
+
+    #[test]
+    fn float_values_compared_bitwise() {
+        let src = "fn main(x: float) { let y = x * 1.5 + 2.0; output y; }";
+        let (m, p) = protect_all(src);
+        assert!(p.module.num_instrs > m.num_instrs);
+        let vm = Vm::new(&p.module, ExecLimits::default());
+        let out = vm.run_numeric(&[3.0], None);
+        assert_eq!(out.status, RunStatus::Ok);
+        assert_eq!(f64::from_bits(out.output[0]), 3.0 * 1.5 + 2.0);
+    }
+
+    #[test]
+    fn origin_mapping_consistent() {
+        let (m, p) = protect_all(SRC);
+        assert_eq!(p.origin.len(), p.module.num_instrs);
+        let carried: Vec<InstrId> = p.origin.iter().flatten().copied().collect();
+        // Every original instruction appears exactly once, in order.
+        assert_eq!(carried.len(), m.num_instrs);
+        for (i, sid) in carried.iter().enumerate() {
+            assert_eq!(sid.0 as usize, i);
+        }
+    }
+
+    #[test]
+    fn calls_and_outputs_not_duplicated() {
+        let src = r#"
+            fn f(x: int) -> int { return x + 1; }
+            fn main(n: int) { output f(n); }
+        "#;
+        let m = peppa_lang::compile(src, "dup").unwrap();
+        let all: HashSet<InstrId> = m.all_instrs().iter().map(|(_, i)| i.sid).collect();
+        let p = apply_protection(&m, &all);
+        // The call and output must appear exactly once each.
+        let calls =
+            p.module.all_instrs().iter().filter(|(_, i)| i.op.mnemonic() == "call").count();
+        let outputs =
+            p.module.all_instrs().iter().filter(|(_, i)| i.op.mnemonic() == "output").count();
+        assert_eq!(calls, 1);
+        assert_eq!(outputs, 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! Selective instruction duplication (§6): the popular compile-time SDC
+//! protection that PEPPA-X stress-tests.
+//!
+//! The technique assumes a small set of instructions carries most of the
+//! SDC probability. Given per-instruction SDC probabilities `P_i`
+//! (measured with the *default reference input*, as all prior work does)
+//! and duplication costs proportional to dynamic execution counts `N_i`,
+//! a 0-1 knapsack picks the best set to duplicate under a performance-
+//! overhead budget (30% / 50% / 70% in the paper's Figure 9).
+//!
+//! Protection is applied as an IR transform: each selected instruction is
+//! recomputed and both results compared; a mismatch steers a store to the
+//! null address, which traps — turning a would-be SDC into a detected
+//! failure, exactly the duplicate-and-check of [1, 18, 28].
+//!
+//! The stress test then measures *actual* SDC coverage under a different
+//! input (PEPPA-X's SDC-bound input) and compares it against the
+//! *expected* coverage the knapsack promised.
+
+pub mod coverage;
+pub mod duplicate;
+pub mod knapsack;
+pub mod multi_input;
+pub mod plan;
+
+pub use coverage::{measure_coverage, CoverageMeasurement};
+pub use duplicate::apply_protection;
+pub use knapsack::{knapsack, Item};
+pub use multi_input::plan_multi_input;
+pub use plan::{plan_protection, ProtectionPlan};

@@ -1,0 +1,171 @@
+//! Input-aware protection planning — the improvement the paper defers to
+//! future work (§6: "We refer the improvement of selective instruction
+//! duplication technique to our future work").
+//!
+//! Classic planning measures `P_i` and `N_i` under the *default
+//! reference input* only; Figure 9 shows the resulting protection
+//! collapsing under SDC-bound inputs. The input-aware planner instead
+//! aggregates measurements across a *set* of inputs (reference + random
+//! + SDC-bound):
+//!
+//! * benefit of protecting `i` = **worst-case** SDC mass
+//!   `max_x P_i(x) · N_i(x)` — an instruction is worth protecting if it
+//!   is dangerous under *any* anticipated input;
+//! * cost of duplicating `i` = **mean** footprint `avg_x N_i(x)` — the
+//!   expected runtime overhead over the input mix.
+
+use crate::knapsack::{knapsack, Item};
+use crate::plan::ProtectionPlan;
+use peppa_inject::PerInstrResult;
+use peppa_ir::{InstrId, Module};
+use peppa_vm::{ExecLimits, Vm};
+
+/// Builds an input-aware plan from per-input measurements.
+/// `measurements[k]` must correspond to `inputs[k]`.
+pub fn plan_multi_input(
+    module: &Module,
+    inputs: &[Vec<f64>],
+    limits: ExecLimits,
+    measurements: &[PerInstrResult],
+    level: f64,
+) -> ProtectionPlan {
+    assert!(!inputs.is_empty(), "need at least one planning input");
+    assert_eq!(inputs.len(), measurements.len(), "one measurement per input");
+    assert!((0.0..=1.0).contains(&level));
+
+    // Profiles per input.
+    let vm = Vm::new(module, limits);
+    let profiles: Vec<_> = inputs.iter().map(|x| vm.run_numeric(x, None).profile).collect();
+    let mean_total: f64 = profiles.iter().map(|p| p.dynamic as f64).sum::<f64>()
+        / profiles.len() as f64;
+
+    let mut sids: Vec<InstrId> = Vec::new();
+    let mut items: Vec<Item> = Vec::new();
+    let mut total_mass = 0.0;
+    for (_, ins) in module.all_instrs() {
+        if !crate::duplicate::protectable(&ins.op) {
+            continue;
+        }
+        let sid = ins.sid;
+        let mut worst_mass = 0.0f64;
+        let mut mean_cost = 0.0f64;
+        let mut measurable = false;
+        for (m, p) in measurements.iter().zip(&profiles) {
+            let n = p.exec_counts[sid.0 as usize];
+            mean_cost += n as f64;
+            if let Some(prob) = m.sdc_prob[sid.0 as usize] {
+                measurable = true;
+                worst_mass = worst_mass.max(prob * n as f64);
+            }
+        }
+        mean_cost /= measurements.len() as f64;
+        if !measurable || mean_cost == 0.0 {
+            continue;
+        }
+        total_mass += worst_mass;
+        sids.push(sid);
+        items.push(Item { benefit: worst_mass, cost: mean_cost.round().max(1.0) as u64 });
+    }
+
+    let budget = (level * mean_total) as u64;
+    let chosen = knapsack(&items, budget, 100_000);
+    let selected: Vec<InstrId> = chosen.iter().map(|&k| sids[k]).collect();
+    let covered: f64 = chosen.iter().map(|&k| items[k].benefit).sum();
+    let used: u64 = chosen.iter().map(|&k| items[k].cost).sum();
+
+    ProtectionPlan {
+        level,
+        selected,
+        expected_coverage: if total_mass > 0.0 { covered / total_mass } else { 0.0 },
+        actual_overhead: used as f64 / mean_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{measure_for_planning, plan_from_measurement};
+    use crate::{apply_protection, measure_coverage};
+    use std::collections::HashSet;
+
+    /// The mode-shifting kernel: planning on mode=1 misses the chain
+    /// that dominates at mode=50.
+    const SHIFTY: &str = r#"
+        fn main(n: int, mode: int) {
+            let acc = 0;
+            if (mode < 10) {
+                for (i = 0; i < n; i = i + 1) { acc = acc + i * 3; }
+            } else {
+                for (i = 0; i < n; i = i + 1) {
+                    let x = i * 5 + mode;
+                    let y = x * x - i;
+                    acc = acc + y;
+                }
+            }
+            output acc;
+        }
+    "#;
+
+    #[test]
+    fn multi_input_plan_raises_stress_coverage() {
+        let m = peppa_lang::compile(SHIFTY, "shifty").unwrap();
+        let limits = ExecLimits::default();
+        let ref_input = vec![30.0, 1.0];
+        let stress_input = vec![30.0, 50.0];
+
+        // Single-input (classic) plan.
+        let ref_meas = measure_for_planning(&m, &ref_input, limits, 30, 5, 0).unwrap();
+        let classic = plan_from_measurement(&m, &ref_input, limits, &ref_meas, 0.6);
+
+        // Input-aware plan over {reference, stress}.
+        let stress_meas = measure_for_planning(&m, &stress_input, limits, 30, 6, 0).unwrap();
+        let aware = plan_multi_input(
+            &m,
+            &[ref_input.clone(), stress_input.clone()],
+            limits,
+            &[ref_meas, stress_meas],
+            0.6,
+        );
+
+        let cov = |plan: &ProtectionPlan, input: &[f64], seed: u64| {
+            let selected: HashSet<_> = plan.selected.iter().copied().collect();
+            let protected = apply_protection(&m, &selected);
+            measure_coverage(&m, &protected.module, input, limits, 300, seed, 0)
+                .unwrap()
+                .coverage
+        };
+
+        let classic_stress = cov(&classic, &stress_input, 1);
+        let aware_stress = cov(&aware, &stress_input, 2);
+        assert!(
+            aware_stress > classic_stress,
+            "input-aware plan did not improve stress coverage: {aware_stress} vs {classic_stress}"
+        );
+    }
+
+    #[test]
+    fn single_input_multi_plan_matches_classic_shape() {
+        let m = peppa_lang::compile(SHIFTY, "shifty2").unwrap();
+        let limits = ExecLimits::default();
+        let input = vec![20.0, 1.0];
+        let meas = measure_for_planning(&m, &input, limits, 20, 7, 0).unwrap();
+        let multi = plan_multi_input(
+            &m,
+            std::slice::from_ref(&input),
+            limits,
+            std::slice::from_ref(&meas),
+            0.5,
+        );
+        let classic = plan_from_measurement(&m, &input, limits, &meas, 0.5);
+        // Same measurement, same budget: both plans cover similar mass.
+        assert!((multi.expected_coverage - classic.expected_coverage).abs() < 0.25);
+        assert!(multi.actual_overhead <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one measurement per input")]
+    fn arity_checked() {
+        let m = peppa_lang::compile(SHIFTY, "shifty3").unwrap();
+        plan_multi_input(&m, &[vec![1.0, 1.0]], ExecLimits::default(), &[], 0.5);
+    }
+}

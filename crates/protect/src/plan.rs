@@ -1,0 +1,172 @@
+//! Protection planning: measure per-instruction SDC probabilities with
+//! the reference input, then knapsack-select the duplication set (§6).
+//!
+//! Cost model: duplicating instruction `i` re-executes it once per
+//! dynamic occurrence, so its cost is `N_i` (its execution count under
+//! the planning input). The overhead budget for level `L` is `L ×
+//! N_total` — e.g. 30% overhead admits duplications totalling 30% of the
+//! program's dynamic instructions. (The compare-and-branch overhead is
+//! amortizable by checker hoisting in real deployments [18, 28]; the
+//! knapsack abstraction in the paper likewise prices an instruction by
+//! its execution count.)
+
+use crate::knapsack::{knapsack, Item};
+use peppa_inject::campaign::CampaignError;
+use peppa_inject::{per_instruction_sdc, PerInstrConfig, PerInstrResult};
+use peppa_ir::{InstrId, Module};
+use peppa_vm::{ExecLimits, Vm};
+use serde::{Deserialize, Serialize};
+
+/// The knapsack's output for one protection level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProtectionPlan {
+    /// Overhead level (0.3 / 0.5 / 0.7 in the paper).
+    pub level: f64,
+    /// Instructions selected for duplication.
+    pub selected: Vec<InstrId>,
+    /// Expected SDC coverage: selected SDC mass / total SDC mass, as
+    /// estimated from the planning input's measurements.
+    pub expected_coverage: f64,
+    /// Fraction of dynamic instructions the duplications re-execute.
+    pub actual_overhead: f64,
+}
+
+/// Measures per-instruction SDC probabilities for planning. Exposed so
+/// several levels can reuse one (expensive) measurement.
+pub fn measure_for_planning(
+    module: &Module,
+    input: &[f64],
+    limits: ExecLimits,
+    trials_per_instr: u32,
+    seed: u64,
+    threads: usize,
+) -> Result<PerInstrResult, CampaignError> {
+    let cfg = PerInstrConfig { trials_per_instr, seed, hang_factor: 8, threads };
+    per_instruction_sdc(module, input, limits, cfg, None)
+}
+
+/// Builds the protection plan for one overhead level from a prior
+/// measurement.
+pub fn plan_from_measurement(
+    module: &Module,
+    input: &[f64],
+    limits: ExecLimits,
+    measured: &PerInstrResult,
+    level: f64,
+) -> ProtectionPlan {
+    assert!((0.0..=1.0).contains(&level), "level must be a fraction");
+    let vm = Vm::new(module, limits);
+    let golden = vm.run_numeric(input, None);
+    let total_dynamic = golden.profile.dynamic.max(1);
+
+    // Candidate items: protectable instructions with a measured
+    // probability and a non-zero footprint.
+    let mut sids: Vec<InstrId> = Vec::new();
+    let mut items: Vec<Item> = Vec::new();
+    let mut total_mass = 0.0f64;
+    for (fid, ins) in module.all_instrs() {
+        let _ = fid;
+        let sid = ins.sid;
+        if !crate::duplicate::protectable(&ins.op) {
+            continue;
+        }
+        let Some(p) = measured.sdc_prob[sid.0 as usize] else { continue };
+        let n = golden.profile.exec_counts[sid.0 as usize];
+        if n == 0 {
+            continue;
+        }
+        let mass = p * n as f64;
+        total_mass += mass;
+        sids.push(sid);
+        items.push(Item { benefit: mass, cost: n });
+    }
+
+    let budget = (level * total_dynamic as f64) as u64;
+    let chosen = knapsack(&items, budget, 100_000);
+
+    let selected: Vec<InstrId> = chosen.iter().map(|&k| sids[k]).collect();
+    let covered_mass: f64 = chosen.iter().map(|&k| items[k].benefit).sum();
+    let used_cost: u64 = chosen.iter().map(|&k| items[k].cost).sum();
+
+    ProtectionPlan {
+        level,
+        selected,
+        expected_coverage: if total_mass > 0.0 { covered_mass / total_mass } else { 0.0 },
+        actual_overhead: used_cost as f64 / total_dynamic as f64,
+    }
+}
+
+/// Convenience: measure + plan in one call.
+pub fn plan_protection(
+    module: &Module,
+    input: &[f64],
+    limits: ExecLimits,
+    level: f64,
+    trials_per_instr: u32,
+    seed: u64,
+    threads: usize,
+) -> Result<ProtectionPlan, CampaignError> {
+    let measured = measure_for_planning(module, input, limits, trials_per_instr, seed, threads)?;
+    Ok(plan_from_measurement(module, input, limits, &measured, level))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        fn main(n: int) {
+            let acc = 0;
+            let guard = 0;
+            for (i = 0; i < n; i = i + 1) {
+                acc = acc + i * 7;           // high SDC mass
+                guard = min(guard + 1, 3);   // heavily masked
+            }
+            output acc;
+            output guard;
+        }
+    "#;
+
+    fn module() -> Module {
+        peppa_lang::compile(SRC, "plan").unwrap()
+    }
+
+    #[test]
+    fn higher_level_covers_more() {
+        let m = module();
+        let measured =
+            measure_for_planning(&m, &[20.0], ExecLimits::default(), 25, 3, 0).unwrap();
+        let p30 = plan_from_measurement(&m, &[20.0], ExecLimits::default(), &measured, 0.3);
+        let p70 = plan_from_measurement(&m, &[20.0], ExecLimits::default(), &measured, 0.7);
+        assert!(p70.expected_coverage >= p30.expected_coverage);
+        assert!(p70.selected.len() >= p30.selected.len());
+        assert!(p30.actual_overhead <= 0.3 + 1e-9);
+        assert!(p70.actual_overhead <= 0.7 + 1e-9);
+    }
+
+    #[test]
+    fn expected_coverage_in_unit_interval() {
+        let m = module();
+        let p = plan_protection(&m, &[16.0], ExecLimits::default(), 0.5, 20, 9, 0).unwrap();
+        assert!((0.0..=1.0).contains(&p.expected_coverage), "{p:?}");
+        assert!(!p.selected.is_empty());
+    }
+
+    #[test]
+    fn zero_level_selects_nothing() {
+        let m = module();
+        let p = plan_protection(&m, &[16.0], ExecLimits::default(), 0.0, 10, 9, 0).unwrap();
+        assert!(p.selected.is_empty());
+        assert_eq!(p.expected_coverage, 0.0);
+    }
+
+    #[test]
+    fn full_budget_prefers_high_mass_instructions() {
+        let m = module();
+        let measured =
+            measure_for_planning(&m, &[20.0], ExecLimits::default(), 25, 3, 0).unwrap();
+        let p = plan_from_measurement(&m, &[20.0], ExecLimits::default(), &measured, 0.9);
+        // The accumulator chain (high mass) must be in the selection.
+        assert!(p.expected_coverage > 0.5, "{}", p.expected_coverage);
+    }
+}

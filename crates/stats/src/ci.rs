@@ -1,0 +1,86 @@
+//! Binomial confidence intervals for fault-injection outcome rates.
+//!
+//! §3.1.4: "Our FI measurement yields an error bar from 0.26% to 3.10% for
+//! the 95% confidence intervals." Each FI trial is a Bernoulli draw
+//! (SDC / not-SDC), so the SDC probability estimate carries a binomial CI.
+
+use serde::{Deserialize, Serialize};
+
+/// A two-sided confidence interval on a proportion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinomialCi {
+    /// Point estimate `successes / trials`.
+    pub p_hat: f64,
+    /// Lower bound of the interval (clamped to 0).
+    pub lo: f64,
+    /// Upper bound of the interval (clamped to 1).
+    pub hi: f64,
+    /// Half-width `(hi - lo) / 2` — the "error bar" the paper quotes.
+    pub half_width: f64,
+}
+
+/// Wilson score interval for a binomial proportion at confidence level `z`
+/// standard normal quantiles (z = 1.96 for 95%).
+///
+/// The Wilson interval behaves sensibly at the extremes (0 or all
+/// successes), unlike the normal approximation, which matters because many
+/// instructions have SDC probability exactly 0 in our campaigns.
+pub fn binomial_ci(successes: u64, trials: u64, z: f64) -> BinomialCi {
+    if trials == 0 {
+        return BinomialCi { p_hat: 0.0, lo: 0.0, hi: 1.0, half_width: 0.5 };
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let margin = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    let lo = (center - margin).max(0.0);
+    let hi = (center + margin).min(1.0);
+    BinomialCi { p_hat: p, lo, hi, half_width: (hi - lo) / 2.0 }
+}
+
+/// The conventional z value for a 95% two-sided interval.
+pub const Z_95: f64 = 1.959963984540054;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_trials_is_vacuous() {
+        let ci = binomial_ci(0, 0, Z_95);
+        assert_eq!((ci.lo, ci.hi), (0.0, 1.0));
+    }
+
+    #[test]
+    fn interval_contains_p_hat() {
+        for (s, n) in [(0u64, 100u64), (5, 100), (50, 100), (100, 100), (1, 3)] {
+            let ci = binomial_ci(s, n, Z_95);
+            assert!(ci.lo <= ci.p_hat + 1e-12 && ci.p_hat <= ci.hi + 1e-12, "{ci:?}");
+        }
+    }
+
+    #[test]
+    fn more_trials_narrower_interval() {
+        let small = binomial_ci(10, 100, Z_95);
+        let large = binomial_ci(100, 1000, Z_95);
+        assert!(large.half_width < small.half_width);
+    }
+
+    #[test]
+    fn paper_scale_error_bar() {
+        // 1000 trials at ~30% SDC rate: half-width should land inside the
+        // 0.26%..3.10% band the paper reports for its campaigns.
+        let ci = binomial_ci(300, 1000, Z_95);
+        assert!(ci.half_width > 0.0026 && ci.half_width < 0.0310, "{}", ci.half_width);
+    }
+
+    #[test]
+    fn bounds_clamped() {
+        let lo = binomial_ci(0, 50, Z_95);
+        let hi = binomial_ci(50, 50, Z_95);
+        assert_eq!(lo.lo, 0.0);
+        assert_eq!(hi.hi, 1.0);
+    }
+}

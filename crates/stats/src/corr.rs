@@ -1,0 +1,123 @@
+//! Pearson and Spearman correlation coefficients.
+//!
+//! Table 2 of the paper reports Spearman's ρ between code coverage and
+//! program SDC probability across inputs; Table 3 reports Spearman's ρ
+//! between per-instruction SDC-probability rankings obtained under
+//! different inputs.
+
+use crate::rank::average_ranks;
+
+/// Pearson's product-moment correlation of two equal-length samples.
+///
+/// Returns 0.0 when either sample has zero variance (a degenerate case
+/// that would otherwise be 0/0); the paper's tables treat constant series
+/// as uncorrelated, e.g. Pathfinder's coverage never changes (Table 2
+/// entry 0.00).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson needs equal-length samples");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Spearman's ranking correlation: Pearson's r over average ranks.
+/// Handles ties via fractional ranks.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "spearman needs equal-length samples");
+    pearson(&average_ranks(xs), &average_ranks(ys))
+}
+
+/// Average pairwise Spearman correlation over a set of samples, the
+/// aggregation used for Table 3 ("compute Spearman's ranking correlation
+/// pairwise between all the rank lists, and take an average").
+pub fn mean_pairwise_spearman(samples: &[Vec<f64>]) -> f64 {
+    let m = samples.len();
+    if m < 2 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for i in 0..m {
+        for j in (i + 1)..m {
+            total += spearman(&samples[i], &samples[j]);
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [9.0, 5.0, 1.0];
+        assert!((spearman(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_nonlinear_is_spearman_one() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| x * x * x).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys) < 1.0);
+    }
+
+    #[test]
+    fn constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[2.0, 3.0, 4.0]), 0.0);
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[2.0, 3.0, 4.0]), 0.0);
+    }
+
+    #[test]
+    fn independent_is_near_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let ys = [5.0, 1.0, 8.0, 2.0, 7.0, 3.0, 6.0, 4.0];
+        assert!(spearman(&xs, &ys).abs() < 0.4);
+    }
+
+    #[test]
+    fn pairwise_mean_of_identical_lists() {
+        let s = vec![vec![1.0, 2.0, 3.0]; 4];
+        assert!((mean_pairwise_spearman(&s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_mean_single_sample_is_one() {
+        assert_eq!(mean_pairwise_spearman(&[vec![1.0, 2.0]]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

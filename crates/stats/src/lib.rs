@@ -1,0 +1,22 @@
+//! Statistics utilities shared across the PEPPA-X workspace.
+//!
+//! The paper's evaluation leans on a small set of statistical tools:
+//! Spearman's ranking correlation (Tables 2 and 3), binomial confidence
+//! intervals on fault-injection outcomes (§3.1.4 reports 0.26%–3.10% error
+//! bars at 95% confidence), and reproducible random sampling for inputs,
+//! fault sites, and genetic-algorithm operators.
+//!
+//! Everything here is deterministic given an explicit `u64` seed so that
+//! every experiment in the repository can be replayed bit-for-bit.
+
+pub mod ci;
+pub mod corr;
+pub mod rank;
+pub mod rng;
+pub mod summary;
+
+pub use ci::{binomial_ci, BinomialCi};
+pub use corr::{pearson, spearman};
+pub use rank::{average_ranks, rank_descending};
+pub use rng::Pcg64;
+pub use summary::Summary;

@@ -1,0 +1,76 @@
+//! Ranking helpers used by Spearman correlation and the per-instruction
+//! SDC-probability rankings of §3.2.3.
+
+/// Assigns fractional (average) ranks to `xs`, the convention used by
+/// Spearman's ρ in the presence of ties. Rank 1 is the *smallest* value.
+///
+/// NaN values are ranked as if they were the largest values (they sort
+/// last); callers should filter NaNs when that is not acceptable.
+pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Less));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        // Group ties: values comparing equal share the average of the
+        // positions they occupy.
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Returns indices sorted so that element 0 is the index of the *largest*
+/// value — "rank list of instructions" ordering from §3.2.3.
+pub fn rank_descending(xs: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| {
+        xs[b].partial_cmp(&xs[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranks() {
+        assert_eq!(average_ranks(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn tied_ranks_averaged() {
+        // 5,5 occupy positions 1 and 2 -> both rank 1.5.
+        assert_eq!(average_ranks(&[5.0, 5.0, 9.0]), vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn all_tied() {
+        assert_eq!(average_ranks(&[1.0; 4]), vec![2.5; 4]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(average_ranks(&[]).is_empty());
+        assert_eq!(average_ranks(&[3.3]), vec![1.0]);
+    }
+
+    #[test]
+    fn descending_order() {
+        assert_eq!(rank_descending(&[0.1, 0.9, 0.5]), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn descending_ties_stable_by_index() {
+        assert_eq!(rank_descending(&[0.5, 0.5, 1.0]), vec![2, 0, 1]);
+    }
+}

@@ -1,0 +1,202 @@
+//! A small, fast, seedable PRNG (PCG-XSH-RR 64/32 extended to 64-bit output).
+//!
+//! We deliberately avoid depending on `rand`'s default generators for the
+//! experiment-critical paths: the stream must remain stable across `rand`
+//! version bumps so that the fault sites, sampled inputs, and GA decisions
+//! recorded in EXPERIMENTS.md stay reproducible. The implementation follows
+//! O'Neill's PCG paper (two independent 32-bit XSH-RR outputs are
+//! concatenated per `next_u64` call).
+
+/// Deterministic permuted-congruential generator.
+///
+/// Cloning a `Pcg64` forks the stream: both copies continue from the same
+/// state, which is occasionally useful for "peeking" without disturbing a
+/// campaign's main stream.
+#[derive(Debug, Clone)]
+pub struct Pcg64 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg64 {
+    /// Creates a generator from a seed. Two different seeds give
+    /// independent-looking streams; the same seed always gives the same
+    /// stream.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = Pcg64 {
+            state: 0,
+            inc: (seed << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed ^ 0x9e3779b97f4a7c15);
+        rng.next_u32();
+        rng
+    }
+
+    /// Derives a child generator; used to give each fault-injection trial
+    /// its own stream so trials can run on any thread in any order.
+    pub fn fork(&mut self, tag: u64) -> Self {
+        let a = self.next_u64();
+        Pcg64::new(a ^ tag.wrapping_mul(0xff51afd7ed558ccd))
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+    pub fn gen_range_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range_u64 bound must be non-zero");
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = mul_u64(x, bound);
+            if lo >= bound.wrapping_neg() % bound {
+                return hi;
+            }
+            // Rejected: retry with fresh bits (rare).
+            if bound.is_power_of_two() {
+                return x & (bound - 1);
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        self.gen_range_u64(bound as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "empty range");
+        lo + self.gen_f64() * (hi - lo)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks one element uniformly; panics on an empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.gen_index(xs.len())]
+    }
+}
+
+#[inline]
+fn mul_u64(a: u64, b: u64) -> (u64, u64) {
+    let wide = (a as u128) * (b as u128);
+    ((wide >> 64) as u64, wide as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Pcg64::new(42);
+        let mut b = Pcg64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg64::new(1);
+        let mut b = Pcg64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = Pcg64::new(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(rng.gen_range_u64(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Pcg64::new(9);
+        for _ in 0..1000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut rng = Pcg64::new(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn index_distribution_roughly_uniform() {
+        let mut rng = Pcg64::new(13);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[rng.gen_index(10)] += 1;
+        }
+        for &c in &counts {
+            assert!((4000..6000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn fork_streams_independent() {
+        let mut parent = Pcg64::new(5);
+        let mut c1 = parent.fork(0);
+        let mut c2 = parent.fork(1);
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Pcg64::new(17);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bool_probability() {
+        let mut rng = Pcg64::new(19);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits {hits}");
+    }
+}

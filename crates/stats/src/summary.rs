@@ -1,0 +1,92 @@
+//! Scalar sample summaries (min / max / mean / stddev / percentiles) used
+//! when reporting ranges like Figure 1's per-benchmark SDC-probability bars.
+
+use serde::{Deserialize, Serialize};
+
+/// Descriptive statistics of an `f64` sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub n: usize,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub stddev: f64,
+    pub median: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample; returns `None` for an empty sample.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let n = xs.len();
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Summary {
+            n,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean,
+            stddev: var.sqrt(),
+            median,
+        })
+    }
+
+    /// Fraction of the sample strictly below `x` — the "percentile of a
+    /// randomly sampled input" statistic used in the Figure 6 discussion
+    /// (e.g. "above 96th percentile in Hpccg").
+    pub fn percentile_of(xs: &[f64], x: f64) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.iter().filter(|&&v| v < x).count() as f64 / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn basic_fields() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_median() {
+        let s = Summary::of(&[5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let s = Summary::of(&[7.0; 10]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn percentile() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!((Summary::percentile_of(&xs, 3.5) - 0.6).abs() < 1e-12);
+        assert_eq!(Summary::percentile_of(&xs, 0.0), 0.0);
+        assert_eq!(Summary::percentile_of(&xs, 100.0), 1.0);
+    }
+}

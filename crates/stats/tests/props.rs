@@ -1,0 +1,80 @@
+//! Property-based tests for the statistics utilities.
+
+use peppa_stats::{binomial_ci, ci::Z_95, pearson, spearman, Pcg64, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn spearman_bounded_and_symmetric(
+        xs in proptest::collection::vec(-1e6f64..1e6, 3..40),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Pcg64::new(seed);
+        let ys: Vec<f64> = xs.iter().map(|_| rng.gen_range_f64(-1e6, 1e6)).collect();
+        let r = spearman(&xs, &ys);
+        prop_assert!((-1.0..=1.0).contains(&r), "rho {r}");
+        prop_assert!((r - spearman(&ys, &xs)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform(
+        xs in proptest::collection::vec(-100f64..100.0, 3..30),
+        ys in proptest::collection::vec(-100f64..100.0, 3..30),
+    ) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        let r0 = spearman(xs, ys);
+        // exp is strictly increasing: ranks unchanged.
+        let ys2: Vec<f64> = ys.iter().map(|y| (y / 50.0).exp()).collect();
+        let r1 = spearman(xs, &ys2);
+        prop_assert!((r0 - r1).abs() < 1e-9, "{r0} vs {r1}");
+    }
+
+    #[test]
+    fn spearman_of_self_is_one(xs in proptest::collection::vec(-1e6f64..1e6, 2..40)) {
+        // Distinct values almost surely; ties still give 1 against self.
+        prop_assert!((spearman(&xs, &xs) - 1.0).abs() < 1e-9 || xs.iter().all(|&x| x == xs[0]));
+    }
+
+    #[test]
+    fn pearson_scale_invariant(
+        xs in proptest::collection::vec(-1e3f64..1e3, 3..30),
+        a in 0.1f64..100.0,
+        b in -100f64..100.0,
+    ) {
+        let mut rng = Pcg64::new(42);
+        let ys: Vec<f64> = xs.iter().map(|_| rng.gen_range_f64(-1e3, 1e3)).collect();
+        let r0 = pearson(&xs, &ys);
+        let ys2: Vec<f64> = ys.iter().map(|y| a * y + b).collect();
+        prop_assert!((r0 - pearson(&xs, &ys2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ci_contains_estimate_and_shrinks(s in 0u64..100, extra in 1u64..10) {
+        let n1 = 100u64;
+        let n2 = n1 * extra * 10;
+        let ci1 = binomial_ci(s, n1, Z_95);
+        let ci2 = binomial_ci(s * extra * 10, n2, Z_95);
+        prop_assert!(ci1.lo <= ci1.p_hat + 1e-12 && ci1.p_hat <= ci1.hi + 1e-12);
+        prop_assert!(ci2.half_width <= ci1.half_width + 1e-12);
+    }
+
+    #[test]
+    fn summary_consistent(xs in proptest::collection::vec(-1e9f64..1e9, 1..50)) {
+        let s = Summary::of(&xs).unwrap();
+        prop_assert!(s.min <= s.mean + 1e-6 && s.mean <= s.max + 1e-6);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.stddev >= 0.0);
+    }
+
+    #[test]
+    fn rng_range_always_in_bounds(seed in any::<u64>(), lo in -1e9f64..0.0, hi in 1.0f64..1e9) {
+        let mut rng = Pcg64::new(seed);
+        for _ in 0..100 {
+            let x = rng.gen_range_f64(lo, hi);
+            prop_assert!(x >= lo && x < hi);
+        }
+    }
+}

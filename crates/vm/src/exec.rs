@@ -1,0 +1,808 @@
+//! The PIR interpreter.
+//!
+//! Register representation: every value is held as a canonical 64-bit
+//! pattern — `i64`/`ptr` raw, `i32` sign-extended into 64 bits, `i1` as
+//! 0/1, `f64` as its IEEE bits. Bit flips are applied within the value's
+//! *typed* width and the result re-canonicalized, which matches LLFI
+//! flipping a random bit of the destination register of the instruction's
+//! width.
+
+use crate::profile::Profile;
+use peppa_ir::{
+    BinOp, CastKind, FPred, IPred, Instr, InstrId, Module, Op, Operand, Term, Ty, UnOp,
+};
+
+/// Execution traps — the "crash" failure category of the paper ("the
+/// raising of a hardware trap or exception … the OS terminates the
+/// program").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Load or store outside the memory segment, or through null.
+    OutOfBounds { addr: u64 },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Stack allocation exhausted memory (or had a negative size).
+    StackOverflow,
+    /// Call depth exceeded the limit.
+    CallDepth,
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::OutOfBounds { addr } => write!(f, "out-of-bounds access at word {addr}"),
+            Trap::DivByZero => write!(f, "integer division by zero"),
+            Trap::StackOverflow => write!(f, "stack allocation overflow"),
+            Trap::CallDepth => write!(f, "call depth limit exceeded"),
+        }
+    }
+}
+
+/// Terminal status of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Clean exit.
+    Ok,
+    /// Crashed with a trap.
+    Trap(Trap),
+    /// Exceeded the dynamic-instruction budget.
+    Hang,
+}
+
+impl RunStatus {
+    pub fn is_ok(self) -> bool {
+        matches!(self, RunStatus::Ok)
+    }
+}
+
+/// Which dynamic instruction to corrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectionTarget {
+    /// The `k`-th value-producing dynamic instruction of the whole run
+    /// (0-based) — used when sampling faults uniformly over the execution.
+    DynamicIndex(u64),
+    /// The `instance`-th execution (0-based) of one static instruction —
+    /// used for per-instruction SDC probability measurement.
+    StaticInstance { sid: InstrId, instance: u64 },
+}
+
+/// A bit-flip fault specification.
+///
+/// The default fault model is a single bit flip (`burst == 0`), the
+/// de-facto standard the paper adopts (§3.1.3). Setting `burst = k`
+/// flips `k` *additional adjacent* bits — the multi-bit model used to
+/// validate that single-bit campaigns do not understate SDC rates
+/// (Sangchoolie et al., DSN'17, cited as [47]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    pub target: InjectionTarget,
+    /// Bit position; reduced modulo the target value's typed width.
+    pub bit: u32,
+    /// Additional adjacent bits to flip (0 = single-bit model).
+    pub burst: u8,
+}
+
+impl Injection {
+    /// Single-bit flip at `bit` of the targeted dynamic instruction.
+    pub fn single(target: InjectionTarget, bit: u32) -> Injection {
+        Injection { target, bit, burst: 0 }
+    }
+}
+
+/// Resource limits for one run.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecLimits {
+    /// Dynamic (non-terminator) instruction budget; exceeding it reports
+    /// [`RunStatus::Hang`].
+    pub max_dynamic: u64,
+    /// Total memory, in 64-bit words (globals + stack).
+    pub memory_words: usize,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        ExecLimits { max_dynamic: 200_000_000, memory_words: 1 << 21, max_call_depth: 128 }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    pub status: RunStatus,
+    /// Words emitted by `output` instructions up to termination.
+    pub output: Vec<u64>,
+    /// Entry function's return value bits, if it returned one.
+    pub ret: Option<u64>,
+    pub profile: Profile,
+    /// Whether the injection target was reached (the fault *activated*).
+    pub fault_activated: bool,
+    /// Final memory image, present only for [`Vm::run_capture`] — used
+    /// by error-propagation tracing to diff faulty vs golden state.
+    pub memory: Option<Vec<u64>>,
+}
+
+impl RunOutput {
+    /// True when `self` silently corrupted data relative to `golden`:
+    /// clean exit but different observable output (§2.2's SDC
+    /// definition: "a mismatch between the outputs of a program's faulty
+    /// execution and error-free execution").
+    pub fn is_sdc_vs(&self, golden: &RunOutput) -> bool {
+        self.status.is_ok() && (self.output != golden.output || self.ret != golden.ret)
+    }
+}
+
+enum Stop {
+    Trap(Trap),
+    Hang,
+}
+
+/// The interpreter. Cheap to construct; holds no run state.
+pub struct Vm<'m> {
+    module: &'m Module,
+    limits: ExecLimits,
+}
+
+#[inline]
+fn canon(ty: Ty, bits: u64) -> u64 {
+    match ty {
+        Ty::I1 => bits & 1,
+        Ty::I32 => (bits as u32 as i32 as i64) as u64,
+        _ => bits,
+    }
+}
+
+#[inline]
+fn flip_bits(ty: Ty, bits: u64, bit: u32, burst: u8) -> u64 {
+    let w = ty.bits();
+    let mut mask = 0u64;
+    for k in 0..=burst as u32 {
+        mask |= 1u64 << ((bit + k) % w);
+    }
+    canon(ty, bits ^ mask)
+}
+
+struct State<'m> {
+    module: &'m Module,
+    limits: ExecLimits,
+    memory: Vec<u64>,
+    stack_ptr: u64,
+    profile: Profile,
+    output: Vec<u64>,
+    injection: Option<Injection>,
+    fault_activated: bool,
+    depth: usize,
+}
+
+impl<'m> Vm<'m> {
+    pub fn new(module: &'m Module, limits: ExecLimits) -> Vm<'m> {
+        Vm { module, limits }
+    }
+
+    /// Runs the entry function on encoded input bits (see
+    /// [`crate::encode_inputs`]), optionally injecting one fault.
+    pub fn run(&self, input_bits: &[u64], injection: Option<Injection>) -> RunOutput {
+        self.run_impl(input_bits, injection, false)
+    }
+
+    /// Like [`run`](Self::run), but the returned [`RunOutput::memory`]
+    /// holds the final memory image (even on trap or budget exhaustion),
+    /// enabling state diffing between runs.
+    pub fn run_capture(&self, input_bits: &[u64], injection: Option<Injection>) -> RunOutput {
+        self.run_impl(input_bits, injection, true)
+    }
+
+    fn run_impl(
+        &self,
+        input_bits: &[u64],
+        injection: Option<Injection>,
+        capture: bool,
+    ) -> RunOutput {
+        let entry = self.module.entry_func();
+        assert_eq!(input_bits.len(), entry.params.len(), "entry arity mismatch");
+
+        let mut memory = vec![0u64; self.limits.memory_words];
+        let layout = self.module.global_layout();
+        for (g, base) in self.module.globals.iter().zip(&layout) {
+            let base = *base as usize;
+            memory[base..base + g.init.len()].copy_from_slice(&g.init);
+        }
+
+        let mut state = State {
+            module: self.module,
+            limits: self.limits,
+            stack_ptr: self.module.globals_words(),
+            memory,
+            profile: Profile::new(self.module.num_instrs),
+            output: Vec::new(),
+            injection,
+            fault_activated: false,
+            depth: 0,
+        };
+
+        let args: Vec<u64> = input_bits
+            .iter()
+            .zip(&entry.params)
+            .map(|(&b, &t)| canon(t, b))
+            .collect();
+
+        let (status, ret) = match state.run_function(self.module.entry, &args) {
+            Ok(v) => (RunStatus::Ok, v),
+            Err(Stop::Trap(t)) => (RunStatus::Trap(t), None),
+            Err(Stop::Hang) => (RunStatus::Hang, None),
+        };
+        RunOutput {
+            status,
+            output: state.output,
+            ret,
+            profile: state.profile,
+            fault_activated: state.fault_activated,
+            memory: if capture { Some(state.memory) } else { None },
+        }
+    }
+
+    /// Convenience: golden (fault-free) run from numeric inputs.
+    pub fn run_numeric(&self, inputs: &[f64], injection: Option<Injection>) -> RunOutput {
+        let bits = crate::inputs::encode_inputs(self.module.entry_func(), inputs);
+        self.run(&bits, injection)
+    }
+}
+
+impl<'m> State<'m> {
+    fn run_function(
+        &mut self,
+        fid: peppa_ir::FuncId,
+        args: &[u64],
+    ) -> Result<Option<u64>, Stop> {
+        if self.depth >= self.limits.max_call_depth {
+            return Err(Stop::Trap(Trap::CallDepth));
+        }
+        self.depth += 1;
+        let frame_sp = self.stack_ptr;
+        let result = self.run_frame(fid, args);
+        self.stack_ptr = frame_sp;
+        self.depth -= 1;
+        result
+    }
+
+    fn run_frame(&mut self, fid: peppa_ir::FuncId, args: &[u64]) -> Result<Option<u64>, Stop> {
+        let func = self.module.func(fid);
+        let mut regs = vec![0u64; func.value_types.len()];
+        regs[..args.len()].copy_from_slice(args);
+
+        let mut cur = 0usize;
+        let mut arg_buf: Vec<u64> = Vec::new();
+        loop {
+            let block = &func.blocks[cur];
+            for ins in &block.instrs {
+                self.profile.dynamic += 1;
+                if self.profile.dynamic > self.limits.max_dynamic {
+                    return Err(Stop::Hang);
+                }
+                self.profile.exec_counts[ins.sid.0 as usize] += 1;
+                self.exec_instr(func, ins, &mut regs)?;
+            }
+            match &block.term {
+                Term::Br { target, args } => {
+                    arg_buf.clear();
+                    arg_buf.extend(args.iter().map(|a| eval(&regs, a)));
+                    let t = &func.blocks[target.0 as usize];
+                    for (&p, &v) in t.params.iter().zip(&arg_buf) {
+                        regs[p.0 as usize] = v;
+                    }
+                    cur = target.0 as usize;
+                }
+                Term::CondBr { cond, then_target, then_args, else_target, else_args } => {
+                    let c = eval(&regs, cond) & 1;
+                    let (target, targs) = if c != 0 {
+                        (then_target, then_args)
+                    } else {
+                        (else_target, else_args)
+                    };
+                    arg_buf.clear();
+                    arg_buf.extend(targs.iter().map(|a| eval(&regs, a)));
+                    let t = &func.blocks[target.0 as usize];
+                    for (&p, &v) in t.params.iter().zip(&arg_buf) {
+                        regs[p.0 as usize] = v;
+                    }
+                    cur = target.0 as usize;
+                }
+                Term::Ret { value } => {
+                    return Ok(value.as_ref().map(|v| eval(&regs, v)));
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn exec_instr(
+        &mut self,
+        func: &peppa_ir::Function,
+        ins: &Instr,
+        regs: &mut [u64],
+    ) -> Result<(), Stop> {
+        let computed: Option<u64> = match &ins.op {
+            Op::Bin { op, a, b } => {
+                let ty = func.operand_ty(a);
+                Some(exec_bin(*op, ty, eval(regs, a), eval(regs, b))?)
+            }
+            Op::Un { op, a } => {
+                let ty = func.operand_ty(a);
+                Some(exec_un(*op, ty, eval(regs, a)))
+            }
+            Op::Icmp { pred, a, b } => {
+                let (x, y) = (eval(regs, a) as i64, eval(regs, b) as i64);
+                let r = match pred {
+                    IPred::Eq => x == y,
+                    IPred::Ne => x != y,
+                    IPred::Slt => x < y,
+                    IPred::Sle => x <= y,
+                    IPred::Sgt => x > y,
+                    IPred::Sge => x >= y,
+                    IPred::Ult => (x as u64) < (y as u64),
+                };
+                Some(r as u64)
+            }
+            Op::Fcmp { pred, a, b } => {
+                let x = f64::from_bits(eval(regs, a));
+                let y = f64::from_bits(eval(regs, b));
+                let r = match pred {
+                    FPred::Oeq => x == y,
+                    FPred::One => x != y && !x.is_nan() && !y.is_nan(),
+                    FPred::Olt => x < y,
+                    FPred::Ole => x <= y,
+                    FPred::Ogt => x > y,
+                    FPred::Oge => x >= y,
+                };
+                Some(r as u64)
+            }
+            Op::Select { cond, t, f } => {
+                let c = eval(regs, cond) & 1;
+                Some(if c != 0 { eval(regs, t) } else { eval(regs, f) })
+            }
+            Op::Cast { kind, a, to } => {
+                let from = func.operand_ty(a);
+                Some(exec_cast(*kind, from, *to, eval(regs, a)))
+            }
+            Op::Load { addr, ty } => {
+                let p = eval(regs, addr);
+                Some(canon(*ty, self.mem_read(p)?))
+            }
+            Op::Store { addr, value } => {
+                let p = eval(regs, addr);
+                let v = eval(regs, value);
+                self.mem_write(p, v)?;
+                None
+            }
+            Op::Gep { base, index } => {
+                Some(eval(regs, base).wrapping_add(eval(regs, index)))
+            }
+            Op::Alloca { words } => {
+                let w = eval(regs, words) as i64;
+                if w < 0 {
+                    return Err(Stop::Trap(Trap::StackOverflow));
+                }
+                let base = self.stack_ptr;
+                let end = base.checked_add(w as u64).ok_or(Stop::Trap(Trap::StackOverflow))?;
+                if end > self.memory.len() as u64 {
+                    return Err(Stop::Trap(Trap::StackOverflow));
+                }
+                self.memory[base as usize..end as usize].fill(0);
+                self.stack_ptr = end;
+                Some(base)
+            }
+            Op::Call { func: callee, args } => {
+                let vals: Vec<u64> = args.iter().map(|a| eval(regs, a)).collect();
+                self.run_function(*callee, &vals)?
+            }
+            Op::Output { value } => {
+                let v = eval(regs, value);
+                self.output.push(v);
+                None
+            }
+        };
+
+        if let Some(r) = ins.result {
+            let mut bits = computed.expect("value instruction computed nothing");
+            self.profile.value_dynamic += 1;
+            if let Some(inj) = self.injection {
+                if !self.fault_activated && self.hits(ins, inj) {
+                    bits = flip_bits(func.ty_of(r), bits, inj.bit, inj.burst);
+                    self.fault_activated = true;
+                }
+            }
+            regs[r.0 as usize] = bits;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn hits(&self, ins: &Instr, inj: Injection) -> bool {
+        match inj.target {
+            InjectionTarget::DynamicIndex(k) => self.profile.value_dynamic - 1 == k,
+            InjectionTarget::StaticInstance { sid, instance } => {
+                ins.sid == sid && self.profile.exec_counts[sid.0 as usize] - 1 == instance
+            }
+        }
+    }
+
+    #[inline]
+    fn mem_read(&self, addr: u64) -> Result<u64, Stop> {
+        if addr == 0 || addr >= self.memory.len() as u64 {
+            return Err(Stop::Trap(Trap::OutOfBounds { addr }));
+        }
+        Ok(self.memory[addr as usize])
+    }
+
+    #[inline]
+    fn mem_write(&mut self, addr: u64, value: u64) -> Result<(), Stop> {
+        if addr == 0 || addr >= self.memory.len() as u64 {
+            return Err(Stop::Trap(Trap::OutOfBounds { addr }));
+        }
+        self.memory[addr as usize] = value;
+        Ok(())
+    }
+}
+
+#[inline]
+fn eval(regs: &[u64], op: &Operand) -> u64 {
+    match op {
+        Operand::Value(v) => regs[v.0 as usize],
+        Operand::Const(c) => canon(c.ty, c.bits),
+    }
+}
+
+#[inline]
+fn exec_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> Result<u64, Stop> {
+    let r = match op {
+        BinOp::Add => (a as i64).wrapping_add(b as i64) as u64,
+        BinOp::Sub => (a as i64).wrapping_sub(b as i64) as u64,
+        BinOp::Mul => (a as i64).wrapping_mul(b as i64) as u64,
+        BinOp::SDiv => {
+            let (x, y) = (a as i64, b as i64);
+            if y == 0 {
+                return Err(Stop::Trap(Trap::DivByZero));
+            }
+            x.wrapping_div(y) as u64
+        }
+        BinOp::SRem => {
+            let (x, y) = (a as i64, b as i64);
+            if y == 0 {
+                return Err(Stop::Trap(Trap::DivByZero));
+            }
+            x.wrapping_rem(y) as u64
+        }
+        BinOp::FAdd => (f64::from_bits(a) + f64::from_bits(b)).to_bits(),
+        BinOp::FSub => (f64::from_bits(a) - f64::from_bits(b)).to_bits(),
+        BinOp::FMul => (f64::from_bits(a) * f64::from_bits(b)).to_bits(),
+        BinOp::FDiv => (f64::from_bits(a) / f64::from_bits(b)).to_bits(),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        // Shift counts are masked to the type width (deterministic
+        // behaviour even when a flipped bit lands in a shift amount).
+        BinOp::Shl => a << (b & (ty.bits() as u64 - 1).max(1)),
+        BinOp::LShr => {
+            let w = ty.bits();
+            let masked = if w == 64 { a } else { a & ((1u64 << w) - 1) };
+            masked >> (b & (w as u64 - 1).max(1))
+        }
+        BinOp::AShr => ((a as i64) >> (b & (ty.bits() as u64 - 1).max(1))) as u64,
+    };
+    Ok(canon(ty, r))
+}
+
+#[inline]
+fn exec_un(op: UnOp, ty: Ty, a: u64) -> u64 {
+    let r = match op {
+        UnOp::FNeg => (-f64::from_bits(a)).to_bits(),
+        UnOp::Not => !a,
+        UnOp::Sqrt => f64::from_bits(a).sqrt().to_bits(),
+        UnOp::Sin => f64::from_bits(a).sin().to_bits(),
+        UnOp::Cos => f64::from_bits(a).cos().to_bits(),
+        UnOp::Exp => f64::from_bits(a).exp().to_bits(),
+        UnOp::Log => f64::from_bits(a).ln().to_bits(),
+        UnOp::Floor => f64::from_bits(a).floor().to_bits(),
+        UnOp::FAbs => f64::from_bits(a).abs().to_bits(),
+    };
+    canon(ty, r)
+}
+
+#[inline]
+fn exec_cast(kind: CastKind, from: Ty, to: Ty, a: u64) -> u64 {
+    match kind {
+        CastKind::Trunc | CastKind::Bitcast | CastKind::PtrToInt | CastKind::IntToPtr => {
+            canon(to, a)
+        }
+        CastKind::ZExt => {
+            // Zero-extension uses the *unsigned* narrow value.
+            let narrow = from.truncate_bits(a);
+            canon(to, narrow)
+        }
+        CastKind::SExt => {
+            if from == Ty::I1 {
+                if a & 1 != 0 {
+                    u64::MAX
+                } else {
+                    0
+                }
+            } else {
+                a // i32 is already canonically sign-extended
+            }
+        }
+        CastKind::FpToSi => {
+            let x = f64::from_bits(a);
+            match to {
+                Ty::I32 => ((x as i32) as i64) as u64,
+                _ => (x as i64) as u64,
+            }
+        }
+        CastKind::SiToFp => {
+            let v = if from == Ty::I1 { (a & 1) as i64 } else { a as i64 };
+            (v as f64).to_bits()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppa_ir::{IPred, ModuleBuilder, Operand};
+
+    /// sum = 0; for i in 0..n { sum += i*i }; output sum
+    fn loop_module() -> Module {
+        let mut mb = ModuleBuilder::new("loop");
+        let main = mb.declare("main", &[Ty::I64], Some(Ty::I64));
+        let mut f = mb.define(main);
+        let n = f.param(0);
+        let (head, hv) = f.new_block(&[Ty::I64, Ty::I64]); // i, sum
+        let (body, _) = f.new_block(&[]);
+        let (exit, _) = f.new_block(&[]);
+        f.br(head, &[Operand::i64(0), Operand::i64(0)]);
+        f.switch_to(head);
+        let c = f.icmp(IPred::Slt, hv[0], n);
+        f.cond_br(c, body, &[], exit, &[]);
+        f.switch_to(body);
+        let sq = f.mul(hv[0], hv[0]);
+        let sum2 = f.add(hv[1], sq);
+        let i2 = f.add(hv[0], Operand::i64(1));
+        f.br(head, &[i2, sum2]);
+        f.switch_to(exit);
+        f.output(hv[1]);
+        f.ret(Some(hv[1]));
+        f.finish();
+        mb.set_entry(main);
+        let m = mb.finish();
+        peppa_ir::verify(&m).unwrap();
+        m
+    }
+
+    #[test]
+    fn sum_of_squares() {
+        let m = loop_module();
+        let vm = Vm::new(&m, ExecLimits::default());
+        let out = vm.run_numeric(&[5.0], None);
+        assert_eq!(out.status, RunStatus::Ok);
+        assert_eq!(out.output, vec![30]); // 0+1+4+9+16
+        assert_eq!(out.ret, Some(30));
+    }
+
+    #[test]
+    fn profile_counts_loop_iterations() {
+        let m = loop_module();
+        let vm = Vm::new(&m, ExecLimits::default());
+        let out = vm.run_numeric(&[10.0], None);
+        // icmp executes 11 times; mul/add/add 10 times; output once.
+        assert_eq!(out.profile.exec_counts[0], 11);
+        assert_eq!(out.profile.exec_counts[1], 10);
+        assert_eq!(out.profile.dynamic, 11 + 30 + 1);
+        // All but `output` produce values.
+        assert_eq!(out.profile.value_dynamic, 11 + 30);
+    }
+
+    #[test]
+    fn hang_on_budget() {
+        let m = loop_module();
+        let vm = Vm::new(&m, ExecLimits { max_dynamic: 50, ..Default::default() });
+        let out = vm.run_numeric(&[1e9, /* huge */], None);
+        assert_eq!(out.status, RunStatus::Hang);
+    }
+
+    #[test]
+    fn injected_fault_changes_output() {
+        let m = loop_module();
+        let vm = Vm::new(&m, ExecLimits::default());
+        let golden = vm.run_numeric(&[5.0], None);
+        // Flip bit 3 of the first mul result (dynamic value index 1 is the
+        // first mul: index 0 is the first icmp).
+        let inj = Injection { target: InjectionTarget::DynamicIndex(1), bit: 3, burst: 0 };
+        let faulty = vm.run_numeric(&[5.0], Some(inj));
+        assert!(faulty.fault_activated);
+        assert!(faulty.is_sdc_vs(&golden));
+        // 0*0=0 flipped bit3 -> 8; totals 30 -> 38.
+        assert_eq!(faulty.output, vec![38]);
+    }
+
+    #[test]
+    fn injection_into_icmp_takes_wrong_branch() {
+        let m = loop_module();
+        let vm = Vm::new(&m, ExecLimits::default());
+        let golden = vm.run_numeric(&[5.0], None);
+        // Flip the very first icmp (i -> loop exits immediately, sum 0).
+        let inj = Injection { target: InjectionTarget::DynamicIndex(0), bit: 0, burst: 0 };
+        let faulty = vm.run_numeric(&[5.0], Some(inj));
+        assert_eq!(faulty.status, RunStatus::Ok);
+        assert_eq!(faulty.output, vec![0]);
+        assert!(faulty.is_sdc_vs(&golden));
+    }
+
+    #[test]
+    fn static_instance_targeting() {
+        let m = loop_module();
+        let vm = Vm::new(&m, ExecLimits::default());
+        // mul is sid 1; instance 3 computes 3*3=9; flip bit 0 -> 8.
+        let inj = Injection {
+            target: InjectionTarget::StaticInstance { sid: InstrId(1), instance: 3 },
+            bit: 0,
+                burst: 0,
+            };
+        let faulty = vm.run_numeric(&[5.0], Some(inj));
+        assert!(faulty.fault_activated);
+        assert_eq!(faulty.output, vec![29]); // 30 - 1
+    }
+
+    #[test]
+    fn fault_not_activated_when_target_beyond_run() {
+        let m = loop_module();
+        let vm = Vm::new(&m, ExecLimits::default());
+        let inj = Injection { target: InjectionTarget::DynamicIndex(10_000), bit: 0, burst: 0 };
+        let out = vm.run_numeric(&[5.0], Some(inj));
+        assert!(!out.fault_activated);
+        assert_eq!(out.output, vec![30]);
+    }
+
+    fn mem_module() -> Module {
+        // Writes param into g[idx] then reads g[idx] back; traps if idx OOB.
+        let mut mb = ModuleBuilder::new("mem");
+        let g = mb.global("g", 4);
+        let main = mb.declare("main", &[Ty::I64, Ty::F64], Some(Ty::F64));
+        let mut f = mb.define(main);
+        let idx = f.param(0);
+        let val = f.param(1);
+        let p = f.gep(g, idx);
+        let vb = f.cast(CastKind::Bitcast, val, Ty::I64);
+        f.store(p, vb);
+        let l = f.load(p, Ty::F64);
+        f.output(l);
+        f.ret(Some(l));
+        f.finish();
+        mb.set_entry(main);
+        let m = mb.finish();
+        peppa_ir::verify(&m).unwrap();
+        m
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let m = mem_module();
+        let vm = Vm::new(&m, ExecLimits::default());
+        let out = vm.run_numeric(&[2.0, 6.25], None);
+        assert_eq!(out.status, RunStatus::Ok);
+        assert_eq!(out.ret, Some(6.25f64.to_bits()));
+    }
+
+    #[test]
+    fn oob_store_traps() {
+        let m = mem_module();
+        let vm = Vm::new(&m, ExecLimits { memory_words: 64, ..Default::default() });
+        let out = vm.run_numeric(&[1000.0, 1.0], None);
+        assert!(matches!(out.status, RunStatus::Trap(Trap::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn flipped_pointer_crashes() {
+        let m = mem_module();
+        let vm = Vm::new(&m, ExecLimits { memory_words: 64, ..Default::default() });
+        // Flip a high bit of the gep result -> wild address -> trap.
+        let inj = Injection { target: InjectionTarget::DynamicIndex(0), bit: 40, burst: 0 };
+        let out = vm.run_numeric(&[2.0, 1.5], Some(inj));
+        assert!(matches!(out.status, RunStatus::Trap(Trap::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        let mut mb = ModuleBuilder::new("div");
+        let main = mb.declare("main", &[Ty::I64], Some(Ty::I64));
+        let mut f = mb.define(main);
+        let x = f.param(0);
+        let q = f.bin(BinOp::SDiv, Operand::i64(100), x);
+        f.ret(Some(q));
+        f.finish();
+        mb.set_entry(main);
+        let m = mb.finish();
+        let vm = Vm::new(&m, ExecLimits::default());
+        assert_eq!(vm.run_numeric(&[0.0], None).status, RunStatus::Trap(Trap::DivByZero));
+        assert_eq!(vm.run_numeric(&[4.0], None).ret, Some(25));
+    }
+
+    #[test]
+    fn alloca_scopes_per_call() {
+        // callee allocas 8 words each call; calling twice must not leak.
+        let mut mb = ModuleBuilder::new("alloca");
+        let callee = mb.declare("callee", &[Ty::I64], Some(Ty::I64));
+        let main = mb.declare("main", &[], Some(Ty::I64));
+        {
+            let mut f = mb.define(callee);
+            let x = f.param(0);
+            let buf = f.alloca(Operand::i64(8));
+            f.store(buf, x);
+            let v = f.load(buf, Ty::I64);
+            f.ret(Some(v));
+            f.finish();
+        }
+        {
+            let mut f = mb.define(main);
+            let a = f.call(callee, &[Operand::i64(11)]).unwrap();
+            let b = f.call(callee, &[Operand::i64(31)]).unwrap();
+            let s = f.add(a, b);
+            f.output(s);
+            f.ret(Some(s));
+            f.finish();
+        }
+        mb.set_entry(main);
+        let m = mb.finish();
+        peppa_ir::verify(&m).unwrap();
+        // Memory just big enough for one frame's alloca at a time.
+        let vm = Vm::new(&m, ExecLimits { memory_words: 12, ..Default::default() });
+        let out = vm.run_numeric(&[], None);
+        assert_eq!(out.status, RunStatus::Ok);
+        assert_eq!(out.ret, Some(42));
+    }
+
+    #[test]
+    fn recursion_depth_trap() {
+        let mut mb = ModuleBuilder::new("rec");
+        let f_id = mb.declare("f", &[Ty::I64], Some(Ty::I64));
+        {
+            let mut f = mb.define(f_id);
+            let x = f.param(0);
+            let r = f.call(f_id, &[x]).unwrap();
+            f.ret(Some(r));
+            f.finish();
+        }
+        mb.set_entry(f_id);
+        let m = mb.finish();
+        let vm = Vm::new(&m, ExecLimits { max_call_depth: 16, ..Default::default() });
+        assert_eq!(vm.run_numeric(&[1.0], None).status, RunStatus::Trap(Trap::CallDepth));
+    }
+
+    #[test]
+    fn i32_canonicalization_after_flip() {
+        // Flipping bit 31 of an i32 changes the sign and stays canonical.
+        let mut mb = ModuleBuilder::new("i32");
+        let main = mb.declare("main", &[], Some(Ty::I64));
+        let mut f = mb.define(main);
+        let v = f.bin(BinOp::Add, Operand::i32(1), Operand::i32(0));
+        let w = f.cast(CastKind::SExt, v, Ty::I64);
+        f.output(w);
+        f.ret(Some(w));
+        f.finish();
+        mb.set_entry(main);
+        let m = mb.finish();
+        let vm = Vm::new(&m, ExecLimits::default());
+        let inj = Injection { target: InjectionTarget::DynamicIndex(0), bit: 31, burst: 0 };
+        let out = vm.run_numeric(&[], Some(inj));
+        assert_eq!(out.ret, Some((1i64 + i32::MIN as i64) as u64));
+    }
+
+    #[test]
+    fn deterministic_repeat_runs() {
+        let m = loop_module();
+        let vm = Vm::new(&m, ExecLimits::default());
+        let a = vm.run_numeric(&[17.0], None);
+        let b = vm.run_numeric(&[17.0], None);
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.profile, b.profile);
+    }
+}

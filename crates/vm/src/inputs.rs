@@ -1,0 +1,74 @@
+//! Conversion between user-facing numeric program inputs and the entry
+//! function's typed parameters.
+//!
+//! PEPPA-X treats a program input as "a set of input arguments" (§4.2.4),
+//! all numeric (§3.1.2). We carry inputs as `f64` vectors throughout the
+//! search and encode them here: float parameters take the value directly,
+//! integer parameters take the rounded value.
+
+use peppa_ir::{Function, Ty};
+
+/// Encodes a numeric input vector as raw register bits for `func`'s
+/// parameters. Panics if the arity does not match.
+pub fn encode_inputs(func: &Function, inputs: &[f64]) -> Vec<u64> {
+    assert_eq!(
+        inputs.len(),
+        func.params.len(),
+        "input arity mismatch for {}: got {}, need {}",
+        func.name,
+        inputs.len(),
+        func.params.len()
+    );
+    inputs
+        .iter()
+        .zip(&func.params)
+        .map(|(&x, &ty)| match ty {
+            Ty::F64 => x.to_bits(),
+            Ty::I64 => (x.round() as i64) as u64,
+            Ty::I32 => ((x.round() as i64) as i32 as i64) as u64,
+            Ty::I1 => (x != 0.0) as u64,
+            Ty::Ptr => x.round().max(0.0) as u64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppa_ir::{Block, Term};
+
+    fn f(params: Vec<Ty>) -> Function {
+        Function {
+            name: "t".into(),
+            value_types: params.clone(),
+            params,
+            ret: None,
+            blocks: vec![Block { params: vec![], instrs: vec![], term: Term::Ret { value: None } }],
+        }
+    }
+
+    #[test]
+    fn float_passthrough() {
+        let func = f(vec![Ty::F64]);
+        assert_eq!(encode_inputs(&func, &[2.5]), vec![2.5f64.to_bits()]);
+    }
+
+    #[test]
+    fn int_rounding() {
+        let func = f(vec![Ty::I64, Ty::I64]);
+        assert_eq!(encode_inputs(&func, &[2.6, -3.4]), vec![3u64, (-3i64) as u64]);
+    }
+
+    #[test]
+    fn i32_wraps_to_sign_extended() {
+        let func = f(vec![Ty::I32]);
+        assert_eq!(encode_inputs(&func, &[-1.0]), vec![u64::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let func = f(vec![Ty::F64]);
+        encode_inputs(&func, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,25 @@
+//! The PIR virtual machine.
+//!
+//! This crate plays the role the native CPU plays in the paper's
+//! experiments: it executes benchmark programs, records the dynamic
+//! execution profile (the `N_i` counts of Eq. 2), detects crashes and
+//! hangs, and — when asked — flips a single bit in the return value of one
+//! dynamic instruction, exactly LLFI's fault model (§3.1.3: "inject single
+//! bit flips into a random instruction's return value").
+//!
+//! Observable behaviour of a run:
+//! * the **output stream** (words appended by `output` instructions) —
+//!   compared against a golden run to detect SDCs;
+//! * the **status** — clean exit, trap (crash), or budget exhaustion
+//!   (hang);
+//! * the **profile** — per-static-instruction execution counts, total
+//!   dynamic instructions, and the count of value-producing dynamic
+//!   instructions (the fault-site population).
+
+pub mod exec;
+pub mod inputs;
+pub mod profile;
+
+pub use exec::{ExecLimits, Injection, InjectionTarget, RunOutput, RunStatus, Trap, Vm};
+pub use inputs::encode_inputs;
+pub use profile::Profile;

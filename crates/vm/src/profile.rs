@@ -1,0 +1,78 @@
+//! Execution profiles: the dynamic counterpart of the static instruction
+//! table.
+
+/// Per-run execution profile.
+///
+/// `exec_counts[sid]` is `N_i` from Eq. 2 of the paper — how many times
+/// static instruction `sid` executed. `dynamic` is `N_total` restricted to
+/// non-terminator instructions (terminators carry no injectable value, so
+/// the paper's per-instruction statistics never mention them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Executions of each static instruction, indexed by `sid`.
+    pub exec_counts: Vec<u64>,
+    /// Total dynamic (non-terminator) instructions executed.
+    pub dynamic: u64,
+    /// Dynamic instructions that produced a value — the population from
+    /// which fault sites are drawn.
+    pub value_dynamic: u64,
+}
+
+impl Profile {
+    pub fn new(num_instrs: usize) -> Profile {
+        Profile { exec_counts: vec![0; num_instrs], dynamic: 0, value_dynamic: 0 }
+    }
+
+    /// Static code coverage: the fraction of static instructions that
+    /// executed at least once (§3.2.2 profiles coverage "based on static
+    /// instructions").
+    pub fn coverage(&self) -> f64 {
+        if self.exec_counts.is_empty() {
+            return 0.0;
+        }
+        let covered = self.exec_counts.iter().filter(|&&c| c > 0).count();
+        covered as f64 / self.exec_counts.len() as f64
+    }
+
+    /// Set of executed static instruction ids.
+    pub fn covered_sids(&self) -> Vec<u32> {
+        self.exec_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Relative dynamic footprint `N_i / N_total` of one instruction.
+    pub fn footprint(&self, sid: usize) -> f64 {
+        if self.dynamic == 0 {
+            return 0.0;
+        }
+        self.exec_counts[sid] as f64 / self.dynamic as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_counts_executed() {
+        let p = Profile { exec_counts: vec![3, 0, 1, 0], dynamic: 4, value_dynamic: 4 };
+        assert!((p.coverage() - 0.5).abs() < 1e-12);
+        assert_eq!(p.covered_sids(), vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = Profile::new(0);
+        assert_eq!(p.coverage(), 0.0);
+    }
+
+    #[test]
+    fn footprint_fractions() {
+        let p = Profile { exec_counts: vec![1, 3], dynamic: 4, value_dynamic: 4 };
+        assert!((p.footprint(1) - 0.75).abs() < 1e-12);
+    }
+}

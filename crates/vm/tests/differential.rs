@@ -1,0 +1,133 @@
+//! Differential tests: PIR arithmetic semantics against native Rust
+//! semantics, driven by proptest through compiled MiniC expressions.
+
+use peppa_vm::{ExecLimits, RunStatus, Vm};
+use proptest::prelude::*;
+
+fn eval_int(expr_src: &str, inputs: &[f64]) -> i64 {
+    let src = format!("fn main(a: int, b: int, c: int) {{ output {expr_src}; }}");
+    let m = peppa_lang::compile(&src, "diff").unwrap();
+    let vm = Vm::new(&m, ExecLimits::default());
+    let out = vm.run_numeric(inputs, None);
+    assert_eq!(out.status, RunStatus::Ok);
+    out.output[0] as i64
+}
+
+fn eval_float(expr_src: &str, inputs: &[f64]) -> f64 {
+    let src = format!("fn main(x: float, y: float) {{ output {expr_src}; }}");
+    let m = peppa_lang::compile(&src, "diff").unwrap();
+    let vm = Vm::new(&m, ExecLimits::default());
+    let out = vm.run_numeric(inputs, None);
+    assert_eq!(out.status, RunStatus::Ok);
+    f64::from_bits(out.output[0])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn integer_ring_ops(a in any::<i32>(), b in any::<i32>(), c in any::<i32>()) {
+        let (a, b, c) = (a as i64, b as i64, c as i64);
+        let ins = [a as f64, b as f64, c as f64];
+        prop_assert_eq!(
+            eval_int("a + b * c", &ins),
+            a.wrapping_add(b.wrapping_mul(c))
+        );
+        prop_assert_eq!(eval_int("a - b - c", &ins), a.wrapping_sub(b).wrapping_sub(c));
+    }
+
+    #[test]
+    fn division_and_remainder(a in any::<i32>(), b in 1i64..1_000_000) {
+        let a = a as i64;
+        let ins = [a as f64, b as f64, 0.0];
+        prop_assert_eq!(eval_int("a / b", &ins), a / b);
+        prop_assert_eq!(eval_int("a % b", &ins), a % b);
+        // Euclidean-ish identity holds for truncating division.
+        prop_assert_eq!(eval_int("(a / b) * b + a % b", &ins), a);
+    }
+
+    #[test]
+    fn bitwise_ops(a in any::<i32>(), b in any::<i32>(), sh in 0i64..63) {
+        let (a64, b64) = (a as i64, b as i64);
+        let ins = [a64 as f64, b64 as f64, sh as f64];
+        prop_assert_eq!(eval_int("a & b", &ins), a64 & b64);
+        prop_assert_eq!(eval_int("a | b", &ins), a64 | b64);
+        prop_assert_eq!(eval_int("a ^ b", &ins), a64 ^ b64);
+        prop_assert_eq!(eval_int("a << c", &ins), a64 << sh);
+        prop_assert_eq!(eval_int("a >> c", &ins), a64 >> sh);
+    }
+
+    #[test]
+    fn comparisons_and_selects(a in any::<i32>(), b in any::<i32>()) {
+        let (a64, b64) = (a as i64, b as i64);
+        let ins = [a64 as f64, b64 as f64, 0.0];
+        prop_assert_eq!(eval_int("min(a, b)", &ins), a64.min(b64));
+        prop_assert_eq!(eval_int("max(a, b)", &ins), a64.max(b64));
+        prop_assert_eq!(eval_int("abs(a)", &ins), a64.wrapping_abs());
+    }
+
+    #[test]
+    fn float_field_ops(x in -1e10f64..1e10, y in -1e10f64..1e10) {
+        let ins = [x, y];
+        prop_assert_eq!(eval_float("x + y", &ins).to_bits(), (x + y).to_bits());
+        prop_assert_eq!(eval_float("x * y", &ins).to_bits(), (x * y).to_bits());
+        prop_assert_eq!(eval_float("x / y", &ins).to_bits(), (x / y).to_bits());
+        prop_assert_eq!(eval_float("x - y", &ins).to_bits(), (x - y).to_bits());
+    }
+
+    #[test]
+    fn float_builtins(x in 0.001f64..1e6) {
+        let ins = [x, 0.0];
+        prop_assert_eq!(eval_float("sqrt(x)", &ins).to_bits(), x.sqrt().to_bits());
+        prop_assert_eq!(eval_float("log(x)", &ins).to_bits(), x.ln().to_bits());
+        prop_assert_eq!(eval_float("floor(x)", &ins).to_bits(), x.floor().to_bits());
+        prop_assert_eq!(eval_float("fabs(0.0 - x)", &ins).to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn conversions_roundtrip(n in -1_000_000i64..1_000_000) {
+        let ins = [n as f64, 0.0, 0.0];
+        prop_assert_eq!(eval_int("f2i(i2f(a))", &ins), n);
+    }
+
+    #[test]
+    fn fmin_fmax_consistent(x in -1e6f64..1e6, y in -1e6f64..1e6) {
+        let ins = [x, y];
+        let got_min = eval_float("fmin(x, y)", &ins);
+        let got_max = eval_float("fmax(x, y)", &ins);
+        prop_assert_eq!(got_min, if x < y { x } else { y });
+        prop_assert_eq!(got_max, if x < y { y } else { x });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn loop_sum_matches_closed_form(n in 0i64..500) {
+        let src = r#"
+            fn main(n: int) {
+                let s = 0;
+                for (i = 1; i <= n; i = i + 1) { s = s + i; }
+                output s;
+            }
+        "#;
+        let m = peppa_lang::compile(src, "gauss").unwrap();
+        let vm = Vm::new(&m, ExecLimits::default());
+        let out = vm.run_numeric(&[n as f64], None);
+        prop_assert_eq!(out.output[0] as i64, n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn profile_counts_scale_linearly(n in 1u64..200) {
+        // The loop body instructions execute exactly n times.
+        let src = "fn main(n: int) { let s = 0; for (i = 0; i < n; i = i + 1) { s = s + i * i; } output s; }";
+        let m = peppa_lang::compile(src, "prof").unwrap();
+        let vm = Vm::new(&m, ExecLimits::default());
+        let out = vm.run_numeric(&[n as f64], None);
+        // Some instruction has exactly n executions (the body multiply).
+        prop_assert!(out.profile.exec_counts.contains(&n));
+        // And the loop condition executes n+1 times.
+        prop_assert!(out.profile.exec_counts.iter().any(|&c| c == n + 1));
+    }
+}

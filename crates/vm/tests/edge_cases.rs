@@ -1,0 +1,200 @@
+//! Direct edge-case tests of interpreter semantics that the MiniC
+//! differential tests cannot reach (built with the raw IR builder).
+
+use peppa_ir::{BinOp, CastKind, IPred, Module, ModuleBuilder, Operand, Ty, UnOp};
+use peppa_vm::{ExecLimits, RunStatus, Trap, Vm};
+
+/// Builds `fn main() { output <expr built by f> }` and runs it.
+fn eval(build: impl FnOnce(&mut peppa_ir::FunctionBuilder<'_>) -> Operand) -> u64 {
+    let mut mb = ModuleBuilder::new("edge");
+    let main = mb.declare("main", &[], None);
+    let mut f = mb.define(main);
+    let v = build(&mut f);
+    f.output(v);
+    f.ret(None);
+    f.finish();
+    mb.set_entry(main);
+    let m = mb.finish();
+    peppa_ir::verify(&m).unwrap();
+    let vm = Vm::new(&m, ExecLimits::default());
+    let out = vm.run_numeric(&[], None);
+    assert_eq!(out.status, RunStatus::Ok);
+    out.output[0]
+}
+
+#[test]
+fn int_min_division_wraps() {
+    // i64::MIN / -1 overflows; the VM wraps instead of trapping (LLVM
+    // would be UB; determinism matters more than faithfulness here).
+    let r = eval(|f| f.bin(BinOp::SDiv, Operand::i64(i64::MIN), Operand::i64(-1)));
+    assert_eq!(r as i64, i64::MIN);
+}
+
+#[test]
+fn srem_sign_follows_dividend() {
+    let r = eval(|f| f.bin(BinOp::SRem, Operand::i64(-7), Operand::i64(3)));
+    assert_eq!(r as i64, -1);
+}
+
+#[test]
+fn shift_amounts_masked_to_width() {
+    // Shift by 64+3 behaves as shift by 3 (masked), not UB.
+    let r = eval(|f| f.bin(BinOp::Shl, Operand::i64(1), Operand::i64(67)));
+    assert_eq!(r, 8);
+    let r = eval(|f| f.bin(BinOp::AShr, Operand::i64(-16), Operand::i64(66)));
+    assert_eq!(r as i64, -4);
+}
+
+#[test]
+fn lshr_is_logical() {
+    let r = eval(|f| f.bin(BinOp::LShr, Operand::i64(-1), Operand::i64(1)));
+    assert_eq!(r, u64::MAX >> 1);
+}
+
+#[test]
+fn i32_arithmetic_wraps_at_32_bits() {
+    let r = eval(|f| {
+        let v = f.bin(BinOp::Add, Operand::i32(i32::MAX), Operand::i32(1));
+        f.cast(CastKind::SExt, v, Ty::I64)
+    });
+    assert_eq!(r as i64, i32::MIN as i64);
+}
+
+#[test]
+fn zext_uses_unsigned_narrow_value() {
+    let r = eval(|f| {
+        let v = f.bin(BinOp::Add, Operand::i32(-1), Operand::i32(0));
+        f.cast(CastKind::ZExt, v, Ty::I64)
+    });
+    assert_eq!(r, 0xffff_ffff);
+}
+
+#[test]
+fn sext_of_true_is_all_ones() {
+    let r = eval(|f| {
+        let c = f.icmp(IPred::Eq, Operand::i64(1), Operand::i64(1));
+        f.cast(CastKind::SExt, c, Ty::I64)
+    });
+    assert_eq!(r, u64::MAX);
+}
+
+#[test]
+fn fptosi_saturates_and_zeroes_nan() {
+    let r = eval(|f| f.cast(CastKind::FpToSi, Operand::f64(1e300), Ty::I64));
+    assert_eq!(r as i64, i64::MAX);
+    let r = eval(|f| f.cast(CastKind::FpToSi, Operand::f64(f64::NAN), Ty::I64));
+    assert_eq!(r as i64, 0);
+    let r = eval(|f| f.cast(CastKind::FpToSi, Operand::f64(-1e300), Ty::I64));
+    assert_eq!(r as i64, i64::MIN);
+}
+
+#[test]
+fn fcmp_ordered_predicates_false_on_nan() {
+    for pred in [
+        peppa_ir::FPred::Oeq,
+        peppa_ir::FPred::One,
+        peppa_ir::FPred::Olt,
+        peppa_ir::FPred::Ole,
+        peppa_ir::FPred::Ogt,
+        peppa_ir::FPred::Oge,
+    ] {
+        let r = eval(move |f| {
+            let c = f.fcmp(pred, Operand::f64(f64::NAN), Operand::f64(1.0));
+            f.cast(CastKind::ZExt, c, Ty::I64)
+        });
+        assert_eq!(r, 0, "{pred:?} true on NaN");
+    }
+}
+
+#[test]
+fn ult_compares_unsigned() {
+    let r = eval(|f| {
+        let c = f.icmp(IPred::Ult, Operand::i64(-1), Operand::i64(1));
+        f.cast(CastKind::ZExt, c, Ty::I64)
+    });
+    assert_eq!(r, 0, "-1 as unsigned is u64::MAX, not < 1");
+}
+
+#[test]
+fn float_div_by_zero_is_inf_not_trap() {
+    let r = eval(|f| f.bin(BinOp::FDiv, Operand::f64(1.0), Operand::f64(0.0)));
+    assert_eq!(f64::from_bits(r), f64::INFINITY);
+}
+
+#[test]
+fn not_on_i1_is_logical_negation() {
+    let r = eval(|f| {
+        let c = f.icmp(IPred::Eq, Operand::i64(1), Operand::i64(2)); // false
+        let n = f.un(UnOp::Not, c);
+        f.cast(CastKind::ZExt, n, Ty::I64)
+    });
+    assert_eq!(r, 1);
+}
+
+#[test]
+fn bitcast_roundtrips_f64() {
+    let r = eval(|f| {
+        let bits = f.cast(CastKind::Bitcast, Operand::f64(-3.75), Ty::I64);
+        f.cast(CastKind::Bitcast, bits, Ty::F64)
+    });
+    assert_eq!(f64::from_bits(r), -3.75);
+}
+
+fn trap_of(build: impl FnOnce(&mut peppa_ir::FunctionBuilder<'_>)) -> RunStatus {
+    let mut mb = ModuleBuilder::new("trap");
+    let main = mb.declare("main", &[], None);
+    let mut f = mb.define(main);
+    build(&mut f);
+    f.ret(None);
+    f.finish();
+    mb.set_entry(main);
+    let m = mb.finish();
+    let vm = Vm::new(&m, ExecLimits { memory_words: 64, ..Default::default() });
+    vm.run_numeric(&[], None).status
+}
+
+#[test]
+fn null_load_and_store_trap() {
+    let s = trap_of(|f| {
+        let p = f.cast(CastKind::IntToPtr, Operand::i64(0), Ty::Ptr);
+        let _ = f.load(p, Ty::I64);
+    });
+    assert_eq!(s, RunStatus::Trap(Trap::OutOfBounds { addr: 0 }));
+}
+
+#[test]
+fn negative_alloca_traps() {
+    let s = trap_of(|f| {
+        let _ = f.alloca(Operand::i64(-5));
+    });
+    assert_eq!(s, RunStatus::Trap(Trap::StackOverflow));
+}
+
+#[test]
+fn alloca_larger_than_memory_traps() {
+    let s = trap_of(|f| {
+        let _ = f.alloca(Operand::i64(1_000_000));
+    });
+    assert_eq!(s, RunStatus::Trap(Trap::StackOverflow));
+}
+
+#[test]
+fn memory_capture_present_even_on_trap() {
+    let mut mb = ModuleBuilder::new("cap");
+    let g = mb.global("g", 2);
+    let main = mb.declare("main", &[], None);
+    let mut f = mb.define(main);
+    f.store(g, Operand::i64(42));
+    let bad = f.cast(CastKind::IntToPtr, Operand::i64(0), Ty::Ptr);
+    f.store(bad, Operand::i64(1)); // traps after the first store landed
+    f.ret(None);
+    f.finish();
+    mb.set_entry(main);
+    let m: Module = mb.finish();
+    let vm = Vm::new(&m, ExecLimits { memory_words: 16, ..Default::default() });
+    let bits: Vec<u64> = vec![];
+    let out = vm.run_capture(&bits, None);
+    assert!(matches!(out.status, RunStatus::Trap(_)));
+    let mem = out.memory.expect("capture requested");
+    assert_eq!(mem[1], 42, "pre-trap store must be visible in the capture");
+}

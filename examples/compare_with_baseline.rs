@@ -1,0 +1,55 @@
+//! Head-to-head: PEPPA-X's guided search vs the baseline's
+//! random-input + statistical-FI search at the same budget (Figure 5's
+//! experiment on one benchmark).
+//!
+//! ```sh
+//! cargo run --release --example compare_with_baseline
+//! ```
+
+use peppa_x::core::{baseline_search, BaselineConfig, PeppaConfig, PeppaX};
+
+fn main() {
+    let bench = peppa_x::apps::benchmark_by_name("Xsbench").expect("benchmark exists");
+
+    let px = PeppaX::prepare(
+        &bench,
+        PeppaConfig {
+            seed: 5,
+            population: 12,
+            distribution_trials: 15,
+            final_fi_trials: 400,
+            ..Default::default()
+        },
+    )
+    .expect("prepare");
+
+    let checkpoints = [10, 25, 50];
+    let report = px.search(&checkpoints);
+
+    // Give the baseline the same dynamic-instruction budget PEPPA-X
+    // consumed in total.
+    let budget = report.checkpoints.last().unwrap().search_cost_dynamic;
+    let baseline = baseline_search(
+        &bench,
+        budget,
+        BaselineConfig { seed: 17, fi_trials: 400, ..Default::default() },
+    );
+
+    println!("benchmark: {} — equal-budget comparison\n", bench.name);
+    println!("{:>12} {:>14} {:>14}", "generations", "PEPPA-X SDC", "baseline SDC");
+    for cp in &report.checkpoints {
+        let base = baseline.best_at_budget(cp.search_cost_dynamic).unwrap_or(0.0);
+        println!(
+            "{:>12} {:>13.2}% {:>13.2}%",
+            cp.generation,
+            cp.sdc.sdc_prob() * 100.0,
+            base * 100.0
+        );
+    }
+    println!(
+        "\nbaseline evaluated {} random inputs with full FI campaigns;\n\
+         PEPPA-X evaluated {} candidates with one profiled run each.",
+        baseline.evals.len(),
+        report.ga_evaluations
+    );
+}

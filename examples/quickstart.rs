@@ -1,0 +1,70 @@
+//! Quickstart: measure a benchmark's SDC probability, then let PEPPA-X
+//! find an input that bounds it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use peppa_x::apps;
+use peppa_x::core::{PeppaConfig, PeppaX};
+use peppa_x::inject::{run_campaign, CampaignConfig};
+use peppa_x::vm::ExecLimits;
+
+fn main() {
+    // 1. Pick a benchmark. Seven HPC kernels ship with the crate.
+    let bench = apps::benchmark_by_name("Pathfinder").expect("benchmark exists");
+    println!(
+        "benchmark: {} ({}) — {} static instructions",
+        bench.name,
+        bench.suite,
+        bench.static_instrs()
+    );
+
+    // 2. Statistical fault injection with the suite's reference input —
+    //    what the paper's §3 calls the over-optimistic default view.
+    let limits = ExecLimits::default();
+    let cfg = CampaignConfig { trials: 500, seed: 1, ..Default::default() };
+    let reference = run_campaign(&bench.module, &bench.reference_input, limits, cfg)
+        .expect("reference input runs cleanly");
+    println!(
+        "reference input: SDC probability {:.2}% (95% CI ±{:.2}pp), crash {:.2}%",
+        reference.sdc_prob() * 100.0,
+        reference.sdc_ci.half_width * 100.0,
+        reference.crash_prob() * 100.0
+    );
+
+    // 3. Run PEPPA-X: small-FI-input fuzzing, pruned distribution
+    //    analysis, then a GA search guided by the Eq.-2 fitness.
+    let peppa_cfg = PeppaConfig {
+        seed: 7,
+        population: 12,
+        distribution_trials: 20,
+        final_fi_trials: 500,
+        ..Default::default()
+    };
+    let px = PeppaX::prepare(&bench, peppa_cfg).expect("preparation");
+    println!(
+        "prepared: small FI input {:?} covers {:.0}% of instructions at {}x less work",
+        px.small.input,
+        px.small.coverage * 100.0,
+        (px.small.reference_dynamic / px.small.dynamic.max(1)).max(1)
+    );
+
+    let report = px.search(&[10, 30, 60]);
+    for cp in &report.checkpoints {
+        println!(
+            "generation {:>3}: fitness {:.4}, measured SDC probability {:.2}%",
+            cp.generation,
+            cp.fitness,
+            cp.sdc.sdc_prob() * 100.0
+        );
+    }
+
+    let bound = report.sdc_bound();
+    println!(
+        "\nSDC-bound input {:?} -> {:.2}% SDC probability ({}x the reference input)",
+        bound.input,
+        bound.sdc.sdc_prob() * 100.0,
+        (bound.sdc.sdc_prob() / reference.sdc_prob().max(1e-9)).round()
+    );
+}

@@ -1,0 +1,299 @@
+//! `peppa` — command-line front end to the PEPPA-X toolchain.
+//!
+//! Operates on MiniC source files (or the built-in benchmarks via
+//! `--bench NAME`):
+//!
+//! ```text
+//! peppa compile  prog.mc                          dump the compiled PIR
+//! peppa run      prog.mc --input 8,2.5            golden run + profile
+//! peppa inject   prog.mc --input 8,2.5 [--trials 1000] [--seed 1]
+//! peppa analyze  prog.mc                          pruning report
+//! peppa trace    prog.mc --input 8,2.5 --site 12 --bit 40
+//! peppa corpus   prog.mc --input 8,2.5 --count 200 > corpus.json
+//! peppa search   prog.mc --spec "n:int:4:64:4:8,s:float:0.1:9:0.1:1" \
+//!                --ref 32,1.0 [--generations 50]  find the SDC-bound input
+//! peppa ci       prog.mc --spec ... --ref ... --budget-sdc 0.25
+//!                exits non-zero if the SDC bound exceeds the budget
+//!                (the paper's §7.1.2 continuous-integration use case)
+//! ```
+//!
+//! `--spec` entries are `name:int|float:lo:hi:small_lo:small_hi`, one per
+//! program input, defining the search space and the small-FI-input
+//! window.
+
+use peppa_x::apps::{ArgSpec, Benchmark};
+use peppa_x::core::{PeppaConfig, PeppaX};
+use peppa_x::inject::{
+    generate_corpus, run_campaign, trace_propagation, CampaignConfig,
+};
+use peppa_x::vm::{ExecLimits, Injection, InjectionTarget, Vm};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("peppa: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Opts {
+    input: Option<Vec<f64>>,
+    spec: Option<Vec<ArgSpec>>,
+    reference: Option<Vec<f64>>,
+    trials: u32,
+    seed: u64,
+    generations: u64,
+    site: Option<u64>,
+    bit: u32,
+    count: usize,
+    budget_sdc: f64,
+    bench: Option<String>,
+}
+
+fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
+    let mut file = None;
+    let mut o = Opts {
+        input: None,
+        spec: None,
+        reference: None,
+        trials: 1000,
+        seed: 1,
+        generations: 50,
+        site: None,
+        bit: 0,
+        count: 200,
+        budget_sdc: 1.0,
+        bench: None,
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--input" => o.input = Some(parse_floats(&val("--input")?)?),
+            "--ref" => o.reference = Some(parse_floats(&val("--ref")?)?),
+            "--spec" => o.spec = Some(parse_spec(&val("--spec")?)?),
+            "--trials" => o.trials = val("--trials")?.parse().map_err(|_| "bad --trials")?,
+            "--seed" => o.seed = val("--seed")?.parse().map_err(|_| "bad --seed")?,
+            "--generations" => {
+                o.generations = val("--generations")?.parse().map_err(|_| "bad --generations")?
+            }
+            "--site" => o.site = Some(val("--site")?.parse().map_err(|_| "bad --site")?),
+            "--bit" => o.bit = val("--bit")?.parse().map_err(|_| "bad --bit")?,
+            "--count" => o.count = val("--count")?.parse().map_err(|_| "bad --count")?,
+            "--budget-sdc" => {
+                o.budget_sdc = val("--budget-sdc")?.parse().map_err(|_| "bad --budget-sdc")?
+            }
+            "--bench" => o.bench = Some(val("--bench")?),
+            other if !other.starts_with("--") && file.is_none() => {
+                file = Some(other.to_string());
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok((file, o))
+}
+
+fn parse_floats(s: &str) -> Result<Vec<f64>, String> {
+    s.split(',')
+        .map(|p| p.trim().parse::<f64>().map_err(|_| format!("bad number `{p}`")))
+        .collect()
+}
+
+fn parse_spec(s: &str) -> Result<Vec<ArgSpec>, String> {
+    s.split(',')
+        .map(|entry| {
+            let parts: Vec<&str> = entry.trim().split(':').collect();
+            if parts.len() != 6 {
+                return Err(format!(
+                    "spec entry `{entry}` must be name:int|float:lo:hi:small_lo:small_hi"
+                ));
+            }
+            let name: &'static str = Box::leak(parts[0].to_string().into_boxed_str());
+            let num = |i: usize| -> Result<f64, String> {
+                parts[i].parse().map_err(|_| format!("bad number `{}`", parts[i]))
+            };
+            match parts[1] {
+                "int" => Ok(ArgSpec::int(
+                    name,
+                    num(2)? as i64,
+                    num(3)? as i64,
+                    (num(4)? as i64, num(5)? as i64),
+                )),
+                "float" => Ok(ArgSpec::float(name, num(2)?, num(3)?, (num(4)?, num(5)?))),
+                t => Err(format!("bad type `{t}` (int or float)")),
+            }
+        })
+        .collect()
+}
+
+fn load_program(file: Option<String>, o: &Opts) -> Result<Benchmark, String> {
+    if let Some(name) = &o.bench {
+        return peppa_x::apps::benchmark_by_name(name)
+            .ok_or_else(|| format!("unknown benchmark `{name}`"));
+    }
+    let file = file.ok_or("no input file (or --bench NAME) given")?;
+    let source = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+    let module = peppa_x::lang::compile(&source, &file).map_err(|e| format!("{file}: {e}"))?;
+    let nparams = module.entry_func().params.len();
+
+    let args: Vec<ArgSpec> = match &o.spec {
+        Some(spec) => {
+            if spec.len() != nparams {
+                return Err(format!("--spec has {} entries, program takes {nparams}", spec.len()));
+            }
+            spec.clone()
+        }
+        None => (0..nparams)
+            .map(|i| {
+                let name: &'static str = Box::leak(format!("arg{i}").into_boxed_str());
+                ArgSpec::float(name, -1e6, 1e6, (0.0, 10.0))
+            })
+            .collect(),
+    };
+    let reference_input = o
+        .reference
+        .clone()
+        .or_else(|| o.input.clone())
+        .unwrap_or_else(|| args.iter().map(|a| a.clamp((a.lo + a.hi) / 2.0)).collect());
+
+    Ok(Benchmark {
+        name: Box::leak(file.clone().into_boxed_str()),
+        suite: "user",
+        description: "user program",
+        source: Box::leak(source.into_boxed_str()),
+        module,
+        args,
+        reference_input,
+    })
+}
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("usage: peppa <compile|run|inject|analyze|trace|corpus|search|ci> ...".into());
+    };
+    let (file, o) = parse_opts(rest)?;
+    let bench = load_program(file, &o)?;
+    let limits = ExecLimits::default();
+    let input = o.input.clone().unwrap_or_else(|| bench.reference_input.clone());
+
+    match cmd.as_str() {
+        "compile" => {
+            print!("{}", bench.module);
+        }
+        "run" => {
+            let vm = Vm::new(&bench.module, limits);
+            let out = vm.run_numeric(&input, None);
+            println!("status: {:?}", out.status);
+            for (i, w) in out.output.iter().enumerate() {
+                println!("output[{i}] = {} (as f64: {})", *w as i64, f64::from_bits(*w));
+            }
+            println!(
+                "dynamic instructions: {} ({} fault sites), coverage {:.1}%",
+                out.profile.dynamic,
+                out.profile.value_dynamic,
+                out.profile.coverage() * 100.0
+            );
+        }
+        "inject" => {
+            let cfg = CampaignConfig { trials: o.trials, seed: o.seed, ..Default::default() };
+            let r = run_campaign(&bench.module, &input, limits, cfg)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "trials {}: SDC {:.2}% (CI ±{:.2}pp)  crash {:.2}%  hang {:.2}%  benign {:.2}%",
+                r.trials,
+                r.sdc_prob() * 100.0,
+                r.sdc_ci.half_width * 100.0,
+                r.crash_prob() * 100.0,
+                r.hang as f64 / r.trials as f64 * 100.0,
+                r.benign as f64 / r.trials as f64 * 100.0
+            );
+        }
+        "analyze" => {
+            let p = peppa_x::analysis::prune_fi_space(&bench.module);
+            println!(
+                "{} static instructions, {} injectable, {} dataflow subgroups, pruning ratio {:.1}%",
+                bench.module.num_instrs,
+                p.injectable,
+                p.groups.len(),
+                p.pruning_ratio() * 100.0
+            );
+        }
+        "trace" => {
+            let site = o.site.ok_or("trace needs --site <dynamic value index>")?;
+            let inj = Injection { target: InjectionTarget::DynamicIndex(site), bit: o.bit, burst: 0 };
+            let t = trace_propagation(&bench.module, &input, inj, limits, 10);
+            println!("outcome: {:?}", t.outcome);
+            println!("{:>12} {:>14} {:>10}", "dynamic", "corrupt words", "outputs");
+            for s in &t.samples {
+                println!(
+                    "{:>12} {:>14} {:>10}",
+                    s.dynamic, s.corrupted_mem_words, s.corrupted_outputs
+                );
+            }
+        }
+        "corpus" => {
+            let corpus = generate_corpus(&bench.module, &input, limits, o.count, o.seed)
+                .map_err(|e| e.to_string())?;
+            println!("{}", serde_json_string(&corpus)?);
+        }
+        "search" | "ci" => {
+            let cfg = PeppaConfig {
+                seed: o.seed,
+                final_fi_trials: o.trials,
+                ..Default::default()
+            };
+            let px = PeppaX::prepare(&bench, cfg).map_err(|e| e.to_string())?;
+            let report = px.search(&[o.generations]);
+            let bound = report.sdc_bound();
+            println!(
+                "SDC-bound input: {:?}\nbounded SDC probability: {:.2}% (CI ±{:.2}pp)",
+                bound.input,
+                bound.sdc.sdc_prob() * 100.0,
+                bound.sdc.sdc_ci.half_width * 100.0
+            );
+            if cmd == "ci" {
+                if bound.sdc.sdc_prob() > o.budget_sdc {
+                    eprintln!(
+                        "FAIL: SDC bound {:.2}% exceeds budget {:.2}%",
+                        bound.sdc.sdc_prob() * 100.0,
+                        o.budget_sdc * 100.0
+                    );
+                    return Ok(ExitCode::from(1));
+                }
+                println!(
+                    "PASS: SDC bound within budget {:.2}%",
+                    o.budget_sdc * 100.0
+                );
+            }
+        }
+        other => return Err(format!("unknown command `{other}`")),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+// Tiny hand-rolled JSON encoding for the corpus (the root crate avoids a
+// serde_json dependency; the bench crate uses serde_json for its own
+// artifacts).
+fn serde_json_string(corpus: &[peppa_x::inject::CorpusEntry]) -> Result<String, String> {
+    let mut s = String::from("[\n");
+    for (i, e) in corpus.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"dyn_index\": {}, \"bit\": {}, \"outcome\": \"{:?}\", \
+             \"corrupted_mem_words\": {}, \"corrupted_outputs\": {}}}{}\n",
+            e.dyn_index,
+            e.bit,
+            e.outcome,
+            e.corrupted_mem_words,
+            e.corrupted_outputs,
+            if i + 1 < corpus.len() { "," } else { "" }
+        ));
+    }
+    s.push(']');
+    Ok(s)
+}

@@ -1,0 +1,30 @@
+//! # PEPPA-X
+//!
+//! A self-contained Rust reproduction of *"PEPPA-X: Finding Program Test
+//! Inputs to Bound Silent Data Corruption Vulnerability in HPC
+//! Applications"* (SC '21).
+//!
+//! This facade crate re-exports the workspace's public API. See the
+//! individual crates for details:
+//!
+//! * [`ir`] — PIR, the typed intermediate representation.
+//! * [`vm`] — the PIR interpreter with profiling and injection hooks.
+//! * [`lang`] — MiniC, the small frontend used to author benchmarks.
+//! * [`inject`] — the LLFI-style statistical fault injector.
+//! * [`analysis`] — static dataflow analysis and FI-space pruning.
+//! * [`stats`] — rank correlation, confidence intervals, RNG.
+//! * [`ga`] — the genetic search engine.
+//! * [`apps`] — the seven HPC benchmark kernels.
+//! * [`core`] — the PEPPA-X pipeline and the baseline search.
+//! * [`protect`] — selective instruction duplication and stress tests.
+
+pub use peppa_analysis as analysis;
+pub use peppa_apps as apps;
+pub use peppa_core as core;
+pub use peppa_ga as ga;
+pub use peppa_inject as inject;
+pub use peppa_ir as ir;
+pub use peppa_lang as lang;
+pub use peppa_protect as protect;
+pub use peppa_stats as stats;
+pub use peppa_vm as vm;

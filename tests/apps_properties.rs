@@ -1,0 +1,99 @@
+//! Property-style checks on the seven benchmark kernels: every valid
+//! input runs cleanly, deterministically, and produces observable,
+//! input-dependent output.
+
+use peppa_x::vm::{ExecLimits, RunStatus, Vm};
+use proptest::prelude::*;
+
+fn bench_names() -> &'static [&'static str] {
+    &["Pathfinder", "Needle", "Particlefilter", "CoMD", "Hpccg", "Xsbench", "FFT"]
+}
+
+#[test]
+fn every_benchmark_prints_ir_and_verifies() {
+    for name in bench_names() {
+        let b = peppa_x::apps::benchmark_by_name(name).unwrap();
+        peppa_x::ir::verify(&b.module).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let text = b.module.to_string();
+        assert!(text.contains("fn @main"), "{name}: no main in IR dump");
+        // Every instruction line carries a sid for source mapping.
+        assert!(text.contains("; sid "), "{name}: no sid annotations");
+    }
+}
+
+#[test]
+fn injections_never_escape_the_sandbox() {
+    // Whatever a bit flip does, the VM must contain it: the run ends in
+    // Ok/Trap/Hang, never a panic. Hammer each benchmark with faults on
+    // its small reference workload.
+    use peppa_x::stats::Pcg64;
+    use peppa_x::vm::{Injection, InjectionTarget};
+    let mut rng = Pcg64::new(0xc0ffee);
+    for name in bench_names() {
+        let b = peppa_x::apps::benchmark_by_name(name).unwrap();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let golden = vm.run_numeric(&b.reference_input, None);
+        assert_eq!(golden.status, RunStatus::Ok, "{name}");
+        let faulty_limits = ExecLimits {
+            max_dynamic: golden.profile.dynamic * 4 + 10_000,
+            ..ExecLimits::default()
+        };
+        let fvm = Vm::new(&b.module, faulty_limits);
+        for _ in 0..30 {
+            let inj = Injection {
+                target: InjectionTarget::DynamicIndex(
+                    rng.gen_range_u64(golden.profile.value_dynamic),
+                ),
+                bit: rng.gen_range_u64(64) as u32,
+                burst: 0,
+            };
+            let out = fvm.run_numeric(&b.reference_input, Some(inj));
+            // Any status is fine; reaching here means no panic. Also the
+            // profile must stay bounded.
+            assert!(out.profile.dynamic <= faulty_limits.max_dynamic + 1, "{name}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_valid_inputs_run_cleanly(seed in 0u64..5000) {
+        // Sampled inputs within spec either run cleanly or are filtered
+        // by the generator — the generator's output must always be Ok.
+        let b = peppa_x::apps::benchmark_by_name("Needle").unwrap();
+        let inputs = peppa_x::apps::random_inputs(
+            &b, 1, seed, ExecLimits::default(), peppa_x::apps::gen::DEFAULT_DYNAMIC_CAP);
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let out = vm.run_numeric(&inputs[0], None);
+        prop_assert_eq!(out.status, RunStatus::Ok);
+        prop_assert!(!out.output.is_empty());
+    }
+
+    #[test]
+    fn pathfinder_cost_lower_bounded_by_rows(
+        rows in 4i64..40, cols in 4i64..40, vseed in 1i64..100000,
+    ) {
+        // Every grid cell costs at least 1, so the min path costs >= rows.
+        let b = peppa_x::apps::benchmark_by_name("Pathfinder").unwrap();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let out = vm.run_numeric(&[rows as f64, cols as f64, vseed as f64, 5.0], None);
+        prop_assert_eq!(out.status, RunStatus::Ok);
+        let best = f64::from_bits(out.output[0]) / 10000.0;
+        prop_assert!(best >= rows as f64 - 1e-9, "cost {} < rows {}", best, rows);
+    }
+
+    #[test]
+    fn needle_score_bounded(len in 4i64..32, penalty in 1i64..12, seed in 1i64..100000) {
+        // Alignment score of two length-n sequences is at most 5n (all
+        // matches) and at least -(len1+len2)*penalty-ish.
+        let b = peppa_x::apps::benchmark_by_name("Needle").unwrap();
+        let vm = Vm::new(&b.module, ExecLimits::default());
+        let out = vm.run_numeric(&[len as f64, len as f64, penalty as f64, seed as f64], None);
+        prop_assert_eq!(out.status, RunStatus::Ok);
+        let score = out.output[0] as i64;
+        prop_assert!(score <= 5 * len);
+        prop_assert!(score >= -2 * len * penalty - 6 * len);
+    }
+}

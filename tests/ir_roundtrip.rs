@@ -1,0 +1,50 @@
+//! Print → parse → execute round-trips over the real benchmark modules:
+//! the reparsed module must behave identically to the original.
+
+use peppa_x::ir::parse_module;
+use peppa_x::vm::{ExecLimits, Vm};
+
+#[test]
+fn all_benchmarks_roundtrip_through_text() {
+    for bench in peppa_x::apps::all_benchmarks() {
+        let text = bench.module.to_string();
+        let reparsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", bench.name));
+        assert_eq!(
+            reparsed.num_instrs, bench.module.num_instrs,
+            "{}: instruction count changed",
+            bench.name
+        );
+
+        let vm0 = Vm::new(&bench.module, ExecLimits::default());
+        let vm1 = Vm::new(&reparsed, ExecLimits::default());
+        let a = vm0.run_numeric(&bench.reference_input, None);
+        let b = vm1.run_numeric(&bench.reference_input, None);
+        assert_eq!(a.status, b.status, "{}", bench.name);
+        assert_eq!(a.output, b.output, "{}: outputs differ after round-trip", bench.name);
+        assert_eq!(
+            a.profile.exec_counts, b.profile.exec_counts,
+            "{}: profiles differ after round-trip",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn roundtrip_preserves_fault_injection_behaviour() {
+    // The same fault site must produce the same outcome in the reparsed
+    // module — sids and dynamic ordering survive the text format.
+    use peppa_x::vm::{Injection, InjectionTarget};
+    let bench = peppa_x::apps::benchmark_by_name("FFT").unwrap();
+    let text = bench.module.to_string();
+    let reparsed = parse_module(&text).unwrap();
+    let vm0 = Vm::new(&bench.module, ExecLimits::default());
+    let vm1 = Vm::new(&reparsed, ExecLimits::default());
+    for (site, bit) in [(5u64, 3u32), (100, 40), (999, 62), (12345, 17)] {
+        let inj = Injection { target: InjectionTarget::DynamicIndex(site), bit, burst: 0 };
+        let a = vm0.run_numeric(&bench.reference_input, Some(inj));
+        let b = vm1.run_numeric(&bench.reference_input, Some(inj));
+        assert_eq!(a.status, b.status, "site {site} bit {bit}");
+        assert_eq!(a.output, b.output, "site {site} bit {bit}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Cross-crate integration tests: the full PEPPA-X pipeline and its
+//! paper-level claims, exercised end-to-end at reduced trial counts.
+
+use peppa_x::core::{
+    baseline_search, derive_sdc_scores, fitness_of_input, fuzz_small_input, BaselineConfig,
+    PeppaConfig, PeppaX, SmallInputConfig,
+};
+use peppa_x::inject::{run_campaign, CampaignConfig};
+use peppa_x::stats::spearman;
+use peppa_x::vm::ExecLimits;
+
+fn limits() -> ExecLimits {
+    ExecLimits::default()
+}
+
+#[test]
+fn sdc_bound_input_beats_reference_input() {
+    // §5.1's headline claim: the SDC-bound input exposes a higher SDC
+    // probability than the default reference input.
+    let bench = peppa_x::apps::benchmark_by_name("Xsbench").unwrap();
+    let cfg = PeppaConfig {
+        seed: 3,
+        population: 10,
+        distribution_trials: 10,
+        final_fi_trials: 150,
+        ..Default::default()
+    };
+    let px = PeppaX::prepare(&bench, cfg).unwrap();
+    let report = px.search(&[12]);
+    let bound = report.sdc_bound();
+
+    let reference = run_campaign(
+        &bench.module,
+        &bench.reference_input,
+        limits(),
+        CampaignConfig { trials: 150, seed: 3, ..Default::default() },
+    )
+    .unwrap();
+
+    assert!(
+        bound.sdc.sdc_prob() >= reference.sdc_prob(),
+        "SDC-bound {} < reference {}",
+        bound.sdc.sdc_prob(),
+        reference.sdc_prob()
+    );
+}
+
+#[test]
+fn fitness_correlates_with_measured_sdc() {
+    // §4.2.5's premise: the Eq.-2 potential ranks inputs like statistical
+    // FI does. Check rank correlation across a handful of inputs.
+    let bench = peppa_x::apps::benchmark_by_name("Pathfinder").unwrap();
+    let small = fuzz_small_input(&bench, limits(), SmallInputConfig::default()).unwrap();
+    let scores =
+        derive_sdc_scores(&bench, &small.input, limits(), 12, 5, true, 0).unwrap();
+
+    let inputs = peppa_x::apps::random_inputs(
+        &bench,
+        6,
+        99,
+        limits(),
+        peppa_x::apps::gen::DEFAULT_DYNAMIC_CAP,
+    );
+    let mut fits = Vec::new();
+    let mut sdcs = Vec::new();
+    for (i, input) in inputs.iter().enumerate() {
+        let (f, _) = fitness_of_input(&bench, &scores, input, limits()).unwrap();
+        let c = run_campaign(
+            &bench.module,
+            input,
+            limits(),
+            CampaignConfig { trials: 200, seed: 7 + i as u64, ..Default::default() },
+        )
+        .unwrap();
+        fits.push(f);
+        sdcs.push(c.sdc_prob());
+    }
+    let rho = spearman(&fits, &sdcs);
+    assert!(rho > -0.5, "fitness anti-correlates strongly with SDC: rho = {rho}");
+}
+
+#[test]
+fn sdc_sensitivity_distribution_is_stationary() {
+    // §3.2.3: per-instruction SDC scores measured under two different
+    // inputs should rank instructions similarly.
+    let bench = peppa_x::apps::benchmark_by_name("Needle").unwrap();
+    let a = derive_sdc_scores(&bench, &[8.0, 8.0, 4.0, 11.0], limits(), 20, 2, true, 0).unwrap();
+    let b = derive_sdc_scores(&bench, &[12.0, 10.0, 6.0, 777.0], limits(), 20, 3, true, 0)
+        .unwrap();
+    // Compare over instructions scored under both inputs.
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for sid in 0..bench.module.num_instrs {
+        if a.score[sid] > 0.0 || b.score[sid] > 0.0 {
+            xs.push(a.score[sid]);
+            ys.push(b.score[sid]);
+        }
+    }
+    assert!(xs.len() > 10);
+    let rho = spearman(&xs, &ys);
+    assert!(rho > 0.2, "distribution not stationary: rho = {rho}");
+}
+
+#[test]
+fn peppa_and_baseline_comparable_interfaces() {
+    // Figure 5's experiment glue: equal budgets are comparable and both
+    // sides produce probabilities.
+    let bench = peppa_x::apps::benchmark_by_name("FFT").unwrap();
+    let cfg = PeppaConfig {
+        seed: 21,
+        population: 8,
+        distribution_trials: 8,
+        final_fi_trials: 100,
+        ..Default::default()
+    };
+    let px = PeppaX::prepare(&bench, cfg).unwrap();
+    let report = px.search(&[6]);
+    let budget = report.checkpoints[0].search_cost_dynamic;
+
+    let baseline = baseline_search(
+        &bench,
+        budget,
+        BaselineConfig { seed: 2, fi_trials: 100, ..Default::default() },
+    );
+    let base_best = baseline.best_at_budget(budget).unwrap_or(0.0);
+    let peppa_best = report.checkpoints[0].sdc.sdc_prob();
+    assert!((0.0..=1.0).contains(&base_best));
+    assert!((0.0..=1.0).contains(&peppa_best));
+}
+
+#[test]
+fn whole_pipeline_deterministic() {
+    let bench = peppa_x::apps::benchmark_by_name("Particlefilter").unwrap();
+    let cfg = PeppaConfig {
+        seed: 77,
+        population: 8,
+        distribution_trials: 6,
+        final_fi_trials: 60,
+        ..Default::default()
+    };
+    let r1 = PeppaX::prepare(&bench, cfg).unwrap().search(&[4]);
+    let r2 = PeppaX::prepare(&bench, cfg).unwrap().search(&[4]);
+    assert_eq!(r1.checkpoints[0].input, r2.checkpoints[0].input);
+    assert_eq!(r1.checkpoints[0].sdc.sdc, r2.checkpoints[0].sdc.sdc);
+    assert_eq!(r1.analysis_cost_dynamic, r2.analysis_cost_dynamic);
+}

@@ -1,0 +1,81 @@
+//! Integration test for the §6 case study: plan, protect, stress.
+
+use peppa_x::protect::plan::{measure_for_planning, plan_from_measurement};
+use peppa_x::protect::{apply_protection, measure_coverage};
+use peppa_x::vm::{ExecLimits, RunStatus, Vm};
+use std::collections::HashSet;
+
+/// A kernel whose SDC profile shifts with its input: with `mode` small,
+/// the hot path is the multiply-accumulate; with `mode` large, a
+/// different (normally cold) chain dominates. Protection planned on one
+/// mode under-covers the other — the essence of Figure 9.
+const SHIFTY: &str = r#"
+    fn main(n: int, mode: int) {
+        let acc = 0;
+        if (mode < 10) {
+            for (i = 0; i < n; i = i + 1) { acc = acc + i * 3; }
+        } else {
+            for (i = 0; i < n; i = i + 1) {
+                let x = i * 5 + mode;
+                let y = x * x - i;
+                acc = acc + y;
+            }
+        }
+        output acc;
+    }
+"#;
+
+#[test]
+fn protection_planned_on_one_input_weakens_on_another() {
+    let m = peppa_x::lang::compile(SHIFTY, "shifty").unwrap();
+    let limits = ExecLimits::default();
+    let plan_input = [30.0, 1.0]; // "reference": cold chain never runs
+    let stress_input = [30.0, 50.0]; // stress: cold chain dominates
+
+    let measured = measure_for_planning(&m, &plan_input, limits, 30, 5, 0).unwrap();
+    let plan = plan_from_measurement(&m, &plan_input, limits, &measured, 0.7);
+    assert!(!plan.selected.is_empty());
+
+    let selected: HashSet<_> = plan.selected.iter().copied().collect();
+    let protected = apply_protection(&m, &selected);
+
+    let on_plan_input =
+        measure_coverage(&m, &protected.module, &plan_input, limits, 300, 1, 0).unwrap();
+    let on_stress_input =
+        measure_coverage(&m, &protected.module, &stress_input, limits, 300, 2, 0).unwrap();
+
+    assert!(
+        on_plan_input.coverage > on_stress_input.coverage,
+        "stress coverage {} not below planned-input coverage {}",
+        on_stress_input.coverage,
+        on_plan_input.coverage
+    );
+}
+
+#[test]
+fn protected_benchmarks_stay_functionally_correct() {
+    // Protect every benchmark at 50% and confirm outputs are unchanged
+    // on the reference input.
+    for bench in peppa_x::apps::all_benchmarks() {
+        let limits = ExecLimits::default();
+        let measured =
+            measure_for_planning(&bench.module, &bench.reference_input, limits, 4, 9, 0)
+                .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let plan =
+            plan_from_measurement(&bench.module, &bench.reference_input, limits, &measured, 0.5);
+        let selected: HashSet<_> = plan.selected.iter().copied().collect();
+        let protected = apply_protection(&bench.module, &selected);
+
+        let vm0 = Vm::new(&bench.module, limits);
+        let vm1 = Vm::new(&protected.module, limits);
+        let a = vm0.run_numeric(&bench.reference_input, None);
+        let b = vm1.run_numeric(&bench.reference_input, None);
+        assert_eq!(b.status, RunStatus::Ok, "{}: protected run failed", bench.name);
+        assert_eq!(a.output, b.output, "{}: protection changed behaviour", bench.name);
+        assert!(
+            b.profile.dynamic > a.profile.dynamic,
+            "{}: protection added no work?",
+            bench.name
+        );
+    }
+}
