@@ -53,7 +53,13 @@ pub fn def_use(module: &Module) -> DefUse {
             };
             match &b.term {
                 Term::Br { target, args } => record(*target, args),
-                Term::CondBr { then_target, then_args, else_target, else_args, .. } => {
+                Term::CondBr {
+                    then_target,
+                    then_args,
+                    else_target,
+                    else_args,
+                    ..
+                } => {
                     record(*then_target, then_args);
                     record(*else_target, else_args);
                 }
@@ -106,7 +112,10 @@ pub fn def_use(module: &Module) -> DefUse {
         }
     }
 
-    DefUse { adj: adj.into_iter().map(|s| s.into_iter().collect()).collect(), edges }
+    DefUse {
+        adj: adj.into_iter().map(|s| s.into_iter().collect()).collect(),
+        edges,
+    }
 }
 
 #[cfg(test)]

@@ -99,7 +99,11 @@ pub fn prune_fi_space(module: &Module) -> PruningResult {
     }
 
     let injectable_count = injectable.iter().filter(|&&b| b).count();
-    PruningResult { groups, group_of, injectable: injectable_count }
+    PruningResult {
+        groups,
+        group_of,
+        injectable: injectable_count,
+    }
 }
 
 #[cfg(test)]
@@ -134,7 +138,10 @@ mod tests {
         let load = by_mn("load")[0];
         let add = by_mn("add")[0];
         let icmp = by_mn("icmp")[0];
-        assert_eq!(p.group_of[load], p.group_of[add], "load and add must share a subgroup");
+        assert_eq!(
+            p.group_of[load], p.group_of[add],
+            "load and add must share a subgroup"
+        );
         assert_ne!(p.group_of[icmp], p.group_of[add], "icmp must split off");
         // icmp is a singleton.
         let icmp_group = &p.groups[p.group_of[icmp].unwrap() as usize];

@@ -15,11 +15,20 @@ fn pruning_ratios_land_in_table4_band() {
         let p = prune_fi_space(&b.module);
         let r = p.pruning_ratio();
         assert!(r > 0.10, "{}: pruning ratio only {:.1}%", b.name, r * 100.0);
-        assert!(r < 0.90, "{}: pruning ratio implausibly high {:.1}%", b.name, r * 100.0);
+        assert!(
+            r < 0.90,
+            "{}: pruning ratio implausibly high {:.1}%",
+            b.name,
+            r * 100.0
+        );
         sum += r;
     }
     let avg = sum / benches.len() as f64;
-    assert!(avg > 0.25 && avg < 0.75, "average pruning ratio {:.1}%", avg * 100.0);
+    assert!(
+        avg > 0.25 && avg < 0.75,
+        "average pruning ratio {:.1}%",
+        avg * 100.0
+    );
 }
 
 #[test]
@@ -28,8 +37,10 @@ fn subgroups_never_mix_boundary_and_plain_instructions() {
         let p = prune_fi_space(&b.module);
         let instrs = b.module.all_instrs();
         for g in &p.groups {
-            let boundary_members =
-                g.iter().filter(|s| instrs[s.0 as usize].1.op.is_group_boundary()).count();
+            let boundary_members = g
+                .iter()
+                .filter(|s| instrs[s.0 as usize].1.op.is_group_boundary())
+                .count();
             if boundary_members > 0 {
                 assert_eq!(
                     g.len(),

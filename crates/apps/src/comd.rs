@@ -149,11 +149,16 @@ mod tests {
         let b = benchmark();
         let vm = Vm::new(&b.module, ExecLimits::default());
         let out = vm.run_numeric(&[32.0, 8.0, 0.0005, 3.0, 11.0], None);
-        let energies: Vec<f64> =
-            out.output[..8].iter().map(|&b| f64::from_bits(b) / 10000.0).collect();
+        let energies: Vec<f64> = out.output[..8]
+            .iter()
+            .map(|&b| f64::from_bits(b) / 10000.0)
+            .collect();
         let spread = energies.iter().cloned().fold(f64::MIN, f64::max)
             - energies.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(spread.abs() < 1.0, "energy drifted {spread} over {energies:?}");
+        assert!(
+            spread.abs() < 1.0,
+            "energy drifted {spread} over {energies:?}"
+        );
     }
 
     #[test]

@@ -135,7 +135,10 @@ mod tests {
         let n = 1u64 << (logn as u32);
         let power = f64::from_bits(out.output[0]) / 100.0;
         let bound = (n * n) as f64 * 2.0 * amp * amp;
-        assert!(power > 0.0 && power < bound, "power {power} vs bound {bound}");
+        assert!(
+            power > 0.0 && power < bound,
+            "power {power} vs bound {bound}"
+        );
     }
 
     #[test]

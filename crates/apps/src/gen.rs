@@ -96,7 +96,12 @@ mod tests {
     fn reference_inputs_are_valid() {
         for b in all_benchmarks() {
             assert!(
-                valid_input(&b, &b.reference_input, ExecLimits::default(), DEFAULT_DYNAMIC_CAP),
+                valid_input(
+                    &b,
+                    &b.reference_input,
+                    ExecLimits::default(),
+                    DEFAULT_DYNAMIC_CAP
+                ),
                 "{} reference input invalid",
                 b.name
             );

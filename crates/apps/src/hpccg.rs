@@ -165,7 +165,10 @@ mod tests {
         let iters = *out.output.last().unwrap() as usize;
         let first = f64::from_bits(out.output[0]);
         let last_resid = f64::from_bits(out.output[iters - 1]);
-        assert!(last_resid < first, "residual did not decrease: {first} -> {last_resid}");
+        assert!(
+            last_resid < first,
+            "residual did not decrease: {first} -> {last_resid}"
+        );
     }
 
     #[test]

@@ -31,7 +31,13 @@ impl ArgSpec {
     }
 
     pub fn float(name: &'static str, lo: f64, hi: f64, small: (f64, f64)) -> ArgSpec {
-        ArgSpec { name, lo, hi, integer: false, small }
+        ArgSpec {
+            name,
+            lo,
+            hi,
+            integer: false,
+            small,
+        }
     }
 
     /// Clamps a raw value into the argument's valid range.
@@ -76,7 +82,15 @@ impl Benchmark {
             "benchmark {name}: arg spec arity mismatch"
         );
         assert_eq!(reference_input.len(), args.len());
-        Benchmark { name, suite, description, source, module, args, reference_input }
+        Benchmark {
+            name,
+            suite,
+            description,
+            source,
+            module,
+            args,
+            reference_input,
+        }
     }
 
     /// Static instruction count (Table 1's rightmost column).

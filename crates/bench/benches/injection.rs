@@ -15,16 +15,21 @@ fn injection_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("single_run");
     group.sample_size(20);
     group.bench_function("golden", |b| {
-        b.iter(|| vm.run_numeric(std::hint::black_box(&bench.reference_input), None).profile.dynamic)
+        b.iter(|| {
+            vm.run_numeric(std::hint::black_box(&bench.reference_input), None)
+                .profile
+                .dynamic
+        })
     });
     let inj = Injection {
         target: InjectionTarget::DynamicIndex(golden.profile.value_dynamic / 2),
         bit: 17,
-                burst: 0,
-            };
+        burst: 0,
+    };
     group.bench_function("injected", |b| {
         b.iter(|| {
-            vm.run_numeric(std::hint::black_box(&bench.reference_input), Some(inj)).fault_activated
+            vm.run_numeric(std::hint::black_box(&bench.reference_input), Some(inj))
+                .fault_activated
         })
     });
     group.finish();
@@ -42,7 +47,13 @@ fn injection_benches(c: &mut Criterion) {
                         &bench.module,
                         &bench.reference_input,
                         limits,
-                        CampaignConfig { trials: 100, seed: 5, hang_factor: 8, threads, burst: 0 },
+                        CampaignConfig {
+                            trials: 100,
+                            seed: 5,
+                            hang_factor: 8,
+                            threads,
+                            burst: 0,
+                        },
                     )
                     .unwrap()
                     .sdc

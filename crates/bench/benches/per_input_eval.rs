@@ -37,7 +37,13 @@ fn per_input_eval(c: &mut Criterion) {
                     &bench.module,
                     std::hint::black_box(&bench.reference_input),
                     limits,
-                    CampaignConfig { trials: 100, seed: 2, hang_factor: 8, threads: 1, burst: 0 },
+                    CampaignConfig {
+                        trials: 100,
+                        seed: 2,
+                        hang_factor: 8,
+                        threads: 1,
+                        burst: 0,
+                    },
                 )
                 .unwrap()
                 .sdc

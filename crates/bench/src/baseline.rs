@@ -1,0 +1,168 @@
+//! Performance baseline: VM and campaign throughput per benchmark.
+//!
+//! Rates are derived from [`MetricsRegistry`] snapshots of instrumented
+//! campaigns — the same counters any `--metrics-out` run produces — so
+//! the checked-in `BENCH_baseline.json` stays comparable with ad-hoc
+//! measurements. Baselines let a future change be checked for
+//! interpreter or campaign-runner regressions with one `repro baseline`
+//! run.
+
+use crate::scale::Ctx;
+use peppa_apps::all_benchmarks;
+use peppa_inject::{run_campaign_observed, CampaignConfig};
+use peppa_obs::{MetricsRegistry, MultiObserver, Observer};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One benchmark's throughput measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineRow {
+    pub benchmark: String,
+    /// Dynamic instructions of the golden run at the reference input.
+    pub golden_dynamic: u64,
+    /// Campaign size the rates were measured at.
+    pub trials: u32,
+    /// Campaign throughput: trials per second of campaign wall time
+    /// (includes the golden run; scales with `threads`).
+    pub trials_per_sec: f64,
+    /// Single-core VM throughput estimate: dynamic instructions per
+    /// second, computed as `trials × golden_dynamic` over the *sum* of
+    /// per-trial latencies (summing latencies across workers counts CPU
+    /// time, not wall time, so this is thread-count independent).
+    pub vm_instrs_per_sec: f64,
+    pub mean_trial_latency_ns: f64,
+}
+
+/// The checked-in `BENCH_baseline.json` payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineReport {
+    pub scale: String,
+    pub seed: u64,
+    pub threads: usize,
+    pub rows: Vec<BaselineRow>,
+}
+
+/// Measures every benchmark at the reference input.
+///
+/// `observer` additionally receives the full campaign event stream
+/// (journal, progress) alongside the per-benchmark metrics registry the
+/// rates are read from.
+pub fn run_baseline(ctx: &Ctx, observer: Arc<dyn Observer>) -> BaselineReport {
+    let mut rows = Vec::new();
+    for bench in all_benchmarks() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut fan = MultiObserver::new();
+        fan.push(Arc::clone(&registry) as Arc<dyn Observer>);
+        fan.push(Arc::clone(&observer));
+
+        let cfg = CampaignConfig {
+            trials: ctx.campaign_trials(),
+            seed: ctx.seed,
+            hang_factor: 8,
+            threads: ctx.threads,
+            burst: 0,
+        };
+        let r = run_campaign_observed(&bench.module, &bench.reference_input, ctx.limits, cfg, &fan)
+            .unwrap_or_else(|e| panic!("{}: baseline campaign failed: {e}", bench.name));
+
+        let trials = registry.counter_value("campaign.trials.finished");
+        let golden_dynamic = registry.counter_value("golden.dynamic_instrs");
+        let wall_s = registry.counter_value("campaign.wall_ns") as f64 / 1e9;
+        let latency = registry.histogram("campaign.trial_latency_ns");
+        let cpu_s = latency.sum() as f64 / 1e9;
+
+        debug_assert_eq!(trials, r.trials as u64);
+        rows.push(BaselineRow {
+            benchmark: bench.name.to_string(),
+            golden_dynamic,
+            trials: r.trials,
+            trials_per_sec: if wall_s > 0.0 {
+                trials as f64 / wall_s
+            } else {
+                0.0
+            },
+            vm_instrs_per_sec: if cpu_s > 0.0 {
+                trials as f64 * golden_dynamic as f64 / cpu_s
+            } else {
+                0.0
+            },
+            mean_trial_latency_ns: latency.mean(),
+        });
+    }
+    BaselineReport {
+        scale: format!("{:?}", ctx.scale),
+        seed: ctx.seed,
+        threads: ctx.threads,
+        rows,
+    }
+}
+
+/// Text rendering for the `repro baseline` subcommand.
+pub fn render_baseline(r: &BaselineReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Throughput baseline ({} scale, {} trials-scale campaigns)\n\n",
+        r.scale,
+        r.rows.first().map(|x| x.trials).unwrap_or(0)
+    ));
+    out.push_str(&format!(
+        "{:<12} {:>14} {:>12} {:>16} {:>14}\n",
+        "benchmark", "golden dyn", "trials/s", "VM instrs/s", "mean trial ms"
+    ));
+    for row in &r.rows {
+        out.push_str(&format!(
+            "{:<12} {:>14} {:>12.1} {:>16.3e} {:>14.2}\n",
+            row.benchmark,
+            row.golden_dynamic,
+            row.trials_per_sec,
+            row.vm_instrs_per_sec,
+            row.mean_trial_latency_ns / 1e6
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use peppa_obs::NullObserver;
+
+    #[test]
+    fn baseline_rates_are_positive() {
+        let mut ctx = Ctx::new(Scale::Quick, 1);
+        // Tiny campaign: this test checks plumbing, not statistics.
+        ctx.threads = 2;
+        let report = run_baseline_one_for_test(&ctx);
+        assert!(report.trials_per_sec > 0.0);
+        assert!(report.vm_instrs_per_sec > 0.0);
+        assert!(report.golden_dynamic > 0);
+    }
+
+    fn run_baseline_one_for_test(ctx: &Ctx) -> BaselineRow {
+        let bench = peppa_apps::pathfinder::benchmark();
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut fan = MultiObserver::new();
+        fan.push(Arc::clone(&registry) as Arc<dyn Observer>);
+        fan.push(Arc::new(NullObserver));
+        let cfg = CampaignConfig {
+            trials: 30,
+            seed: ctx.seed,
+            threads: ctx.threads,
+            ..Default::default()
+        };
+        run_campaign_observed(&bench.module, &bench.reference_input, ctx.limits, cfg, &fan)
+            .unwrap();
+        let latency = registry.histogram("campaign.trial_latency_ns");
+        BaselineRow {
+            benchmark: bench.name.to_string(),
+            golden_dynamic: registry.counter_value("golden.dynamic_instrs"),
+            trials: 30,
+            trials_per_sec: registry.counter_value("campaign.trials.finished") as f64
+                / (registry.counter_value("campaign.wall_ns") as f64 / 1e9),
+            vm_instrs_per_sec: 30.0 * registry.counter_value("golden.dynamic_instrs") as f64
+                / (latency.sum() as f64 / 1e9),
+            mean_trial_latency_ns: latency.mean(),
+        }
+    }
+}

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! repro <experiment> [--scale quick|paper] [--seed N] [--out DIR]
+//!       [--threads N] [--trace-out FILE.jsonl] [--metrics-out FILE.json]
+//!       [--quiet]
 //!
 //! experiments:
 //!   fig1 table2        initial FI study (shared runs)
@@ -12,19 +14,31 @@
 //!   fig6               input-space heat maps
 //!   table6             per-input evaluation time
 //!   fig9               protection stress test
+//!   baseline           VM + campaign throughput (BENCH_baseline.json)
 //!   all                everything above
 //! ```
 //!
 //! Each experiment prints a paper-shaped text rendering and, with
 //! `--out`, writes the raw data as JSON for downstream plotting.
+//!
+//! The observability flags mirror the `peppa` CLI: `--trace-out`
+//! appends every pipeline event of instrumented experiments (currently
+//! `baseline`) as JSONL, `--metrics-out` writes a metrics snapshot on
+//! exit, and `--quiet` suppresses the live progress reporter.
 
 use peppa_bench::{render, scale::Scale, Ctx};
+use peppa_obs::{JsonlJournal, MetricsRegistry, MultiObserver, Observer, ProgressReporter};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|table2..6|all> [--scale quick|paper] [--seed N] [--out DIR]");
+        eprintln!(
+            "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|table2..6|baseline|all> \
+             [--scale quick|paper] [--seed N] [--out DIR] [--threads N] \
+             [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--quiet]"
+        );
         std::process::exit(2);
     }
 
@@ -32,6 +46,10 @@ fn main() {
     let mut scale = Scale::Quick;
     let mut seed = 2021u64; // the paper's year, why not
     let mut out: Option<PathBuf> = None;
+    let mut threads = 0usize;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut quiet = false;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -41,26 +59,80 @@ fn main() {
                 scale = Scale::parse(&v).unwrap_or_else(|| panic!("unknown scale `{v}`"));
             }
             "--seed" => {
-                seed = it.next().expect("--seed needs a value").parse().expect("seed must be u64");
+                seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed must be u64");
             }
             "--out" => out = Some(PathBuf::from(it.next().expect("--out needs a dir"))),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("threads must be usize");
+            }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(it.next().expect("--trace-out needs a file")));
+            }
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(
+                    it.next().expect("--metrics-out needs a file"),
+                ));
+            }
+            "--quiet" => quiet = true,
             other => experiments.push(other.to_string()),
         }
     }
     if experiments.iter().any(|e| e == "all") {
         experiments = [
-            "fig1", "table2", "fig2", "table3", "table4", "table5", "fig5", "fig6", "fig7",
-            "fig8", "table6", "fig9", "faultmodel", "ablation",
+            "fig1",
+            "table2",
+            "fig2",
+            "table3",
+            "table4",
+            "table5",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table6",
+            "fig9",
+            "faultmodel",
+            "ablation",
+            "baseline",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
     }
 
-    let ctx = Ctx::new(scale, seed);
+    let mut ctx = Ctx::new(scale, seed);
+    ctx.threads = threads;
     if let Some(dir) = &out {
         std::fs::create_dir_all(dir).expect("create output dir");
     }
+
+    // Observer stack for instrumented experiments (same sinks the
+    // `peppa` CLI wires up): journal + metrics registry + progress line.
+    let mut multi = MultiObserver::new();
+    if let Some(path) = &trace_out {
+        let journal = JsonlJournal::create(path)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+        multi.push(Arc::new(journal));
+    }
+    let registry: Option<Arc<MetricsRegistry>> = metrics_out.as_ref().map(|_| {
+        let reg = Arc::new(MetricsRegistry::new());
+        multi.push(Arc::clone(&reg) as Arc<dyn Observer>);
+        reg
+    });
+    if !quiet {
+        multi.push(Arc::new(ProgressReporter::new(
+            std::time::Duration::from_millis(200),
+        )));
+    }
+    let observer: Arc<dyn Observer> = Arc::new(multi);
 
     let dump = |name: &str, json: String| {
         if let Some(dir) = &out {
@@ -150,6 +222,20 @@ fn main() {
                 println!("{}", render::render_fig9(&r));
                 dump("fig9", serde_json::to_string_pretty(&r).unwrap());
             }
+            "baseline" => {
+                let r = peppa_bench::baseline::run_baseline(&ctx, Arc::clone(&observer));
+                println!("{}", peppa_bench::baseline::render_baseline(&r));
+                let json = serde_json::to_string_pretty(&r).unwrap();
+                // The throughput baseline is a checked-in regression
+                // reference, so it keeps a stable name at the top of
+                // the output dir (default: working directory).
+                let path = out
+                    .clone()
+                    .unwrap_or_else(|| PathBuf::from("."))
+                    .join("BENCH_baseline.json");
+                std::fs::write(&path, json).expect("write BENCH_baseline.json");
+                eprintln!("[repro] wrote {}", path.display());
+            }
             "faultmodel" => {
                 let r = peppa_bench::faultmodel::run_fault_models(&ctx);
                 println!("{}", render::render_faultmodel(&r));
@@ -174,5 +260,12 @@ fn main() {
             }
         }
         eprintln!("[repro] {exp} done in {:.1}s\n", t0.elapsed().as_secs_f64());
+    }
+
+    observer.flush();
+    if let (Some(path), Some(reg)) = (&metrics_out, &registry) {
+        std::fs::write(path, reg.snapshot_json())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("[repro] wrote {}", path.display());
     }
 }

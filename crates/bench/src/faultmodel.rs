@@ -33,7 +33,11 @@ impl FaultModelReport {
     pub fn max_sdc_deviation(&self) -> f64 {
         self.rows
             .iter()
-            .flat_map(|r| r.sdc_by_bits[1..].iter().map(|p| (p - r.sdc_by_bits[0]).abs()))
+            .flat_map(|r| {
+                r.sdc_by_bits[1..]
+                    .iter()
+                    .map(|p| (p - r.sdc_by_bits[0]).abs())
+            })
             .fold(0.0, f64::max)
     }
 }
@@ -58,7 +62,11 @@ pub fn run_fault_models(ctx: &Ctx) -> FaultModelReport {
                 sdc.push(r.sdc_prob());
                 crash.push(r.crash_prob());
             }
-            FaultModelRow { benchmark: b.name.to_string(), sdc_by_bits: sdc, crash_by_bits: crash }
+            FaultModelRow {
+                benchmark: b.name.to_string(),
+                sdc_by_bits: sdc,
+                crash_by_bits: crash,
+            }
         })
         .collect();
     FaultModelReport { rows }

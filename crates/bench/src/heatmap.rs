@@ -93,14 +93,24 @@ pub fn heatmap_custom(bench: &Benchmark, ctx: &Ctx, res: usize, trials: u32) -> 
         .iter()
         .map(|row| {
             row.iter()
-                .map(|&p| if p.is_nan() || max == 0.0 { f64::NAN } else { p / max })
+                .map(|&p| {
+                    if p.is_nan() || max == 0.0 {
+                        f64::NAN
+                    } else {
+                        p / max
+                    }
+                })
                 .collect()
         })
         .collect();
 
     // Mean percentile of a random cell (the Figure 6 discussion's
     // statistic: ~96th for HPCCG, ~2nd for Pathfinder).
-    let mean = if valid.is_empty() { 0.0 } else { valid.iter().sum::<f64>() / valid.len() as f64 };
+    let mean = if valid.is_empty() {
+        0.0
+    } else {
+        valid.iter().sum::<f64>() / valid.len() as f64
+    };
     let mean_percentile = Summary::percentile_of(&valid, mean);
 
     HeatMap {

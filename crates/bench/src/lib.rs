@@ -16,14 +16,19 @@
 //! | Table 6 (per-input evaluation time)             | [`search_exp`]  | `table6` |
 //! | Figure 9 (stress-testing selective duplication) | [`protect_exp`] | `fig9` |
 //!
+//! Beyond the paper's artifacts, `repro baseline` measures VM and
+//! campaign throughput per benchmark ([`baseline`]) and writes the
+//! checked-in `BENCH_baseline.json` regression reference.
+//!
 //! Every experiment takes a [`Scale`]: `Quick` finishes in minutes on a
 //! laptop; `Paper` uses the paper's trial counts (1,000-trial campaigns,
 //! 100 trials/instruction, 1,000 GA generations) and runs for hours.
 
+pub mod baseline;
 pub mod faultmodel;
 pub mod heatmap;
-pub mod pruning_exp;
 pub mod protect_exp;
+pub mod pruning_exp;
 pub mod ranks;
 pub mod render;
 pub mod scale;

@@ -57,8 +57,18 @@ impl ProtectReport {
         let levels: Vec<f64> = self.rows[0].points.iter().map(|p| p.level).collect();
         for (k, &level) in levels.iter().enumerate() {
             let n = self.rows.len() as f64;
-            let exp = self.rows.iter().map(|r| r.points[k].expected_coverage).sum::<f64>() / n;
-            let act = self.rows.iter().map(|r| r.points[k].actual_coverage).sum::<f64>() / n;
+            let exp = self
+                .rows
+                .iter()
+                .map(|r| r.points[k].expected_coverage)
+                .sum::<f64>()
+                / n;
+            let act = self
+                .rows
+                .iter()
+                .map(|r| r.points[k].actual_coverage)
+                .sum::<f64>()
+                / n;
             out.push((level, exp, act));
         }
         out
@@ -101,8 +111,13 @@ pub fn protect_benchmark(
     let mut points = Vec::new();
     for level in ctx.protection_levels() {
         // Step 2: knapsack.
-        let plan =
-            plan_from_measurement(&bench.module, &bench.reference_input, ctx.limits, &measured, level);
+        let plan = plan_from_measurement(
+            &bench.module,
+            &bench.reference_input,
+            ctx.limits,
+            &measured,
+            level,
+        );
 
         // Step 3: transform.
         let selected: HashSet<_> = plan.selected.iter().copied().collect();
@@ -139,7 +154,11 @@ pub fn protect_benchmark(
         });
     }
 
-    ProtectRow { benchmark: bench.name.to_string(), sdc_bound_input, points }
+    ProtectRow {
+        benchmark: bench.name.to_string(),
+        sdc_bound_input,
+        points,
+    }
 }
 
 /// Runs Figure 9 for every benchmark. `bound_inputs` lets the caller
@@ -268,7 +287,10 @@ pub fn run_ablation(ctx: &Ctx, bound_inputs: &[(String, Vec<f64>)]) -> AblationR
                         ..Default::default()
                     };
                     let px = PeppaX::prepare(b, cfg).expect("prepare");
-                    px.search(&[ctx.saturation_checkpoint()]).sdc_bound().input.clone()
+                    px.search(&[ctx.saturation_checkpoint()])
+                        .sdc_bound()
+                        .input
+                        .clone()
                 });
             ablation_benchmark(b, ctx, bound, 0.5)
         })

@@ -120,7 +120,11 @@ pub fn run_analysis_time(ctx: &Ctx) -> AnalysisTimeReport {
             without_heuristics_secs: without_secs,
             with_cost_dynamic: with.cost_dynamic + small.cost_dynamic,
             without_cost_dynamic: without.cost_dynamic,
-            speedup: if with_secs > 0.0 { without_secs / with_secs } else { f64::INFINITY },
+            speedup: if with_secs > 0.0 {
+                without_secs / with_secs
+            } else {
+                f64::INFINITY
+            },
         });
     }
     AnalysisTimeReport { rows }

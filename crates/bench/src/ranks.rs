@@ -52,7 +52,13 @@ pub fn rank_benchmark(bench: &Benchmark, ctx: &Ctx) -> RankRow {
         crate::scale::Scale::Quick => 150_000,
         crate::scale::Scale::Paper => 2_000_000,
     };
-    let inputs = random_inputs(bench, ctx.ranking_inputs(), ctx.seed ^ 0x4a4a, ctx.limits, cap);
+    let inputs = random_inputs(
+        bench,
+        ctx.ranking_inputs(),
+        ctx.seed ^ 0x4a4a,
+        ctx.limits,
+        cap,
+    );
 
     let cfg = PerInstrConfig {
         trials_per_instr: ctx.per_instr_trials(),
@@ -70,8 +76,9 @@ pub fn rank_benchmark(bench: &Benchmark, ctx: &Ctx) -> RankRow {
 
     // Instructions measured under every input.
     let n = bench.module.num_instrs;
-    let common: Vec<usize> =
-        (0..n).filter(|&sid| measured.iter().all(|m| m.sdc_prob[sid].is_some())).collect();
+    let common: Vec<usize> = (0..n)
+        .filter(|&sid| measured.iter().all(|m| m.sdc_prob[sid].is_some()))
+        .collect();
 
     // Rank lists per input, restricted to the common set.
     let lists: Vec<Vec<f64>> = measured
@@ -109,7 +116,12 @@ pub fn rank_benchmark(bench: &Benchmark, ctx: &Ctx) -> RankRow {
 
 /// Runs Table 3 (all benchmarks) and Figure 2 (ranges per benchmark).
 pub fn run_ranks(ctx: &Ctx) -> RankReport {
-    RankReport { rows: all_benchmarks().iter().map(|b| rank_benchmark(b, ctx)).collect() }
+    RankReport {
+        rows: all_benchmarks()
+            .iter()
+            .map(|b| rank_benchmark(b, ctx))
+            .collect(),
+    }
 }
 
 #[cfg(test)]
@@ -123,7 +135,11 @@ mod tests {
         ctx.threads = 0;
         let b = peppa_apps::pathfinder::benchmark();
         let row = rank_benchmark(&b, &ctx);
-        assert!(row.common_instrs > 10, "common instructions: {}", row.common_instrs);
+        assert!(
+            row.common_instrs > 10,
+            "common instructions: {}",
+            row.common_instrs
+        );
         // §3.2.3's claim at reduced trial counts: clearly positive
         // correlation.
         assert!(row.rank_stability > 0.3, "stability {}", row.rank_stability);

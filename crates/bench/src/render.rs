@@ -2,8 +2,8 @@
 //! tables and figures.
 
 use crate::heatmap::{render_ascii, HeatMap};
-use crate::pruning_exp::{AnalysisTimeReport, PruningReport};
 use crate::protect_exp::ProtectReport;
+use crate::pruning_exp::{AnalysisTimeReport, PruningReport};
 use crate::ranks::RankReport;
 use crate::search_exp::{PerInputTimeReport, SearchReportAll};
 use crate::study::StudyReport;
@@ -47,17 +47,25 @@ pub fn render_table2(r: &StudyReport) -> String {
     for row in &r.rows {
         let _ = writeln!(s, "{:<15} {:>6.2}", row.benchmark, row.coverage_correlation);
     }
-    let _ = writeln!(s, "{:<15} {:>6.2}   (paper average: 0.01)", "average", r.mean_correlation());
+    let _ = writeln!(
+        s,
+        "{:<15} {:>6.2}   (paper average: 0.01)",
+        "average",
+        r.mean_correlation()
+    );
     s
 }
 
 /// Figure 2: per-instruction SDC-probability ranges (sampled).
 pub fn render_fig2(r: &RankReport) -> String {
-    let mut s = String::from(
-        "Figure 2 — Range of per-instruction SDC probabilities across inputs\n\n",
-    );
+    let mut s =
+        String::from("Figure 2 — Range of per-instruction SDC probabilities across inputs\n\n");
     for row in &r.rows {
-        let _ = writeln!(s, "{} ({} instructions measurable under all inputs):", row.benchmark, row.common_instrs);
+        let _ = writeln!(
+            s,
+            "{} ({} instructions measurable under all inputs):",
+            row.benchmark, row.common_instrs
+        );
         for ir in &row.sampled_ranges {
             let _ = writeln!(
                 s,
@@ -87,7 +95,11 @@ pub fn render_table3(r: &RankReport) -> String {
 /// Table 4: pruning ratios.
 pub fn render_table4(r: &PruningReport) -> String {
     let mut s = String::from("Table 4 — FI-space pruning ratio (paper avg: 49.32%)\n\n");
-    let _ = writeln!(s, "{:<15} {:>11} {:>8} {:>9}", "benchmark", "injectable", "groups", "ratio");
+    let _ = writeln!(
+        s,
+        "{:<15} {:>11} {:>8} {:>9}",
+        "benchmark", "injectable", "groups", "ratio"
+    );
     for row in &r.rows {
         let _ = writeln!(
             s,
@@ -155,7 +167,11 @@ pub fn render_fig7(r: &SearchReportAll) -> String {
     let mut s = String::from(
         "Figure 7 — PEPPA-X at the saturation checkpoint vs baseline with 5× more budget\n\n",
     );
-    let _ = writeln!(s, "{:<15} {:>14} {:>16}", "benchmark", "PEPPA-X", "baseline (5x)");
+    let _ = writeln!(
+        s,
+        "{:<15} {:>14} {:>16}",
+        "benchmark", "PEPPA-X", "baseline (5x)"
+    );
     for row in &r.rows {
         let _ = writeln!(
             s,
@@ -232,7 +248,11 @@ pub fn render_faultmodel(r: &crate::faultmodel::FaultModelReport) -> String {
         "Fault-model sensitivity — SDC probability under 1/2/3-bit flips\n\
          (§3.1.3's premise: multi-bit differs little at application level)\n\n",
     );
-    let _ = writeln!(s, "{:<15} {:>9} {:>9} {:>9}", "benchmark", "1-bit", "2-bit", "3-bit");
+    let _ = writeln!(
+        s,
+        "{:<15} {:>9} {:>9} {:>9}",
+        "benchmark", "1-bit", "2-bit", "3-bit"
+    );
     for row in &r.rows {
         let _ = writeln!(
             s,
@@ -243,7 +263,11 @@ pub fn render_faultmodel(r: &crate::faultmodel::FaultModelReport) -> String {
             pct(row.sdc_by_bits[2])
         );
     }
-    let _ = writeln!(s, "\nmax deviation from single-bit: {}", pct(r.max_sdc_deviation()));
+    let _ = writeln!(
+        s,
+        "\nmax deviation from single-bit: {}",
+        pct(r.max_sdc_deviation())
+    );
     s
 }
 

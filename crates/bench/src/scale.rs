@@ -31,7 +31,12 @@ pub struct Ctx {
 
 impl Ctx {
     pub fn new(scale: Scale, seed: u64) -> Ctx {
-        Ctx { scale, seed, threads: 0, limits: ExecLimits::default() }
+        Ctx {
+            scale,
+            seed,
+            threads: 0,
+            limits: ExecLimits::default(),
+        }
     }
 
     /// Random inputs per benchmark for the initial FI study (§3: 30).

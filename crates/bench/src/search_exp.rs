@@ -73,8 +73,11 @@ pub fn search_benchmark(bench: &Benchmark, ctx: &Ctx) -> SearchRow {
 
     // Baseline with the largest checkpoint's budget ×5 (Figure 7's
     // extended run subsumes all smaller budgets for best_at_budget).
-    let max_budget =
-        report.checkpoints.last().map(|c| c.search_cost_dynamic).unwrap_or(0);
+    let max_budget = report
+        .checkpoints
+        .last()
+        .map(|c| c.search_cost_dynamic)
+        .unwrap_or(0);
     let sat = ctx.saturation_checkpoint();
     let sat_budget = report
         .checkpoints
@@ -109,7 +112,9 @@ pub fn search_benchmark(bench: &Benchmark, ctx: &Ctx) -> SearchRow {
             peppa_fitness: c.fitness,
             peppa_input: c.input.clone(),
             budget_dynamic: c.search_cost_dynamic,
-            baseline_sdc: baseline.best_at_budget(c.search_cost_dynamic).unwrap_or(0.0),
+            baseline_sdc: baseline
+                .best_at_budget(c.search_cost_dynamic)
+                .unwrap_or(0.0),
         })
         .collect();
 
@@ -121,7 +126,9 @@ pub fn search_benchmark(bench: &Benchmark, ctx: &Ctx) -> SearchRow {
         .filter(|c| c.generation <= sat)
         .map(|c| c.sdc.sdc_prob())
         .fold(0.0f64, f64::max);
-    let baseline_5x = baseline.best_at_budget(sat_budget.saturating_mul(5)).unwrap_or(0.0);
+    let baseline_5x = baseline
+        .best_at_budget(sat_budget.saturating_mul(5))
+        .unwrap_or(0.0);
 
     let bound = report.sdc_bound();
     SearchRow {
@@ -140,7 +147,10 @@ pub fn search_benchmark(bench: &Benchmark, ctx: &Ctx) -> SearchRow {
 /// Runs the comparison for every benchmark (Figures 5, 7, 8).
 pub fn run_search(ctx: &Ctx) -> SearchReportAll {
     SearchReportAll {
-        rows: all_benchmarks().iter().map(|b| search_benchmark(b, ctx)).collect(),
+        rows: all_benchmarks()
+            .iter()
+            .map(|b| search_benchmark(b, ctx))
+            .collect(),
     }
 }
 
@@ -175,12 +185,9 @@ pub fn run_per_input_time(ctx: &Ctx) -> PerInputTimeReport {
     for b in all_benchmarks() {
         // PEPPA-X per-input evaluation: one profiled run (the SDC-score
         // weighting is a linear pass over the profile, measured too).
-        let small = peppa_core::fuzz_small_input(
-            &b,
-            ctx.limits,
-            peppa_core::SmallInputConfig::default(),
-        )
-        .unwrap();
+        let small =
+            peppa_core::fuzz_small_input(&b, ctx.limits, peppa_core::SmallInputConfig::default())
+                .unwrap();
         let scores = peppa_core::derive_sdc_scores(
             &b,
             &small.input,
@@ -219,7 +226,11 @@ pub fn run_per_input_time(ctx: &Ctx) -> PerInputTimeReport {
             benchmark: b.name.to_string(),
             peppa_secs,
             baseline_secs,
-            speedup: if peppa_secs > 0.0 { baseline_secs / peppa_secs } else { f64::INFINITY },
+            speedup: if peppa_secs > 0.0 {
+                baseline_secs / peppa_secs
+            } else {
+                f64::INFINITY
+            },
         });
     }
     PerInputTimeReport { rows }
@@ -245,6 +256,9 @@ mod tests {
         for w in row.points.windows(2) {
             assert!(w[1].budget_dynamic > w[0].budget_dynamic);
         }
-        assert!(row.sdc_bound_prob > 0.0, "search found no SDC-prone input at all");
+        assert!(
+            row.sdc_bound_prob > 0.0,
+            "search found no SDC-prone input at all"
+        );
     }
 }

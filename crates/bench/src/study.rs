@@ -35,7 +35,10 @@ pub struct StudyRow {
 
 impl StudyRow {
     pub fn sdc_min(&self) -> f64 {
-        self.random.iter().map(|m| m.sdc_prob).fold(f64::INFINITY, f64::min)
+        self.random
+            .iter()
+            .map(|m| m.sdc_prob)
+            .fold(f64::INFINITY, f64::min)
     }
 
     pub fn sdc_max(&self) -> f64 {
@@ -48,7 +51,10 @@ impl StudyRow {
         if self.random.is_empty() {
             return 0.0;
         }
-        self.random.iter().filter(|m| m.sdc_prob < self.reference.sdc_prob).count() as f64
+        self.random
+            .iter()
+            .filter(|m| m.sdc_prob < self.reference.sdc_prob)
+            .count() as f64
             / self.random.len() as f64
     }
 }
@@ -65,7 +71,11 @@ impl StudyReport {
         if self.rows.is_empty() {
             return 0.0;
         }
-        self.rows.iter().map(|r| r.coverage_correlation).sum::<f64>() / self.rows.len() as f64
+        self.rows
+            .iter()
+            .map(|r| r.coverage_correlation)
+            .sum::<f64>()
+            / self.rows.len() as f64
     }
 }
 
@@ -75,8 +85,8 @@ fn measure_input(bench: &Benchmark, input: &[f64], ctx: &Ctx, seed: u64) -> Inpu
         seed,
         hang_factor: 8,
         threads: ctx.threads,
-                burst: 0,
-            };
+        burst: 0,
+    };
     let r = run_campaign(&bench.module, input, ctx.limits, cfg)
         .unwrap_or_else(|e| panic!("{}: campaign failed on validated input: {e}", bench.name));
     let vm = Vm::new(&bench.module, ctx.limits);
@@ -118,7 +128,12 @@ pub fn study_benchmark(bench: &Benchmark, ctx: &Ctx) -> StudyRow {
 
 /// Runs the whole study (all seven benchmarks).
 pub fn run_study(ctx: &Ctx) -> StudyReport {
-    StudyReport { rows: all_benchmarks().iter().map(|b| study_benchmark(b, ctx)).collect() }
+    StudyReport {
+        rows: all_benchmarks()
+            .iter()
+            .map(|b| study_benchmark(b, ctx))
+            .collect(),
+    }
 }
 
 #[cfg(test)]

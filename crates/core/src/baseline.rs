@@ -106,7 +106,11 @@ pub fn baseline_search(
         }
     }
 
-    BaselineReport { benchmark: bench.name.to_string(), evals, total_cost: cost }
+    BaselineReport {
+        benchmark: bench.name.to_string(),
+        evals,
+        total_cost: cost,
+    }
 }
 
 #[cfg(test)]
@@ -115,7 +119,12 @@ mod tests {
     use peppa_apps::pathfinder;
 
     fn quick_cfg() -> BaselineConfig {
-        BaselineConfig { seed: 5, fi_trials: 40, max_inputs: 6, ..Default::default() }
+        BaselineConfig {
+            seed: 5,
+            fi_trials: 40,
+            max_inputs: 6,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -136,7 +145,7 @@ mod tests {
         let r = baseline_search(&b, 50_000_000, quick_cfg());
         let mid = r.evals[r.evals.len() / 2].cumulative_cost;
         let early = r.best_at_budget(mid).unwrap_or(0.0);
-        let late = r.best(). unwrap_or(0.0);
+        let late = r.best().unwrap_or(0.0);
         assert!(late >= early);
     }
 

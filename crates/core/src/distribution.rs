@@ -52,16 +52,23 @@ pub fn derive_sdc_scores(
     threads: usize,
 ) -> Result<SdcScores, peppa_inject::campaign::CampaignError> {
     let pruning: PruningResult = prune_fi_space(&bench.module);
-    let cfg = PerInstrConfig { trials_per_instr, seed, hang_factor: 8, threads };
+    let cfg = PerInstrConfig {
+        trials_per_instr,
+        seed,
+        hang_factor: 8,
+        threads,
+    };
 
     let (targets, ratio): (Vec<InstrId>, f64) = if use_pruning {
         (pruning.representatives(), pruning.pruning_ratio())
     } else {
-        ((0..bench.module.num_instrs as u32).map(InstrId).collect(), 0.0)
+        (
+            (0..bench.module.num_instrs as u32).map(InstrId).collect(),
+            0.0,
+        )
     };
 
-    let measured =
-        per_instruction_sdc(&bench.module, fi_input, limits, cfg, Some(&targets))?;
+    let measured = per_instruction_sdc(&bench.module, fi_input, limits, cfg, Some(&targets))?;
 
     // Propagate each representative's probability to its whole subgroup.
     let mut raw = vec![0.0f64; bench.module.num_instrs];
@@ -93,8 +100,8 @@ pub fn derive_sdc_scores(
     // Cost: each trial re-executes the program on the FI input.
     let vm = peppa_vm::Vm::new(&bench.module, limits);
     let golden = vm.run_numeric(fi_input, None);
-    let cost = measured.total_trials.saturating_mul(golden.profile.dynamic)
-        + golden.profile.dynamic;
+    let cost =
+        measured.total_trials.saturating_mul(golden.profile.dynamic) + golden.profile.dynamic;
 
     Ok(SdcScores {
         score: raw,

@@ -40,31 +40,58 @@ pub fn fitness_of_input(
 
 /// A reusable fitness oracle that tracks the cumulative dynamic-
 /// instruction cost of all evaluations (the GA's search budget).
+///
+/// Results are memoized on the clamped genome's bit pattern: elitism and
+/// low-rate crossover re-propose identical genomes constantly, and the
+/// fitness run is deterministic, so a repeat costs a map lookup instead
+/// of a full profiled execution. `cost_dynamic` only grows on real runs,
+/// keeping the reported search budget honest.
 pub struct FitnessOracle<'a> {
     pub bench: &'a Benchmark,
     pub scores: &'a SdcScores,
     pub limits: ExecLimits,
     pub cost_dynamic: u64,
     pub evaluations: u64,
+    /// Memoized evaluations served without running the VM.
+    pub cache_hits: u64,
+    cache: std::collections::HashMap<Vec<u64>, Option<f64>>,
 }
 
 impl<'a> FitnessOracle<'a> {
     pub fn new(bench: &'a Benchmark, scores: &'a SdcScores, limits: ExecLimits) -> Self {
-        FitnessOracle { bench, scores, limits, cost_dynamic: 0, evaluations: 0 }
+        FitnessOracle {
+            bench,
+            scores,
+            limits,
+            cost_dynamic: 0,
+            evaluations: 0,
+            cache_hits: 0,
+            cache: std::collections::HashMap::new(),
+        }
     }
 
     /// Evaluates one genome, accounting its cost.
     pub fn eval(&mut self, genome: &[f64]) -> Option<f64> {
         self.evaluations += 1;
-        let clamped: Vec<f64> =
-            genome.iter().zip(&self.bench.args).map(|(&x, a)| a.clamp(x)).collect();
-        match fitness_of_input(self.bench, self.scores, &clamped, self.limits) {
+        let clamped: Vec<f64> = genome
+            .iter()
+            .zip(&self.bench.args)
+            .map(|(&x, a)| a.clamp(x))
+            .collect();
+        let key: Vec<u64> = clamped.iter().map(|x| x.to_bits()).collect();
+        if let Some(&cached) = self.cache.get(&key) {
+            self.cache_hits += 1;
+            return cached;
+        }
+        let result = match fitness_of_input(self.bench, self.scores, &clamped, self.limits) {
             Some((f, dynamic)) => {
                 self.cost_dynamic += dynamic;
                 Some(f)
             }
             None => None,
-        }
+        };
+        self.cache.insert(key, result);
+        result
     }
 }
 
@@ -76,9 +103,16 @@ mod tests {
 
     fn setup() -> (Benchmark, SdcScores) {
         let b = pathfinder::benchmark();
-        let s =
-            derive_sdc_scores(&b, &[6.0, 6.0, 3.0, 0.1], ExecLimits::default(), 10, 2, true, 0)
-                .unwrap();
+        let s = derive_sdc_scores(
+            &b,
+            &[6.0, 6.0, 3.0, 0.1],
+            ExecLimits::default(),
+            10,
+            2,
+            true,
+            0,
+        )
+        .unwrap();
         (b, s)
     }
 
@@ -105,15 +139,23 @@ mod tests {
     }
 
     #[test]
-    fn oracle_accumulates_cost() {
+    fn oracle_accumulates_cost_and_memoizes_repeats() {
         let (b, s) = setup();
         let mut oracle = FitnessOracle::new(&b, &s, ExecLimits::default());
         let f1 = oracle.eval(&b.reference_input).unwrap();
         let c1 = oracle.cost_dynamic;
+        assert!(c1 > 0);
+        // Identical genome: served from the memo, costing nothing.
         let f2 = oracle.eval(&b.reference_input).unwrap();
         assert_eq!(f1, f2);
-        assert_eq!(oracle.cost_dynamic, 2 * c1);
+        assert_eq!(oracle.cost_dynamic, c1);
         assert_eq!(oracle.evaluations, 2);
+        assert_eq!(oracle.cache_hits, 1);
+        // A different genome is a real run again.
+        let probe = [4.0, 4.0, 3.0, 0.01];
+        oracle.eval(&probe);
+        assert!(oracle.cost_dynamic > c1);
+        assert_eq!(oracle.cache_hits, 1);
     }
 
     #[test]

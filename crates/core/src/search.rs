@@ -4,10 +4,12 @@ use crate::distribution::{derive_sdc_scores, SdcScores};
 use crate::fitness::FitnessOracle;
 use crate::small_input::{fuzz_small_input, SmallInput, SmallInputConfig};
 use peppa_apps::Benchmark;
-use peppa_ga::{ArgBounds, GaConfig, GeneticEngine};
-use peppa_inject::{run_campaign, CampaignConfig, CampaignResult};
+use peppa_ga::{ArgBounds, GaConfig, GeneticEngine, Individual};
+use peppa_inject::{run_campaign_observed, CampaignConfig, CampaignResult};
+use peppa_obs::{Event, NullObserver, Observer};
 use peppa_vm::ExecLimits;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Full PEPPA-X configuration; defaults follow the paper.
 #[derive(Debug, Clone, Copy)]
@@ -131,14 +133,23 @@ impl<'b> PeppaX<'b> {
             cfg.threads,
         )
         .map_err(PrepareError::Distribution)?;
-        Ok(PeppaX { bench, cfg, small, scores })
+        Ok(PeppaX {
+            bench,
+            cfg,
+            small,
+            scores,
+        })
     }
 
     fn ga_bounds(&self) -> Vec<ArgBounds> {
         self.bench
             .args
             .iter()
-            .map(|a| ArgBounds { lo: a.lo, hi: a.hi, integer: a.integer })
+            .map(|a| ArgBounds {
+                lo: a.lo,
+                hi: a.hi,
+                integer: a.integer,
+            })
             .collect()
     }
 
@@ -146,8 +157,23 @@ impl<'b> PeppaX<'b> {
     /// the best input at each generation checkpoint. `checkpoints` must
     /// be sorted ascending; the search runs to the last one.
     pub fn search(&self, checkpoints: &[u64]) -> SearchReport {
+        self.search_observed(checkpoints, &NullObserver)
+    }
+
+    /// [`search`](Self::search) with an [`Observer`] attached.
+    ///
+    /// Emits `SearchStarted`, one `GenerationFinished` per generation
+    /// (best/mean Eq.-2 fitness, population diversity, fitness-memo
+    /// hits, cumulative evaluations), `SearchFinished`, and — through
+    /// the checkpoint FI campaigns — the full campaign event stream of
+    /// each checkpoint evaluation.
+    pub fn search_observed(&self, checkpoints: &[u64], observer: &dyn Observer) -> SearchReport {
         assert!(!checkpoints.is_empty(), "need at least one checkpoint");
-        assert!(checkpoints.windows(2).all(|w| w[0] < w[1]), "checkpoints must be ascending");
+        assert!(
+            checkpoints.windows(2).all(|w| w[0] < w[1]),
+            "checkpoints must be ascending"
+        );
+        let start = Instant::now();
 
         let mut oracle = FitnessOracle::new(self.bench, &self.scores, self.cfg.limits);
         let ga_cfg = GaConfig {
@@ -165,24 +191,44 @@ impl<'b> PeppaX<'b> {
             }
         }
 
+        let bounds = self.ga_bounds();
         let mut adapter = OracleAdapter(&mut oracle);
         let mut ga = GeneticEngine::new(ga_cfg, &mut adapter);
 
         let mut pending: Vec<(u64, Vec<f64>, f64, u64)> = Vec::new();
         let last = *checkpoints.last().unwrap();
+        observer.on_event(&Event::SearchStarted {
+            benchmark: self.bench.name.to_string(),
+            generations: last,
+            population: self.cfg.population,
+            seed: self.cfg.seed,
+        });
         let mut next_cp = 0usize;
         for gen in 1..=last {
             ga.step(&mut adapter);
+            let (mean, diversity) = population_stats(ga.population(), &bounds);
+            observer.on_event(&Event::GenerationFinished {
+                generation: gen,
+                best: ga.best().fitness,
+                mean,
+                diversity,
+                cache_hits: adapter.0.cache_hits,
+                evaluations: ga.evaluations(),
+            });
             if next_cp < checkpoints.len() && gen == checkpoints[next_cp] {
                 let best = ga.best().clone();
-                let cost = self.scores.cost_dynamic
-                    + self.small.cost_dynamic
-                    + adapter.0.cost_dynamic;
+                let cost =
+                    self.scores.cost_dynamic + self.small.cost_dynamic + adapter.0.cost_dynamic;
                 pending.push((gen, best.genome, best.fitness, cost));
                 next_cp += 1;
             }
         }
         let ga_evaluations = ga.evaluations();
+        observer.on_event(&Event::SearchFinished {
+            generations: last,
+            evaluations: ga_evaluations,
+            wall_ns: start.elapsed().as_nanos() as u64,
+        });
 
         // FI-evaluate each checkpoint's best input (§4.1: FI only at the
         // end of the search).
@@ -195,8 +241,14 @@ impl<'b> PeppaX<'b> {
                 threads: self.cfg.threads,
                 burst: 0,
             };
-            let sdc = run_campaign(&self.bench.module, &input, self.cfg.limits, campaign_cfg)
-                .expect("GA best input must be valid (oracle rejected invalid genomes)");
+            let sdc = run_campaign_observed(
+                &self.bench.module,
+                &input,
+                self.cfg.limits,
+                campaign_cfg,
+                observer,
+            )
+            .expect("GA best input must be valid (oracle rejected invalid genomes)");
             results.push(SearchCheckpoint {
                 generation,
                 input,
@@ -205,6 +257,7 @@ impl<'b> PeppaX<'b> {
                 search_cost_dynamic,
             });
         }
+        observer.flush();
 
         SearchReport {
             benchmark: self.bench.name.to_string(),
@@ -213,6 +266,44 @@ impl<'b> PeppaX<'b> {
             ga_evaluations,
         }
     }
+}
+
+/// Mean finite fitness and population diversity.
+///
+/// Diversity is the mean over arguments of the population's standard
+/// deviation in that argument, normalized by the argument's search
+/// range — 0 when the population has collapsed to one point, ~0.29 for
+/// a uniform spread over the range.
+fn population_stats(pop: &[Individual], bounds: &[ArgBounds]) -> (f64, f64) {
+    let finite: Vec<f64> = pop
+        .iter()
+        .map(|i| i.fitness)
+        .filter(|f| f.is_finite())
+        .collect();
+    let mean = if finite.is_empty() {
+        0.0
+    } else {
+        finite.iter().sum::<f64>() / finite.len() as f64
+    };
+
+    if pop.len() < 2 || bounds.is_empty() {
+        return (mean, 0.0);
+    }
+    let mut acc = 0.0;
+    for (d, b) in bounds.iter().enumerate() {
+        let vals: Vec<f64> = pop
+            .iter()
+            .filter_map(|i| i.genome.get(d).copied())
+            .collect();
+        if vals.len() < 2 {
+            continue;
+        }
+        let m = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / vals.len() as f64;
+        let range = (b.hi - b.lo).abs().max(f64::MIN_POSITIVE);
+        acc += var.sqrt() / range;
+    }
+    (mean, acc / bounds.len() as f64)
 }
 
 #[cfg(test)]
@@ -259,6 +350,63 @@ mod tests {
         for c in &report.checkpoints {
             assert!(best.sdc.sdc_prob() >= c.sdc.sdc_prob());
         }
+    }
+
+    #[test]
+    fn observed_search_emits_generation_telemetry() {
+        struct Collecting(std::sync::Mutex<Vec<Event>>);
+        impl Observer for Collecting {
+            fn on_event(&self, event: &Event) {
+                self.0.lock().unwrap().push(event.clone());
+            }
+        }
+
+        let b = pathfinder::benchmark();
+        let px = PeppaX::prepare(&b, quick_cfg()).unwrap();
+        let obs = Collecting(std::sync::Mutex::new(Vec::new()));
+        let report = px.search_observed(&[3], &obs);
+        let events = obs.0.into_inner().unwrap();
+
+        let gens: Vec<&Event> = events
+            .iter()
+            .filter(|e| e.kind() == "generation_finished")
+            .collect();
+        assert_eq!(gens.len(), 3);
+        match gens.last().unwrap() {
+            Event::GenerationFinished {
+                best,
+                mean,
+                diversity,
+                evaluations,
+                ..
+            } => {
+                assert!(
+                    best.is_finite() && *best >= *mean - 1e-12,
+                    "best {best} mean {mean}"
+                );
+                assert!((0.0..=1.0).contains(diversity), "diversity {diversity}");
+                assert_eq!(*evaluations, report.ga_evaluations);
+            }
+            _ => unreachable!(),
+        }
+        // The checkpoint FI campaign streamed through the same observer.
+        let trial_events = events
+            .iter()
+            .filter(|e| e.kind() == "trial_finished")
+            .count();
+        assert_eq!(trial_events, quick_cfg().final_fi_trials as usize);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind() == "search_finished")
+                .count(),
+            1
+        );
+
+        // Telemetry must not perturb the search itself.
+        let plain = PeppaX::prepare(&b, quick_cfg()).unwrap().search(&[3]);
+        assert_eq!(plain.checkpoints[0].input, report.checkpoints[0].input);
+        assert_eq!(plain.checkpoints[0].sdc.sdc, report.checkpoints[0].sdc.sdc);
     }
 
     #[test]

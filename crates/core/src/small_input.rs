@@ -26,7 +26,12 @@ pub struct SmallInputConfig {
 
 impl Default for SmallInputConfig {
     fn default() -> Self {
-        SmallInputConfig { coverage_fraction: 0.95, samples_per_stage: 24, stages: 8, seed: 0xf0 }
+        SmallInputConfig {
+            coverage_fraction: 0.95,
+            samples_per_stage: 24,
+            stages: 8,
+            seed: 0xf0,
+        }
     }
 }
 
@@ -59,7 +64,10 @@ impl std::fmt::Display for SmallInputError {
         match self {
             SmallInputError::ReferenceRunFailed => write!(f, "reference input failed to run"),
             SmallInputError::CoverageTargetUnreachable { best } => {
-                write!(f, "coverage target unreachable (best coverage seen: {best} instrs)")
+                write!(
+                    f,
+                    "coverage target unreachable (best coverage seen: {best} instrs)"
+                )
             }
         }
     }

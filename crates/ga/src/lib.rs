@@ -30,11 +30,19 @@ pub struct ArgBounds {
 
 impl ArgBounds {
     pub fn float(lo: f64, hi: f64) -> ArgBounds {
-        ArgBounds { lo, hi, integer: false }
+        ArgBounds {
+            lo,
+            hi,
+            integer: false,
+        }
     }
 
     pub fn int(lo: i64, hi: i64) -> ArgBounds {
-        ArgBounds { lo: lo as f64, hi: hi as f64, integer: true }
+        ArgBounds {
+            lo: lo as f64,
+            hi: hi as f64,
+            integer: true,
+        }
     }
 
     /// Clamps (and rounds, for integer arguments) a raw value into range.
@@ -66,7 +74,13 @@ pub struct GaConfig {
 impl GaConfig {
     /// Paper defaults: mutation 0.4, crossover 0.05.
     pub fn paper_defaults(bounds: Vec<ArgBounds>, seed: u64) -> GaConfig {
-        GaConfig { population: 20, mutation_rate: 0.4, crossover_rate: 0.05, seed, bounds }
+        GaConfig {
+            population: 20,
+            mutation_rate: 0.4,
+            crossover_rate: 0.05,
+            seed,
+            bounds,
+        }
     }
 }
 
@@ -105,7 +119,10 @@ impl GeneticEngine {
     /// Creates the engine and evaluates a random initial population.
     pub fn new(cfg: GaConfig, fit: &mut dyn Fitness) -> GeneticEngine {
         assert!(cfg.population >= 2, "population must be at least 2");
-        assert!(!cfg.bounds.is_empty(), "genome must have at least one argument");
+        assert!(
+            !cfg.bounds.is_empty(),
+            "genome must have at least one argument"
+        );
         let mut rng = Pcg64::new(cfg.seed);
         let mut engine = GeneticEngine {
             population: Vec::with_capacity(cfg.population),
@@ -117,7 +134,12 @@ impl GeneticEngine {
         };
         rng = engine.rng.clone();
         for _ in 0..engine.cfg.population {
-            let genome: Vec<f64> = engine.cfg.bounds.iter().map(|b| b.sample(&mut rng)).collect();
+            let genome: Vec<f64> = engine
+                .cfg
+                .bounds
+                .iter()
+                .map(|b| b.sample(&mut rng))
+                .collect();
             engine.push_evaluated(genome, fit);
         }
         engine.rng = rng;
@@ -172,7 +194,11 @@ impl GeneticEngine {
         let i = self.rng.gen_index(genome.len());
         let b = self.cfg.bounds[i];
         let magnitude = genome[i].abs();
-        let scale = if magnitude > 0.0 { 0.1 * magnitude } else { 0.01 * (b.hi - b.lo) };
+        let scale = if magnitude > 0.0 {
+            0.1 * magnitude
+        } else {
+            0.01 * (b.hi - b.lo)
+        };
         let delta = self.rng.gen_range_f64(-scale, scale);
         genome[i] = b.clamp(genome[i] + delta);
         if b.integer && genome[i] == (genome[i] + delta).clamp(b.lo, b.hi).round() {
@@ -218,11 +244,16 @@ impl GeneticEngine {
 
         // (μ+λ) truncation: keep the fittest `population` members.
         self.population.sort_by(|a, b| {
-            b.fitness.partial_cmp(&a.fitness).unwrap_or(std::cmp::Ordering::Equal)
+            b.fitness
+                .partial_cmp(&a.fitness)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         self.population.truncate(self.cfg.population);
         self.generation += 1;
-        self.population.first().map(|i| i.fitness).unwrap_or(f64::NEG_INFINITY)
+        self.population
+            .first()
+            .map(|i| i.fitness)
+            .unwrap_or(f64::NEG_INFINITY)
     }
 
     /// Runs `generations` steps.
@@ -235,7 +266,9 @@ impl GeneticEngine {
 
     /// Best individual seen so far (across all generations).
     pub fn best(&self) -> &Individual {
-        self.best.as_ref().expect("population initialized with at least one finite member")
+        self.best
+            .as_ref()
+            .expect("population initialized with at least one finite member")
     }
 
     pub fn generation(&self) -> u64 {
@@ -311,7 +344,13 @@ mod tests {
     #[test]
     fn bounds_always_respected() {
         let bounds = vec![ArgBounds::float(0.0, 1.0), ArgBounds::int(5, 10)];
-        let cfg = GaConfig { population: 10, mutation_rate: 1.0, crossover_rate: 0.5, seed: 3, bounds };
+        let cfg = GaConfig {
+            population: 10,
+            mutation_rate: 1.0,
+            crossover_rate: 0.5,
+            seed: 3,
+            bounds,
+        };
         let mut fit = |g: &[f64]| Some(g[0] + g[1]);
         let mut ga = GeneticEngine::new(cfg, &mut fit);
         for _ in 0..30 {
@@ -328,20 +367,33 @@ mod tests {
     fn failed_evaluations_die_out() {
         // Fitness fails for genome[0] < 0; survivors should all be >= 0.
         let bounds = vec![ArgBounds::float(-1.0, 1.0)];
-        let cfg = GaConfig { population: 12, mutation_rate: 0.5, crossover_rate: 0.1, seed: 8, bounds };
+        let cfg = GaConfig {
+            population: 12,
+            mutation_rate: 0.5,
+            crossover_rate: 0.1,
+            seed: 8,
+            bounds,
+        };
         let mut fit = |g: &[f64]| if g[0] < 0.0 { None } else { Some(g[0]) };
         let mut ga = GeneticEngine::new(cfg, &mut fit);
         for _ in 0..20 {
             ga.step(&mut fit);
         }
-        let finite = ga.population().iter().filter(|i| i.fitness.is_finite()).count();
+        let finite = ga
+            .population()
+            .iter()
+            .filter(|i| i.fitness.is_finite())
+            .count();
         assert!(finite > 0);
         assert!(ga.best().fitness >= 0.0);
     }
 
     #[test]
     fn evaluation_budget_accounting() {
-        let cfg = GaConfig { population: 10, ..GaConfig::paper_defaults(sphere_bounds(2), 1) };
+        let cfg = GaConfig {
+            population: 10,
+            ..GaConfig::paper_defaults(sphere_bounds(2), 1)
+        };
         let mut fit = sphere;
         let mut ga = GeneticEngine::new(cfg, &mut fit);
         assert_eq!(ga.evaluations(), 10);
@@ -363,7 +415,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "population must be at least 2")]
     fn rejects_tiny_population() {
-        let cfg = GaConfig { population: 1, ..GaConfig::paper_defaults(sphere_bounds(1), 1) };
+        let cfg = GaConfig {
+            population: 1,
+            ..GaConfig::paper_defaults(sphere_bounds(1), 1)
+        };
         let mut fit = |_: &[f64]| Some(0.0);
         GeneticEngine::new(cfg, &mut fit);
     }

@@ -2,9 +2,11 @@
 
 use crate::outcome::{classify, FaultOutcome};
 use peppa_ir::Module;
+use peppa_obs::{Event, NullObserver, Observer, Outcome as ObsOutcome};
 use peppa_stats::{binomial_ci, ci::Z_95, BinomialCi, Pcg64};
 use peppa_vm::{ExecLimits, Injection, InjectionTarget, RunOutput, Vm};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Configuration of one campaign.
 #[derive(Debug, Clone, Copy)]
@@ -27,7 +29,13 @@ pub struct CampaignConfig {
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { trials: 1000, seed: 0x5eed, hang_factor: 8, threads: 0, burst: 0 }
+        CampaignConfig {
+            trials: 1000,
+            seed: 0x5eed,
+            hang_factor: 8,
+            threads: 0,
+            burst: 0,
+        }
     }
 }
 
@@ -96,7 +104,10 @@ pub fn golden_run(
     let vm = Vm::new(module, limits);
     let golden = vm.run_numeric(inputs, None);
     if !golden.status.is_ok() {
-        return Err(CampaignError::GoldenRunFailed(format!("{:?}", golden.status)));
+        return Err(CampaignError::GoldenRunFailed(format!(
+            "{:?}",
+            golden.status
+        )));
     }
     Ok(golden)
 }
@@ -111,7 +122,11 @@ pub fn sample_fault(rng: &mut Pcg64, value_dynamic: u64) -> Injection {
 pub fn sample_fault_burst(rng: &mut Pcg64, value_dynamic: u64, burst: u8) -> Injection {
     let dyn_index = rng.gen_range_u64(value_dynamic);
     let bit = rng.gen_range_u64(64) as u32;
-    Injection { target: InjectionTarget::DynamicIndex(dyn_index), bit, burst }
+    Injection {
+        target: InjectionTarget::DynamicIndex(dyn_index),
+        bit,
+        burst,
+    }
 }
 
 /// Runs a statistical FI campaign for one input.
@@ -121,10 +136,81 @@ pub fn run_campaign(
     limits: ExecLimits,
     cfg: CampaignConfig,
 ) -> Result<CampaignResult, CampaignError> {
+    run_campaign_observed(module, inputs, limits, cfg, &NullObserver)
+}
+
+impl From<FaultOutcome> for ObsOutcome {
+    fn from(o: FaultOutcome) -> ObsOutcome {
+        match o {
+            FaultOutcome::Sdc => ObsOutcome::Sdc,
+            FaultOutcome::Crash => ObsOutcome::Crash,
+            FaultOutcome::Hang => ObsOutcome::Hang,
+            FaultOutcome::Benign => ObsOutcome::Benign,
+        }
+    }
+}
+
+/// One trial's observable facts, reported from worker threads to the
+/// collector over a bounded channel.
+struct TrialReport {
+    trial: u32,
+    outcome: FaultOutcome,
+    site: u64,
+    bit: u32,
+    latency_ns: u64,
+}
+
+impl TrialReport {
+    fn to_event(&self) -> Event {
+        Event::TrialFinished {
+            trial: self.trial,
+            outcome: self.outcome.into(),
+            site: self.site,
+            bit: self.bit,
+            latency_ns: self.latency_ns,
+        }
+    }
+}
+
+/// [`run_campaign`] with an [`Observer`] attached.
+///
+/// Emitted events: `CampaignStarted`, `GoldenRun`, one `TrialFinished`
+/// per trial (in completion order — the `trial` field carries the
+/// logical index), and `CampaignFinished` whose counts are the exact
+/// counts of the returned [`CampaignResult`].
+///
+/// Worker threads never call the observer directly: they push
+/// [`TrialReport`]s over a bounded channel drained on the calling
+/// thread, so sinks see a single-threaded event stream and slow sinks
+/// apply back-pressure instead of unbounded buffering. Outcomes are
+/// unaffected by observation — trial RNG streams depend only on
+/// `(seed, trial)`, so the result is identical to the unobserved runner
+/// at every thread count.
+pub fn run_campaign_observed(
+    module: &Module,
+    inputs: &[f64],
+    limits: ExecLimits,
+    cfg: CampaignConfig,
+    observer: &dyn Observer,
+) -> Result<CampaignResult, CampaignError> {
+    let start = Instant::now();
+    observer.on_event(&Event::CampaignStarted {
+        benchmark: module.name.clone(),
+        trials: cfg.trials,
+        seed: cfg.seed,
+        threads: cfg.threads,
+    });
+
     let golden = golden_run(module, inputs, limits)?;
     if golden.profile.value_dynamic == 0 {
         return Err(CampaignError::NoFaultSites);
     }
+    observer.on_event(&Event::GoldenRun {
+        benchmark: module.name.clone(),
+        dynamic: golden.profile.dynamic,
+        value_dynamic: golden.profile.value_dynamic,
+        coverage: golden.profile.coverage(),
+    });
 
     let faulty_limits = ExecLimits {
         max_dynamic: golden
@@ -138,32 +224,65 @@ pub fn run_campaign(
     let nthreads = effective_threads(cfg.threads, cfg.trials as usize);
     let mut outcomes = vec![FaultOutcome::Benign; cfg.trials as usize];
 
-    let run_trial = |t: u32| -> FaultOutcome {
+    let run_trial = |t: u32| -> TrialReport {
         // Per-trial stream independent of scheduling.
         let mut rng = Pcg64::new(cfg.seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15));
         let inj = sample_fault_burst(&mut rng, golden.profile.value_dynamic, cfg.burst);
         let vm = Vm::new(module, faulty_limits);
+        let t0 = Instant::now();
         let faulty = vm.run_numeric(inputs, Some(inj));
-        classify(&golden, &faulty)
+        let latency_ns = t0.elapsed().as_nanos() as u64;
+        let site = match inj.target {
+            InjectionTarget::DynamicIndex(k) => k,
+            InjectionTarget::StaticInstance { instance, .. } => instance,
+        };
+        TrialReport {
+            trial: t,
+            outcome: classify(&golden, &faulty),
+            site,
+            bit: inj.bit,
+            latency_ns,
+        }
     };
 
     if nthreads <= 1 {
         for (t, slot) in outcomes.iter_mut().enumerate() {
-            *slot = run_trial(t as u32);
+            let report = run_trial(t as u32);
+            observer.on_event(&report.to_event());
+            *slot = report.outcome;
         }
     } else {
         let chunk = outcomes.len().div_ceil(nthreads);
-        crossbeam::thread::scope(|s| {
+        // Bounded: a slow sink back-pressures workers instead of letting
+        // reports pile up without limit.
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TrialReport>(1024);
+        let collected: Vec<TrialReport> = crossbeam::thread::scope(|s| {
             for (ci, chunk_slice) in outcomes.chunks_mut(chunk).enumerate() {
                 let run_trial = &run_trial;
+                let tx = tx.clone();
                 s.spawn(move |_| {
                     for (off, slot) in chunk_slice.iter_mut().enumerate() {
-                        *slot = run_trial((ci * chunk + off) as u32);
+                        let report = run_trial((ci * chunk + off) as u32);
+                        *slot = report.outcome;
+                        // The receiver outlives the scope; send only
+                        // fails if the collector was dropped, in which
+                        // case reporting is moot.
+                        let _ = tx.send(report);
                     }
                 });
             }
+            drop(tx);
+            // Drain on the scope's owning thread so the observer sees a
+            // single-threaded stream.
+            let mut all = Vec::with_capacity(cfg.trials as usize);
+            for report in rx.iter() {
+                observer.on_event(&report.to_event());
+                all.push(report);
+            }
+            all
         })
         .expect("campaign worker panicked");
+        debug_assert_eq!(collected.len(), cfg.trials as usize);
     }
 
     let mut sdc = 0;
@@ -179,6 +298,16 @@ pub fn run_campaign(
         }
     }
 
+    observer.on_event(&Event::CampaignFinished {
+        trials: cfg.trials,
+        sdc,
+        crash,
+        hang,
+        benign,
+        wall_ns: start.elapsed().as_nanos() as u64,
+    });
+    observer.flush();
+
     Ok(CampaignResult {
         trials: cfg.trials,
         sdc,
@@ -192,7 +321,9 @@ pub fn run_campaign(
 }
 
 pub(crate) fn effective_threads(requested: usize, work_items: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let n = if requested == 0 { hw } else { requested };
     n.clamp(1, work_items.max(1))
 }
@@ -224,7 +355,11 @@ mod tests {
     #[test]
     fn campaign_counts_sum_to_trials() {
         let m = module();
-        let cfg = CampaignConfig { trials: 200, seed: 1, ..Default::default() };
+        let cfg = CampaignConfig {
+            trials: 200,
+            seed: 1,
+            ..Default::default()
+        };
         let r = run_campaign(&m, &[16.0, 0.5], ExecLimits::default(), cfg).unwrap();
         assert_eq!(r.sdc + r.crash + r.hang + r.benign, r.trials);
         assert!(r.sdc > 0, "expected some SDCs, got {r:?}");
@@ -234,7 +369,13 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let m = module();
-        let base = CampaignConfig { trials: 120, seed: 77, hang_factor: 8, threads: 1, burst: 0 };
+        let base = CampaignConfig {
+            trials: 120,
+            seed: 77,
+            hang_factor: 8,
+            threads: 1,
+            burst: 0,
+        };
         let a = run_campaign(&m, &[12.0, 0.25], ExecLimits::default(), base).unwrap();
         let b = run_campaign(
             &m,
@@ -243,13 +384,20 @@ mod tests {
             CampaignConfig { threads: 4, ..base },
         )
         .unwrap();
-        assert_eq!((a.sdc, a.crash, a.hang, a.benign), (b.sdc, b.crash, b.hang, b.benign));
+        assert_eq!(
+            (a.sdc, a.crash, a.hang, a.benign),
+            (b.sdc, b.crash, b.hang, b.benign)
+        );
     }
 
     #[test]
     fn different_seeds_vary() {
         let m = module();
-        let mk = |seed| CampaignConfig { trials: 150, seed, ..Default::default() };
+        let mk = |seed| CampaignConfig {
+            trials: 150,
+            seed,
+            ..Default::default()
+        };
         let a = run_campaign(&m, &[16.0, 0.5], ExecLimits::default(), mk(1)).unwrap();
         let b = run_campaign(&m, &[16.0, 0.5], ExecLimits::default(), mk(2)).unwrap();
         // Same distribution, different sample: exact tie across all four
@@ -272,16 +420,165 @@ mod tests {
             &m,
             &[5.0],
             ExecLimits::default(),
-            CampaignConfig { trials: 50, ..Default::default() },
+            CampaignConfig {
+                trials: 50,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(ok.trials, 50);
     }
 
+    /// Collects every event for post-hoc assertions.
+    struct Collecting(std::sync::Mutex<Vec<Event>>);
+
+    impl Observer for Collecting {
+        fn on_event(&self, event: &Event) {
+            self.0.lock().unwrap().push(event.clone());
+        }
+    }
+
+    #[test]
+    fn observed_campaign_emits_one_event_per_trial() {
+        let m = module();
+        let cfg = CampaignConfig {
+            trials: 90,
+            seed: 3,
+            threads: 4,
+            ..Default::default()
+        };
+        let obs = Collecting(std::sync::Mutex::new(Vec::new()));
+        let r = run_campaign_observed(&m, &[16.0, 0.5], ExecLimits::default(), cfg, &obs).unwrap();
+        let events = obs.0.into_inner().unwrap();
+
+        let trials: Vec<&Event> = events
+            .iter()
+            .filter(|e| e.kind() == "trial_finished")
+            .collect();
+        assert_eq!(trials.len(), cfg.trials as usize);
+        // Every logical trial index appears exactly once, whatever the
+        // completion order was.
+        let mut seen: Vec<u32> = trials
+            .iter()
+            .map(|e| match e {
+                Event::TrialFinished { trial, .. } => *trial,
+                _ => unreachable!(),
+            })
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..cfg.trials).collect::<Vec<_>>());
+
+        // The terminal event's counts match the returned result.
+        match events.last().unwrap() {
+            Event::CampaignFinished {
+                trials,
+                sdc,
+                crash,
+                hang,
+                benign,
+                ..
+            } => {
+                assert_eq!(
+                    (*trials, *sdc, *crash, *hang, *benign),
+                    (r.trials, r.sdc, r.crash, r.hang, r.benign)
+                );
+            }
+            other => panic!("last event was {other:?}"),
+        }
+        assert_eq!(events[0].kind(), "campaign_started");
+        assert_eq!(events[1].kind(), "golden_run");
+    }
+
+    #[test]
+    fn observed_result_identical_across_thread_counts() {
+        let m = module();
+        let base = CampaignConfig {
+            trials: 96,
+            seed: 41,
+            hang_factor: 8,
+            threads: 1,
+            burst: 0,
+        };
+        let obs = Collecting(std::sync::Mutex::new(Vec::new()));
+        let a =
+            run_campaign_observed(&m, &[14.0, 0.75], ExecLimits::default(), base, &obs).unwrap();
+        let b = run_campaign_observed(
+            &m,
+            &[14.0, 0.75],
+            ExecLimits::default(),
+            CampaignConfig { threads: 4, ..base },
+            &obs,
+        )
+        .unwrap();
+        assert_eq!(
+            (a.sdc, a.crash, a.hang, a.benign),
+            (b.sdc, b.crash, b.hang, b.benign)
+        );
+        // And observation does not perturb the unobserved runner either.
+        let c = run_campaign(&m, &[14.0, 0.75], ExecLimits::default(), base).unwrap();
+        assert_eq!(
+            (a.sdc, a.crash, a.hang, a.benign),
+            (c.sdc, c.crash, c.hang, c.benign)
+        );
+    }
+
+    #[test]
+    fn metrics_outcome_counters_match_result() {
+        let m = module();
+        let cfg = CampaignConfig {
+            trials: 80,
+            seed: 9,
+            ..Default::default()
+        };
+        let reg = peppa_obs::MetricsRegistry::new();
+        let r = run_campaign_observed(&m, &[16.0, 0.5], ExecLimits::default(), cfg, &reg).unwrap();
+        assert_eq!(reg.counter_value("campaign.outcome.sdc"), r.sdc as u64);
+        assert_eq!(reg.counter_value("campaign.outcome.crash"), r.crash as u64);
+        assert_eq!(reg.counter_value("campaign.outcome.hang"), r.hang as u64);
+        assert_eq!(
+            reg.counter_value("campaign.outcome.benign"),
+            r.benign as u64
+        );
+        assert_eq!(
+            reg.counter_value("campaign.trials.finished"),
+            r.trials as u64
+        );
+    }
+
+    #[test]
+    fn journal_has_one_line_per_trial() {
+        let m = module();
+        let cfg = CampaignConfig {
+            trials: 40,
+            seed: 12,
+            threads: 2,
+            ..Default::default()
+        };
+        let path = std::env::temp_dir().join(format!(
+            "peppa-campaign-journal-{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let j = peppa_obs::JsonlJournal::create(&path).unwrap();
+            run_campaign_observed(&m, &[16.0, 0.5], ExecLimits::default(), cfg, &j).unwrap();
+        }
+        let events = peppa_obs::JsonlJournal::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let trial_lines = events
+            .iter()
+            .filter(|e| e.kind() == "trial_finished")
+            .count();
+        assert_eq!(trial_lines, cfg.trials as usize);
+    }
+
     #[test]
     fn sdc_probability_and_ci_consistent() {
         let m = module();
-        let cfg = CampaignConfig { trials: 300, seed: 5, ..Default::default() };
+        let cfg = CampaignConfig {
+            trials: 300,
+            seed: 5,
+            ..Default::default()
+        };
         let r = run_campaign(&m, &[20.0, 1.5], ExecLimits::default(), cfg).unwrap();
         let p = r.sdc_prob();
         assert!(r.sdc_ci.lo <= p && p <= r.sdc_ci.hi);

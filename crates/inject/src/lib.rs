@@ -23,7 +23,7 @@ pub mod outcome;
 pub mod per_instr;
 pub mod propagation;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use campaign::{run_campaign, run_campaign_observed, CampaignConfig, CampaignResult};
 pub use outcome::{classify, FaultOutcome};
 pub use per_instr::{per_instruction_sdc, PerInstrConfig, PerInstrResult};
 pub use propagation::{generate_corpus, trace_propagation, CorpusEntry, PropagationTrace};

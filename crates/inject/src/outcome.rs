@@ -38,25 +38,50 @@ mod tests {
     use peppa_vm::Profile;
 
     fn mk(status: RunStatus, output: Vec<u64>, ret: Option<u64>) -> RunOutput {
-        RunOutput { status, output, ret, profile: Profile::new(0), fault_activated: true, memory: None }
+        RunOutput {
+            status,
+            output,
+            ret,
+            profile: Profile::new(0),
+            fault_activated: true,
+            memory: None,
+        }
     }
 
     #[test]
     fn classification_matrix() {
         let golden = mk(RunStatus::Ok, vec![1, 2], Some(3));
-        assert_eq!(classify(&golden, &mk(RunStatus::Ok, vec![1, 2], Some(3))), FaultOutcome::Benign);
-        assert_eq!(classify(&golden, &mk(RunStatus::Ok, vec![1, 9], Some(3))), FaultOutcome::Sdc);
-        assert_eq!(classify(&golden, &mk(RunStatus::Ok, vec![1, 2], Some(4))), FaultOutcome::Sdc);
         assert_eq!(
-            classify(&golden, &mk(RunStatus::Trap(peppa_vm::Trap::DivByZero), vec![], None)),
+            classify(&golden, &mk(RunStatus::Ok, vec![1, 2], Some(3))),
+            FaultOutcome::Benign
+        );
+        assert_eq!(
+            classify(&golden, &mk(RunStatus::Ok, vec![1, 9], Some(3))),
+            FaultOutcome::Sdc
+        );
+        assert_eq!(
+            classify(&golden, &mk(RunStatus::Ok, vec![1, 2], Some(4))),
+            FaultOutcome::Sdc
+        );
+        assert_eq!(
+            classify(
+                &golden,
+                &mk(RunStatus::Trap(peppa_vm::Trap::DivByZero), vec![], None)
+            ),
             FaultOutcome::Crash
         );
-        assert_eq!(classify(&golden, &mk(RunStatus::Hang, vec![1], None)), FaultOutcome::Hang);
+        assert_eq!(
+            classify(&golden, &mk(RunStatus::Hang, vec![1], None)),
+            FaultOutcome::Hang
+        );
     }
 
     #[test]
     fn truncated_output_is_sdc() {
         let golden = mk(RunStatus::Ok, vec![1, 2], None);
-        assert_eq!(classify(&golden, &mk(RunStatus::Ok, vec![1], None)), FaultOutcome::Sdc);
+        assert_eq!(
+            classify(&golden, &mk(RunStatus::Ok, vec![1], None)),
+            FaultOutcome::Sdc
+        );
     }
 }

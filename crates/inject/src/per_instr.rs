@@ -28,7 +28,12 @@ pub struct PerInstrConfig {
 
 impl Default for PerInstrConfig {
     fn default() -> Self {
-        PerInstrConfig { trials_per_instr: 100, seed: 0xd157, hang_factor: 8, threads: 0 }
+        PerInstrConfig {
+            trials_per_instr: 100,
+            seed: 0xd157,
+            hang_factor: 8,
+            threads: 0,
+        }
     }
 }
 
@@ -48,7 +53,9 @@ impl PerInstrResult {
     /// The measured probabilities for a set of instruction ids, skipping
     /// unmeasured ones.
     pub fn probs_for(&self, sids: &[InstrId]) -> Vec<f64> {
-        sids.iter().filter_map(|s| self.sdc_prob[s.0 as usize]).collect()
+        sids.iter()
+            .filter_map(|s| self.sdc_prob[s.0 as usize])
+            .collect()
     }
 
     /// Ids of all measured instructions.
@@ -85,9 +92,7 @@ pub fn per_instruction_sdc(
     };
     let work: Vec<InstrId> = targets
         .into_iter()
-        .filter(|sid| {
-            has_result[sid.0 as usize] && golden.profile.exec_counts[sid.0 as usize] > 0
-        })
+        .filter(|sid| has_result[sid.0 as usize] && golden.profile.exec_counts[sid.0 as usize] > 0)
         .collect();
 
     let faulty_limits = ExecLimits {
@@ -108,10 +113,17 @@ pub fn per_instruction_sdc(
             );
             let instance = rng.gen_range_u64(count);
             let bit = rng.gen_range_u64(64) as u32;
-            let inj = Injection { target: InjectionTarget::StaticInstance { sid, instance }, bit, burst: 0 };
+            let inj = Injection {
+                target: InjectionTarget::StaticInstance { sid, instance },
+                bit,
+                burst: 0,
+            };
             let vm = Vm::new(module, faulty_limits);
             let faulty = vm.run_numeric(inputs, Some(inj));
-            debug_assert!(faulty.fault_activated, "instance sampled from golden must activate");
+            debug_assert!(
+                faulty.fault_activated,
+                "instance sampled from golden must activate"
+            );
             if classify(&golden, &faulty) == FaultOutcome::Sdc {
                 sdc += 1;
             }
@@ -145,7 +157,11 @@ pub fn per_instruction_sdc(
         sdc_prob[sid.0 as usize] = Some(*p);
     }
     let total_trials = work.len() as u64 * cfg.trials_per_instr as u64;
-    Ok(PerInstrResult { sdc_prob, total_trials, executions: total_trials + 1 })
+    Ok(PerInstrResult {
+        sdc_prob,
+        total_trials,
+        executions: total_trials + 1,
+    })
 }
 
 #[cfg(test)]
@@ -171,7 +187,11 @@ mod tests {
     #[test]
     fn measures_only_executed_value_instrs() {
         let m = module();
-        let cfg = PerInstrConfig { trials_per_instr: 20, seed: 3, ..Default::default() };
+        let cfg = PerInstrConfig {
+            trials_per_instr: 20,
+            seed: 3,
+            ..Default::default()
+        };
         let r = per_instruction_sdc(&m, &[10.0], ExecLimits::default(), cfg, None).unwrap();
         assert_eq!(r.sdc_prob.len(), m.num_instrs);
         let measured = r.measured_sids();
@@ -187,7 +207,11 @@ mod tests {
     #[test]
     fn subset_restricts_work() {
         let m = module();
-        let cfg = PerInstrConfig { trials_per_instr: 10, seed: 3, ..Default::default() };
+        let cfg = PerInstrConfig {
+            trials_per_instr: 10,
+            seed: 3,
+            ..Default::default()
+        };
         let all = per_instruction_sdc(&m, &[10.0], ExecLimits::default(), cfg, None).unwrap();
         let some: Vec<InstrId> = all.measured_sids().into_iter().take(2).collect();
         let r = per_instruction_sdc(&m, &[10.0], ExecLimits::default(), cfg, Some(&some)).unwrap();
@@ -198,7 +222,11 @@ mod tests {
     #[test]
     fn probabilities_in_unit_interval() {
         let m = module();
-        let cfg = PerInstrConfig { trials_per_instr: 30, seed: 9, ..Default::default() };
+        let cfg = PerInstrConfig {
+            trials_per_instr: 30,
+            seed: 9,
+            ..Default::default()
+        };
         let r = per_instruction_sdc(&m, &[8.0], ExecLimits::default(), cfg, None).unwrap();
         for p in r.sdc_prob.iter().flatten() {
             assert!((0.0..=1.0).contains(p));
@@ -208,7 +236,12 @@ mod tests {
     #[test]
     fn deterministic_across_threads() {
         let m = module();
-        let mk = |threads| PerInstrConfig { trials_per_instr: 15, seed: 4, hang_factor: 8, threads };
+        let mk = |threads| PerInstrConfig {
+            trials_per_instr: 15,
+            seed: 4,
+            hang_factor: 8,
+            threads,
+        };
         let a = per_instruction_sdc(&m, &[10.0], ExecLimits::default(), mk(1), None).unwrap();
         let b = per_instruction_sdc(&m, &[10.0], ExecLimits::default(), mk(4), None).unwrap();
         assert_eq!(a.sdc_prob, b.sdc_prob);
@@ -221,11 +254,18 @@ mod tests {
         // direct path should show a clearly higher SDC probability than
         // the most-masked instruction.
         let m = module();
-        let cfg = PerInstrConfig { trials_per_instr: 60, seed: 11, ..Default::default() };
+        let cfg = PerInstrConfig {
+            trials_per_instr: 60,
+            seed: 11,
+            ..Default::default()
+        };
         let r = per_instruction_sdc(&m, &[12.0], ExecLimits::default(), cfg, None).unwrap();
         let probs: Vec<f64> = r.sdc_prob.iter().flatten().copied().collect();
         let max = probs.iter().cloned().fold(0.0, f64::max);
         let min = probs.iter().cloned().fold(1.0, f64::min);
-        assert!(max > min, "expected heterogeneous per-instruction SDC sensitivity");
+        assert!(
+            max > min,
+            "expected heterogeneous per-instruction SDC sensitivity"
+        );
     }
 }

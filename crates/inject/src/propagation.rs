@@ -70,7 +70,10 @@ pub fn trace_propagation(
 
     for k in 1..=samples {
         let budget = total * k as u64 / samples as u64;
-        let lim = ExecLimits { max_dynamic: budget.max(1), ..limits };
+        let lim = ExecLimits {
+            max_dynamic: budget.max(1),
+            ..limits
+        };
         let vm = Vm::new(module, lim);
         let golden = vm.run_capture(&bits, None);
         let faulty = vm.run_capture(&bits, Some(injection));
@@ -78,8 +81,7 @@ pub fn trace_propagation(
         let gm = golden.memory.as_ref().expect("capture requested");
         let fm = faulty.memory.as_ref().expect("capture requested");
         let corrupted_mem_words =
-            gm.iter().zip(fm.iter()).filter(|(a, b)| a != b).count()
-                + gm.len().abs_diff(fm.len());
+            gm.iter().zip(fm.iter()).filter(|(a, b)| a != b).count() + gm.len().abs_diff(fm.len());
 
         let common = golden.output.len().min(faulty.output.len());
         let corrupted_outputs = golden.output[..common]
@@ -193,7 +195,10 @@ mod tests {
     }
 
     fn small_limits() -> ExecLimits {
-        ExecLimits { memory_words: 256, ..Default::default() }
+        ExecLimits {
+            memory_words: 256,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -201,7 +206,11 @@ mod tests {
         let m = module();
         // Flip a high bit of an early multiply: the corrupted value is
         // stored into buf and later read into the accumulator.
-        let inj = Injection { target: InjectionTarget::DynamicIndex(3), bit: 60, burst: 0 };
+        let inj = Injection {
+            target: InjectionTarget::DynamicIndex(3),
+            bit: 60,
+            burst: 0,
+        };
         let t = trace_propagation(&m, &[16.0], inj, small_limits(), 8);
         assert_eq!(t.samples.len(), 8);
         assert!(t.reached_memory(), "{t:?}");
@@ -217,7 +226,11 @@ mod tests {
         // Find a benign fault by scanning a few bits on the loop icmp.
         let mut found = None;
         for dyn_index in 0..golden.profile.value_dynamic {
-            let inj = Injection { target: InjectionTarget::DynamicIndex(dyn_index), bit: 1, burst: 0 };
+            let inj = Injection {
+                target: InjectionTarget::DynamicIndex(dyn_index),
+                bit: 1,
+                burst: 0,
+            };
             let f = vm.run_numeric(&[8.0], Some(inj));
             if f.status.is_ok() && f.output == golden.output && f.ret == golden.ret {
                 found = Some(inj);
@@ -256,7 +269,11 @@ mod tests {
         let mut found = None;
         'outer: for dyn_index in 0..golden.profile.value_dynamic {
             for bit in [40, 52] {
-                let inj = Injection { target: InjectionTarget::DynamicIndex(dyn_index), bit, burst: 0 };
+                let inj = Injection {
+                    target: InjectionTarget::DynamicIndex(dyn_index),
+                    bit,
+                    burst: 0,
+                };
                 let f = vm.run_numeric(&[10.0], Some(inj));
                 if f.status.is_ok() && f.output != golden.output {
                     found = Some(inj);

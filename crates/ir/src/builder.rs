@@ -44,7 +44,11 @@ impl ModuleBuilder {
         assert!(init.len() as u64 <= words, "initializer longer than global");
         let addr = self.next_global_addr;
         self.next_global_addr += words;
-        self.globals.push(Global { name: name.to_string(), words, init });
+        self.globals.push(Global {
+            name: name.to_string(),
+            words,
+            init,
+        });
         Operand::Const(crate::module::Const::ptr(addr))
     }
 
@@ -165,7 +169,10 @@ impl<'a> FunctionBuilder<'a> {
     /// Appends `arg` to every edge `pred -> target` in `pred`'s
     /// terminator. Panics if `pred` is unterminated or has no such edge.
     pub fn append_branch_arg(&mut self, pred: BlockId, target: BlockId, arg: Operand) {
-        assert!(self.terminated[pred.0 as usize], "pred block not terminated yet");
+        assert!(
+            self.terminated[pred.0 as usize],
+            "pred block not terminated yet"
+        );
         let term = &mut self.func.blocks[pred.0 as usize].term;
         let mut patched = false;
         match term {
@@ -174,7 +181,13 @@ impl<'a> FunctionBuilder<'a> {
                 patched = true;
             }
             Term::Br { .. } => {}
-            Term::CondBr { then_target, then_args, else_target, else_args, .. } => {
+            Term::CondBr {
+                then_target,
+                then_args,
+                else_target,
+                else_args,
+                ..
+            } => {
                 if *then_target == target {
                     then_args.push(arg);
                     patched = true;
@@ -220,21 +233,31 @@ impl<'a> FunctionBuilder<'a> {
     }
 
     fn push_value_instr(&mut self, op: Op, ty: Ty) -> Operand {
-        assert!(!self.terminated[self.cur.0 as usize], "block already terminated");
+        assert!(
+            !self.terminated[self.cur.0 as usize],
+            "block already terminated"
+        );
         let result = self.new_value(ty);
         let sid = self.mb.alloc_sid();
-        self.func.blocks[self.cur.0 as usize]
-            .instrs
-            .push(Instr { sid, op, result: Some(result) });
+        self.func.blocks[self.cur.0 as usize].instrs.push(Instr {
+            sid,
+            op,
+            result: Some(result),
+        });
         Operand::Value(result)
     }
 
     fn push_void_instr(&mut self, op: Op) {
-        assert!(!self.terminated[self.cur.0 as usize], "block already terminated");
+        assert!(
+            !self.terminated[self.cur.0 as usize],
+            "block already terminated"
+        );
         let sid = self.mb.alloc_sid();
-        self.func.blocks[self.cur.0 as usize]
-            .instrs
-            .push(Instr { sid, op, result: None });
+        self.func.blocks[self.cur.0 as usize].instrs.push(Instr {
+            sid,
+            op,
+            result: None,
+        });
     }
 
     fn operand_ty(&self, op: Operand) -> Ty {
@@ -308,11 +331,18 @@ impl<'a> FunctionBuilder<'a> {
     pub fn call(&mut self, func: FuncId, args: &[Operand]) -> Option<Operand> {
         let (_, ret) = self.mb.sig(func);
         match ret {
-            Some(ty) => {
-                Some(self.push_value_instr(Op::Call { func, args: args.to_vec() }, ty))
-            }
+            Some(ty) => Some(self.push_value_instr(
+                Op::Call {
+                    func,
+                    args: args.to_vec(),
+                },
+                ty,
+            )),
             None => {
-                self.push_void_instr(Op::Call { func, args: args.to_vec() });
+                self.push_void_instr(Op::Call {
+                    func,
+                    args: args.to_vec(),
+                });
                 None
             }
         }
@@ -341,7 +371,10 @@ impl<'a> FunctionBuilder<'a> {
     }
 
     pub fn br(&mut self, target: BlockId, args: &[Operand]) {
-        self.terminate(Term::Br { target, args: args.to_vec() });
+        self.terminate(Term::Br {
+            target,
+            args: args.to_vec(),
+        });
     }
 
     pub fn cond_br(

@@ -162,7 +162,11 @@ pub enum Op {
     /// Float compare producing `i1`.
     Fcmp { pred: FPred, a: Operand, b: Operand },
     /// `cond ? t : f`; `t` and `f` share the result type.
-    Select { cond: Operand, t: Operand, f: Operand },
+    Select {
+        cond: Operand,
+        t: Operand,
+        f: Operand,
+    },
     /// Type conversion.
     Cast { kind: CastKind, a: Operand, to: Ty },
     /// Memory read of one word, reinterpreted at type `ty`.
@@ -332,7 +336,11 @@ impl Term {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Term::Br { target, .. } => vec![*target],
-            Term::CondBr { then_target, else_target, .. } => vec![*then_target, *else_target],
+            Term::CondBr {
+                then_target,
+                else_target,
+                ..
+            } => vec![*then_target, *else_target],
             Term::Ret { .. } => vec![],
         }
     }
@@ -341,7 +349,12 @@ impl Term {
     pub fn operands(&self) -> Vec<Operand> {
         match self {
             Term::Br { args, .. } => args.clone(),
-            Term::CondBr { cond, then_args, else_args, .. } => {
+            Term::CondBr {
+                cond,
+                then_args,
+                else_args,
+                ..
+            } => {
                 let mut v = vec![*cond];
                 v.extend_from_slice(then_args);
                 v.extend_from_slice(else_args);
@@ -358,11 +371,30 @@ mod tests {
 
     #[test]
     fn boundary_classes() {
-        let icmp = Op::Icmp { pred: IPred::Eq, a: Operand::i64(0), b: Operand::i64(1) };
-        let add = Op::Bin { op: BinOp::Add, a: Operand::i64(0), b: Operand::i64(1) };
-        let xor = Op::Bin { op: BinOp::Xor, a: Operand::i64(0), b: Operand::i64(1) };
-        let cast = Op::Cast { kind: CastKind::SExt, a: Operand::i32(0), to: Ty::I64 };
-        let gep = Op::Gep { base: Operand::i64(0), index: Operand::i64(1) };
+        let icmp = Op::Icmp {
+            pred: IPred::Eq,
+            a: Operand::i64(0),
+            b: Operand::i64(1),
+        };
+        let add = Op::Bin {
+            op: BinOp::Add,
+            a: Operand::i64(0),
+            b: Operand::i64(1),
+        };
+        let xor = Op::Bin {
+            op: BinOp::Xor,
+            a: Operand::i64(0),
+            b: Operand::i64(1),
+        };
+        let cast = Op::Cast {
+            kind: CastKind::SExt,
+            a: Operand::i32(0),
+            to: Ty::I64,
+        };
+        let gep = Op::Gep {
+            base: Operand::i64(0),
+            index: Operand::i64(1),
+        };
         assert!(icmp.is_group_boundary());
         assert!(xor.is_group_boundary());
         assert!(cast.is_group_boundary());
@@ -378,13 +410,19 @@ mod tests {
             f: Operand::i64(2),
         };
         assert_eq!(sel.operands().len(), 3);
-        let st = Op::Store { addr: Operand::i64(0), value: Operand::i64(1) };
+        let st = Op::Store {
+            addr: Operand::i64(0),
+            value: Operand::i64(1),
+        };
         assert_eq!(st.operands().len(), 2);
     }
 
     #[test]
     fn term_successors() {
-        let br = Term::Br { target: BlockId(3), args: vec![] };
+        let br = Term::Br {
+            target: BlockId(3),
+            args: vec![],
+        };
         assert_eq!(br.successors(), vec![BlockId(3)]);
         let ret = Term::Ret { value: None };
         assert!(ret.successors().is_empty());
@@ -394,12 +432,32 @@ mod tests {
     fn mnemonics_distinct_for_bins() {
         let mut seen = std::collections::HashSet::new();
         for op in [
-            BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::SDiv, BinOp::SRem, BinOp::FAdd,
-            BinOp::FSub, BinOp::FMul, BinOp::FDiv, BinOp::And, BinOp::Or, BinOp::Xor,
-            BinOp::Shl, BinOp::LShr, BinOp::AShr,
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::SDiv,
+            BinOp::SRem,
+            BinOp::FAdd,
+            BinOp::FSub,
+            BinOp::FMul,
+            BinOp::FDiv,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Shl,
+            BinOp::LShr,
+            BinOp::AShr,
         ] {
-            let i = Op::Bin { op, a: Operand::i64(0), b: Operand::i64(0) };
-            assert!(seen.insert(i.mnemonic()), "duplicate mnemonic {}", i.mnemonic());
+            let i = Op::Bin {
+                op,
+                a: Operand::i64(0),
+                b: Operand::i64(0),
+            };
+            assert!(
+                seen.insert(i.mnemonic()),
+                "duplicate mnemonic {}",
+                i.mnemonic()
+            );
         }
     }
 }

@@ -28,19 +28,34 @@ pub struct Const {
 
 impl Const {
     pub fn i64(v: i64) -> Const {
-        Const { ty: Ty::I64, bits: v as u64 }
+        Const {
+            ty: Ty::I64,
+            bits: v as u64,
+        }
     }
     pub fn i32(v: i32) -> Const {
-        Const { ty: Ty::I32, bits: (v as u32) as u64 }
+        Const {
+            ty: Ty::I32,
+            bits: (v as u32) as u64,
+        }
     }
     pub fn bool(v: bool) -> Const {
-        Const { ty: Ty::I1, bits: v as u64 }
+        Const {
+            ty: Ty::I1,
+            bits: v as u64,
+        }
     }
     pub fn f64(v: f64) -> Const {
-        Const { ty: Ty::F64, bits: v.to_bits() }
+        Const {
+            ty: Ty::F64,
+            bits: v.to_bits(),
+        }
     }
     pub fn ptr(words: u64) -> Const {
-        Const { ty: Ty::Ptr, bits: words }
+        Const {
+            ty: Ty::Ptr,
+            bits: words,
+        }
     }
     /// The constant's value interpreted as f64 (only valid for `F64`).
     pub fn as_f64(self) -> f64 {
@@ -221,8 +236,16 @@ mod tests {
             name: "t".into(),
             functions: vec![],
             globals: vec![
-                Global { name: "a".into(), words: 4, init: vec![] },
-                Global { name: "b".into(), words: 2, init: vec![] },
+                Global {
+                    name: "a".into(),
+                    words: 4,
+                    init: vec![],
+                },
+                Global {
+                    name: "b".into(),
+                    words: 2,
+                    init: vec![],
+                },
             ],
             entry: FuncId(0),
             num_instrs: 0,

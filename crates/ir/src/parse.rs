@@ -26,7 +26,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Parses a module from the printer's text format. The result is
@@ -34,8 +37,10 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
 pub fn parse_module(text: &str) -> Result<Module, ParseError> {
     let mut p = Parser::new(text);
     let module = p.module()?;
-    crate::verify::verify(&module)
-        .map_err(|e| ParseError { line: 0, message: format!("verification failed: {e}") })?;
+    crate::verify::verify(&module).map_err(|e| ParseError {
+        line: 0,
+        message: format!("verification failed: {e}"),
+    })?;
     Ok(module)
 }
 
@@ -100,18 +105,27 @@ impl<'a> Parser<'a> {
 
         while let Some((ln, l)) = self.peek() {
             if let Some(rest) = l.strip_prefix("; module ") {
-                name = rest.split_whitespace().next().unwrap_or("parsed").to_string();
+                name = rest
+                    .split_whitespace()
+                    .next()
+                    .unwrap_or("parsed")
+                    .to_string();
                 self.pos += 1;
             } else if let Some(rest) = l.strip_prefix("global @") {
                 // global @name[words]
-                let (gname, size) = rest
-                    .split_once('[')
-                    .ok_or_else(|| ParseError { line: ln, message: "bad global".into() })?;
-                let words: u64 = size
-                    .trim_end_matches(']')
-                    .parse()
-                    .map_err(|_| ParseError { line: ln, message: "bad global size".into() })?;
-                globals.push(Global { name: gname.to_string(), words, init: Vec::new() });
+                let (gname, size) = rest.split_once('[').ok_or_else(|| ParseError {
+                    line: ln,
+                    message: "bad global".into(),
+                })?;
+                let words: u64 = size.trim_end_matches(']').parse().map_err(|_| ParseError {
+                    line: ln,
+                    message: "bad global size".into(),
+                })?;
+                globals.push(Global {
+                    name: gname.to_string(),
+                    words,
+                    init: Vec::new(),
+                });
                 self.pos += 1;
             } else if l.starts_with("fn @") {
                 let (func, is_entry) = self.function(&func_names)?;
@@ -139,7 +153,13 @@ impl<'a> Parser<'a> {
         if functions.is_empty() {
             return err(0, "no functions");
         }
-        Ok(Module { name, functions, globals, entry, num_instrs })
+        Ok(Module {
+            name,
+            functions,
+            globals,
+            entry,
+            num_instrs,
+        })
     }
 
     fn function(
@@ -149,17 +169,23 @@ impl<'a> Parser<'a> {
         let (ln, header) = self.next().expect("caller checked");
         // fn @name(%0: ty, ...) [-> ty] {
         let rest = header.strip_prefix("fn @").unwrap();
-        let open = rest.find('(').ok_or_else(|| ParseError { line: ln, message: "no (".into() })?;
+        let open = rest.find('(').ok_or_else(|| ParseError {
+            line: ln,
+            message: "no (".into(),
+        })?;
         let name = rest[..open].to_string();
-        let close =
-            rest.find(')').ok_or_else(|| ParseError { line: ln, message: "no )".into() })?;
+        let close = rest.find(')').ok_or_else(|| ParseError {
+            line: ln,
+            message: "no )".into(),
+        })?;
         let params_text = &rest[open + 1..close];
         let mut params = Vec::new();
         if !params_text.trim().is_empty() {
             for part in params_text.split(',') {
-                let (_, ty) = part
-                    .split_once(':')
-                    .ok_or_else(|| ParseError { line: ln, message: "bad param".into() })?;
+                let (_, ty) = part.split_once(':').ok_or_else(|| ParseError {
+                    line: ln,
+                    message: "bad param".into(),
+                })?;
                 params.push(parse_ty(ty.trim(), ln)?);
             }
         }
@@ -228,9 +254,10 @@ impl<'a> Parser<'a> {
                     let inner = &body[open + 1..body.len() - 1];
                     let mut ps = Vec::new();
                     for part in inner.split(',') {
-                        let (v, ty) = part
-                            .split_once(':')
-                            .ok_or_else(|| ParseError { line: ln, message: "bad block param".into() })?;
+                        let (v, ty) = part.split_once(':').ok_or_else(|| ParseError {
+                            line: ln,
+                            message: "bad block param".into(),
+                        })?;
                         let vid = parse_value(v.trim(), ln)?;
                         let ty = parse_ty(ty.trim(), ln)?;
                         ensure_value(&mut value_types, &mut known, vid.0, ty, ln)?;
@@ -240,16 +267,25 @@ impl<'a> Parser<'a> {
                 } else {
                     Vec::new()
                 };
-                cur = Some(Block { params, instrs: Vec::new(), term: Term::Ret { value: None } });
+                cur = Some(Block {
+                    params,
+                    instrs: Vec::new(),
+                    term: Term::Ret { value: None },
+                });
                 continue;
             }
 
-            let block = cur
-                .as_mut()
-                .ok_or_else(|| ParseError { line: ln, message: "instruction outside block".into() })?;
+            let block = cur.as_mut().ok_or_else(|| ParseError {
+                line: ln,
+                message: "instruction outside block".into(),
+            })?;
 
             // Terminators.
-            if l.starts_with("br ") || l.starts_with("condbr ") || l == "ret" || l.starts_with("ret ") {
+            if l.starts_with("br ")
+                || l.starts_with("condbr ")
+                || l == "ret"
+                || l.starts_with("ret ")
+            {
                 block.term = parse_term(l, ln, &value_types)?;
                 continue;
             }
@@ -258,11 +294,10 @@ impl<'a> Parser<'a> {
             let (body, sid) = match l.rsplit_once("; sid ") {
                 Some((b, s)) => (
                     b.trim(),
-                    InstrId(
-                        s.trim()
-                            .parse()
-                            .map_err(|_| ParseError { line: ln, message: "bad sid".into() })?,
-                    ),
+                    InstrId(s.trim().parse().map_err(|_| ParseError {
+                        line: ln,
+                        message: "bad sid".into(),
+                    })?),
                 ),
                 None => return err(ln, format!("instruction missing sid: {l}")),
             };
@@ -277,7 +312,16 @@ impl<'a> Parser<'a> {
             block.instrs.push(Instr { sid, op, result });
         }
 
-        Ok((Function { name, params, ret, blocks, value_types }, is_entry))
+        Ok((
+            Function {
+                name,
+                params,
+                ret,
+                blocks,
+                value_types,
+            },
+            is_entry,
+        ))
     }
 }
 
@@ -296,7 +340,10 @@ fn parse_value(s: &str, line: usize) -> Result<ValueId, ParseError> {
     s.strip_prefix('%')
         .and_then(|n| n.parse().ok())
         .map(ValueId)
-        .ok_or_else(|| ParseError { line, message: format!("bad value `{s}`") })
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("bad value `{s}`"),
+        })
 }
 
 /// Parses an operand. Constants carry their type syntactically
@@ -320,16 +367,23 @@ fn parse_operand(
         return Ok(Operand::bool(false));
     }
     if let Some(p) = s.strip_prefix("ptr:") {
-        let bits: u64 =
-            p.parse().map_err(|_| ParseError { line, message: format!("bad ptr `{s}`") })?;
+        let bits: u64 = p.parse().map_err(|_| ParseError {
+            line,
+            message: format!("bad ptr `{s}`"),
+        })?;
         return Ok(Operand::Const(Const::ptr(bits)));
     }
     if s.contains('.') || s.contains("inf") || s.contains("NaN") || s.contains('e') {
-        let v: f64 =
-            s.parse().map_err(|_| ParseError { line, message: format!("bad float `{s}`") })?;
+        let v: f64 = s.parse().map_err(|_| ParseError {
+            line,
+            message: format!("bad float `{s}`"),
+        })?;
         return Ok(Operand::f64(v));
     }
-    let v: i64 = s.parse().map_err(|_| ParseError { line, message: format!("bad int `{s}`") })?;
+    let v: i64 = s.parse().map_err(|_| ParseError {
+        line,
+        message: format!("bad int `{s}`"),
+    })?;
     match expect {
         Some(Ty::I32) => Ok(Operand::i32(v as i32)),
         Some(Ty::F64) => Ok(Operand::f64(v as f64)),
@@ -351,7 +405,10 @@ fn operand_ty(o: &Operand, value_types: &[Ty]) -> Ty {
 fn split2(s: &str, line: usize) -> Result<(&str, &str), ParseError> {
     s.split_once(',')
         .map(|(a, b)| (a.trim(), b.trim()))
-        .ok_or_else(|| ParseError { line, message: format!("expected two operands in `{s}`") })
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("expected two operands in `{s}`"),
+        })
 }
 
 fn parse_op(
@@ -409,9 +466,10 @@ fn parse_op(
             Ok((Op::Un { op, a }, Some(ty)))
         }
         "icmp" | "fcmp" => {
-            let (pred, ops) = rest
-                .split_once(' ')
-                .ok_or_else(|| ParseError { line, message: "cmp missing predicate".into() })?;
+            let (pred, ops) = rest.split_once(' ').ok_or_else(|| ParseError {
+                line,
+                message: "cmp missing predicate".into(),
+            })?;
             let (a, b) = split2(ops, line)?;
             if mn == "icmp" {
                 let pred = match pred {
@@ -446,20 +504,29 @@ fn parse_op(
         "select" => {
             let mut parts = rest.splitn(3, ',').map(str::trim);
             let cond = parse_operand(
-                parts.next().ok_or_else(|| ParseError { line, message: "select cond".into() })?,
+                parts.next().ok_or_else(|| ParseError {
+                    line,
+                    message: "select cond".into(),
+                })?,
                 line,
                 value_types,
                 Some(Ty::I1),
             )?;
             let t = parse_operand(
-                parts.next().ok_or_else(|| ParseError { line, message: "select t".into() })?,
+                parts.next().ok_or_else(|| ParseError {
+                    line,
+                    message: "select t".into(),
+                })?,
                 line,
                 value_types,
                 None,
             )?;
             let tt = operand_ty(&t, value_types);
             let f = parse_operand(
-                parts.next().ok_or_else(|| ParseError { line, message: "select f".into() })?,
+                parts.next().ok_or_else(|| ParseError {
+                    line,
+                    message: "select f".into(),
+                })?,
                 line,
                 value_types,
                 Some(tt),
@@ -468,9 +535,10 @@ fn parse_op(
         }
         "trunc" | "zext" | "sext" | "fptosi" | "sitofp" | "bitcast" | "ptrtoint" | "inttoptr" => {
             // `<mn> <operand> to <ty>`
-            let (a, to) = rest
-                .rsplit_once(" to ")
-                .ok_or_else(|| ParseError { line, message: "cast missing `to`".into() })?;
+            let (a, to) = rest.rsplit_once(" to ").ok_or_else(|| ParseError {
+                line,
+                message: "cast missing `to`".into(),
+            })?;
             let to = parse_ty(to.trim(), line)?;
             let kind = match mn {
                 "trunc" => CastKind::Trunc,
@@ -511,18 +579,25 @@ fn parse_op(
         }
         "call" => {
             // call @name(args)
-            let rest = rest
-                .strip_prefix('@')
-                .ok_or_else(|| ParseError { line, message: "call missing @".into() })?;
-            let open =
-                rest.find('(').ok_or_else(|| ParseError { line, message: "call missing (".into() })?;
+            let rest = rest.strip_prefix('@').ok_or_else(|| ParseError {
+                line,
+                message: "call missing @".into(),
+            })?;
+            let open = rest.find('(').ok_or_else(|| ParseError {
+                line,
+                message: "call missing (".into(),
+            })?;
             let fname = &rest[..open];
             let inner = rest[open + 1..]
                 .strip_suffix(')')
-                .ok_or_else(|| ParseError { line, message: "call missing )".into() })?;
-            let (func, ret) = *func_names
-                .get(fname)
-                .ok_or_else(|| ParseError { line, message: format!("unknown fn @{fname}") })?;
+                .ok_or_else(|| ParseError {
+                    line,
+                    message: "call missing )".into(),
+                })?;
+            let (func, ret) = *func_names.get(fname).ok_or_else(|| ParseError {
+                line,
+                message: format!("unknown fn @{fname}"),
+            })?;
             let mut args = Vec::new();
             if !inner.trim().is_empty() {
                 for part in inner.split(',') {
@@ -549,20 +624,28 @@ fn coerce_f64(o: Operand) -> Operand {
 fn parse_term(l: &str, line: usize, value_types: &[Ty]) -> Result<Term, ParseError> {
     if let Some(rest) = l.strip_prefix("condbr ") {
         // condbr cond, bbT(args), bbE(args)
-        let (cond, rest) = rest
-            .split_once(',')
-            .ok_or_else(|| ParseError { line, message: "condbr missing cond".into() })?;
+        let (cond, rest) = rest.split_once(',').ok_or_else(|| ParseError {
+            line,
+            message: "condbr missing cond".into(),
+        })?;
         let cond = parse_operand(cond.trim(), line, value_types, Some(Ty::I1))?;
         let rest = rest.trim();
         // Split the two edges at the comma following the first ')'.
-        let close = rest
-            .find(')')
-            .ok_or_else(|| ParseError { line, message: "condbr missing )".into() })?;
+        let close = rest.find(')').ok_or_else(|| ParseError {
+            line,
+            message: "condbr missing )".into(),
+        })?;
         let (then_part, else_part) = rest.split_at(close + 1);
         let else_part = else_part.trim_start_matches(',').trim();
         let (then_target, then_args) = parse_edge(then_part.trim(), line, value_types)?;
         let (else_target, else_args) = parse_edge(else_part, line, value_types)?;
-        return Ok(Term::CondBr { cond, then_target, then_args, else_target, else_args });
+        return Ok(Term::CondBr {
+            cond,
+            then_target,
+            then_args,
+            else_target,
+            else_args,
+        });
     }
     if let Some(rest) = l.strip_prefix("br ") {
         let (target, args) = parse_edge(rest.trim(), line, value_types)?;
@@ -588,18 +671,20 @@ fn parse_edge(
     let (bb, args_text) = match s.find('(') {
         Some(open) => (
             &s[..open],
-            Some(
-                s[open + 1..]
-                    .strip_suffix(')')
-                    .ok_or_else(|| ParseError { line, message: "edge missing )".into() })?,
-            ),
+            Some(s[open + 1..].strip_suffix(')').ok_or_else(|| ParseError {
+                line,
+                message: "edge missing )".into(),
+            })?),
         ),
         None => (s, None),
     };
     let id: u32 = bb
         .strip_prefix("bb")
         .and_then(|n| n.parse().ok())
-        .ok_or_else(|| ParseError { line, message: format!("bad block ref `{bb}`") })?;
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("bad block ref `{bb}`"),
+        })?;
     let mut args = Vec::new();
     if let Some(t) = args_text {
         if !t.trim().is_empty() {

@@ -88,7 +88,13 @@ pub fn print_function(m: &Module, f: &Function) -> String {
                         Op::Fcmp { pred, .. } => format!(" {}", fmt_fpred(*pred)),
                         _ => String::new(),
                     };
-                    format!("{}{} {}, {}", ins.op.mnemonic(), pred, fmt_operand(a), fmt_operand(b))
+                    format!(
+                        "{}{} {}, {}",
+                        ins.op.mnemonic(),
+                        pred,
+                        fmt_operand(a),
+                        fmt_operand(b)
+                    )
                 }
                 Op::Un { a, .. } => format!("{} {}", ins.op.mnemonic(), fmt_operand(a)),
                 Op::Select { cond, t, f } => format!(
@@ -123,7 +129,13 @@ pub fn print_function(m: &Module, f: &Function) -> String {
                     format!("br bb{}({})", target.0, fmt_args(args))
                 }
             }
-            Term::CondBr { cond, then_target, then_args, else_target, else_args } => format!(
+            Term::CondBr {
+                cond,
+                then_target,
+                then_args,
+                else_target,
+                else_args,
+            } => format!(
                 "condbr {}, bb{}({}), bb{}({})",
                 fmt_operand(cond),
                 then_target.0,
@@ -142,12 +154,20 @@ pub fn print_function(m: &Module, f: &Function) -> String {
 
 impl std::fmt::Display for Module {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "; module {} ({} static instructions)", self.name, self.num_instrs)?;
+        writeln!(
+            f,
+            "; module {} ({} static instructions)",
+            self.name, self.num_instrs
+        )?;
         for g in &self.globals {
             writeln!(f, "global @{}[{}]", g.name, g.words)?;
         }
         for (i, func) in self.functions.iter().enumerate() {
-            let marker = if crate::module::FuncId(i as u32) == self.entry { " ; entry" } else { "" };
+            let marker = if crate::module::FuncId(i as u32) == self.entry {
+                " ; entry"
+            } else {
+                ""
+            };
             write!(f, "{}{}", print_function(self, func), marker)?;
             writeln!(f)?;
         }

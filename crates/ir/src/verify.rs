@@ -52,13 +52,21 @@ pub fn verify(m: &Module) -> Result<(), VerifyError> {
         }
     }
     if sids.len() != m.num_instrs {
-        return Err(err("<module>", None, "num_instrs does not match instruction count"));
+        return Err(err(
+            "<module>",
+            None,
+            "num_instrs does not match instruction count",
+        ));
     }
     Ok(())
 }
 
 fn err(func: &str, block: Option<BlockId>, msg: impl Into<String>) -> VerifyError {
-    VerifyError { function: func.to_string(), block: block.map(|b| b.0), message: msg.into() }
+    VerifyError {
+        function: func.to_string(),
+        block: block.map(|b| b.0),
+        message: msg.into(),
+    }
 }
 
 fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
@@ -66,7 +74,11 @@ fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
         return Err(err(&f.name, None, "function has no blocks"));
     }
     if !f.blocks[0].params.is_empty() {
-        return Err(err(&f.name, Some(BlockId(0)), "entry block must have no parameters"));
+        return Err(err(
+            &f.name,
+            Some(BlockId(0)),
+            "entry block must have no parameters",
+        ));
     }
 
     // Single assignment: every value defined at most once.
@@ -77,7 +89,11 @@ fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
         for &p in &b.params {
             let slot = &mut defined_by[p.0 as usize];
             if *slot {
-                return Err(err(&f.name, Some(BlockId(bi as u32)), "value defined twice (param)"));
+                return Err(err(
+                    &f.name,
+                    Some(BlockId(bi as u32)),
+                    "value defined twice (param)",
+                ));
             }
             *slot = true;
         }
@@ -85,7 +101,11 @@ fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
             if let Some(r) = ins.result {
                 let slot = &mut defined_by[r.0 as usize];
                 if *slot {
-                    return Err(err(&f.name, Some(BlockId(bi as u32)), "value defined twice"));
+                    return Err(err(
+                        &f.name,
+                        Some(BlockId(bi as u32)),
+                        "value defined twice",
+                    ));
                 }
                 *slot = true;
             }
@@ -122,7 +142,11 @@ fn expect_ty(
 ) -> Result<(), VerifyError> {
     let got = ty_of(f, o);
     if got != want {
-        return Err(err(&f.name, Some(b), format!("{what}: expected {want}, got {got}")));
+        return Err(err(
+            &f.name,
+            Some(b),
+            format!("{what}: expected {want}, got {got}"),
+        ));
     }
     Ok(())
 }
@@ -147,7 +171,11 @@ fn check_instr_types(
             let ta = ty_of(f, a);
             let tb = ty_of(f, rhs);
             if ta != tb {
-                return Err(err(&f.name, Some(b), format!("bin operands differ: {ta} vs {tb}")));
+                return Err(err(
+                    &f.name,
+                    Some(b),
+                    format!("bin operands differ: {ta} vs {tb}"),
+                ));
             }
             if op.is_float() && !ta.is_float() {
                 return Err(err(&f.name, Some(b), "float opcode on integer operands"));
@@ -184,7 +212,11 @@ fn check_instr_types(
             let ta = ty_of(f, a);
             let tb = ty_of(f, rhs);
             if ta != tb || !ta.is_int() {
-                return Err(err(&f.name, Some(b), "icmp requires matching integer operands"));
+                return Err(err(
+                    &f.name,
+                    Some(b),
+                    "icmp requires matching integer operands",
+                ));
             }
             if result_ty != Some(Ty::I1) {
                 return Err(err(&f.name, Some(b), "icmp must produce i1"));
@@ -220,7 +252,11 @@ fn check_instr_types(
                 CastKind::IntToPtr => from == Ty::I64 && *to == Ty::Ptr,
             };
             if !ok {
-                return Err(err(&f.name, Some(b), format!("invalid cast {from} -> {to}")));
+                return Err(err(
+                    &f.name,
+                    Some(b),
+                    format!("invalid cast {from} -> {to}"),
+                ));
             }
             if result_ty != Some(*to) {
                 return Err(err(&f.name, Some(b), "cast result type mismatch"));
@@ -297,10 +333,15 @@ fn check_term_types(f: &Function, bid: BlockId, term: &Term) -> Result<(), Verif
             }
             check_args(*target, args)
         }
-        Term::CondBr { cond, then_target, then_args, else_target, else_args } => {
+        Term::CondBr {
+            cond,
+            then_target,
+            then_args,
+            else_target,
+            else_args,
+        } => {
             expect_ty(f, bid, cond, Ty::I1, "condbr condition")?;
-            if then_target.0 as usize >= f.blocks.len()
-                || else_target.0 as usize >= f.blocks.len()
+            if then_target.0 as usize >= f.blocks.len() || else_target.0 as usize >= f.blocks.len()
             {
                 return Err(err(&f.name, Some(bid), "condbr target out of range"));
             }
@@ -352,7 +393,10 @@ fn check_defined_before_use(f: &Function) -> Result<(), VerifyError> {
                 let si = succ.0 as usize;
                 let mut any = false;
                 for v in 0..nv {
-                    if in_defined[si][v] && !out[v] && !f.blocks[si].params.contains(&ValueId(v as u32)) {
+                    if in_defined[si][v]
+                        && !out[v]
+                        && !f.blocks[si].params.contains(&ValueId(v as u32))
+                    {
                         in_defined[si][v] = false;
                         any = true;
                     }

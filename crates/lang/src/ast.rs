@@ -50,10 +50,23 @@ pub enum ExprKind {
     IntLit(i64),
     FloatLit(f64),
     Var(String),
-    Index { array: String, index: Box<Expr> },
-    Unary { op: UnaryOp, expr: Box<Expr> },
-    Binary { op: BinaryOp, lhs: Box<Expr>, rhs: Box<Expr> },
-    Call { name: String, args: Vec<Expr> },
+    Index {
+        array: String,
+        index: Box<Expr>,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        op: BinaryOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
 }
 
 /// A statement with its source line.
@@ -66,17 +79,45 @@ pub struct Stmt {
 #[derive(Debug, Clone, PartialEq)]
 pub enum StmtKind {
     /// `let x = e;` or `let x: int = e;`
-    Let { name: String, ty: Option<Type>, init: Expr },
+    Let {
+        name: String,
+        ty: Option<Type>,
+        init: Expr,
+    },
     /// `x = e;`
-    Assign { name: String, value: Expr },
+    Assign {
+        name: String,
+        value: Expr,
+    },
     /// `a[i] = e;`
-    StoreIndex { array: String, index: Expr, value: Expr },
+    StoreIndex {
+        array: String,
+        index: Expr,
+        value: Expr,
+    },
     /// `var float buf[n];` — stack array, size evaluated at runtime.
-    LocalArray { name: String, elem: Type, size: Expr },
-    If { cond: Expr, then_blk: Vec<Stmt>, else_blk: Option<Vec<Stmt>> },
-    While { cond: Expr, body: Vec<Stmt> },
+    LocalArray {
+        name: String,
+        elem: Type,
+        size: Expr,
+    },
+    If {
+        cond: Expr,
+        then_blk: Vec<Stmt>,
+        else_blk: Option<Vec<Stmt>>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
     /// `for (i = init; cond; i = step) body` — `i` is implicitly declared.
-    For { var: String, init: Expr, cond: Expr, step: Expr, body: Vec<Stmt> },
+    For {
+        var: String,
+        init: Expr,
+        cond: Expr,
+        step: Expr,
+        body: Vec<Stmt>,
+    },
     Return(Option<Expr>),
     Output(Expr),
     Break,

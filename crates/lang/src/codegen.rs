@@ -74,7 +74,13 @@ pub fn compile_program(prog: &Program, module_name: &str) -> Result<Module, Comp
             return Err(err(g.line, format!("duplicate global `{}`", g.name)));
         }
         let base = mb.global(&g.name, g.size);
-        globals.insert(g.name.clone(), Binding::Array { base, elem: ly_of(g.elem) });
+        globals.insert(
+            g.name.clone(),
+            Binding::Array {
+                base,
+                elem: ly_of(g.elem),
+            },
+        );
     }
 
     let mut sigs: HashMap<String, (FuncId, Vec<Ly>, Option<Ly>)> = HashMap::new();
@@ -86,7 +92,11 @@ pub fn compile_program(prog: &Program, module_name: &str) -> Result<Module, Comp
         let id = mb.declare(&f.name, &ptys, f.ret.map(|t| ly_of(t).ir()));
         sigs.insert(
             f.name.clone(),
-            (id, f.params.iter().map(|(_, t)| ly_of(*t)).collect(), f.ret.map(ly_of)),
+            (
+                id,
+                f.params.iter().map(|(_, t)| ly_of(*t)).collect(),
+                f.ret.map(ly_of),
+            ),
         );
     }
 
@@ -257,7 +267,10 @@ impl<'a, 'p> Cg<'a, 'p> {
     fn declare_scalar(&mut self, name: &str, ty: Ly, line: u32) -> Result<usize, CompileError> {
         let scope = self.scopes.last_mut().expect("scope stack empty");
         if scope.contains_key(name) {
-            return Err(err(line, format!("`{name}` already declared in this scope")));
+            return Err(err(
+                line,
+                format!("`{name}` already declared in this scope"),
+            ));
         }
         let var = self.vars.len();
         self.vars.push(ty);
@@ -274,7 +287,10 @@ impl<'a, 'p> Cg<'a, 'p> {
     ) -> Result<(), CompileError> {
         let scope = self.scopes.last_mut().expect("scope stack empty");
         if scope.contains_key(name) {
-            return Err(err(line, format!("`{name}` already declared in this scope")));
+            return Err(err(
+                line,
+                format!("`{name}` already declared in this scope"),
+            ));
         }
         scope.insert(name.to_string(), Binding::Array { base, elem });
         Ok(())
@@ -302,7 +318,10 @@ impl<'a, 'p> Cg<'a, 'p> {
                 Some(_) => {
                     return Err(err(
                         self.func.line,
-                        format!("function `{}` may finish without returning a value", self.func.name),
+                        format!(
+                            "function `{}` may finish without returning a value",
+                            self.func.name
+                        ),
                     ))
                 }
             }
@@ -343,8 +362,11 @@ impl<'a, 'p> Cg<'a, 'p> {
                     if ly_of(*want) != v.ty {
                         return Err(err(
                             s.line,
-                            format!("`{name}` declared {} but initialized with {}",
-                                ly_of(*want).name(), v.ty.name()),
+                            format!(
+                                "`{name}` declared {} but initialized with {}",
+                                ly_of(*want).name(),
+                                v.ty.name()
+                            ),
                         ));
                     }
                 }
@@ -358,8 +380,11 @@ impl<'a, 'p> Cg<'a, 'p> {
                         if self.vars[var] != v.ty {
                             return Err(err(
                                 s.line,
-                                format!("assigning {} to {} variable `{name}`",
-                                    v.ty.name(), self.vars[var].name()),
+                                format!(
+                                    "assigning {} to {} variable `{name}`",
+                                    v.ty.name(),
+                                    self.vars[var].name()
+                                ),
                             ));
                         }
                         self.write_var(var, v.op);
@@ -369,7 +394,11 @@ impl<'a, 'p> Cg<'a, 'p> {
                     }
                 }
             }
-            StmtKind::StoreIndex { array, index, value } => {
+            StmtKind::StoreIndex {
+                array,
+                index,
+                value,
+            } => {
                 let (base, elem) = match self.lookup(array, s.line)? {
                     Binding::Array { base, elem } => (base, elem),
                     Binding::Scalar(_) => {
@@ -384,7 +413,11 @@ impl<'a, 'p> Cg<'a, 'p> {
                 if v.ty != elem {
                     return Err(err(
                         s.line,
-                        format!("storing {} into {} array `{array}`", v.ty.name(), elem.name()),
+                        format!(
+                            "storing {} into {} array `{array}`",
+                            v.ty.name(),
+                            elem.name()
+                        ),
                     ));
                 }
                 let addr = self.fb.gep(base, idx.op);
@@ -398,11 +431,19 @@ impl<'a, 'p> Cg<'a, 'p> {
                 let base = self.fb.alloca(n.op);
                 self.declare_array(name, base, ly_of(*elem), s.line)?;
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let c = self.gen_bool(cond)?;
                 let then_b = self.mk_block();
                 let merge = self.mk_block();
-                let else_b = if else_blk.is_some() { self.mk_block() } else { merge };
+                let else_b = if else_blk.is_some() {
+                    self.mk_block()
+                } else {
+                    merge
+                };
                 self.cond_goto(c, then_b, else_b);
                 self.seal(then_b);
                 if else_blk.is_some() {
@@ -451,7 +492,13 @@ impl<'a, 'p> Cg<'a, 'p> {
                 self.fb.switch_to(exit);
                 self.reachable = true;
             }
-            StmtKind::For { var, init, cond, step, body } => {
+            StmtKind::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 let iv = self.gen_expr(init)?;
                 if iv.ty == Ly::Bool {
@@ -502,7 +549,11 @@ impl<'a, 'p> Cg<'a, 'p> {
                         if v.ty != want {
                             return Err(err(
                                 s.line,
-                                format!("returning {} from a {} function", v.ty.name(), want.name()),
+                                format!(
+                                    "returning {} from a {} function",
+                                    v.ty.name(),
+                                    want.name()
+                                ),
                             ));
                         }
                         self.fb.ret(Some(v.op));
@@ -511,9 +562,7 @@ impl<'a, 'p> Cg<'a, 'p> {
                     (Some(_), None) => {
                         return Err(err(s.line, "returning a value from a void function".into()))
                     }
-                    (None, Some(_)) => {
-                        return Err(err(s.line, "missing return value".into()))
-                    }
+                    (None, Some(_)) => return Err(err(s.line, "missing return value".into())),
                 }
                 self.reachable = false;
             }
@@ -525,8 +574,10 @@ impl<'a, 'p> Cg<'a, 'p> {
                 self.fb.output(v.op);
             }
             StmtKind::Break => {
-                let (_, exit) =
-                    *self.loops.last().ok_or_else(|| err(s.line, "`break` outside loop".into()))?;
+                let (_, exit) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| err(s.line, "`break` outside loop".into()))?;
                 self.goto(exit);
                 self.reachable = false;
             }
@@ -555,19 +606,31 @@ impl<'a, 'p> Cg<'a, 'p> {
     fn gen_bool(&mut self, e: &Expr) -> Result<Operand, CompileError> {
         let v = self.gen_expr(e)?;
         if v.ty != Ly::Bool {
-            return Err(err(e.line, format!("condition must be bool, found {}", v.ty.name())));
+            return Err(err(
+                e.line,
+                format!("condition must be bool, found {}", v.ty.name()),
+            ));
         }
         Ok(v.op)
     }
 
     fn gen_expr(&mut self, e: &Expr) -> Result<Val, CompileError> {
         match &e.kind {
-            ExprKind::IntLit(v) => Ok(Val { op: Operand::i64(*v), ty: Ly::Int }),
-            ExprKind::FloatLit(v) => Ok(Val { op: Operand::f64(*v), ty: Ly::Float }),
+            ExprKind::IntLit(v) => Ok(Val {
+                op: Operand::i64(*v),
+                ty: Ly::Int,
+            }),
+            ExprKind::FloatLit(v) => Ok(Val {
+                op: Operand::f64(*v),
+                ty: Ly::Float,
+            }),
             ExprKind::Var(name) => match self.lookup(name, e.line)? {
                 Binding::Scalar(var) => {
                     let cur = self.cur();
-                    Ok(Val { op: self.read_var(var, cur), ty: self.vars[var] })
+                    Ok(Val {
+                        op: self.read_var(var, cur),
+                        ty: self.vars[var],
+                    })
                 }
                 Binding::Array { .. } => {
                     Err(err(e.line, format!("array `{name}` used as a scalar")))
@@ -585,23 +648,33 @@ impl<'a, 'p> Cg<'a, 'p> {
                     return Err(err(e.line, "array index must be int".into()));
                 }
                 let addr = self.fb.gep(base, idx.op);
-                Ok(Val { op: self.fb.load(addr, elem.ir()), ty: elem })
+                Ok(Val {
+                    op: self.fb.load(addr, elem.ir()),
+                    ty: elem,
+                })
             }
             ExprKind::Unary { op, expr } => {
                 let v = self.gen_expr(expr)?;
                 match op {
                     UnaryOp::Neg => match v.ty {
-                        Ly::Int => {
-                            Ok(Val { op: self.fb.sub(Operand::i64(0), v.op), ty: Ly::Int })
-                        }
-                        Ly::Float => Ok(Val { op: self.fb.un(UnOp::FNeg, v.op), ty: Ly::Float }),
+                        Ly::Int => Ok(Val {
+                            op: self.fb.sub(Operand::i64(0), v.op),
+                            ty: Ly::Int,
+                        }),
+                        Ly::Float => Ok(Val {
+                            op: self.fb.un(UnOp::FNeg, v.op),
+                            ty: Ly::Float,
+                        }),
                         Ly::Bool => Err(err(e.line, "cannot negate a bool".into())),
                     },
                     UnaryOp::Not => {
                         if v.ty != Ly::Bool {
                             return Err(err(e.line, "`!` needs a bool".into()));
                         }
-                        Ok(Val { op: self.fb.un(UnOp::Not, v.op), ty: Ly::Bool })
+                        Ok(Val {
+                            op: self.fb.un(UnOp::Not, v.op),
+                            ty: Ly::Bool,
+                        })
                     }
                 }
             }
@@ -623,7 +696,11 @@ impl<'a, 'p> Cg<'a, 'p> {
             if l.ty != r.ty {
                 return Err(err(
                     line,
-                    format!("operand types differ: {} vs {} (use i2f/f2i)", l.ty.name(), r.ty.name()),
+                    format!(
+                        "operand types differ: {} vs {} (use i2f/f2i)",
+                        l.ty.name(),
+                        r.ty.name()
+                    ),
                 ));
             }
             Ok(l.ty)
@@ -642,11 +719,17 @@ impl<'a, 'p> Cg<'a, 'p> {
                     (Div, Ly::Float) => BinOp::FDiv,
                     _ => return Err(err(line, "arithmetic on bool".into())),
                 };
-                Ok(Val { op: self.fb.bin(ir, l.op, r.op), ty })
+                Ok(Val {
+                    op: self.fb.bin(ir, l.op, r.op),
+                    ty,
+                })
             }
             Rem | BitAnd | BitOr | BitXor | Shl | Shr => {
                 if l.ty != Ly::Int || r.ty != Ly::Int {
-                    return Err(err(line, "bitwise/modulo operators need int operands".into()));
+                    return Err(err(
+                        line,
+                        "bitwise/modulo operators need int operands".into(),
+                    ));
                 }
                 let ir = match op {
                     Rem => BinOp::SRem,
@@ -657,7 +740,10 @@ impl<'a, 'p> Cg<'a, 'p> {
                     Shr => BinOp::AShr,
                     _ => unreachable!(),
                 };
-                Ok(Val { op: self.fb.bin(ir, l.op, r.op), ty: Ly::Int })
+                Ok(Val {
+                    op: self.fb.bin(ir, l.op, r.op),
+                    ty: Ly::Int,
+                })
             }
             Lt | Le | Gt | Ge | Eq | Ne => {
                 let ty = need_same(l, r)?;
@@ -688,14 +774,20 @@ impl<'a, 'p> Cg<'a, 'p> {
                     }
                     Ly::Bool => return Err(err(line, "cannot compare bools".into())),
                 };
-                Ok(Val { op: v, ty: Ly::Bool })
+                Ok(Val {
+                    op: v,
+                    ty: Ly::Bool,
+                })
             }
             And | Or => {
                 if l.ty != Ly::Bool || r.ty != Ly::Bool {
                     return Err(err(line, "`&&`/`||` need bool operands".into()));
                 }
                 let ir = if op == And { BinOp::And } else { BinOp::Or };
-                Ok(Val { op: self.fb.bin(ir, l.op, r.op), ty: Ly::Bool })
+                Ok(Val {
+                    op: self.fb.bin(ir, l.op, r.op),
+                    ty: Ly::Bool,
+                })
             }
         }
     }
@@ -708,16 +800,20 @@ impl<'a, 'p> Cg<'a, 'p> {
         statement: bool,
     ) -> Result<Option<Val>, CompileError> {
         // Builtins.
-        let unary_float = |me: &mut Self, op: UnOp, args: &[Expr]| -> Result<Option<Val>, CompileError> {
-            if args.len() != 1 {
-                return Err(err(line, format!("`{name}` takes one argument")));
-            }
-            let a = me.gen_expr(&args[0])?;
-            if a.ty != Ly::Float {
-                return Err(err(line, format!("`{name}` needs a float argument")));
-            }
-            Ok(Some(Val { op: me.fb.un(op, a.op), ty: Ly::Float }))
-        };
+        let unary_float =
+            |me: &mut Self, op: UnOp, args: &[Expr]| -> Result<Option<Val>, CompileError> {
+                if args.len() != 1 {
+                    return Err(err(line, format!("`{name}` takes one argument")));
+                }
+                let a = me.gen_expr(&args[0])?;
+                if a.ty != Ly::Float {
+                    return Err(err(line, format!("`{name}` needs a float argument")));
+                }
+                Ok(Some(Val {
+                    op: me.fb.un(op, a.op),
+                    ty: Ly::Float,
+                }))
+            };
         match name {
             "sqrt" => return unary_float(self, UnOp::Sqrt, args),
             "sin" => return unary_float(self, UnOp::Sin, args),
@@ -735,7 +831,10 @@ impl<'a, 'p> Cg<'a, 'p> {
                     return Err(err(line, "`i2f` needs an int".into()));
                 }
                 let v = self.fb.cast(CastKind::SiToFp, a.op, Ty::F64);
-                return Ok(Some(Val { op: v, ty: Ly::Float }));
+                return Ok(Some(Val {
+                    op: v,
+                    ty: Ly::Float,
+                }));
             }
             "f2i" => {
                 if args.len() != 1 {
@@ -770,7 +869,10 @@ impl<'a, 'p> Cg<'a, 'p> {
                 let is_float = name.starts_with('f');
                 let want = if is_float { Ly::Float } else { Ly::Int };
                 if a.ty != want || b.ty != want {
-                    return Err(err(line, format!("`{name}` needs two {} arguments", want.name())));
+                    return Err(err(
+                        line,
+                        format!("`{name}` needs two {} arguments", want.name()),
+                    ));
                 }
                 let lt = if is_float {
                     self.fb.fcmp(FPred::Olt, a.op, b.op)
@@ -795,7 +897,11 @@ impl<'a, 'p> Cg<'a, 'p> {
         if args.len() != ptys.len() {
             return Err(err(
                 line,
-                format!("`{name}` takes {} arguments, got {}", ptys.len(), args.len()),
+                format!(
+                    "`{name}` takes {} arguments, got {}",
+                    ptys.len(),
+                    args.len()
+                ),
             ));
         }
         let mut ops = Vec::with_capacity(args.len());
@@ -804,7 +910,11 @@ impl<'a, 'p> Cg<'a, 'p> {
             if v.ty != *want {
                 return Err(err(
                     a.line,
-                    format!("argument type mismatch: expected {}, got {}", want.name(), v.ty.name()),
+                    format!(
+                        "argument type mismatch: expected {}, got {}",
+                        want.name(),
+                        v.ty.name()
+                    ),
                 ));
             }
             ops.push(v.op);
@@ -814,7 +924,10 @@ impl<'a, 'p> Cg<'a, 'p> {
             (Some(op), Some(ty)) => Ok(Some(Val { op, ty })),
             (None, None) => {
                 if !statement {
-                    return Err(err(line, format!("void function `{name}` used in an expression")));
+                    return Err(err(
+                        line,
+                        format!("void function `{name}` used in an expression"),
+                    ));
                 }
                 Ok(None)
             }

@@ -49,7 +49,10 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                {
                     is_float = true;
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -71,17 +74,21 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
                 }
                 let text = &source[start..i];
                 let tok = if is_float {
-                    Tok::Float(text.parse().map_err(|_| err(line, format!("bad float literal `{text}`")))?)
+                    Tok::Float(
+                        text.parse()
+                            .map_err(|_| err(line, format!("bad float literal `{text}`")))?,
+                    )
                 } else {
-                    Tok::Int(text.parse().map_err(|_| err(line, format!("bad int literal `{text}`")))?)
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| err(line, format!("bad int literal `{text}`")))?,
+                    )
                 };
                 out.push(SpannedTok { tok, line });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &source[start..i];
@@ -107,10 +114,7 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
             _ => {
                 // Two-byte operator lookahead must not slice mid-way
                 // through a multi-byte UTF-8 character.
-                let two = if i + 1 < bytes.len()
-                    && bytes[i].is_ascii()
-                    && bytes[i + 1].is_ascii()
-                {
+                let two = if i + 1 < bytes.len() && bytes[i].is_ascii() && bytes[i + 1].is_ascii() {
                     &source[i..i + 2]
                 } else {
                     ""
@@ -163,7 +167,10 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
             }
         }
     }
-    out.push(SpannedTok { tok: Tok::Eof, line });
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 

@@ -48,12 +48,19 @@ impl Parser {
             self.bump();
             Ok(())
         } else {
-            Err(self.err(format!("expected {}, found {}", want.describe(), self.peek().describe())))
+            Err(self.err(format!(
+                "expected {}, found {}",
+                want.describe(),
+                self.peek().describe()
+            )))
         }
     }
 
     fn err(&self, message: String) -> CompileError {
-        CompileError { line: self.line(), message }
+        CompileError {
+            line: self.line(),
+            message,
+        }
     }
 
     fn ident(&mut self) -> Result<String, CompileError> {
@@ -109,7 +116,12 @@ impl Parser {
         };
         self.expect(Tok::RBracket)?;
         self.expect(Tok::Semi)?;
-        Ok(GlobalDecl { name, elem, size, line })
+        Ok(GlobalDecl {
+            name,
+            elem,
+            size,
+            line,
+        })
     }
 
     fn func(&mut self) -> Result<FuncDecl, CompileError> {
@@ -130,9 +142,19 @@ impl Parser {
                 self.expect(Tok::Comma)?;
             }
         }
-        let ret = if self.eat(&Tok::Arrow) { Some(self.ty()?) } else { None };
+        let ret = if self.eat(&Tok::Arrow) {
+            Some(self.ty()?)
+        } else {
+            None
+        };
         let body = self.block()?;
-        Ok(FuncDecl { name, params, ret, body, line })
+        Ok(FuncDecl {
+            name,
+            params,
+            ret,
+            body,
+            line,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
@@ -153,7 +175,11 @@ impl Parser {
             Tok::Let => {
                 self.bump();
                 let name = self.ident()?;
-                let ty = if self.eat(&Tok::Colon) { Some(self.ty()?) } else { None };
+                let ty = if self.eat(&Tok::Colon) {
+                    Some(self.ty()?)
+                } else {
+                    None
+                };
                 self.expect(Tok::Assign)?;
                 let init = self.expr()?;
                 self.expect(Tok::Semi)?;
@@ -185,7 +211,14 @@ impl Parser {
                 } else {
                     None
                 };
-                return Ok(Stmt { kind: StmtKind::If { cond, then_blk, else_blk }, line });
+                return Ok(Stmt {
+                    kind: StmtKind::If {
+                        cond,
+                        then_blk,
+                        else_blk,
+                    },
+                    line,
+                });
             }
             Tok::While => {
                 self.bump();
@@ -193,7 +226,10 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(Tok::RParen)?;
                 let body = self.block()?;
-                return Ok(Stmt { kind: StmtKind::While { cond, body }, line });
+                return Ok(Stmt {
+                    kind: StmtKind::While { cond, body },
+                    line,
+                });
             }
             Tok::For => {
                 self.bump();
@@ -214,11 +250,24 @@ impl Parser {
                 let step = self.expr()?;
                 self.expect(Tok::RParen)?;
                 let body = self.block()?;
-                return Ok(Stmt { kind: StmtKind::For { var, init, cond, step, body }, line });
+                return Ok(Stmt {
+                    kind: StmtKind::For {
+                        var,
+                        init,
+                        cond,
+                        step,
+                        body,
+                    },
+                    line,
+                });
             }
             Tok::Return => {
                 self.bump();
-                let value = if self.peek() == &Tok::Semi { None } else { Some(self.expr()?) };
+                let value = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(Tok::Semi)?;
                 StmtKind::Return(value)
             }
@@ -259,7 +308,11 @@ impl Parser {
                         if self.eat(&Tok::Assign) {
                             let value = self.expr()?;
                             self.expect(Tok::Semi)?;
-                            StmtKind::StoreIndex { array: name, index, value }
+                            StmtKind::StoreIndex {
+                                array: name,
+                                index,
+                                value,
+                            }
                         } else {
                             self.pos = save;
                             let e = self.expr()?;
@@ -319,7 +372,11 @@ impl Parser {
             self.bump();
             let rhs = self.binary(prec + 1)?;
             lhs = Expr {
-                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 line,
             };
         }
@@ -332,12 +389,24 @@ impl Parser {
             Tok::Minus => {
                 self.bump();
                 let e = self.unary()?;
-                Ok(Expr { kind: ExprKind::Unary { op: UnaryOp::Neg, expr: Box::new(e) }, line })
+                Ok(Expr {
+                    kind: ExprKind::Unary {
+                        op: UnaryOp::Neg,
+                        expr: Box::new(e),
+                    },
+                    line,
+                })
             }
             Tok::Bang => {
                 self.bump();
                 let e = self.unary()?;
-                Ok(Expr { kind: ExprKind::Unary { op: UnaryOp::Not, expr: Box::new(e) }, line })
+                Ok(Expr {
+                    kind: ExprKind::Unary {
+                        op: UnaryOp::Not,
+                        expr: Box::new(e),
+                    },
+                    line,
+                })
             }
             _ => self.primary(),
         }
@@ -372,7 +441,10 @@ impl Parser {
                     self.bump();
                     let index = self.expr()?;
                     self.expect(Tok::RBracket)?;
-                    ExprKind::Index { array: name, index: Box::new(index) }
+                    ExprKind::Index {
+                        array: name,
+                        index: Box::new(index),
+                    }
                 }
                 _ => ExprKind::Var(name),
             },
@@ -410,24 +482,47 @@ mod tests {
     #[test]
     fn precedence_mul_over_add() {
         let p = parse("fn main() { let x = 1 + 2 * 3; }").unwrap();
-        let StmtKind::Let { init, .. } = &p.funcs[0].body[0].kind else { panic!() };
-        let ExprKind::Binary { op: BinaryOp::Add, rhs, .. } = &init.kind else {
+        let StmtKind::Let { init, .. } = &p.funcs[0].body[0].kind else {
+            panic!()
+        };
+        let ExprKind::Binary {
+            op: BinaryOp::Add,
+            rhs,
+            ..
+        } = &init.kind
+        else {
             panic!("expected top-level add, got {init:?}")
         };
-        assert!(matches!(rhs.kind, ExprKind::Binary { op: BinaryOp::Mul, .. }));
+        assert!(matches!(
+            rhs.kind,
+            ExprKind::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn precedence_cmp_over_and() {
         let p = parse("fn main() { let x = 1; if (x < 2 && x > 0) { } }").unwrap();
-        let StmtKind::If { cond, .. } = &p.funcs[0].body[1].kind else { panic!() };
-        assert!(matches!(cond.kind, ExprKind::Binary { op: BinaryOp::And, .. }));
+        let StmtKind::If { cond, .. } = &p.funcs[0].body[1].kind else {
+            panic!()
+        };
+        assert!(matches!(
+            cond.kind,
+            ExprKind::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn parses_for_loop() {
         let p = parse("fn main() { for (i = 0; i < 10; i = i + 1) { output i; } }").unwrap();
-        let StmtKind::For { var, body, .. } = &p.funcs[0].body[0].kind else { panic!() };
+        let StmtKind::For { var, body, .. } = &p.funcs[0].body[0].kind else {
+            panic!()
+        };
         assert_eq!(var, "i");
         assert_eq!(body.len(), 1);
     }
@@ -441,14 +536,19 @@ mod tests {
     #[test]
     fn indexed_store_vs_expression() {
         let p = parse("global int a[4]; fn main() { a[0] = 1; a[0]; }").unwrap();
-        assert!(matches!(p.funcs[0].body[0].kind, StmtKind::StoreIndex { .. }));
+        assert!(matches!(
+            p.funcs[0].body[0].kind,
+            StmtKind::StoreIndex { .. }
+        ));
         assert!(matches!(p.funcs[0].body[1].kind, StmtKind::ExprStmt(_)));
     }
 
     #[test]
     fn else_if_chains() {
         let p = parse("fn main(x: int) { if (x < 0) { } else if (x > 0) { } else { } }").unwrap();
-        let StmtKind::If { else_blk, .. } = &p.funcs[0].body[0].kind else { panic!() };
+        let StmtKind::If { else_blk, .. } = &p.funcs[0].body[0].kind else {
+            panic!()
+        };
         let inner = else_blk.as_ref().unwrap();
         assert!(matches!(inner[0].kind, StmtKind::If { .. }));
     }
@@ -456,8 +556,12 @@ mod tests {
     #[test]
     fn call_with_args() {
         let p = parse("fn main() { let y = f(1, 2.5, g()); }").unwrap();
-        let StmtKind::Let { init, .. } = &p.funcs[0].body[0].kind else { panic!() };
-        let ExprKind::Call { name, args } = &init.kind else { panic!() };
+        let StmtKind::Let { init, .. } = &p.funcs[0].body[0].kind else {
+            panic!()
+        };
+        let ExprKind::Call { name, args } = &init.kind else {
+            panic!()
+        };
         assert_eq!(name, "f");
         assert_eq!(args.len(), 3);
     }

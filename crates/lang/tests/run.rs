@@ -292,11 +292,8 @@ fn error_break_outside_loop() {
 
 #[test]
 fn error_missing_return_path() {
-    let e = peppa_lang::compile(
-        "fn main(x: int) -> int { if (x > 0) { return 1; } }",
-        "t",
-    )
-    .unwrap_err();
+    let e = peppa_lang::compile("fn main(x: int) -> int { if (x > 0) { return 1; } }", "t")
+        .unwrap_err();
     assert!(e.message.contains("without returning"), "{e}");
 }
 

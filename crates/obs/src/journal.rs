@@ -1,0 +1,133 @@
+//! JSONL run journals: one event per line, in arrival order.
+//!
+//! The journal is the replayable record of a run — `trial_finished`
+//! lines reconstruct the full outcome stream, `generation_finished`
+//! lines the GA convergence curve. Lines are self-contained JSON
+//! objects, so `grep`/`jq` pipelines work without any tooling.
+
+use crate::event::{Event, Observer};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// An [`Observer`] appending each event as one JSON line.
+pub struct JsonlJournal {
+    writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl JsonlJournal {
+    /// Creates (truncating) the journal file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlJournal> {
+        let f = std::fs::File::create(path)?;
+        Ok(JsonlJournal::from_writer(Box::new(f)))
+    }
+
+    /// Journals into any writer (tests use `Vec<u8>` via a pipe).
+    pub fn from_writer(w: Box<dyn Write + Send>) -> JsonlJournal {
+        JsonlJournal {
+            writer: Mutex::new(BufWriter::new(w)),
+        }
+    }
+
+    /// Reads a journal back into events, skipping blank lines. Lines
+    /// that fail to parse abort with the offending line number.
+    pub fn read(path: impl AsRef<Path>) -> Result<Vec<Event>, String> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("{}: {e}", path.as_ref().display()))?;
+        parse_journal(&text)
+    }
+}
+
+/// Parses JSONL journal text into events.
+pub fn parse_journal(text: &str) -> Result<Vec<Event>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(n, l)| {
+            serde_json::from_str::<Event>(l).map_err(|e| format!("journal line {}: {e}", n + 1))
+        })
+        .collect()
+}
+
+impl Observer for JsonlJournal {
+    fn on_event(&self, event: &Event) {
+        let line = serde_json::to_string(event).unwrap();
+        let mut w = self.writer.lock().unwrap();
+        // Journal writes are best-effort: a full disk should not abort
+        // the campaign mid-measurement.
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().unwrap().flush();
+    }
+}
+
+impl Drop for JsonlJournal {
+    fn drop(&mut self) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Outcome;
+
+    #[test]
+    fn roundtrips_through_a_file() {
+        let path =
+            std::env::temp_dir().join(format!("peppa-obs-journal-{}.jsonl", std::process::id()));
+        {
+            let j = JsonlJournal::create(&path).unwrap();
+            j.on_event(&Event::CampaignStarted {
+                benchmark: "hpccg".into(),
+                trials: 2,
+                seed: 7,
+                threads: 1,
+            });
+            j.on_event(&Event::TrialFinished {
+                trial: 0,
+                outcome: Outcome::Benign,
+                site: 5,
+                bit: 1,
+                latency_ns: 100,
+            });
+            j.on_event(&Event::TrialFinished {
+                trial: 1,
+                outcome: Outcome::Sdc,
+                site: 9,
+                bit: 63,
+                latency_ns: 150,
+            });
+            j.flush();
+        }
+        let events = JsonlJournal::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind(), "campaign_started");
+        let trials: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind() == "trial_finished")
+            .collect();
+        assert_eq!(trials.len(), 2);
+        match trials[1] {
+            Event::TrialFinished {
+                outcome, site, bit, ..
+            } => {
+                assert_eq!(*outcome, Outcome::Sdc);
+                assert_eq!(*site, 9);
+                assert_eq!(*bit, 63);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_line_reports_number() {
+        let err = parse_journal("{\"Message\":{\"text\":\"ok\"}}\nnot json\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+}

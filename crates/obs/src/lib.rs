@@ -1,0 +1,70 @@
+//! Observability for the PEPPA-X FI pipeline.
+//!
+//! The paper's measurement loop (golden run → statistical FI campaign →
+//! GA search) is long-running and highly parallel; this crate is the
+//! substrate every layer reports into. It provides:
+//!
+//! * [`Observer`] — a sink trait over typed [`Event`]s emitted by the
+//!   campaign runner, the GA search driver, and the CLI front ends;
+//! * [`MetricsRegistry`] — lock-free counters and log₂-bucket histograms
+//!   with JSON snapshot export (`BENCH_*.json` baselines come from
+//!   these snapshots, not hand-rolled timers);
+//! * [`JsonlJournal`] — a run journal writing one JSON event per line,
+//!   replayable by downstream tooling;
+//! * [`ProgressReporter`] — a throttled human-readable progress line for
+//!   interactive TTY sessions;
+//! * [`MultiObserver`] / [`NullObserver`] — fan-out and no-op sinks.
+
+pub mod event;
+pub mod journal;
+pub mod metrics;
+pub mod progress;
+
+pub use event::{Event, Observer, Outcome};
+pub use journal::JsonlJournal;
+pub use metrics::{Counter, Histogram, MetricsRegistry};
+pub use progress::ProgressReporter;
+
+use std::sync::Arc;
+
+/// Observer that discards every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn on_event(&self, _event: &Event) {}
+}
+
+/// Fans one event stream out to several sinks, in registration order.
+#[derive(Default)]
+pub struct MultiObserver {
+    sinks: Vec<Arc<dyn Observer>>,
+}
+
+impl MultiObserver {
+    pub fn new() -> MultiObserver {
+        MultiObserver { sinks: Vec::new() }
+    }
+
+    pub fn push(&mut self, sink: Arc<dyn Observer>) {
+        self.sinks.push(sink);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl Observer for MultiObserver {
+    fn on_event(&self, event: &Event) {
+        for s in &self.sinks {
+            s.on_event(event);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}

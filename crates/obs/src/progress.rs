@@ -1,0 +1,226 @@
+//! Throttled human progress reporting for interactive sessions.
+//!
+//! Writes single-line `\r`-rewritten status to stderr at most every
+//! `min_interval` (default 200 ms), so a million-trial campaign costs a
+//! handful of syscalls, not one per trial. Phase boundaries
+//! (`campaign_finished`, `generation_finished`) print durable lines.
+
+use crate::event::{Event, Observer};
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct ProgressState {
+    last_print: Option<Instant>,
+    /// Trials finished / planned for the current campaign.
+    finished: u32,
+    planned: u32,
+    sdc: u32,
+    crash: u32,
+    hang: u32,
+    /// Whether a transient `\r` line is currently on screen.
+    line_open: bool,
+}
+
+/// An [`Observer`] rendering a live status line.
+pub struct ProgressReporter {
+    state: Mutex<ProgressState>,
+    min_interval: Duration,
+}
+
+impl Default for ProgressReporter {
+    fn default() -> Self {
+        ProgressReporter::new(Duration::from_millis(200))
+    }
+}
+
+impl ProgressReporter {
+    pub fn new(min_interval: Duration) -> ProgressReporter {
+        ProgressReporter {
+            state: Mutex::new(ProgressState {
+                last_print: None,
+                finished: 0,
+                planned: 0,
+                sdc: 0,
+                crash: 0,
+                hang: 0,
+                line_open: false,
+            }),
+            min_interval,
+        }
+    }
+
+    fn erase_line(st: &mut ProgressState) {
+        if st.line_open {
+            eprint!("\r\x1b[2K");
+            st.line_open = false;
+        }
+    }
+}
+
+impl Observer for ProgressReporter {
+    fn on_event(&self, event: &Event) {
+        let mut st = self.state.lock().unwrap();
+        match event {
+            Event::CampaignStarted {
+                benchmark,
+                trials,
+                threads,
+                ..
+            } => {
+                Self::erase_line(&mut st);
+                st.finished = 0;
+                st.planned = *trials;
+                st.sdc = 0;
+                st.crash = 0;
+                st.hang = 0;
+                st.last_print = None;
+                eprintln!(
+                    "[obs] campaign on {benchmark}: {trials} trials, {} threads",
+                    if *threads == 0 {
+                        "all".to_string()
+                    } else {
+                        threads.to_string()
+                    }
+                );
+            }
+            Event::GoldenRun {
+                dynamic,
+                value_dynamic,
+                coverage,
+                ..
+            } => {
+                Self::erase_line(&mut st);
+                eprintln!(
+                    "[obs] golden run: {dynamic} dynamic instrs, {value_dynamic} fault sites, {:.1}% coverage",
+                    coverage * 100.0
+                );
+            }
+            Event::TrialFinished { outcome, .. } => {
+                st.finished += 1;
+                match outcome {
+                    crate::event::Outcome::Sdc => st.sdc += 1,
+                    crate::event::Outcome::Crash => st.crash += 1,
+                    crate::event::Outcome::Hang => st.hang += 1,
+                    crate::event::Outcome::Benign => {}
+                }
+                let due = st
+                    .last_print
+                    .map(|t| t.elapsed() >= self.min_interval)
+                    .unwrap_or(true);
+                if due {
+                    eprint!(
+                        "\r\x1b[2K[obs] trial {}/{}  sdc {}  crash {}  hang {}",
+                        st.finished, st.planned, st.sdc, st.crash, st.hang
+                    );
+                    let _ = std::io::stderr().flush();
+                    st.line_open = true;
+                    st.last_print = Some(Instant::now());
+                }
+            }
+            Event::CampaignFinished {
+                trials,
+                sdc,
+                crash,
+                hang,
+                benign,
+                wall_ns,
+            } => {
+                Self::erase_line(&mut st);
+                let secs = *wall_ns as f64 / 1e9;
+                let rate = if secs > 0.0 {
+                    *trials as f64 / secs
+                } else {
+                    0.0
+                };
+                eprintln!(
+                    "[obs] campaign done: {trials} trials in {secs:.2}s ({rate:.0}/s) — sdc {sdc} crash {crash} hang {hang} benign {benign}"
+                );
+            }
+            Event::SearchStarted {
+                benchmark,
+                generations,
+                population,
+                ..
+            } => {
+                Self::erase_line(&mut st);
+                eprintln!(
+                    "[obs] GA search on {benchmark}: {generations} generations, population {population}"
+                );
+            }
+            Event::GenerationFinished {
+                generation,
+                best,
+                mean,
+                diversity,
+                cache_hits,
+                evaluations,
+            } => {
+                let due = st
+                    .last_print
+                    .map(|t| t.elapsed() >= self.min_interval)
+                    .unwrap_or(true);
+                if due {
+                    eprint!(
+                        "\r\x1b[2K[obs] gen {generation}  best {best:.4}  mean {mean:.4}  div {diversity:.3}  evals {evaluations}  cache {cache_hits}"
+                    );
+                    let _ = std::io::stderr().flush();
+                    st.line_open = true;
+                    st.last_print = Some(Instant::now());
+                }
+            }
+            Event::SearchFinished {
+                generations,
+                evaluations,
+                wall_ns,
+            } => {
+                Self::erase_line(&mut st);
+                eprintln!(
+                    "[obs] search done: {generations} generations, {evaluations} evaluations in {:.2}s",
+                    *wall_ns as f64 / 1e9
+                );
+            }
+            Event::Message { text } => {
+                Self::erase_line(&mut st);
+                eprintln!("[obs] {text}");
+            }
+        }
+    }
+
+    fn flush(&self) {
+        let mut st = self.state.lock().unwrap();
+        Self::erase_line(&mut st);
+        let _ = std::io::stderr().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Outcome;
+
+    #[test]
+    fn throttling_counts_all_trials() {
+        // Events streamed faster than the interval must still all be
+        // counted; only the printing is throttled.
+        let p = ProgressReporter::new(Duration::from_secs(3600));
+        p.on_event(&Event::CampaignStarted {
+            benchmark: "b".into(),
+            trials: 3,
+            seed: 0,
+            threads: 1,
+        });
+        for t in 0..3 {
+            p.on_event(&Event::TrialFinished {
+                trial: t,
+                outcome: Outcome::Crash,
+                site: 0,
+                bit: 0,
+                latency_ns: 10,
+            });
+        }
+        let st = p.state.lock().unwrap();
+        assert_eq!(st.finished, 3);
+        assert_eq!(st.crash, 3);
+    }
+}

@@ -41,13 +41,31 @@ pub fn measure_coverage(
     seed: u64,
     threads: usize,
 ) -> Result<CoverageMeasurement, CampaignError> {
-    let cfg = CampaignConfig { trials, seed, hang_factor: 8, threads, burst: 0 };
+    let cfg = CampaignConfig {
+        trials,
+        seed,
+        hang_factor: 8,
+        threads,
+        burst: 0,
+    };
     let base = run_campaign(unprotected, input, limits, cfg)?;
-    let prot = run_campaign(protected, input, limits, CampaignConfig { seed: seed ^ 0x9e37, ..cfg })?;
+    let prot = run_campaign(
+        protected,
+        input,
+        limits,
+        CampaignConfig {
+            seed: seed ^ 0x9e37,
+            ..cfg
+        },
+    )?;
 
     let pu = base.sdc_prob();
     let pp = prot.sdc_prob();
-    let coverage = if pu <= 0.0 { 1.0 } else { (1.0 - pp / pu).clamp(0.0, 1.0) };
+    let coverage = if pu <= 0.0 {
+        1.0
+    } else {
+        (1.0 - pp / pu).clamp(0.0, 1.0)
+    };
     Ok(CoverageMeasurement {
         sdc_prob_unprotected: pu,
         sdc_prob_protected: pp,
@@ -80,8 +98,7 @@ mod tests {
             .map(|(_, i)| i.sid)
             .collect();
         let p = apply_protection(&m, &all);
-        let c = measure_coverage(&m, &p.module, &[24.0], ExecLimits::default(), 250, 3, 0)
-            .unwrap();
+        let c = measure_coverage(&m, &p.module, &[24.0], ExecLimits::default(), 250, 3, 0).unwrap();
         assert!(
             c.sdc_prob_protected < c.sdc_prob_unprotected,
             "protection did not reduce SDCs: {c:?}"
@@ -96,8 +113,7 @@ mod tests {
         let src = "fn main(n: int) { output n * 17 + 3; }";
         let m = peppa_lang::compile(src, "cov0").unwrap();
         let p = apply_protection(&m, &HashSet::new());
-        let c =
-            measure_coverage(&m, &p.module, &[9.0], ExecLimits::default(), 150, 7, 0).unwrap();
+        let c = measure_coverage(&m, &p.module, &[9.0], ExecLimits::default(), 150, 7, 0).unwrap();
         // Identical programs, same campaign sizes: probabilities are close
         // (different seeds), and coverage is far from 1.
         assert!(c.coverage < 0.5, "{c:?}");

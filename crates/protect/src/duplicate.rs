@@ -16,9 +16,7 @@
 //! 28]: side-effect-free value-producing instructions are protectable;
 //! calls and allocas are not (re-execution would change program state).
 
-use peppa_ir::{
-    Block, CastKind, Const, IPred, Instr, InstrId, Module, Op, Operand, Ty, ValueId,
-};
+use peppa_ir::{Block, CastKind, Const, IPred, Instr, InstrId, Module, Op, Operand, Ty, ValueId};
 use std::collections::HashSet;
 
 /// A protected module plus the mapping from its (renumbered) instruction
@@ -115,7 +113,11 @@ pub fn apply_protection(module: &Module, selected: &HashSet<InstrId>) -> Protect
                 let eq = new_value(&mut func.value_types, Ty::I1);
                 instrs.push(Instr {
                     sid: InstrId(u32::MAX),
-                    op: Op::Icmp { pred: IPred::Eq, a: lhs, b: rhs },
+                    op: Op::Icmp {
+                        pred: IPred::Eq,
+                        a: lhs,
+                        b: rhs,
+                    },
                     result: Some(eq),
                 });
 
@@ -132,7 +134,10 @@ pub fn apply_protection(module: &Module, selected: &HashSet<InstrId>) -> Protect
                 });
                 instrs.push(Instr {
                     sid: InstrId(u32::MAX),
-                    op: Op::Store { addr: Operand::Value(addr), value: Operand::i64(0) },
+                    op: Op::Store {
+                        addr: Operand::Value(addr),
+                        value: Operand::i64(0),
+                    },
                     result: None,
                 });
             }
@@ -151,7 +156,11 @@ pub fn apply_protection(module: &Module, selected: &HashSet<InstrId>) -> Protect
     for func in &mut out.functions {
         for block in &mut func.blocks {
             for ins in &mut block.instrs {
-                origin.push(if ins.sid == InstrId(u32::MAX) { None } else { Some(ins.sid) });
+                origin.push(if ins.sid == InstrId(u32::MAX) {
+                    None
+                } else {
+                    Some(ins.sid)
+                });
                 ins.sid = InstrId(next);
                 next += 1;
             }
@@ -160,7 +169,10 @@ pub fn apply_protection(module: &Module, selected: &HashSet<InstrId>) -> Protect
     out.num_instrs = next as usize;
 
     peppa_ir::verify(&out).expect("protected module must verify");
-    ProtectedModule { module: out, origin }
+    ProtectedModule {
+        module: out,
+        origin,
+    }
 }
 
 #[cfg(test)]
@@ -287,10 +299,18 @@ mod tests {
         let all: HashSet<InstrId> = m.all_instrs().iter().map(|(_, i)| i.sid).collect();
         let p = apply_protection(&m, &all);
         // The call and output must appear exactly once each.
-        let calls =
-            p.module.all_instrs().iter().filter(|(_, i)| i.op.mnemonic() == "call").count();
-        let outputs =
-            p.module.all_instrs().iter().filter(|(_, i)| i.op.mnemonic() == "output").count();
+        let calls = p
+            .module
+            .all_instrs()
+            .iter()
+            .filter(|(_, i)| i.op.mnemonic() == "call")
+            .count();
+        let outputs = p
+            .module
+            .all_instrs()
+            .iter()
+            .filter(|(_, i)| i.op.mnemonic() == "output")
+            .count();
         assert_eq!(calls, 1);
         assert_eq!(outputs, 1);
     }

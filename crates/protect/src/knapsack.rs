@@ -61,7 +61,11 @@ pub fn knapsack(items: &[Item], budget: u64, resolution: usize) -> Vec<usize> {
 
     // Reconstruct.
     let mut w = (0..=cap)
-        .max_by(|&a, &b| best[a].partial_cmp(&best[b]).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|&a, &b| {
+            best[a]
+                .partial_cmp(&best[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .unwrap_or(0);
     let mut chosen = free;
     for (k, &(idx, c, _)) in paid.iter().enumerate().rev() {
@@ -108,18 +112,36 @@ mod tests {
     #[test]
     fn matches_brute_force_small() {
         let items = vec![
-            Item { benefit: 6.0, cost: 3 },
-            Item { benefit: 5.0, cost: 2 },
-            Item { benefit: 4.0, cost: 2 },
-            Item { benefit: 9.0, cost: 5 },
-            Item { benefit: 1.0, cost: 1 },
+            Item {
+                benefit: 6.0,
+                cost: 3,
+            },
+            Item {
+                benefit: 5.0,
+                cost: 2,
+            },
+            Item {
+                benefit: 4.0,
+                cost: 2,
+            },
+            Item {
+                benefit: 9.0,
+                cost: 5,
+            },
+            Item {
+                benefit: 1.0,
+                cost: 1,
+            },
         ];
         for budget in 0..=13 {
             let chosen = knapsack(&items, budget, 1_000_000);
             assert!(total_cost(&items, &chosen) <= budget);
             let got = total_benefit(&items, &chosen);
             let want = brute_force(&items, budget);
-            assert!((got - want).abs() < 1e-9, "budget {budget}: {got} vs {want}");
+            assert!(
+                (got - want).abs() < 1e-9,
+                "budget {budget}: {got} vs {want}"
+            );
         }
     }
 
@@ -128,9 +150,18 @@ mod tests {
         // Greedy-by-ratio picks item 0 (ratio 2.0) and misses the optimal
         // pair {1, 2}.
         let items = vec![
-            Item { benefit: 10.0, cost: 5 },
-            Item { benefit: 6.0, cost: 4 },
-            Item { benefit: 6.0, cost: 4 },
+            Item {
+                benefit: 10.0,
+                cost: 5,
+            },
+            Item {
+                benefit: 6.0,
+                cost: 4,
+            },
+            Item {
+                benefit: 6.0,
+                cost: 4,
+            },
         ];
         let chosen = knapsack(&items, 8, 1_000_000);
         assert_eq!(chosen, vec![1, 2]);
@@ -138,14 +169,26 @@ mod tests {
 
     #[test]
     fn oversized_items_skipped() {
-        let items = vec![Item { benefit: 100.0, cost: 50 }, Item { benefit: 1.0, cost: 2 }];
+        let items = vec![
+            Item {
+                benefit: 100.0,
+                cost: 50,
+            },
+            Item {
+                benefit: 1.0,
+                cost: 2,
+            },
+        ];
         let chosen = knapsack(&items, 10, 1_000_000);
         assert_eq!(chosen, vec![1]);
     }
 
     #[test]
     fn zero_budget_chooses_nothing() {
-        let items = vec![Item { benefit: 5.0, cost: 1 }];
+        let items = vec![Item {
+            benefit: 5.0,
+            cost: 1,
+        }];
         assert!(knapsack(&items, 0, 1000).is_empty());
     }
 
@@ -171,8 +214,12 @@ mod tests {
     fn free_items_always_taken() {
         // With a huge budget and tiny costs, scaling makes items free;
         // all should be selected.
-        let items: Vec<Item> =
-            (0..5).map(|i| Item { benefit: i as f64 + 1.0, cost: 1 }).collect();
+        let items: Vec<Item> = (0..5)
+            .map(|i| Item {
+                benefit: i as f64 + 1.0,
+                cost: 1,
+            })
+            .collect();
         let chosen = knapsack(&items, u64::MAX / 2, 100);
         assert_eq!(chosen, vec![0, 1, 2, 3, 4]);
     }

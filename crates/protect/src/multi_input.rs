@@ -30,14 +30,21 @@ pub fn plan_multi_input(
     level: f64,
 ) -> ProtectionPlan {
     assert!(!inputs.is_empty(), "need at least one planning input");
-    assert_eq!(inputs.len(), measurements.len(), "one measurement per input");
+    assert_eq!(
+        inputs.len(),
+        measurements.len(),
+        "one measurement per input"
+    );
     assert!((0.0..=1.0).contains(&level));
 
     // Profiles per input.
     let vm = Vm::new(module, limits);
-    let profiles: Vec<_> = inputs.iter().map(|x| vm.run_numeric(x, None).profile).collect();
-    let mean_total: f64 = profiles.iter().map(|p| p.dynamic as f64).sum::<f64>()
-        / profiles.len() as f64;
+    let profiles: Vec<_> = inputs
+        .iter()
+        .map(|x| vm.run_numeric(x, None).profile)
+        .collect();
+    let mean_total: f64 =
+        profiles.iter().map(|p| p.dynamic as f64).sum::<f64>() / profiles.len() as f64;
 
     let mut sids: Vec<InstrId> = Vec::new();
     let mut items: Vec<Item> = Vec::new();
@@ -64,7 +71,10 @@ pub fn plan_multi_input(
         }
         total_mass += worst_mass;
         sids.push(sid);
-        items.push(Item { benefit: worst_mass, cost: mean_cost.round().max(1.0) as u64 });
+        items.push(Item {
+            benefit: worst_mass,
+            cost: mean_cost.round().max(1.0) as u64,
+        });
     }
 
     let budget = (level * mean_total) as u64;
@@ -76,7 +86,11 @@ pub fn plan_multi_input(
     ProtectionPlan {
         level,
         selected,
-        expected_coverage: if total_mass > 0.0 { covered / total_mass } else { 0.0 },
+        expected_coverage: if total_mass > 0.0 {
+            covered / total_mass
+        } else {
+            0.0
+        },
         actual_overhead: used as f64 / mean_total,
     }
 }

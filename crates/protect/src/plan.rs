@@ -41,7 +41,12 @@ pub fn measure_for_planning(
     seed: u64,
     threads: usize,
 ) -> Result<PerInstrResult, CampaignError> {
-    let cfg = PerInstrConfig { trials_per_instr, seed, hang_factor: 8, threads };
+    let cfg = PerInstrConfig {
+        trials_per_instr,
+        seed,
+        hang_factor: 8,
+        threads,
+    };
     per_instruction_sdc(module, input, limits, cfg, None)
 }
 
@@ -70,7 +75,9 @@ pub fn plan_from_measurement(
         if !crate::duplicate::protectable(&ins.op) {
             continue;
         }
-        let Some(p) = measured.sdc_prob[sid.0 as usize] else { continue };
+        let Some(p) = measured.sdc_prob[sid.0 as usize] else {
+            continue;
+        };
         let n = golden.profile.exec_counts[sid.0 as usize];
         if n == 0 {
             continue;
@@ -78,7 +85,10 @@ pub fn plan_from_measurement(
         let mass = p * n as f64;
         total_mass += mass;
         sids.push(sid);
-        items.push(Item { benefit: mass, cost: n });
+        items.push(Item {
+            benefit: mass,
+            cost: n,
+        });
     }
 
     let budget = (level * total_dynamic as f64) as u64;
@@ -91,7 +101,11 @@ pub fn plan_from_measurement(
     ProtectionPlan {
         level,
         selected,
-        expected_coverage: if total_mass > 0.0 { covered_mass / total_mass } else { 0.0 },
+        expected_coverage: if total_mass > 0.0 {
+            covered_mass / total_mass
+        } else {
+            0.0
+        },
         actual_overhead: used_cost as f64 / total_dynamic as f64,
     }
 }
@@ -107,7 +121,9 @@ pub fn plan_protection(
     threads: usize,
 ) -> Result<ProtectionPlan, CampaignError> {
     let measured = measure_for_planning(module, input, limits, trials_per_instr, seed, threads)?;
-    Ok(plan_from_measurement(module, input, limits, &measured, level))
+    Ok(plan_from_measurement(
+        module, input, limits, &measured, level,
+    ))
 }
 
 #[cfg(test)]
@@ -134,8 +150,7 @@ mod tests {
     #[test]
     fn higher_level_covers_more() {
         let m = module();
-        let measured =
-            measure_for_planning(&m, &[20.0], ExecLimits::default(), 25, 3, 0).unwrap();
+        let measured = measure_for_planning(&m, &[20.0], ExecLimits::default(), 25, 3, 0).unwrap();
         let p30 = plan_from_measurement(&m, &[20.0], ExecLimits::default(), &measured, 0.3);
         let p70 = plan_from_measurement(&m, &[20.0], ExecLimits::default(), &measured, 0.7);
         assert!(p70.expected_coverage >= p30.expected_coverage);
@@ -163,8 +178,7 @@ mod tests {
     #[test]
     fn full_budget_prefers_high_mass_instructions() {
         let m = module();
-        let measured =
-            measure_for_planning(&m, &[20.0], ExecLimits::default(), 25, 3, 0).unwrap();
+        let measured = measure_for_planning(&m, &[20.0], ExecLimits::default(), 25, 3, 0).unwrap();
         let p = plan_from_measurement(&m, &[20.0], ExecLimits::default(), &measured, 0.9);
         // The accumulator chain (high mass) must be in the selection.
         assert!(p.expected_coverage > 0.5, "{}", p.expected_coverage);

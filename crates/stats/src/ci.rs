@@ -27,7 +27,12 @@ pub struct BinomialCi {
 /// instructions have SDC probability exactly 0 in our campaigns.
 pub fn binomial_ci(successes: u64, trials: u64, z: f64) -> BinomialCi {
     if trials == 0 {
-        return BinomialCi { p_hat: 0.0, lo: 0.0, hi: 1.0, half_width: 0.5 };
+        return BinomialCi {
+            p_hat: 0.0,
+            lo: 0.0,
+            hi: 1.0,
+            half_width: 0.5,
+        };
     }
     let n = trials as f64;
     let p = successes as f64 / n;
@@ -37,7 +42,12 @@ pub fn binomial_ci(successes: u64, trials: u64, z: f64) -> BinomialCi {
     let margin = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
     let lo = (center - margin).max(0.0);
     let hi = (center + margin).min(1.0);
-    BinomialCi { p_hat: p, lo, hi, half_width: (hi - lo) / 2.0 }
+    BinomialCi {
+        p_hat: p,
+        lo,
+        hi,
+        half_width: (hi - lo) / 2.0,
+    }
 }
 
 /// The conventional z value for a 95% two-sided interval.
@@ -57,7 +67,10 @@ mod tests {
     fn interval_contains_p_hat() {
         for (s, n) in [(0u64, 100u64), (5, 100), (50, 100), (100, 100), (1, 3)] {
             let ci = binomial_ci(s, n, Z_95);
-            assert!(ci.lo <= ci.p_hat + 1e-12 && ci.p_hat <= ci.hi + 1e-12, "{ci:?}");
+            assert!(
+                ci.lo <= ci.p_hat + 1e-12 && ci.p_hat <= ci.hi + 1e-12,
+                "{ci:?}"
+            );
         }
     }
 
@@ -73,7 +86,11 @@ mod tests {
         // 1000 trials at ~30% SDC rate: half-width should land inside the
         // 0.26%..3.10% band the paper reports for its campaigns.
         let ci = binomial_ci(300, 1000, Z_95);
-        assert!(ci.half_width > 0.0026 && ci.half_width < 0.0310, "{}", ci.half_width);
+        assert!(
+            ci.half_width > 0.0026 && ci.half_width < 0.0310,
+            "{}",
+            ci.half_width
+        );
     }
 
     #[test]

@@ -9,7 +9,11 @@
 pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Less));
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Less)
+    });
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -33,7 +37,10 @@ pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
 pub fn rank_descending(xs: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
     idx.sort_by(|&a, &b| {
-        xs[b].partial_cmp(&xs[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        xs[b]
+            .partial_cmp(&xs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     idx
 }

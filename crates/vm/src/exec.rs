@@ -7,6 +7,7 @@
 //! flipping a random bit of the destination register of the instruction's
 //! width.
 
+use crate::hooks::{ExecHook, NoHook};
 use crate::profile::Profile;
 use peppa_ir::{
     BinOp, CastKind, FPred, IPred, Instr, InstrId, Module, Op, Operand, Term, Ty, UnOp,
@@ -85,7 +86,11 @@ pub struct Injection {
 impl Injection {
     /// Single-bit flip at `bit` of the targeted dynamic instruction.
     pub fn single(target: InjectionTarget, bit: u32) -> Injection {
-        Injection { target, bit, burst: 0 }
+        Injection {
+            target,
+            bit,
+            burst: 0,
+        }
     }
 }
 
@@ -103,7 +108,11 @@ pub struct ExecLimits {
 
 impl Default for ExecLimits {
     fn default() -> Self {
-        ExecLimits { max_dynamic: 200_000_000, memory_words: 1 << 21, max_call_depth: 128 }
+        ExecLimits {
+            max_dynamic: 200_000_000,
+            memory_words: 1 << 21,
+            max_call_depth: 128,
+        }
     }
 }
 
@@ -163,7 +172,7 @@ fn flip_bits(ty: Ty, bits: u64, bit: u32, burst: u8) -> u64 {
     canon(ty, bits ^ mask)
 }
 
-struct State<'m> {
+struct State<'m, H: ExecHook> {
     module: &'m Module,
     limits: ExecLimits,
     memory: Vec<u64>,
@@ -173,6 +182,7 @@ struct State<'m> {
     injection: Option<Injection>,
     fault_activated: bool,
     depth: usize,
+    hook: H,
 }
 
 impl<'m> Vm<'m> {
@@ -183,21 +193,35 @@ impl<'m> Vm<'m> {
     /// Runs the entry function on encoded input bits (see
     /// [`crate::encode_inputs`]), optionally injecting one fault.
     pub fn run(&self, input_bits: &[u64], injection: Option<Injection>) -> RunOutput {
-        self.run_impl(input_bits, injection, false)
+        self.run_impl(input_bits, injection, false, NoHook)
     }
 
     /// Like [`run`](Self::run), but the returned [`RunOutput::memory`]
     /// holds the final memory image (even on trap or budget exhaustion),
     /// enabling state diffing between runs.
     pub fn run_capture(&self, input_bits: &[u64], injection: Option<Injection>) -> RunOutput {
-        self.run_impl(input_bits, injection, true)
+        self.run_impl(input_bits, injection, true, NoHook)
     }
 
-    fn run_impl(
+    /// Like [`run`](Self::run), with an [`ExecHook`] observing each
+    /// dynamic instruction (per-opcode profiling, sampled timing). The
+    /// instruction loop is monomorphized over the hook type, so the
+    /// hook-free paths above pay nothing for this entry point existing.
+    pub fn run_with_hook<H: ExecHook>(
+        &self,
+        input_bits: &[u64],
+        injection: Option<Injection>,
+        hook: &mut H,
+    ) -> RunOutput {
+        self.run_impl(input_bits, injection, false, hook)
+    }
+
+    fn run_impl<H: ExecHook>(
         &self,
         input_bits: &[u64],
         injection: Option<Injection>,
         capture: bool,
+        hook: H,
     ) -> RunOutput {
         let entry = self.module.entry_func();
         assert_eq!(input_bits.len(), entry.params.len(), "entry arity mismatch");
@@ -219,6 +243,7 @@ impl<'m> Vm<'m> {
             injection,
             fault_activated: false,
             depth: 0,
+            hook,
         };
 
         let args: Vec<u64> = input_bits
@@ -249,12 +274,8 @@ impl<'m> Vm<'m> {
     }
 }
 
-impl<'m> State<'m> {
-    fn run_function(
-        &mut self,
-        fid: peppa_ir::FuncId,
-        args: &[u64],
-    ) -> Result<Option<u64>, Stop> {
+impl<'m, H: ExecHook> State<'m, H> {
+    fn run_function(&mut self, fid: peppa_ir::FuncId, args: &[u64]) -> Result<Option<u64>, Stop> {
         if self.depth >= self.limits.max_call_depth {
             return Err(Stop::Trap(Trap::CallDepth));
         }
@@ -281,7 +302,17 @@ impl<'m> State<'m> {
                     return Err(Stop::Hang);
                 }
                 self.profile.exec_counts[ins.sid.0 as usize] += 1;
-                self.exec_instr(func, ins, &mut regs)?;
+                if H::ENABLED {
+                    if self.hook.begin_instr(ins) {
+                        let t0 = std::time::Instant::now();
+                        self.exec_instr(func, ins, &mut regs)?;
+                        self.hook.end_instr(ins, t0.elapsed().as_nanos() as u64);
+                    } else {
+                        self.exec_instr(func, ins, &mut regs)?;
+                    }
+                } else {
+                    self.exec_instr(func, ins, &mut regs)?;
+                }
             }
             match &block.term {
                 Term::Br { target, args } => {
@@ -293,7 +324,13 @@ impl<'m> State<'m> {
                     }
                     cur = target.0 as usize;
                 }
-                Term::CondBr { cond, then_target, then_args, else_target, else_args } => {
+                Term::CondBr {
+                    cond,
+                    then_target,
+                    then_args,
+                    else_target,
+                    else_args,
+                } => {
                     let c = eval(&regs, cond) & 1;
                     let (target, targs) = if c != 0 {
                         (then_target, then_args)
@@ -375,16 +412,16 @@ impl<'m> State<'m> {
                 self.mem_write(p, v)?;
                 None
             }
-            Op::Gep { base, index } => {
-                Some(eval(regs, base).wrapping_add(eval(regs, index)))
-            }
+            Op::Gep { base, index } => Some(eval(regs, base).wrapping_add(eval(regs, index))),
             Op::Alloca { words } => {
                 let w = eval(regs, words) as i64;
                 if w < 0 {
                     return Err(Stop::Trap(Trap::StackOverflow));
                 }
                 let base = self.stack_ptr;
-                let end = base.checked_add(w as u64).ok_or(Stop::Trap(Trap::StackOverflow))?;
+                let end = base
+                    .checked_add(w as u64)
+                    .ok_or(Stop::Trap(Trap::StackOverflow))?;
                 if end > self.memory.len() as u64 {
                     return Err(Stop::Trap(Trap::StackOverflow));
                 }
@@ -539,7 +576,11 @@ fn exec_cast(kind: CastKind, from: Ty, to: Ty, a: u64) -> u64 {
             }
         }
         CastKind::SiToFp => {
-            let v = if from == Ty::I1 { (a & 1) as i64 } else { a as i64 };
+            let v = if from == Ty::I1 {
+                (a & 1) as i64
+            } else {
+                a as i64
+            };
             (v as f64).to_bits()
         }
     }
@@ -604,8 +645,14 @@ mod tests {
     #[test]
     fn hang_on_budget() {
         let m = loop_module();
-        let vm = Vm::new(&m, ExecLimits { max_dynamic: 50, ..Default::default() });
-        let out = vm.run_numeric(&[1e9, /* huge */], None);
+        let vm = Vm::new(
+            &m,
+            ExecLimits {
+                max_dynamic: 50,
+                ..Default::default()
+            },
+        );
+        let out = vm.run_numeric(&[1e9 /* huge */], None);
         assert_eq!(out.status, RunStatus::Hang);
     }
 
@@ -616,7 +663,11 @@ mod tests {
         let golden = vm.run_numeric(&[5.0], None);
         // Flip bit 3 of the first mul result (dynamic value index 1 is the
         // first mul: index 0 is the first icmp).
-        let inj = Injection { target: InjectionTarget::DynamicIndex(1), bit: 3, burst: 0 };
+        let inj = Injection {
+            target: InjectionTarget::DynamicIndex(1),
+            bit: 3,
+            burst: 0,
+        };
         let faulty = vm.run_numeric(&[5.0], Some(inj));
         assert!(faulty.fault_activated);
         assert!(faulty.is_sdc_vs(&golden));
@@ -630,7 +681,11 @@ mod tests {
         let vm = Vm::new(&m, ExecLimits::default());
         let golden = vm.run_numeric(&[5.0], None);
         // Flip the very first icmp (i -> loop exits immediately, sum 0).
-        let inj = Injection { target: InjectionTarget::DynamicIndex(0), bit: 0, burst: 0 };
+        let inj = Injection {
+            target: InjectionTarget::DynamicIndex(0),
+            bit: 0,
+            burst: 0,
+        };
         let faulty = vm.run_numeric(&[5.0], Some(inj));
         assert_eq!(faulty.status, RunStatus::Ok);
         assert_eq!(faulty.output, vec![0]);
@@ -643,10 +698,13 @@ mod tests {
         let vm = Vm::new(&m, ExecLimits::default());
         // mul is sid 1; instance 3 computes 3*3=9; flip bit 0 -> 8.
         let inj = Injection {
-            target: InjectionTarget::StaticInstance { sid: InstrId(1), instance: 3 },
+            target: InjectionTarget::StaticInstance {
+                sid: InstrId(1),
+                instance: 3,
+            },
             bit: 0,
-                burst: 0,
-            };
+            burst: 0,
+        };
         let faulty = vm.run_numeric(&[5.0], Some(inj));
         assert!(faulty.fault_activated);
         assert_eq!(faulty.output, vec![29]); // 30 - 1
@@ -656,7 +714,11 @@ mod tests {
     fn fault_not_activated_when_target_beyond_run() {
         let m = loop_module();
         let vm = Vm::new(&m, ExecLimits::default());
-        let inj = Injection { target: InjectionTarget::DynamicIndex(10_000), bit: 0, burst: 0 };
+        let inj = Injection {
+            target: InjectionTarget::DynamicIndex(10_000),
+            bit: 0,
+            burst: 0,
+        };
         let out = vm.run_numeric(&[5.0], Some(inj));
         assert!(!out.fault_activated);
         assert_eq!(out.output, vec![30]);
@@ -695,19 +757,41 @@ mod tests {
     #[test]
     fn oob_store_traps() {
         let m = mem_module();
-        let vm = Vm::new(&m, ExecLimits { memory_words: 64, ..Default::default() });
+        let vm = Vm::new(
+            &m,
+            ExecLimits {
+                memory_words: 64,
+                ..Default::default()
+            },
+        );
         let out = vm.run_numeric(&[1000.0, 1.0], None);
-        assert!(matches!(out.status, RunStatus::Trap(Trap::OutOfBounds { .. })));
+        assert!(matches!(
+            out.status,
+            RunStatus::Trap(Trap::OutOfBounds { .. })
+        ));
     }
 
     #[test]
     fn flipped_pointer_crashes() {
         let m = mem_module();
-        let vm = Vm::new(&m, ExecLimits { memory_words: 64, ..Default::default() });
+        let vm = Vm::new(
+            &m,
+            ExecLimits {
+                memory_words: 64,
+                ..Default::default()
+            },
+        );
         // Flip a high bit of the gep result -> wild address -> trap.
-        let inj = Injection { target: InjectionTarget::DynamicIndex(0), bit: 40, burst: 0 };
+        let inj = Injection {
+            target: InjectionTarget::DynamicIndex(0),
+            bit: 40,
+            burst: 0,
+        };
         let out = vm.run_numeric(&[2.0, 1.5], Some(inj));
-        assert!(matches!(out.status, RunStatus::Trap(Trap::OutOfBounds { .. })));
+        assert!(matches!(
+            out.status,
+            RunStatus::Trap(Trap::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -722,7 +806,10 @@ mod tests {
         mb.set_entry(main);
         let m = mb.finish();
         let vm = Vm::new(&m, ExecLimits::default());
-        assert_eq!(vm.run_numeric(&[0.0], None).status, RunStatus::Trap(Trap::DivByZero));
+        assert_eq!(
+            vm.run_numeric(&[0.0], None).status,
+            RunStatus::Trap(Trap::DivByZero)
+        );
         assert_eq!(vm.run_numeric(&[4.0], None).ret, Some(25));
     }
 
@@ -754,7 +841,13 @@ mod tests {
         let m = mb.finish();
         peppa_ir::verify(&m).unwrap();
         // Memory just big enough for one frame's alloca at a time.
-        let vm = Vm::new(&m, ExecLimits { memory_words: 12, ..Default::default() });
+        let vm = Vm::new(
+            &m,
+            ExecLimits {
+                memory_words: 12,
+                ..Default::default()
+            },
+        );
         let out = vm.run_numeric(&[], None);
         assert_eq!(out.status, RunStatus::Ok);
         assert_eq!(out.ret, Some(42));
@@ -773,8 +866,17 @@ mod tests {
         }
         mb.set_entry(f_id);
         let m = mb.finish();
-        let vm = Vm::new(&m, ExecLimits { max_call_depth: 16, ..Default::default() });
-        assert_eq!(vm.run_numeric(&[1.0], None).status, RunStatus::Trap(Trap::CallDepth));
+        let vm = Vm::new(
+            &m,
+            ExecLimits {
+                max_call_depth: 16,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            vm.run_numeric(&[1.0], None).status,
+            RunStatus::Trap(Trap::CallDepth)
+        );
     }
 
     #[test]
@@ -791,9 +893,42 @@ mod tests {
         mb.set_entry(main);
         let m = mb.finish();
         let vm = Vm::new(&m, ExecLimits::default());
-        let inj = Injection { target: InjectionTarget::DynamicIndex(0), bit: 31, burst: 0 };
+        let inj = Injection {
+            target: InjectionTarget::DynamicIndex(0),
+            bit: 31,
+            burst: 0,
+        };
         let out = vm.run_numeric(&[], Some(inj));
         assert_eq!(out.ret, Some((1i64 + i32::MIN as i64) as u64));
+    }
+
+    #[test]
+    fn hook_counts_match_profile() {
+        let m = loop_module();
+        let vm = Vm::new(&m, ExecLimits::default());
+        let bits = crate::inputs::encode_inputs(m.entry_func(), &[10.0]);
+        let mut prof = crate::hooks::OpcodeProfile::new(1);
+        let out = vm.run_with_hook(&bits, None, &mut prof);
+        assert_eq!(out.status, RunStatus::Ok);
+        assert_eq!(prof.total(), out.profile.dynamic);
+        for (sid, c) in out.profile.exec_counts.iter().enumerate() {
+            assert_eq!(prof.sid_count(InstrId(sid as u32)), *c, "sid {sid}");
+        }
+        let table = prof.hot_table(&m, 3);
+        assert!(table.contains("icmp"), "{table}");
+    }
+
+    #[test]
+    fn hooked_run_output_matches_plain_run() {
+        let m = loop_module();
+        let vm = Vm::new(&m, ExecLimits::default());
+        let bits = crate::inputs::encode_inputs(m.entry_func(), &[7.0]);
+        let plain = vm.run(&bits, None);
+        let mut prof = crate::hooks::OpcodeProfile::default();
+        let hooked = vm.run_with_hook(&bits, None, &mut prof);
+        assert_eq!(plain.output, hooked.output);
+        assert_eq!(plain.ret, hooked.ret);
+        assert_eq!(plain.profile, hooked.profile);
     }
 
     #[test]

@@ -43,7 +43,11 @@ mod tests {
             value_types: params.clone(),
             params,
             ret: None,
-            blocks: vec![Block { params: vec![], instrs: vec![], term: Term::Ret { value: None } }],
+            blocks: vec![Block {
+                params: vec![],
+                instrs: vec![],
+                term: Term::Ret { value: None },
+            }],
         }
     }
 
@@ -56,7 +60,10 @@ mod tests {
     #[test]
     fn int_rounding() {
         let func = f(vec![Ty::I64, Ty::I64]);
-        assert_eq!(encode_inputs(&func, &[2.6, -3.4]), vec![3u64, (-3i64) as u64]);
+        assert_eq!(
+            encode_inputs(&func, &[2.6, -3.4]),
+            vec![3u64, (-3i64) as u64]
+        );
     }
 
     #[test]

@@ -17,9 +17,11 @@
 //!   instructions (the fault-site population).
 
 pub mod exec;
+pub mod hooks;
 pub mod inputs;
 pub mod profile;
 
 pub use exec::{ExecLimits, Injection, InjectionTarget, RunOutput, RunStatus, Trap, Vm};
+pub use hooks::{ExecHook, NoHook, OpcodeProfile};
 pub use inputs::encode_inputs;
 pub use profile::Profile;

@@ -20,7 +20,11 @@ pub struct Profile {
 
 impl Profile {
     pub fn new(num_instrs: usize) -> Profile {
-        Profile { exec_counts: vec![0; num_instrs], dynamic: 0, value_dynamic: 0 }
+        Profile {
+            exec_counts: vec![0; num_instrs],
+            dynamic: 0,
+            value_dynamic: 0,
+        }
     }
 
     /// Static code coverage: the fraction of static instructions that
@@ -59,7 +63,11 @@ mod tests {
 
     #[test]
     fn coverage_counts_executed() {
-        let p = Profile { exec_counts: vec![3, 0, 1, 0], dynamic: 4, value_dynamic: 4 };
+        let p = Profile {
+            exec_counts: vec![3, 0, 1, 0],
+            dynamic: 4,
+            value_dynamic: 4,
+        };
         assert!((p.coverage() - 0.5).abs() < 1e-12);
         assert_eq!(p.covered_sids(), vec![0, 2]);
     }
@@ -72,7 +80,11 @@ mod tests {
 
     #[test]
     fn footprint_fractions() {
-        let p = Profile { exec_counts: vec![1, 3], dynamic: 4, value_dynamic: 4 };
+        let p = Profile {
+            exec_counts: vec![1, 3],
+            dynamic: 4,
+            value_dynamic: 4,
+        };
         assert!((p.footprint(1) - 0.75).abs() < 1e-12);
     }
 }

@@ -149,7 +149,13 @@ fn trap_of(build: impl FnOnce(&mut peppa_ir::FunctionBuilder<'_>)) -> RunStatus 
     f.finish();
     mb.set_entry(main);
     let m = mb.finish();
-    let vm = Vm::new(&m, ExecLimits { memory_words: 64, ..Default::default() });
+    let vm = Vm::new(
+        &m,
+        ExecLimits {
+            memory_words: 64,
+            ..Default::default()
+        },
+    );
     vm.run_numeric(&[], None).status
 }
 
@@ -191,7 +197,13 @@ fn memory_capture_present_even_on_trap() {
     f.finish();
     mb.set_entry(main);
     let m: Module = mb.finish();
-    let vm = Vm::new(&m, ExecLimits { memory_words: 16, ..Default::default() });
+    let vm = Vm::new(
+        &m,
+        ExecLimits {
+            memory_words: 16,
+            ..Default::default()
+        },
+    );
     let bits: Vec<u64> = vec![];
     let out = vm.run_capture(&bits, None);
     assert!(matches!(out.status, RunStatus::Trap(_)));

@@ -32,13 +32,22 @@ fn main() {
     let baseline = baseline_search(
         &bench,
         budget,
-        BaselineConfig { seed: 17, fi_trials: 400, ..Default::default() },
+        BaselineConfig {
+            seed: 17,
+            fi_trials: 400,
+            ..Default::default()
+        },
     );
 
     println!("benchmark: {} — equal-budget comparison\n", bench.name);
-    println!("{:>12} {:>14} {:>14}", "generations", "PEPPA-X SDC", "baseline SDC");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "generations", "PEPPA-X SDC", "baseline SDC"
+    );
     for cp in &report.checkpoints {
-        let base = baseline.best_at_budget(cp.search_cost_dynamic).unwrap_or(0.0);
+        let base = baseline
+            .best_at_budget(cp.search_cost_dynamic)
+            .unwrap_or(0.0);
         println!(
             "{:>12} {:>13.2}% {:>13.2}%",
             cp.generation,

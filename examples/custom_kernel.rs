@@ -40,7 +40,10 @@ const SOURCE: &str = r#"
 fn main() {
     // 1. Compile MiniC to PIR and dump the entry function's IR.
     let module = peppa_x::lang::compile(SOURCE, "diffusion").expect("compiles");
-    println!("compiled `diffusion`: {} static instructions\n", module.num_instrs);
+    println!(
+        "compiled `diffusion`: {} static instructions\n",
+        module.num_instrs
+    );
     println!("{}", print_function(&module, module.entry_func()));
 
     let input = [64.0, 12.0, 0.2];
@@ -51,7 +54,11 @@ fn main() {
         &module,
         &input,
         limits,
-        CampaignConfig { trials: 600, seed: 3, ..Default::default() },
+        CampaignConfig {
+            trials: 600,
+            seed: 3,
+            ..Default::default()
+        },
     )
     .expect("golden run OK");
     println!(
@@ -76,7 +83,11 @@ fn main() {
         &module,
         &input,
         limits,
-        PerInstrConfig { trials_per_instr: 40, seed: 5, ..Default::default() },
+        PerInstrConfig {
+            trials_per_instr: 40,
+            seed: 5,
+            ..Default::default()
+        },
         Some(&reps),
     )
     .expect("measurement");
@@ -91,10 +102,20 @@ fn main() {
     println!("\nmost SDC-sensitive representatives:");
     let instrs = module.all_instrs();
     for (sid, p) in ranked.iter().take(5) {
-        println!("  sid {:>4} {:<8} {:.1}%", sid, instrs[*sid as usize].1.op.mnemonic(), p * 100.0);
+        println!(
+            "  sid {:>4} {:<8} {:.1}%",
+            sid,
+            instrs[*sid as usize].1.op.mnemonic(),
+            p * 100.0
+        );
     }
     println!("least sensitive:");
     for (sid, p) in ranked.iter().rev().take(5) {
-        println!("  sid {:>4} {:<8} {:.1}%", sid, instrs[*sid as usize].1.op.mnemonic(), p * 100.0);
+        println!(
+            "  sid {:>4} {:<8} {:.1}%",
+            sid,
+            instrs[*sid as usize].1.op.mnemonic(),
+            p * 100.0
+        );
     }
 }

@@ -23,7 +23,11 @@ fn main() {
     // 2. Statistical fault injection with the suite's reference input —
     //    what the paper's §3 calls the over-optimistic default view.
     let limits = ExecLimits::default();
-    let cfg = CampaignConfig { trials: 500, seed: 1, ..Default::default() };
+    let cfg = CampaignConfig {
+        trials: 500,
+        seed: 1,
+        ..Default::default()
+    };
     let reference = run_campaign(&bench.module, &bench.reference_input, limits, cfg)
         .expect("reference input runs cleanly");
     println!(

@@ -37,17 +37,21 @@ fn main() {
     );
 
     // Plan protection with the *reference* input (what developers do).
-    let measured =
-        measure_for_planning(&bench.module, &bench.reference_input, limits, 30, 99, 0)
-            .expect("planning measurement");
+    let measured = measure_for_planning(&bench.module, &bench.reference_input, limits, 30, 99, 0)
+        .expect("planning measurement");
 
     println!(
         "\n{:>7} {:>10} {:>12} {:>10} {:>11}",
         "level", "expected", "ref-actual", "stressed", "#protected"
     );
     for level in [0.3, 0.5, 0.7] {
-        let plan =
-            plan_from_measurement(&bench.module, &bench.reference_input, limits, &measured, level);
+        let plan = plan_from_measurement(
+            &bench.module,
+            &bench.reference_input,
+            limits,
+            &measured,
+            level,
+        );
         let selected: HashSet<_> = plan.selected.iter().copied().collect();
         let protected = apply_protection(&bench.module, &selected);
 

@@ -5,8 +5,9 @@
 //!
 //! ```text
 //! peppa compile  prog.mc                          dump the compiled PIR
-//! peppa run      prog.mc --input 8,2.5            golden run + profile
+//! peppa run      prog.mc --input 8,2.5 [--profile] golden run + profile
 //! peppa inject   prog.mc --input 8,2.5 [--trials 1000] [--seed 1]
+//!                [--threads N] [--trace-out t.jsonl] [--metrics-out m.json] [--quiet]
 //! peppa analyze  prog.mc                          pruning report
 //! peppa trace    prog.mc --input 8,2.5 --site 12 --bit 40
 //! peppa corpus   prog.mc --input 8,2.5 --count 200 > corpus.json
@@ -20,14 +21,20 @@
 //! `--spec` entries are `name:int|float:lo:hi:small_lo:small_hi`, one per
 //! program input, defining the search space and the small-FI-input
 //! window.
+//!
+//! Observability flags (available on every subcommand that executes the
+//! pipeline): `--trace-out FILE.jsonl` writes a replayable JSONL run
+//! journal, `--metrics-out FILE.json` writes a metrics snapshot on exit,
+//! `--quiet` suppresses the live progress line, `--threads N` sets the
+//! FI worker count (0 = all cores).
 
 use peppa_x::apps::{ArgSpec, Benchmark};
 use peppa_x::core::{PeppaConfig, PeppaX};
-use peppa_x::inject::{
-    generate_corpus, run_campaign, trace_propagation, CampaignConfig,
-};
-use peppa_x::vm::{ExecLimits, Injection, InjectionTarget, Vm};
+use peppa_x::inject::{generate_corpus, run_campaign_observed, trace_propagation, CampaignConfig};
+use peppa_x::obs::{JsonlJournal, MetricsRegistry, MultiObserver, ProgressReporter};
+use peppa_x::vm::{ExecLimits, Injection, InjectionTarget, OpcodeProfile, Vm};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +59,11 @@ struct Opts {
     count: usize,
     budget_sdc: f64,
     bench: Option<String>,
+    threads: usize,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    quiet: bool,
+    profile: bool,
 }
 
 fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
@@ -68,11 +80,18 @@ fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
         count: 200,
         budget_sdc: 1.0,
         bench: None,
+        threads: 0,
+        trace_out: None,
+        metrics_out: None,
+        quiet: false,
+        profile: false,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> Result<String, String> {
-            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
         };
         match a.as_str() {
             "--input" => o.input = Some(parse_floats(&val("--input")?)?),
@@ -81,15 +100,24 @@ fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
             "--trials" => o.trials = val("--trials")?.parse().map_err(|_| "bad --trials")?,
             "--seed" => o.seed = val("--seed")?.parse().map_err(|_| "bad --seed")?,
             "--generations" => {
-                o.generations = val("--generations")?.parse().map_err(|_| "bad --generations")?
+                o.generations = val("--generations")?
+                    .parse()
+                    .map_err(|_| "bad --generations")?
             }
             "--site" => o.site = Some(val("--site")?.parse().map_err(|_| "bad --site")?),
             "--bit" => o.bit = val("--bit")?.parse().map_err(|_| "bad --bit")?,
             "--count" => o.count = val("--count")?.parse().map_err(|_| "bad --count")?,
             "--budget-sdc" => {
-                o.budget_sdc = val("--budget-sdc")?.parse().map_err(|_| "bad --budget-sdc")?
+                o.budget_sdc = val("--budget-sdc")?
+                    .parse()
+                    .map_err(|_| "bad --budget-sdc")?
             }
             "--bench" => o.bench = Some(val("--bench")?),
+            "--threads" => o.threads = val("--threads")?.parse().map_err(|_| "bad --threads")?,
+            "--trace-out" => o.trace_out = Some(val("--trace-out")?),
+            "--metrics-out" => o.metrics_out = Some(val("--metrics-out")?),
+            "--quiet" => o.quiet = true,
+            "--profile" => o.profile = true,
             other if !other.starts_with("--") && file.is_none() => {
                 file = Some(other.to_string());
             }
@@ -101,7 +129,11 @@ fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
 
 fn parse_floats(s: &str) -> Result<Vec<f64>, String> {
     s.split(',')
-        .map(|p| p.trim().parse::<f64>().map_err(|_| format!("bad number `{p}`")))
+        .map(|p| {
+            p.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad number `{p}`"))
+        })
         .collect()
 }
 
@@ -116,7 +148,9 @@ fn parse_spec(s: &str) -> Result<Vec<ArgSpec>, String> {
             }
             let name: &'static str = Box::leak(parts[0].to_string().into_boxed_str());
             let num = |i: usize| -> Result<f64, String> {
-                parts[i].parse().map_err(|_| format!("bad number `{}`", parts[i]))
+                parts[i]
+                    .parse()
+                    .map_err(|_| format!("bad number `{}`", parts[i]))
             };
             match parts[1] {
                 "int" => Ok(ArgSpec::int(
@@ -145,7 +179,10 @@ fn load_program(file: Option<String>, o: &Opts) -> Result<Benchmark, String> {
     let args: Vec<ArgSpec> = match &o.spec {
         Some(spec) => {
             if spec.len() != nparams {
-                return Err(format!("--spec has {} entries, program takes {nparams}", spec.len()));
+                return Err(format!(
+                    "--spec has {} entries, program takes {nparams}",
+                    spec.len()
+                ));
             }
             spec.clone()
         }
@@ -173,6 +210,35 @@ fn load_program(file: Option<String>, o: &Opts) -> Result<Benchmark, String> {
     })
 }
 
+/// Builds the observer stack requested by the flags: JSONL journal
+/// (`--trace-out`), metrics registry (`--metrics-out`), and a live
+/// progress line unless `--quiet`. The registry handle is returned
+/// separately so the snapshot can be written on exit.
+fn build_observer(o: &Opts) -> Result<(MultiObserver, Option<Arc<MetricsRegistry>>), String> {
+    let mut multi = MultiObserver::new();
+    let mut registry = None;
+    if let Some(path) = &o.trace_out {
+        let journal = JsonlJournal::create(path).map_err(|e| format!("{path}: {e}"))?;
+        multi.push(Arc::new(journal));
+    }
+    if o.metrics_out.is_some() {
+        let reg = Arc::new(MetricsRegistry::new());
+        multi.push(Arc::clone(&reg) as Arc<dyn peppa_x::obs::Observer>);
+        registry = Some(reg);
+    }
+    if !o.quiet {
+        multi.push(Arc::new(ProgressReporter::default()));
+    }
+    Ok((multi, registry))
+}
+
+fn write_metrics(o: &Opts, registry: &Option<Arc<MetricsRegistry>>) -> Result<(), String> {
+    if let (Some(path), Some(reg)) = (&o.metrics_out, registry) {
+        std::fs::write(path, reg.snapshot_json()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn run(args: Vec<String>) -> Result<ExitCode, String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("usage: peppa <compile|run|inject|analyze|trace|corpus|search|ci> ...".into());
@@ -180,7 +246,12 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
     let (file, o) = parse_opts(rest)?;
     let bench = load_program(file, &o)?;
     let limits = ExecLimits::default();
-    let input = o.input.clone().unwrap_or_else(|| bench.reference_input.clone());
+    let input = o
+        .input
+        .clone()
+        .unwrap_or_else(|| bench.reference_input.clone());
+    let (observer, registry) = build_observer(&o)?;
+    let mut exit = ExitCode::SUCCESS;
 
     match cmd.as_str() {
         "compile" => {
@@ -188,10 +259,22 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
         }
         "run" => {
             let vm = Vm::new(&bench.module, limits);
-            let out = vm.run_numeric(&input, None);
+            let out = if o.profile {
+                let bits = peppa_x::vm::encode_inputs(bench.module.entry_func(), &input);
+                let mut prof = OpcodeProfile::new(64);
+                let out = vm.run_with_hook(&bits, None, &mut prof);
+                println!("{}", prof.hot_table(&bench.module, 10));
+                out
+            } else {
+                vm.run_numeric(&input, None)
+            };
             println!("status: {:?}", out.status);
             for (i, w) in out.output.iter().enumerate() {
-                println!("output[{i}] = {} (as f64: {})", *w as i64, f64::from_bits(*w));
+                println!(
+                    "output[{i}] = {} (as f64: {})",
+                    *w as i64,
+                    f64::from_bits(*w)
+                );
             }
             println!(
                 "dynamic instructions: {} ({} fault sites), coverage {:.1}%",
@@ -201,8 +284,13 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             );
         }
         "inject" => {
-            let cfg = CampaignConfig { trials: o.trials, seed: o.seed, ..Default::default() };
-            let r = run_campaign(&bench.module, &input, limits, cfg)
+            let cfg = CampaignConfig {
+                trials: o.trials,
+                seed: o.seed,
+                threads: o.threads,
+                ..Default::default()
+            };
+            let r = run_campaign_observed(&bench.module, &input, limits, cfg, &observer)
                 .map_err(|e| e.to_string())?;
             println!(
                 "trials {}: SDC {:.2}% (CI ±{:.2}pp)  crash {:.2}%  hang {:.2}%  benign {:.2}%",
@@ -226,10 +314,17 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
         }
         "trace" => {
             let site = o.site.ok_or("trace needs --site <dynamic value index>")?;
-            let inj = Injection { target: InjectionTarget::DynamicIndex(site), bit: o.bit, burst: 0 };
+            let inj = Injection {
+                target: InjectionTarget::DynamicIndex(site),
+                bit: o.bit,
+                burst: 0,
+            };
             let t = trace_propagation(&bench.module, &input, inj, limits, 10);
             println!("outcome: {:?}", t.outcome);
-            println!("{:>12} {:>14} {:>10}", "dynamic", "corrupt words", "outputs");
+            println!(
+                "{:>12} {:>14} {:>10}",
+                "dynamic", "corrupt words", "outputs"
+            );
             for s in &t.samples {
                 println!(
                     "{:>12} {:>14} {:>10}",
@@ -246,10 +341,11 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             let cfg = PeppaConfig {
                 seed: o.seed,
                 final_fi_trials: o.trials,
+                threads: o.threads,
                 ..Default::default()
             };
             let px = PeppaX::prepare(&bench, cfg).map_err(|e| e.to_string())?;
-            let report = px.search(&[o.generations]);
+            let report = px.search_observed(&[o.generations], &observer);
             let bound = report.sdc_bound();
             println!(
                 "SDC-bound input: {:?}\nbounded SDC probability: {:.2}% (CI ±{:.2}pp)",
@@ -264,17 +360,17 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                         bound.sdc.sdc_prob() * 100.0,
                         o.budget_sdc * 100.0
                     );
-                    return Ok(ExitCode::from(1));
+                    exit = ExitCode::from(1);
+                } else {
+                    println!("PASS: SDC bound within budget {:.2}%", o.budget_sdc * 100.0);
                 }
-                println!(
-                    "PASS: SDC bound within budget {:.2}%",
-                    o.budget_sdc * 100.0
-                );
             }
         }
         other => return Err(format!("unknown command `{other}`")),
     }
-    Ok(ExitCode::SUCCESS)
+    peppa_x::obs::Observer::flush(&observer);
+    write_metrics(&o, &registry)?;
+    Ok(exit)
 }
 
 // Tiny hand-rolled JSON encoding for the corpus (the root crate avoids a

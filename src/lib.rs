@@ -17,6 +17,7 @@
 //! * [`apps`] — the seven HPC benchmark kernels.
 //! * [`core`] — the PEPPA-X pipeline and the baseline search.
 //! * [`protect`] — selective instruction duplication and stress tests.
+//! * [`obs`] — structured tracing, metrics, and run journals.
 
 pub use peppa_analysis as analysis;
 pub use peppa_apps as apps;
@@ -25,6 +26,7 @@ pub use peppa_ga as ga;
 pub use peppa_inject as inject;
 pub use peppa_ir as ir;
 pub use peppa_lang as lang;
+pub use peppa_obs as obs;
 pub use peppa_protect as protect;
 pub use peppa_stats as stats;
 pub use peppa_vm as vm;

@@ -6,7 +6,15 @@ use peppa_x::vm::{ExecLimits, RunStatus, Vm};
 use proptest::prelude::*;
 
 fn bench_names() -> &'static [&'static str] {
-    &["Pathfinder", "Needle", "Particlefilter", "CoMD", "Hpccg", "Xsbench", "FFT"]
+    &[
+        "Pathfinder",
+        "Needle",
+        "Particlefilter",
+        "CoMD",
+        "Hpccg",
+        "Xsbench",
+        "FFT",
+    ]
 }
 
 #[test]
@@ -50,7 +58,10 @@ fn injections_never_escape_the_sandbox() {
             let out = fvm.run_numeric(&b.reference_input, Some(inj));
             // Any status is fine; reaching here means no panic. Also the
             // profile must stay bounded.
-            assert!(out.profile.dynamic <= faulty_limits.max_dynamic + 1, "{name}");
+            assert!(
+                out.profile.dynamic <= faulty_limits.max_dynamic + 1,
+                "{name}"
+            );
         }
     }
 }

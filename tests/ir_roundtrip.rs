@@ -8,8 +8,8 @@ use peppa_x::vm::{ExecLimits, Vm};
 fn all_benchmarks_roundtrip_through_text() {
     for bench in peppa_x::apps::all_benchmarks() {
         let text = bench.module.to_string();
-        let reparsed = parse_module(&text)
-            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", bench.name));
+        let reparsed =
+            parse_module(&text).unwrap_or_else(|e| panic!("{}: reparse failed: {e}", bench.name));
         assert_eq!(
             reparsed.num_instrs, bench.module.num_instrs,
             "{}: instruction count changed",
@@ -21,7 +21,11 @@ fn all_benchmarks_roundtrip_through_text() {
         let a = vm0.run_numeric(&bench.reference_input, None);
         let b = vm1.run_numeric(&bench.reference_input, None);
         assert_eq!(a.status, b.status, "{}", bench.name);
-        assert_eq!(a.output, b.output, "{}: outputs differ after round-trip", bench.name);
+        assert_eq!(
+            a.output, b.output,
+            "{}: outputs differ after round-trip",
+            bench.name
+        );
         assert_eq!(
             a.profile.exec_counts, b.profile.exec_counts,
             "{}: profiles differ after round-trip",
@@ -41,7 +45,11 @@ fn roundtrip_preserves_fault_injection_behaviour() {
     let vm0 = Vm::new(&bench.module, ExecLimits::default());
     let vm1 = Vm::new(&reparsed, ExecLimits::default());
     for (site, bit) in [(5u64, 3u32), (100, 40), (999, 62), (12345, 17)] {
-        let inj = Injection { target: InjectionTarget::DynamicIndex(site), bit, burst: 0 };
+        let inj = Injection {
+            target: InjectionTarget::DynamicIndex(site),
+            bit,
+            burst: 0,
+        };
         let a = vm0.run_numeric(&bench.reference_input, Some(inj));
         let b = vm1.run_numeric(&bench.reference_input, Some(inj));
         assert_eq!(a.status, b.status, "site {site} bit {bit}");

@@ -33,7 +33,11 @@ fn sdc_bound_input_beats_reference_input() {
         &bench.module,
         &bench.reference_input,
         limits(),
-        CampaignConfig { trials: 150, seed: 3, ..Default::default() },
+        CampaignConfig {
+            trials: 150,
+            seed: 3,
+            ..Default::default()
+        },
     )
     .unwrap();
 
@@ -51,8 +55,7 @@ fn fitness_correlates_with_measured_sdc() {
     // FI does. Check rank correlation across a handful of inputs.
     let bench = peppa_x::apps::benchmark_by_name("Pathfinder").unwrap();
     let small = fuzz_small_input(&bench, limits(), SmallInputConfig::default()).unwrap();
-    let scores =
-        derive_sdc_scores(&bench, &small.input, limits(), 12, 5, true, 0).unwrap();
+    let scores = derive_sdc_scores(&bench, &small.input, limits(), 12, 5, true, 0).unwrap();
 
     let inputs = peppa_x::apps::random_inputs(
         &bench,
@@ -69,14 +72,21 @@ fn fitness_correlates_with_measured_sdc() {
             &bench.module,
             input,
             limits(),
-            CampaignConfig { trials: 200, seed: 7 + i as u64, ..Default::default() },
+            CampaignConfig {
+                trials: 200,
+                seed: 7 + i as u64,
+                ..Default::default()
+            },
         )
         .unwrap();
         fits.push(f);
         sdcs.push(c.sdc_prob());
     }
     let rho = spearman(&fits, &sdcs);
-    assert!(rho > -0.5, "fitness anti-correlates strongly with SDC: rho = {rho}");
+    assert!(
+        rho > -0.5,
+        "fitness anti-correlates strongly with SDC: rho = {rho}"
+    );
 }
 
 #[test]
@@ -85,8 +95,7 @@ fn sdc_sensitivity_distribution_is_stationary() {
     // inputs should rank instructions similarly.
     let bench = peppa_x::apps::benchmark_by_name("Needle").unwrap();
     let a = derive_sdc_scores(&bench, &[8.0, 8.0, 4.0, 11.0], limits(), 20, 2, true, 0).unwrap();
-    let b = derive_sdc_scores(&bench, &[12.0, 10.0, 6.0, 777.0], limits(), 20, 3, true, 0)
-        .unwrap();
+    let b = derive_sdc_scores(&bench, &[12.0, 10.0, 6.0, 777.0], limits(), 20, 3, true, 0).unwrap();
     // Compare over instructions scored under both inputs.
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -120,7 +129,11 @@ fn peppa_and_baseline_comparable_interfaces() {
     let baseline = baseline_search(
         &bench,
         budget,
-        BaselineConfig { seed: 2, fi_trials: 100, ..Default::default() },
+        BaselineConfig {
+            seed: 2,
+            fi_trials: 100,
+            ..Default::default()
+        },
     );
     let base_best = baseline.best_at_budget(budget).unwrap_or(0.0);
     let peppa_best = report.checkpoints[0].sdc.sdc_prob();

@@ -58,11 +58,15 @@ fn protected_benchmarks_stay_functionally_correct() {
     // on the reference input.
     for bench in peppa_x::apps::all_benchmarks() {
         let limits = ExecLimits::default();
-        let measured =
-            measure_for_planning(&bench.module, &bench.reference_input, limits, 4, 9, 0)
-                .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
-        let plan =
-            plan_from_measurement(&bench.module, &bench.reference_input, limits, &measured, 0.5);
+        let measured = measure_for_planning(&bench.module, &bench.reference_input, limits, 4, 9, 0)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let plan = plan_from_measurement(
+            &bench.module,
+            &bench.reference_input,
+            limits,
+            &measured,
+            0.5,
+        );
         let selected: HashSet<_> = plan.selected.iter().copied().collect();
         let protected = apply_protection(&bench.module, &selected);
 
@@ -70,8 +74,17 @@ fn protected_benchmarks_stay_functionally_correct() {
         let vm1 = Vm::new(&protected.module, limits);
         let a = vm0.run_numeric(&bench.reference_input, None);
         let b = vm1.run_numeric(&bench.reference_input, None);
-        assert_eq!(b.status, RunStatus::Ok, "{}: protected run failed", bench.name);
-        assert_eq!(a.output, b.output, "{}: protection changed behaviour", bench.name);
+        assert_eq!(
+            b.status,
+            RunStatus::Ok,
+            "{}: protected run failed",
+            bench.name
+        );
+        assert_eq!(
+            a.output, b.output,
+            "{}: protection changed behaviour",
+            bench.name
+        );
         assert!(
             b.profile.dynamic > a.profile.dynamic,
             "{}: protection added no work?",

@@ -1,0 +1,269 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, throughput
+//! annotation, `bench_function`/`bench_with_input`) with a simple
+//! wall-clock harness: warm up briefly, time adaptive batches, report
+//! median-of-samples ns/iter and derived throughput. No statistical
+//! regression analysis or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Per-iteration timing driver passed to bench closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    sample_count: usize,
+}
+
+impl Bencher<'_> {
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // Warm-up: let caches/branch predictors settle and estimate the
+        // per-iteration cost to size batches (~10ms per sample).
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(30) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let (sample_size, throughput) = (self.sample_size, self.throughput);
+        self.criterion.run_one(&full, sample_size, throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Parses harness CLI args (`cargo bench` appends `--bench`; a bare
+    /// token filters benchmark names, like real criterion).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--profile-time" | "--noplot" | "--quiet" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time" => {
+                    let _ = args.next();
+                }
+                s if !s.starts_with('-') => self.filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = id.into().id;
+        self.run_one(&full, 10, None, f);
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        name: &str,
+        sample_count: usize,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut samples: Vec<f64> = Vec::new();
+        f(&mut Bencher {
+            samples: &mut samples,
+            sample_count,
+        });
+        if samples.is_empty() {
+            println!("{name:<48} (no samples — bencher.iter never called)");
+            return;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.2} Melem/s", n as f64 / median / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.2} MiB/s", n as f64 / median / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{name:<48} median {:>12}  [{} .. {}]{rate}",
+            fmt_time(median),
+            fmt_time(lo),
+            fmt_time(hi)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.3} s", secs)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_compose() {
+        assert_eq!(BenchmarkId::new("f", "x").id, "f/x");
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+    }
+
+    #[test]
+    fn harness_times_a_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |_b| {
+            ran = true;
+        });
+        assert!(!ran);
+    }
+}

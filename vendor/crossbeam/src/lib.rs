@@ -1,0 +1,65 @@
+//! Offline stand-in for `crossbeam`, covering the `thread::scope` API
+//! the workspace uses. Since Rust 1.63, `std::thread::scope` provides
+//! the same borrow-friendly scoped spawning, so this is a thin adapter
+//! that keeps crossbeam's call shape (`scope(|s| ...)` returning
+//! `Result`, spawn closures receiving a `&Scope` argument).
+
+pub mod thread {
+    /// Mirrors `crossbeam::thread::Scope`; wraps the std scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a `&Scope` (as
+        /// crossbeam's does), allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads, joining them all
+    /// before returning. Matches crossbeam's signature: returns
+    /// `Err(Box<dyn Any>)` if any child panicked. (std's scope
+    /// propagates child panics after joining, so a panic payload here is
+    /// resurfaced as an `Err` to keep crossbeam's `.expect(...)` call
+    /// sites working.)
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut data = vec![0u64; 8];
+        super::thread::scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    *slot = i as u64 * 2;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn panicking_child_reports_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,386 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives `serde::Serialize` / `serde::Deserialize` (the vendored
+//! value-tree flavor) for the shapes this workspace uses: non-generic
+//! structs (named, tuple, unit) and enums whose variants are unit,
+//! tuple, or struct-like. Serde's JSON conventions are preserved: named
+//! structs become objects, newtype structs unwrap to their inner value,
+//! unit variants become strings, data-carrying variants become
+//! single-key objects.
+//!
+//! No `syn`/`quote`: the input item is parsed with a small hand-rolled
+//! scanner over `proc_macro::TokenStream` and the impl is emitted as a
+//! source string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+}
+
+enum Shape {
+    Unit,
+    /// Tuple struct/variant with `n` fields.
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips outer attributes (`#[...]`) and visibility (`pub`,
+/// `pub(crate)`, ...) at the cursor.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then the bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Counts top-level comma-separated items in a token slice, treating
+/// `<...>` angle-bracket nesting as one level (angle brackets are plain
+/// puncts in a token stream, so `HashMap<String, u32>` holds a comma
+/// that must not split a field).
+fn split_top_level_commas(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parses the fields of a braced (named-field) body.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_top_level_commas(&toks)
+        .into_iter()
+        .filter_map(|field_toks| {
+            let i = skip_attrs_and_vis(&field_toks, 0);
+            match field_toks.get(i) {
+                Some(TokenTree::Ident(id)) => Some(Field {
+                    name: id.to_string(),
+                }),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_tuple_arity(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_top_level_commas(&toks).len()
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_top_level_commas(&toks)
+        .into_iter()
+        .filter_map(|vt| {
+            let i = skip_attrs_and_vis(&vt, 0);
+            let name = match vt.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return None,
+            };
+            let shape = match vt.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_arity(g))
+                }
+                // Unit variant, possibly with `= discriminant`.
+                _ => Shape::Unit,
+            };
+            Some(Variant { name, shape })
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic types (on `{name}`)");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_arity(g))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                _ => panic!("derive: enum `{name}` has no body"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("derive: unsupported item kind `{other}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+                Shape::Named(fields) => object_expr(fields, "self."),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|k| format!("__f{k}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let inner = object_expr(fields, "");
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ match self {{ {} }} }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    src.parse()
+        .expect("serde_derive: generated impl failed to parse")
+}
+
+/// `Value::Object` expression serializing `fields`; `prefix` is `self.`
+/// for struct impls or empty for match-bound variant fields (bindings
+/// are `&T`, which the blanket `&T: Serialize` impl handles).
+fn object_expr(fields: &[Field], prefix: &str) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let n = &f.name;
+            format!("(\"{n}\".to_string(), ::serde::Serialize::to_value(&{prefix}{n}))")
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("Ok({name})"),
+                Shape::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+                }
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| {
+                            format!(
+                                "::serde::Deserialize::from_value(__a.get({k}).ok_or_else(|| ::serde::DeError::new(\"{name}: missing tuple field {k}\"))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let __a = __v.as_array().ok_or_else(|| ::serde::DeError::new(\"{name}: expected array\"))?;\n\
+                         Ok({name}({}))",
+                        elems.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            let n = &f.name;
+                            format!(
+                                "{n}: ::serde::Deserialize::from_value(__v.get(\"{n}\").ok_or_else(|| ::serde::DeError::new(\"{name}: missing field `{n}`\"))?)?"
+                            )
+                        })
+                        .collect();
+                    format!("Ok({name} {{ {} }})", inits.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+                .collect();
+            let keyed_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__a.get({k}).ok_or_else(|| ::serde::DeError::new(\"{name}::{vn}: short tuple\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let __a = __inner.as_array().ok_or_else(|| ::serde::DeError::new(\"{name}::{vn}: expected array\"))?; return Ok({name}::{vn}({})); }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    let n = &f.name;
+                                    format!(
+                                        "{n}: ::serde::Deserialize::from_value(__inner.get(\"{n}\").ok_or_else(|| ::serde::DeError::new(\"{name}::{vn}: missing field `{n}`\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => return Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 if let ::serde::Value::Str(__s) = __v {{\n\
+                 match __s.as_str() {{ {} _ => {{}} }}\n\
+                 }}\n\
+                 if let ::serde::Value::Object(__pairs) = __v {{\n\
+                 if let Some((__tag, __inner)) = __pairs.first() {{\n\
+                 match __tag.as_str() {{ {} _ => {{}} }}\n\
+                 }}\n\
+                 }}\n\
+                 Err(::serde::DeError::new(\"no variant of {name} matched\"))\n\
+                 }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                keyed_arms.join("\n")
+            )
+        }
+    };
+    src.parse()
+        .expect("serde_derive: generated impl failed to parse")
+}
