@@ -1,0 +1,252 @@
+//! Control-flow graph view over one PIR function.
+//!
+//! Provides the block-graph facts every dataflow client needs: successor
+//! and predecessor lists, a reverse-postorder (RPO) traversal, immediate
+//! dominators (Cooper–Harvey–Kennedy over RPO), and loop-header
+//! detection via retreating edges.
+
+use peppa_ir::{BlockId, Function};
+
+/// CFG facts for one function. Block indices are `BlockId.0 as usize`;
+/// block 0 is the entry. The verifier guarantees every block is
+/// reachable from the entry, which the dominator construction relies on.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor blocks, from each block's terminator.
+    pub succs: Vec<Vec<u32>>,
+    /// Predecessor blocks (inverse of `succs`).
+    pub preds: Vec<Vec<u32>>,
+    /// Blocks in reverse postorder; `rpo[0]` is the entry.
+    pub rpo: Vec<u32>,
+    /// `rpo_pos[b]`: position of block `b` within `rpo`.
+    pub rpo_pos: Vec<u32>,
+    /// `idom[b]`: immediate dominator of block `b`; the entry is its own
+    /// idom.
+    pub idom: Vec<u32>,
+    /// `loop_header[b]`: whether some edge `u -> b` retreats in RPO
+    /// (i.e. `b` starts a natural loop). Widening points for the
+    /// interval analysis.
+    pub loop_header: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `f`. All blocks must be reachable (the builder
+    /// prunes unreachable blocks; the verifier rejects them).
+    pub fn new(f: &Function) -> Cfg {
+        let n = f.num_blocks();
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (b, sv) in succs.iter_mut().enumerate() {
+            for s in f.successors(BlockId(b as u32)) {
+                sv.push(s.0);
+                preds[s.0 as usize].push(b as u32);
+            }
+        }
+
+        // Iterative DFS postorder from the entry.
+        let mut post: Vec<u32> = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Stack holds (block, next-successor-index).
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        if n > 0 {
+            visited[0] = true;
+            stack.push((0, 0));
+        }
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b as usize].len() {
+                let s = succs[b as usize][*i];
+                *i += 1;
+                if !visited[s as usize] {
+                    visited[s as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<u32> = post.iter().rev().copied().collect();
+        let mut rpo_pos = vec![u32::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_pos[b as usize] = i as u32;
+        }
+
+        let idom = compute_idom(n, &preds, &rpo, &rpo_pos);
+
+        let mut loop_header = vec![false; n];
+        for b in 0..n {
+            for &s in &succs[b] {
+                if rpo_pos[s as usize] <= rpo_pos[b] {
+                    loop_header[s as usize] = true;
+                }
+            }
+        }
+
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_pos,
+            idom,
+            loop_header,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether block `a` dominates block `b` (reflexive). Walks the
+    /// dominator tree from `b` up to the entry.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b.0;
+        loop {
+            if cur == a.0 {
+                return true;
+            }
+            if cur == 0 {
+                return a.0 == 0;
+            }
+            cur = self.idom[cur as usize];
+        }
+    }
+}
+
+/// Cooper–Harvey–Kennedy "engineered" dominator algorithm: iterate
+/// `idom[b] = intersect(processed preds of b)` over RPO to fixpoint.
+fn compute_idom(n: usize, preds: &[Vec<u32>], rpo: &[u32], rpo_pos: &[u32]) -> Vec<u32> {
+    let mut idom = vec![u32::MAX; n];
+    if n == 0 {
+        return idom;
+    }
+    idom[0] = 0;
+
+    let intersect = |idom: &[u32], mut a: u32, mut b: u32| -> u32 {
+        while a != b {
+            while rpo_pos[a as usize] > rpo_pos[b as usize] {
+                a = idom[a as usize];
+            }
+            while rpo_pos[b as usize] > rpo_pos[a as usize] {
+                b = idom[b as usize];
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new = u32::MAX;
+            for &p in &preds[b as usize] {
+                if idom[p as usize] == u32::MAX {
+                    continue; // not processed yet this round
+                }
+                new = if new == u32::MAX {
+                    p
+                } else {
+                    intersect(&idom, new, p)
+                };
+            }
+            if new != u32::MAX && idom[b as usize] != new {
+                idom[b as usize] = new;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppa_ir::Module;
+
+    fn compile(src: &str) -> Module {
+        peppa_lang::compile(src, "cfg").unwrap()
+    }
+
+    #[test]
+    fn straight_line_has_one_block() {
+        let m = compile("fn main(x: int) { output x + 1; }");
+        let cfg = Cfg::new(m.entry_func());
+        assert_eq!(cfg.num_blocks(), 1);
+        assert_eq!(cfg.rpo, vec![0]);
+        assert!(!cfg.loop_header[0]);
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let m = compile(
+            r#"fn main(x: int) {
+                let r = 0;
+                if (x > 0) { r = 1; } else { r = 2; }
+                output r;
+            }"#,
+        );
+        let f = m.entry_func();
+        let cfg = Cfg::new(f);
+        assert_eq!(cfg.num_blocks(), 4);
+        // Entry dominates everything; neither arm dominates the join.
+        for b in 0..4u32 {
+            assert!(cfg.dominates(BlockId(0), BlockId(b)));
+        }
+        // The join block (the one with two preds) is dominated only by
+        // itself and the entry.
+        let join = (0..4).find(|&b| cfg.preds[b].len() == 2).unwrap() as u32;
+        for b in 1..4u32 {
+            if b != join {
+                assert!(!cfg.dominates(BlockId(b), BlockId(join)), "bb{b}");
+            }
+        }
+        assert_eq!(cfg.idom[join as usize], 0);
+    }
+
+    #[test]
+    fn loop_header_detected() {
+        let m = compile(
+            r#"fn main(n: int) {
+                let s = 0;
+                for (i = 0; i < n; i = i + 1) { s = s + i; }
+                output s;
+            }"#,
+        );
+        let cfg = Cfg::new(m.entry_func());
+        let headers: Vec<usize> = (0..cfg.num_blocks())
+            .filter(|&b| cfg.loop_header[b])
+            .collect();
+        assert_eq!(headers.len(), 1, "exactly one loop header: {headers:?}");
+        // The header dominates the loop body (its retreating-edge source).
+        let h = headers[0] as u32;
+        let back_src = (0..cfg.num_blocks() as u32)
+            .find(|&b| {
+                cfg.succs[b as usize].contains(&h)
+                    && cfg.rpo_pos[h as usize] <= cfg.rpo_pos[b as usize]
+            })
+            .unwrap();
+        assert!(cfg.dominates(BlockId(h), BlockId(back_src)));
+    }
+
+    #[test]
+    fn rpo_visits_preds_first_outside_loops() {
+        let m = compile(
+            r#"fn main(x: int) {
+                let r = 0;
+                if (x > 0) { r = 1; } else { r = 2; }
+                if (r > 0) { r = r * 2; }
+                output r;
+            }"#,
+        );
+        let cfg = Cfg::new(m.entry_func());
+        // No loops here, so every edge goes forward in RPO.
+        for b in 0..cfg.num_blocks() {
+            for &s in &cfg.succs[b] {
+                assert!(
+                    cfg.rpo_pos[s as usize] > cfg.rpo_pos[b],
+                    "edge {b}->{s} not forward"
+                );
+            }
+        }
+    }
+}

@@ -15,11 +15,45 @@
 //!
 //! Code-coverage helpers ([`coverage`]) support the small-FI-input fuzzing
 //! step (§4.2.1) and the coverage-vs-SDC correlation study (Table 2).
+//!
+//! On top of these sits a reusable dataflow framework:
+//!
+//! * [`cfg`]: per-function CFG view — successors/predecessors, reverse
+//!   postorder, dominator tree, loop headers.
+//! * [`dataflow`]: generic worklist solver over block facts
+//!   ([`BlockAnalysis`]) and a per-value abstract-interpretation engine
+//!   ([`AbstractDomain`], [`analyze_values`]) with widening at loop
+//!   headers.
+//! * [`knownbits`] / [`range`]: the two bundled value domains — which
+//!   bits are provably 0/1, and signed / float intervals.
+//! * [`liveness`]: backward liveness plus observable-liveness (dead-value
+//!   detection for guaranteed-masked instructions).
+//! * [`predict`]: the static SDC-masking predictor built from all of the
+//!   above (scored against FI ground truth by `repro static-rank`).
+//! * [`lint`]: verifier-gated static lints with machine-readable
+//!   findings (`peppa lint`).
 
+pub mod cfg;
 pub mod coverage;
+pub mod dataflow;
 pub mod defuse;
+pub mod knownbits;
+pub mod lint;
+pub mod liveness;
+pub mod predict;
 pub mod pruning;
+pub mod range;
 
+pub use cfg::Cfg;
 pub use coverage::input_coverage;
+pub use dataflow::{
+    analyze_module, analyze_values, analyze_values_seeded, solve_blocks, AbstractDomain,
+    BlockAnalysis, Direction, ModuleValueFacts, ValueFacts,
+};
 pub use defuse::DefUse;
-pub use pruning::{prune_fi_space, PruningResult};
+pub use knownbits::KnownBits;
+pub use lint::{lint_module, Lint, LintReport, Severity};
+pub use liveness::{dead_values, live_in, observable_live, ValueSet};
+pub use predict::{predict_sdc, SdcPrediction};
+pub use pruning::{prune_fi_space, prune_fi_space_refined, PruningResult};
+pub use range::{AbsRange, FRange, IRange};

@@ -1,0 +1,366 @@
+//! Static lints over PIR modules, built on the dataflow framework.
+//!
+//! [`lint_module`] always runs the IR verifier first: a module that fails
+//! verification yields a single `ill-formed-ir` *error* finding and no
+//! further analysis — the lints (and the analyses they use) assume
+//! well-formed IR.
+//!
+//! On verified modules the linter reports *warnings*:
+//!
+//! * `dead-value` — an instruction result that never (transitively)
+//!   influences observable behaviour (store, output, call argument,
+//!   return, branch condition). Bit flips there are guaranteed-masked,
+//!   and as ordinary code the instruction is removable.
+//! * `always-taken-branch` — a `condbr` whose condition the interval /
+//!   known-bits analyses prove constant.
+//! * `trapping-memory-access` — a load or store whose address is provably
+//!   `<= 0` (word 0 is the VM's null sentinel and negative indices wrap
+//!   out of the address space): executing it always traps.
+//! * `unreachable-block` — a block with no path from the entry. The
+//!   verifier rejects these too, so on verified IR this never fires; it
+//!   is kept for callers linting IR built outside [`ModuleBuilder`].
+//! * `undominated-use` — a cross-block use whose definition block does
+//!   not dominate the use block. Also subsumed by the verifier's
+//!   definite-definition check; kept as a cheap independent oracle.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{analyze_values, ValueFacts};
+use crate::knownbits::KnownBits;
+use crate::liveness::observable_live;
+use crate::range::AbsRange;
+use peppa_ir::{verify, BlockId, Function, Module, Op, Operand, Term, ValueId};
+use serde::Serialize;
+
+/// How severe a finding is. `Error` findings mean the module should not
+/// be run at all; warnings are suspicious-but-executable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+/// One lint finding, locatable and machine-readable.
+#[derive(Debug, Clone, Serialize)]
+pub struct Lint {
+    /// Stable kebab-case code, e.g. `dead-value`.
+    pub code: String,
+    pub severity: Severity,
+    /// Function the finding is in (`<module>` for module-level ones).
+    pub function: String,
+    /// Block index within the function, when applicable.
+    pub block: Option<u32>,
+    /// Static instruction id, when the finding points at an instruction.
+    pub sid: Option<u32>,
+    pub message: String,
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev}[{}]: {}", self.code, self.function)?;
+        if let Some(b) = self.block {
+            write!(f, ": bb{b}")?;
+        }
+        if let Some(s) = self.sid {
+            write!(f, ": sid {s}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// All findings for one module.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct LintReport {
+    pub lints: Vec<Lint>,
+}
+
+impl LintReport {
+    pub fn is_clean(&self) -> bool {
+        self.lints.is_empty()
+    }
+
+    pub fn errors(&self) -> usize {
+        self.lints
+            .iter()
+            .filter(|l| l.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.lints
+            .iter()
+            .filter(|l| l.severity == Severity::Warning)
+            .count()
+    }
+}
+
+/// Lints `module`. Verification runs first; on failure the report holds
+/// exactly the verifier error and nothing else.
+pub fn lint_module(module: &Module) -> LintReport {
+    let mut report = LintReport::default();
+    if let Err(e) = verify(module) {
+        report.lints.push(Lint {
+            code: "ill-formed-ir".into(),
+            severity: Severity::Error,
+            function: e.function.clone(),
+            block: e.block,
+            sid: None,
+            message: e.message,
+        });
+        return report;
+    }
+    for f in &module.functions {
+        lint_function(f, &mut report);
+    }
+    report.lints.sort_by(|a, b| {
+        (a.sid, a.block, &a.function, &a.code).cmp(&(b.sid, b.block, &b.function, &b.code))
+    });
+    report
+}
+
+fn lint_function(f: &Function, report: &mut LintReport) {
+    let warn = |report: &mut LintReport, code: &str, block, sid, message: String| {
+        report.lints.push(Lint {
+            code: code.into(),
+            severity: Severity::Warning,
+            function: f.name.clone(),
+            block,
+            sid,
+            message,
+        });
+    };
+
+    // Unreachable blocks: flagged, then excluded from the dataflow-based
+    // lints (the Cfg/dominator machinery assumes full reachability).
+    let reach = f.reachable_blocks();
+    for (bi, r) in reach.iter().enumerate() {
+        if !r {
+            warn(
+                report,
+                "unreachable-block",
+                Some(bi as u32),
+                None,
+                "no path from the entry reaches this block".into(),
+            );
+        }
+    }
+    if reach.iter().any(|&r| !r) {
+        return;
+    }
+
+    let cfg = Cfg::new(f);
+    let kb: ValueFacts<KnownBits> = analyze_values(f, &cfg);
+    let ranges: ValueFacts<AbsRange> = analyze_values(f, &cfg);
+    let live = observable_live(f);
+
+    // Definition site of every value: block index, or the entry for
+    // function parameters.
+    let nv = f.value_types.len();
+    let mut def_block: Vec<u32> = vec![0; nv];
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for &p in &b.params {
+            def_block[p.0 as usize] = bi as u32;
+        }
+        for ins in &b.instrs {
+            if let Some(r) = ins.result {
+                def_block[r.0 as usize] = bi as u32;
+            }
+        }
+    }
+
+    let cond_const = |c: &Operand| -> Option<u64> {
+        let by_range = match ranges.of_operand(c) {
+            AbsRange::Int(r) => r.as_const().map(|v| v as u64),
+            AbsRange::Float(_) => None,
+        };
+        by_range.or_else(|| kb.of_operand(c).as_const())
+    };
+
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let bid = BlockId(bi as u32);
+        let check_use = |report: &mut LintReport, v: ValueId, sid: Option<u32>| {
+            let db = BlockId(def_block[v.0 as usize]);
+            if db != bid && !cfg.dominates(db, bid) {
+                warn(
+                    report,
+                    "undominated-use",
+                    Some(bid.0),
+                    sid,
+                    format!(
+                        "use of v{} whose definition (bb{}) does not dominate bb{}",
+                        v.0, db.0, bid.0
+                    ),
+                );
+            }
+        };
+
+        for ins in &b.instrs {
+            for o in ins.op.operands() {
+                if let Some(v) = o.value() {
+                    check_use(report, v, Some(ins.sid.0));
+                }
+            }
+
+            if let Some(r) = ins.result {
+                if !live.contains(r) {
+                    warn(
+                        report,
+                        "dead-value",
+                        Some(bid.0),
+                        Some(ins.sid.0),
+                        format!(
+                            "result of `{}` never influences observable behaviour",
+                            ins.op.mnemonic()
+                        ),
+                    );
+                }
+            }
+
+            let addr = match &ins.op {
+                Op::Load { addr, .. } => Some(addr),
+                Op::Store { addr, .. } => Some(addr),
+                _ => None,
+            };
+            if let Some(addr) = addr {
+                if let AbsRange::Int(r) = ranges.of_operand(addr) {
+                    if r.hi <= 0 {
+                        warn(
+                            report,
+                            "trapping-memory-access",
+                            Some(bid.0),
+                            Some(ins.sid.0),
+                            format!("address is provably in [{}, {}]: always traps", r.lo, r.hi),
+                        );
+                    }
+                }
+            }
+        }
+
+        for o in b.term.operands() {
+            if let Some(v) = o.value() {
+                check_use(report, v, None);
+            }
+        }
+        if let Term::CondBr { cond, .. } = &b.term {
+            if let Some(c) = cond_const(cond) {
+                let arm = if c & 1 == 1 { "then" } else { "else" };
+                warn(
+                    report,
+                    "always-taken-branch",
+                    Some(bid.0),
+                    None,
+                    format!(
+                        "condition is provably {}: the {arm} arm is always taken",
+                        c & 1
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppa_ir::{IPred, ModuleBuilder, Operand, Ty};
+
+    fn compile(src: &str) -> Module {
+        peppa_lang::compile(src, "lint").unwrap()
+    }
+
+    #[test]
+    fn clean_program_has_no_lints() {
+        let m = compile(
+            "fn main(n: int) { let s = 0; for (i = 0; i < n; i = i + 1) { s = s + i; } output s; }",
+        );
+        let r = lint_module(&m);
+        assert!(r.is_clean(), "{:?}", r.lints);
+    }
+
+    #[test]
+    fn dead_value_is_reported() {
+        let m = compile("fn main(x: int) { let a = x * 7; output x; }");
+        let r = lint_module(&m);
+        assert_eq!(r.warnings(), 1, "{:?}", r.lints);
+        assert_eq!(r.lints[0].code, "dead-value");
+        assert!(r.lints[0].sid.is_some());
+    }
+
+    #[test]
+    fn always_taken_branch_is_reported() {
+        let m = compile(
+            r#"fn main(x: int) {
+                let a = x & 15;
+                if (a < 100) { output 1; } else { output 2; }
+            }"#,
+        );
+        let r = lint_module(&m);
+        assert!(
+            r.lints.iter().any(|l| l.code == "always-taken-branch"),
+            "{:?}",
+            r.lints
+        );
+    }
+
+    #[test]
+    fn ill_formed_ir_short_circuits() {
+        let mut m = compile("fn main(x: int) { output x + 1; }");
+        // Corrupt the module: duplicate a sid.
+        m.num_instrs += 1;
+        let r = lint_module(&m);
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.lints[0].code, "ill-formed-ir");
+        assert_eq!(r.lints.len(), 1);
+    }
+
+    #[test]
+    fn trapping_store_is_reported() {
+        // Hand-build: store through intoptr(0) — provably null.
+        let mut mb = ModuleBuilder::new("trap");
+        let main = mb.declare("main", &[], None);
+        let mut fb = mb.define(main);
+        let p = fb.cast(peppa_ir::CastKind::IntToPtr, Operand::i64(0), Ty::Ptr);
+        fb.store(p, Operand::i64(1));
+        fb.output(Operand::i64(0));
+        fb.ret(None);
+        fb.finish();
+        mb.set_entry(main);
+        let m = mb.finish();
+        let r = lint_module(&m);
+        assert!(
+            r.lints.iter().any(|l| l.code == "trapping-memory-access"),
+            "{:?}",
+            r.lints
+        );
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let m = compile("fn main(x: int) { let a = x * 7; output x; }");
+        let r = lint_module(&m);
+        let s = serde_json::to_string_pretty(&r).unwrap();
+        assert!(s.contains("dead-value"), "{s}");
+    }
+
+    #[test]
+    fn undominated_use_detector_agrees_with_verifier_on_good_ir() {
+        let m = compile(
+            r#"fn main(x: int) {
+                let r = 0;
+                if (x > 0) { r = x * 2; } else { r = 3; }
+                output r;
+            }"#,
+        );
+        let r = lint_module(&m);
+        assert!(
+            !r.lints.iter().any(|l| l.code == "undominated-use"),
+            "{:?}",
+            r.lints
+        );
+        // icmp feeding the branch must not be flagged either.
+        let _ = IPred::Sgt;
+    }
+}

@@ -15,7 +15,9 @@
 //! propagates its SDC score to the rest (Figure 4's example prunes a
 //! load/add/icmp chain from 3 FI targets to 2).
 
+use crate::dataflow::analyze_module;
 use crate::defuse::def_use;
+use crate::knownbits::KnownBits;
 use peppa_ir::{InstrId, Module};
 use serde::{Deserialize, Serialize};
 
@@ -103,6 +105,59 @@ pub fn prune_fi_space(module: &Module) -> PruningResult {
         groups,
         group_of,
         injectable: injectable_count,
+    }
+}
+
+/// Refined pruning: baseline §4.2.2 subgroups, further split wherever
+/// the known-bits analysis proves members have *different* bit-level
+/// structure. Two instructions whose results provably disagree on which
+/// bits are fixed (e.g. `x + 1` vs `(x + 1) * 2`, whose low bit is known
+/// zero) mask injected flips differently, so sharing one FI
+/// representative between them under-measures one of the two. The
+/// refined grouping trades back a little pruning ratio for
+/// representativeness; `repro table4` reports both ratios side by side.
+pub fn prune_fi_space_refined(module: &Module) -> PruningResult {
+    let base = prune_fi_space(module);
+    let kb = analyze_module::<KnownBits>(module);
+
+    // Known-bits signature per sid: the (zeros, ones) masks of the
+    // instruction's result value.
+    let mut sig: Vec<(u64, u64)> = vec![(0, 0); module.num_instrs];
+    for (fi, f) in module.functions.iter().enumerate() {
+        for ins in f.instrs() {
+            if let Some(r) = ins.result {
+                let k = &kb.per_func[fi].values[r.0 as usize];
+                sig[ins.sid.0 as usize] = (k.zeros, k.ones);
+            }
+        }
+    }
+
+    // Partition every baseline group by signature, preserving sid order
+    // (members are sorted, so each part stays sorted and part[0] is its
+    // lowest sid).
+    let mut groups: Vec<Vec<InstrId>> = Vec::new();
+    for g in &base.groups {
+        let mut parts: Vec<((u64, u64), Vec<InstrId>)> = Vec::new();
+        for &s in g {
+            let key = sig[s.0 as usize];
+            match parts.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push(s),
+                None => parts.push((key, vec![s])),
+            }
+        }
+        groups.extend(parts.into_iter().map(|(_, v)| v));
+    }
+
+    let mut group_of: Vec<Option<u32>> = vec![None; module.num_instrs];
+    for (gi, g) in groups.iter().enumerate() {
+        for &s in g {
+            group_of[s.0 as usize] = Some(gi as u32);
+        }
+    }
+    PruningResult {
+        groups,
+        group_of,
+        injectable: base.injectable,
     }
 }
 
@@ -216,5 +271,69 @@ mod tests {
         let p = prune_fi_space(&m);
         assert_eq!(p.injectable, 0);
         assert_eq!(p.pruning_ratio(), 0.0);
+    }
+
+    #[test]
+    fn refined_groups_refine_baseline() {
+        let m = compile(
+            r#"global float a[64];
+               fn main(n: int) {
+                   for (i = 0; i < n; i = i + 1) {
+                       let t = i2f(i) + 1.0;
+                       a[i] = t * t + 0.5 * t;
+                   }
+                   let s = 0.0;
+                   for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+                   output s;
+               }"#,
+        );
+        let base = prune_fi_space(&m);
+        let fine = prune_fi_space_refined(&m);
+        assert_eq!(fine.injectable, base.injectable);
+        assert!(fine.groups.len() >= base.groups.len());
+        assert!(fine.pruning_ratio() <= base.pruning_ratio());
+        // Every refined group sits inside exactly one baseline group.
+        for g in &fine.groups {
+            let b0 = base.group_of[g[0].0 as usize];
+            assert!(b0.is_some());
+            for s in g {
+                assert_eq!(base.group_of[s.0 as usize], b0);
+            }
+        }
+        // And together they cover the same instructions.
+        for sid in 0..m.num_instrs {
+            assert_eq!(
+                base.group_of[sid].is_some(),
+                fine.group_of[sid].is_some(),
+                "sid {sid}"
+            );
+        }
+    }
+
+    #[test]
+    fn known_bits_split_separates_differently_masked_members() {
+        // `a = x + 1` (no known bits) and `b = a * 2` (low bit known 0)
+        // share a baseline dataflow subgroup but mask flips differently;
+        // the refined grouping must split them.
+        let m = compile("fn main(x: int) { let a = x + 1; let b = a * 2; output a + b; }");
+        let by_mn = |mn: &str| -> usize {
+            m.all_instrs()
+                .iter()
+                .find(|(_, i)| i.op.mnemonic() == mn)
+                .map(|(_, i)| i.sid.0 as usize)
+                .unwrap()
+        };
+        let add = by_mn("add");
+        let mul = by_mn("mul");
+        let base = prune_fi_space(&m);
+        assert_eq!(
+            base.group_of[add], base.group_of[mul],
+            "baseline groups them"
+        );
+        let fine = prune_fi_space_refined(&m);
+        assert_ne!(
+            fine.group_of[add], fine.group_of[mul],
+            "refined splits them"
+        );
     }
 }

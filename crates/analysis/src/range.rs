@@ -1,0 +1,864 @@
+//! Value-range (interval) analysis over the VM's canonical
+//! representation: signed `i64` intervals for the integer types, IEEE
+//! `f64` intervals plus a may-be-NaN flag for floats.
+//!
+//! Transfers mirror `peppa-vm` exactly — wrapping integer arithmetic
+//! falls back to the type's full range when an `i128` bound check shows
+//! overflow is possible; float arithmetic is evaluated on interval
+//! corners (round-to-nearest is monotone, so rounded corners bound
+//! rounded interiors), with NaN-producing cases (`inf - inf`,
+//! `0 * inf`, `0/0`, division by an interval containing zero) handled
+//! explicitly and transcendentals widened by a few ulps to absorb libm
+//! error. Widening at loop headers jumps straight to the type extremes.
+
+use crate::dataflow::AbstractDomain;
+use peppa_ir::{BinOp, CastKind, Const, FPred, IPred, Op, Ty, UnOp};
+
+/// A signed integer interval `[lo, hi]`, inclusive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IRange {
+    pub lo: i64,
+    pub hi: i64,
+}
+
+impl IRange {
+    pub fn exact(v: i64) -> IRange {
+        IRange { lo: v, hi: v }
+    }
+
+    pub fn full(ty: Ty) -> IRange {
+        match ty {
+            Ty::I1 => IRange { lo: 0, hi: 1 },
+            Ty::I32 => IRange {
+                lo: i32::MIN as i64,
+                hi: i32::MAX as i64,
+            },
+            _ => IRange {
+                lo: i64::MIN,
+                hi: i64::MAX,
+            },
+        }
+    }
+
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    pub fn as_const(&self) -> Option<i64> {
+        if self.lo == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+}
+
+/// A float interval over non-NaN values (`lo <= hi`, endpoints may be
+/// infinite) plus a may-be-NaN flag. `lo > hi` encodes "no non-NaN
+/// value" (NaN-only, or unreachable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FRange {
+    pub lo: f64,
+    pub hi: f64,
+    pub nan: bool,
+}
+
+impl FRange {
+    pub const FULL: FRange = FRange {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+        nan: true,
+    };
+
+    /// NaN-only (empty numeric part).
+    pub const NAN_ONLY: FRange = FRange {
+        lo: f64::INFINITY,
+        hi: f64::NEG_INFINITY,
+        nan: true,
+    };
+
+    pub fn exact(v: f64) -> FRange {
+        if v.is_nan() {
+            FRange::NAN_ONLY
+        } else {
+            FRange {
+                lo: v,
+                hi: v,
+                nan: false,
+            }
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        // Empty when lo > hi or either bound is NaN.
+        !matches!(
+            self.lo.partial_cmp(&self.hi),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        )
+    }
+
+    pub fn contains(&self, v: f64) -> bool {
+        if v.is_nan() {
+            self.nan
+        } else {
+            self.lo <= v && v <= self.hi
+        }
+    }
+}
+
+/// The combined domain: integers (including i1/ptr) carry an [`IRange`],
+/// floats an [`FRange`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AbsRange {
+    Int(IRange),
+    Float(FRange),
+}
+
+impl AbsRange {
+    pub fn int(&self) -> Option<IRange> {
+        match self {
+            AbsRange::Int(r) => Some(*r),
+            AbsRange::Float(_) => None,
+        }
+    }
+
+    pub fn float(&self) -> Option<FRange> {
+        match self {
+            AbsRange::Float(r) => Some(*r),
+            AbsRange::Int(_) => None,
+        }
+    }
+
+    /// Soundness predicate: does the canonical bit pattern `bits` of a
+    /// value with type `ty` lie inside this abstraction?
+    pub fn contains_bits(&self, ty: Ty, bits: u64) -> bool {
+        match (self, ty) {
+            (AbsRange::Float(r), Ty::F64) => r.contains(f64::from_bits(bits)),
+            (AbsRange::Int(r), _) => r.contains(bits as i64),
+            _ => false,
+        }
+    }
+}
+
+fn top_of(ty: Ty) -> AbsRange {
+    if ty == Ty::F64 {
+        AbsRange::Float(FRange::FULL)
+    } else {
+        AbsRange::Int(IRange::full(ty))
+    }
+}
+
+/// Clamps an `i128` corner interval back to the canonical range of
+/// `ty`, falling back to the type's full range if wrapping is possible.
+fn fit(ty: Ty, lo: i128, hi: i128) -> IRange {
+    let b = IRange::full(ty);
+    if lo >= b.lo as i128 && hi <= b.hi as i128 {
+        IRange {
+            lo: lo as i64,
+            hi: hi as i64,
+        }
+    } else {
+        b
+    }
+}
+
+/// Number of significant bits of a non-negative value.
+fn bit_len(v: i64) -> u32 {
+    64 - (v as u64).leading_zeros()
+}
+
+fn int_bin(op: BinOp, ty: Ty, a: IRange, b: IRange) -> IRange {
+    let (al, ah, bl, bh) = (a.lo as i128, a.hi as i128, b.lo as i128, b.hi as i128);
+    match op {
+        BinOp::Add => fit(ty, al + bl, ah + bh),
+        BinOp::Sub => fit(ty, al - bh, ah - bl),
+        BinOp::Mul => {
+            let c = [al * bl, al * bh, ah * bl, ah * bh];
+            fit(ty, *c.iter().min().unwrap(), *c.iter().max().unwrap())
+        }
+        BinOp::SDiv => {
+            // Division by zero traps (no result value), so corner-evaluate
+            // over the divisor interval with zero carved out.
+            let mut ys: Vec<i128> = Vec::new();
+            for y in [bl, bh] {
+                if y != 0 {
+                    ys.push(y);
+                }
+            }
+            if b.lo <= -1 && b.hi >= -1 {
+                ys.push(-1);
+            }
+            if b.lo <= 1 && b.hi >= 1 {
+                ys.push(1);
+            }
+            if ys.is_empty() {
+                // Always traps; any sound abstraction works.
+                return IRange::exact(0);
+            }
+            let mut lo = i128::MAX;
+            let mut hi = i128::MIN;
+            for x in [al, ah] {
+                for &y in &ys {
+                    let q = x / y;
+                    lo = lo.min(q);
+                    hi = hi.max(q);
+                }
+            }
+            fit(ty, lo, hi)
+        }
+        BinOp::SRem => {
+            // |a % b| < |b| and |a % b| <= |a|, sign follows the dividend.
+            let m = (bl.abs()).max(bh.abs());
+            if m == 0 {
+                return IRange::exact(0); // always traps
+            }
+            let mag = (m - 1).min((al.abs()).max(ah.abs()));
+            let lo = if a.lo >= 0 { 0 } else { -mag };
+            let hi = if a.hi <= 0 { 0 } else { mag };
+            fit(ty, lo, hi)
+        }
+        BinOp::And => {
+            if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+                return IRange::exact(x & y);
+            }
+            // A non-negative operand bounds the result in [0, operand].
+            match (a.lo >= 0, b.lo >= 0) {
+                (true, true) => IRange {
+                    lo: 0,
+                    hi: a.hi.min(b.hi),
+                },
+                (true, false) => IRange { lo: 0, hi: a.hi },
+                (false, true) => IRange { lo: 0, hi: b.hi },
+                (false, false) => IRange::full(ty),
+            }
+        }
+        BinOp::Or | BinOp::Xor => {
+            if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+                return IRange::exact(if op == BinOp::Or { x | y } else { x ^ y });
+            }
+            if a.lo >= 0 && b.lo >= 0 {
+                // Both below 2^m => result below 2^m.
+                let m = bit_len(a.hi).max(bit_len(b.hi));
+                let hi = if m >= 63 { i64::MAX } else { (1i64 << m) - 1 };
+                IRange { lo: 0, hi }
+            } else {
+                IRange::full(ty)
+            }
+        }
+        BinOp::Shl | BinOp::LShr | BinOp::AShr => {
+            if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+                // Evaluate exactly as the VM does (masked shift counts).
+                let s = (y as u64) & (ty.bits() as u64 - 1).max(1);
+                let r = match op {
+                    BinOp::Shl => (x as u64) << s,
+                    BinOp::LShr => ty.truncate_bits(x as u64) >> s,
+                    BinOp::AShr => (x >> s) as u64,
+                    _ => unreachable!(),
+                };
+                let canon = match ty {
+                    Ty::I1 => r & 1,
+                    Ty::I32 => (r as u32 as i32 as i64) as u64,
+                    _ => r,
+                };
+                return IRange::exact(canon as i64);
+            }
+            if op != BinOp::Shl && a.lo >= 0 {
+                // Right shifts of a non-negative value shrink it toward 0.
+                IRange { lo: 0, hi: a.hi }
+            } else {
+                IRange::full(ty)
+            }
+        }
+        BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv => IRange::full(ty),
+    }
+}
+
+/// Widens a libm-computed bound downward/upward by `ulps` steps to
+/// absorb rounding error of non-correctly-rounded functions.
+fn nudge_down(x: f64, ulps: u32) -> f64 {
+    let mut v = x;
+    for _ in 0..ulps {
+        v = v.next_down();
+    }
+    v
+}
+
+fn nudge_up(x: f64, ulps: u32) -> f64 {
+    let mut v = x;
+    for _ in 0..ulps {
+        v = v.next_up();
+    }
+    v
+}
+
+const LIBM_SLOP: u32 = 8;
+
+fn float_bin(op: BinOp, a: FRange, b: FRange) -> FRange {
+    let mut nan = a.nan || b.nan;
+    if a.is_empty() || b.is_empty() {
+        // An arithmetic op with a NaN operand yields NaN.
+        return FRange::NAN_ONLY;
+    }
+    if op == BinOp::FDiv && b.lo <= 0.0 && b.hi >= 0.0 {
+        // Divisor interval straddles (or touches) zero: the result jumps
+        // between ±inf around it, and 0/0 gives NaN.
+        return FRange::FULL;
+    }
+    let f = |x: f64, y: f64| -> f64 {
+        match op {
+            BinOp::FAdd => x + y,
+            BinOp::FSub => x - y,
+            BinOp::FMul => x * y,
+            BinOp::FDiv => x / y,
+            _ => unreachable!(),
+        }
+    };
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for x in [a.lo, a.hi] {
+        for y in [b.lo, b.hi] {
+            let r = f(x, y);
+            if r.is_nan() {
+                nan = true;
+            } else {
+                lo = lo.min(r);
+                hi = hi.max(r);
+            }
+        }
+    }
+    // Interior NaN cases the corners can miss: 0 * inf.
+    if op == BinOp::FMul {
+        let a0 = a.lo <= 0.0 && a.hi >= 0.0;
+        let b0 = b.lo <= 0.0 && b.hi >= 0.0;
+        let ainf = a.lo.is_infinite() || a.hi.is_infinite();
+        let binf = b.lo.is_infinite() || b.hi.is_infinite();
+        if (a0 && binf) || (b0 && ainf) {
+            nan = true;
+        }
+    }
+    if lo > hi && !nan {
+        // All corners were NaN but flag not set — be safe.
+        nan = true;
+    }
+    FRange { lo, hi, nan }
+}
+
+fn float_un(op: UnOp, a: FRange) -> FRange {
+    if a.is_empty() {
+        return FRange::NAN_ONLY;
+    }
+    match op {
+        UnOp::FNeg => FRange {
+            lo: -a.hi,
+            hi: -a.lo,
+            nan: a.nan,
+        },
+        UnOp::FAbs => {
+            if a.lo >= 0.0 {
+                a
+            } else if a.hi <= 0.0 {
+                FRange {
+                    lo: -a.hi,
+                    hi: -a.lo,
+                    nan: a.nan,
+                }
+            } else {
+                FRange {
+                    lo: 0.0,
+                    hi: (-a.lo).max(a.hi),
+                    nan: a.nan,
+                }
+            }
+        }
+        UnOp::Sqrt => {
+            // Correctly rounded and monotone; negative inputs give NaN.
+            if a.hi < 0.0 {
+                return FRange::NAN_ONLY;
+            }
+            FRange {
+                lo: a.lo.max(0.0).sqrt(),
+                hi: a.hi.sqrt(),
+                nan: a.nan || a.lo < 0.0,
+            }
+        }
+        UnOp::Sin | UnOp::Cos => FRange {
+            // libm results stay within [-1, 1] up to rounding; pad a
+            // little and accept NaN (infinite inputs).
+            lo: -1.0000001,
+            hi: 1.0000001,
+            nan: true,
+        },
+        UnOp::Exp => FRange {
+            lo: nudge_down(a.lo.exp(), LIBM_SLOP).max(0.0),
+            hi: nudge_up(a.hi.exp(), LIBM_SLOP),
+            nan: a.nan,
+        },
+        UnOp::Log => {
+            if a.hi < 0.0 {
+                return FRange::NAN_ONLY;
+            }
+            FRange {
+                lo: nudge_down(a.lo.max(0.0).ln(), LIBM_SLOP),
+                hi: nudge_up(a.hi.ln(), LIBM_SLOP),
+                nan: a.nan || a.lo < 0.0,
+            }
+        }
+        UnOp::Floor => FRange {
+            // floor is exact and monotone.
+            lo: a.lo.floor(),
+            hi: a.hi.floor(),
+            nan: a.nan,
+        },
+        UnOp::Not => unreachable!("integer op on float path"),
+    }
+}
+
+/// Three-valued comparison outcome from interval reasoning.
+fn icmp_range(pred: IPred, a: IRange, b: IRange) -> IRange {
+    let t = IRange::exact(1);
+    let f = IRange::exact(0);
+    let both = IRange { lo: 0, hi: 1 };
+    match pred {
+        IPred::Eq => {
+            if a.hi < b.lo || b.hi < a.lo {
+                f
+            } else if a.as_const().is_some() && a.as_const() == b.as_const() {
+                t
+            } else {
+                both
+            }
+        }
+        IPred::Ne => {
+            if a.hi < b.lo || b.hi < a.lo {
+                t
+            } else if a.as_const().is_some() && a.as_const() == b.as_const() {
+                f
+            } else {
+                both
+            }
+        }
+        IPred::Slt => {
+            if a.hi < b.lo {
+                t
+            } else if a.lo >= b.hi {
+                f
+            } else {
+                both
+            }
+        }
+        IPred::Sle => {
+            if a.hi <= b.lo {
+                t
+            } else if a.lo > b.hi {
+                f
+            } else {
+                both
+            }
+        }
+        IPred::Sgt => icmp_range(IPred::Slt, b, a),
+        IPred::Sge => icmp_range(IPred::Sle, b, a),
+        IPred::Ult => {
+            // Unsigned order agrees with signed order when both sides
+            // share the sign regime; the common case is both non-negative.
+            if a.lo >= 0 && b.lo >= 0 {
+                icmp_range(IPred::Slt, a, b)
+            } else {
+                both
+            }
+        }
+    }
+}
+
+fn fcmp_range(pred: FPred, a: FRange, b: FRange) -> IRange {
+    let nan = a.nan || b.nan;
+    let empty = a.is_empty() || b.is_empty();
+    // Ordered predicates are false when either side is NaN.
+    let can_be_true = !empty
+        && match pred {
+            FPred::Oeq => a.lo <= b.hi && b.lo <= a.hi,
+            FPred::One => !(a.lo == a.hi && b.lo == b.hi && a.lo == b.lo),
+            FPred::Olt => a.lo < b.hi,
+            FPred::Ole => a.lo <= b.hi,
+            FPred::Ogt => a.hi > b.lo,
+            FPred::Oge => a.hi >= b.lo,
+        };
+    let can_be_false = nan
+        || empty
+        || match pred {
+            FPred::Oeq => !(a.lo == a.hi && b.lo == b.hi && a.lo == b.lo),
+            FPred::One => a.lo <= b.hi && b.lo <= a.hi,
+            FPred::Olt => a.hi >= b.lo,
+            FPred::Ole => a.hi > b.lo,
+            FPred::Ogt => a.lo <= b.hi,
+            FPred::Oge => a.lo < b.hi,
+        };
+    match (can_be_true, can_be_false) {
+        (true, false) => IRange::exact(1),
+        (false, true) => IRange::exact(0),
+        _ => IRange { lo: 0, hi: 1 },
+    }
+}
+
+impl AbstractDomain for AbsRange {
+    fn top(ty: Ty) -> AbsRange {
+        top_of(ty)
+    }
+
+    fn of_const(c: Const) -> AbsRange {
+        match c.ty {
+            Ty::F64 => AbsRange::Float(FRange::exact(f64::from_bits(c.bits))),
+            Ty::I1 => AbsRange::Int(IRange::exact((c.bits & 1) as i64)),
+            Ty::I32 => AbsRange::Int(IRange::exact(c.bits as u32 as i32 as i64)),
+            _ => AbsRange::Int(IRange::exact(c.bits as i64)),
+        }
+    }
+
+    fn join(&self, other: &AbsRange) -> AbsRange {
+        match (self, other) {
+            (AbsRange::Int(a), AbsRange::Int(b)) => AbsRange::Int(IRange {
+                lo: a.lo.min(b.lo),
+                hi: a.hi.max(b.hi),
+            }),
+            (AbsRange::Float(a), AbsRange::Float(b)) => AbsRange::Float(FRange {
+                lo: a.lo.min(b.lo),
+                hi: a.hi.max(b.hi),
+                nan: a.nan || b.nan,
+            }),
+            // Mixed kinds cannot occur in verified IR; fail safe.
+            _ => AbsRange::Float(FRange::FULL),
+        }
+    }
+
+    fn widen(&self, next: &AbsRange) -> AbsRange {
+        match (self, next) {
+            (AbsRange::Int(a), AbsRange::Int(b)) => AbsRange::Int(IRange {
+                lo: if b.lo < a.lo {
+                    i64::MIN
+                } else {
+                    a.lo.min(b.lo)
+                },
+                hi: if b.hi > a.hi {
+                    i64::MAX
+                } else {
+                    a.hi.max(b.hi)
+                },
+            }),
+            (AbsRange::Float(a), AbsRange::Float(b)) => AbsRange::Float(FRange {
+                lo: if b.lo < a.lo {
+                    f64::NEG_INFINITY
+                } else {
+                    a.lo.min(b.lo)
+                },
+                hi: if b.hi > a.hi {
+                    f64::INFINITY
+                } else {
+                    a.hi.max(b.hi)
+                },
+                nan: a.nan || b.nan,
+            }),
+            _ => AbsRange::Float(FRange::FULL),
+        }
+    }
+
+    fn transfer(op: &Op, ty: Ty, args: &[AbsRange], arg_tys: &[Ty]) -> AbsRange {
+        match op {
+            Op::Bin { op: b, .. } => {
+                if b.is_float() {
+                    match (args[0].float(), args[1].float()) {
+                        (Some(x), Some(y)) => AbsRange::Float(float_bin(*b, x, y)),
+                        _ => top_of(ty),
+                    }
+                } else {
+                    match (args[0].int(), args[1].int()) {
+                        (Some(x), Some(y)) => AbsRange::Int(int_bin(*b, ty, x, y)),
+                        _ => top_of(ty),
+                    }
+                }
+            }
+            Op::Un { op: u, .. } => match u {
+                UnOp::Not => match args[0].int() {
+                    Some(r) => {
+                        // !x = -x - 1 on two's complement.
+                        let lo = (-(r.hi as i128)) - 1;
+                        let hi = (-(r.lo as i128)) - 1;
+                        AbsRange::Int(fit(ty, lo, hi))
+                    }
+                    None => top_of(ty),
+                },
+                _ => match args[0].float() {
+                    Some(r) => AbsRange::Float(float_un(*u, r)),
+                    None => top_of(ty),
+                },
+            },
+            Op::Icmp { pred, .. } => match (args[0].int(), args[1].int()) {
+                (Some(a), Some(b)) => AbsRange::Int(icmp_range(*pred, a, b)),
+                _ => AbsRange::Int(IRange { lo: 0, hi: 1 }),
+            },
+            Op::Fcmp { pred, .. } => match (args[0].float(), args[1].float()) {
+                (Some(a), Some(b)) => AbsRange::Int(fcmp_range(*pred, a, b)),
+                _ => AbsRange::Int(IRange { lo: 0, hi: 1 }),
+            },
+            Op::Select { .. } => {
+                let c = args[0].int().unwrap_or(IRange { lo: 0, hi: 1 });
+                match c.as_const() {
+                    Some(1) => args[1],
+                    Some(0) => args[2],
+                    _ => args[1].join(&args[2]),
+                }
+            }
+            Op::Cast { kind, .. } => {
+                let from = arg_tys[0];
+                match kind {
+                    CastKind::Trunc => match args[0].int() {
+                        Some(r) => {
+                            let b = IRange::full(ty);
+                            if ty == Ty::I1 {
+                                match r.as_const() {
+                                    Some(v) => AbsRange::Int(IRange::exact(v & 1)),
+                                    None if r.lo >= 0 && r.hi <= 1 => AbsRange::Int(r),
+                                    None => AbsRange::Int(b),
+                                }
+                            } else if r.lo >= b.lo && r.hi <= b.hi {
+                                AbsRange::Int(r)
+                            } else {
+                                AbsRange::Int(b)
+                            }
+                        }
+                        None => top_of(ty),
+                    },
+                    CastKind::ZExt => match args[0].int() {
+                        Some(r) => {
+                            if from == Ty::I1 || r.lo >= 0 {
+                                AbsRange::Int(r)
+                            } else if from == Ty::I32 && r.hi < 0 {
+                                AbsRange::Int(IRange {
+                                    lo: r.lo + (1i64 << 32),
+                                    hi: r.hi + (1i64 << 32),
+                                })
+                            } else if from == Ty::I32 {
+                                AbsRange::Int(IRange {
+                                    lo: 0,
+                                    hi: (1i64 << 32) - 1,
+                                })
+                            } else {
+                                top_of(ty)
+                            }
+                        }
+                        None => top_of(ty),
+                    },
+                    CastKind::SExt => match args[0].int() {
+                        Some(r) => {
+                            if from == Ty::I1 {
+                                // 0 -> 0, 1 -> -1 (all ones).
+                                AbsRange::Int(IRange {
+                                    lo: -r.hi,
+                                    hi: -r.lo,
+                                })
+                            } else {
+                                AbsRange::Int(r)
+                            }
+                        }
+                        None => top_of(ty),
+                    },
+                    CastKind::Bitcast | CastKind::PtrToInt | CastKind::IntToPtr => {
+                        if (from == Ty::F64) == (ty == Ty::F64) {
+                            args[0]
+                        } else {
+                            top_of(ty)
+                        }
+                    }
+                    CastKind::FpToSi => match args[0].float() {
+                        Some(r) => {
+                            let conv = |x: f64| -> i64 {
+                                match ty {
+                                    Ty::I32 => (x as i32) as i64,
+                                    _ => x as i64,
+                                }
+                            };
+                            if r.is_empty() {
+                                // NaN converts to 0.
+                                AbsRange::Int(IRange::exact(0))
+                            } else {
+                                let mut lo = conv(r.lo);
+                                let mut hi = conv(r.hi);
+                                if r.nan {
+                                    lo = lo.min(0);
+                                    hi = hi.max(0);
+                                }
+                                AbsRange::Int(IRange { lo, hi })
+                            }
+                        }
+                        None => top_of(ty),
+                    },
+                    CastKind::SiToFp => match args[0].int() {
+                        Some(r) => {
+                            let (lo, hi) = if from == Ty::I1 {
+                                (r.lo & 1, r.hi & 1)
+                            } else {
+                                (r.lo, r.hi)
+                            };
+                            // Rounding to nearest is monotone, so the
+                            // converted corners bound every interior
+                            // conversion.
+                            AbsRange::Float(FRange {
+                                lo: lo as f64,
+                                hi: hi as f64,
+                                nan: false,
+                            })
+                        }
+                        None => top_of(ty),
+                    },
+                }
+            }
+            Op::Gep { .. } => match (args[0].int(), args[1].int()) {
+                (Some(a), Some(b)) => {
+                    // The VM wraps base+index in u64; reuse Add's i128
+                    // overflow check on the signed view.
+                    AbsRange::Int(int_bin(BinOp::Add, ty, a, b))
+                }
+                _ => top_of(ty),
+            },
+            Op::Load { .. } | Op::Alloca { .. } | Op::Call { .. } => top_of(ty),
+            Op::Store { .. } | Op::Output { .. } => top_of(ty),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::dataflow::analyze_values;
+    use peppa_ir::{Module, Operand};
+
+    fn compile(src: &str) -> Module {
+        peppa_lang::compile(src, "rng").unwrap()
+    }
+
+    fn range_of_output(m: &Module) -> AbsRange {
+        let f = m.entry_func();
+        let facts = analyze_values::<AbsRange>(f, &Cfg::new(f));
+        let out = f.instrs().find(|i| i.op.mnemonic() == "output").unwrap();
+        match out.op.operands()[0] {
+            Operand::Value(v) => facts.values[v.0 as usize],
+            Operand::Const(c) => AbsRange::of_const(c),
+        }
+    }
+
+    #[test]
+    fn constant_arith_is_exact() {
+        let r = range_of_output(&compile("fn main() { let a = 6; output a * 7; }"));
+        assert_eq!(r.int().unwrap().as_const(), Some(42));
+    }
+
+    #[test]
+    fn branch_join_unions() {
+        let r = range_of_output(&compile(
+            "fn main(x: int) { let r = 0; if (x > 0) { r = 10; } else { r = 20; } output r; }",
+        ));
+        let ir = r.int().unwrap();
+        assert_eq!((ir.lo, ir.hi), (10, 20));
+    }
+
+    #[test]
+    fn loop_counter_widens_without_diverging() {
+        // With an unbounded trip count the widened counter reaches
+        // i64::MAX, where the VM's wrapping add really can produce
+        // negative values — so the only *sound* interval is FULL. The
+        // point of this test is that the analysis converges and stays
+        // sound, not that it stays tight.
+        let m = compile(
+            "fn main(n: int) { let s = 0; for (i = 0; i < n; i = i + 1) { s = s + 1; } output s; }",
+        );
+        let r = range_of_output(&m);
+        let ir = r.int().unwrap();
+        assert!(ir.contains(0) && ir.contains(1_000_000), "{ir:?}");
+    }
+
+    #[test]
+    fn float_accumulator_keeps_lower_bound_through_widening() {
+        // Floats don't wrap: adding a non-negative step to a widened
+        // [0, +inf] accumulator keeps the lower bound.
+        let m = compile(
+            "fn main(n: int) { let s = 0.0; for (i = 0; i < n; i = i + 1) { s = s + 1.0; } output s; }",
+        );
+        let r = range_of_output(&m);
+        let fr = r.float().unwrap();
+        assert!(fr.lo >= 0.0, "{fr:?}");
+    }
+
+    #[test]
+    fn float_interval_corners() {
+        let r = range_of_output(&compile(
+            "fn main(x: int) { let f = 2.0; if (x > 0) { f = 4.0; } output f * 10.0; }",
+        ));
+        let fr = r.float().unwrap();
+        assert_eq!((fr.lo, fr.hi), (20.0, 40.0));
+        assert!(!fr.nan);
+    }
+
+    #[test]
+    fn division_by_straddling_interval_is_top() {
+        let a = FRange {
+            lo: 1.0,
+            hi: 2.0,
+            nan: false,
+        };
+        let b = FRange {
+            lo: -1.0,
+            hi: 1.0,
+            nan: false,
+        };
+        let r = float_bin(BinOp::FDiv, a, b);
+        assert!(r.nan && r.lo == f64::NEG_INFINITY && r.hi == f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_times_inf_flags_nan() {
+        let a = FRange {
+            lo: -1.0,
+            hi: 1.0,
+            nan: false,
+        };
+        let b = FRange {
+            lo: f64::INFINITY,
+            hi: f64::INFINITY,
+            nan: false,
+        };
+        assert!(float_bin(BinOp::FMul, a, b).nan);
+    }
+
+    #[test]
+    fn always_true_compare_is_constant_one() {
+        let m = compile(
+            "fn main(x: int) { let a = x & 15; if (a < 100) { output 1; } else { output 2; } }",
+        );
+        let f = m.entry_func();
+        let facts = analyze_values::<AbsRange>(f, &Cfg::new(f));
+        let icmp = f.instrs().find(|i| i.op.mnemonic() == "icmp").unwrap();
+        let r = facts.values[icmp.result.unwrap().0 as usize];
+        assert_eq!(r.int().unwrap().as_const(), Some(1), "{r:?}");
+    }
+
+    #[test]
+    fn fptosi_saturates_and_handles_nan() {
+        let r = AbsRange::transfer(
+            &Op::Cast {
+                kind: CastKind::FpToSi,
+                a: Operand::f64(0.0),
+                to: Ty::I64,
+            },
+            Ty::I64,
+            &[AbsRange::Float(FRange {
+                lo: -1e300,
+                hi: 5.9,
+                nan: true,
+            })],
+            &[Ty::F64],
+        );
+        let ir = r.int().unwrap();
+        assert_eq!(ir.lo, i64::MIN);
+        assert_eq!(ir.hi, 5);
+        assert!(ir.contains(0), "NaN -> 0 must be included");
+    }
+}

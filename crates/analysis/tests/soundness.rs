@@ -1,0 +1,171 @@
+//! Soundness of the abstract domains against the concrete interpreter.
+//!
+//! For every bundled MiniC benchmark, run the VM on random inputs with a
+//! hook observing each value definition, and assert the concrete bits are
+//! contained in the static known-bits and interval abstractions computed
+//! for that instruction's result. Any failure here means a transfer
+//! function in `knownbits.rs` or `range.rs` claims more than the VM
+//! delivers — exactly the bug class that would silently skew the
+//! masking predictor.
+
+use peppa_analysis::{analyze_values, AbsRange, Cfg, KnownBits, ValueFacts};
+use peppa_apps::{all_benchmarks, Benchmark};
+use peppa_ir::{Instr, Ty};
+use peppa_vm::{encode_inputs, ExecHook, ExecLimits, Vm};
+use proptest::prelude::*;
+use proptest::TestRng;
+use std::sync::OnceLock;
+
+struct BenchFacts {
+    bench: Benchmark,
+    kb: Vec<ValueFacts<KnownBits>>,
+    rg: Vec<ValueFacts<AbsRange>>,
+    /// `by_sid[sid]`: (function index, result value index, result type)
+    /// for value-producing instructions.
+    by_sid: Vec<Option<(usize, u32, Ty)>>,
+}
+
+fn facts() -> &'static Vec<BenchFacts> {
+    static FACTS: OnceLock<Vec<BenchFacts>> = OnceLock::new();
+    FACTS.get_or_init(|| {
+        all_benchmarks()
+            .into_iter()
+            .map(|bench| {
+                let m = &bench.module;
+                let mut kb = Vec::new();
+                let mut rg = Vec::new();
+                let mut by_sid = vec![None; m.num_instrs];
+                for (fi, f) in m.functions.iter().enumerate() {
+                    let cfg = Cfg::new(f);
+                    kb.push(analyze_values::<KnownBits>(f, &cfg));
+                    rg.push(analyze_values::<AbsRange>(f, &cfg));
+                    for ins in f.instrs() {
+                        if let Some(r) = ins.result {
+                            by_sid[ins.sid.0 as usize] = Some((fi, r.0, f.ty_of(r)));
+                        }
+                    }
+                }
+                BenchFacts {
+                    bench,
+                    kb,
+                    rg,
+                    by_sid,
+                }
+            })
+            .collect()
+    })
+}
+
+struct SoundnessHook<'a> {
+    f: &'a BenchFacts,
+    checked: u64,
+    failures: Vec<String>,
+}
+
+impl ExecHook for SoundnessHook<'_> {
+    const ENABLED: bool = true;
+
+    fn def_value(&mut self, ins: &Instr, bits: u64) {
+        let Some((fi, v, ty)) = self.f.by_sid[ins.sid.0 as usize] else {
+            return;
+        };
+        self.checked += 1;
+        if self.failures.len() >= 3 {
+            return;
+        }
+        let kb = &self.f.kb[fi].values[v as usize];
+        if !kb.contains(bits) {
+            self.failures.push(format!(
+                "{}: sid {} ({}): bits {bits:#x} violate known-bits zeros={:#x} ones={:#x}",
+                self.f.bench.name,
+                ins.sid.0,
+                ins.op.mnemonic(),
+                kb.zeros,
+                kb.ones,
+            ));
+        }
+        let rg = &self.f.rg[fi].values[v as usize];
+        if !rg.contains_bits(ty, bits) {
+            self.failures.push(format!(
+                "{}: sid {} ({}): bits {bits:#x} (ty {ty}) outside range {rg:?}",
+                self.f.bench.name,
+                ins.sid.0,
+                ins.op.mnemonic(),
+            ));
+        }
+    }
+}
+
+/// Limits small enough to keep hundreds of runs fast; a `Hang` status
+/// just truncates the run — every def executed before the cutoff was
+/// still checked.
+fn limits() -> ExecLimits {
+    ExecLimits {
+        max_dynamic: 2_000_000,
+        ..ExecLimits::default()
+    }
+}
+
+/// Runs `bench` on `inputs` with the soundness hook; returns
+/// (defs checked, failure messages).
+fn check_run(bf: &BenchFacts, inputs: &[f64]) -> (u64, Vec<String>) {
+    let bits = encode_inputs(bf.bench.module.entry_func(), inputs);
+    let vm = Vm::new(&bf.bench.module, limits());
+    let mut hook = SoundnessHook {
+        f: bf,
+        checked: 0,
+        failures: Vec::new(),
+    };
+    vm.run_with_hook(&bits, None, &mut hook);
+    (hook.checked, hook.failures)
+}
+
+/// Random input within the benchmark's *small* workload window (§4.2.1's
+/// light-workload corner), so each run stays well under the dynamic
+/// budget while still exercising every kernel.
+fn sample_inputs(bench: &Benchmark, rng: &mut TestRng) -> Vec<f64> {
+    bench
+        .args
+        .iter()
+        .map(|a| {
+            let (lo, hi) = a.small;
+            a.clamp(lo + rng.unit_f64() * (hi - lo))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concrete_defs_are_contained_in_abstractions(seed in any::<u64>()) {
+        let mut rng = TestRng::new(&format!("soundness-{seed}"));
+        for bf in facts() {
+            let inputs = sample_inputs(&bf.bench, &mut rng);
+            let (checked, failures) = check_run(bf, &inputs);
+            prop_assert!(checked > 0, "{}: no defs executed", bf.bench.name);
+            prop_assert!(
+                failures.is_empty(),
+                "{}: inputs {:?}: {}",
+                bf.bench.name,
+                inputs,
+                failures.join("; ")
+            );
+        }
+    }
+}
+
+#[test]
+fn reference_inputs_are_sound() {
+    for bf in facts() {
+        let inputs = bf.bench.reference_input.clone();
+        let (checked, failures) = check_run(bf, &inputs);
+        assert!(checked > 0, "{}: no defs executed", bf.bench.name);
+        assert!(
+            failures.is_empty(),
+            "{}: reference input: {}",
+            bf.bench.name,
+            failures.join("; ")
+        );
+    }
+}

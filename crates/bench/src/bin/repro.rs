@@ -14,6 +14,7 @@
 //!   fig6               input-space heat maps
 //!   table6             per-input evaluation time
 //!   fig9               protection stress test
+//!   static-rank        static masking predictor vs FI ground truth
 //!   baseline           VM + campaign throughput (BENCH_baseline.json)
 //!   all                everything above
 //! ```
@@ -35,7 +36,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|table2..6|baseline|all> \
+            "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|table2..6|static-rank|baseline|all> \
              [--scale quick|paper] [--seed N] [--out DIR] [--threads N] \
              [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--quiet]"
         );
@@ -99,6 +100,7 @@ fn main() {
             "fig8",
             "table6",
             "fig9",
+            "static-rank",
             "faultmodel",
             "ablation",
             "baseline",
@@ -221,6 +223,11 @@ fn main() {
                 let r = peppa_bench::protect_exp::run_protect(&ctx, &bound);
                 println!("{}", render::render_fig9(&r));
                 dump("fig9", serde_json::to_string_pretty(&r).unwrap());
+            }
+            "static-rank" => {
+                let r = peppa_bench::static_rank::run_static_rank(&ctx);
+                println!("{}", render::render_static_rank(&r));
+                dump("static_rank", serde_json::to_string_pretty(&r).unwrap());
             }
             "baseline" => {
                 let r = peppa_bench::baseline::run_baseline(&ctx, Arc::clone(&observer));

@@ -16,6 +16,10 @@
 //! | Table 6 (per-input evaluation time)             | [`search_exp`]  | `table6` |
 //! | Figure 9 (stress-testing selective duplication) | [`protect_exp`] | `fig9` |
 //!
+//! Extension (not in the paper): `repro static-rank` compares the purely
+//! static SDC-masking predictor against FI ground truth
+//! ([`static_rank`]).
+//!
 //! Beyond the paper's artifacts, `repro baseline` measures VM and
 //! campaign throughput per benchmark ([`baseline`]) and writes the
 //! checked-in `BENCH_baseline.json` regression reference.
@@ -33,6 +37,7 @@ pub mod ranks;
 pub mod render;
 pub mod scale;
 pub mod search_exp;
+pub mod static_rank;
 pub mod study;
 
 pub use scale::{Ctx, Scale};

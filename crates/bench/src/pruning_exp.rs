@@ -3,19 +3,25 @@
 //! the heuristics).
 
 use crate::scale::Ctx;
-use peppa_analysis::prune_fi_space;
+use peppa_analysis::{prune_fi_space, prune_fi_space_refined};
 use peppa_apps::all_benchmarks;
 use peppa_core::{derive_sdc_scores, fuzz_small_input, SmallInputConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Table 4's row.
+/// Table 4's row, extended with the known-bits-refined grouping (same
+/// baseline subgroups, split where members' known-bits signatures
+/// differ — see [`prune_fi_space_refined`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PruningRow {
     pub benchmark: String,
     pub injectable: usize,
     pub groups: usize,
     pub pruning_ratio: f64,
+    /// Subgroups after the known-bits refinement.
+    pub refined_groups: usize,
+    /// Pruning ratio of the refined grouping (≤ the baseline ratio).
+    pub refined_ratio: f64,
 }
 
 /// Table 4 report.
@@ -40,11 +46,14 @@ pub fn run_pruning_ratios() -> PruningReport {
         .iter()
         .map(|b| {
             let p = prune_fi_space(&b.module);
+            let refined = prune_fi_space_refined(&b.module);
             PruningRow {
                 benchmark: b.name.to_string(),
                 injectable: p.injectable,
                 groups: p.groups.len(),
                 pruning_ratio: p.pruning_ratio(),
+                refined_groups: refined.groups.len(),
+                refined_ratio: refined.pruning_ratio(),
             }
         })
         .collect();
@@ -149,5 +158,26 @@ mod tests {
         // Paper average: 49.32%. Accept a generous band around it.
         let avg = r.average_ratio();
         assert!(avg > 0.15 && avg < 0.85, "average ratio {avg}");
+    }
+
+    #[test]
+    fn refined_ratio_never_exceeds_baseline() {
+        let r = run_pruning_ratios();
+        for row in &r.rows {
+            assert!(
+                row.refined_ratio <= row.pruning_ratio + 1e-12,
+                "{}: refined {} > baseline {}",
+                row.benchmark,
+                row.refined_ratio,
+                row.pruning_ratio
+            );
+            assert!(row.refined_groups >= row.groups);
+            // Refinement must still prune something.
+            assert!(
+                row.refined_ratio > 0.0,
+                "{}: refined ratio 0",
+                row.benchmark
+            );
+        }
     }
 }

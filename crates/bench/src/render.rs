@@ -92,25 +92,67 @@ pub fn render_table3(r: &RankReport) -> String {
     s
 }
 
-/// Table 4: pruning ratios.
+/// Table 4: pruning ratios, plus the known-bits-refined grouping.
 pub fn render_table4(r: &PruningReport) -> String {
-    let mut s = String::from("Table 4 — FI-space pruning ratio (paper avg: 49.32%)\n\n");
+    let mut s = String::from(
+        "Table 4 — FI-space pruning ratio (paper avg: 49.32%)\n\
+         (refined = baseline subgroups split where members' known-bits differ)\n\n",
+    );
     let _ = writeln!(
         s,
-        "{:<15} {:>11} {:>8} {:>9}",
-        "benchmark", "injectable", "groups", "ratio"
+        "{:<15} {:>11} {:>8} {:>9} {:>12} {:>13}",
+        "benchmark", "injectable", "groups", "ratio", "ref-groups", "ref-ratio"
     );
     for row in &r.rows {
         let _ = writeln!(
             s,
-            "{:<15} {:>11} {:>8} {:>9}",
+            "{:<15} {:>11} {:>8} {:>9} {:>12} {:>13}",
             row.benchmark,
             row.injectable,
             row.groups,
-            pct(row.pruning_ratio)
+            pct(row.pruning_ratio),
+            row.refined_groups,
+            pct(row.refined_ratio)
         );
     }
-    let _ = writeln!(s, "{:<15} {:>29}", "average", pct(r.average_ratio()));
+    let refined_avg = if r.rows.is_empty() {
+        0.0
+    } else {
+        r.rows.iter().map(|x| x.refined_ratio).sum::<f64>() / r.rows.len() as f64
+    };
+    let _ = writeln!(
+        s,
+        "{:<15} {:>29} {:>26}",
+        "average",
+        pct(r.average_ratio()),
+        pct(refined_avg)
+    );
+    s
+}
+
+/// Static predictor vs FI ground truth (`repro static-rank`).
+pub fn render_static_rank(r: &crate::static_rank::StaticRankReport) -> String {
+    let mut s = String::from(
+        "Static-rank — Spearman's ρ between the static SDC-masking predictor\n\
+         and FI-measured per-instruction SDC probability\n\n",
+    );
+    let _ = writeln!(
+        s,
+        "{:<15} {:>8} {:>9} {:>12} {:>14}",
+        "benchmark", "paired", "spearman", "mean-static", "mean-measured"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            s,
+            "{:<15} {:>8} {:>9.2} {:>12} {:>14}",
+            row.benchmark,
+            row.paired,
+            row.spearman,
+            pct(row.mean_static),
+            pct(row.mean_measured)
+        );
+    }
+    let _ = writeln!(s, "{:<15} {:>18.2}", "mean", r.mean_spearman());
     s
 }
 

@@ -1,0 +1,133 @@
+//! Static masking predictor vs FI ground truth.
+//!
+//! The `static-rank` experiment scores every static instruction with the
+//! purely static SDC-masking predictor ([`peppa_analysis::predict_sdc`])
+//! and with fault injection ([`per_instruction_sdc`]), then reports
+//! Spearman's ρ between the two rankings per benchmark. A positive
+//! correlation means the dataflow analyses (known bits, intervals,
+//! observable liveness, sink attenuation) capture a real part of the
+//! masking structure the paper measures dynamically — cheap static
+//! triage before any fault is injected.
+
+use crate::scale::{Ctx, Scale};
+use peppa_analysis::predict_sdc;
+use peppa_apps::{all_benchmarks, random_inputs, Benchmark};
+use peppa_inject::{per_instruction_sdc, PerInstrConfig};
+use peppa_stats::corr::spearman;
+use serde::{Deserialize, Serialize};
+
+/// One benchmark's static-vs-measured comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StaticRankRow {
+    pub benchmark: String,
+    /// Instructions with both a static score and an FI measurement.
+    pub paired: usize,
+    /// Spearman's ρ between static score and measured SDC probability.
+    pub spearman: f64,
+    /// Mean static score / mean measured probability over the pairs
+    /// (calibration context for the rank correlation).
+    pub mean_static: f64,
+    pub mean_measured: f64,
+}
+
+/// `repro static-rank` report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StaticRankReport {
+    pub rows: Vec<StaticRankRow>,
+    pub seed: u64,
+    pub trials_per_instr: u32,
+}
+
+impl StaticRankReport {
+    pub fn mean_spearman(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.spearman).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+/// Compares the static predictor against per-instruction FI for one
+/// benchmark, on one capped-workload random input.
+pub fn static_rank_benchmark(bench: &Benchmark, ctx: &Ctx) -> StaticRankRow {
+    let pred = predict_sdc(&bench.module);
+
+    // Per-instruction FI costs (instrs × trials) whole-program runs, so
+    // measure under a light-workload input, as the ranking study does.
+    let cap = match ctx.scale {
+        Scale::Quick => 150_000,
+        Scale::Paper => 2_000_000,
+    };
+    let input = random_inputs(bench, 1, ctx.seed ^ 0x57a7, ctx.limits, cap)
+        .pop()
+        .expect("one valid input");
+
+    let cfg = PerInstrConfig {
+        trials_per_instr: ctx.per_instr_trials(),
+        seed: ctx.seed,
+        hang_factor: 8,
+        threads: ctx.threads,
+    };
+    let measured = per_instruction_sdc(&bench.module, &input, ctx.limits, cfg, None)
+        .expect("validated input must run");
+
+    let mut xs = Vec::new(); // static score
+    let mut ys = Vec::new(); // measured SDC probability
+    for sid in 0..bench.module.num_instrs {
+        if let (Some(s), Some(p)) = (pred.score[sid], measured.sdc_prob[sid]) {
+            xs.push(s);
+            ys.push(p);
+        }
+    }
+    let rho = spearman(&xs, &ys);
+    let n = xs.len().max(1) as f64;
+    StaticRankRow {
+        benchmark: bench.name.to_string(),
+        paired: xs.len(),
+        spearman: rho,
+        mean_static: xs.iter().sum::<f64>() / n,
+        mean_measured: ys.iter().sum::<f64>() / n,
+    }
+}
+
+/// Runs the static-vs-FI comparison over every bundled benchmark.
+pub fn run_static_rank(ctx: &Ctx) -> StaticRankReport {
+    let rows = all_benchmarks()
+        .iter()
+        .map(|b| static_rank_benchmark(b, ctx))
+        .collect();
+    StaticRankReport {
+        rows,
+        seed: ctx.seed,
+        trials_per_instr: ctx.per_instr_trials(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_rank_correlates_positively() {
+        let mut ctx = Ctx::new(Scale::Quick, 2021);
+        ctx.threads = 2;
+        let r = run_static_rank(&ctx);
+        assert_eq!(r.rows.len(), 7);
+        for row in &r.rows {
+            assert!(
+                row.paired >= 10,
+                "{}: only {} pairs",
+                row.benchmark,
+                row.paired
+            );
+            assert!(row.spearman.is_finite());
+        }
+        let positives = r.rows.iter().filter(|r| r.spearman > 0.0).count();
+        assert!(positives >= 5, "only {positives}/7 positive: {:?}", r.rows);
+        assert!(
+            r.mean_spearman() > 0.0,
+            "mean Spearman {} not positive",
+            r.mean_spearman()
+        );
+    }
+}

@@ -98,20 +98,31 @@ impl ModuleBuilder {
 
     /// Finalizes the module. Panics if any declared function lacks a body
     /// or no entry was set.
+    ///
+    /// Unreachable blocks (e.g. the join block a frontend emits after an
+    /// `if` whose arms both return) are pruned here and sids renumbered
+    /// densely, so finished modules always satisfy the verifier's
+    /// reachability invariant.
     pub fn finish(self) -> Module {
-        let functions: Vec<Function> = self
+        let mut functions: Vec<Function> = self
             .functions
             .into_iter()
             .enumerate()
             .map(|(i, f)| f.unwrap_or_else(|| panic!("function #{i} declared but never defined")))
             .collect();
-        Module {
+
+        let pruned_any = functions.iter_mut().any(prune_unreachable_blocks);
+        let mut module = Module {
             name: self.name,
             functions,
             globals: self.globals,
             entry: self.entry.expect("module entry not set"),
             num_instrs: self.next_sid as usize,
+        };
+        if pruned_any {
+            renumber_sids(&mut module);
         }
+        module
     }
 
     fn alloc_sid(&mut self) -> InstrId {
@@ -406,6 +417,68 @@ impl<'a> FunctionBuilder<'a> {
         }
         self.mb.functions[self.id.0 as usize] = Some(self.func);
     }
+}
+
+/// Removes blocks unreachable from the entry, rewriting terminator
+/// targets to the compacted block ids. Returns whether anything was
+/// removed. A frontend lowering `if` arms that both return leaves the
+/// join block orphaned; the verifier rejects such blocks, so the builder
+/// drops them before the module is handed out.
+fn prune_unreachable_blocks(f: &mut Function) -> bool {
+    let reach = f.reachable_blocks();
+    if reach.iter().all(|&r| r) {
+        return false;
+    }
+    let mut remap = vec![u32::MAX; f.blocks.len()];
+    let mut next = 0u32;
+    for (i, &r) in reach.iter().enumerate() {
+        if r {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    let mut keep = reach.iter();
+    f.blocks.retain(|_| *keep.next().unwrap());
+    for b in &mut f.blocks {
+        match &mut b.term {
+            Term::Br { target, .. } => target.0 = remap[target.0 as usize],
+            Term::CondBr {
+                then_target,
+                else_target,
+                ..
+            } => {
+                then_target.0 = remap[then_target.0 as usize];
+                else_target.0 = remap[else_target.0 as usize];
+            }
+            Term::Ret { .. } => {}
+        }
+    }
+    true
+}
+
+/// Reassigns dense sids (preserving relative order) after pruning left
+/// gaps where an unreachable block's instructions used to be.
+fn renumber_sids(m: &mut Module) {
+    let mut old: Vec<InstrId> = Vec::new();
+    for f in &m.functions {
+        for ins in f.instrs() {
+            old.push(ins.sid);
+        }
+    }
+    old.sort();
+    let max = old.last().map_or(0, |s| s.0 as usize + 1);
+    let mut map = vec![u32::MAX; max];
+    for (new, o) in old.iter().enumerate() {
+        map[o.0 as usize] = new as u32;
+    }
+    for f in &mut m.functions {
+        for b in &mut f.blocks {
+            for ins in &mut b.instrs {
+                ins.sid = InstrId(map[ins.sid.0 as usize]);
+            }
+        }
+    }
+    m.num_instrs = old.len();
 }
 
 #[cfg(test)]

@@ -103,6 +103,42 @@ impl Function {
         self.value_types[v.0 as usize]
     }
 
+    /// The block with the given id.
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.0 as usize]
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Successor block ids of one block (from its terminator).
+    pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
+        self.block(b).term.successors()
+    }
+
+    /// `reachable[b]`: whether block `b` is reachable from the entry
+    /// block by following terminator edges.
+    pub fn reachable_blocks(&self) -> Vec<bool> {
+        let mut reach = vec![false; self.blocks.len()];
+        if self.blocks.is_empty() {
+            return reach;
+        }
+        let mut stack = vec![BlockId(0)];
+        reach[0] = true;
+        while let Some(b) = stack.pop() {
+            for s in self.block(b).term.successors() {
+                let i = s.0 as usize;
+                if i < reach.len() && !reach[i] {
+                    reach[i] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        reach
+    }
+
     /// Type of an operand.
     pub fn operand_ty(&self, op: &Operand) -> Ty {
         match op {

@@ -125,6 +125,32 @@ fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
         }
     }
 
+    // CFG checks: every block must be reachable from the entry (an
+    // unreachable block can never bind its parameters and hides dead
+    // code from the analyses), and a block with parameters must have a
+    // predecessor edge supplying arguments for each of them (the
+    // per-edge arity check above covers only edges that exist).
+    let reach = f.reachable_blocks();
+    let mut pred_count = vec![0usize; f.blocks.len()];
+    for b in &f.blocks {
+        for s in b.term.successors() {
+            pred_count[s.0 as usize] += 1;
+        }
+    }
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let bid = BlockId(bi as u32);
+        if !reach[bi] {
+            return Err(err(&f.name, Some(bid), "unreachable block"));
+        }
+        if bi != 0 && !b.params.is_empty() && pred_count[bi] == 0 {
+            return Err(err(
+                &f.name,
+                Some(bid),
+                "block with parameters has no predecessor edge",
+            ));
+        }
+    }
+
     check_defined_before_use(f)?;
     Ok(())
 }

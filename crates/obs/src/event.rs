@@ -99,6 +99,15 @@ pub enum Event {
         evaluations: u64,
         wall_ns: u64,
     },
+    /// A static-analysis pass (verifier, lint, masking predictor) began.
+    AnalysisStarted { benchmark: String, pass: String },
+    /// A static-analysis pass finished. `findings` counts whatever the
+    /// pass produces (lints, scored instructions); zero is a clean run.
+    AnalysisFinished {
+        pass: String,
+        findings: u64,
+        wall_ns: u64,
+    },
     /// Free-form annotation (phase markers, warnings).
     Message { text: String },
 }
@@ -114,6 +123,8 @@ impl Event {
             Event::SearchStarted { .. } => "search_started",
             Event::GenerationFinished { .. } => "generation_finished",
             Event::SearchFinished { .. } => "search_finished",
+            Event::AnalysisStarted { .. } => "analysis_started",
+            Event::AnalysisFinished { .. } => "analysis_finished",
             Event::Message { .. } => "message",
         }
     }

@@ -268,6 +268,19 @@ impl Observer for MetricsRegistry {
                 self.counter("search.finished").inc();
                 self.counter("search.wall_ns").add(*wall_ns);
             }
+            Event::AnalysisStarted { .. } => {
+                self.counter("analysis.started").inc();
+            }
+            Event::AnalysisFinished {
+                pass,
+                findings,
+                wall_ns,
+            } => {
+                self.counter("analysis.finished").inc();
+                self.counter(&format!("analysis.{pass}.findings"))
+                    .add(*findings);
+                self.histogram("analysis.wall_ns").record(*wall_ns);
+            }
             Event::Message { .. } => {}
         }
     }

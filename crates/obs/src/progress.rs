@@ -180,6 +180,21 @@ impl Observer for ProgressReporter {
                     *wall_ns as f64 / 1e9
                 );
             }
+            Event::AnalysisStarted { benchmark, pass } => {
+                Self::erase_line(&mut st);
+                eprintln!("[obs] {pass} on {benchmark}...");
+            }
+            Event::AnalysisFinished {
+                pass,
+                findings,
+                wall_ns,
+            } => {
+                Self::erase_line(&mut st);
+                eprintln!(
+                    "[obs] {pass} done: {findings} findings in {:.3}s",
+                    *wall_ns as f64 / 1e9
+                );
+            }
             Event::Message { text } => {
                 Self::erase_line(&mut st);
                 eprintln!("[obs] {text}");

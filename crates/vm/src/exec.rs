@@ -450,6 +450,9 @@ impl<'m, H: ExecHook> State<'m, H> {
                 }
             }
             regs[r.0 as usize] = bits;
+            if H::ENABLED {
+                self.hook.def_value(ins, bits);
+            }
         }
         Ok(())
     }

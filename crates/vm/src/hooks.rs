@@ -37,6 +37,15 @@ pub trait ExecHook {
     fn end_instr(&mut self, ins: &Instr, elapsed_ns: u64) {
         let _ = (ins, elapsed_ns);
     }
+
+    /// Called when a value-producing instruction writes its result
+    /// register, with the canonical bits actually written (after any
+    /// fault injection). The static-analysis soundness tests use this to
+    /// compare concrete def values against their abstractions.
+    #[inline]
+    fn def_value(&mut self, ins: &Instr, bits: u64) {
+        let _ = (ins, bits);
+    }
 }
 
 /// The default hook: compiles to nothing.
@@ -58,6 +67,11 @@ impl<H: ExecHook> ExecHook for &mut H {
     #[inline]
     fn end_instr(&mut self, ins: &Instr, elapsed_ns: u64) {
         (**self).end_instr(ins, elapsed_ns)
+    }
+
+    #[inline]
+    fn def_value(&mut self, ins: &Instr, bits: u64) {
+        (**self).def_value(ins, bits)
     }
 }
 

@@ -9,6 +9,11 @@
 //! peppa inject   prog.mc --input 8,2.5 [--trials 1000] [--seed 1]
 //!                [--threads N] [--trace-out t.jsonl] [--metrics-out m.json] [--quiet]
 //! peppa analyze  prog.mc                          pruning report
+//! peppa lint     prog.mc [--deny-warnings] [--json]
+//!                verify + static findings (dead values, unreachable
+//!                blocks, always-taken branches, trapping accesses);
+//!                exits non-zero on errors, or on warnings with
+//!                --deny-warnings
 //! peppa trace    prog.mc --input 8,2.5 --site 12 --bit 40
 //! peppa corpus   prog.mc --input 8,2.5 --count 200 > corpus.json
 //! peppa search   prog.mc --spec "n:int:4:64:4:8,s:float:0.1:9:0.1:1" \
@@ -64,6 +69,8 @@ struct Opts {
     metrics_out: Option<String>,
     quiet: bool,
     profile: bool,
+    deny_warnings: bool,
+    json: bool,
 }
 
 fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
@@ -85,6 +92,8 @@ fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
         metrics_out: None,
         quiet: false,
         profile: false,
+        deny_warnings: false,
+        json: false,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -118,6 +127,8 @@ fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
             "--metrics-out" => o.metrics_out = Some(val("--metrics-out")?),
             "--quiet" => o.quiet = true,
             "--profile" => o.profile = true,
+            "--deny-warnings" => o.deny_warnings = true,
+            "--json" => o.json = true,
             other if !other.starts_with("--") && file.is_none() => {
                 file = Some(other.to_string());
             }
@@ -241,7 +252,9 @@ fn write_metrics(o: &Opts, registry: &Option<Arc<MetricsRegistry>>) -> Result<()
 
 fn run(args: Vec<String>) -> Result<ExitCode, String> {
     let Some((cmd, rest)) = args.split_first() else {
-        return Err("usage: peppa <compile|run|inject|analyze|trace|corpus|search|ci> ...".into());
+        return Err(
+            "usage: peppa <compile|run|inject|analyze|lint|trace|corpus|search|ci> ...".into(),
+        );
     };
     let (file, o) = parse_opts(rest)?;
     let bench = load_program(file, &o)?;
@@ -311,6 +324,38 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 p.groups.len(),
                 p.pruning_ratio() * 100.0
             );
+        }
+        "lint" => {
+            use peppa_x::obs::{Event, Observer};
+            observer.on_event(&Event::AnalysisStarted {
+                benchmark: bench.name.to_string(),
+                pass: "lint".into(),
+            });
+            let t0 = std::time::Instant::now();
+            let report = peppa_x::analysis::lint_module(&bench.module);
+            observer.on_event(&Event::AnalysisFinished {
+                pass: "lint".into(),
+                findings: report.lints.len() as u64,
+                wall_ns: t0.elapsed().as_nanos() as u64,
+            });
+            if o.json {
+                println!("{}", serde_json::to_string_pretty(&report).unwrap());
+            } else {
+                for l in &report.lints {
+                    println!("{l}");
+                }
+                println!(
+                    "{}: {} error(s), {} warning(s)",
+                    bench.name,
+                    report.errors(),
+                    report.warnings()
+                );
+            }
+            let errors = report.errors();
+            let warnings = report.warnings();
+            if errors > 0 || (o.deny_warnings && warnings > 0) {
+                exit = ExitCode::from(1);
+            }
         }
         "trace" => {
             let site = o.site.ok_or("trace needs --site <dynamic value index>")?;
