@@ -1,0 +1,209 @@
+//! Call graph over a PIR module.
+//!
+//! The interprocedural layer (summaries in [`crate::reach`]) needs three
+//! things from the call structure: who calls whom (with the call sites),
+//! a bottom-up processing order so callee summaries exist before their
+//! callers consume them, and the strongly-connected components so
+//! recursive cliques can be iterated to a joint fixpoint instead of
+//! ordered.
+
+use peppa_ir::{FuncId, InstrId, Module, Op};
+
+/// One call edge: the calling function, the static call instruction, and
+/// the callee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    pub caller: FuncId,
+    pub sid: InstrId,
+    pub callee: FuncId,
+}
+
+/// The module's static call graph.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// `callees[f]`: functions called (directly) by `f`, deduplicated.
+    pub callees: Vec<Vec<FuncId>>,
+    /// `callers[f]`: functions calling `f` (directly), deduplicated.
+    pub callers: Vec<Vec<FuncId>>,
+    /// Every call instruction in the module.
+    pub call_sites: Vec<CallSite>,
+    /// Strongly connected components in *bottom-up* order: every callee
+    /// of a function in component `i` lives in some component `j <= i`
+    /// (possibly `i` itself for recursion). Processing components in
+    /// index order visits callees before callers.
+    pub sccs: Vec<Vec<FuncId>>,
+}
+
+impl CallGraph {
+    pub fn new(module: &Module) -> CallGraph {
+        let n = module.functions.len();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut callers: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut call_sites = Vec::new();
+        for (fi, f) in module.functions.iter().enumerate() {
+            let caller = FuncId(fi as u32);
+            for ins in f.instrs() {
+                if let Op::Call { func, .. } = &ins.op {
+                    call_sites.push(CallSite {
+                        caller,
+                        sid: ins.sid,
+                        callee: *func,
+                    });
+                    if !callees[fi].contains(func) {
+                        callees[fi].push(*func);
+                    }
+                    if !callers[func.0 as usize].contains(&caller) {
+                        callers[func.0 as usize].push(caller);
+                    }
+                }
+            }
+        }
+        let sccs = bottom_up_sccs(&callees);
+        CallGraph {
+            callees,
+            callers,
+            call_sites,
+            sccs,
+        }
+    }
+
+    /// Call sites whose callee is `f`.
+    pub fn sites_calling(&self, f: FuncId) -> impl Iterator<Item = &CallSite> {
+        self.call_sites.iter().filter(move |s| s.callee == f)
+    }
+
+    /// Whether `f` participates in a call cycle (is recursive, directly
+    /// or mutually).
+    pub fn is_recursive(&self, f: FuncId) -> bool {
+        self.sccs
+            .iter()
+            .find(|c| c.contains(&f))
+            .map(|c| c.len() > 1 || self.callees[f.0 as usize].contains(&f))
+            .unwrap_or(false)
+    }
+}
+
+/// Tarjan's SCC algorithm (iterative), returning components in reverse
+/// topological order of the condensation — i.e. callees-first, which is
+/// exactly the bottom-up summary order.
+fn bottom_up_sccs(callees: &[Vec<FuncId>]) -> Vec<Vec<FuncId>> {
+    let n = callees.len();
+    const UNSEEN: u32 = u32::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs: Vec<Vec<FuncId>> = Vec::new();
+
+    // Explicit DFS frame: (node, next child position).
+    for root in 0..n {
+        if index[root] != UNSEEN {
+            continue;
+        }
+        let mut frames: Vec<(u32, usize)> = vec![(root as u32, 0)];
+        while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+            let vi = v as usize;
+            if *ci == 0 {
+                index[vi] = next_index;
+                low[vi] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[vi] = true;
+            }
+            if let Some(&w) = callees[vi].get(*ci) {
+                *ci += 1;
+                let wi = w.0 as usize;
+                if index[wi] == UNSEEN {
+                    frames.push((w.0, 0));
+                } else if on_stack[wi] {
+                    low[vi] = low[vi].min(index[wi]);
+                }
+            } else {
+                // All children done: close the frame.
+                if low[vi] == index[vi] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().unwrap();
+                        on_stack[w as usize] = false;
+                        comp.push(FuncId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    sccs.push(comp);
+                }
+                frames.pop();
+                if let Some(&mut (p, _)) = frames.last_mut() {
+                    let pi = p as usize;
+                    low[pi] = low[pi].min(low[vi]);
+                }
+            }
+        }
+    }
+    // Tarjan emits components callees-first already (a component is
+    // closed only after everything reachable from it), which is the
+    // bottom-up order we want.
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> Module {
+        peppa_lang::compile(src, "cg").unwrap()
+    }
+
+    fn fid(m: &Module, name: &str) -> FuncId {
+        m.func_by_name(name).unwrap()
+    }
+
+    #[test]
+    fn straight_chain_orders_bottom_up() {
+        let m = compile(
+            r#"fn leaf(x: int) -> int { return x + 1; }
+               fn mid(x: int) -> int { return leaf(x) * 2; }
+               fn main(x: int) { output mid(x); }"#,
+        );
+        let cg = CallGraph::new(&m);
+        let (leaf, mid, main) = (fid(&m, "leaf"), fid(&m, "mid"), fid(&m, "main"));
+        assert_eq!(cg.callees[main.0 as usize], vec![mid]);
+        assert_eq!(cg.callers[leaf.0 as usize], vec![mid]);
+        let pos = |f: FuncId| cg.sccs.iter().position(|c| c.contains(&f)).unwrap();
+        assert!(pos(leaf) < pos(mid) && pos(mid) < pos(main));
+        assert!(!cg.is_recursive(main));
+    }
+
+    #[test]
+    fn call_sites_record_sids() {
+        let m = compile(
+            r#"fn f(x: int) -> int { return x; }
+               fn main(x: int) { output f(x) + f(x + 1); }"#,
+        );
+        let cg = CallGraph::new(&m);
+        let f = fid(&m, "f");
+        assert_eq!(cg.sites_calling(f).count(), 2);
+        for s in cg.sites_calling(f) {
+            assert_eq!(s.caller, fid(&m, "main"));
+        }
+    }
+
+    #[test]
+    fn recursion_forms_one_scc() {
+        let m = compile(
+            r#"fn fib(n: int) -> int {
+                   if (n < 2) { return n; }
+                   return fib(n - 1) + fib(n - 2);
+               }
+               fn main(n: int) { output fib(n); }"#,
+        );
+        let cg = CallGraph::new(&m);
+        let fib = fid(&m, "fib");
+        assert!(cg.is_recursive(fib));
+        assert!(!cg.is_recursive(fid(&m, "main")));
+        let pos = |f: FuncId| cg.sccs.iter().position(|c| c.contains(&f)).unwrap();
+        assert!(pos(fib) < pos(fid(&m, "main")));
+    }
+}

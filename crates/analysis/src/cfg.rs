@@ -161,7 +161,7 @@ fn compute_idom(n: usize, preds: &[Vec<u32>], rpo: &[u32], rpo_pos: &[u32]) -> V
 #[cfg(test)]
 mod tests {
     use super::*;
-    use peppa_ir::Module;
+    use peppa_ir::{Module, Operand};
 
     fn compile(src: &str) -> Module {
         peppa_lang::compile(src, "cfg").unwrap()
@@ -226,6 +226,118 @@ mod tests {
             })
             .unwrap();
         assert!(cfg.dominates(BlockId(h), BlockId(back_src)));
+    }
+
+    #[test]
+    fn multi_exit_loop_dominators() {
+        // entry -> header; header -> (exit1 | body); body -> (exit2 | header).
+        // Two distinct `ret` exits; one loop with a side exit from the
+        // body. Hand-built — MiniC always lowers to a single-exit form.
+        let mut mb = peppa_ir::ModuleBuilder::new("multi_exit");
+        let f = mb.declare("main", &[peppa_ir::Ty::I64], Some(peppa_ir::Ty::I64));
+        {
+            let mut fb = mb.define(f);
+            let x = fb.param(0);
+            let (header, hargs) = fb.new_block(&[peppa_ir::Ty::I64]);
+            let (body, _) = fb.new_block(&[]);
+            let (exit1, _) = fb.new_block(&[]);
+            let (exit2, _) = fb.new_block(&[]);
+            fb.br(header, &[x]);
+            fb.switch_to(header);
+            let i = hargs[0];
+            let done = fb.icmp(peppa_ir::IPred::Sle, i, Operand::i64(0));
+            fb.cond_br(done, exit1, &[], body, &[]);
+            fb.switch_to(body);
+            let dec = fb.sub(i, Operand::i64(1));
+            let odd = fb.bin(peppa_ir::BinOp::And, dec, Operand::i64(1));
+            let stop = fb.icmp(peppa_ir::IPred::Eq, odd, Operand::i64(1));
+            fb.cond_br(stop, exit2, &[], header, &[dec]);
+            fb.switch_to(exit1);
+            fb.ret(Some(Operand::i64(1)));
+            fb.switch_to(exit2);
+            fb.ret(Some(Operand::i64(2)));
+            fb.finish();
+        }
+        mb.set_entry(f);
+        let m = mb.finish();
+        peppa_ir::verify(&m).unwrap();
+        let cfg = Cfg::new(m.entry_func());
+        assert_eq!(cfg.num_blocks(), 5);
+        let (entry, header, body, exit1, exit2) = (0u32, 1u32, 2u32, 3u32, 4u32);
+        // The header dominates everything below the entry, including
+        // both exits; the body dominates only exit2.
+        for b in [header, body, exit1, exit2] {
+            assert!(cfg.dominates(BlockId(entry), BlockId(b)));
+            assert!(
+                cfg.dominates(BlockId(header), BlockId(b)),
+                "header !dom bb{b}"
+            );
+        }
+        assert!(cfg.dominates(BlockId(body), BlockId(exit2)));
+        assert!(!cfg.dominates(BlockId(body), BlockId(exit1)));
+        assert!(!cfg.dominates(BlockId(exit1), BlockId(exit2)));
+        assert!(!cfg.dominates(BlockId(exit2), BlockId(exit1)));
+        assert_eq!(cfg.idom[header as usize], entry);
+        assert_eq!(cfg.idom[exit1 as usize], header);
+        assert_eq!(cfg.idom[exit2 as usize], body);
+        // Only the loop header carries the retreating edge.
+        let headers: Vec<usize> = (0..5).filter(|&b| cfg.loop_header[b]).collect();
+        assert_eq!(headers, vec![header as usize]);
+    }
+
+    #[test]
+    fn irreducible_cfg_dominators_and_widening_points() {
+        // entry -> (a | b); a -> b; b -> (a | exit). The cycle {a, b} has
+        // two entry edges, so it is not a natural loop — no single node
+        // dominates the cycle.
+        let mut mb = peppa_ir::ModuleBuilder::new("irreducible");
+        let f = mb.declare("main", &[peppa_ir::Ty::I64], Some(peppa_ir::Ty::I64));
+        {
+            let mut fb = mb.define(f);
+            let x = fb.param(0);
+            let (a, aargs) = fb.new_block(&[peppa_ir::Ty::I64]);
+            let (b, bargs) = fb.new_block(&[peppa_ir::Ty::I64]);
+            let (exit, _) = fb.new_block(&[]);
+            let pos = fb.icmp(peppa_ir::IPred::Sgt, x, Operand::i64(0));
+            fb.cond_br(pos, a, &[x], b, &[x]);
+            fb.switch_to(a);
+            let av = fb.sub(aargs[0], Operand::i64(1));
+            fb.br(b, &[av]);
+            fb.switch_to(b);
+            let bv = bargs[0];
+            let more = fb.icmp(peppa_ir::IPred::Sgt, bv, Operand::i64(0));
+            fb.cond_br(more, a, &[bv], exit, &[]);
+            fb.switch_to(exit);
+            fb.ret(Some(Operand::i64(0)));
+            fb.finish();
+        }
+        mb.set_entry(f);
+        let m = mb.finish();
+        peppa_ir::verify(&m).unwrap();
+        let cfg = Cfg::new(m.entry_func());
+        assert_eq!(cfg.num_blocks(), 4);
+        let (entry, a, b, exit) = (0u32, 1u32, 2u32, 3u32);
+        // Neither cycle member dominates the other: each is reachable
+        // from the entry without passing through its peer.
+        assert!(!cfg.dominates(BlockId(a), BlockId(b)));
+        assert!(!cfg.dominates(BlockId(b), BlockId(a)));
+        assert_eq!(cfg.idom[a as usize], entry);
+        assert_eq!(cfg.idom[b as usize], entry);
+        // `b` is the only block whose dominance covers the exit besides
+        // the entry (every path out goes through b).
+        assert!(cfg.dominates(BlockId(b), BlockId(exit)));
+        assert!(!cfg.dominates(BlockId(a), BlockId(exit)));
+        // Retreating-edge detection must still place a widening point on
+        // the cycle — interval analysis termination depends on every
+        // cycle containing one — even though the loop is not natural.
+        assert!(
+            cfg.loop_header[a as usize] || cfg.loop_header[b as usize],
+            "irreducible cycle has no widening point"
+        );
+        // And RPO must cover all blocks exactly once.
+        let mut seen = cfg.rpo.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -32,7 +32,17 @@
 //!   above (scored against FI ground truth by `repro static-rank`).
 //! * [`lint`]: verifier-gated static lints with machine-readable
 //!   findings (`peppa lint`).
+//!
+//! The interprocedural, memory-aware layer composes those pieces:
+//!
+//! * [`callgraph`]: call sites, bottom-up SCC order.
+//! * [`memdep`]: store→load reaching edges from `AbsRange` address
+//!   intervals with may-alias fallback.
+//! * [`reach`]: per-bit fault-propagation reachability — classifies
+//!   every injection site as `ProvablyMasked` or `MayPropagate`, the
+//!   basis of `--static-prune` FI campaigns.
 
+pub mod callgraph;
 pub mod cfg;
 pub mod coverage;
 pub mod dataflow;
@@ -40,10 +50,13 @@ pub mod defuse;
 pub mod knownbits;
 pub mod lint;
 pub mod liveness;
+pub mod memdep;
 pub mod predict;
 pub mod pruning;
 pub mod range;
+pub mod reach;
 
+pub use callgraph::{CallGraph, CallSite};
 pub use cfg::Cfg;
 pub use coverage::input_coverage;
 pub use dataflow::{
@@ -54,6 +67,8 @@ pub use defuse::DefUse;
 pub use knownbits::KnownBits;
 pub use lint::{lint_module, Lint, LintReport, Severity};
 pub use liveness::{dead_values, live_in, observable_live, ValueSet};
+pub use memdep::{MemAccess, MemDepGraph};
 pub use predict::{predict_sdc, SdcPrediction};
 pub use pruning::{prune_fi_space, prune_fi_space_refined, PruningResult};
 pub use range::{AbsRange, FRange, IRange};
+pub use reach::{effective_flip_mask, summarize, FaultReach, FuncSummary, Reach};

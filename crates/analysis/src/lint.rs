@@ -22,11 +22,24 @@
 //! * `undominated-use` — a cross-block use whose definition block does
 //!   not dominate the use block. Also subsumed by the verifier's
 //!   definite-definition check; kept as a cheap independent oracle.
+//! * `dead-store` — a store whose value provably reaches no load
+//!   anywhere in the module (no aliasing load in the
+//!   [`MemDepGraph`]). The stored value is wasted work and a
+//!   guaranteed-masked fault site.
+//! * `uninit-load` — a load that provably reads a zero-initialized
+//!   global range no store ever writes: it can only observe the
+//!   implicit zero fill, which is almost always a missing
+//!   initialization.
+//!
+//! Findings are sorted deterministically by `(sid, code, function,
+//! block)` so `peppa lint --json` output is stable across runs and
+//! analysis-order changes.
 
 use crate::cfg::Cfg;
 use crate::dataflow::{analyze_values, ValueFacts};
 use crate::knownbits::KnownBits;
 use crate::liveness::observable_live;
+use crate::memdep::MemDepGraph;
 use crate::range::AbsRange;
 use peppa_ir::{verify, BlockId, Function, Module, Op, Operand, Term, ValueId};
 use serde::Serialize;
@@ -115,10 +128,66 @@ pub fn lint_module(module: &Module) -> LintReport {
     for f in &module.functions {
         lint_function(f, &mut report);
     }
+    lint_memory(module, &mut report);
     report.lints.sort_by(|a, b| {
-        (a.sid, a.block, &a.function, &a.code).cmp(&(b.sid, b.block, &b.function, &b.code))
+        (a.sid, &a.code, &a.function, a.block).cmp(&(b.sid, &b.code, &b.function, b.block))
     });
     report
+}
+
+/// Module-level memory lints backed by the store→load dependence graph.
+fn lint_memory(module: &Module, report: &mut LintReport) {
+    let g = MemDepGraph::new(module);
+
+    // A provably-trapping access never executes its memory effect, so it
+    // is already reported once as `trapping-memory-access`; don't pile a
+    // dead-store / uninit-load finding on the same sid.
+    let trapping: std::collections::HashSet<u32> = report
+        .lints
+        .iter()
+        .filter(|l| l.code == "trapping-memory-access")
+        .filter_map(|l| l.sid)
+        .collect();
+
+    // Locate a sid: function name + block index.
+    let mut site = std::collections::HashMap::new();
+    for f in &module.functions {
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for ins in &b.instrs {
+                site.insert(ins.sid.0, (f.name.clone(), bi as u32));
+            }
+        }
+    }
+    let mut warn = |code: &str, sid: u32, message: String| {
+        let (function, block) = site.get(&sid).cloned().unwrap_or_default();
+        report.lints.push(Lint {
+            code: code.into(),
+            severity: Severity::Warning,
+            function,
+            block: Some(block),
+            sid: Some(sid),
+            message,
+        });
+    };
+
+    for sid in g.dead_stores() {
+        if !trapping.contains(&sid.0) {
+            warn(
+                "dead-store",
+                sid.0,
+                "stored value can never reach any load".into(),
+            );
+        }
+    }
+    for sid in g.uninit_loads(module) {
+        if !trapping.contains(&sid.0) {
+            warn(
+                "uninit-load",
+                sid.0,
+                "reads a zero-initialized global range no store ever writes".into(),
+            );
+        }
+    }
 }
 
 fn lint_function(f: &Function, report: &mut LintReport) {
@@ -335,6 +404,79 @@ mod tests {
             "{:?}",
             r.lints
         );
+    }
+
+    #[test]
+    fn dead_store_is_reported_once() {
+        let m = compile(
+            r#"global int a[4];
+               global int b[4];
+               fn main(x: int) {
+                   a[0] = x;
+                   output b[1];
+               }"#,
+        );
+        let r = lint_module(&m);
+        let dead: Vec<_> = r.lints.iter().filter(|l| l.code == "dead-store").collect();
+        assert_eq!(dead.len(), 1, "{:?}", r.lints);
+        assert_eq!(dead[0].function, "main");
+        // The companion uninit-load on b[1] fires too.
+        assert!(
+            r.lints.iter().any(|l| l.code == "uninit-load"),
+            "{:?}",
+            r.lints
+        );
+    }
+
+    #[test]
+    fn trapping_store_not_double_reported_as_dead() {
+        let mut mb = ModuleBuilder::new("trap");
+        let main = mb.declare("main", &[], None);
+        let mut fb = mb.define(main);
+        let p = fb.cast(peppa_ir::CastKind::IntToPtr, Operand::i64(0), Ty::Ptr);
+        fb.store(p, Operand::i64(1));
+        fb.output(Operand::i64(0));
+        fb.ret(None);
+        fb.finish();
+        mb.set_entry(main);
+        let m = mb.finish();
+        let r = lint_module(&m);
+        assert!(r.lints.iter().any(|l| l.code == "trapping-memory-access"));
+        assert!(
+            !r.lints.iter().any(|l| l.code == "dead-store"),
+            "trapping store double-reported: {:?}",
+            r.lints
+        );
+    }
+
+    #[test]
+    fn findings_sorted_by_sid_then_code() {
+        let m = compile(
+            r#"global int a[4];
+               fn main(x: int) {
+                   let d = x * 3;
+                   a[0] = x;
+                   output x;
+               }"#,
+        );
+        let r = lint_module(&m);
+        assert!(r.warnings() >= 2, "{:?}", r.lints);
+        let keys: Vec<_> = r
+            .lints
+            .iter()
+            .map(|l| (l.sid, l.code.clone(), l.function.clone(), l.block))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn bundled_benchmarks_are_lint_clean() {
+        for b in peppa_apps::all_benchmarks() {
+            let r = lint_module(&b.module);
+            assert!(r.is_clean(), "{}: {:?}", b.name, r.lints);
+        }
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Memory-dependence analysis: which stores can reach which loads.
+//!
+//! Addresses are abstracted with the interval domain ([`AbsRange`]) from
+//! the module-wide value analysis (function parameters at top, so the
+//! intervals are sound for every calling context). A store may reach a
+//! load iff their address intervals overlap; an unbounded interval
+//! (widened loop pointers, alloca-derived addresses) degrades to
+//! may-alias-everything rather than to a missed edge, so the edge set is
+//! a sound over-approximation of every dynamic last-writer relation —
+//! the property the proptest in `tests/soundness.rs` checks against the
+//! VM's store/load hooks.
+//!
+//! Clients: the fault-propagation analysis ([`crate::reach`]) routes
+//! matter masks from load results back to the stores that feed them, and
+//! `peppa lint` derives the dead-store and uninitialized-load findings.
+
+use crate::dataflow::{analyze_module, ModuleValueFacts};
+use crate::range::AbsRange;
+use peppa_ir::{FuncId, InstrId, Module, Op, Ty};
+use std::collections::HashMap;
+
+/// One static memory access (a `load` or `store`) with its abstract
+/// address interval in word space.
+#[derive(Debug, Clone, Copy)]
+pub struct MemAccess {
+    pub sid: InstrId,
+    pub func: FuncId,
+    /// Inclusive word-address bounds. `[i64::MIN, i64::MAX]` means the
+    /// address is statically unbounded (may alias everything).
+    pub lo: i64,
+    pub hi: i64,
+    /// Loaded / stored value type (`load`'s result type, the word for
+    /// stores).
+    pub ty: Ty,
+}
+
+impl MemAccess {
+    /// Whether the interval is a proper subrange of the address space
+    /// (i.e. the analysis actually bounded it).
+    pub fn is_bounded(&self) -> bool {
+        self.lo > i64::MIN && self.hi < i64::MAX
+    }
+
+    fn overlaps(&self, other: &MemAccess) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// Store→load reaching edges over a whole module.
+#[derive(Debug, Clone)]
+pub struct MemDepGraph {
+    pub stores: Vec<MemAccess>,
+    pub loads: Vec<MemAccess>,
+    /// `store_loads[i]`: indices into `loads` that `stores[i]` may reach.
+    pub store_loads: Vec<Vec<u32>>,
+    /// `load_stores[i]`: indices into `stores` that may feed `loads[i]`.
+    pub load_stores: Vec<Vec<u32>>,
+    store_of_sid: HashMap<u32, u32>,
+    load_of_sid: HashMap<u32, u32>,
+}
+
+impl MemDepGraph {
+    pub fn new(module: &Module) -> MemDepGraph {
+        let facts = analyze_module::<AbsRange>(module);
+        MemDepGraph::with_facts(module, &facts)
+    }
+
+    /// Builds the graph from precomputed interval facts (shared with
+    /// other analyses to avoid re-running the fixpoint).
+    pub fn with_facts(module: &Module, facts: &ModuleValueFacts<AbsRange>) -> MemDepGraph {
+        let mut stores = Vec::new();
+        let mut loads = Vec::new();
+        for (fi, f) in module.functions.iter().enumerate() {
+            let vf = &facts.per_func[fi];
+            for ins in f.instrs() {
+                let (addr, ty, is_store) = match &ins.op {
+                    Op::Load { addr, ty } => (addr, *ty, false),
+                    Op::Store { addr, value } => (addr, f.operand_ty(value), true),
+                    _ => continue,
+                };
+                let (lo, hi) = match vf.of_operand(addr).int() {
+                    Some(r) => (r.lo, r.hi),
+                    // A float-typed address cannot pass the verifier;
+                    // treat it as unbounded if it ever appears.
+                    None => (i64::MIN, i64::MAX),
+                };
+                let acc = MemAccess {
+                    sid: ins.sid,
+                    func: FuncId(fi as u32),
+                    lo,
+                    hi,
+                    ty,
+                };
+                if is_store {
+                    stores.push(acc);
+                } else {
+                    loads.push(acc);
+                }
+            }
+        }
+
+        let mut store_loads = vec![Vec::new(); stores.len()];
+        let mut load_stores = vec![Vec::new(); loads.len()];
+        for (si, s) in stores.iter().enumerate() {
+            for (li, l) in loads.iter().enumerate() {
+                if s.overlaps(l) {
+                    store_loads[si].push(li as u32);
+                    load_stores[li].push(si as u32);
+                }
+            }
+        }
+        let store_of_sid = stores
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.sid.0, i as u32))
+            .collect();
+        let load_of_sid = loads
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.sid.0, i as u32))
+            .collect();
+        MemDepGraph {
+            stores,
+            loads,
+            store_loads,
+            load_stores,
+            store_of_sid,
+            load_of_sid,
+        }
+    }
+
+    /// Whether the graph has a `store_sid → load_sid` edge. False when
+    /// either sid is not a store/load.
+    pub fn covers(&self, store_sid: InstrId, load_sid: InstrId) -> bool {
+        match (
+            self.store_of_sid.get(&store_sid.0),
+            self.load_of_sid.get(&load_sid.0),
+        ) {
+            (Some(&si), Some(&li)) => self.store_loads[si as usize].contains(&li),
+            _ => false,
+        }
+    }
+
+    /// All edges as `(store sid, load sid)` pairs, sorted.
+    pub fn edges(&self) -> Vec<(InstrId, InstrId)> {
+        let mut out = Vec::new();
+        for (si, ls) in self.store_loads.iter().enumerate() {
+            for &li in ls {
+                out.push((self.stores[si].sid, self.loads[li as usize].sid));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Stores whose value provably never reaches any load: no aliasing
+    /// load exists anywhere in the module. (The store's *address* can
+    /// still trap — only the stored value is dead.)
+    pub fn dead_stores(&self) -> Vec<InstrId> {
+        let mut out: Vec<InstrId> = self
+            .store_loads
+            .iter()
+            .enumerate()
+            .filter(|(_, ls)| ls.is_empty())
+            .map(|(si, _)| self.stores[si].sid)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Loads that provably read memory no store ever writes *and* whose
+    /// address range lies entirely inside zero-initialized global
+    /// storage — i.e. loads that can only ever observe the implicit zero
+    /// fill. Reported as likely-uninitialized reads by `peppa lint`.
+    pub fn uninit_loads(&self, module: &Module) -> Vec<InstrId> {
+        let layout = module.global_layout();
+        let mut out = Vec::new();
+        for (li, l) in self.loads.iter().enumerate() {
+            if !self.load_stores[li].is_empty() || !l.is_bounded() {
+                continue;
+            }
+            let inside_zero_global = module.globals.iter().enumerate().any(|(gi, g)| {
+                let base = layout[gi] as i64;
+                g.init.is_empty() && l.lo >= base && l.hi < base + g.words as i64
+            });
+            if inside_zero_global {
+                out.push(l.sid);
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> Module {
+        peppa_lang::compile(src, "md").unwrap()
+    }
+
+    fn graph(src: &str) -> (Module, MemDepGraph) {
+        let m = compile(src);
+        let g = MemDepGraph::new(&m);
+        (m, g)
+    }
+
+    #[test]
+    fn disjoint_globals_do_not_alias() {
+        let (_, g) = graph(
+            r#"global int a[4];
+               global int b[4];
+               fn main(x: int) {
+                   a[0] = x;
+                   output b[0];
+               }"#,
+        );
+        assert_eq!(g.stores.len(), 1);
+        assert_eq!(g.loads.len(), 1);
+        assert!(g.store_loads[0].is_empty(), "a[0] never feeds b[0]");
+        assert_eq!(g.dead_stores().len(), 1);
+    }
+
+    #[test]
+    fn same_cell_aliases() {
+        let (_, g) = graph(
+            r#"global int a[4];
+               fn main(x: int) {
+                   a[1] = x;
+                   output a[1];
+               }"#,
+        );
+        assert_eq!(g.store_loads[0].len(), 1);
+        assert!(g.covers(g.stores[0].sid, g.loads[0].sid));
+        assert!(g.dead_stores().is_empty());
+    }
+
+    #[test]
+    fn unbounded_index_may_alias_everything() {
+        let (_, g) = graph(
+            r#"global int a[8];
+               global int b[8];
+               fn main(n: int) {
+                   let i = 0;
+                   let s = 0;
+                   for (i = 0; i < n; i = i + 1) { a[i & 7] = i; }
+                   for (i = 0; i < n; i = i + 1) { s = s + b[i & 7]; }
+                   output s;
+               }"#,
+        );
+        // The masked indices keep both accesses bounded within their own
+        // global, so the edge set must still separate a-stores from
+        // b-loads... unless widening lost the bound, in which case the
+        // fallback must be an edge (may-alias), never a missing one.
+        for (si, s) in g.stores.iter().enumerate() {
+            if !s.is_bounded() {
+                assert_eq!(g.store_loads[si].len(), g.loads.len());
+            }
+        }
+    }
+
+    #[test]
+    fn uninit_load_detected() {
+        let (m, g) = graph(
+            r#"global int never_written[4];
+               fn main(x: int) {
+                   output never_written[2];
+               }"#,
+        );
+        assert_eq!(g.uninit_loads(&m).len(), 1);
+    }
+
+    #[test]
+    fn initialized_global_load_is_fine() {
+        // Globals with an initializer are legitimate read-only tables
+        // (MiniC cannot express them; build the IR directly).
+        let mut mb = peppa_ir::ModuleBuilder::new("md");
+        let table = mb.global_init("table", 4, vec![1, 2, 3, 4]);
+        let f = mb.declare("main", &[peppa_ir::Ty::I64], None);
+        {
+            let mut fb = mb.define(f);
+            let v = fb.load(table, peppa_ir::Ty::I64);
+            fb.output(v);
+            fb.ret(None);
+            fb.finish();
+        }
+        mb.set_entry(f);
+        let m = mb.finish();
+        let g = MemDepGraph::new(&m);
+        assert_eq!(g.loads.len(), 1);
+        assert!(g.load_stores[0].is_empty());
+        assert!(g.uninit_loads(&m).is_empty());
+    }
+}

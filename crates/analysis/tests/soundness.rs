@@ -155,6 +155,71 @@ proptest! {
     }
 }
 
+/// Records every dynamic last-writer relation: on a load, the store
+/// that most recently wrote the loaded word (if any) forms a
+/// `store sid → load sid` pair the static memory-dependence graph must
+/// cover.
+#[derive(Default)]
+struct MemPairHook {
+    last_writer: std::collections::HashMap<u64, u32>,
+    pairs: std::collections::HashSet<(u32, u32)>,
+}
+
+impl ExecHook for MemPairHook {
+    const ENABLED: bool = true;
+
+    fn mem_store(&mut self, ins: &Instr, addr: u64, _bits: u64) {
+        self.last_writer.insert(addr, ins.sid.0);
+    }
+
+    fn mem_load(&mut self, ins: &Instr, addr: u64, _bits: u64) {
+        if let Some(&store) = self.last_writer.get(&addr) {
+            self.pairs.insert((store, ins.sid.0));
+        }
+    }
+}
+
+fn memdep_graphs() -> &'static Vec<peppa_analysis::MemDepGraph> {
+    static GRAPHS: OnceLock<Vec<peppa_analysis::MemDepGraph>> = OnceLock::new();
+    GRAPHS.get_or_init(|| {
+        all_benchmarks()
+            .iter()
+            .map(|b| peppa_analysis::MemDepGraph::new(&b.module))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every store→load pair the VM actually executes must be an edge of
+    /// the static [`MemDepGraph`] — the may-alias over-approximation the
+    /// fault-propagation analysis and the memory lints rely on.
+    #[test]
+    fn dynamic_store_load_pairs_are_covered(seed in any::<u64>()) {
+        let mut rng = TestRng::new(&format!("memdep-{seed}"));
+        for (bf, g) in facts().iter().zip(memdep_graphs()) {
+            let inputs = sample_inputs(&bf.bench, &mut rng);
+            let bits = encode_inputs(bf.bench.module.entry_func(), &inputs);
+            let vm = Vm::new(&bf.bench.module, limits());
+            let mut hook = MemPairHook::default();
+            vm.run_with_hook(&bits, None, &mut hook);
+            prop_assert!(
+                !hook.pairs.is_empty(),
+                "{}: no store→load pairs observed",
+                bf.bench.name
+            );
+            for &(s, l) in &hook.pairs {
+                prop_assert!(
+                    g.covers(peppa_ir::InstrId(s), peppa_ir::InstrId(l)),
+                    "{}: dynamic store sid {s} → load sid {l} missing from MemDepGraph",
+                    bf.bench.name
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn reference_inputs_are_sound() {
     for bf in facts() {

@@ -9,7 +9,7 @@
 
 use crate::scale::Ctx;
 use peppa_apps::all_benchmarks;
-use peppa_inject::{run_campaign_observed, CampaignConfig};
+use peppa_inject::{run_campaign_observed, run_campaign_pruned, CampaignConfig, StaticPrune};
 use peppa_obs::{MetricsRegistry, MultiObserver, Observer};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -31,6 +31,13 @@ pub struct BaselineRow {
     /// time, not wall time, so this is thread-count independent).
     pub vm_instrs_per_sec: f64,
     pub mean_trial_latency_ns: f64,
+    /// Wall-clock seconds of the full campaign (directly timed).
+    pub campaign_wall_s: f64,
+    /// Wall-clock seconds of the same campaign under `--static-prune`
+    /// (identical seed/trials; provably-masked cells skipped).
+    pub pruned_campaign_wall_s: f64,
+    /// Fraction of trials the pruned campaign skipped.
+    pub pruned_skip_ratio: f64,
 }
 
 /// The checked-in `BENCH_baseline.json` payload.
@@ -62,8 +69,29 @@ pub fn run_baseline(ctx: &Ctx, observer: Arc<dyn Observer>) -> BaselineReport {
             threads: ctx.threads,
             burst: 0,
         };
+        let t0 = std::time::Instant::now();
         let r = run_campaign_observed(&bench.module, &bench.reference_input, ctx.limits, cfg, &fan)
             .unwrap_or_else(|e| panic!("{}: baseline campaign failed: {e}", bench.name));
+        let campaign_wall_s = t0.elapsed().as_secs_f64();
+
+        // Same campaign with the static prune table: what `--static-prune`
+        // buys on this machine. Timed directly, outside the metrics
+        // registry, so the full campaign's counters stay untouched.
+        let fr = peppa_analysis::FaultReach::analyze(&bench.module);
+        let prune = StaticPrune {
+            cells: fr.skip_cells(cfg.burst),
+            burst: cfg.burst,
+        };
+        let t1 = std::time::Instant::now();
+        let pruned = run_campaign_pruned(
+            &bench.module,
+            &bench.reference_input,
+            ctx.limits,
+            cfg,
+            &prune,
+        )
+        .unwrap_or_else(|e| panic!("{}: pruned baseline campaign failed: {e}", bench.name));
+        let pruned_campaign_wall_s = t1.elapsed().as_secs_f64();
 
         let trials = registry.counter_value("campaign.trials.finished");
         let golden_dynamic = registry.counter_value("golden.dynamic_instrs");
@@ -87,6 +115,9 @@ pub fn run_baseline(ctx: &Ctx, observer: Arc<dyn Observer>) -> BaselineReport {
                 0.0
             },
             mean_trial_latency_ns: latency.mean(),
+            campaign_wall_s,
+            pruned_campaign_wall_s,
+            pruned_skip_ratio: pruned.skip_ratio(),
         });
     }
     BaselineReport {
@@ -106,17 +137,27 @@ pub fn render_baseline(r: &BaselineReport) -> String {
         r.rows.first().map(|x| x.trials).unwrap_or(0)
     ));
     out.push_str(&format!(
-        "{:<12} {:>14} {:>12} {:>16} {:>14}\n",
-        "benchmark", "golden dyn", "trials/s", "VM instrs/s", "mean trial ms"
+        "{:<12} {:>14} {:>12} {:>16} {:>14} {:>9} {:>9} {:>7}\n",
+        "benchmark",
+        "golden dyn",
+        "trials/s",
+        "VM instrs/s",
+        "mean trial ms",
+        "full s",
+        "pruned s",
+        "skip %"
     ));
     for row in &r.rows {
         out.push_str(&format!(
-            "{:<12} {:>14} {:>12.1} {:>16.3e} {:>14.2}\n",
+            "{:<12} {:>14} {:>12.1} {:>16.3e} {:>14.2} {:>9.2} {:>9.2} {:>6.2}%\n",
             row.benchmark,
             row.golden_dynamic,
             row.trials_per_sec,
             row.vm_instrs_per_sec,
-            row.mean_trial_latency_ns / 1e6
+            row.mean_trial_latency_ns / 1e6,
+            row.campaign_wall_s,
+            row.pruned_campaign_wall_s,
+            row.pruned_skip_ratio * 100.0
         ));
     }
     out
@@ -163,6 +204,9 @@ mod tests {
             vm_instrs_per_sec: 30.0 * registry.counter_value("golden.dynamic_instrs") as f64
                 / (latency.sum() as f64 / 1e9),
             mean_trial_latency_ns: latency.mean(),
+            campaign_wall_s: 0.0,
+            pruned_campaign_wall_s: 0.0,
+            pruned_skip_ratio: 0.0,
         }
     }
 }

@@ -15,6 +15,9 @@
 //!   table6             per-input evaluation time
 //!   fig9               protection stress test
 //!   static-rank        static masking predictor vs FI ground truth
+//!   hybrid             static prune table vs FI ground truth
+//!                      (results/hybrid.json; exits 1 on a soundness
+//!                      violation; `--smoke` shrinks it to CI size)
 //!   baseline           VM + campaign throughput (BENCH_baseline.json)
 //!   all                everything above
 //! ```
@@ -36,8 +39,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|table2..6|static-rank|baseline|all> \
-             [--scale quick|paper] [--seed N] [--out DIR] [--threads N] \
+            "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|table2..6|static-rank|hybrid|baseline|all> \
+             [--scale quick|paper] [--seed N] [--out DIR] [--threads N] [--smoke] \
              [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--quiet]"
         );
         std::process::exit(2);
@@ -51,6 +54,7 @@ fn main() {
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut smoke = false;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -83,6 +87,7 @@ fn main() {
                 ));
             }
             "--quiet" => quiet = true,
+            "--smoke" => smoke = true,
             other => experiments.push(other.to_string()),
         }
     }
@@ -101,6 +106,7 @@ fn main() {
             "table6",
             "fig9",
             "static-rank",
+            "hybrid",
             "faultmodel",
             "ablation",
             "baseline",
@@ -145,6 +151,7 @@ fn main() {
     };
 
     // The search experiment feeds several artifacts; compute lazily once.
+    let mut failed = false;
     let mut search_report: Option<peppa_bench::search_exp::SearchReportAll> = None;
     let mut study_report: Option<peppa_bench::study::StudyReport> = None;
     let mut rank_report: Option<peppa_bench::ranks::RankReport> = None;
@@ -229,6 +236,18 @@ fn main() {
                 println!("{}", render::render_static_rank(&r));
                 dump("static_rank", serde_json::to_string_pretty(&r).unwrap());
             }
+            "hybrid" => {
+                let r = peppa_bench::hybrid::run_hybrid(&ctx, smoke);
+                println!("{}", peppa_bench::hybrid::render_hybrid(&r));
+                dump("hybrid", serde_json::to_string_pretty(&r).unwrap());
+                if !r.sound() {
+                    eprintln!(
+                        "[repro] FAIL: static pruning soundness violated (masked cell \
+                         produced an SDC, or pruned counts diverged)"
+                    );
+                    failed = true;
+                }
+            }
             "baseline" => {
                 let r = peppa_bench::baseline::run_baseline(&ctx, Arc::clone(&observer));
                 println!("{}", peppa_bench::baseline::render_baseline(&r));
@@ -274,5 +293,8 @@ fn main() {
         std::fs::write(path, reg.snapshot_json())
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         eprintln!("[repro] wrote {}", path.display());
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -16,9 +16,12 @@
 //! | Table 6 (per-input evaluation time)             | [`search_exp`]  | `table6` |
 //! | Figure 9 (stress-testing selective duplication) | [`protect_exp`] | `fig9` |
 //!
-//! Extension (not in the paper): `repro static-rank` compares the purely
-//! static SDC-masking predictor against FI ground truth
-//! ([`static_rank`]).
+//! Extensions (not in the paper): `repro static-rank` compares the
+//! purely static SDC-masking predictor against FI ground truth
+//! ([`static_rank`]), and `repro hybrid` validates the interprocedural
+//! fault-reachability analysis behind `--static-prune` campaigns —
+//! exact outcome-count equality plus FI re-injection of provably-masked
+//! cells ([`hybrid`]).
 //!
 //! Beyond the paper's artifacts, `repro baseline` measures VM and
 //! campaign throughput per benchmark ([`baseline`]) and writes the
@@ -31,6 +34,7 @@
 pub mod baseline;
 pub mod faultmodel;
 pub mod heatmap;
+pub mod hybrid;
 pub mod protect_exp;
 pub mod pruning_exp;
 pub mod ranks;

@@ -1,10 +1,20 @@
 //! Program-level statistical FI campaigns.
+//!
+//! Two runners share one engine: the classic full campaign and the
+//! statically-pruned campaign ([`run_campaign_pruned`]). Pruning never
+//! changes what a campaign *measures*: each trial's fault is sampled
+//! from the same per-trial RNG stream first, and only then — if the
+//! sampled `(static instruction, bit)` cell is provably masked per the
+//! caller-supplied [`StaticPrune`] table — is the faulty execution
+//! skipped and the trial counted Benign. Trials that do run are
+//! bit-identical to the full campaign's, so a *sound* prune table makes
+//! the pruned outcome counts exactly equal to the full campaign's.
 
 use crate::outcome::{classify, FaultOutcome};
-use peppa_ir::Module;
+use peppa_ir::{Instr, Module};
 use peppa_obs::{Event, NullObserver, Observer, Outcome as ObsOutcome};
 use peppa_stats::{binomial_ci, ci::Z_95, BinomialCi, Pcg64};
-use peppa_vm::{ExecLimits, Injection, InjectionTarget, RunOutput, Vm};
+use peppa_vm::{encode_inputs, ExecHook, ExecLimits, Injection, InjectionTarget, RunOutput, Vm};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -74,6 +84,70 @@ impl CampaignResult {
     }
 }
 
+/// Per-cell static skip table for `--static-prune` campaigns.
+///
+/// `cells[sid]` has bit `b` set iff a fault sampled at bit position `b`
+/// of static instruction `sid` is provably masked under the burst model
+/// the table was built for. The injector deliberately does not depend on
+/// `peppa-analysis`; callers build this from a `FaultReach` (see
+/// `StaticPrune::from_masks`-style constructors in the bench/CLI
+/// layers). Missing sids are never skipped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StaticPrune {
+    pub cells: Vec<u64>,
+    /// Burst width the table was computed for; the campaign refuses a
+    /// mismatched `CampaignConfig::burst`.
+    pub burst: u8,
+}
+
+impl StaticPrune {
+    /// Whether the sampled `(sid, bit)` cell is provably masked.
+    #[inline]
+    pub fn is_masked(&self, sid: u32, bit: u32) -> bool {
+        bit < 64 && (self.cells.get(sid as usize).copied().unwrap_or(0) >> bit) & 1 != 0
+    }
+
+    /// Number of masked cells in the table.
+    pub fn masked_cells(&self) -> u64 {
+        self.cells.iter().map(|c| c.count_ones() as u64).sum()
+    }
+}
+
+/// A [`CampaignResult`] plus the pruning bookkeeping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrunedCampaignResult {
+    pub campaign: CampaignResult,
+    /// Trials skipped without execution (already counted Benign in
+    /// `campaign`).
+    pub skipped: u64,
+}
+
+impl PrunedCampaignResult {
+    /// Fraction of trials that needed no faulty execution.
+    pub fn skip_ratio(&self) -> f64 {
+        if self.campaign.trials == 0 {
+            return 0.0;
+        }
+        self.skipped as f64 / self.campaign.trials as f64
+    }
+}
+
+/// Records, for every value-producing dynamic instruction of the golden
+/// run, the static instruction it came from — the map a pruned campaign
+/// uses to turn a sampled dynamic index into a prune-table sid.
+struct SidMapHook {
+    sids: Vec<u32>,
+}
+
+impl ExecHook for SidMapHook {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn def_value(&mut self, ins: &Instr, _bits: u64) {
+        self.sids.push(ins.sid.0);
+    }
+}
+
 /// Errors that stop a campaign before any trial runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CampaignError {
@@ -82,6 +156,9 @@ pub enum CampaignError {
     GoldenRunFailed(String),
     /// The program executed no value-producing instructions.
     NoFaultSites,
+    /// The [`StaticPrune`] table was built for a different burst width
+    /// than the campaign is configured to inject.
+    PruneBurstMismatch { table: u8, campaign: u8 },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -89,6 +166,10 @@ impl std::fmt::Display for CampaignError {
         match self {
             CampaignError::GoldenRunFailed(s) => write!(f, "golden run failed: {s}"),
             CampaignError::NoFaultSites => write!(f, "no value-producing dynamic instructions"),
+            CampaignError::PruneBurstMismatch { table, campaign } => write!(
+                f,
+                "static-prune table built for burst {table}, campaign uses burst {campaign}"
+            ),
         }
     }
 }
@@ -158,6 +239,8 @@ struct TrialReport {
     site: u64,
     bit: u32,
     latency_ns: u64,
+    /// `Some(sid)` if static pruning skipped the faulty execution.
+    skipped_sid: Option<u32>,
 }
 
 impl TrialReport {
@@ -169,6 +252,19 @@ impl TrialReport {
             bit: self.bit,
             latency_ns: self.latency_ns,
         }
+    }
+
+    /// Emits this report's events (a `StaticSkip` first when pruned).
+    fn emit(&self, observer: &dyn Observer) {
+        if let Some(sid) = self.skipped_sid {
+            observer.on_event(&Event::StaticSkip {
+                trial: self.trial,
+                sid,
+                site: self.site,
+                bit: self.bit,
+            });
+        }
+        observer.on_event(&self.to_event());
     }
 }
 
@@ -193,6 +289,55 @@ pub fn run_campaign_observed(
     cfg: CampaignConfig,
     observer: &dyn Observer,
 ) -> Result<CampaignResult, CampaignError> {
+    campaign_impl(module, inputs, limits, cfg, observer, None).map(|r| r.campaign)
+}
+
+/// [`run_campaign`] with `ProvablyMasked` fault cells skipped.
+///
+/// Skipped trials count as Benign (the statically proven outcome) and
+/// cost no execution; `executions` reflects only the runs actually
+/// performed. Sampling is identical to the full campaign, so with a
+/// sound table the outcome counts match [`run_campaign`] exactly —
+/// `repro hybrid` checks this, plus FI ground truth on a sample of
+/// skipped cells.
+pub fn run_campaign_pruned(
+    module: &Module,
+    inputs: &[f64],
+    limits: ExecLimits,
+    cfg: CampaignConfig,
+    prune: &StaticPrune,
+) -> Result<PrunedCampaignResult, CampaignError> {
+    run_campaign_pruned_observed(module, inputs, limits, cfg, prune, &NullObserver)
+}
+
+/// [`run_campaign_pruned`] with an [`Observer`] attached. Each skipped
+/// trial emits a `StaticSkip` event immediately before its
+/// `TrialFinished`.
+pub fn run_campaign_pruned_observed(
+    module: &Module,
+    inputs: &[f64],
+    limits: ExecLimits,
+    cfg: CampaignConfig,
+    prune: &StaticPrune,
+    observer: &dyn Observer,
+) -> Result<PrunedCampaignResult, CampaignError> {
+    if prune.burst != cfg.burst {
+        return Err(CampaignError::PruneBurstMismatch {
+            table: prune.burst,
+            campaign: cfg.burst,
+        });
+    }
+    campaign_impl(module, inputs, limits, cfg, observer, Some(prune))
+}
+
+fn campaign_impl(
+    module: &Module,
+    inputs: &[f64],
+    limits: ExecLimits,
+    cfg: CampaignConfig,
+    observer: &dyn Observer,
+    prune: Option<&StaticPrune>,
+) -> Result<PrunedCampaignResult, CampaignError> {
     let start = Instant::now();
     observer.on_event(&Event::CampaignStarted {
         benchmark: module.name.clone(),
@@ -201,7 +346,24 @@ pub fn run_campaign_observed(
         threads: cfg.threads,
     });
 
-    let golden = golden_run(module, inputs, limits)?;
+    // Pruning needs the dynamic-index → sid map of the golden run; the
+    // hook does not perturb execution, so the output is the same either
+    // way.
+    let (golden, sid_map) = if prune.is_some() {
+        let vm = Vm::new(module, limits);
+        let bits = encode_inputs(module.entry_func(), inputs);
+        let mut hook = SidMapHook { sids: Vec::new() };
+        let golden = vm.run_with_hook(&bits, None, &mut hook);
+        if !golden.status.is_ok() {
+            return Err(CampaignError::GoldenRunFailed(format!(
+                "{:?}",
+                golden.status
+            )));
+        }
+        (golden, hook.sids)
+    } else {
+        (golden_run(module, inputs, limits)?, Vec::new())
+    };
     if golden.profile.value_dynamic == 0 {
         return Err(CampaignError::NoFaultSites);
     }
@@ -221,34 +383,57 @@ pub fn run_campaign_observed(
         ..limits
     };
 
+    debug_assert!(
+        prune.is_none() || sid_map.len() as u64 == golden.profile.value_dynamic,
+        "sid map must cover every value-producing dynamic instruction"
+    );
+
     let nthreads = effective_threads(cfg.threads, cfg.trials as usize);
     let mut outcomes = vec![FaultOutcome::Benign; cfg.trials as usize];
+    let skipped = std::sync::atomic::AtomicU64::new(0);
 
     let run_trial = |t: u32| -> TrialReport {
-        // Per-trial stream independent of scheduling.
+        // Per-trial stream independent of scheduling. The fault is
+        // sampled before the skip decision, so pruning never changes
+        // which fault a trial measures.
         let mut rng = Pcg64::new(cfg.seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15));
         let inj = sample_fault_burst(&mut rng, golden.profile.value_dynamic, cfg.burst);
-        let vm = Vm::new(module, faulty_limits);
-        let t0 = Instant::now();
-        let faulty = vm.run_numeric(inputs, Some(inj));
-        let latency_ns = t0.elapsed().as_nanos() as u64;
         let site = match inj.target {
             InjectionTarget::DynamicIndex(k) => k,
             InjectionTarget::StaticInstance { instance, .. } => instance,
         };
+        if let Some(p) = prune {
+            let sid = sid_map[site as usize];
+            if p.is_masked(sid, inj.bit) {
+                skipped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return TrialReport {
+                    trial: t,
+                    outcome: FaultOutcome::Benign,
+                    site,
+                    bit: inj.bit,
+                    latency_ns: 0,
+                    skipped_sid: Some(sid),
+                };
+            }
+        }
+        let vm = Vm::new(module, faulty_limits);
+        let t0 = Instant::now();
+        let faulty = vm.run_numeric(inputs, Some(inj));
+        let latency_ns = t0.elapsed().as_nanos() as u64;
         TrialReport {
             trial: t,
             outcome: classify(&golden, &faulty),
             site,
             bit: inj.bit,
             latency_ns,
+            skipped_sid: None,
         }
     };
 
     if nthreads <= 1 {
         for (t, slot) in outcomes.iter_mut().enumerate() {
             let report = run_trial(t as u32);
-            observer.on_event(&report.to_event());
+            report.emit(observer);
             *slot = report.outcome;
         }
     } else {
@@ -276,7 +461,7 @@ pub fn run_campaign_observed(
             // single-threaded stream.
             let mut all = Vec::with_capacity(cfg.trials as usize);
             for report in rx.iter() {
-                observer.on_event(&report.to_event());
+                report.emit(observer);
                 all.push(report);
             }
             all
@@ -308,15 +493,19 @@ pub fn run_campaign_observed(
     });
     observer.flush();
 
-    Ok(CampaignResult {
-        trials: cfg.trials,
-        sdc,
-        crash,
-        hang,
-        benign,
-        sdc_ci: binomial_ci(sdc as u64, cfg.trials as u64, Z_95),
-        executions: cfg.trials as u64 + 1,
-        golden_dynamic: golden.profile.dynamic,
+    let skipped = skipped.into_inner();
+    Ok(PrunedCampaignResult {
+        campaign: CampaignResult {
+            trials: cfg.trials,
+            sdc,
+            crash,
+            hang,
+            benign,
+            sdc_ci: binomial_ci(sdc as u64, cfg.trials as u64, Z_95),
+            executions: cfg.trials as u64 - skipped + 1,
+            golden_dynamic: golden.profile.dynamic,
+        },
+        skipped,
     })
 }
 
@@ -569,6 +758,136 @@ mod tests {
             .filter(|e| e.kind() == "trial_finished")
             .count();
         assert_eq!(trial_lines, cfg.trials as usize);
+    }
+
+    #[test]
+    fn pruned_campaign_with_empty_table_matches_full_exactly() {
+        let m = module();
+        let cfg = CampaignConfig {
+            trials: 120,
+            seed: 21,
+            threads: 2,
+            ..Default::default()
+        };
+        let full = run_campaign(&m, &[16.0, 0.5], ExecLimits::default(), cfg).unwrap();
+        let none = StaticPrune {
+            cells: vec![0; m.num_instrs],
+            burst: 0,
+        };
+        let pruned =
+            run_campaign_pruned(&m, &[16.0, 0.5], ExecLimits::default(), cfg, &none).unwrap();
+        assert_eq!(pruned.skipped, 0);
+        assert_eq!(
+            (full.sdc, full.crash, full.hang, full.benign),
+            (
+                pruned.campaign.sdc,
+                pruned.campaign.crash,
+                pruned.campaign.hang,
+                pruned.campaign.benign
+            )
+        );
+        assert_eq!(pruned.campaign.executions, full.executions);
+    }
+
+    #[test]
+    fn fully_masked_table_skips_every_trial() {
+        let m = module();
+        let cfg = CampaignConfig {
+            trials: 60,
+            seed: 4,
+            threads: 3,
+            ..Default::default()
+        };
+        let all = StaticPrune {
+            cells: vec![u64::MAX; m.num_instrs],
+            burst: 0,
+        };
+        let obs = Collecting(std::sync::Mutex::new(Vec::new()));
+        let r =
+            run_campaign_pruned_observed(&m, &[16.0, 0.5], ExecLimits::default(), cfg, &all, &obs)
+                .unwrap();
+        assert_eq!(r.skipped, 60);
+        assert_eq!(r.skip_ratio(), 1.0);
+        assert_eq!(r.campaign.benign, 60);
+        // No faulty executions: only the golden run was paid for.
+        assert_eq!(r.campaign.executions, 1);
+
+        let events = obs.0.into_inner().unwrap();
+        let skips = events.iter().filter(|e| e.kind() == "static_skip").count();
+        let trials = events
+            .iter()
+            .filter(|e| e.kind() == "trial_finished")
+            .count();
+        assert_eq!(skips, 60, "one StaticSkip per skipped trial");
+        assert_eq!(trials, 60, "TrialFinished still fires for every trial");
+    }
+
+    #[test]
+    fn prune_burst_mismatch_is_rejected() {
+        let m = module();
+        let table = StaticPrune {
+            cells: vec![0; m.num_instrs],
+            burst: 1,
+        };
+        let e = run_campaign_pruned(
+            &m,
+            &[16.0, 0.5],
+            ExecLimits::default(),
+            CampaignConfig::default(),
+            &table,
+        );
+        assert!(matches!(
+            e,
+            Err(CampaignError::PruneBurstMismatch {
+                table: 1,
+                campaign: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn pruned_campaign_deterministic_across_thread_counts() {
+        let m = module();
+        // Mask a slice of cells so some trials skip and some run.
+        let mut cells = vec![0u64; m.num_instrs];
+        for (i, c) in cells.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *c = 0x00FF_FF00_0000_FF00;
+            }
+        }
+        let table = StaticPrune { cells, burst: 0 };
+        let base = CampaignConfig {
+            trials: 90,
+            seed: 17,
+            hang_factor: 8,
+            threads: 1,
+            burst: 0,
+        };
+        let a =
+            run_campaign_pruned(&m, &[12.0, 0.25], ExecLimits::default(), base, &table).unwrap();
+        let b = run_campaign_pruned(
+            &m,
+            &[12.0, 0.25],
+            ExecLimits::default(),
+            CampaignConfig { threads: 4, ..base },
+            &table,
+        )
+        .unwrap();
+        assert_eq!(a.skipped, b.skipped);
+        assert_eq!(
+            (
+                a.campaign.sdc,
+                a.campaign.crash,
+                a.campaign.hang,
+                a.campaign.benign
+            ),
+            (
+                b.campaign.sdc,
+                b.campaign.crash,
+                b.campaign.hang,
+                b.campaign.benign
+            )
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub mod outcome;
 pub mod per_instr;
 pub mod propagation;
 
-pub use campaign::{run_campaign, run_campaign_observed, CampaignConfig, CampaignResult};
+pub use campaign::{
+    run_campaign, run_campaign_observed, run_campaign_pruned, run_campaign_pruned_observed,
+    CampaignConfig, CampaignResult, PrunedCampaignResult, StaticPrune,
+};
 pub use outcome::{classify, FaultOutcome};
 pub use per_instr::{per_instruction_sdc, PerInstrConfig, PerInstrResult};
 pub use propagation::{generate_corpus, trace_propagation, CorpusEntry, PropagationTrace};

@@ -62,6 +62,19 @@ pub enum Event {
         /// Wall-clock duration of the faulty run.
         latency_ns: u64,
     },
+    /// A `--static-prune` campaign skipped one trial without executing
+    /// it: the sampled fault cell is provably masked, so the trial is
+    /// counted as Benign. A paired `TrialFinished` still follows.
+    StaticSkip {
+        /// Trial index in `[0, trials)`.
+        trial: u32,
+        /// Static instruction the sampled dynamic site maps to.
+        sid: u32,
+        /// Sampled fault site (dynamic value index).
+        site: u64,
+        /// Sampled bit position.
+        bit: u32,
+    },
     /// A campaign finished; counts partition `trials`.
     CampaignFinished {
         trials: u32,
@@ -119,6 +132,7 @@ impl Event {
             Event::CampaignStarted { .. } => "campaign_started",
             Event::GoldenRun { .. } => "golden_run",
             Event::TrialFinished { .. } => "trial_finished",
+            Event::StaticSkip { .. } => "static_skip",
             Event::CampaignFinished { .. } => "campaign_finished",
             Event::SearchStarted { .. } => "search_started",
             Event::GenerationFinished { .. } => "generation_finished",

@@ -244,6 +244,9 @@ impl Observer for MetricsRegistry {
                 self.histogram("campaign.trial_latency_ns")
                     .record(*latency_ns);
             }
+            Event::StaticSkip { .. } => {
+                self.counter("campaign.static_skips").inc();
+            }
             Event::CampaignFinished { wall_ns, .. } => {
                 self.counter("campaign.finished").inc();
                 self.counter("campaign.wall_ns").add(*wall_ns);

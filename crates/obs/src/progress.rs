@@ -18,6 +18,8 @@ struct ProgressState {
     sdc: u32,
     crash: u32,
     hang: u32,
+    /// Trials skipped by static pruning (already counted in `finished`).
+    skipped: u32,
     /// Whether a transient `\r` line is currently on screen.
     line_open: bool,
 }
@@ -44,6 +46,7 @@ impl ProgressReporter {
                 sdc: 0,
                 crash: 0,
                 hang: 0,
+                skipped: 0,
                 line_open: false,
             }),
             min_interval,
@@ -74,6 +77,7 @@ impl Observer for ProgressReporter {
                 st.sdc = 0;
                 st.crash = 0;
                 st.hang = 0;
+                st.skipped = 0;
                 st.last_print = None;
                 eprintln!(
                     "[obs] campaign on {benchmark}: {trials} trials, {} threads",
@@ -95,6 +99,9 @@ impl Observer for ProgressReporter {
                     "[obs] golden run: {dynamic} dynamic instrs, {value_dynamic} fault sites, {:.1}% coverage",
                     coverage * 100.0
                 );
+            }
+            Event::StaticSkip { .. } => {
+                st.skipped += 1;
             }
             Event::TrialFinished { outcome, .. } => {
                 st.finished += 1;
@@ -133,8 +140,13 @@ impl Observer for ProgressReporter {
                 } else {
                     0.0
                 };
+                let skipped = if st.skipped > 0 {
+                    format!(" ({} statically skipped)", st.skipped)
+                } else {
+                    String::new()
+                };
                 eprintln!(
-                    "[obs] campaign done: {trials} trials in {secs:.2}s ({rate:.0}/s) — sdc {sdc} crash {crash} hang {hang} benign {benign}"
+                    "[obs] campaign done: {trials} trials in {secs:.2}s ({rate:.0}/s) — sdc {sdc} crash {crash} hang {hang} benign {benign}{skipped}"
                 );
             }
             Event::SearchStarted {

@@ -404,12 +404,19 @@ impl<'m, H: ExecHook> State<'m, H> {
             }
             Op::Load { addr, ty } => {
                 let p = eval(regs, addr);
-                Some(canon(*ty, self.mem_read(p)?))
+                let word = self.mem_read(p)?;
+                if H::ENABLED {
+                    self.hook.mem_load(ins, p, word);
+                }
+                Some(canon(*ty, word))
             }
             Op::Store { addr, value } => {
                 let p = eval(regs, addr);
                 let v = eval(regs, value);
                 self.mem_write(p, v)?;
+                if H::ENABLED {
+                    self.hook.mem_store(ins, p, v);
+                }
                 None
             }
             Op::Gep { base, index } => Some(eval(regs, base).wrapping_add(eval(regs, index))),

@@ -46,6 +46,21 @@ pub trait ExecHook {
     fn def_value(&mut self, ins: &Instr, bits: u64) {
         let _ = (ins, bits);
     }
+
+    /// Called after a successful `store`, with the resolved word address
+    /// and the raw word written. The memory-dependence soundness tests
+    /// use this to record dynamic last-writer relations.
+    #[inline]
+    fn mem_store(&mut self, ins: &Instr, addr: u64, bits: u64) {
+        let _ = (ins, addr, bits);
+    }
+
+    /// Called after a successful `load`, with the resolved word address
+    /// and the raw word read (before type reinterpretation).
+    #[inline]
+    fn mem_load(&mut self, ins: &Instr, addr: u64, bits: u64) {
+        let _ = (ins, addr, bits);
+    }
 }
 
 /// The default hook: compiles to nothing.
@@ -72,6 +87,16 @@ impl<H: ExecHook> ExecHook for &mut H {
     #[inline]
     fn def_value(&mut self, ins: &Instr, bits: u64) {
         (**self).def_value(ins, bits)
+    }
+
+    #[inline]
+    fn mem_store(&mut self, ins: &Instr, addr: u64, bits: u64) {
+        (**self).mem_store(ins, addr, bits)
+    }
+
+    #[inline]
+    fn mem_load(&mut self, ins: &Instr, addr: u64, bits: u64) {
+        (**self).mem_load(ins, addr, bits)
     }
 }
 

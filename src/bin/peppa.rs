@@ -7,7 +7,11 @@
 //! peppa compile  prog.mc                          dump the compiled PIR
 //! peppa run      prog.mc --input 8,2.5 [--profile] golden run + profile
 //! peppa inject   prog.mc --input 8,2.5 [--trials 1000] [--seed 1]
-//!                [--threads N] [--trace-out t.jsonl] [--metrics-out m.json] [--quiet]
+//!                [--threads N] [--static-prune]
+//!                [--trace-out t.jsonl] [--metrics-out m.json] [--quiet]
+//!                with --static-prune, trials whose sampled fault cell
+//!                the interprocedural reachability analysis proves
+//!                masked are counted Benign without executing them
 //! peppa analyze  prog.mc                          pruning report
 //! peppa lint     prog.mc [--deny-warnings] [--json]
 //!                verify + static findings (dead values, unreachable
@@ -33,9 +37,13 @@
 //! `--quiet` suppresses the live progress line, `--threads N` sets the
 //! FI worker count (0 = all cores).
 
+use peppa_x::analysis::FaultReach;
 use peppa_x::apps::{ArgSpec, Benchmark};
 use peppa_x::core::{PeppaConfig, PeppaX};
-use peppa_x::inject::{generate_corpus, run_campaign_observed, trace_propagation, CampaignConfig};
+use peppa_x::inject::{
+    generate_corpus, run_campaign_observed, run_campaign_pruned_observed, trace_propagation,
+    CampaignConfig, StaticPrune,
+};
 use peppa_x::obs::{JsonlJournal, MetricsRegistry, MultiObserver, ProgressReporter};
 use peppa_x::vm::{ExecLimits, Injection, InjectionTarget, OpcodeProfile, Vm};
 use std::process::ExitCode;
@@ -71,6 +79,7 @@ struct Opts {
     profile: bool,
     deny_warnings: bool,
     json: bool,
+    static_prune: bool,
 }
 
 fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
@@ -94,6 +103,7 @@ fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
         profile: false,
         deny_warnings: false,
         json: false,
+        static_prune: false,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -129,6 +139,7 @@ fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
             "--profile" => o.profile = true,
             "--deny-warnings" => o.deny_warnings = true,
             "--json" => o.json = true,
+            "--static-prune" => o.static_prune = true,
             other if !other.starts_with("--") && file.is_none() => {
                 file = Some(other.to_string());
             }
@@ -303,8 +314,33 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 threads: o.threads,
                 ..Default::default()
             };
-            let r = run_campaign_observed(&bench.module, &input, limits, cfg, &observer)
+            let r = if o.static_prune {
+                let fr = FaultReach::analyze(&bench.module);
+                let prune = StaticPrune {
+                    cells: fr.skip_cells(cfg.burst),
+                    burst: cfg.burst,
+                };
+                let (masked, total) = fr.masked_cells(cfg.burst);
+                let pr = run_campaign_pruned_observed(
+                    &bench.module,
+                    &input,
+                    limits,
+                    cfg,
+                    &prune,
+                    &observer,
+                )
                 .map_err(|e| e.to_string())?;
+                println!(
+                    "static prune: {masked}/{total} cells provably masked, {} of {} trials skipped ({:.2}%)",
+                    pr.skipped,
+                    pr.campaign.trials,
+                    pr.skip_ratio() * 100.0
+                );
+                pr.campaign
+            } else {
+                run_campaign_observed(&bench.module, &input, limits, cfg, &observer)
+                    .map_err(|e| e.to_string())?
+            };
             println!(
                 "trials {}: SDC {:.2}% (CI ±{:.2}pp)  crash {:.2}%  hang {:.2}%  benign {:.2}%",
                 r.trials,
