@@ -30,7 +30,12 @@ pub struct BaselineRow {
     /// per-trial latencies (summing latencies across workers counts CPU
     /// time, not wall time, so this is thread-count independent).
     pub vm_instrs_per_sec: f64,
-    pub mean_trial_latency_ns: f64,
+    /// Trial-latency distribution (log₂-bucket histogram quantiles):
+    /// median, tail, and extreme tail. A mean alone hides hang-budget
+    /// outliers; the p99/p50 ratio is the regression signal for them.
+    pub trial_latency_p50_ns: u64,
+    pub trial_latency_p95_ns: u64,
+    pub trial_latency_p99_ns: u64,
     /// Wall-clock seconds of the full campaign (directly timed).
     pub campaign_wall_s: f64,
     /// Wall-clock seconds of the same campaign under `--static-prune`
@@ -40,9 +45,15 @@ pub struct BaselineRow {
     pub pruned_skip_ratio: f64,
 }
 
+/// Version of the `BENCH_baseline.json` layout. Bumped when fields
+/// change shape (v2: latency percentiles replaced the bare mean), so
+/// downstream diffing tools can refuse mixed-schema comparisons.
+pub const BASELINE_SCHEMA_VERSION: u32 = 2;
+
 /// The checked-in `BENCH_baseline.json` payload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BaselineReport {
+    pub schema_version: u32,
     pub scale: String,
     pub seed: u64,
     pub threads: usize,
@@ -114,13 +125,16 @@ pub fn run_baseline(ctx: &Ctx, observer: Arc<dyn Observer>) -> BaselineReport {
             } else {
                 0.0
             },
-            mean_trial_latency_ns: latency.mean(),
+            trial_latency_p50_ns: latency.quantile(0.50),
+            trial_latency_p95_ns: latency.quantile(0.95),
+            trial_latency_p99_ns: latency.quantile(0.99),
             campaign_wall_s,
             pruned_campaign_wall_s,
             pruned_skip_ratio: pruned.skip_ratio(),
         });
     }
     BaselineReport {
+        schema_version: BASELINE_SCHEMA_VERSION,
         scale: format!("{:?}", ctx.scale),
         seed: ctx.seed,
         threads: ctx.threads,
@@ -137,24 +151,28 @@ pub fn render_baseline(r: &BaselineReport) -> String {
         r.rows.first().map(|x| x.trials).unwrap_or(0)
     ));
     out.push_str(&format!(
-        "{:<12} {:>14} {:>12} {:>16} {:>14} {:>9} {:>9} {:>7}\n",
+        "{:<12} {:>14} {:>12} {:>16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7}\n",
         "benchmark",
         "golden dyn",
         "trials/s",
         "VM instrs/s",
-        "mean trial ms",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
         "full s",
         "pruned s",
         "skip %"
     ));
     for row in &r.rows {
         out.push_str(&format!(
-            "{:<12} {:>14} {:>12.1} {:>16.3e} {:>14.2} {:>9.2} {:>9.2} {:>6.2}%\n",
+            "{:<12} {:>14} {:>12.1} {:>16.3e} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>6.2}%\n",
             row.benchmark,
             row.golden_dynamic,
             row.trials_per_sec,
             row.vm_instrs_per_sec,
-            row.mean_trial_latency_ns / 1e6,
+            row.trial_latency_p50_ns as f64 / 1e6,
+            row.trial_latency_p95_ns as f64 / 1e6,
+            row.trial_latency_p99_ns as f64 / 1e6,
             row.campaign_wall_s,
             row.pruned_campaign_wall_s,
             row.pruned_skip_ratio * 100.0
@@ -178,6 +196,9 @@ mod tests {
         assert!(report.trials_per_sec > 0.0);
         assert!(report.vm_instrs_per_sec > 0.0);
         assert!(report.golden_dynamic > 0);
+        assert!(report.trial_latency_p50_ns > 0);
+        assert!(report.trial_latency_p50_ns <= report.trial_latency_p95_ns);
+        assert!(report.trial_latency_p95_ns <= report.trial_latency_p99_ns);
     }
 
     fn run_baseline_one_for_test(ctx: &Ctx) -> BaselineRow {
@@ -203,7 +224,9 @@ mod tests {
                 / (registry.counter_value("campaign.wall_ns") as f64 / 1e9),
             vm_instrs_per_sec: 30.0 * registry.counter_value("golden.dynamic_instrs") as f64
                 / (latency.sum() as f64 / 1e9),
-            mean_trial_latency_ns: latency.mean(),
+            trial_latency_p50_ns: latency.quantile(0.50),
+            trial_latency_p95_ns: latency.quantile(0.95),
+            trial_latency_p99_ns: latency.quantile(0.99),
             campaign_wall_s: 0.0,
             pruned_campaign_wall_s: 0.0,
             pruned_skip_ratio: 0.0,

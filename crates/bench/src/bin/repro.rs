@@ -18,6 +18,9 @@
 //!   hybrid             static prune table vs FI ground truth
 //!                      (results/hybrid.json; exits 1 on a soundness
 //!                      violation; `--smoke` shrinks it to CI size)
+//!   provenance         shadow-taint traced campaigns vs static reach:
+//!                      containment (exit 1 on violation) + headroom
+//!                      (results/provenance.json; `--smoke` for CI size)
 //!   baseline           VM + campaign throughput (BENCH_baseline.json)
 //!   all                everything above
 //! ```
@@ -27,11 +30,15 @@
 //!
 //! The observability flags mirror the `peppa` CLI: `--trace-out`
 //! appends every pipeline event of instrumented experiments (currently
-//! `baseline`) as JSONL, `--metrics-out` writes a metrics snapshot on
-//! exit, and `--quiet` suppresses the live progress reporter.
+//! `baseline` and `provenance`) as JSONL, `--metrics-out` writes a
+//! metrics snapshot on exit, `--chrome-trace` writes a Chrome
+//! trace-event JSON file (loadable in Perfetto / `chrome://tracing`),
+//! and `--quiet` suppresses the live progress reporter.
 
 use peppa_bench::{render, scale::Scale, Ctx};
-use peppa_obs::{JsonlJournal, MetricsRegistry, MultiObserver, Observer, ProgressReporter};
+use peppa_obs::{
+    ChromeTrace, JsonlJournal, MetricsRegistry, MultiObserver, Observer, ProgressReporter,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -41,7 +48,7 @@ fn main() {
         eprintln!(
             "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|table2..6|static-rank|hybrid|baseline|all> \
              [--scale quick|paper] [--seed N] [--out DIR] [--threads N] [--smoke] \
-             [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--quiet]"
+             [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--chrome-trace FILE.json] [--quiet]"
         );
         std::process::exit(2);
     }
@@ -53,6 +60,7 @@ fn main() {
     let mut threads = 0usize;
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut chrome_trace: Option<PathBuf> = None;
     let mut quiet = false;
     let mut smoke = false;
 
@@ -86,6 +94,11 @@ fn main() {
                     it.next().expect("--metrics-out needs a file"),
                 ));
             }
+            "--chrome-trace" => {
+                chrome_trace = Some(PathBuf::from(
+                    it.next().expect("--chrome-trace needs a file"),
+                ));
+            }
             "--quiet" => quiet = true,
             "--smoke" => smoke = true,
             other => experiments.push(other.to_string()),
@@ -107,6 +120,7 @@ fn main() {
             "fig9",
             "static-rank",
             "hybrid",
+            "provenance",
             "faultmodel",
             "ablation",
             "baseline",
@@ -135,6 +149,9 @@ fn main() {
         multi.push(Arc::clone(&reg) as Arc<dyn Observer>);
         reg
     });
+    if let Some(path) = &chrome_trace {
+        multi.push(Arc::new(ChromeTrace::create(path)));
+    }
     if !quiet {
         multi.push(Arc::new(ProgressReporter::new(
             std::time::Duration::from_millis(200),
@@ -244,6 +261,18 @@ fn main() {
                     eprintln!(
                         "[repro] FAIL: static pruning soundness violated (masked cell \
                          produced an SDC, or pruned counts diverged)"
+                    );
+                    failed = true;
+                }
+            }
+            "provenance" => {
+                let r = peppa_bench::provenance::run_provenance(&ctx, smoke, observer.as_ref());
+                println!("{}", peppa_bench::provenance::render_provenance(&r));
+                dump("provenance", serde_json::to_string_pretty(&r).unwrap());
+                if !r.sound() {
+                    eprintln!(
+                        "[repro] FAIL: provenance containment violated (a dynamically-\
+                         propagating fault was statically classified ProvablyMasked)"
                     );
                     failed = true;
                 }

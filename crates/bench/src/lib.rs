@@ -18,10 +18,12 @@
 //!
 //! Extensions (not in the paper): `repro static-rank` compares the
 //! purely static SDC-masking predictor against FI ground truth
-//! ([`static_rank`]), and `repro hybrid` validates the interprocedural
+//! ([`static_rank`]), `repro hybrid` validates the interprocedural
 //! fault-reachability analysis behind `--static-prune` campaigns —
 //! exact outcome-count equality plus FI re-injection of provably-masked
-//! cells ([`hybrid`]).
+//! cells ([`hybrid`]) — and `repro provenance` cross-checks the shadow-
+//! taint tracer against the static reach analysis (containment + static-
+//! precision headroom, [`provenance`]).
 //!
 //! Beyond the paper's artifacts, `repro baseline` measures VM and
 //! campaign throughput per benchmark ([`baseline`]) and writes the
@@ -36,6 +38,7 @@ pub mod faultmodel;
 pub mod heatmap;
 pub mod hybrid;
 pub mod protect_exp;
+pub mod provenance;
 pub mod pruning_exp;
 pub mod ranks;
 pub mod render;

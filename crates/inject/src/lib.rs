@@ -22,6 +22,7 @@ pub mod campaign;
 pub mod outcome;
 pub mod per_instr;
 pub mod propagation;
+pub mod provenance;
 
 pub use campaign::{
     run_campaign, run_campaign_observed, run_campaign_pruned, run_campaign_pruned_observed,
@@ -30,3 +31,6 @@ pub use campaign::{
 pub use outcome::{classify, FaultOutcome};
 pub use per_instr::{per_instruction_sdc, PerInstrConfig, PerInstrResult};
 pub use propagation::{generate_corpus, trace_propagation, CorpusEntry, PropagationTrace};
+pub use provenance::{
+    run_campaign_traced, run_campaign_traced_observed, TracedCampaignResult, TracedTrial,
+};

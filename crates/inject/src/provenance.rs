@@ -1,0 +1,480 @@
+//! Fault-provenance campaigns: statistical FI with a shadow-taint trace
+//! attached to every trial.
+//!
+//! [`run_campaign_traced`] is the observability variant of
+//! [`crate::run_campaign`]: each faulty execution runs under
+//! [`peppa_vm::TaintHook`], so besides the outcome the campaign records
+//! *how* each fault travelled — the seed's static instruction, every sid
+//! that touched taint, the first observable sink reached, and where the
+//! taint went extinct if it never reached one. Each trial emits an
+//! [`Event::TrialProvenance`] right after its `TrialFinished`, feeding
+//! the journal, the Chrome trace exporter, and the propagation heatmap.
+//!
+//! Tracing never changes what a campaign measures: fault sampling uses
+//! the same per-trial RNG streams as the untraced runner, and the shadow
+//! engine only observes the interpreter, so outcome counts are identical
+//! to [`crate::run_campaign`] at every thread count.
+
+use crate::campaign::{
+    effective_threads, golden_run, sample_fault_burst, CampaignConfig, CampaignError,
+    CampaignResult,
+};
+use crate::outcome::{classify, FaultOutcome};
+use peppa_ir::{Instr, Module};
+use peppa_obs::{Event, NullObserver, Observer, Span};
+use peppa_stats::{binomial_ci, ci::Z_95, Pcg64};
+use peppa_vm::{encode_inputs, ExecHook, ExecLimits, InjectionTarget, TaintHook, TaintReport, Vm};
+use std::time::Instant;
+
+/// One trial of a traced campaign: the classic outcome plus the taint
+/// provenance of the faulty run.
+#[derive(Debug, Clone)]
+pub struct TracedTrial {
+    /// Logical trial index (`0..trials`).
+    pub trial: u32,
+    pub outcome: FaultOutcome,
+    /// Sampled dynamic fault site.
+    pub site: u64,
+    /// Sampled bit position.
+    pub bit: u32,
+    /// Static instruction the sampled dynamic site belongs to.
+    pub sid: u32,
+    /// Shadow-taint provenance of the faulty execution.
+    pub report: TaintReport,
+}
+
+/// A [`CampaignResult`] plus per-trial provenance, indexed by trial.
+#[derive(Debug, Clone)]
+pub struct TracedCampaignResult {
+    pub campaign: CampaignResult,
+    /// `trials[t]` is trial `t`'s record, whatever order trials finished
+    /// in — the traced result is thread-count-invariant.
+    pub trials: Vec<TracedTrial>,
+}
+
+impl TracedCampaignResult {
+    /// Trials whose taint reached an observable sink.
+    pub fn propagated(&self) -> usize {
+        self.trials.iter().filter(|t| t.report.propagated()).count()
+    }
+
+    /// Trials whose taint died before reaching any sink.
+    pub fn extinguished(&self) -> usize {
+        self.trials
+            .iter()
+            .filter(|t| t.report.extinguished())
+            .count()
+    }
+}
+
+/// Maps every value-producing dynamic instruction of the golden run to
+/// its static instruction — the traced campaign needs the seed sid even
+/// when the fault never activates in the faulty run (hang budgets can
+/// cut a run short of its site).
+struct SidMapHook {
+    sids: Vec<u32>,
+}
+
+impl ExecHook for SidMapHook {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn def_value(&mut self, ins: &Instr, _bits: u64) {
+        self.sids.push(ins.sid.0);
+    }
+}
+
+struct TracedReport {
+    trial: u32,
+    outcome: FaultOutcome,
+    site: u64,
+    bit: u32,
+    sid: u32,
+    latency_ns: u64,
+    report: TaintReport,
+}
+
+impl TracedReport {
+    fn emit(&self, observer: &dyn Observer) {
+        observer.on_event(&Event::TrialFinished {
+            trial: self.trial,
+            outcome: self.outcome.into(),
+            site: self.site,
+            bit: self.bit,
+            latency_ns: self.latency_ns,
+        });
+        let r = &self.report;
+        observer.on_event(&Event::TrialProvenance {
+            trial: self.trial,
+            outcome: self.outcome.into(),
+            site: self.site,
+            bit: self.bit,
+            sid: self.sid,
+            seeded: r.seeded,
+            propagated: r.propagated(),
+            sink: r.first_sink.map(|s| s.kind.as_str().to_string()),
+            hops: r.tainted_defs,
+            seed_dynamic: r.seed_dynamic,
+            extinction_dynamic: r.extinction_dynamic,
+            sid_hits: r.sid_hits.clone(),
+        });
+    }
+}
+
+/// [`crate::run_campaign`] with shadow-taint provenance per trial.
+pub fn run_campaign_traced(
+    module: &Module,
+    inputs: &[f64],
+    limits: ExecLimits,
+    cfg: CampaignConfig,
+) -> Result<TracedCampaignResult, CampaignError> {
+    run_campaign_traced_observed(module, inputs, limits, cfg, &NullObserver)
+}
+
+/// [`run_campaign_traced`] with an [`Observer`] attached.
+///
+/// Event stream: `CampaignStarted`, `GoldenRun`, per trial a
+/// `TrialFinished` immediately followed by its `TrialProvenance` (in
+/// completion order; the `trial` field carries the logical index), and
+/// `CampaignFinished`. The campaign phases are bracketed by
+/// `golden`/`trials` spans for the Chrome trace exporter. As in the
+/// untraced runner, workers never touch the observer: reports drain over
+/// a bounded channel on the calling thread.
+pub fn run_campaign_traced_observed(
+    module: &Module,
+    inputs: &[f64],
+    limits: ExecLimits,
+    cfg: CampaignConfig,
+    observer: &dyn Observer,
+) -> Result<TracedCampaignResult, CampaignError> {
+    let start = Instant::now();
+    observer.on_event(&Event::CampaignStarted {
+        benchmark: module.name.clone(),
+        trials: cfg.trials,
+        seed: cfg.seed,
+        threads: cfg.threads,
+    });
+
+    let golden = {
+        let _span = Span::enter(observer, "golden");
+        golden_run(module, inputs, limits)?
+    };
+    if golden.profile.value_dynamic == 0 {
+        return Err(CampaignError::NoFaultSites);
+    }
+    // Replay the golden run under the sid-map hook; the hook does not
+    // perturb execution.
+    let bits = encode_inputs(module.entry_func(), inputs);
+    let sid_map = {
+        let vm = Vm::new(module, limits);
+        let mut hook = SidMapHook { sids: Vec::new() };
+        vm.run_with_hook(&bits, None, &mut hook);
+        hook.sids
+    };
+    debug_assert_eq!(sid_map.len() as u64, golden.profile.value_dynamic);
+    observer.on_event(&Event::GoldenRun {
+        benchmark: module.name.clone(),
+        dynamic: golden.profile.dynamic,
+        value_dynamic: golden.profile.value_dynamic,
+        coverage: golden.profile.coverage(),
+    });
+
+    let faulty_limits = ExecLimits {
+        max_dynamic: golden
+            .profile
+            .dynamic
+            .saturating_mul(cfg.hang_factor)
+            .saturating_add(10_000),
+        ..limits
+    };
+
+    let run_trial = |t: u32| -> TracedReport {
+        // Same per-trial stream as the untraced campaign: identical
+        // faults, identical outcomes.
+        let mut rng = Pcg64::new(cfg.seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        let inj = sample_fault_burst(&mut rng, golden.profile.value_dynamic, cfg.burst);
+        let site = match inj.target {
+            InjectionTarget::DynamicIndex(k) => k,
+            InjectionTarget::StaticInstance { instance, .. } => instance,
+        };
+        let vm = Vm::new(module, faulty_limits);
+        let mut hook = TaintHook::new(module);
+        let t0 = Instant::now();
+        let faulty = vm.run_with_hook(&bits, Some(inj), &mut hook);
+        let latency_ns = t0.elapsed().as_nanos() as u64;
+        TracedReport {
+            trial: t,
+            outcome: classify(&golden, &faulty),
+            site,
+            bit: inj.bit,
+            sid: sid_map[site as usize],
+            latency_ns,
+            report: hook.finish(),
+        }
+    };
+
+    let nthreads = effective_threads(cfg.threads, cfg.trials as usize);
+    let mut reports: Vec<Option<TracedReport>> = Vec::with_capacity(cfg.trials as usize);
+    {
+        let _span = Span::enter(observer, "trials");
+        if nthreads <= 1 {
+            for t in 0..cfg.trials {
+                let r = run_trial(t);
+                r.emit(observer);
+                reports.push(Some(r));
+            }
+        } else {
+            reports.resize_with(cfg.trials as usize, || None);
+            let chunk = reports.len().div_ceil(nthreads);
+            let (tx, rx) = std::sync::mpsc::sync_channel::<TracedReport>(1024);
+            crossbeam::thread::scope(|s| {
+                for (ci, _) in (0..cfg.trials as usize).step_by(chunk).enumerate() {
+                    let run_trial = &run_trial;
+                    let tx = tx.clone();
+                    let lo = ci * chunk;
+                    let hi = (lo + chunk).min(cfg.trials as usize);
+                    s.spawn(move |_| {
+                        for t in lo..hi {
+                            // The receiver outlives the scope; send only
+                            // fails if the collector was dropped, in
+                            // which case reporting is moot.
+                            let _ = tx.send(run_trial(t as u32));
+                        }
+                    });
+                }
+                drop(tx);
+                // Drain on the scope's owning thread so the observer
+                // sees a single-threaded event stream.
+                for r in rx.iter() {
+                    r.emit(observer);
+                    let slot = r.trial as usize;
+                    reports[slot] = Some(r);
+                }
+            })
+            .expect("traced campaign worker panicked");
+        }
+    }
+    let trials: Vec<TracedTrial> = reports
+        .into_iter()
+        .map(|r| {
+            let r = r.expect("every trial reported");
+            TracedTrial {
+                trial: r.trial,
+                outcome: r.outcome,
+                site: r.site,
+                bit: r.bit,
+                sid: r.sid,
+                report: r.report,
+            }
+        })
+        .collect();
+
+    let mut sdc = 0;
+    let mut crash = 0;
+    let mut hang = 0;
+    let mut benign = 0;
+    for t in &trials {
+        match t.outcome {
+            FaultOutcome::Sdc => sdc += 1,
+            FaultOutcome::Crash => crash += 1,
+            FaultOutcome::Hang => hang += 1,
+            FaultOutcome::Benign => benign += 1,
+        }
+    }
+
+    observer.on_event(&Event::CampaignFinished {
+        trials: cfg.trials,
+        sdc,
+        crash,
+        hang,
+        benign,
+        wall_ns: start.elapsed().as_nanos() as u64,
+    });
+    observer.flush();
+
+    Ok(TracedCampaignResult {
+        campaign: CampaignResult {
+            trials: cfg.trials,
+            sdc,
+            crash,
+            hang,
+            benign,
+            sdc_ci: binomial_ci(sdc as u64, cfg.trials as u64, Z_95),
+            executions: cfg.trials as u64 + 1,
+            golden_dynamic: golden.profile.dynamic,
+        },
+        trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use peppa_obs::PropagationHeatmap;
+
+    const SRC: &str = r#"
+        global float buf[64];
+        fn main(n: int, s: float) {
+            for (i = 0; i < n; i = i + 1) {
+                buf[i] = s * i2f(i) + 1.0;
+            }
+            let acc = 0.0;
+            for (i = 0; i < n; i = i + 1) {
+                acc = acc + buf[i] * buf[i];
+            }
+            output acc;
+        }
+    "#;
+
+    fn module() -> Module {
+        peppa_lang::compile(SRC, "traced").unwrap()
+    }
+
+    fn cfg(trials: u32, seed: u64, threads: usize) -> CampaignConfig {
+        CampaignConfig {
+            trials,
+            seed,
+            hang_factor: 8,
+            threads,
+            burst: 0,
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_outcomes() {
+        let m = module();
+        let inputs = [16.0, 0.5];
+        let plain = run_campaign(&m, &inputs, ExecLimits::default(), cfg(150, 7, 2)).unwrap();
+        let traced =
+            run_campaign_traced(&m, &inputs, ExecLimits::default(), cfg(150, 7, 2)).unwrap();
+        assert_eq!(
+            (plain.sdc, plain.crash, plain.hang, plain.benign),
+            (
+                traced.campaign.sdc,
+                traced.campaign.crash,
+                traced.campaign.hang,
+                traced.campaign.benign
+            )
+        );
+    }
+
+    #[test]
+    fn every_trial_has_a_provenance_record_in_order() {
+        let m = module();
+        let r =
+            run_campaign_traced(&m, &[12.0, 0.25], ExecLimits::default(), cfg(80, 3, 4)).unwrap();
+        assert_eq!(r.trials.len(), 80);
+        for (i, t) in r.trials.iter().enumerate() {
+            assert_eq!(t.trial as usize, i);
+        }
+    }
+
+    #[test]
+    fn sdc_trials_always_propagate() {
+        // An SDC means the output stream differed, so the shadow taint
+        // must have reached a sink — the dynamic half of the containment
+        // argument.
+        let m = module();
+        let r =
+            run_campaign_traced(&m, &[16.0, 0.5], ExecLimits::default(), cfg(200, 11, 0)).unwrap();
+        assert!(r.campaign.sdc > 0, "kernel should produce SDCs");
+        for t in &r.trials {
+            if t.outcome == FaultOutcome::Sdc {
+                assert!(t.report.seeded, "SDC without an applied fault: {t:?}");
+                assert!(
+                    t.report.propagated(),
+                    "SDC whose taint never reached a sink: {t:?}"
+                );
+            }
+            if t.report.seeded && t.outcome == FaultOutcome::Benign {
+                // Benign faults either extinguish or reach a sink that
+                // happened not to change the outcome (e.g. a branch
+                // condition whose decision was unaffected).
+                assert!(
+                    t.report.extinguished() || t.report.propagated() || t.report.live_at_end > 0,
+                    "{t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traced_records_identical_across_thread_counts() {
+        let m = module();
+        let inputs = [14.0, 0.75];
+        let a = run_campaign_traced(&m, &inputs, ExecLimits::default(), cfg(60, 41, 1)).unwrap();
+        let b = run_campaign_traced(&m, &inputs, ExecLimits::default(), cfg(60, 41, 4)).unwrap();
+        assert_eq!(a.trials.len(), b.trials.len());
+        for (x, y) in a.trials.iter().zip(&b.trials) {
+            assert_eq!(x.trial, y.trial);
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!((x.site, x.bit, x.sid), (y.site, y.bit, y.sid));
+            assert_eq!(x.report.seeded, y.report.seeded);
+            assert_eq!(x.report.seed_mask, y.report.seed_mask);
+            assert_eq!(x.report.tainted_defs, y.report.tainted_defs);
+            assert_eq!(x.report.sid_hits, y.report.sid_hits);
+            assert_eq!(x.report.first_sink, y.report.first_sink);
+            assert_eq!(x.report.extinction_dynamic, y.report.extinction_dynamic);
+        }
+        assert_eq!(a.propagated(), b.propagated());
+        assert_eq!(a.extinguished(), b.extinguished());
+    }
+
+    #[test]
+    fn heatmap_merge_invariant_across_thread_counts() {
+        // The per-sid propagation heatmap is an order-invariant fold of
+        // the TrialProvenance stream, so 1 worker and 4 workers must
+        // produce the identical merged aggregate.
+        let m = module();
+        let inputs = [16.0, 0.5];
+        let h1 = PropagationHeatmap::new();
+        let h4 = PropagationHeatmap::new();
+        run_campaign_traced_observed(&m, &inputs, ExecLimits::default(), cfg(100, 23, 1), &h1)
+            .unwrap();
+        run_campaign_traced_observed(&m, &inputs, ExecLimits::default(), cfg(100, 23, 4), &h4)
+            .unwrap();
+        assert_eq!(h1.trials(), 100);
+        assert_eq!(h1.trials(), h4.trials());
+        assert_eq!(h1.snapshot(), h4.snapshot());
+        assert!(!h1.snapshot().is_empty(), "some trial must touch taint");
+    }
+
+    #[test]
+    fn provenance_events_pair_with_trial_events() {
+        struct Collecting(std::sync::Mutex<Vec<Event>>);
+        impl Observer for Collecting {
+            fn on_event(&self, event: &Event) {
+                self.0.lock().unwrap().push(event.clone());
+            }
+        }
+        let m = module();
+        let obs = Collecting(std::sync::Mutex::new(Vec::new()));
+        run_campaign_traced_observed(&m, &[12.0, 0.5], ExecLimits::default(), cfg(40, 5, 3), &obs)
+            .unwrap();
+        let events = obs.0.into_inner().unwrap();
+        let finished = events
+            .iter()
+            .filter(|e| e.kind() == "trial_finished")
+            .count();
+        let prov = events
+            .iter()
+            .filter(|e| e.kind() == "trial_provenance")
+            .count();
+        assert_eq!(finished, 40);
+        assert_eq!(prov, 40);
+        // Each TrialFinished is immediately followed by its provenance
+        // record for the same trial.
+        for w in events.windows(2) {
+            if let Event::TrialFinished { trial, .. } = &w[0] {
+                match &w[1] {
+                    Event::TrialProvenance { trial: p, .. } => assert_eq!(trial, p),
+                    other => panic!("expected provenance after trial, got {other:?}"),
+                }
+            }
+        }
+        // Spans bracket the phases.
+        assert!(events.iter().any(|e| e.kind() == "span_begin"));
+        assert!(events.iter().any(|e| e.kind() == "span_end"));
+    }
+}

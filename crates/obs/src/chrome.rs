@@ -1,0 +1,302 @@
+//! Chrome trace-event JSON export.
+//!
+//! [`ChromeTrace`] is an [`Observer`] that renders the pipeline event
+//! stream into the Chrome trace-event format (the `{"traceEvents": []}`
+//! JSON object loadable in Perfetto or `chrome://tracing`):
+//!
+//! * [`Event::SpanBegin`]/[`Event::SpanEnd`] become `B`/`E` duration
+//!   events on the phase lane, stacking by their begin/end bracketing;
+//! * [`Event::TrialFinished`] becomes an `X` complete event whose
+//!   duration is the trial's faulty-run latency, packed greedily onto
+//!   trial lanes so concurrent trials don't overlap within a lane;
+//! * campaign/golden/search milestones become `i` instant events.
+//!
+//! Timestamps are microseconds on the [`crate::span::monotonic_ns`]
+//! clock. Trial end times are stamped at event arrival on the collector
+//! thread, so trial placement is approximate (within channel-drain
+//! latency of the worker's actual execution window); span timestamps are
+//! exact.
+
+use crate::event::{Event, Observer};
+use crate::span::monotonic_ns;
+use serde::Value;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Phase spans live on this tid; trial lanes start above it.
+const PHASE_TID: u64 = 0;
+const TRIAL_TID_BASE: u64 = 1;
+
+struct TraceEvent {
+    name: String,
+    ph: char,
+    ts_us: u64,
+    dur_us: Option<u64>,
+    tid: u64,
+    args: Option<Value>,
+}
+
+impl TraceEvent {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("cat".to_string(), Value::Str("peppa".to_string())),
+            ("ph".to_string(), Value::Str(self.ph.to_string())),
+            ("ts".to_string(), Value::UInt(self.ts_us)),
+            ("pid".to_string(), Value::UInt(1)),
+            ("tid".to_string(), Value::UInt(self.tid)),
+        ];
+        if let Some(d) = self.dur_us {
+            fields.push(("dur".to_string(), Value::UInt(d)));
+        }
+        if self.ph == 'i' {
+            // Instant-event scope: thread.
+            fields.push(("s".to_string(), Value::Str("t".to_string())));
+        }
+        if let Some(a) = &self.args {
+            fields.push(("args".to_string(), a.clone()));
+        }
+        Value::Object(fields)
+    }
+}
+
+struct Lanes {
+    /// End time of the last event placed on each trial lane.
+    busy_until: Vec<u64>,
+}
+
+impl Lanes {
+    /// Greedy interval packing: first lane free at `start`, else a new
+    /// lane (capped — beyond the cap, reuse the earliest-free lane).
+    fn place(&mut self, start: u64, dur: u64) -> (u64, u64) {
+        const MAX_LANES: usize = 32;
+        for (i, b) in self.busy_until.iter_mut().enumerate() {
+            if *b <= start {
+                *b = start + dur;
+                return (TRIAL_TID_BASE + i as u64, start);
+            }
+        }
+        if self.busy_until.len() < MAX_LANES {
+            self.busy_until.push(start + dur);
+            return (TRIAL_TID_BASE + self.busy_until.len() as u64 - 1, start);
+        }
+        let (i, b) = self
+            .busy_until
+            .iter_mut()
+            .enumerate()
+            .min_by_key(|(_, b)| **b)
+            .expect("lanes nonempty");
+        let shifted = *b;
+        *b = shifted + dur;
+        (TRIAL_TID_BASE + i as u64, shifted)
+    }
+}
+
+/// An [`Observer`] accumulating a Chrome trace, written to `path` on
+/// [`flush`](Observer::flush) (and on drop).
+pub struct ChromeTrace {
+    path: PathBuf,
+    state: Mutex<(Vec<TraceEvent>, Lanes)>,
+}
+
+impl ChromeTrace {
+    pub fn create(path: impl AsRef<Path>) -> ChromeTrace {
+        ChromeTrace {
+            path: path.as_ref().to_path_buf(),
+            state: Mutex::new((
+                Vec::new(),
+                Lanes {
+                    busy_until: Vec::new(),
+                },
+            )),
+        }
+    }
+
+    /// Renders the accumulated trace as a Chrome trace-event JSON
+    /// object.
+    pub fn render(&self) -> String {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let events: Vec<Value> = st.0.iter().map(|e| e.to_value()).collect();
+        let root = Value::Object(vec![
+            ("traceEvents".to_string(), Value::Array(events)),
+            ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+        ]);
+        serde_json::to_string(&root).unwrap()
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .0
+            .push(ev);
+    }
+
+    fn instant(&self, name: impl Into<String>) {
+        self.push(TraceEvent {
+            name: name.into(),
+            ph: 'i',
+            ts_us: monotonic_ns() / 1000,
+            dur_us: None,
+            tid: PHASE_TID,
+            args: None,
+        });
+    }
+}
+
+impl Observer for ChromeTrace {
+    fn on_event(&self, event: &Event) {
+        match event {
+            Event::SpanBegin { name, ts_ns } => self.push(TraceEvent {
+                name: name.clone(),
+                ph: 'B',
+                ts_us: ts_ns / 1000,
+                dur_us: None,
+                tid: PHASE_TID,
+                args: None,
+            }),
+            Event::SpanEnd { name, ts_ns } => self.push(TraceEvent {
+                name: name.clone(),
+                ph: 'E',
+                ts_us: ts_ns / 1000,
+                dur_us: None,
+                tid: PHASE_TID,
+                args: None,
+            }),
+            Event::TrialFinished {
+                trial,
+                outcome,
+                latency_ns,
+                ..
+            } => {
+                let dur = (latency_ns / 1000).max(1);
+                let end = monotonic_ns() / 1000;
+                let start = end.saturating_sub(dur);
+                let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+                let (tid, ts) = st.1.place(start, dur);
+                st.0.push(TraceEvent {
+                    name: format!("trial {trial}"),
+                    ph: 'X',
+                    ts_us: ts,
+                    dur_us: Some(dur),
+                    tid,
+                    args: Some(Value::Object(vec![(
+                        "outcome".to_string(),
+                        Value::Str(outcome.name().to_string()),
+                    )])),
+                });
+            }
+            Event::TrialProvenance {
+                trial,
+                propagated,
+                sink,
+                hops,
+                ..
+            } => {
+                self.push(TraceEvent {
+                    name: format!("provenance {trial}"),
+                    ph: 'i',
+                    ts_us: monotonic_ns() / 1000,
+                    dur_us: None,
+                    tid: PHASE_TID,
+                    args: Some(Value::Object(vec![
+                        ("propagated".to_string(), Value::Bool(*propagated)),
+                        (
+                            "sink".to_string(),
+                            sink.clone().map_or(Value::Null, Value::Str),
+                        ),
+                        ("hops".to_string(), Value::UInt(*hops)),
+                    ])),
+                });
+            }
+            Event::CampaignStarted { benchmark, .. } => {
+                self.instant(format!("campaign_started {benchmark}"));
+            }
+            Event::GoldenRun { benchmark, .. } => {
+                self.instant(format!("golden_run {benchmark}"));
+            }
+            Event::CampaignFinished { .. } => self.instant("campaign_finished"),
+            Event::SearchStarted { benchmark, .. } => {
+                self.instant(format!("search_started {benchmark}"));
+            }
+            Event::SearchFinished { .. } => self.instant("search_finished"),
+            _ => {}
+        }
+    }
+
+    fn flush(&self) {
+        let _ = std::fs::write(&self.path, self.render());
+    }
+}
+
+impl Drop for ChromeTrace {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Outcome;
+
+    #[test]
+    fn renders_loadable_trace_json() {
+        let path = std::env::temp_dir().join(format!("peppa-chrome-{}.json", std::process::id()));
+        let t = ChromeTrace::create(&path);
+        t.on_event(&Event::SpanBegin {
+            name: "campaign".into(),
+            ts_ns: 1_000_000,
+        });
+        for i in 0..3u32 {
+            t.on_event(&Event::TrialFinished {
+                trial: i,
+                outcome: Outcome::Benign,
+                site: 0,
+                bit: 0,
+                latency_ns: 2_000_000,
+            });
+        }
+        t.on_event(&Event::SpanEnd {
+            name: "campaign".into(),
+            ts_ns: 9_000_000,
+        });
+        t.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let v = serde_json::parse_value(&text).unwrap();
+        let evs = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 1 B + 3 X + 1 E.
+        assert_eq!(evs.len(), 5);
+        // Every event has the required fields.
+        for e in evs {
+            assert!(e.get("ph").is_some());
+            assert!(e.get("ts").is_some());
+            assert!(e.get("pid").is_some());
+            assert!(e.get("tid").is_some());
+        }
+        // Complete events carry durations.
+        let xs: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[0].get("dur").unwrap().as_u64(), Some(2000));
+    }
+
+    #[test]
+    fn lanes_never_overlap() {
+        let mut lanes = Lanes {
+            busy_until: Vec::new(),
+        };
+        // Three concurrent intervals get three lanes; a later one reuses.
+        let (t0, _) = lanes.place(0, 10);
+        let (t1, _) = lanes.place(5, 10);
+        let (t2, _) = lanes.place(8, 10);
+        let (t3, _) = lanes.place(12, 3);
+        assert_eq!(t0, TRIAL_TID_BASE);
+        assert_eq!(t1, TRIAL_TID_BASE + 1);
+        assert_eq!(t2, TRIAL_TID_BASE + 2);
+        assert_eq!(t3, TRIAL_TID_BASE, "lane 0 is free again at t=12");
+    }
+}

@@ -121,6 +121,43 @@ pub enum Event {
         findings: u64,
         wall_ns: u64,
     },
+    /// Fault-provenance record of one traced FI trial: where the taint
+    /// seeded at the flipped bit went. Emitted by `run_campaign_traced`
+    /// alongside the trial's `TrialFinished`.
+    TrialProvenance {
+        /// Trial index in `[0, trials)`.
+        trial: u32,
+        outcome: Outcome,
+        /// Sampled fault site (dynamic value index).
+        site: u64,
+        /// Flipped bit position.
+        bit: u32,
+        /// Static instruction the fault corrupted.
+        sid: u32,
+        /// Whether the injection activated (taint was seeded).
+        seeded: bool,
+        /// Whether taint reached an observable sink.
+        propagated: bool,
+        /// Sink category of the first taint arrival (`"output"`,
+        /// `"branch_cond"`, ...), when it propagated.
+        sink: Option<String>,
+        /// Value definitions that carried taint (propagation hop count).
+        hops: u64,
+        /// Dynamic index of the corrupted instruction (1-based).
+        seed_dynamic: u64,
+        /// Dynamic index where the last tainted location died, if the
+        /// taint went extinct before the run ended.
+        extinction_dynamic: Option<u64>,
+        /// Sparse per-static-instruction taint touch counts, sorted by
+        /// sid — the rows a propagation heatmap aggregates.
+        sid_hits: Vec<(u32, u64)>,
+    },
+    /// A named phase began (nested spans: begin/end pairs are properly
+    /// bracketed per thread). `ts_ns` is a process-monotonic timestamp
+    /// from [`crate::span::monotonic_ns`].
+    SpanBegin { name: String, ts_ns: u64 },
+    /// A named phase ended.
+    SpanEnd { name: String, ts_ns: u64 },
     /// Free-form annotation (phase markers, warnings).
     Message { text: String },
 }
@@ -139,6 +176,9 @@ impl Event {
             Event::SearchFinished { .. } => "search_finished",
             Event::AnalysisStarted { .. } => "analysis_started",
             Event::AnalysisFinished { .. } => "analysis_finished",
+            Event::TrialProvenance { .. } => "trial_provenance",
+            Event::SpanBegin { .. } => "span_begin",
+            Event::SpanEnd { .. } => "span_end",
             Event::Message { .. } => "message",
         }
     }

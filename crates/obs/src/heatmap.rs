@@ -1,0 +1,135 @@
+//! Per-static-instruction propagation heatmap.
+//!
+//! [`PropagationHeatmap`] aggregates the sparse `sid_hits` rows of
+//! [`Event::TrialProvenance`] records into per-sid totals: how many
+//! dynamic executions touched taint, and in how many trials. The merge
+//! is a commutative sum keyed by trial-local data, so the aggregate is
+//! invariant to worker thread count and event arrival order — the same
+//! property the metric counters have.
+
+use crate::event::{Event, Observer};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Aggregated taint activity of one static instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeatCell {
+    /// Dynamic taint-touching executions summed over all trials.
+    pub hits: u64,
+    /// Trials in which this sid touched taint at least once.
+    pub trials: u64,
+}
+
+/// An [`Observer`] folding `TrialProvenance` events into a per-sid map.
+#[derive(Default)]
+pub struct PropagationHeatmap {
+    cells: Mutex<BTreeMap<u32, HeatCell>>,
+    trials_seen: Mutex<u64>,
+}
+
+impl PropagationHeatmap {
+    pub fn new() -> PropagationHeatmap {
+        PropagationHeatmap::default()
+    }
+
+    /// The merged heatmap, sorted by sid.
+    pub fn snapshot(&self) -> Vec<(u32, HeatCell)> {
+        self.cells
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(&s, &c)| (s, c))
+            .collect()
+    }
+
+    /// Provenance trials folded in so far.
+    pub fn trials(&self) -> u64 {
+        *self.trials_seen.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Renders the `top` hottest sids as an aligned table.
+    pub fn render(&self, top: usize) -> String {
+        let mut rows = self.snapshot();
+        rows.sort_by(|a, b| b.1.hits.cmp(&a.1.hits).then(a.0.cmp(&b.0)));
+        rows.truncate(top);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>6}  {:>12}  {:>8}\n",
+            "sid", "taint hits", "trials"
+        ));
+        for (sid, c) in rows {
+            out.push_str(&format!("{:>6}  {:>12}  {:>8}\n", sid, c.hits, c.trials));
+        }
+        out.push_str(&format!("  provenance trials: {}\n", self.trials()));
+        out
+    }
+}
+
+impl Observer for PropagationHeatmap {
+    fn on_event(&self, event: &Event) {
+        if let Event::TrialProvenance { sid_hits, .. } = event {
+            let mut cells = self.cells.lock().unwrap_or_else(|p| p.into_inner());
+            for &(sid, h) in sid_hits {
+                let c = cells.entry(sid).or_default();
+                c.hits += h;
+                c.trials += 1;
+            }
+            *self.trials_seen.lock().unwrap_or_else(|p| p.into_inner()) += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Outcome;
+
+    fn prov(trial: u32, sid_hits: Vec<(u32, u64)>) -> Event {
+        Event::TrialProvenance {
+            trial,
+            outcome: Outcome::Benign,
+            site: 0,
+            bit: 0,
+            sid: 0,
+            seeded: true,
+            propagated: false,
+            sink: None,
+            hops: sid_hits.iter().map(|(_, h)| h).sum(),
+            seed_dynamic: 1,
+            extinction_dynamic: None,
+            sid_hits,
+        }
+    }
+
+    #[test]
+    fn merge_is_order_invariant() {
+        let a = PropagationHeatmap::new();
+        let b = PropagationHeatmap::new();
+        let events = [
+            prov(0, vec![(1, 5), (3, 2)]),
+            prov(1, vec![(1, 1)]),
+            prov(2, vec![(3, 4), (7, 1)]),
+        ];
+        for e in &events {
+            a.on_event(e);
+        }
+        for e in events.iter().rev() {
+            b.on_event(e);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.trials(), 3);
+        let cells = a.snapshot();
+        assert_eq!(cells[0], (1, HeatCell { hits: 6, trials: 2 }));
+        assert_eq!(cells[1], (3, HeatCell { hits: 6, trials: 2 }));
+        assert_eq!(cells[2], (7, HeatCell { hits: 1, trials: 1 }));
+    }
+
+    #[test]
+    fn render_lists_hottest_first() {
+        let h = PropagationHeatmap::new();
+        h.on_event(&prov(0, vec![(2, 1), (9, 100)]));
+        let table = h.render(1);
+        assert!(table.contains('9'), "{table}");
+        assert!(!table.lines().nth(1).unwrap().contains("  2  "), "{table}");
+    }
+}

@@ -49,25 +49,36 @@ pub fn parse_journal(text: &str) -> Result<Vec<Event>, String> {
         .collect()
 }
 
+impl JsonlJournal {
+    /// Locks the writer, recovering from poison: a panicking campaign
+    /// thread must not be able to wedge the journal — the whole point of
+    /// the Drop flush is to leave a readable tail after a crash.
+    fn lock_writer(&self) -> std::sync::MutexGuard<'_, BufWriter<Box<dyn Write + Send>>> {
+        self.writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
 impl Observer for JsonlJournal {
     fn on_event(&self, event: &Event) {
         let line = serde_json::to_string(event).unwrap();
-        let mut w = self.writer.lock().unwrap();
+        let mut w = self.lock_writer();
         // Journal writes are best-effort: a full disk should not abort
         // the campaign mid-measurement.
         let _ = writeln!(w, "{line}");
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().unwrap().flush();
+        let _ = self.lock_writer().flush();
     }
 }
 
 impl Drop for JsonlJournal {
     fn drop(&mut self) {
-        if let Ok(mut w) = self.writer.lock() {
-            let _ = w.flush();
-        }
+        // Runs during unwinding too: a crashing campaign still leaves
+        // every buffered line on disk.
+        let _ = self.lock_writer().flush();
     }
 }
 
@@ -123,6 +134,63 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn killed_writer_leaves_readable_tail() {
+        // A campaign thread panics mid-run without ever calling flush();
+        // the unwind drops the journal, whose Drop must flush the
+        // buffered tail so the file is readable afterwards.
+        let path =
+            std::env::temp_dir().join(format!("peppa-obs-killed-{}.jsonl", std::process::id()));
+        let p = path.clone();
+        let worker = std::thread::spawn(move || {
+            let j = JsonlJournal::create(&p).unwrap();
+            for i in 0..50u32 {
+                j.on_event(&Event::TrialFinished {
+                    trial: i,
+                    outcome: Outcome::Benign,
+                    site: i as u64,
+                    bit: 0,
+                    latency_ns: 10,
+                });
+            }
+            panic!("simulated campaign crash");
+        });
+        assert!(worker.join().is_err(), "worker must have died");
+        let events = JsonlJournal::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(events.len(), 50, "all buffered lines must survive");
+        assert!(events.iter().all(|e| e.kind() == "trial_finished"));
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_wedge_journal() {
+        // A thread that panics while holding the writer lock poisons the
+        // mutex; subsequent writes, flushes, and the Drop flush must all
+        // still work.
+        let path =
+            std::env::temp_dir().join(format!("peppa-obs-poison-{}.jsonl", std::process::id()));
+        {
+            let j = std::sync::Arc::new(JsonlJournal::create(&path).unwrap());
+            j.on_event(&Event::Message {
+                text: "before".into(),
+            });
+            let j2 = std::sync::Arc::clone(&j);
+            let poisoner = std::thread::spawn(move || {
+                let _guard = j2.writer.lock().unwrap();
+                panic!("poison the journal lock");
+            });
+            assert!(poisoner.join().is_err());
+            assert!(j.writer.is_poisoned());
+            j.on_event(&Event::Message {
+                text: "after".into(),
+            });
+            j.flush();
+        }
+        let events = JsonlJournal::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(events.len(), 2, "{events:?}");
     }
 
     #[test]

@@ -15,15 +15,21 @@
 //!   interactive TTY sessions;
 //! * [`MultiObserver`] / [`NullObserver`] — fan-out and no-op sinks.
 
+pub mod chrome;
 pub mod event;
+pub mod heatmap;
 pub mod journal;
 pub mod metrics;
 pub mod progress;
+pub mod span;
 
+pub use chrome::ChromeTrace;
 pub use event::{Event, Observer, Outcome};
+pub use heatmap::{HeatCell, PropagationHeatmap};
 pub use journal::JsonlJournal;
 pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use progress::ProgressReporter;
+pub use span::{monotonic_ns, Span};
 
 use std::sync::Arc;
 

@@ -284,6 +284,31 @@ impl Observer for MetricsRegistry {
                     .add(*findings);
                 self.histogram("analysis.wall_ns").record(*wall_ns);
             }
+            Event::TrialProvenance {
+                seeded,
+                propagated,
+                hops,
+                extinction_dynamic,
+                ..
+            } => {
+                self.counter("provenance.trials").inc();
+                if *seeded {
+                    self.counter("provenance.seeded").inc();
+                }
+                if *propagated {
+                    self.counter("provenance.propagated").inc();
+                }
+                if extinction_dynamic.is_some() {
+                    self.counter("provenance.extinct").inc();
+                }
+                self.histogram("provenance.hops").record(*hops);
+            }
+            Event::SpanBegin { .. } => {
+                self.counter("span.begins").inc();
+            }
+            Event::SpanEnd { .. } => {
+                self.counter("span.ends").inc();
+            }
             Event::Message { .. } => {}
         }
     }

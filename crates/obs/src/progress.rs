@@ -211,6 +211,9 @@ impl Observer for ProgressReporter {
                 Self::erase_line(&mut st);
                 eprintln!("[obs] {text}");
             }
+            // Per-trial provenance records and span brackets are for the
+            // journal/trace exporters, not the interactive line.
+            Event::TrialProvenance { .. } | Event::SpanBegin { .. } | Event::SpanEnd { .. } => {}
         }
     }
 

@@ -1,0 +1,91 @@
+//! Nested phase spans with process-monotonic timestamps.
+//!
+//! A [`Span`] brackets a pipeline phase with [`Event::SpanBegin`] /
+//! [`Event::SpanEnd`] pairs stamped from one process-wide monotonic
+//! origin, so spans emitted by different layers (CLI, campaign, analysis)
+//! land on a single timeline. Spans nest lexically: create an inner span
+//! while an outer one is alive and the Chrome trace exporter renders the
+//! usual flame-graph stacking from the begin/end bracketing.
+
+use crate::event::{Event, Observer};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Nanoseconds since the first call in this process — a monotonic clock
+/// shared by every span and the Chrome trace exporter.
+pub fn monotonic_ns() -> u64 {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    ORIGIN.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// An RAII phase span: emits `SpanBegin` on creation and `SpanEnd` on
+/// drop into the given observer.
+pub struct Span<'a> {
+    name: String,
+    obs: &'a dyn Observer,
+}
+
+impl<'a> Span<'a> {
+    pub fn enter(obs: &'a dyn Observer, name: impl Into<String>) -> Span<'a> {
+        let name = name.into();
+        obs.on_event(&Event::SpanBegin {
+            name: name.clone(),
+            ts_ns: monotonic_ns(),
+        });
+        Span { name, obs }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.obs.on_event(&Event::SpanEnd {
+            name: std::mem::take(&mut self.name),
+            ts_ns: monotonic_ns(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Capture(Mutex<Vec<Event>>);
+
+    impl Observer for Capture {
+        fn on_event(&self, event: &Event) {
+            self.0.lock().unwrap().push(event.clone());
+        }
+    }
+
+    #[test]
+    fn spans_nest_and_timestamps_are_monotonic() {
+        let cap = Capture::default();
+        {
+            let _outer = Span::enter(&cap, "campaign");
+            let _inner = Span::enter(&cap, "golden");
+        }
+        let events = cap.0.into_inner().unwrap();
+        let kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, ["span_begin", "span_begin", "span_end", "span_end"]);
+        // Inner closes before outer (drop order), and time never goes
+        // backwards.
+        let names: Vec<_> = events
+            .iter()
+            .map(|e| match e {
+                Event::SpanBegin { name, .. } | Event::SpanEnd { name, .. } => name.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(names, ["campaign", "golden", "golden", "campaign"]);
+        let ts: Vec<u64> = events
+            .iter()
+            .map(|e| match e {
+                Event::SpanBegin { ts_ns, .. } | Event::SpanEnd { ts_ns, .. } => *ts_ns,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+}

@@ -319,6 +319,9 @@ impl<'m, H: ExecHook> State<'m, H> {
                     arg_buf.clear();
                     arg_buf.extend(args.iter().map(|a| eval(&regs, a)));
                     let t = &func.blocks[target.0 as usize];
+                    if H::ENABLED {
+                        self.hook.branch_transfer(None, &t.params, args);
+                    }
                     for (&p, &v) in t.params.iter().zip(&arg_buf) {
                         regs[p.0 as usize] = v;
                     }
@@ -340,12 +343,18 @@ impl<'m, H: ExecHook> State<'m, H> {
                     arg_buf.clear();
                     arg_buf.extend(targs.iter().map(|a| eval(&regs, a)));
                     let t = &func.blocks[target.0 as usize];
+                    if H::ENABLED {
+                        self.hook.branch_transfer(Some(cond), &t.params, targs);
+                    }
                     for (&p, &v) in t.params.iter().zip(&arg_buf) {
                         regs[p.0 as usize] = v;
                     }
                     cur = target.0 as usize;
                 }
                 Term::Ret { value } => {
+                    if H::ENABLED {
+                        self.hook.func_ret(value.as_ref());
+                    }
                     return Ok(value.as_ref().map(|v| eval(&regs, v)));
                 }
             }
@@ -433,11 +442,17 @@ impl<'m, H: ExecHook> State<'m, H> {
                     return Err(Stop::Trap(Trap::StackOverflow));
                 }
                 self.memory[base as usize..end as usize].fill(0);
+                if H::ENABLED {
+                    self.hook.mem_clear(base, w as u64);
+                }
                 self.stack_ptr = end;
                 Some(base)
             }
             Op::Call { func: callee, args } => {
                 let vals: Vec<u64> = args.iter().map(|a| eval(regs, a)).collect();
+                if H::ENABLED {
+                    self.hook.call_enter(ins, *callee);
+                }
                 self.run_function(*callee, &vals)?
             }
             Op::Output { value } => {
@@ -452,7 +467,11 @@ impl<'m, H: ExecHook> State<'m, H> {
             self.profile.value_dynamic += 1;
             if let Some(inj) = self.injection {
                 if !self.fault_activated && self.hits(ins, inj) {
-                    bits = flip_bits(func.ty_of(r), bits, inj.bit, inj.burst);
+                    let flipped = flip_bits(func.ty_of(r), bits, inj.bit, inj.burst);
+                    if H::ENABLED {
+                        self.hook.fault_injected(ins, bits ^ flipped);
+                    }
+                    bits = flipped;
                     self.fault_activated = true;
                 }
             }

@@ -12,7 +12,7 @@
 //! timer overhead. `OpcodeProfile` times every `sample_every`-th
 //! instruction and scales counts up when estimating totals.
 
-use peppa_ir::{Instr, InstrId, Module, Op};
+use peppa_ir::{FuncId, Instr, InstrId, Module, Op, Operand, ValueId};
 
 /// An instrumentation sink for the interpreter's instruction loop.
 ///
@@ -61,6 +61,53 @@ pub trait ExecHook {
     fn mem_load(&mut self, ins: &Instr, addr: u64, bits: u64) {
         let _ = (ins, addr, bits);
     }
+
+    /// Called when the interpreter zero-fills a memory range (`alloca`
+    /// reusing stack words). Shadow engines drop any stale per-word state
+    /// for `[base, base + words)`.
+    #[inline]
+    fn mem_clear(&mut self, base: u64, words: u64) {
+        let _ = (base, words);
+    }
+
+    /// Called exactly once per faulty run, at the instruction whose result
+    /// the injection corrupts, with the canonical XOR mask the flip
+    /// applied (old bits ^ new bits). Fires before [`def_value`] for the
+    /// same instruction. Shadow engines use this to seed taint.
+    ///
+    /// [`def_value`]: ExecHook::def_value
+    #[inline]
+    fn fault_injected(&mut self, ins: &Instr, flip_mask: u64) {
+        let _ = (ins, flip_mask);
+    }
+
+    /// Called at each taken branch edge, before the interpreter copies
+    /// `args` into the target block's `params`. `cond` is the condition
+    /// operand for conditional branches (`None` for unconditional ones),
+    /// evaluated in the *current* register file.
+    #[inline]
+    fn branch_transfer(&mut self, cond: Option<&Operand>, params: &[ValueId], args: &[Operand]) {
+        let _ = (cond, params, args);
+    }
+
+    /// Called immediately before entering `callee`'s frame for the call
+    /// instruction `ins` (arguments are in `ins.op`, evaluated in the
+    /// caller's register file).
+    #[inline]
+    fn call_enter(&mut self, ins: &Instr, callee: FuncId) {
+        let _ = (ins, callee);
+    }
+
+    /// Called when a frame returns, with the returned operand (evaluated
+    /// in the *returning* frame's register file). The matching
+    /// [`call_enter`] frame is the one being popped; when no frame was
+    /// ever pushed for it, this is the entry function returning.
+    ///
+    /// [`call_enter`]: ExecHook::call_enter
+    #[inline]
+    fn func_ret(&mut self, value: Option<&Operand>) {
+        let _ = value;
+    }
 }
 
 /// The default hook: compiles to nothing.
@@ -97,6 +144,31 @@ impl<H: ExecHook> ExecHook for &mut H {
     #[inline]
     fn mem_load(&mut self, ins: &Instr, addr: u64, bits: u64) {
         (**self).mem_load(ins, addr, bits)
+    }
+
+    #[inline]
+    fn mem_clear(&mut self, base: u64, words: u64) {
+        (**self).mem_clear(base, words)
+    }
+
+    #[inline]
+    fn fault_injected(&mut self, ins: &Instr, flip_mask: u64) {
+        (**self).fault_injected(ins, flip_mask)
+    }
+
+    #[inline]
+    fn branch_transfer(&mut self, cond: Option<&Operand>, params: &[ValueId], args: &[Operand]) {
+        (**self).branch_transfer(cond, params, args)
+    }
+
+    #[inline]
+    fn call_enter(&mut self, ins: &Instr, callee: FuncId) {
+        (**self).call_enter(ins, callee)
+    }
+
+    #[inline]
+    fn func_ret(&mut self, value: Option<&Operand>) {
+        (**self).func_ret(value)
     }
 }
 

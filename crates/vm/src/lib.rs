@@ -20,8 +20,10 @@ pub mod exec;
 pub mod hooks;
 pub mod inputs;
 pub mod profile;
+pub mod taint;
 
 pub use exec::{ExecLimits, Injection, InjectionTarget, RunOutput, RunStatus, Trap, Vm};
 pub use hooks::{ExecHook, NoHook, OpcodeProfile};
 pub use inputs::encode_inputs;
 pub use profile::Profile;
+pub use taint::{SinkHit, SinkKind, TaintHook, TaintReport};

@@ -7,11 +7,15 @@
 //! peppa compile  prog.mc                          dump the compiled PIR
 //! peppa run      prog.mc --input 8,2.5 [--profile] golden run + profile
 //! peppa inject   prog.mc --input 8,2.5 [--trials 1000] [--seed 1]
-//!                [--threads N] [--static-prune]
+//!                [--threads N] [--static-prune] [--trace-propagation]
 //!                [--trace-out t.jsonl] [--metrics-out m.json] [--quiet]
 //!                with --static-prune, trials whose sampled fault cell
 //!                the interprocedural reachability analysis proves
-//!                masked are counted Benign without executing them
+//!                masked are counted Benign without executing them;
+//!                with --trace-propagation, every trial runs under the
+//!                shadow-taint engine and the campaign reports how far
+//!                each fault travelled (sink reached vs extinguished)
+//!                plus a per-instruction propagation heatmap
 //! peppa analyze  prog.mc                          pruning report
 //! peppa lint     prog.mc [--deny-warnings] [--json]
 //!                verify + static findings (dead values, unreachable
@@ -34,17 +38,21 @@
 //! Observability flags (available on every subcommand that executes the
 //! pipeline): `--trace-out FILE.jsonl` writes a replayable JSONL run
 //! journal, `--metrics-out FILE.json` writes a metrics snapshot on exit,
-//! `--quiet` suppresses the live progress line, `--threads N` sets the
-//! FI worker count (0 = all cores).
+//! `--chrome-trace FILE.json` writes a Chrome trace-event file (open it
+//! in Perfetto or `chrome://tracing`), `--quiet` suppresses the live
+//! progress line, `--threads N` sets the FI worker count (0 = all
+//! cores).
 
 use peppa_x::analysis::FaultReach;
 use peppa_x::apps::{ArgSpec, Benchmark};
 use peppa_x::core::{PeppaConfig, PeppaX};
 use peppa_x::inject::{
-    generate_corpus, run_campaign_observed, run_campaign_pruned_observed, trace_propagation,
-    CampaignConfig, StaticPrune,
+    generate_corpus, run_campaign_observed, run_campaign_pruned_observed,
+    run_campaign_traced_observed, trace_propagation, CampaignConfig, StaticPrune,
 };
-use peppa_x::obs::{JsonlJournal, MetricsRegistry, MultiObserver, ProgressReporter};
+use peppa_x::obs::{
+    ChromeTrace, JsonlJournal, MetricsRegistry, MultiObserver, ProgressReporter, PropagationHeatmap,
+};
 use peppa_x::vm::{ExecLimits, Injection, InjectionTarget, OpcodeProfile, Vm};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -75,11 +83,13 @@ struct Opts {
     threads: usize,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    chrome_trace: Option<String>,
     quiet: bool,
     profile: bool,
     deny_warnings: bool,
     json: bool,
     static_prune: bool,
+    trace_propagation: bool,
 }
 
 fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
@@ -99,11 +109,13 @@ fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
         threads: 0,
         trace_out: None,
         metrics_out: None,
+        chrome_trace: None,
         quiet: false,
         profile: false,
         deny_warnings: false,
         json: false,
         static_prune: false,
+        trace_propagation: false,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -135,11 +147,13 @@ fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
             "--threads" => o.threads = val("--threads")?.parse().map_err(|_| "bad --threads")?,
             "--trace-out" => o.trace_out = Some(val("--trace-out")?),
             "--metrics-out" => o.metrics_out = Some(val("--metrics-out")?),
+            "--chrome-trace" => o.chrome_trace = Some(val("--chrome-trace")?),
             "--quiet" => o.quiet = true,
             "--profile" => o.profile = true,
             "--deny-warnings" => o.deny_warnings = true,
             "--json" => o.json = true,
             "--static-prune" => o.static_prune = true,
+            "--trace-propagation" => o.trace_propagation = true,
             other if !other.starts_with("--") && file.is_none() => {
                 file = Some(other.to_string());
             }
@@ -233,12 +247,25 @@ fn load_program(file: Option<String>, o: &Opts) -> Result<Benchmark, String> {
 }
 
 /// Builds the observer stack requested by the flags: JSONL journal
-/// (`--trace-out`), metrics registry (`--metrics-out`), and a live
-/// progress line unless `--quiet`. The registry handle is returned
-/// separately so the snapshot can be written on exit.
-fn build_observer(o: &Opts) -> Result<(MultiObserver, Option<Arc<MetricsRegistry>>), String> {
+/// (`--trace-out`), metrics registry (`--metrics-out`), Chrome trace
+/// exporter (`--chrome-trace`), a propagation heatmap when
+/// `--trace-propagation` is on, and a live progress line unless
+/// `--quiet`. The registry and heatmap handles are returned separately
+/// so the snapshot/table can be written on exit.
+#[allow(clippy::type_complexity)]
+fn build_observer(
+    o: &Opts,
+) -> Result<
+    (
+        MultiObserver,
+        Option<Arc<MetricsRegistry>>,
+        Option<Arc<PropagationHeatmap>>,
+    ),
+    String,
+> {
     let mut multi = MultiObserver::new();
     let mut registry = None;
+    let mut heatmap = None;
     if let Some(path) = &o.trace_out {
         let journal = JsonlJournal::create(path).map_err(|e| format!("{path}: {e}"))?;
         multi.push(Arc::new(journal));
@@ -248,10 +275,18 @@ fn build_observer(o: &Opts) -> Result<(MultiObserver, Option<Arc<MetricsRegistry
         multi.push(Arc::clone(&reg) as Arc<dyn peppa_x::obs::Observer>);
         registry = Some(reg);
     }
+    if let Some(path) = &o.chrome_trace {
+        multi.push(Arc::new(ChromeTrace::create(path)));
+    }
+    if o.trace_propagation {
+        let heat = Arc::new(PropagationHeatmap::new());
+        multi.push(Arc::clone(&heat) as Arc<dyn peppa_x::obs::Observer>);
+        heatmap = Some(heat);
+    }
     if !o.quiet {
         multi.push(Arc::new(ProgressReporter::default()));
     }
-    Ok((multi, registry))
+    Ok((multi, registry, heatmap))
 }
 
 fn write_metrics(o: &Opts, registry: &Option<Arc<MetricsRegistry>>) -> Result<(), String> {
@@ -274,7 +309,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
         .input
         .clone()
         .unwrap_or_else(|| bench.reference_input.clone());
-    let (observer, registry) = build_observer(&o)?;
+    let (observer, registry, heatmap) = build_observer(&o)?;
     let mut exit = ExitCode::SUCCESS;
 
     match cmd.as_str() {
@@ -314,7 +349,28 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 threads: o.threads,
                 ..Default::default()
             };
-            let r = if o.static_prune {
+            if o.static_prune && o.trace_propagation {
+                return Err("--static-prune and --trace-propagation are mutually \
+                     exclusive (a skipped trial has no execution to trace)"
+                    .into());
+            }
+            let r = if o.trace_propagation {
+                let tr =
+                    run_campaign_traced_observed(&bench.module, &input, limits, cfg, &observer)
+                        .map_err(|e| e.to_string())?;
+                let seeded = tr.trials.iter().filter(|t| t.report.seeded).count();
+                println!(
+                    "propagation: {} seeded faults — {} reached a sink, {} extinguished, {} dormant at exit",
+                    seeded,
+                    tr.propagated(),
+                    tr.extinguished(),
+                    seeded - tr.propagated() - tr.extinguished()
+                );
+                if let Some(h) = &heatmap {
+                    print!("{}", h.render(10));
+                }
+                tr.campaign
+            } else if o.static_prune {
                 let fr = FaultReach::analyze(&bench.module);
                 let prune = StaticPrune {
                     cells: fr.skip_cells(cfg.burst),
