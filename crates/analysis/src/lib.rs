@@ -66,7 +66,9 @@ pub use dataflow::{
 pub use defuse::DefUse;
 pub use knownbits::KnownBits;
 pub use lint::{lint_module, Lint, LintReport, Severity};
-pub use liveness::{dead_values, live_in, observable_live, ValueSet};
+pub use liveness::{
+    converge_masks, dead_values, live_at_boundaries, live_in, observable_live, ValueSet,
+};
 pub use memdep::{MemAccess, MemDepGraph};
 pub use predict::{predict_sdc, SdcPrediction};
 pub use pruning::{prune_fi_space, prune_fi_space_refined, PruningResult};

@@ -60,6 +60,13 @@ impl ValueSet {
         changed
     }
 
+    /// Raw bitset words (64 values per word, value id `v` at word
+    /// `v/64`, bit `v%64`) — the export format
+    /// [`peppa_vm::ConvergeMasks`] consumes.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     pub fn iter(&self) -> impl Iterator<Item = ValueId> + '_ {
         self.words.iter().enumerate().flat_map(|(w, &bits)| {
             (0..64)
@@ -130,6 +137,70 @@ pub fn live_in(f: &Function, cfg: &Cfg) -> Vec<ValueSet> {
     (0..f.num_blocks())
         .map(|b| lv.transfer(b as u32, &exits[b]))
         .collect()
+}
+
+/// Values live at every instruction boundary of every block:
+/// `result[block][i]` is the set live just before executing instruction
+/// `i` (`result[block][n_instrs]` = just before the terminator) —
+/// values that may still be read before being overwritten on some path
+/// from that point. Block parameters are *included* at boundary 0 when
+/// read later (they are already bound there), unlike [`live_in`], which
+/// reports the set before parameters bind.
+pub fn live_at_boundaries(f: &Function, cfg: &Cfg) -> Vec<Vec<ValueSet>> {
+    let lv = Liveness { f };
+    let exits = solve_blocks(cfg, &lv);
+    (0..f.num_blocks())
+        .map(|b| {
+            let blk = &f.blocks[b];
+            let n = blk.instrs.len();
+            let mut out = vec![ValueSet::new(f.value_types.len()); n + 1];
+            let mut live = exits[b].clone();
+            for op in blk.term.operands() {
+                if let Some(v) = op.value() {
+                    live.insert(v);
+                }
+            }
+            out[n] = live.clone();
+            for i in (0..n).rev() {
+                let ins = &blk.instrs[i];
+                if let Some(r) = ins.result {
+                    live.remove(r);
+                }
+                for op in ins.op.operands() {
+                    if let Some(v) = op.value() {
+                        live.insert(v);
+                    }
+                }
+                out[i] = live.clone();
+            }
+            out
+        })
+        .collect()
+}
+
+/// Builds the live-register masks the VM's snapshot convergence check
+/// consumes ([`peppa_vm::ConvergeMasks`]): for each function, block,
+/// and instruction boundary, the bitset of values that may still be
+/// read. A value absent from a mask is dead at that point — never read
+/// before redefinition on *any* path — so the convergence check may
+/// ignore a corrupted value parked there. Soundness note: suspended
+/// call frames sit *at* their call instruction, whose result the
+/// backward pass already kills, so the pending return value is
+/// correctly treated as dead in the caller (it is rewritten from the
+/// callee's — separately compared — state on return).
+pub fn converge_masks(module: &Module) -> peppa_vm::ConvergeMasks {
+    let funcs = module
+        .functions
+        .iter()
+        .map(|f| {
+            let cfg = Cfg::new(f);
+            live_at_boundaries(f, &cfg)
+                .into_iter()
+                .map(|bounds| bounds.into_iter().map(|s| s.words().to_vec()).collect())
+                .collect()
+        })
+        .collect();
+    peppa_vm::ConvergeMasks::from_raw(funcs)
 }
 
 /// Per-function set of values that (transitively) reach an effectful

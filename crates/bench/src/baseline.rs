@@ -9,7 +9,10 @@
 
 use crate::scale::Ctx;
 use peppa_apps::all_benchmarks;
-use peppa_inject::{run_campaign_observed, run_campaign_pruned, CampaignConfig, StaticPrune};
+use peppa_inject::{
+    run_campaign_observed, run_campaign_pruned_gated, run_campaign_snapshotted, CampaignConfig,
+    PruneGate, SnapshotConfig, StaticPrune,
+};
 use peppa_obs::{MetricsRegistry, MultiObserver, Observer};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -39,16 +42,30 @@ pub struct BaselineRow {
     /// Wall-clock seconds of the full campaign (directly timed).
     pub campaign_wall_s: f64,
     /// Wall-clock seconds of the same campaign under `--static-prune`
-    /// (identical seed/trials; provably-masked cells skipped).
+    /// (identical seed/trials; provably-masked cells skipped, behind
+    /// the savings gate).
     pub pruned_campaign_wall_s: f64,
     /// Fraction of trials the pruned campaign skipped.
     pub pruned_skip_ratio: f64,
+    /// Whether the prune gate engaged (predicted skip ratio cleared the
+    /// threshold) — `false` means the pruned column measured the plain
+    /// runner plus the gate's prediction cost.
+    pub prune_applied: bool,
+    /// The gate's predicted skip ratio for this benchmark's table.
+    pub prune_predicted_skip_ratio: f64,
+    /// Wall-clock seconds of the same campaign under `--snapshots K`
+    /// (identical seed/trials; golden prefix amortized across trials).
+    pub snapshot_campaign_wall_s: f64,
+    /// `campaign_wall_s / snapshot_campaign_wall_s` — the measured
+    /// trials-per-second improvement the fork engine buys.
+    pub snapshot_speedup: f64,
 }
 
 /// Version of the `BENCH_baseline.json` layout. Bumped when fields
-/// change shape (v2: latency percentiles replaced the bare mean), so
-/// downstream diffing tools can refuse mixed-schema comparisons.
-pub const BASELINE_SCHEMA_VERSION: u32 = 2;
+/// change shape (v2: latency percentiles replaced the bare mean; v3:
+/// snapshotted-campaign wall time/speedup and the prune-gate decision),
+/// so downstream diffing tools can refuse mixed-schema comparisons.
+pub const BASELINE_SCHEMA_VERSION: u32 = 3;
 
 /// The checked-in `BENCH_baseline.json` payload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -87,22 +104,53 @@ pub fn run_baseline(ctx: &Ctx, observer: Arc<dyn Observer>) -> BaselineReport {
 
         // Same campaign with the static prune table: what `--static-prune`
         // buys on this machine. Timed directly, outside the metrics
-        // registry, so the full campaign's counters stay untouched.
+        // registry, so the full campaign's counters stay untouched. The
+        // gated runner is what the CLI now uses, so the baseline also
+        // records whether the savings gate engaged for this table.
         let fr = peppa_analysis::FaultReach::analyze(&bench.module);
         let prune = StaticPrune {
             cells: fr.skip_cells(cfg.burst),
             burst: cfg.burst,
         };
         let t1 = std::time::Instant::now();
-        let pruned = run_campaign_pruned(
+        let pruned = run_campaign_pruned_gated(
             &bench.module,
             &bench.reference_input,
             ctx.limits,
             cfg,
             &prune,
+            PruneGate::default(),
         )
         .unwrap_or_else(|e| panic!("{}: pruned baseline campaign failed: {e}", bench.name));
         let pruned_campaign_wall_s = t1.elapsed().as_secs_f64();
+
+        // Same campaign again under the snapshot/fork engine — identical
+        // seed and trial count, so `snapshot_speedup` is the apples-to-
+        // apples trials-per-second improvement the engine buys.
+        let t2 = std::time::Instant::now();
+        let snapped = run_campaign_snapshotted(
+            &bench.module,
+            &bench.reference_input,
+            ctx.limits,
+            cfg,
+            SnapshotConfig {
+                snapshots: ctx.campaign_snapshots(),
+                converge_exit: true,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: snapshotted baseline campaign failed: {e}", bench.name));
+        let snapshot_campaign_wall_s = t2.elapsed().as_secs_f64();
+        debug_assert_eq!(
+            (r.sdc, r.crash, r.hang, r.benign),
+            (
+                snapped.campaign.sdc,
+                snapped.campaign.crash,
+                snapped.campaign.hang,
+                snapped.campaign.benign
+            ),
+            "{}: snapshotted baseline diverged from the full campaign",
+            bench.name
+        );
 
         let trials = registry.counter_value("campaign.trials.finished");
         let golden_dynamic = registry.counter_value("golden.dynamic_instrs");
@@ -130,7 +178,15 @@ pub fn run_baseline(ctx: &Ctx, observer: Arc<dyn Observer>) -> BaselineReport {
             trial_latency_p99_ns: latency.quantile(0.99),
             campaign_wall_s,
             pruned_campaign_wall_s,
-            pruned_skip_ratio: pruned.skip_ratio(),
+            pruned_skip_ratio: pruned.result.skip_ratio(),
+            prune_applied: pruned.decision.applied,
+            prune_predicted_skip_ratio: pruned.decision.predicted_skip_ratio,
+            snapshot_campaign_wall_s,
+            snapshot_speedup: if snapshot_campaign_wall_s > 0.0 {
+                campaign_wall_s / snapshot_campaign_wall_s
+            } else {
+                0.0
+            },
         });
     }
     BaselineReport {
@@ -151,7 +207,7 @@ pub fn render_baseline(r: &BaselineReport) -> String {
         r.rows.first().map(|x| x.trials).unwrap_or(0)
     ));
     out.push_str(&format!(
-        "{:<12} {:>14} {:>12} {:>16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7}\n",
+        "{:<12} {:>14} {:>12} {:>16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6} {:>7} {:>8}\n",
         "benchmark",
         "golden dyn",
         "trials/s",
@@ -161,11 +217,14 @@ pub fn render_baseline(r: &BaselineReport) -> String {
         "p99 ms",
         "full s",
         "pruned s",
-        "skip %"
+        "skip %",
+        "gate",
+        "snap s",
+        "speedup"
     ));
     for row in &r.rows {
         out.push_str(&format!(
-            "{:<12} {:>14} {:>12.1} {:>16.3e} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>6.2}%\n",
+            "{:<12} {:>14} {:>12.1} {:>16.3e} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>6.2}% {:>6} {:>7.2} {:>7.2}x\n",
             row.benchmark,
             row.golden_dynamic,
             row.trials_per_sec,
@@ -175,7 +234,10 @@ pub fn render_baseline(r: &BaselineReport) -> String {
             row.trial_latency_p99_ns as f64 / 1e6,
             row.campaign_wall_s,
             row.pruned_campaign_wall_s,
-            row.pruned_skip_ratio * 100.0
+            row.pruned_skip_ratio * 100.0,
+            if row.prune_applied { "on" } else { "off" },
+            row.snapshot_campaign_wall_s,
+            row.snapshot_speedup
         ));
     }
     out
@@ -230,6 +292,10 @@ mod tests {
             campaign_wall_s: 0.0,
             pruned_campaign_wall_s: 0.0,
             pruned_skip_ratio: 0.0,
+            prune_applied: false,
+            prune_predicted_skip_ratio: 0.0,
+            snapshot_campaign_wall_s: 0.0,
+            snapshot_speedup: 0.0,
         }
     }
 }

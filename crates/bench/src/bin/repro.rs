@@ -21,6 +21,10 @@
 //!   provenance         shadow-taint traced campaigns vs static reach:
 //!                      containment (exit 1 on violation) + headroom
 //!                      (results/provenance.json; `--smoke` for CI size)
+//!   snapshot           checkpoint/fork campaign engine: wall-clock
+//!                      speedup + bit-identity with the classic runner
+//!                      (results/snapshot.json; exits 1 on divergence;
+//!                      `--smoke` shrinks it to CI size)
 //!   baseline           VM + campaign throughput (BENCH_baseline.json)
 //!   all                everything above
 //! ```
@@ -46,7 +50,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|table2..6|static-rank|hybrid|baseline|all> \
+            "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|table2..6|static-rank|hybrid|snapshot|baseline|all> \
              [--scale quick|paper] [--seed N] [--out DIR] [--threads N] [--smoke] \
              [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--chrome-trace FILE.json] [--quiet]"
         );
@@ -121,6 +125,7 @@ fn main() {
             "static-rank",
             "hybrid",
             "provenance",
+            "snapshot",
             "faultmodel",
             "ablation",
             "baseline",
@@ -273,6 +278,18 @@ fn main() {
                     eprintln!(
                         "[repro] FAIL: provenance containment violated (a dynamically-\
                          propagating fault was statically classified ProvablyMasked)"
+                    );
+                    failed = true;
+                }
+            }
+            "snapshot" => {
+                let r = peppa_bench::snapshot_exp::run_snapshot_exp(&ctx, smoke, observer.as_ref());
+                println!("{}", peppa_bench::snapshot_exp::render_snapshot_exp(&r));
+                dump("snapshot", serde_json::to_string_pretty(&r).unwrap());
+                if !r.sound() {
+                    eprintln!(
+                        "[repro] FAIL: snapshot determinism violated (snapshotted outcome \
+                         counts diverged from the classic campaign runner)"
                     );
                     failed = true;
                 }

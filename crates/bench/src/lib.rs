@@ -21,9 +21,12 @@
 //! ([`static_rank`]), `repro hybrid` validates the interprocedural
 //! fault-reachability analysis behind `--static-prune` campaigns —
 //! exact outcome-count equality plus FI re-injection of provably-masked
-//! cells ([`hybrid`]) — and `repro provenance` cross-checks the shadow-
+//! cells ([`hybrid`]) — `repro provenance` cross-checks the shadow-
 //! taint tracer against the static reach analysis (containment + static-
-//! precision headroom, [`provenance`]).
+//! precision headroom, [`provenance`]), and `repro snapshot` measures
+//! the checkpoint/fork campaign engine behind `--snapshots K` — wall-
+//! clock speedup plus bit-identity with the classic runner
+//! ([`snapshot_exp`]).
 //!
 //! Beyond the paper's artifacts, `repro baseline` measures VM and
 //! campaign throughput per benchmark ([`baseline`]) and writes the
@@ -44,6 +47,7 @@ pub mod ranks;
 pub mod render;
 pub mod scale;
 pub mod search_exp;
+pub mod snapshot_exp;
 pub mod static_rank;
 pub mod study;
 

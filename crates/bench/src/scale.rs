@@ -55,6 +55,26 @@ impl Ctx {
         }
     }
 
+    /// Snapshots per snapshotted campaign (the `--snapshots K` knob the
+    /// baseline and snapshot experiments measure at).
+    pub fn campaign_snapshots(&self) -> u32 {
+        match self.scale {
+            Scale::Quick => 64,
+            Scale::Paper => 64,
+        }
+    }
+
+    /// Trials per *snapshotted* program-level campaign. The fork engine
+    /// amortizes the golden prefix, so campaigns several times the
+    /// classic size fit the same wall budget — this is the scale the
+    /// snapshot experiment and the v3 baseline run at.
+    pub fn snapshot_campaign_trials(&self) -> u32 {
+        match self.scale {
+            Scale::Quick => 1000,
+            Scale::Paper => 5000,
+        }
+    }
+
     /// Trials per instruction for per-instruction measurements (§3.1.4:
     /// 100).
     pub fn per_instr_trials(&self) -> u32 {

@@ -10,11 +10,15 @@
 //! bit-identical to the full campaign's, so a *sound* prune table makes
 //! the pruned outcome counts exactly equal to the full campaign's.
 
+use crate::forkpoint::{fork_point_for, plan_fork_points};
 use crate::outcome::{classify, FaultOutcome};
 use peppa_ir::{Instr, Module};
 use peppa_obs::{Event, NullObserver, Observer, Outcome as ObsOutcome};
 use peppa_stats::{binomial_ci, ci::Z_95, BinomialCi, Pcg64};
-use peppa_vm::{encode_inputs, ExecHook, ExecLimits, Injection, InjectionTarget, RunOutput, Vm};
+use peppa_vm::{
+    encode_inputs, ExecHook, ExecLimits, Injection, InjectionTarget, ResumeScratch, RunOutput,
+    TrialResume, Vm,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -509,6 +513,478 @@ fn campaign_impl(
     })
 }
 
+/// Configuration of the snapshot/fork engine of a
+/// [`run_campaign_snapshotted`] campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotConfig {
+    /// Maximum golden-prefix snapshots to capture (the `--snapshots K`
+    /// knob). `0` degenerates to the classic runner: every trial
+    /// executes from program entry.
+    pub snapshots: u32,
+    /// Stop a faulty run early when its machine state becomes
+    /// bit-identical to a later golden checkpoint (the continuation is
+    /// then pinned to the golden one, so the outcome is decided without
+    /// executing the suffix). Purely an optimization — outcomes are
+    /// identical either way.
+    pub converge_exit: bool,
+}
+
+impl Default for SnapshotConfig {
+    fn default() -> Self {
+        SnapshotConfig {
+            snapshots: 16,
+            converge_exit: true,
+        }
+    }
+}
+
+/// Bookkeeping of one snapshotted campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotStats {
+    /// Snapshots actually captured (≤ the configured `K`: fork points
+    /// dedup when sampled sites repeat).
+    pub snapshots: u32,
+    /// Total heap bytes across all captured snapshots.
+    pub bytes: u64,
+    /// Trials resumed from a snapshot.
+    pub restores: u64,
+    /// Trials executed from program entry (site before the first fork
+    /// point, or `snapshots == 0`).
+    pub full_runs: u64,
+    /// Trials cut short by golden-state convergence.
+    pub converged_exits: u64,
+    /// Golden-prefix dynamic instructions the resumed trials did not
+    /// re-execute — the quantity the speedup comes from.
+    pub prefix_instrs_saved: u64,
+}
+
+/// A [`CampaignResult`] plus the snapshot engine's accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshottedCampaignResult {
+    pub campaign: CampaignResult,
+    pub stats: SnapshotStats,
+}
+
+/// [`run_campaign`] with the golden prefix amortized across trials.
+///
+/// Pre-samples every trial's fault (per-trial RNG streams depend only
+/// on `(seed, trial)`, so sampling commutes with execution), plans up
+/// to `snap.snapshots` stratified fork points over the sampled sites,
+/// replays the golden run once capturing a [`peppa_vm::VmSnapshot`] at
+/// each, then runs every trial from the latest snapshot preceding its
+/// fault site. The interpreter is deterministic and snapshots restore
+/// the complete machine state (including the dynamic counters the
+/// injection target and hang budget are defined over), so outcome
+/// counts are **bit-identical** to [`run_campaign`] under the same
+/// `CampaignConfig` — only wall time changes.
+pub fn run_campaign_snapshotted(
+    module: &Module,
+    inputs: &[f64],
+    limits: ExecLimits,
+    cfg: CampaignConfig,
+    snap: SnapshotConfig,
+) -> Result<SnapshottedCampaignResult, CampaignError> {
+    run_campaign_snapshotted_observed(module, inputs, limits, cfg, snap, &NullObserver)
+}
+
+/// [`run_campaign_snapshotted`] with an [`Observer`] attached.
+///
+/// Event stream: `CampaignStarted`, `GoldenRun`, one `SnapshotCaptured`
+/// per fork point, per-trial `TrialFinished` (completion order), then
+/// `SnapshotStats` immediately before the terminal `CampaignFinished`.
+pub fn run_campaign_snapshotted_observed(
+    module: &Module,
+    inputs: &[f64],
+    limits: ExecLimits,
+    cfg: CampaignConfig,
+    snap: SnapshotConfig,
+    observer: &dyn Observer,
+) -> Result<SnapshottedCampaignResult, CampaignError> {
+    let start = Instant::now();
+    observer.on_event(&Event::CampaignStarted {
+        benchmark: module.name.clone(),
+        trials: cfg.trials,
+        seed: cfg.seed,
+        threads: cfg.threads,
+    });
+
+    // Plain golden run first: sampling needs the fault-site population
+    // before any fork point can be planned.
+    let golden = golden_run(module, inputs, limits)?;
+    if golden.profile.value_dynamic == 0 {
+        return Err(CampaignError::NoFaultSites);
+    }
+    observer.on_event(&Event::GoldenRun {
+        benchmark: module.name.clone(),
+        dynamic: golden.profile.dynamic,
+        value_dynamic: golden.profile.value_dynamic,
+        coverage: golden.profile.coverage(),
+    });
+
+    // Pre-sample every trial's fault from the same per-trial streams the
+    // classic runner uses — identical faults, identical outcomes.
+    let injections: Vec<Injection> = (0..cfg.trials)
+        .map(|t| {
+            let mut rng = Pcg64::new(cfg.seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15));
+            sample_fault_burst(&mut rng, golden.profile.value_dynamic, cfg.burst)
+        })
+        .collect();
+    let sites: Vec<u64> = injections
+        .iter()
+        .map(|inj| match inj.target {
+            InjectionTarget::DynamicIndex(k) => k,
+            InjectionTarget::StaticInstance { instance, .. } => instance,
+        })
+        .collect();
+
+    // Capture run: replay the golden execution once, freezing the
+    // machine at each planned fork point.
+    let points = plan_fork_points(&sites, snap.snapshots);
+    let bits = encode_inputs(module.entry_func(), inputs);
+    let (snaps, read_sets) = if points.is_empty() {
+        (Vec::new(), None)
+    } else {
+        let vm = Vm::new(module, limits);
+        // Convergence additionally needs each checkpoint's future read
+        // set, derived from the capture run's memory-access trace; a
+        // prefix-skip-only campaign uses the cheaper plain capture.
+        let (replay, snaps, read_sets) = if snap.converge_exit {
+            let (replay, snaps, rs) = vm.run_with_snapshots_read_sets(&bits, &points);
+            (replay, snaps, Some(rs))
+        } else {
+            let (replay, snaps) = vm.run_with_snapshots(&bits, &points);
+            (replay, snaps, None)
+        };
+        debug_assert!(replay.status.is_ok());
+        debug_assert_eq!(replay.output, golden.output);
+        debug_assert_eq!(
+            snaps.len(),
+            points.len(),
+            "every fork point precedes a sampled site, so all are reached"
+        );
+        (snaps, read_sets)
+    };
+    let snap_bytes: u64 = snaps.iter().map(|s| s.bytes()).sum();
+    for (i, s) in snaps.iter().enumerate() {
+        observer.on_event(&Event::SnapshotCaptured {
+            index: i as u32,
+            value_dynamic: s.value_dynamic(),
+            dynamic: s.dynamic(),
+            bytes: s.bytes(),
+        });
+    }
+
+    let faulty_limits = ExecLimits {
+        max_dynamic: golden
+            .profile
+            .dynamic
+            .saturating_mul(cfg.hang_factor)
+            .saturating_add(10_000),
+        ..limits
+    };
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let restores = AtomicU64::new(0);
+    let full_runs = AtomicU64::new(0);
+    let converged_exits = AtomicU64::new(0);
+    let prefix_saved = AtomicU64::new(0);
+
+    // Static live-register masks widen the convergence check: a benign
+    // fault parked in a dead register would otherwise keep the register
+    // file unequal forever and force the whole suffix to execute.
+    let masks =
+        (snap.converge_exit && !snaps.is_empty()).then(|| peppa_analysis::converge_masks(module));
+
+    let run_trial = |t: u32, scratch: &mut ResumeScratch| -> TrialReport {
+        let inj = injections[t as usize];
+        let site = sites[t as usize];
+        let vm = Vm::new(module, faulty_limits);
+        let t0 = Instant::now();
+        let outcome = match fork_point_for(&points, site) {
+            None => {
+                full_runs.fetch_add(1, Ordering::Relaxed);
+                classify(&golden, &vm.run(&bits, Some(inj)))
+            }
+            Some(i) => {
+                restores.fetch_add(1, Ordering::Relaxed);
+                prefix_saved.fetch_add(snaps[i].dynamic(), Ordering::Relaxed);
+                let later: &[peppa_vm::VmSnapshot] = if snap.converge_exit {
+                    &snaps[i + 1..]
+                } else {
+                    &[]
+                };
+                match vm.resume_trial_amortized(
+                    scratch,
+                    &snaps[i],
+                    Some(inj),
+                    later,
+                    masks.as_ref(),
+                    read_sets.as_ref(),
+                ) {
+                    TrialResume::Completed(faulty) => classify(&golden, &faulty),
+                    TrialResume::Converged {
+                        checkpoint_dynamic,
+                        dynamic_at_exit,
+                        output_matches,
+                        ..
+                    } => {
+                        converged_exits.fetch_add(1, Ordering::Relaxed);
+                        // The continuation from the matched checkpoint is
+                        // exactly the golden continuation. Project the
+                        // final dynamic count so the hang budget stays
+                        // bit-exact with the full execution (the VM hangs
+                        // when `dynamic > max_dynamic`).
+                        let projected = dynamic_at_exit
+                            .saturating_add(golden.profile.dynamic - checkpoint_dynamic);
+                        if projected > faulty_limits.max_dynamic {
+                            FaultOutcome::Hang
+                        } else if output_matches {
+                            FaultOutcome::Benign
+                        } else {
+                            FaultOutcome::Sdc
+                        }
+                    }
+                }
+            }
+        };
+        TrialReport {
+            trial: t,
+            outcome,
+            site,
+            bit: inj.bit,
+            latency_ns: t0.elapsed().as_nanos() as u64,
+            skipped_sid: None,
+        }
+    };
+
+    let nthreads = effective_threads(cfg.threads, cfg.trials as usize);
+    let mut outcomes = vec![FaultOutcome::Benign; cfg.trials as usize];
+    if nthreads <= 1 {
+        let mut scratch = ResumeScratch::new();
+        for (t, slot) in outcomes.iter_mut().enumerate() {
+            let report = run_trial(t as u32, &mut scratch);
+            report.emit(observer);
+            *slot = report.outcome;
+        }
+    } else {
+        let chunk = outcomes.len().div_ceil(nthreads);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TrialReport>(1024);
+        crossbeam::thread::scope(|s| {
+            for (ci, chunk_slice) in outcomes.chunks_mut(chunk).enumerate() {
+                let run_trial = &run_trial;
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    let mut scratch = ResumeScratch::new();
+                    for (off, slot) in chunk_slice.iter_mut().enumerate() {
+                        let report = run_trial((ci * chunk + off) as u32, &mut scratch);
+                        *slot = report.outcome;
+                        // The receiver outlives the scope; send only
+                        // fails if the collector was dropped, in which
+                        // case reporting is moot.
+                        let _ = tx.send(report);
+                    }
+                });
+            }
+            drop(tx);
+            // Drain on the scope's owning thread so the observer sees a
+            // single-threaded event stream.
+            for report in rx.iter() {
+                report.emit(observer);
+            }
+        })
+        .expect("snapshotted campaign worker panicked");
+    }
+
+    let mut sdc = 0;
+    let mut crash = 0;
+    let mut hang = 0;
+    let mut benign = 0;
+    for o in &outcomes {
+        match o {
+            FaultOutcome::Sdc => sdc += 1,
+            FaultOutcome::Crash => crash += 1,
+            FaultOutcome::Hang => hang += 1,
+            FaultOutcome::Benign => benign += 1,
+        }
+    }
+
+    let stats = SnapshotStats {
+        snapshots: snaps.len() as u32,
+        bytes: snap_bytes,
+        restores: restores.into_inner(),
+        full_runs: full_runs.into_inner(),
+        converged_exits: converged_exits.into_inner(),
+        prefix_instrs_saved: prefix_saved.into_inner(),
+    };
+    observer.on_event(&Event::SnapshotStats {
+        snapshots: stats.snapshots,
+        bytes: stats.bytes,
+        restores: stats.restores,
+        full_runs: stats.full_runs,
+        converged_exits: stats.converged_exits,
+        prefix_instrs_saved: stats.prefix_instrs_saved,
+    });
+    observer.on_event(&Event::CampaignFinished {
+        trials: cfg.trials,
+        sdc,
+        crash,
+        hang,
+        benign,
+        wall_ns: start.elapsed().as_nanos() as u64,
+    });
+    observer.flush();
+
+    Ok(SnapshottedCampaignResult {
+        campaign: CampaignResult {
+            trials: cfg.trials,
+            sdc,
+            crash,
+            hang,
+            benign,
+            sdc_ci: binomial_ci(sdc as u64, cfg.trials as u64, Z_95),
+            // Same accounting as the classic runner: each trial measures
+            // one (partial) program execution, plus the golden run.
+            executions: cfg.trials as u64 + 1,
+            golden_dynamic: golden.profile.dynamic,
+        },
+        stats,
+    })
+}
+
+/// Threshold policy for [`run_campaign_pruned_gated`]: pruning is only
+/// worth its sid-map bookkeeping when enough trials are predicted to
+/// skip.
+#[derive(Debug, Clone, Copy)]
+pub struct PruneGate {
+    /// Minimum predicted skip ratio for pruning to engage.
+    pub min_skip_ratio: f64,
+}
+
+impl Default for PruneGate {
+    fn default() -> Self {
+        PruneGate {
+            min_skip_ratio: 0.02,
+        }
+    }
+}
+
+/// What a gated pruned campaign decided, and why.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PruneDecision {
+    /// Whether pruning actually engaged.
+    pub applied: bool,
+    /// Masked `(sid, bit)` cells in the supplied table.
+    pub masked_cells: u64,
+    /// Predicted fraction of trials the table would skip (0 when the
+    /// table is empty and prediction was short-circuited).
+    pub predicted_skip_ratio: f64,
+    /// The gate's `min_skip_ratio`.
+    pub threshold: f64,
+}
+
+/// A [`PrunedCampaignResult`] plus the gate's decision record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GatedPrunedCampaignResult {
+    pub result: PrunedCampaignResult,
+    pub decision: PruneDecision,
+}
+
+impl StaticPrune {
+    /// Predicted fraction of uniformly sampled `(dynamic site, bit)`
+    /// faults this table skips, given the golden run's per-sid
+    /// execution counts: `Σ exec_counts[sid] · popcount(cells[sid]) /
+    /// (value_dynamic · 64)`. Exact for sound tables (masked cells only
+    /// cover value-producing instructions, whose execution count equals
+    /// their dynamic value instance count).
+    pub fn predicted_skip_ratio(&self, exec_counts: &[u64], value_dynamic: u64) -> f64 {
+        if value_dynamic == 0 {
+            return 0.0;
+        }
+        let masked: f64 = exec_counts
+            .iter()
+            .zip(&self.cells)
+            .map(|(&n, &c)| n as f64 * c.count_ones() as f64)
+            .sum();
+        masked / (value_dynamic as f64 * 64.0)
+    }
+}
+
+/// [`run_campaign_pruned`] behind a cost gate: pruning only engages
+/// when the table predicts at least `gate.min_skip_ratio` of trials
+/// skip. Below that, the sid-map instrumentation costs more than the
+/// handful of skipped executions saves (measured as
+/// `pruned_campaign_wall_s > campaign_wall_s` on near-empty tables), so
+/// the campaign runs the classic unpruned path and reports why.
+///
+/// Outcome counts are identical whichever way the gate decides — a
+/// disengaged gate only stops trials from being *skipped*, and skipped
+/// trials are Benign by proof.
+pub fn run_campaign_pruned_gated(
+    module: &Module,
+    inputs: &[f64],
+    limits: ExecLimits,
+    cfg: CampaignConfig,
+    prune: &StaticPrune,
+    gate: PruneGate,
+) -> Result<GatedPrunedCampaignResult, CampaignError> {
+    run_campaign_pruned_gated_observed(module, inputs, limits, cfg, prune, gate, &NullObserver)
+}
+
+/// [`run_campaign_pruned_gated`] with an [`Observer`] attached. The
+/// decision is announced as an `Event::Message` before the campaign
+/// starts.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_pruned_gated_observed(
+    module: &Module,
+    inputs: &[f64],
+    limits: ExecLimits,
+    cfg: CampaignConfig,
+    prune: &StaticPrune,
+    gate: PruneGate,
+    observer: &dyn Observer,
+) -> Result<GatedPrunedCampaignResult, CampaignError> {
+    if prune.burst != cfg.burst {
+        return Err(CampaignError::PruneBurstMismatch {
+            table: prune.burst,
+            campaign: cfg.burst,
+        });
+    }
+    let masked_cells = prune.masked_cells();
+    // Prediction needs the golden profile; an empty table needs nothing.
+    let predicted_skip_ratio = if masked_cells == 0 {
+        0.0
+    } else {
+        let golden = golden_run(module, inputs, limits)?;
+        prune.predicted_skip_ratio(&golden.profile.exec_counts, golden.profile.value_dynamic)
+    };
+    let applied = predicted_skip_ratio >= gate.min_skip_ratio;
+    let decision = PruneDecision {
+        applied,
+        masked_cells,
+        predicted_skip_ratio,
+        threshold: gate.min_skip_ratio,
+    };
+    observer.on_event(&Event::Message {
+        text: format!(
+            "prune gate: {} (masked cells {}, predicted skip {:.2}% {} threshold {:.2}%)",
+            if applied { "engaged" } else { "disengaged" },
+            masked_cells,
+            predicted_skip_ratio * 100.0,
+            if applied { ">=" } else { "<" },
+            gate.min_skip_ratio * 100.0
+        ),
+    });
+    let result = campaign_impl(
+        module,
+        inputs,
+        limits,
+        cfg,
+        observer,
+        applied.then_some(prune),
+    )?;
+    Ok(GatedPrunedCampaignResult { result, decision })
+}
+
 pub(crate) fn effective_threads(requested: usize, work_items: usize) -> usize {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -888,6 +1364,238 @@ mod tests {
                 b.campaign.benign
             )
         );
+    }
+
+    #[test]
+    fn snapshotted_campaign_bit_identical_to_full() {
+        let m = module();
+        let cfg = CampaignConfig {
+            trials: 150,
+            seed: 33,
+            hang_factor: 8,
+            threads: 1,
+            burst: 0,
+        };
+        let full = run_campaign(&m, &[16.0, 0.5], ExecLimits::default(), cfg).unwrap();
+        for k in [0, 1, 8, 64] {
+            for threads in [1, 4] {
+                for converge_exit in [false, true] {
+                    let r = run_campaign_snapshotted(
+                        &m,
+                        &[16.0, 0.5],
+                        ExecLimits::default(),
+                        CampaignConfig { threads, ..cfg },
+                        SnapshotConfig {
+                            snapshots: k,
+                            converge_exit,
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        (full.sdc, full.crash, full.hang, full.benign),
+                        (
+                            r.campaign.sdc,
+                            r.campaign.crash,
+                            r.campaign.hang,
+                            r.campaign.benign
+                        ),
+                        "k={k} threads={threads} converge_exit={converge_exit}"
+                    );
+                    assert_eq!(r.campaign.executions, full.executions);
+                    assert_eq!(r.campaign.golden_dynamic, full.golden_dynamic);
+                    assert_eq!(
+                        r.stats.restores + r.stats.full_runs,
+                        cfg.trials as u64,
+                        "every trial either restores or runs from entry"
+                    );
+                    if k == 0 {
+                        assert_eq!(r.stats.snapshots, 0);
+                        assert_eq!(r.stats.full_runs, cfg.trials as u64);
+                    } else {
+                        assert!(r.stats.snapshots >= 1 && r.stats.snapshots <= k);
+                        assert!(r.stats.bytes > 0);
+                        assert!(r.stats.restores > 0, "k={k}: some trial must restore");
+                        if k > 1 {
+                            // With one fork point at the earliest sampled
+                            // site the prefix can legitimately be empty
+                            // (site 0 ⇒ snapshot at dynamic 0); with more
+                            // points the later ones must save something.
+                            assert!(r.stats.prefix_instrs_saved > 0, "k={k}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshotted_campaign_emits_capture_and_stats_events() {
+        let m = module();
+        let cfg = CampaignConfig {
+            trials: 60,
+            seed: 8,
+            threads: 2,
+            ..Default::default()
+        };
+        let obs = Collecting(std::sync::Mutex::new(Vec::new()));
+        let r = run_campaign_snapshotted_observed(
+            &m,
+            &[16.0, 0.5],
+            ExecLimits::default(),
+            cfg,
+            SnapshotConfig::default(),
+            &obs,
+        )
+        .unwrap();
+        let events = obs.0.into_inner().unwrap();
+        let captures = events
+            .iter()
+            .filter(|e| e.kind() == "snapshot_captured")
+            .count();
+        assert_eq!(captures as u32, r.stats.snapshots);
+        // SnapshotStats is the penultimate event, right before
+        // CampaignFinished, and its counts match the result.
+        match &events[events.len() - 2] {
+            Event::SnapshotStats {
+                snapshots,
+                restores,
+                full_runs,
+                prefix_instrs_saved,
+                ..
+            } => {
+                assert_eq!(*snapshots, r.stats.snapshots);
+                assert_eq!(*restores, r.stats.restores);
+                assert_eq!(*full_runs, r.stats.full_runs);
+                assert_eq!(*prefix_instrs_saved, r.stats.prefix_instrs_saved);
+            }
+            other => panic!("expected SnapshotStats before CampaignFinished, got {other:?}"),
+        }
+        assert_eq!(events.last().unwrap().kind(), "campaign_finished");
+        let trial_events = events
+            .iter()
+            .filter(|e| e.kind() == "trial_finished")
+            .count();
+        assert_eq!(trial_events, cfg.trials as usize);
+    }
+
+    #[test]
+    fn predicted_skip_ratio_matches_table_extremes() {
+        let m = module();
+        let golden = golden_run(&m, &[16.0, 0.5], ExecLimits::default()).unwrap();
+        let empty = StaticPrune {
+            cells: vec![0; m.num_instrs],
+            burst: 0,
+        };
+        assert_eq!(
+            empty.predicted_skip_ratio(&golden.profile.exec_counts, golden.profile.value_dynamic),
+            0.0
+        );
+        let all = StaticPrune {
+            cells: vec![u64::MAX; m.num_instrs],
+            burst: 0,
+        };
+        // Every value-producing cell masked predicts ≥ 100% skip (the
+        // estimate also counts non-value instructions, so it can only
+        // overshoot, never undershoot).
+        assert!(
+            all.predicted_skip_ratio(&golden.profile.exec_counts, golden.profile.value_dynamic)
+                >= 1.0
+        );
+    }
+
+    #[test]
+    fn prune_gate_disengages_on_empty_table_and_engages_on_full() {
+        let m = module();
+        let cfg = CampaignConfig {
+            trials: 80,
+            seed: 19,
+            threads: 2,
+            ..Default::default()
+        };
+        let empty = StaticPrune {
+            cells: vec![0; m.num_instrs],
+            burst: 0,
+        };
+        let g = run_campaign_pruned_gated(
+            &m,
+            &[16.0, 0.5],
+            ExecLimits::default(),
+            cfg,
+            &empty,
+            PruneGate::default(),
+        )
+        .unwrap();
+        assert!(!g.decision.applied);
+        assert_eq!(g.decision.masked_cells, 0);
+        assert_eq!(g.decision.predicted_skip_ratio, 0.0);
+        assert_eq!(g.result.skipped, 0);
+        // Disengaged gate still measures the same campaign.
+        let full = run_campaign(&m, &[16.0, 0.5], ExecLimits::default(), cfg).unwrap();
+        assert_eq!(
+            (full.sdc, full.crash, full.hang, full.benign),
+            (
+                g.result.campaign.sdc,
+                g.result.campaign.crash,
+                g.result.campaign.hang,
+                g.result.campaign.benign
+            )
+        );
+
+        let all = StaticPrune {
+            cells: vec![u64::MAX; m.num_instrs],
+            burst: 0,
+        };
+        let g = run_campaign_pruned_gated(
+            &m,
+            &[16.0, 0.5],
+            ExecLimits::default(),
+            cfg,
+            &all,
+            PruneGate::default(),
+        )
+        .unwrap();
+        assert!(g.decision.applied);
+        assert!(g.decision.predicted_skip_ratio >= 1.0);
+        assert_eq!(g.result.skipped, cfg.trials as u64);
+
+        // An unreachable threshold disengages even a full table.
+        let g = run_campaign_pruned_gated(
+            &m,
+            &[16.0, 0.5],
+            ExecLimits::default(),
+            cfg,
+            &all,
+            PruneGate {
+                min_skip_ratio: 1e9,
+            },
+        )
+        .unwrap();
+        assert!(!g.decision.applied);
+        assert_eq!(g.result.skipped, 0);
+    }
+
+    #[test]
+    fn prune_gate_rejects_burst_mismatch() {
+        let m = module();
+        let table = StaticPrune {
+            cells: vec![0; m.num_instrs],
+            burst: 2,
+        };
+        let e = run_campaign_pruned_gated(
+            &m,
+            &[16.0, 0.5],
+            ExecLimits::default(),
+            CampaignConfig::default(),
+            &table,
+            PruneGate::default(),
+        );
+        assert!(matches!(
+            e,
+            Err(CampaignError::PruneBurstMismatch {
+                table: 2,
+                campaign: 0
+            })
+        ));
     }
 
     #[test]

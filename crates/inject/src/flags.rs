@@ -1,0 +1,141 @@
+//! The `peppa inject` flag-compatibility matrix.
+//!
+//! Three orthogonal-looking knobs select the campaign runner, and not
+//! every pair composes:
+//!
+//! | flags                              | runner                                      |
+//! |------------------------------------|---------------------------------------------|
+//! | (none)                             | [`crate::run_campaign`]                     |
+//! | `--static-prune`                   | [`crate::run_campaign_pruned_gated`]        |
+//! | `--trace-propagation`              | [`crate::run_campaign_traced`]              |
+//! | `--snapshots K`                    | [`crate::run_campaign_snapshotted`]         |
+//! | `--snapshots K --trace-propagation`| [`crate::run_campaign_snapshotted_traced`]  |
+//! | `--static-prune --trace-propagation`| rejected: a skipped trial has no execution to trace |
+//! | `--snapshots K --static-prune`     | rejected: pruning skips trials without executing them, so there is no suffix to resume — the prefix amortization has nothing to amortize on skipped trials and the two bookkeeping paths do not compose |
+//!
+//! The matrix lives here, behind [`validate_flags`], so the CLI and the
+//! bench harness dispatch identically and the rejections are unit-tested
+//! once instead of re-implemented per front end.
+
+/// Which campaign runner a flag combination selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectMode {
+    /// Classic statistical campaign.
+    Plain,
+    /// Statically-pruned campaign (gated on predicted savings).
+    Pruned,
+    /// Shadow-taint-traced campaign.
+    Traced,
+    /// Snapshot/fork campaign with `K` golden-prefix snapshots.
+    Snapshotted { snapshots: u32 },
+    /// Snapshot/fork campaign with per-trial taint tracing (the shadow
+    /// engine resumes mid-stream; convergence early-exit is disabled so
+    /// the taint observes the entire suffix).
+    SnapshottedTraced { snapshots: u32 },
+}
+
+/// A rejected flag combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagError {
+    /// `--static-prune --trace-propagation`.
+    PruneWithTrace,
+    /// `--snapshots --static-prune`.
+    SnapshotsWithPrune,
+}
+
+impl std::fmt::Display for FlagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlagError::PruneWithTrace => write!(
+                f,
+                "--static-prune and --trace-propagation are mutually \
+                 exclusive (a skipped trial has no execution to trace)"
+            ),
+            FlagError::SnapshotsWithPrune => write!(
+                f,
+                "--snapshots and --static-prune are mutually exclusive \
+                 (pruning skips trials without executing them, so there \
+                 is no suffix for a snapshot to amortize; run them as \
+                 separate campaigns)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FlagError {}
+
+/// Maps the `peppa inject` flag triple to the runner it selects, or the
+/// reason the combination is rejected. `snapshots` is `Some(k)` when
+/// `--snapshots k` was given (including `k == 0`, which degenerates to
+/// the classic runner inside the snapshotted engine).
+pub fn validate_flags(
+    snapshots: Option<u32>,
+    static_prune: bool,
+    trace_propagation: bool,
+) -> Result<InjectMode, FlagError> {
+    match (snapshots, static_prune, trace_propagation) {
+        (Some(_), true, _) => Err(FlagError::SnapshotsWithPrune),
+        (None, true, true) => Err(FlagError::PruneWithTrace),
+        (Some(k), false, true) => Ok(InjectMode::SnapshottedTraced { snapshots: k }),
+        (Some(k), false, false) => Ok(InjectMode::Snapshotted { snapshots: k }),
+        (None, true, false) => Ok(InjectMode::Pruned),
+        (None, false, true) => Ok(InjectMode::Traced),
+        (None, false, false) => Ok(InjectMode::Plain),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matrix() {
+        assert_eq!(validate_flags(None, false, false), Ok(InjectMode::Plain));
+        assert_eq!(validate_flags(None, true, false), Ok(InjectMode::Pruned));
+        assert_eq!(validate_flags(None, false, true), Ok(InjectMode::Traced));
+        assert_eq!(
+            validate_flags(Some(16), false, false),
+            Ok(InjectMode::Snapshotted { snapshots: 16 })
+        );
+        assert_eq!(
+            validate_flags(Some(8), false, true),
+            Ok(InjectMode::SnapshottedTraced { snapshots: 8 })
+        );
+        assert_eq!(
+            validate_flags(None, true, true),
+            Err(FlagError::PruneWithTrace)
+        );
+        assert_eq!(
+            validate_flags(Some(4), true, false),
+            Err(FlagError::SnapshotsWithPrune)
+        );
+        // Snapshots+prune rejection wins even when trace is also on:
+        // the user must drop --static-prune first.
+        assert_eq!(
+            validate_flags(Some(4), true, true),
+            Err(FlagError::SnapshotsWithPrune)
+        );
+    }
+
+    #[test]
+    fn zero_snapshots_is_still_the_snapshotted_mode() {
+        assert_eq!(
+            validate_flags(Some(0), false, false),
+            Ok(InjectMode::Snapshotted { snapshots: 0 })
+        );
+    }
+
+    #[test]
+    fn rejections_render_actionable_messages() {
+        let e = FlagError::SnapshotsWithPrune.to_string();
+        assert!(
+            e.contains("--snapshots") && e.contains("--static-prune"),
+            "{e}"
+        );
+        let e = FlagError::PruneWithTrace.to_string();
+        assert!(
+            e.contains("--static-prune") && e.contains("--trace-propagation"),
+            "{e}"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Fork-point planning for snapshotted campaigns.
+//!
+//! A snapshotted campaign knows every trial's fault site before any
+//! faulty execution starts (per-trial RNG streams depend only on
+//! `(seed, trial)`), so it can place its golden-prefix snapshots where
+//! the *sampled* sites actually land rather than uniformly over the
+//! run. [`plan_fork_points`] picks stratified sample quantiles: with
+//! `k` points over `n` sorted sites, point `j` sits at the
+//! `j·n/k`-th site, so each snapshot serves roughly `n/k` trials and
+//! the first snapshot sits exactly at the earliest sampled site —
+//! trials never replay more golden prefix than the stratification
+//! resolution forces.
+//!
+//! A fork point is a *value-dynamic* coordinate: a snapshot captured at
+//! value-dynamic `p` froze the machine just before the `p`-th
+//! value-producing instruction (0-based), so it is a valid start for
+//! any injection site `s >= p`. [`fork_point_for`] picks the latest
+//! such point for a trial.
+
+/// Plans up to `k` stratified fork points over the sampled fault sites.
+///
+/// Returns a sorted, deduplicated list of value-dynamic coordinates
+/// (possibly fewer than `k` when sites repeat or `k > n`). Empty when
+/// `k == 0` or there are no sites — the campaign then runs every trial
+/// from program entry, exactly like the classic runner.
+pub fn plan_fork_points(sites: &[u64], k: u32) -> Vec<u64> {
+    if k == 0 || sites.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = sites.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let k = (k as usize).min(n);
+    let mut points: Vec<u64> = (0..k).map(|j| sorted[j * n / k]).collect();
+    points.dedup();
+    points
+}
+
+/// Index of the latest fork point usable for a fault at dynamic value
+/// index `site` (the latest `points[i] <= site`), or `None` when the
+/// site precedes every point and the trial must run from entry.
+///
+/// `points` must be sorted ascending ([`plan_fork_points`] output is).
+pub fn fork_point_for(points: &[u64], site: u64) -> Option<usize> {
+    points.partition_point(|&p| p <= site).checked_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs_plan_nothing() {
+        assert!(plan_fork_points(&[], 8).is_empty());
+        assert!(plan_fork_points(&[5, 9], 0).is_empty());
+    }
+
+    #[test]
+    fn first_point_is_the_earliest_site() {
+        let sites = [40, 7, 99, 12, 63];
+        for k in 1..=8 {
+            let points = plan_fork_points(&sites, k);
+            assert_eq!(points[0], 7, "k={k}: {points:?}");
+        }
+    }
+
+    #[test]
+    fn points_are_sorted_distinct_and_bounded_by_k() {
+        let sites: Vec<u64> = (0..100).map(|i| (i * 37) % 1000).collect();
+        for k in [1, 3, 8, 64, 200] {
+            let points = plan_fork_points(&sites, k);
+            assert!(points.len() <= k as usize);
+            assert!(points.windows(2).all(|w| w[0] < w[1]), "k={k}: {points:?}");
+            // Every point is an actual site: snapshots are only taken
+            // where a sampled trial can use them.
+            for p in &points {
+                assert!(sites.contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_sites_dedup() {
+        let points = plan_fork_points(&[5, 5, 5, 5], 4);
+        assert_eq!(points, vec![5]);
+    }
+
+    #[test]
+    fn fork_point_lookup_picks_latest_preceding() {
+        let points = [10, 50, 90];
+        assert_eq!(fork_point_for(&points, 5), None);
+        assert_eq!(fork_point_for(&points, 10), Some(0));
+        assert_eq!(fork_point_for(&points, 49), Some(0));
+        assert_eq!(fork_point_for(&points, 50), Some(1));
+        assert_eq!(fork_point_for(&points, 1000), Some(2));
+        assert_eq!(fork_point_for(&[], 7), None);
+    }
+
+    #[test]
+    fn every_site_has_a_fork_point_when_planned_from_it() {
+        let sites: Vec<u64> = (0..257).map(|i| (i * 101) % 5000).collect();
+        let points = plan_fork_points(&sites, 16);
+        for &s in &sites {
+            let i = fork_point_for(&points, s).expect("first point covers the smallest site");
+            assert!(points[i] <= s);
+        }
+    }
+}

@@ -19,18 +19,26 @@
 //! reproducible at any parallelism level.
 
 pub mod campaign;
+pub mod flags;
+pub mod forkpoint;
 pub mod outcome;
 pub mod per_instr;
 pub mod propagation;
 pub mod provenance;
 
 pub use campaign::{
-    run_campaign, run_campaign_observed, run_campaign_pruned, run_campaign_pruned_observed,
-    CampaignConfig, CampaignResult, PrunedCampaignResult, StaticPrune,
+    run_campaign, run_campaign_observed, run_campaign_pruned, run_campaign_pruned_gated,
+    run_campaign_pruned_gated_observed, run_campaign_pruned_observed, run_campaign_snapshotted,
+    run_campaign_snapshotted_observed, CampaignConfig, CampaignResult, GatedPrunedCampaignResult,
+    PruneDecision, PruneGate, PrunedCampaignResult, SnapshotConfig, SnapshotStats,
+    SnapshottedCampaignResult, StaticPrune,
 };
+pub use flags::{validate_flags, FlagError, InjectMode};
+pub use forkpoint::{fork_point_for, plan_fork_points};
 pub use outcome::{classify, FaultOutcome};
 pub use per_instr::{per_instruction_sdc, PerInstrConfig, PerInstrResult};
 pub use propagation::{generate_corpus, trace_propagation, CorpusEntry, PropagationTrace};
 pub use provenance::{
-    run_campaign_traced, run_campaign_traced_observed, TracedCampaignResult, TracedTrial,
+    run_campaign_snapshotted_traced, run_campaign_snapshotted_traced_observed, run_campaign_traced,
+    run_campaign_traced_observed, TracedCampaignResult, TracedTrial,
 };

@@ -17,8 +17,9 @@
 
 use crate::campaign::{
     effective_threads, golden_run, sample_fault_burst, CampaignConfig, CampaignError,
-    CampaignResult,
+    CampaignResult, SnapshotConfig, SnapshotStats,
 };
+use crate::forkpoint::{fork_point_for, plan_fork_points};
 use crate::outcome::{classify, FaultOutcome};
 use peppa_ir::{Instr, Module};
 use peppa_obs::{Event, NullObserver, Observer, Span};
@@ -307,6 +308,273 @@ pub fn run_campaign_traced_observed(
     })
 }
 
+/// A [`TracedCampaignResult`] plus the snapshot engine's accounting.
+#[derive(Debug, Clone)]
+pub struct SnapshottedTracedCampaignResult {
+    pub traced: TracedCampaignResult,
+    pub stats: SnapshotStats,
+}
+
+/// [`run_campaign_traced`] with the golden prefix amortized across
+/// trials — the `--snapshots K --trace-propagation` runner.
+///
+/// Faults are pre-sampled from the same per-trial streams, fork points
+/// are planned exactly as in
+/// [`crate::run_campaign_snapshotted`], and each resumed trial runs
+/// under a [`TaintHook`] rebuilt for the snapshot's frame stack
+/// ([`TaintHook::resumed`]). The skipped prefix carries no taint (the
+/// fault has not been injected yet), so per-trial provenance records are
+/// bit-identical to the full traced runner's. Convergence early-exit is
+/// deliberately disabled: the shadow engine must observe the entire
+/// suffix to report extinction and sink arrivals.
+pub fn run_campaign_snapshotted_traced(
+    module: &Module,
+    inputs: &[f64],
+    limits: ExecLimits,
+    cfg: CampaignConfig,
+    snap: SnapshotConfig,
+) -> Result<SnapshottedTracedCampaignResult, CampaignError> {
+    run_campaign_snapshotted_traced_observed(module, inputs, limits, cfg, snap, &NullObserver)
+}
+
+/// [`run_campaign_snapshotted_traced`] with an [`Observer`] attached.
+/// Event stream: as [`run_campaign_traced_observed`], plus one
+/// `SnapshotCaptured` per fork point after `GoldenRun` and a
+/// `SnapshotStats` immediately before the terminal `CampaignFinished`.
+pub fn run_campaign_snapshotted_traced_observed(
+    module: &Module,
+    inputs: &[f64],
+    limits: ExecLimits,
+    cfg: CampaignConfig,
+    snap: SnapshotConfig,
+    observer: &dyn Observer,
+) -> Result<SnapshottedTracedCampaignResult, CampaignError> {
+    let start = Instant::now();
+    observer.on_event(&Event::CampaignStarted {
+        benchmark: module.name.clone(),
+        trials: cfg.trials,
+        seed: cfg.seed,
+        threads: cfg.threads,
+    });
+
+    let golden = {
+        let _span = Span::enter(observer, "golden");
+        golden_run(module, inputs, limits)?
+    };
+    if golden.profile.value_dynamic == 0 {
+        return Err(CampaignError::NoFaultSites);
+    }
+    // Replay the golden run under the sid-map hook; the hook does not
+    // perturb execution.
+    let bits = encode_inputs(module.entry_func(), inputs);
+    let sid_map = {
+        let vm = Vm::new(module, limits);
+        let mut hook = SidMapHook { sids: Vec::new() };
+        vm.run_with_hook(&bits, None, &mut hook);
+        hook.sids
+    };
+    debug_assert_eq!(sid_map.len() as u64, golden.profile.value_dynamic);
+    observer.on_event(&Event::GoldenRun {
+        benchmark: module.name.clone(),
+        dynamic: golden.profile.dynamic,
+        value_dynamic: golden.profile.value_dynamic,
+        coverage: golden.profile.coverage(),
+    });
+
+    // Pre-sample, plan, capture — same planning as the untraced
+    // snapshotted runner, so both amortize identically.
+    let injections: Vec<peppa_vm::Injection> = (0..cfg.trials)
+        .map(|t| {
+            let mut rng = Pcg64::new(cfg.seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15));
+            sample_fault_burst(&mut rng, golden.profile.value_dynamic, cfg.burst)
+        })
+        .collect();
+    let sites: Vec<u64> = injections
+        .iter()
+        .map(|inj| match inj.target {
+            InjectionTarget::DynamicIndex(k) => k,
+            InjectionTarget::StaticInstance { instance, .. } => instance,
+        })
+        .collect();
+    let points = plan_fork_points(&sites, snap.snapshots);
+    let snaps = if points.is_empty() {
+        Vec::new()
+    } else {
+        let _span = Span::enter(observer, "capture");
+        let vm = Vm::new(module, limits);
+        let (replay, snaps) = vm.run_with_snapshots(&bits, &points);
+        debug_assert!(replay.status.is_ok());
+        debug_assert_eq!(snaps.len(), points.len());
+        snaps
+    };
+    let snap_bytes: u64 = snaps.iter().map(|s| s.bytes()).sum();
+    for (i, s) in snaps.iter().enumerate() {
+        observer.on_event(&Event::SnapshotCaptured {
+            index: i as u32,
+            value_dynamic: s.value_dynamic(),
+            dynamic: s.dynamic(),
+            bytes: s.bytes(),
+        });
+    }
+
+    let faulty_limits = ExecLimits {
+        max_dynamic: golden
+            .profile
+            .dynamic
+            .saturating_mul(cfg.hang_factor)
+            .saturating_add(10_000),
+        ..limits
+    };
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let restores = AtomicU64::new(0);
+    let full_runs = AtomicU64::new(0);
+    let prefix_saved = AtomicU64::new(0);
+
+    let run_trial = |t: u32| -> TracedReport {
+        let inj = injections[t as usize];
+        let site = sites[t as usize];
+        let vm = Vm::new(module, faulty_limits);
+        let t0 = Instant::now();
+        let (faulty, report) = match fork_point_for(&points, site) {
+            None => {
+                full_runs.fetch_add(1, Ordering::Relaxed);
+                let mut hook = TaintHook::new(module);
+                let faulty = vm.run_with_hook(&bits, Some(inj), &mut hook);
+                (faulty, hook.finish())
+            }
+            Some(i) => {
+                restores.fetch_add(1, Ordering::Relaxed);
+                prefix_saved.fetch_add(snaps[i].dynamic(), Ordering::Relaxed);
+                let mut hook = TaintHook::resumed(module, &snaps[i]);
+                let faulty = vm.resume_from_with_hook(&snaps[i], Some(inj), &mut hook);
+                (faulty, hook.finish())
+            }
+        };
+        TracedReport {
+            trial: t,
+            outcome: classify(&golden, &faulty),
+            site,
+            bit: inj.bit,
+            sid: sid_map[site as usize],
+            latency_ns: t0.elapsed().as_nanos() as u64,
+            report,
+        }
+    };
+
+    let nthreads = effective_threads(cfg.threads, cfg.trials as usize);
+    let mut reports: Vec<Option<TracedReport>> = Vec::with_capacity(cfg.trials as usize);
+    {
+        let _span = Span::enter(observer, "trials");
+        if nthreads <= 1 {
+            for t in 0..cfg.trials {
+                let r = run_trial(t);
+                r.emit(observer);
+                reports.push(Some(r));
+            }
+        } else {
+            reports.resize_with(cfg.trials as usize, || None);
+            let chunk = reports.len().div_ceil(nthreads);
+            let (tx, rx) = std::sync::mpsc::sync_channel::<TracedReport>(1024);
+            crossbeam::thread::scope(|s| {
+                for (ci, _) in (0..cfg.trials as usize).step_by(chunk).enumerate() {
+                    let run_trial = &run_trial;
+                    let tx = tx.clone();
+                    let lo = ci * chunk;
+                    let hi = (lo + chunk).min(cfg.trials as usize);
+                    s.spawn(move |_| {
+                        for t in lo..hi {
+                            // The receiver outlives the scope; send only
+                            // fails if the collector was dropped, in
+                            // which case reporting is moot.
+                            let _ = tx.send(run_trial(t as u32));
+                        }
+                    });
+                }
+                drop(tx);
+                // Drain on the scope's owning thread so the observer
+                // sees a single-threaded event stream.
+                for r in rx.iter() {
+                    r.emit(observer);
+                    let slot = r.trial as usize;
+                    reports[slot] = Some(r);
+                }
+            })
+            .expect("snapshotted traced campaign worker panicked");
+        }
+    }
+    let trials: Vec<TracedTrial> = reports
+        .into_iter()
+        .map(|r| {
+            let r = r.expect("every trial reported");
+            TracedTrial {
+                trial: r.trial,
+                outcome: r.outcome,
+                site: r.site,
+                bit: r.bit,
+                sid: r.sid,
+                report: r.report,
+            }
+        })
+        .collect();
+
+    let mut sdc = 0;
+    let mut crash = 0;
+    let mut hang = 0;
+    let mut benign = 0;
+    for t in &trials {
+        match t.outcome {
+            FaultOutcome::Sdc => sdc += 1,
+            FaultOutcome::Crash => crash += 1,
+            FaultOutcome::Hang => hang += 1,
+            FaultOutcome::Benign => benign += 1,
+        }
+    }
+
+    let stats = SnapshotStats {
+        snapshots: snaps.len() as u32,
+        bytes: snap_bytes,
+        restores: restores.into_inner(),
+        full_runs: full_runs.into_inner(),
+        converged_exits: 0,
+        prefix_instrs_saved: prefix_saved.into_inner(),
+    };
+    observer.on_event(&Event::SnapshotStats {
+        snapshots: stats.snapshots,
+        bytes: stats.bytes,
+        restores: stats.restores,
+        full_runs: stats.full_runs,
+        converged_exits: stats.converged_exits,
+        prefix_instrs_saved: stats.prefix_instrs_saved,
+    });
+    observer.on_event(&Event::CampaignFinished {
+        trials: cfg.trials,
+        sdc,
+        crash,
+        hang,
+        benign,
+        wall_ns: start.elapsed().as_nanos() as u64,
+    });
+    observer.flush();
+
+    Ok(SnapshottedTracedCampaignResult {
+        traced: TracedCampaignResult {
+            campaign: CampaignResult {
+                trials: cfg.trials,
+                sdc,
+                crash,
+                hang,
+                benign,
+                sdc_ci: binomial_ci(sdc as u64, cfg.trials as u64, Z_95),
+                executions: cfg.trials as u64 + 1,
+                golden_dynamic: golden.profile.dynamic,
+            },
+            trials,
+        },
+        stats,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,6 +687,66 @@ mod tests {
         }
         assert_eq!(a.propagated(), b.propagated());
         assert_eq!(a.extinguished(), b.extinguished());
+    }
+
+    #[test]
+    fn snapshotted_traced_records_identical_to_full_traced() {
+        let m = module();
+        let inputs = [16.0, 0.5];
+        let full =
+            run_campaign_traced(&m, &inputs, ExecLimits::default(), cfg(120, 29, 2)).unwrap();
+        for k in [0, 1, 8] {
+            for threads in [1, 4] {
+                let snap = run_campaign_snapshotted_traced(
+                    &m,
+                    &inputs,
+                    ExecLimits::default(),
+                    cfg(120, 29, threads),
+                    SnapshotConfig {
+                        snapshots: k,
+                        converge_exit: true,
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    (
+                        full.campaign.sdc,
+                        full.campaign.crash,
+                        full.campaign.hang,
+                        full.campaign.benign
+                    ),
+                    (
+                        snap.traced.campaign.sdc,
+                        snap.traced.campaign.crash,
+                        snap.traced.campaign.hang,
+                        snap.traced.campaign.benign
+                    ),
+                    "k={k} threads={threads}"
+                );
+                assert_eq!(
+                    snap.stats.restores + snap.stats.full_runs,
+                    120,
+                    "k={k}: every trial is either resumed or full"
+                );
+                assert_eq!(snap.stats.converged_exits, 0, "tracing never converges-out");
+                if k > 0 {
+                    assert!(snap.stats.restores > 0, "k={k}");
+                }
+                for (x, y) in full.trials.iter().zip(&snap.traced.trials) {
+                    assert_eq!(x.trial, y.trial);
+                    assert_eq!(x.outcome, y.outcome, "trial {}", x.trial);
+                    assert_eq!((x.site, x.bit, x.sid), (y.site, y.bit, y.sid));
+                    assert_eq!(x.report.seeded, y.report.seeded);
+                    assert_eq!(x.report.seed_mask, y.report.seed_mask);
+                    assert_eq!(x.report.seed_dynamic, y.report.seed_dynamic);
+                    assert_eq!(x.report.tainted_defs, y.report.tainted_defs);
+                    assert_eq!(x.report.sid_hits, y.report.sid_hits, "trial {}", x.trial);
+                    assert_eq!(x.report.first_sink, y.report.first_sink);
+                    assert_eq!(x.report.extinction_dynamic, y.report.extinction_dynamic);
+                    assert_eq!(x.report.live_at_end, y.report.live_at_end);
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Differential test for the snapshot/fork campaign engine: on every
+//! benchmark, for every snapshot count and thread count, the
+//! snapshotted runner must produce outcome counts **bit-identical** to
+//! the classic [`run_campaign`] under the same `CampaignConfig` — the
+//! engine is a pure wall-clock optimization, never a measurement
+//! change. The taint-traced composition (`--snapshots
+//! --trace-propagation`) is held to the same bar, down to the
+//! per-trial provenance records.
+//!
+//! CI runs this file by name and fails if it is filtered out — see
+//! `.github/workflows/ci.yml`.
+
+use peppa_apps::all_benchmarks;
+use peppa_inject::{
+    run_campaign, run_campaign_snapshotted, run_campaign_snapshotted_traced, run_campaign_traced,
+    CampaignConfig, CampaignResult, SnapshotConfig,
+};
+use peppa_vm::ExecLimits;
+
+const TRIALS: u32 = 16;
+const SEED: u64 = 0xd1ff;
+
+fn cfg(threads: usize) -> CampaignConfig {
+    CampaignConfig {
+        trials: TRIALS,
+        seed: SEED,
+        hang_factor: 8,
+        threads,
+        burst: 0,
+    }
+}
+
+fn counts(r: &CampaignResult) -> (u32, u32, u32, u32) {
+    (r.sdc, r.crash, r.hang, r.benign)
+}
+
+#[test]
+fn snapshotted_outcomes_bit_identical_on_all_benchmarks() {
+    let limits = ExecLimits::default();
+    for bench in all_benchmarks() {
+        // One cached full-campaign reference per benchmark; every
+        // snapshotted variant must match it exactly.
+        let full = run_campaign(&bench.module, &bench.reference_input, limits, cfg(2))
+            .unwrap_or_else(|e| panic!("{}: full campaign failed: {e}", bench.name));
+        for k in [0u32, 1, 8, 64] {
+            for threads in [1usize, 4] {
+                let snap = run_campaign_snapshotted(
+                    &bench.module,
+                    &bench.reference_input,
+                    limits,
+                    cfg(threads),
+                    SnapshotConfig {
+                        snapshots: k,
+                        converge_exit: true,
+                    },
+                )
+                .unwrap_or_else(|e| {
+                    panic!("{}: snapshotted campaign (k={k}) failed: {e}", bench.name)
+                });
+                assert_eq!(
+                    counts(&full),
+                    counts(&snap.campaign),
+                    "{}: k={k} threads={threads} diverged from the full campaign",
+                    bench.name
+                );
+                assert_eq!(
+                    snap.stats.restores + snap.stats.full_runs,
+                    TRIALS as u64,
+                    "{}: k={k} trials unaccounted",
+                    bench.name
+                );
+                if k == 0 {
+                    assert_eq!(snap.stats.snapshots, 0, "{}", bench.name);
+                } else {
+                    assert!(
+                        snap.stats.snapshots >= 1 && snap.stats.snapshots <= k,
+                        "{}: k={k} captured {}",
+                        bench.name,
+                        snap.stats.snapshots
+                    );
+                    assert!(snap.stats.restores > 0, "{}: k={k}", bench.name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshotted_traced_composition_bit_identical_on_all_benchmarks() {
+    let limits = ExecLimits::default();
+    for bench in all_benchmarks() {
+        let traced = run_campaign_traced(&bench.module, &bench.reference_input, limits, cfg(2))
+            .unwrap_or_else(|e| panic!("{}: traced campaign failed: {e}", bench.name));
+        let snap = run_campaign_snapshotted_traced(
+            &bench.module,
+            &bench.reference_input,
+            limits,
+            cfg(4),
+            SnapshotConfig {
+                snapshots: 8,
+                converge_exit: true,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: snapshotted traced campaign failed: {e}", bench.name));
+        assert_eq!(
+            counts(&traced.campaign),
+            counts(&snap.traced.campaign),
+            "{}: snapshotted traced counts diverged",
+            bench.name
+        );
+        assert_eq!(
+            snap.stats.converged_exits, 0,
+            "{}: tracing must observe the whole suffix",
+            bench.name
+        );
+        for (x, y) in traced.trials.iter().zip(&snap.traced.trials) {
+            assert_eq!(x.outcome, y.outcome, "{} trial {}", bench.name, x.trial);
+            assert_eq!(
+                (x.site, x.bit, x.sid),
+                (y.site, y.bit, y.sid),
+                "{} trial {}",
+                bench.name,
+                x.trial
+            );
+            assert_eq!(x.report.seeded, y.report.seeded);
+            assert_eq!(x.report.seed_mask, y.report.seed_mask);
+            assert_eq!(x.report.seed_dynamic, y.report.seed_dynamic);
+            assert_eq!(
+                x.report.tainted_defs, y.report.tainted_defs,
+                "{} trial {}",
+                bench.name, x.trial
+            );
+            assert_eq!(
+                x.report.sid_hits, y.report.sid_hits,
+                "{} trial {}",
+                bench.name, x.trial
+            );
+            assert_eq!(x.report.first_sink, y.report.first_sink);
+            assert_eq!(x.report.extinction_dynamic, y.report.extinction_dynamic);
+            assert_eq!(x.report.live_at_end, y.report.live_at_end);
+        }
+    }
+}

@@ -152,6 +152,36 @@ pub enum Event {
         /// sid — the rows a propagation heatmap aggregates.
         sid_hits: Vec<(u32, u64)>,
     },
+    /// A snapshotted campaign captured one golden-prefix snapshot at a
+    /// stratified fork point.
+    SnapshotCaptured {
+        /// Fork-point index within the campaign's plan.
+        index: u32,
+        /// Value-dynamic coordinate of the capture point (the snapshot
+        /// serves every fault site at or after it).
+        value_dynamic: u64,
+        /// Dynamic instructions of the prefix the snapshot skips.
+        dynamic: u64,
+        /// Approximate heap bytes held by the snapshot.
+        bytes: u64,
+    },
+    /// End-of-campaign accounting for a `--snapshots K` run, emitted
+    /// just before its `CampaignFinished`.
+    SnapshotStats {
+        /// Snapshots captured along the golden run.
+        snapshots: u32,
+        /// Total heap bytes across all captured snapshots.
+        bytes: u64,
+        /// Trials started from a snapshot instead of program entry.
+        restores: u64,
+        /// Trials that ran from program entry (no usable fork point).
+        full_runs: u64,
+        /// Trials ended early when their machine state converged with a
+        /// golden checkpoint.
+        converged_exits: u64,
+        /// Golden-prefix dynamic instructions trials did not re-execute.
+        prefix_instrs_saved: u64,
+    },
     /// A named phase began (nested spans: begin/end pairs are properly
     /// bracketed per thread). `ts_ns` is a process-monotonic timestamp
     /// from [`crate::span::monotonic_ns`].
@@ -177,6 +207,8 @@ impl Event {
             Event::AnalysisStarted { .. } => "analysis_started",
             Event::AnalysisFinished { .. } => "analysis_finished",
             Event::TrialProvenance { .. } => "trial_provenance",
+            Event::SnapshotCaptured { .. } => "snapshot_captured",
+            Event::SnapshotStats { .. } => "snapshot_stats",
             Event::SpanBegin { .. } => "span_begin",
             Event::SpanEnd { .. } => "span_end",
             Event::Message { .. } => "message",

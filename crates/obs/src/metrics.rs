@@ -303,6 +303,24 @@ impl Observer for MetricsRegistry {
                 }
                 self.histogram("provenance.hops").record(*hops);
             }
+            Event::SnapshotCaptured { bytes, .. } => {
+                self.counter("snapshot.captured").inc();
+                self.counter("snapshot.bytes").add(*bytes);
+            }
+            Event::SnapshotStats {
+                restores,
+                full_runs,
+                converged_exits,
+                prefix_instrs_saved,
+                ..
+            } => {
+                self.counter("snapshot.restores").add(*restores);
+                self.counter("snapshot.full_runs").add(*full_runs);
+                self.counter("snapshot.converged_exits")
+                    .add(*converged_exits);
+                self.counter("snapshot.prefix_instrs_saved")
+                    .add(*prefix_instrs_saved);
+            }
             Event::SpanBegin { .. } => {
                 self.counter("span.begins").inc();
             }

@@ -211,9 +211,27 @@ impl Observer for ProgressReporter {
                 Self::erase_line(&mut st);
                 eprintln!("[obs] {text}");
             }
-            // Per-trial provenance records and span brackets are for the
-            // journal/trace exporters, not the interactive line.
-            Event::TrialProvenance { .. } | Event::SpanBegin { .. } | Event::SpanEnd { .. } => {}
+            Event::SnapshotStats {
+                snapshots,
+                bytes,
+                restores,
+                full_runs,
+                converged_exits,
+                prefix_instrs_saved,
+            } => {
+                Self::erase_line(&mut st);
+                eprintln!(
+                    "[obs] snapshots: {snapshots} captured ({:.1} MiB), {restores} restores, {full_runs} full runs, {converged_exits} converged exits, {prefix_instrs_saved} prefix instrs saved",
+                    *bytes as f64 / (1024.0 * 1024.0)
+                );
+            }
+            // Per-trial provenance records, per-snapshot captures, and
+            // span brackets are for the journal/trace exporters, not the
+            // interactive line.
+            Event::TrialProvenance { .. }
+            | Event::SnapshotCaptured { .. }
+            | Event::SpanBegin { .. }
+            | Event::SpanEnd { .. } => {}
         }
     }
 

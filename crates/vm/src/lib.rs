@@ -20,10 +20,14 @@ pub mod exec;
 pub mod hooks;
 pub mod inputs;
 pub mod profile;
+pub mod snapshot;
 pub mod taint;
 
-pub use exec::{ExecLimits, Injection, InjectionTarget, RunOutput, RunStatus, Trap, Vm};
+pub use exec::{
+    ExecLimits, Injection, InjectionTarget, ResumeScratch, RunOutput, RunStatus, Trap, Vm,
+};
 pub use hooks::{ExecHook, NoHook, OpcodeProfile};
 pub use inputs::encode_inputs;
 pub use profile::Profile;
+pub use snapshot::{ConvergeMasks, ReadSets, TrialResume, VmSnapshot};
 pub use taint::{SinkHit, SinkKind, TaintHook, TaintReport};

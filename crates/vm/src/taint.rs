@@ -363,6 +363,28 @@ impl<'m> TaintHook<'m> {
         }
     }
 
+    /// A shadow engine aligned with a run resumed from `snap` (see
+    /// [`crate::Vm::resume_from_with_hook`]): the dynamic-instruction
+    /// mirror continues from the snapshot's counter and the shadow frame
+    /// stack matches the snapshot's live frames, all with zero taint.
+    /// Because every location's taint is zero until the fault seeds it —
+    /// and a resumed trial's injection always lies at or after the
+    /// snapshot — the resulting [`TaintReport`] is identical to what a
+    /// full-prefix traced run would produce.
+    pub fn resumed(module: &'m Module, snap: &crate::VmSnapshot) -> TaintHook<'m> {
+        let mut hook = TaintHook::new(module);
+        hook.dyn_index = snap.dynamic();
+        hook.frames = snap
+            .frame_fids()
+            .iter()
+            .map(|&fid| Frame {
+                fid,
+                regs: vec![0; module.func(fid).value_types.len()],
+            })
+            .collect();
+        hook
+    }
+
     /// Records the taint mask of every value definition, retrievable via
     /// [`def_trace`](TaintHook::def_trace). Entry `k` aligns with the
     /// `k`-th value-producing dynamic instruction (the same indexing

@@ -8,14 +8,24 @@
 //! peppa run      prog.mc --input 8,2.5 [--profile] golden run + profile
 //! peppa inject   prog.mc --input 8,2.5 [--trials 1000] [--seed 1]
 //!                [--threads N] [--static-prune] [--trace-propagation]
+//!                [--snapshots K]
 //!                [--trace-out t.jsonl] [--metrics-out m.json] [--quiet]
 //!                with --static-prune, trials whose sampled fault cell
 //!                the interprocedural reachability analysis proves
-//!                masked are counted Benign without executing them;
+//!                masked are counted Benign without executing them
+//!                (gated: pruning disengages when the table predicts
+//!                too few skips to pay for its bookkeeping);
 //!                with --trace-propagation, every trial runs under the
 //!                shadow-taint engine and the campaign reports how far
 //!                each fault travelled (sink reached vs extinguished)
-//!                plus a per-instruction propagation heatmap
+//!                plus a per-instruction propagation heatmap;
+//!                with --snapshots K, the golden prefix is captured at
+//!                up to K stratified fork points and every trial resumes
+//!                from the latest snapshot before its fault site —
+//!                bit-identical outcomes, a fraction of the wall time.
+//!                Composition: --snapshots composes with
+//!                --trace-propagation; --static-prune composes with
+//!                neither (see `peppa_inject::validate_flags`)
 //! peppa analyze  prog.mc                          pruning report
 //! peppa lint     prog.mc [--deny-warnings] [--json]
 //!                verify + static findings (dead values, unreachable
@@ -47,8 +57,10 @@ use peppa_x::analysis::FaultReach;
 use peppa_x::apps::{ArgSpec, Benchmark};
 use peppa_x::core::{PeppaConfig, PeppaX};
 use peppa_x::inject::{
-    generate_corpus, run_campaign_observed, run_campaign_pruned_observed,
-    run_campaign_traced_observed, trace_propagation, CampaignConfig, StaticPrune,
+    generate_corpus, run_campaign_observed, run_campaign_pruned_gated_observed,
+    run_campaign_snapshotted_observed, run_campaign_snapshotted_traced_observed,
+    run_campaign_traced_observed, trace_propagation, validate_flags, CampaignConfig, InjectMode,
+    PruneGate, SnapshotConfig, StaticPrune,
 };
 use peppa_x::obs::{
     ChromeTrace, JsonlJournal, MetricsRegistry, MultiObserver, ProgressReporter, PropagationHeatmap,
@@ -90,6 +102,7 @@ struct Opts {
     json: bool,
     static_prune: bool,
     trace_propagation: bool,
+    snapshots: Option<u32>,
 }
 
 fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
@@ -116,6 +129,7 @@ fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
         json: false,
         static_prune: false,
         trace_propagation: false,
+        snapshots: None,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -154,6 +168,9 @@ fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
             "--json" => o.json = true,
             "--static-prune" => o.static_prune = true,
             "--trace-propagation" => o.trace_propagation = true,
+            "--snapshots" => {
+                o.snapshots = Some(val("--snapshots")?.parse().map_err(|_| "bad --snapshots")?)
+            }
             other if !other.starts_with("--") && file.is_none() => {
                 file = Some(other.to_string());
             }
@@ -349,53 +366,114 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 threads: o.threads,
                 ..Default::default()
             };
-            if o.static_prune && o.trace_propagation {
-                return Err("--static-prune and --trace-propagation are mutually \
-                     exclusive (a skipped trial has no execution to trace)"
-                    .into());
-            }
-            let r = if o.trace_propagation {
-                let tr =
-                    run_campaign_traced_observed(&bench.module, &input, limits, cfg, &observer)
-                        .map_err(|e| e.to_string())?;
-                let seeded = tr.trials.iter().filter(|t| t.report.seeded).count();
-                println!(
-                    "propagation: {} seeded faults — {} reached a sink, {} extinguished, {} dormant at exit",
-                    seeded,
-                    tr.propagated(),
-                    tr.extinguished(),
-                    seeded - tr.propagated() - tr.extinguished()
-                );
-                if let Some(h) = &heatmap {
-                    print!("{}", h.render(10));
-                }
-                tr.campaign
-            } else if o.static_prune {
-                let fr = FaultReach::analyze(&bench.module);
-                let prune = StaticPrune {
-                    cells: fr.skip_cells(cfg.burst),
-                    burst: cfg.burst,
-                };
-                let (masked, total) = fr.masked_cells(cfg.burst);
-                let pr = run_campaign_pruned_observed(
-                    &bench.module,
-                    &input,
-                    limits,
-                    cfg,
-                    &prune,
-                    &observer,
-                )
+            let mode = validate_flags(o.snapshots, o.static_prune, o.trace_propagation)
                 .map_err(|e| e.to_string())?;
+            let print_snapshot_stats = |stats: &peppa_x::inject::SnapshotStats| {
                 println!(
-                    "static prune: {masked}/{total} cells provably masked, {} of {} trials skipped ({:.2}%)",
-                    pr.skipped,
-                    pr.campaign.trials,
-                    pr.skip_ratio() * 100.0
+                    "snapshots: {} captured ({:.1} MiB), {} trials restored, {} full runs, {} converged exits, {} prefix instrs saved",
+                    stats.snapshots,
+                    stats.bytes as f64 / (1024.0 * 1024.0),
+                    stats.restores,
+                    stats.full_runs,
+                    stats.converged_exits,
+                    stats.prefix_instrs_saved
                 );
-                pr.campaign
-            } else {
-                run_campaign_observed(&bench.module, &input, limits, cfg, &observer)
-                    .map_err(|e| e.to_string())?
+            };
+            let r = match mode {
+                InjectMode::Traced => {
+                    let tr =
+                        run_campaign_traced_observed(&bench.module, &input, limits, cfg, &observer)
+                            .map_err(|e| e.to_string())?;
+                    let seeded = tr.trials.iter().filter(|t| t.report.seeded).count();
+                    println!(
+                        "propagation: {} seeded faults — {} reached a sink, {} extinguished, {} dormant at exit",
+                        seeded,
+                        tr.propagated(),
+                        tr.extinguished(),
+                        seeded - tr.propagated() - tr.extinguished()
+                    );
+                    if let Some(h) = &heatmap {
+                        print!("{}", h.render(10));
+                    }
+                    tr.campaign
+                }
+                InjectMode::SnapshottedTraced { snapshots } => {
+                    let snap = SnapshotConfig {
+                        snapshots,
+                        ..Default::default()
+                    };
+                    let st = run_campaign_snapshotted_traced_observed(
+                        &bench.module,
+                        &input,
+                        limits,
+                        cfg,
+                        snap,
+                        &observer,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    let tr = st.traced;
+                    let seeded = tr.trials.iter().filter(|t| t.report.seeded).count();
+                    println!(
+                        "propagation: {} seeded faults — {} reached a sink, {} extinguished, {} dormant at exit",
+                        seeded,
+                        tr.propagated(),
+                        tr.extinguished(),
+                        seeded - tr.propagated() - tr.extinguished()
+                    );
+                    if let Some(h) = &heatmap {
+                        print!("{}", h.render(10));
+                    }
+                    print_snapshot_stats(&st.stats);
+                    tr.campaign
+                }
+                InjectMode::Snapshotted { snapshots } => {
+                    let snap = SnapshotConfig {
+                        snapshots,
+                        ..Default::default()
+                    };
+                    let sr = run_campaign_snapshotted_observed(
+                        &bench.module,
+                        &input,
+                        limits,
+                        cfg,
+                        snap,
+                        &observer,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    print_snapshot_stats(&sr.stats);
+                    sr.campaign
+                }
+                InjectMode::Pruned => {
+                    let fr = FaultReach::analyze(&bench.module);
+                    let prune = StaticPrune {
+                        cells: fr.skip_cells(cfg.burst),
+                        burst: cfg.burst,
+                    };
+                    let (masked, total) = fr.masked_cells(cfg.burst);
+                    let g = run_campaign_pruned_gated_observed(
+                        &bench.module,
+                        &input,
+                        limits,
+                        cfg,
+                        &prune,
+                        PruneGate::default(),
+                        &observer,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    println!(
+                        "static prune: {masked}/{total} cells provably masked, gate {} (predicted skip {:.2}%), {} of {} trials skipped ({:.2}%)",
+                        if g.decision.applied { "engaged" } else { "disengaged" },
+                        g.decision.predicted_skip_ratio * 100.0,
+                        g.result.skipped,
+                        g.result.campaign.trials,
+                        g.result.skip_ratio() * 100.0
+                    );
+                    g.result.campaign
+                }
+                InjectMode::Plain => {
+                    run_campaign_observed(&bench.module, &input, limits, cfg, &observer)
+                        .map_err(|e| e.to_string())?
+                }
             };
             println!(
                 "trials {}: SDC {:.2}% (CI ±{:.2}pp)  crash {:.2}%  hang {:.2}%  benign {:.2}%",
