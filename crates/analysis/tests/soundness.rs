@@ -11,7 +11,7 @@
 use peppa_analysis::{analyze_values, AbsRange, Cfg, KnownBits, ValueFacts};
 use peppa_apps::{all_benchmarks, Benchmark};
 use peppa_ir::{Instr, Ty};
-use peppa_vm::{encode_inputs, ExecHook, ExecLimits, Vm};
+use peppa_vm::{encode_inputs, CompiledModule, Engine, ExecHook, ExecLimits, Vm};
 use proptest::prelude::*;
 use proptest::TestRng;
 use std::sync::OnceLock;
@@ -117,6 +117,37 @@ fn check_run(bf: &BenchFacts, inputs: &[f64]) -> (u64, Vec<String>) {
         failures: Vec::new(),
     };
     vm.run_with_hook(&bits, None, &mut hook);
+    (hook.checked, hook.failures)
+}
+
+/// One lowered bytecode module per benchmark, shared across cases.
+fn compiled() -> &'static Vec<CompiledModule> {
+    static CODE: OnceLock<Vec<CompiledModule>> = OnceLock::new();
+    CODE.get_or_init(|| {
+        facts()
+            .iter()
+            .map(|bf| CompiledModule::lower(&bf.bench.module))
+            .collect()
+    })
+}
+
+/// [`check_run`] on the compiled (threaded-bytecode) engine, so the
+/// static abstractions are validated against both backends' concrete
+/// semantics — a lowering bug that changed any defined value would
+/// surface here even if it kept outputs intact.
+fn check_run_compiled(
+    bf: &BenchFacts,
+    code: &CompiledModule,
+    inputs: &[f64],
+) -> (u64, Vec<String>) {
+    let bits = encode_inputs(bf.bench.module.entry_func(), inputs);
+    let eng = Engine::new(&bf.bench.module, limits(), Some(code));
+    let mut hook = SoundnessHook {
+        f: bf,
+        checked: 0,
+        failures: Vec::new(),
+    };
+    eng.run_with_hook(&bits, None, &mut hook);
     (hook.checked, hook.failures)
 }
 
@@ -229,6 +260,46 @@ fn reference_inputs_are_sound() {
         assert!(
             failures.is_empty(),
             "{}: reference input: {}",
+            bf.bench.name,
+            failures.join("; ")
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The same containment law on the compiled engine, plus agreement
+    /// with the interpreter on how many defs were checked — the def
+    /// streams are contractually bit-identical, so a count mismatch
+    /// means the engines diverged before any abstraction was violated.
+    #[test]
+    fn compiled_engine_defs_are_contained_and_match_interp(seed in any::<u64>()) {
+        let mut rng = TestRng::new(&format!("soundness-compiled-{seed}"));
+        for (bf, code) in facts().iter().zip(compiled()) {
+            let inputs = sample_inputs(&bf.bench, &mut rng);
+            let (ic, ifail) = check_run(bf, &inputs);
+            let (cc, cfail) = check_run_compiled(bf, code, &inputs);
+            prop_assert!(cc > 0, "{}: no defs executed on compiled engine", bf.bench.name);
+            prop_assert_eq!(
+                ic, cc,
+                "{}: engines checked different def counts on {:?}",
+                bf.bench.name, inputs
+            );
+            prop_assert!(ifail.is_empty(), "{}: {}", bf.bench.name, ifail.join("; "));
+            prop_assert!(cfail.is_empty(), "{}: compiled: {}", bf.bench.name, cfail.join("; "));
+        }
+    }
+}
+
+#[test]
+fn reference_inputs_are_sound_on_compiled_engine() {
+    for (bf, code) in facts().iter().zip(compiled()) {
+        let (checked, failures) = check_run_compiled(bf, code, &bf.bench.reference_input);
+        assert!(checked > 0, "{}: no defs executed", bf.bench.name);
+        assert!(
+            failures.is_empty(),
+            "{}: reference input (compiled): {}",
             bf.bench.name,
             failures.join("; ")
         );

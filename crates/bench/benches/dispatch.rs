@@ -1,0 +1,73 @@
+//! Dispatch-engine microbenchmark: interpreter vs compiled bytecode on a
+//! synthetic hot loop, so an engine regression shows up in seconds
+//! without running a full FI campaign.
+//!
+//! The kernel is chosen to exercise the superinstruction set: an
+//! integer counter loop (fused compare-and-branch), array reads/writes
+//! through computed indices (fused addr-calc load/store), and a mix of
+//! int/float arithmetic feeding a reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use peppa_vm::{CompiledModule, Engine, ExecLimits, Vm};
+
+const HOT_LOOP: &str = r#"
+global float buf[1024];
+
+fn main(n: int, rounds: int) {
+    for (i = 0; i < n; i = i + 1) {
+        buf[i] = i2f(i) * 0.5 + 1.0;
+    }
+    let acc = 0.0;
+    for (r = 0; r < rounds; r = r + 1) {
+        for (i = 1; i < n; i = i + 1) {
+            buf[i] = buf[i] * 0.999 + buf[i - 1] * 0.001;
+            acc = acc + buf[i];
+        }
+    }
+    output acc;
+}
+"#;
+
+fn dispatch(c: &mut Criterion) {
+    let module = peppa_lang::compile(HOT_LOOP, "hotloop").unwrap();
+    let limits = ExecLimits::default();
+    let input = [512.0, 64.0];
+
+    let vm = Vm::new(&module, limits);
+    let golden = vm.run_numeric(&input, None);
+    assert!(golden.status.is_ok());
+    let dynamic = golden.profile.dynamic;
+
+    let code = CompiledModule::lower(&module);
+    let compiled = Engine::new(&module, limits, Some(&code));
+    // The engines must agree before their speeds are worth comparing.
+    let out = compiled.run_numeric(&input, None);
+    assert_eq!(out.output, golden.output);
+    assert_eq!(out.profile.dynamic, dynamic);
+
+    let mut group = c.benchmark_group("dispatch_hot_loop");
+    group.throughput(Throughput::Elements(dynamic));
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::from_parameter("interp"), &input, |b, input| {
+        b.iter(|| {
+            let out = vm.run_numeric(std::hint::black_box(input), None);
+            assert!(out.status.is_ok());
+            out.profile.dynamic
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("compiled"),
+        &input,
+        |b, input| {
+            b.iter(|| {
+                let out = compiled.run_numeric(std::hint::black_box(input), None);
+                assert!(out.status.is_ok());
+                out.profile.dynamic
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, dispatch);
+criterion_main!(benches);

@@ -53,6 +53,7 @@ fn injection_benches(c: &mut Criterion) {
                             hang_factor: 8,
                             threads,
                             burst: 0,
+                            ..Default::default()
                         },
                     )
                     .unwrap()

@@ -43,6 +43,7 @@ fn per_input_eval(c: &mut Criterion) {
                         hang_factor: 8,
                         threads: 1,
                         burst: 0,
+                        ..Default::default()
                     },
                 )
                 .unwrap()

@@ -1,11 +1,14 @@
 //! Performance baseline: VM and campaign throughput per benchmark.
 //!
-//! Rates are derived from [`MetricsRegistry`] snapshots of instrumented
-//! campaigns — the same counters any `--metrics-out` run produces — so
-//! the checked-in `BENCH_baseline.json` stays comparable with ad-hoc
-//! measurements. Baselines let a future change be checked for
-//! interpreter or campaign-runner regressions with one `repro baseline`
-//! run.
+//! Wall/rate figures come from [`MetricsRegistry`] snapshots of
+//! instrumented campaigns — the same counters any `--metrics-out` run
+//! produces — so the checked-in `BENCH_baseline.json` stays comparable
+//! with ad-hoc measurements. Trial-latency percentiles are computed from
+//! the *exact* per-trial samples streamed through [`Event::TrialFinished`]
+//! (the registry's log₂-bucket histogram only yields power-of-two
+//! quantiles, useless for regression diffing). Baselines let a future
+//! change be checked for interpreter, compiled-engine, or campaign-runner
+//! regressions with one `repro baseline` run.
 
 use crate::scale::Ctx;
 use peppa_apps::all_benchmarks;
@@ -13,9 +16,10 @@ use peppa_inject::{
     run_campaign_observed, run_campaign_pruned_gated, run_campaign_snapshotted, CampaignConfig,
     PruneGate, SnapshotConfig, StaticPrune,
 };
-use peppa_obs::{MetricsRegistry, MultiObserver, Observer};
+use peppa_obs::{Event, MetricsRegistry, MultiObserver, Observer};
+use peppa_vm::EngineKind;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One benchmark's throughput measurements.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -26,16 +30,25 @@ pub struct BaselineRow {
     /// Campaign size the rates were measured at.
     pub trials: u32,
     /// Campaign throughput: trials per second of campaign wall time
-    /// (includes the golden run; scales with `threads`).
+    /// (includes the golden run; scales with `threads`; measured on the
+    /// report's `engine`).
     pub trials_per_sec: f64,
-    /// Single-core VM throughput estimate: dynamic instructions per
+    /// Single-core interpreter throughput: dynamic instructions per
     /// second, computed as `trials × golden_dynamic` over the *sum* of
     /// per-trial latencies (summing latencies across workers counts CPU
     /// time, not wall time, so this is thread-count independent).
-    pub vm_instrs_per_sec: f64,
-    /// Trial-latency distribution (log₂-bucket histogram quantiles):
-    /// median, tail, and extreme tail. A mean alone hides hang-budget
-    /// outliers; the p99/p50 ratio is the regression signal for them.
+    pub vm_instrs_per_sec_interp: f64,
+    /// Same measurement on the compiled (register-allocated threaded
+    /// bytecode) engine — identical seed and trial plan, so the two
+    /// columns time bit-identical work.
+    pub vm_instrs_per_sec_compiled: f64,
+    /// `vm_instrs_per_sec_compiled / vm_instrs_per_sec_interp` — the
+    /// dispatch-engine speedup on this benchmark's instruction mix.
+    pub engine_speedup: f64,
+    /// Trial-latency distribution from exact sorted samples
+    /// (nearest-rank): median, tail, and extreme tail. A mean alone
+    /// hides hang-budget outliers; the p99/p50 ratio is the regression
+    /// signal for them.
     pub trial_latency_p50_ns: u64,
     pub trial_latency_p95_ns: u64,
     pub trial_latency_p99_ns: u64,
@@ -63,9 +76,12 @@ pub struct BaselineRow {
 
 /// Version of the `BENCH_baseline.json` layout. Bumped when fields
 /// change shape (v2: latency percentiles replaced the bare mean; v3:
-/// snapshotted-campaign wall time/speedup and the prune-gate decision),
-/// so downstream diffing tools can refuse mixed-schema comparisons.
-pub const BASELINE_SCHEMA_VERSION: u32 = 3;
+/// snapshotted-campaign wall time/speedup and the prune-gate decision;
+/// v4: per-engine `vm_instrs_per_sec` columns with the engine speedup,
+/// and percentiles from exact samples instead of log₂ histogram
+/// buckets), so downstream diffing tools can refuse mixed-schema
+/// comparisons.
+pub const BASELINE_SCHEMA_VERSION: u32 = 4;
 
 /// The checked-in `BENCH_baseline.json` payload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -74,20 +90,76 @@ pub struct BaselineReport {
     pub scale: String,
     pub seed: u64,
     pub threads: usize,
+    /// Engine the wall-clock columns (`trials_per_sec`,
+    /// `campaign_wall_s`, prune/snapshot walls) were measured on. The
+    /// per-engine `vm_instrs_per_sec` columns always cover both.
+    pub engine: String,
     pub rows: Vec<BaselineRow>,
+}
+
+/// Collects exact per-trial latencies from the campaign event stream.
+struct LatencySamples(Mutex<Vec<u64>>);
+
+impl LatencySamples {
+    fn new() -> Arc<LatencySamples> {
+        Arc::new(LatencySamples(Mutex::new(Vec::new())))
+    }
+
+    /// Sorted samples, consumed once at end of campaign.
+    fn sorted(&self) -> Vec<u64> {
+        let mut v = self.0.lock().unwrap().clone();
+        v.sort_unstable();
+        v
+    }
+
+    fn sum_ns(&self) -> u64 {
+        self.0.lock().unwrap().iter().sum()
+    }
+}
+
+impl Observer for LatencySamples {
+    fn on_event(&self, event: &Event) {
+        if let Event::TrialFinished { latency_ns, .. } = event {
+            self.0.lock().unwrap().push(*latency_ns);
+        }
+    }
+}
+
+/// Nearest-rank percentile over sorted samples: the smallest sample with
+/// at least `q·n` samples at or below it. Always an observed value —
+/// never an interpolated or bucket-boundary artifact.
+fn percentile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// CPU seconds → single-core instrs/sec for a campaign of
+/// `trials × golden_dynamic` dynamic instructions.
+fn instrs_per_sec(trials: u64, golden_dynamic: u64, cpu_ns: u64) -> f64 {
+    if cpu_ns == 0 {
+        return 0.0;
+    }
+    trials as f64 * golden_dynamic as f64 / (cpu_ns as f64 / 1e9)
 }
 
 /// Measures every benchmark at the reference input.
 ///
 /// `observer` additionally receives the full campaign event stream
 /// (journal, progress) alongside the per-benchmark metrics registry the
-/// rates are read from.
+/// rates are read from. The wall-clock columns run on `ctx.engine`; the
+/// per-engine `vm_instrs_per_sec` columns always measure both engines on
+/// an identical trial plan (and assert their outcomes agree).
 pub fn run_baseline(ctx: &Ctx, observer: Arc<dyn Observer>) -> BaselineReport {
     let mut rows = Vec::new();
     for bench in all_benchmarks() {
         let registry = Arc::new(MetricsRegistry::new());
+        let samples = LatencySamples::new();
         let mut fan = MultiObserver::new();
         fan.push(Arc::clone(&registry) as Arc<dyn Observer>);
+        fan.push(Arc::clone(&samples) as Arc<dyn Observer>);
         fan.push(Arc::clone(&observer));
 
         let cfg = CampaignConfig {
@@ -96,11 +168,49 @@ pub fn run_baseline(ctx: &Ctx, observer: Arc<dyn Observer>) -> BaselineReport {
             hang_factor: 8,
             threads: ctx.threads,
             burst: 0,
+            engine: ctx.engine,
         };
         let t0 = std::time::Instant::now();
         let r = run_campaign_observed(&bench.module, &bench.reference_input, ctx.limits, cfg, &fan)
             .unwrap_or_else(|e| panic!("{}: baseline campaign failed: {e}", bench.name));
         let campaign_wall_s = t0.elapsed().as_secs_f64();
+
+        // The same trial plan on the *other* engine, so both per-engine
+        // columns exist whichever engine the wall columns ran on. This
+        // doubles as a cross-engine differential: the trial RNG streams
+        // depend only on (seed, trial), so the outcome counts must be
+        // bit-identical.
+        let other_engine = match cfg.engine {
+            EngineKind::Interp => EngineKind::Compiled,
+            EngineKind::Compiled => EngineKind::Interp,
+        };
+        let other_samples = LatencySamples::new();
+        let r_other = run_campaign_observed(
+            &bench.module,
+            &bench.reference_input,
+            ctx.limits,
+            CampaignConfig {
+                engine: other_engine,
+                ..cfg
+            },
+            &*other_samples,
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "{}: {other_engine} baseline campaign failed: {e}",
+                bench.name
+            )
+        });
+        assert_eq!(
+            (r.sdc, r.crash, r.hang, r.benign),
+            (r_other.sdc, r_other.crash, r_other.hang, r_other.benign),
+            "{}: engines disagreed on campaign outcomes",
+            bench.name
+        );
+        let (interp_cpu_ns, compiled_cpu_ns) = match cfg.engine {
+            EngineKind::Interp => (samples.sum_ns(), other_samples.sum_ns()),
+            EngineKind::Compiled => (other_samples.sum_ns(), samples.sum_ns()),
+        };
 
         // Same campaign with the static prune table: what `--static-prune`
         // buys on this machine. Timed directly, outside the metrics
@@ -155,10 +265,12 @@ pub fn run_baseline(ctx: &Ctx, observer: Arc<dyn Observer>) -> BaselineReport {
         let trials = registry.counter_value("campaign.trials.finished");
         let golden_dynamic = registry.counter_value("golden.dynamic_instrs");
         let wall_s = registry.counter_value("campaign.wall_ns") as f64 / 1e9;
-        let latency = registry.histogram("campaign.trial_latency_ns");
-        let cpu_s = latency.sum() as f64 / 1e9;
+        let sorted = samples.sorted();
+        debug_assert_eq!(sorted.len() as u64, trials);
 
         debug_assert_eq!(trials, r.trials as u64);
+        let vm_instrs_per_sec_interp = instrs_per_sec(trials, golden_dynamic, interp_cpu_ns);
+        let vm_instrs_per_sec_compiled = instrs_per_sec(trials, golden_dynamic, compiled_cpu_ns);
         rows.push(BaselineRow {
             benchmark: bench.name.to_string(),
             golden_dynamic,
@@ -168,14 +280,16 @@ pub fn run_baseline(ctx: &Ctx, observer: Arc<dyn Observer>) -> BaselineReport {
             } else {
                 0.0
             },
-            vm_instrs_per_sec: if cpu_s > 0.0 {
-                trials as f64 * golden_dynamic as f64 / cpu_s
+            vm_instrs_per_sec_interp,
+            vm_instrs_per_sec_compiled,
+            engine_speedup: if vm_instrs_per_sec_interp > 0.0 {
+                vm_instrs_per_sec_compiled / vm_instrs_per_sec_interp
             } else {
                 0.0
             },
-            trial_latency_p50_ns: latency.quantile(0.50),
-            trial_latency_p95_ns: latency.quantile(0.95),
-            trial_latency_p99_ns: latency.quantile(0.99),
+            trial_latency_p50_ns: percentile_ns(&sorted, 0.50),
+            trial_latency_p95_ns: percentile_ns(&sorted, 0.95),
+            trial_latency_p99_ns: percentile_ns(&sorted, 0.99),
             campaign_wall_s,
             pruned_campaign_wall_s,
             pruned_skip_ratio: pruned.result.skip_ratio(),
@@ -194,6 +308,7 @@ pub fn run_baseline(ctx: &Ctx, observer: Arc<dyn Observer>) -> BaselineReport {
         scale: format!("{:?}", ctx.scale),
         seed: ctx.seed,
         threads: ctx.threads,
+        engine: ctx.engine.as_str().to_string(),
         rows,
     }
 }
@@ -202,16 +317,19 @@ pub fn run_baseline(ctx: &Ctx, observer: Arc<dyn Observer>) -> BaselineReport {
 pub fn render_baseline(r: &BaselineReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "Throughput baseline ({} scale, {} trials-scale campaigns)\n\n",
+        "Throughput baseline ({} scale, {} trials-scale campaigns, {} engine)\n\n",
         r.scale,
-        r.rows.first().map(|x| x.trials).unwrap_or(0)
+        r.rows.first().map(|x| x.trials).unwrap_or(0),
+        r.engine
     ));
     out.push_str(&format!(
-        "{:<12} {:>14} {:>12} {:>16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6} {:>7} {:>8}\n",
+        "{:<12} {:>14} {:>12} {:>13} {:>13} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6} {:>7} {:>8}\n",
         "benchmark",
         "golden dyn",
         "trials/s",
-        "VM instrs/s",
+        "interp i/s",
+        "compiled i/s",
+        "eng x",
         "p50 ms",
         "p95 ms",
         "p99 ms",
@@ -224,11 +342,13 @@ pub fn render_baseline(r: &BaselineReport) -> String {
     ));
     for row in &r.rows {
         out.push_str(&format!(
-            "{:<12} {:>14} {:>12.1} {:>16.3e} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>6.2}% {:>6} {:>7.2} {:>7.2}x\n",
+            "{:<12} {:>14} {:>12.1} {:>13.3e} {:>13.3e} {:>6.1}x {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>6.2}% {:>6} {:>7.2} {:>7.2}x\n",
             row.benchmark,
             row.golden_dynamic,
             row.trials_per_sec,
-            row.vm_instrs_per_sec,
+            row.vm_instrs_per_sec_interp,
+            row.vm_instrs_per_sec_compiled,
+            row.engine_speedup,
             row.trial_latency_p50_ns as f64 / 1e6,
             row.trial_latency_p95_ns as f64 / 1e6,
             row.trial_latency_p99_ns as f64 / 1e6,
@@ -250,24 +370,46 @@ mod tests {
     use peppa_obs::NullObserver;
 
     #[test]
-    fn baseline_rates_are_positive() {
+    fn nearest_rank_percentiles_are_observed_samples() {
+        let sorted: Vec<u64> = vec![3, 10, 100, 1000, 77777];
+        assert_eq!(percentile_ns(&sorted, 0.50), 100);
+        assert_eq!(percentile_ns(&sorted, 0.95), 77777);
+        assert_eq!(percentile_ns(&sorted, 0.99), 77777);
+        assert_eq!(percentile_ns(&[], 0.5), 0);
+        // q→0 still returns the smallest sample, not index underflow.
+        assert_eq!(percentile_ns(&sorted, 0.0), 3);
+    }
+
+    #[test]
+    fn baseline_rates_are_positive_and_percentiles_exact() {
         let mut ctx = Ctx::new(Scale::Quick, 1);
         // Tiny campaign: this test checks plumbing, not statistics.
         ctx.threads = 2;
-        let report = run_baseline_one_for_test(&ctx);
+        let (report, samples) = run_baseline_one_for_test(&ctx);
         assert!(report.trials_per_sec > 0.0);
-        assert!(report.vm_instrs_per_sec > 0.0);
+        assert!(report.vm_instrs_per_sec_interp > 0.0);
         assert!(report.golden_dynamic > 0);
         assert!(report.trial_latency_p50_ns > 0);
         assert!(report.trial_latency_p50_ns <= report.trial_latency_p95_ns);
         assert!(report.trial_latency_p95_ns <= report.trial_latency_p99_ns);
+        // The v4 fix: every percentile is an actually-observed latency,
+        // not a log₂ bucket boundary (those were exact powers of two).
+        for p in [
+            report.trial_latency_p50_ns,
+            report.trial_latency_p95_ns,
+            report.trial_latency_p99_ns,
+        ] {
+            assert!(samples.contains(&p), "{p} not an observed sample");
+        }
     }
 
-    fn run_baseline_one_for_test(ctx: &Ctx) -> BaselineRow {
+    fn run_baseline_one_for_test(ctx: &Ctx) -> (BaselineRow, Vec<u64>) {
         let bench = peppa_apps::pathfinder::benchmark();
         let registry = Arc::new(MetricsRegistry::new());
+        let samples = LatencySamples::new();
         let mut fan = MultiObserver::new();
         fan.push(Arc::clone(&registry) as Arc<dyn Observer>);
+        fan.push(Arc::clone(&samples) as Arc<dyn Observer>);
         fan.push(Arc::new(NullObserver));
         let cfg = CampaignConfig {
             trials: 30,
@@ -277,18 +419,20 @@ mod tests {
         };
         run_campaign_observed(&bench.module, &bench.reference_input, ctx.limits, cfg, &fan)
             .unwrap();
-        let latency = registry.histogram("campaign.trial_latency_ns");
-        BaselineRow {
+        let golden_dynamic = registry.counter_value("golden.dynamic_instrs");
+        let sorted = samples.sorted();
+        let row = BaselineRow {
             benchmark: bench.name.to_string(),
-            golden_dynamic: registry.counter_value("golden.dynamic_instrs"),
+            golden_dynamic,
             trials: 30,
             trials_per_sec: registry.counter_value("campaign.trials.finished") as f64
                 / (registry.counter_value("campaign.wall_ns") as f64 / 1e9),
-            vm_instrs_per_sec: 30.0 * registry.counter_value("golden.dynamic_instrs") as f64
-                / (latency.sum() as f64 / 1e9),
-            trial_latency_p50_ns: latency.quantile(0.50),
-            trial_latency_p95_ns: latency.quantile(0.95),
-            trial_latency_p99_ns: latency.quantile(0.99),
+            vm_instrs_per_sec_interp: instrs_per_sec(30, golden_dynamic, samples.sum_ns()),
+            vm_instrs_per_sec_compiled: 0.0,
+            engine_speedup: 0.0,
+            trial_latency_p50_ns: percentile_ns(&sorted, 0.50),
+            trial_latency_p95_ns: percentile_ns(&sorted, 0.95),
+            trial_latency_p99_ns: percentile_ns(&sorted, 0.99),
             campaign_wall_s: 0.0,
             pruned_campaign_wall_s: 0.0,
             pruned_skip_ratio: 0.0,
@@ -296,6 +440,7 @@ mod tests {
             prune_predicted_skip_ratio: 0.0,
             snapshot_campaign_wall_s: 0.0,
             snapshot_speedup: 0.0,
-        }
+        };
+        (row, sorted)
     }
 }

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro <experiment> [--scale quick|paper] [--seed N] [--out DIR]
-//!       [--threads N] [--trace-out FILE.jsonl] [--metrics-out FILE.json]
-//!       [--quiet]
+//!       [--threads N] [--engine interp|compiled]
+//!       [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--quiet]
 //!
 //! experiments:
 //!   fig1 table2        initial FI study (shared runs)
@@ -38,11 +38,18 @@
 //! metrics snapshot on exit, `--chrome-trace` writes a Chrome
 //! trace-event JSON file (loadable in Perfetto / `chrome://tracing`),
 //! and `--quiet` suppresses the live progress reporter.
+//!
+//! `--engine compiled` runs every FI campaign on the register-allocated
+//! threaded-bytecode engine instead of the tree-walking interpreter.
+//! Outcomes are bit-identical either way (the engine differential test
+//! enforces this), so the flag is purely a wall-clock knob — except for
+//! `baseline`, whose per-engine columns always measure both.
 
 use peppa_bench::{render, scale::Scale, Ctx};
 use peppa_obs::{
     ChromeTrace, JsonlJournal, MetricsRegistry, MultiObserver, Observer, ProgressReporter,
 };
+use peppa_vm::EngineKind;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -52,7 +59,8 @@ fn main() {
         eprintln!(
             "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|table2..6|static-rank|hybrid|snapshot|baseline|all> \
              [--scale quick|paper] [--seed N] [--out DIR] [--threads N] [--smoke] \
-             [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--chrome-trace FILE.json] [--quiet]"
+             [--engine interp|compiled] [--trace-out FILE.jsonl] [--metrics-out FILE.json] \
+             [--chrome-trace FILE.json] [--quiet]"
         );
         std::process::exit(2);
     }
@@ -67,6 +75,7 @@ fn main() {
     let mut chrome_trace: Option<PathBuf> = None;
     let mut quiet = false;
     let mut smoke = false;
+    let mut engine = EngineKind::Interp;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -103,6 +112,12 @@ fn main() {
                     it.next().expect("--chrome-trace needs a file"),
                 ));
             }
+            "--engine" => {
+                let v = it.next().expect("--engine needs a value");
+                engine = v
+                    .parse()
+                    .unwrap_or_else(|e: String| panic!("--engine: {e}"));
+            }
             "--quiet" => quiet = true,
             "--smoke" => smoke = true,
             other => experiments.push(other.to_string()),
@@ -137,6 +152,7 @@ fn main() {
 
     let mut ctx = Ctx::new(scale, seed);
     ctx.threads = threads;
+    ctx.engine = engine;
     if let Some(dir) = &out {
         std::fs::create_dir_all(dir).expect("create output dir");
     }

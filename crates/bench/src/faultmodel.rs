@@ -56,6 +56,7 @@ pub fn run_fault_models(ctx: &Ctx) -> FaultModelReport {
                     hang_factor: 8,
                     threads: ctx.threads,
                     burst,
+                    engine: ctx.engine,
                 };
                 let r = run_campaign(&b.module, &b.reference_input, ctx.limits, cfg)
                     .expect("reference input runs");
@@ -91,6 +92,7 @@ mod tests {
                 hang_factor: 8,
                 threads: 0,
                 burst,
+                ..Default::default()
             };
             let r = run_campaign(&b.module, &b.reference_input, ctx.limits, cfg).unwrap();
             probs.push(r.sdc_prob());

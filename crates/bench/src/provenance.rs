@@ -106,6 +106,7 @@ pub fn provenance_benchmark(
         hang_factor: 8,
         threads: ctx.threads,
         burst: 0,
+        engine: ctx.engine,
     };
     let traced = run_campaign_traced_observed(
         &bench.module,

@@ -1,6 +1,6 @@
 //! Experiment scaling knobs.
 
-use peppa_vm::ExecLimits;
+use peppa_vm::{EngineKind, ExecLimits};
 
 /// Experiment scale: `Quick` for CI-sized runs, `Paper` for the paper's
 /// trial counts.
@@ -27,6 +27,10 @@ pub struct Ctx {
     pub seed: u64,
     pub threads: usize,
     pub limits: ExecLimits,
+    /// Execution backend campaigns run trials on (`--engine`). Outcome-
+    /// invariant: both engines produce bit-identical trial results, so
+    /// this is purely a wall-clock knob.
+    pub engine: EngineKind,
 }
 
 impl Ctx {
@@ -36,6 +40,7 @@ impl Ctx {
             seed,
             threads: 0,
             limits: ExecLimits::default(),
+            engine: EngineKind::Interp,
         }
     }
 
@@ -47,11 +52,14 @@ impl Ctx {
         }
     }
 
-    /// Trials per program-level campaign (§3.1.4: 1,000).
+    /// Trials per program-level campaign — one notch above the paper's
+    /// 1,000 (§3.1.4) now that the compiled engine and snapshotted
+    /// execution make the extra trials cheap. `--smoke` paths hardcode
+    /// their own (smaller) counts, so CI wall time is unaffected.
     pub fn campaign_trials(&self) -> u32 {
         match self.scale {
-            Scale::Quick => 250,
-            Scale::Paper => 1000,
+            Scale::Quick => 500,
+            Scale::Paper => 2000,
         }
     }
 
@@ -67,11 +75,12 @@ impl Ctx {
     /// Trials per *snapshotted* program-level campaign. The fork engine
     /// amortizes the golden prefix, so campaigns several times the
     /// classic size fit the same wall budget — this is the scale the
-    /// snapshot experiment and the v3 baseline run at.
+    /// snapshot experiment and the baseline run at (raised one notch
+    /// alongside [`Ctx::campaign_trials`]).
     pub fn snapshot_campaign_trials(&self) -> u32 {
         match self.scale {
-            Scale::Quick => 1000,
-            Scale::Paper => 5000,
+            Scale::Quick => 2000,
+            Scale::Paper => 10000,
         }
     }
 

@@ -98,6 +98,7 @@ pub fn search_benchmark(bench: &Benchmark, ctx: &Ctx) -> SearchRow {
             // measurements.
             fi_trials: 1000,
             limits: ctx.limits,
+            engine: ctx.engine,
             threads: ctx.threads,
             max_inputs: 10_000,
         },
@@ -217,6 +218,7 @@ pub fn run_per_input_time(ctx: &Ctx) -> PerInputTimeReport {
                 hang_factor: 8,
                 threads: 1,
                 burst: 0,
+                engine: ctx.engine,
             },
         )
         .unwrap();

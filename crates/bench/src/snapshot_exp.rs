@@ -95,6 +95,7 @@ pub fn snapshot_benchmark(
         hang_factor: 8,
         threads: ctx.threads,
         burst: 0,
+        engine: ctx.engine,
     };
 
     let t0 = std::time::Instant::now();

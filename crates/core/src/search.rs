@@ -7,7 +7,7 @@ use peppa_apps::Benchmark;
 use peppa_ga::{ArgBounds, GaConfig, GeneticEngine, Individual};
 use peppa_inject::{run_campaign_observed, CampaignConfig, CampaignResult};
 use peppa_obs::{Event, NullObserver, Observer};
-use peppa_vm::ExecLimits;
+use peppa_vm::{EngineKind, ExecLimits};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -28,6 +28,8 @@ pub struct PeppaConfig {
     pub limits: ExecLimits,
     /// Worker threads for FI phases; 0 = all cores.
     pub threads: usize,
+    /// Execution backend for the FI phases (outcome-invariant).
+    pub engine: EngineKind,
     pub small_input: SmallInputConfig,
 }
 
@@ -42,6 +44,7 @@ impl Default for PeppaConfig {
             final_fi_trials: 1000,
             limits: ExecLimits::default(),
             threads: 0,
+            engine: EngineKind::Interp,
             small_input: SmallInputConfig::default(),
         }
     }
@@ -240,6 +243,7 @@ impl<'b> PeppaX<'b> {
                 hang_factor: 8,
                 threads: self.cfg.threads,
                 burst: 0,
+                engine: self.cfg.engine,
             };
             let sdc = run_campaign_observed(
                 &self.bench.module,

@@ -16,8 +16,8 @@ use peppa_ir::{Instr, Module};
 use peppa_obs::{Event, NullObserver, Observer, Outcome as ObsOutcome};
 use peppa_stats::{binomial_ci, ci::Z_95, BinomialCi, Pcg64};
 use peppa_vm::{
-    encode_inputs, ExecHook, ExecLimits, Injection, InjectionTarget, ResumeScratch, RunOutput,
-    TrialResume, Vm,
+    encode_inputs, CompiledModule, Engine, EngineKind, ExecHook, ExecLimits, Injection,
+    InjectionTarget, ResumeScratch, RunOutput, TrialResume, Vm,
 };
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -39,6 +39,11 @@ pub struct CampaignConfig {
     pub burst: u8,
     /// Number of worker threads; 0 means use all available cores.
     pub threads: usize,
+    /// Execution backend trials run on. The engines are observably
+    /// bit-identical (see `crates/vm/tests/engine_differential.rs`),
+    /// so this is a pure wall-clock knob: outcome counts do not depend
+    /// on it.
+    pub engine: EngineKind,
 }
 
 impl Default for CampaignConfig {
@@ -49,6 +54,7 @@ impl Default for CampaignConfig {
             hang_factor: 8,
             threads: 0,
             burst: 0,
+            engine: EngineKind::Interp,
         }
     }
 }
@@ -186,8 +192,19 @@ pub fn golden_run(
     inputs: &[f64],
     limits: ExecLimits,
 ) -> Result<RunOutput, CampaignError> {
-    let vm = Vm::new(module, limits);
-    let golden = vm.run_numeric(inputs, None);
+    golden_run_on(module, inputs, limits, None)
+}
+
+/// [`golden_run`] on the campaign's selected engine (`Some` = the
+/// pre-lowered compiled module, `None` = interpreter).
+pub(crate) fn golden_run_on(
+    module: &Module,
+    inputs: &[f64],
+    limits: ExecLimits,
+    code: Option<&CompiledModule>,
+) -> Result<RunOutput, CampaignError> {
+    let eng = Engine::new(module, limits, code);
+    let golden = eng.run_numeric(inputs, None);
     if !golden.status.is_ok() {
         return Err(CampaignError::GoldenRunFailed(format!(
             "{:?}",
@@ -348,16 +365,20 @@ fn campaign_impl(
         trials: cfg.trials,
         seed: cfg.seed,
         threads: cfg.threads,
+        engine: cfg.engine.as_str().to_string(),
     });
+
+    // Lower once per campaign; workers share the read-only bytecode.
+    let code = (cfg.engine == EngineKind::Compiled).then(|| CompiledModule::lower(module));
 
     // Pruning needs the dynamic-index → sid map of the golden run; the
     // hook does not perturb execution, so the output is the same either
     // way.
     let (golden, sid_map) = if prune.is_some() {
-        let vm = Vm::new(module, limits);
+        let eng = Engine::new(module, limits, code.as_ref());
         let bits = encode_inputs(module.entry_func(), inputs);
         let mut hook = SidMapHook { sids: Vec::new() };
-        let golden = vm.run_with_hook(&bits, None, &mut hook);
+        let golden = eng.run_with_hook(&bits, None, &mut hook);
         if !golden.status.is_ok() {
             return Err(CampaignError::GoldenRunFailed(format!(
                 "{:?}",
@@ -366,7 +387,10 @@ fn campaign_impl(
         }
         (golden, hook.sids)
     } else {
-        (golden_run(module, inputs, limits)?, Vec::new())
+        (
+            golden_run_on(module, inputs, limits, code.as_ref())?,
+            Vec::new(),
+        )
     };
     if golden.profile.value_dynamic == 0 {
         return Err(CampaignError::NoFaultSites);
@@ -396,7 +420,7 @@ fn campaign_impl(
     let mut outcomes = vec![FaultOutcome::Benign; cfg.trials as usize];
     let skipped = std::sync::atomic::AtomicU64::new(0);
 
-    let run_trial = |t: u32| -> TrialReport {
+    let run_trial = |t: u32, scratch: &mut ResumeScratch| -> TrialReport {
         // Per-trial stream independent of scheduling. The fault is
         // sampled before the skip decision, so pruning never changes
         // which fault a trial measures.
@@ -420,9 +444,9 @@ fn campaign_impl(
                 };
             }
         }
-        let vm = Vm::new(module, faulty_limits);
+        let eng = Engine::new(module, faulty_limits, code.as_ref());
         let t0 = Instant::now();
-        let faulty = vm.run_numeric(inputs, Some(inj));
+        let faulty = eng.run_numeric_amortized(scratch, inputs, Some(inj));
         let latency_ns = t0.elapsed().as_nanos() as u64;
         TrialReport {
             trial: t,
@@ -435,8 +459,9 @@ fn campaign_impl(
     };
 
     if nthreads <= 1 {
+        let mut scratch = ResumeScratch::new();
         for (t, slot) in outcomes.iter_mut().enumerate() {
-            let report = run_trial(t as u32);
+            let report = run_trial(t as u32, &mut scratch);
             report.emit(observer);
             *slot = report.outcome;
         }
@@ -450,8 +475,9 @@ fn campaign_impl(
                 let run_trial = &run_trial;
                 let tx = tx.clone();
                 s.spawn(move |_| {
+                    let mut scratch = ResumeScratch::new();
                     for (off, slot) in chunk_slice.iter_mut().enumerate() {
-                        let report = run_trial((ci * chunk + off) as u32);
+                        let report = run_trial((ci * chunk + off) as u32, &mut scratch);
                         *slot = report.outcome;
                         // The receiver outlives the scope; send only
                         // fails if the collector was dropped, in which
@@ -606,11 +632,15 @@ pub fn run_campaign_snapshotted_observed(
         trials: cfg.trials,
         seed: cfg.seed,
         threads: cfg.threads,
+        engine: cfg.engine.as_str().to_string(),
     });
+
+    // Lower once per campaign; workers share the read-only bytecode.
+    let code = (cfg.engine == EngineKind::Compiled).then(|| CompiledModule::lower(module));
 
     // Plain golden run first: sampling needs the fault-site population
     // before any fork point can be planned.
-    let golden = golden_run(module, inputs, limits)?;
+    let golden = golden_run_on(module, inputs, limits, code.as_ref())?;
     if golden.profile.value_dynamic == 0 {
         return Err(CampaignError::NoFaultSites);
     }
@@ -698,12 +728,12 @@ pub fn run_campaign_snapshotted_observed(
     let run_trial = |t: u32, scratch: &mut ResumeScratch| -> TrialReport {
         let inj = injections[t as usize];
         let site = sites[t as usize];
-        let vm = Vm::new(module, faulty_limits);
+        let eng = Engine::new(module, faulty_limits, code.as_ref());
         let t0 = Instant::now();
         let outcome = match fork_point_for(&points, site) {
             None => {
                 full_runs.fetch_add(1, Ordering::Relaxed);
-                classify(&golden, &vm.run(&bits, Some(inj)))
+                classify(&golden, &eng.run(&bits, Some(inj)))
             }
             Some(i) => {
                 restores.fetch_add(1, Ordering::Relaxed);
@@ -713,7 +743,7 @@ pub fn run_campaign_snapshotted_observed(
                 } else {
                     &[]
                 };
-                match vm.resume_trial_amortized(
+                match eng.resume_trial_amortized(
                     scratch,
                     &snaps[i],
                     Some(inj),
@@ -1040,6 +1070,7 @@ mod tests {
             hang_factor: 8,
             threads: 1,
             burst: 0,
+            engine: EngineKind::Interp,
         };
         let a = run_campaign(&m, &[12.0, 0.25], ExecLimits::default(), base).unwrap();
         let b = run_campaign(
@@ -1163,6 +1194,7 @@ mod tests {
             hang_factor: 8,
             threads: 1,
             burst: 0,
+            engine: EngineKind::Interp,
         };
         let obs = Collecting(std::sync::Mutex::new(Vec::new()));
         let a =
@@ -1338,6 +1370,7 @@ mod tests {
             hang_factor: 8,
             threads: 1,
             burst: 0,
+            engine: EngineKind::Interp,
         };
         let a =
             run_campaign_pruned(&m, &[12.0, 0.25], ExecLimits::default(), base, &table).unwrap();
@@ -1375,6 +1408,7 @@ mod tests {
             hang_factor: 8,
             threads: 1,
             burst: 0,
+            engine: EngineKind::Interp,
         };
         let full = run_campaign(&m, &[16.0, 0.5], ExecLimits::default(), cfg).unwrap();
         for k in [0, 1, 8, 64] {
@@ -1596,6 +1630,89 @@ mod tests {
                 campaign: 0
             })
         ));
+    }
+
+    #[test]
+    fn campaign_outcomes_identical_across_engines() {
+        let m = module();
+        let base = CampaignConfig {
+            trials: 150,
+            seed: 2021,
+            hang_factor: 8,
+            threads: 2,
+            burst: 0,
+            engine: EngineKind::Interp,
+        };
+        let interp = run_campaign(&m, &[16.0, 0.5], ExecLimits::default(), base).unwrap();
+        let compiled = run_campaign(
+            &m,
+            &[16.0, 0.5],
+            ExecLimits::default(),
+            CampaignConfig {
+                engine: EngineKind::Compiled,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            (interp.sdc, interp.crash, interp.hang, interp.benign),
+            (compiled.sdc, compiled.crash, compiled.hang, compiled.benign),
+            "engines sampled identical faults but classified them differently"
+        );
+        assert_eq!(interp.golden_dynamic, compiled.golden_dynamic);
+
+        // `--engine compiled` composes with `--snapshots K`: fork points
+        // land on the same value-dynamic boundaries in both backends.
+        for k in [0, 8] {
+            let r = run_campaign_snapshotted(
+                &m,
+                &[16.0, 0.5],
+                ExecLimits::default(),
+                CampaignConfig {
+                    engine: EngineKind::Compiled,
+                    ..base
+                },
+                SnapshotConfig {
+                    snapshots: k,
+                    converge_exit: true,
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                (interp.sdc, interp.crash, interp.hang, interp.benign),
+                (
+                    r.campaign.sdc,
+                    r.campaign.crash,
+                    r.campaign.hang,
+                    r.campaign.benign
+                ),
+                "compiled engine with --snapshots {k} diverged from interpreter"
+            );
+            if k > 0 {
+                assert!(r.stats.restores > 0, "k={k}: some trial must restore");
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_started_event_carries_engine_tag() {
+        let m = module();
+        for engine in [EngineKind::Interp, EngineKind::Compiled] {
+            let cfg = CampaignConfig {
+                trials: 20,
+                seed: 6,
+                threads: 1,
+                engine,
+                ..Default::default()
+            };
+            let obs = Collecting(std::sync::Mutex::new(Vec::new()));
+            run_campaign_observed(&m, &[16.0, 0.5], ExecLimits::default(), cfg, &obs).unwrap();
+            let events = obs.0.into_inner().unwrap();
+            match &events[0] {
+                Event::CampaignStarted { engine: e, .. } => assert_eq!(e, engine.as_str()),
+                other => panic!("first event was {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,16 @@
 //! The matrix lives here, behind [`validate_flags`], so the CLI and the
 //! bench harness dispatch identically and the rejections are unit-tested
 //! once instead of re-implemented per front end.
+//!
+//! `--engine {interp,compiled}` is *orthogonal* to this matrix: it
+//! selects the execution backend inside whichever runner the row picks
+//! (via `CampaignConfig::engine`), never the runner itself. Every
+//! combination above composes with either engine, because the engines
+//! are observably bit-identical — snapshots fork at the same
+//! value-dynamic boundaries on compiled frames, and `TaintHook` tracing
+//! attaches through the same `ExecHook` seam
+//! (`crates/vm/tests/engine_differential.rs` holds the proof
+//! obligations).
 
 /// Which campaign runner a flag combination selects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -16,7 +16,7 @@
 //! to [`crate::run_campaign`] at every thread count.
 
 use crate::campaign::{
-    effective_threads, golden_run, sample_fault_burst, CampaignConfig, CampaignError,
+    effective_threads, golden_run_on, sample_fault_burst, CampaignConfig, CampaignError,
     CampaignResult, SnapshotConfig, SnapshotStats,
 };
 use crate::forkpoint::{fork_point_for, plan_fork_points};
@@ -24,7 +24,10 @@ use crate::outcome::{classify, FaultOutcome};
 use peppa_ir::{Instr, Module};
 use peppa_obs::{Event, NullObserver, Observer, Span};
 use peppa_stats::{binomial_ci, ci::Z_95, Pcg64};
-use peppa_vm::{encode_inputs, ExecHook, ExecLimits, InjectionTarget, TaintHook, TaintReport, Vm};
+use peppa_vm::{
+    encode_inputs, CompiledModule, Engine, EngineKind, ExecHook, ExecLimits, InjectionTarget,
+    TaintHook, TaintReport, Vm,
+};
 use std::time::Instant;
 
 /// One trial of a traced campaign: the classic outcome plus the taint
@@ -154,11 +157,15 @@ pub fn run_campaign_traced_observed(
         trials: cfg.trials,
         seed: cfg.seed,
         threads: cfg.threads,
+        engine: cfg.engine.as_str().to_string(),
     });
+
+    // Lower once per campaign; workers share the read-only bytecode.
+    let code = (cfg.engine == EngineKind::Compiled).then(|| CompiledModule::lower(module));
 
     let golden = {
         let _span = Span::enter(observer, "golden");
-        golden_run(module, inputs, limits)?
+        golden_run_on(module, inputs, limits, code.as_ref())?
     };
     if golden.profile.value_dynamic == 0 {
         return Err(CampaignError::NoFaultSites);
@@ -167,9 +174,9 @@ pub fn run_campaign_traced_observed(
     // perturb execution.
     let bits = encode_inputs(module.entry_func(), inputs);
     let sid_map = {
-        let vm = Vm::new(module, limits);
+        let eng = Engine::new(module, limits, code.as_ref());
         let mut hook = SidMapHook { sids: Vec::new() };
-        vm.run_with_hook(&bits, None, &mut hook);
+        eng.run_with_hook(&bits, None, &mut hook);
         hook.sids
     };
     debug_assert_eq!(sid_map.len() as u64, golden.profile.value_dynamic);
@@ -198,10 +205,10 @@ pub fn run_campaign_traced_observed(
             InjectionTarget::DynamicIndex(k) => k,
             InjectionTarget::StaticInstance { instance, .. } => instance,
         };
-        let vm = Vm::new(module, faulty_limits);
+        let eng = Engine::new(module, faulty_limits, code.as_ref());
         let mut hook = TaintHook::new(module);
         let t0 = Instant::now();
-        let faulty = vm.run_with_hook(&bits, Some(inj), &mut hook);
+        let faulty = eng.run_with_hook(&bits, Some(inj), &mut hook);
         let latency_ns = t0.elapsed().as_nanos() as u64;
         TracedReport {
             trial: t,
@@ -355,11 +362,15 @@ pub fn run_campaign_snapshotted_traced_observed(
         trials: cfg.trials,
         seed: cfg.seed,
         threads: cfg.threads,
+        engine: cfg.engine.as_str().to_string(),
     });
+
+    // Lower once per campaign; workers share the read-only bytecode.
+    let code = (cfg.engine == EngineKind::Compiled).then(|| CompiledModule::lower(module));
 
     let golden = {
         let _span = Span::enter(observer, "golden");
-        golden_run(module, inputs, limits)?
+        golden_run_on(module, inputs, limits, code.as_ref())?
     };
     if golden.profile.value_dynamic == 0 {
         return Err(CampaignError::NoFaultSites);
@@ -368,9 +379,9 @@ pub fn run_campaign_snapshotted_traced_observed(
     // perturb execution.
     let bits = encode_inputs(module.entry_func(), inputs);
     let sid_map = {
-        let vm = Vm::new(module, limits);
+        let eng = Engine::new(module, limits, code.as_ref());
         let mut hook = SidMapHook { sids: Vec::new() };
-        vm.run_with_hook(&bits, None, &mut hook);
+        eng.run_with_hook(&bits, None, &mut hook);
         hook.sids
     };
     debug_assert_eq!(sid_map.len() as u64, golden.profile.value_dynamic);
@@ -434,20 +445,20 @@ pub fn run_campaign_snapshotted_traced_observed(
     let run_trial = |t: u32| -> TracedReport {
         let inj = injections[t as usize];
         let site = sites[t as usize];
-        let vm = Vm::new(module, faulty_limits);
+        let eng = Engine::new(module, faulty_limits, code.as_ref());
         let t0 = Instant::now();
         let (faulty, report) = match fork_point_for(&points, site) {
             None => {
                 full_runs.fetch_add(1, Ordering::Relaxed);
                 let mut hook = TaintHook::new(module);
-                let faulty = vm.run_with_hook(&bits, Some(inj), &mut hook);
+                let faulty = eng.run_with_hook(&bits, Some(inj), &mut hook);
                 (faulty, hook.finish())
             }
             Some(i) => {
                 restores.fetch_add(1, Ordering::Relaxed);
                 prefix_saved.fetch_add(snaps[i].dynamic(), Ordering::Relaxed);
                 let mut hook = TaintHook::resumed(module, &snaps[i]);
-                let faulty = vm.resume_from_with_hook(&snaps[i], Some(inj), &mut hook);
+                let faulty = eng.resume_from_with_hook(&snaps[i], Some(inj), &mut hook);
                 (faulty, hook.finish())
             }
         };
@@ -606,6 +617,7 @@ mod tests {
             hang_factor: 8,
             threads,
             burst: 0,
+            engine: EngineKind::Interp,
         }
     }
 
@@ -746,6 +758,52 @@ mod tests {
                     assert_eq!(x.report.live_at_end, y.report.live_at_end);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn traced_provenance_identical_across_engines() {
+        // TaintHook is a shadow engine driven purely by the ExecHook
+        // stream, and the compiled backend emits the interpreter's
+        // stream bit-for-bit — so every provenance record must match.
+        let m = module();
+        let inputs = [16.0, 0.5];
+        let a = run_campaign_traced(&m, &inputs, ExecLimits::default(), cfg(80, 13, 2)).unwrap();
+        let b = run_campaign_traced(
+            &m,
+            &inputs,
+            ExecLimits::default(),
+            CampaignConfig {
+                engine: EngineKind::Compiled,
+                ..cfg(80, 13, 2)
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            (
+                a.campaign.sdc,
+                a.campaign.crash,
+                a.campaign.hang,
+                a.campaign.benign
+            ),
+            (
+                b.campaign.sdc,
+                b.campaign.crash,
+                b.campaign.hang,
+                b.campaign.benign
+            )
+        );
+        for (x, y) in a.trials.iter().zip(&b.trials) {
+            assert_eq!(x.trial, y.trial);
+            assert_eq!(x.outcome, y.outcome, "trial {}", x.trial);
+            assert_eq!((x.site, x.bit, x.sid), (y.site, y.bit, y.sid));
+            assert_eq!(x.report.seeded, y.report.seeded);
+            assert_eq!(x.report.seed_mask, y.report.seed_mask);
+            assert_eq!(x.report.tainted_defs, y.report.tainted_defs);
+            assert_eq!(x.report.sid_hits, y.report.sid_hits, "trial {}", x.trial);
+            assert_eq!(x.report.first_sink, y.report.first_sink);
+            assert_eq!(x.report.extinction_dynamic, y.report.extinction_dynamic);
+            assert_eq!(x.report.live_at_end, y.report.live_at_end);
         }
     }
 

@@ -27,6 +27,7 @@ fn cfg(threads: usize) -> CampaignConfig {
         hang_factor: 8,
         threads,
         burst: 0,
+        ..Default::default()
     }
 }
 

@@ -38,6 +38,8 @@ pub enum Event {
         trials: u32,
         seed: u64,
         threads: usize,
+        /// Execution engine trials ran on (`"interp"` or `"compiled"`).
+        engine: String,
     },
     /// The campaign's golden (fault-free) run completed cleanly.
     GoldenRun {

@@ -98,6 +98,7 @@ mod tests {
                 trials: 2,
                 seed: 7,
                 threads: 1,
+                engine: "interp".into(),
             });
             j.on_event(&Event::TrialFinished {
                 trial: 0,

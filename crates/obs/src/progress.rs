@@ -257,6 +257,7 @@ mod tests {
             trials: 3,
             seed: 0,
             threads: 1,
+            engine: "interp".into(),
         });
         for t in 0..3 {
             p.on_event(&Event::TrialFinished {

@@ -47,6 +47,7 @@ pub fn measure_coverage(
         hang_factor: 8,
         threads,
         burst: 0,
+        ..Default::default()
     };
     let base = run_campaign(unprotected, input, limits, cfg)?;
     let prot = run_campaign(

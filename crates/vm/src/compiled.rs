@@ -1,0 +1,1648 @@
+//! The compiled execution backend: a threaded-bytecode machine over
+//! [`CompiledModule`] that is observably bit-identical to the
+//! interpreter in `exec.rs`.
+//!
+//! Every observable the interpreter produces — output words, return
+//! bits, `Profile` counters, trap/hang classification, fault
+//! activation, `ExecHook` callback streams, snapshot frame
+//! coordinates, convergence decisions — is produced here in the same
+//! order with the same values. The machine differs only in *how* it
+//! gets there: it dispatches over pre-lowered [`Bc`] ops with all
+//! operands resolved to flat register indices, executes fused
+//! superinstructions where the lowering found the patterns, and skips
+//! the interpreter's per-instruction operand matching entirely.
+//!
+//! The equivalence argument is structural: each `Bc` handler performs
+//! the exact bookkeeping sequence of the interpreter's driver loop
+//! for the instruction(s) it covers (dynamic count → hang check →
+//! exec count → `begin_instr` → compute → `finish` → `end_instr`),
+//! fused handlers check the snapshot-boundary gate between their
+//! components and bail to the unfused stub at `pc + 1` when it is
+//! due, and register indices below `num_values` coincide with
+//! `ValueId`s so fault injection flips the same typed bits of the
+//! same register. Unchecked register/code accesses are justified by
+//! the bounds sweep at the end of lowering (`lower::validate`); debug
+//! builds keep the assertions.
+
+use crate::exec::{
+    canon, exec_bin, exec_cast, exec_un, flip_bits, ExecLimits, Injection, InjectionTarget,
+    ResumeScratch, RunEnd, RunOutput, RunStatus, Stop, Trap,
+};
+use crate::hooks::{ExecHook, NoHook};
+use crate::lower::{Bc, CompiledFunc, CompiledModule, NO_REG};
+use crate::profile::Profile;
+use crate::snapshot::{mask_contains, ConvergeMasks, ReadSets, SnapData, TrialResume, VmSnapshot};
+use peppa_ir::{FPred, FuncId, IPred, Instr, Module, Term};
+use std::time::Instant;
+
+#[inline(always)]
+fn rd(regs: &[u64], i: u32) -> u64 {
+    debug_assert!((i as usize) < regs.len(), "register read out of bounds");
+    unsafe { *regs.get_unchecked(i as usize) }
+}
+
+#[inline(always)]
+fn wr(regs: &mut [u64], i: u32, v: u64) {
+    debug_assert!((i as usize) < regs.len(), "register write out of bounds");
+    unsafe { *regs.get_unchecked_mut(i as usize) = v }
+}
+
+/// One activation record of the compiled machine. The frame's
+/// register file lives in the run's shared register arena at
+/// `[base, base + num_regs)`: the interpreter's value registers in
+/// the first `num_values` slots and the function's constant pool
+/// behind them. `pc` replaces the interpreter's `(block, instr)` pair
+/// (recoverable through [`CompiledFunc::meta`]). Keeping frames in
+/// one arena makes a call push a bump + one memcpy of the prebuilt
+/// frame image instead of a heap allocation.
+struct CFrame {
+    fid: FuncId,
+    base: u32,
+    pc: u32,
+    frame_sp: u64,
+    call_timer: Option<Instant>,
+}
+
+/// Convergence checkpoints threaded through a resumed trial; mirrors
+/// the interpreter's `SnapCtl::Converge`.
+struct ConvergeCtl<'a> {
+    checkpoints: &'a [VmSnapshot],
+    next: usize,
+    masks: Option<&'a ConvergeMasks>,
+    read_sets: Option<&'a ReadSets>,
+}
+
+/// Why the inner dispatch loop handed control back to the driver.
+enum Exit {
+    /// `frame.pc` is at a [`Bc::Call`]; push the callee frame.
+    Call,
+    /// `frame.pc` is at a [`Bc::Ret`]; pop the frame.
+    Ret,
+    /// A snapshot boundary is due at `frame.pc`.
+    Boundary,
+}
+
+struct CMachine<'m, H: ExecHook> {
+    module: &'m Module,
+    code: &'m CompiledModule,
+    limits: ExecLimits,
+    memory: Vec<u64>,
+    hwm: usize,
+    stack_ptr: u64,
+    profile: Profile,
+    output: Vec<u64>,
+    injection: Option<Injection>,
+    /// `value_dynamic` value at which a [`InjectionTarget::DynamicIndex`]
+    /// fault fires (`k + 1`); `u64::MAX` when absent or already applied.
+    inj_vd: u64,
+    /// A [`InjectionTarget::StaticInstance`] fault is still pending, so
+    /// every def must run the sid/instance check.
+    static_pending: bool,
+    fault_activated: bool,
+    conv: Option<ConvergeCtl<'m>>,
+    /// Cached `value_dynamic` of the next interesting boundary
+    /// (`u64::MAX` when none): the per-def gate is one compare.
+    next_vd: u64,
+    /// Completed-segment execution counts, indexed by flat pc
+    /// (`pc_base[fid] + segment start pc`). The turbo loop records one
+    /// hit per fully executed straight-line segment instead of one
+    /// `exec_counts` read-modify-write per instruction;
+    /// [`Self::expand_seg_hits`] folds the hits back into per-sid
+    /// `exec_counts` before the profile is observable. Only the
+    /// hook-free, injection-far fast path writes here — every slow-path
+    /// instruction still counts directly — so live `exec_counts` reads
+    /// (the `StaticInstance` check) always see exact values: a pending
+    /// static injection disables the turbo loop outright.
+    seg_hits: Vec<u64>,
+    hook: H,
+}
+
+impl<'m, H: ExecHook> CMachine<'m, H> {
+    #[inline]
+    fn instr_at(&self, fid: FuncId, pc: usize) -> &'m Instr {
+        let cf = &self.code.funcs[fid.0 as usize];
+        let (b, i) = cf.meta[pc];
+        &self.module.func(fid).blocks[b as usize].instrs[i as usize]
+    }
+
+    #[inline(always)]
+    fn begin(
+        &mut self,
+        fid: FuncId,
+        cf: &CompiledFunc,
+        pc: usize,
+    ) -> Result<Option<Instant>, Stop> {
+        self.profile.dynamic += 1;
+        if self.profile.dynamic > self.limits.max_dynamic {
+            return Err(Stop::Hang);
+        }
+        let sid = cf.sids[pc];
+        debug_assert_ne!(sid, u32::MAX, "begin at a terminator pc");
+        self.profile.exec_counts[sid as usize] += 1;
+        if H::ENABLED && self.hook.begin_instr(self.instr_at(fid, pc)) {
+            return Ok(Some(Instant::now()));
+        }
+        Ok(None)
+    }
+
+    #[inline(always)]
+    fn end(&mut self, fid: FuncId, pc: usize, timer: Option<Instant>) {
+        if H::ENABLED {
+            if let Some(t0) = timer {
+                let ins = self.instr_at(fid, pc);
+                self.hook.end_instr(ins, t0.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+
+    /// The interpreter's `finish_instr` for a value-producing op at
+    /// `pc`: bump `value_dynamic`, apply a pending injection, write the
+    /// register, notify the hook.
+    #[inline(always)]
+    fn finish(
+        &mut self,
+        fid: FuncId,
+        cf: &CompiledFunc,
+        pc: usize,
+        dst: u32,
+        bits: u64,
+        regs: &mut [u64],
+    ) {
+        let mut bits = bits;
+        self.profile.value_dynamic += 1;
+        if self.profile.value_dynamic == self.inj_vd
+            || (self.static_pending && self.static_hits(cf, pc))
+        {
+            bits = self.apply_fault(fid, pc, bits);
+        }
+        wr(regs, dst, bits);
+        if H::ENABLED {
+            let ins = self.instr_at(fid, pc);
+            self.hook.def_value(ins, bits);
+        }
+    }
+
+    #[inline]
+    fn static_hits(&self, cf: &CompiledFunc, pc: usize) -> bool {
+        match self.injection {
+            Some(Injection {
+                target: InjectionTarget::StaticInstance { sid, instance },
+                ..
+            }) => cf.sids[pc] == sid.0 && self.profile.exec_counts[sid.0 as usize] - 1 == instance,
+            _ => false,
+        }
+    }
+
+    #[cold]
+    fn apply_fault(&mut self, fid: FuncId, pc: usize, bits: u64) -> u64 {
+        let inj = self.injection.expect("fault fired without an injection");
+        let ins = self.instr_at(fid, pc);
+        let r = ins.result.expect("injected instruction has a result");
+        let ty = self.module.func(fid).ty_of(r);
+        let flipped = flip_bits(ty, bits, inj.bit, inj.burst);
+        if H::ENABLED {
+            self.hook.fault_injected(ins, bits ^ flipped);
+        }
+        self.fault_activated = true;
+        self.inj_vd = u64::MAX;
+        self.static_pending = false;
+        flipped
+    }
+
+    #[inline(always)]
+    fn mem_read(&self, addr: u64) -> Result<u64, Stop> {
+        if addr == 0 || addr >= self.memory.len() as u64 {
+            return Err(Stop::Trap(Trap::OutOfBounds { addr }));
+        }
+        Ok(unsafe { *self.memory.get_unchecked(addr as usize) })
+    }
+
+    #[inline(always)]
+    fn mem_write(&mut self, addr: u64, value: u64) -> Result<(), Stop> {
+        if addr == 0 || addr >= self.memory.len() as u64 {
+            return Err(Stop::Trap(Trap::OutOfBounds { addr }));
+        }
+        unsafe { *self.memory.get_unchecked_mut(addr as usize) = value };
+        if addr as usize >= self.hwm {
+            self.hwm = addr as usize + 1;
+        }
+        Ok(())
+    }
+
+    /// Pushes a callee frame: one bump of the register arena plus a
+    /// memcpy of the prebuilt frame image (zeros + constant pool),
+    /// then the parameters. Depth check first, as in the interpreter's
+    /// `push_frame`.
+    fn push_cframe(
+        &mut self,
+        frames: &mut Vec<CFrame>,
+        arena: &mut Vec<u64>,
+        fid: FuncId,
+        args: &[u64],
+        call_timer: Option<Instant>,
+    ) -> Result<(), Stop> {
+        if frames.len() >= self.limits.max_call_depth {
+            return Err(Stop::Trap(Trap::CallDepth));
+        }
+        let cf = &self.code.funcs[fid.0 as usize];
+        let base = arena.len();
+        arena.extend_from_slice(&cf.frame_image);
+        arena[base..base + args.len()].copy_from_slice(args);
+        frames.push(CFrame {
+            fid,
+            base: base as u32,
+            pc: 0,
+            frame_sp: self.stack_ptr,
+            call_timer,
+        });
+        Ok(())
+    }
+
+    /// Folds the turbo loop's per-segment hit counters back into
+    /// per-sid `exec_counts`: each completed segment contributes its
+    /// hit count to every instruction it covers, in the same amounts
+    /// per-instruction counting would have produced. Runs once per
+    /// execution, before the profile escapes.
+    fn expand_seg_hits(&mut self) {
+        let code = self.code;
+        for (fi, cf) in code.funcs.iter().enumerate() {
+            let base = code.pc_base[fi] as usize;
+            for start in 0..cf.code.len() {
+                let h = self.seg_hits[base + start];
+                if h == 0 {
+                    continue;
+                }
+                let mut pc = start;
+                loop {
+                    match cf.code[pc] {
+                        Bc::Br { .. } | Bc::CondBr { .. } | Bc::Ret { .. } | Bc::Call { .. } => {
+                            break
+                        }
+                        Bc::CmpBrI { .. } | Bc::CmpBrF { .. } => {
+                            self.profile.exec_counts[cf.sids[pc] as usize] += h;
+                            break;
+                        }
+                        Bc::IAddCmpBrI { .. } => {
+                            self.profile.exec_counts[cf.sids[pc] as usize] += h;
+                            self.profile.exec_counts[cf.sids[pc + 1] as usize] += h;
+                            break;
+                        }
+                        Bc::GepLoad { .. } | Bc::GepStore { .. } | Bc::FMulAdd { .. } => {
+                            self.profile.exec_counts[cf.sids[pc] as usize] += h;
+                            self.profile.exec_counts[cf.sids[pc + 1] as usize] += h;
+                            pc += 2;
+                        }
+                        _ => {
+                            self.profile.exec_counts[cf.sids[pc] as usize] += h;
+                            pc += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exact `exec_counts` for a segment the turbo loop abandoned
+    /// mid-way (a trap): credit the `remaining` instructions that
+    /// actually began, in execution order from the segment start.
+    #[cold]
+    fn credit_partial(&mut self, cf: &CompiledFunc, start_pc: usize, mut remaining: u64) {
+        let mut pc = start_pc;
+        while remaining > 0 {
+            match cf.code[pc] {
+                Bc::GepLoad { .. } | Bc::GepStore { .. } | Bc::FMulAdd { .. } => {
+                    self.profile.exec_counts[cf.sids[pc] as usize] += 1;
+                    remaining -= 1;
+                    if remaining > 0 {
+                        self.profile.exec_counts[cf.sids[pc + 1] as usize] += 1;
+                        remaining -= 1;
+                    }
+                    pc += 2;
+                }
+                Bc::CmpBrI { .. } | Bc::CmpBrF { .. } => {
+                    self.profile.exec_counts[cf.sids[pc] as usize] += 1;
+                    remaining -= 1;
+                    pc += 2;
+                }
+                Bc::IAddCmpBrI { .. } => {
+                    self.profile.exec_counts[cf.sids[pc] as usize] += 1;
+                    remaining -= 1;
+                    if remaining > 0 {
+                        self.profile.exec_counts[cf.sids[pc + 1] as usize] += 1;
+                        remaining -= 1;
+                    }
+                    pc += 3;
+                }
+                Bc::Br { .. } | Bc::CondBr { .. } | Bc::Ret { .. } | Bc::Call { .. } => {
+                    unreachable!("partial segment walk crossed a segment end")
+                }
+                _ => {
+                    self.profile.exec_counts[cf.sids[pc] as usize] += 1;
+                    remaining -= 1;
+                    pc += 1;
+                }
+            }
+        }
+    }
+
+    /// The interpreter's converge arm of `snapshot_boundary`, verbatim
+    /// over compiled frames.
+    #[cold]
+    fn boundary(&mut self, frames: &[CFrame], arena: &[u64]) -> Option<RunEnd> {
+        let (checkpoints, mut next, masks, read_sets) = match &self.conv {
+            None => {
+                self.next_vd = u64::MAX;
+                return None;
+            }
+            Some(c) => (c.checkpoints, c.next, c.masks, c.read_sets),
+        };
+        let mut matched = None;
+        while next < checkpoints.len() {
+            let cp = checkpoints[next].data();
+            if cp.value_dynamic < self.profile.value_dynamic
+                || (cp.value_dynamic == self.profile.value_dynamic && !self.fault_activated)
+            {
+                next += 1;
+                continue;
+            }
+            if cp.value_dynamic > self.profile.value_dynamic {
+                break;
+            }
+            next += 1;
+            if self.state_matches(cp, frames, arena, masks, read_sets) {
+                matched = Some(RunEnd::Converged {
+                    at_value_dynamic: cp.value_dynamic,
+                    checkpoint_dynamic: cp.dynamic,
+                    dynamic_at_exit: self.profile.dynamic,
+                    output_matches: self.output == cp.output,
+                });
+                break;
+            }
+        }
+        self.next_vd = checkpoints
+            .get(next)
+            .map_or(u64::MAX, |c| c.data().value_dynamic);
+        if let Some(c) = &mut self.conv {
+            c.next = next;
+        }
+        matched
+    }
+
+    /// `State::state_matches` with frame coordinates recovered through
+    /// [`CompiledFunc::meta`]; only the value registers participate
+    /// (the constant-pool tail is immutable and engine-private).
+    fn state_matches(
+        &self,
+        cp: &SnapData,
+        frames: &[CFrame],
+        arena: &[u64],
+        masks: Option<&ConvergeMasks>,
+        read_sets: Option<&ReadSets>,
+    ) -> bool {
+        if self.stack_ptr != cp.stack_ptr || frames.len() != cp.frames.len() {
+            return false;
+        }
+        for (f, s) in frames.iter().zip(&cp.frames) {
+            let cf = &self.code.funcs[f.fid.0 as usize];
+            let (b, i) = cf.meta[f.pc as usize];
+            if f.fid != s.fid || b != s.block || i != s.instr || f.frame_sp != s.frame_sp {
+                return false;
+            }
+            let regs = &arena[f.base as usize..f.base as usize + cf.num_values];
+            match masks {
+                None => {
+                    if regs != &s.regs[..] {
+                        return false;
+                    }
+                }
+                Some(m) => {
+                    let live = m.mask(f.fid, b, i);
+                    for (k, (a, bb)) in regs.iter().zip(&s.regs).enumerate() {
+                        if a != bb && mask_contains(live, k) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(set) = read_sets.and_then(|r| r.set_at(cp.value_dynamic)) {
+            return set
+                .iter()
+                .all(|&a| self.memory[a as usize] == cp.mem.get(a as usize).copied().unwrap_or(0));
+        }
+        if self.memory[..cp.hwm] != cp.mem[..] {
+            return false;
+        }
+        self.memory[cp.hwm..self.hwm.max(cp.hwm)]
+            .iter()
+            .all(|&w| w == 0)
+    }
+
+    /// The driver: outer loop owns frame pushes/pops and the boundary
+    /// gate; the inner loop threads through one frame's bytecode.
+    ///
+    /// The inner loop is two-tier. The **turbo** tier runs whole
+    /// straight-line segments with batched bookkeeping whenever a
+    /// one-time gate proves nothing observable can happen inside the
+    /// segment: hooks are compile-time disabled, no static-instance
+    /// injection is pending, the hang budget cannot expire
+    /// (`dynamic + n_ops <= max_dynamic`), and no def in the segment
+    /// can reach the pending injection index or the next snapshot
+    /// boundary (`value_dynamic + n_defs < min(inj_vd, next_vd)`).
+    /// Under that proof the per-instruction counters collapse to two
+    /// local register increments (written back at every exit) and
+    /// `exec_counts` collapses to one segment-hit increment, expanded
+    /// exactly at run end by [`Self::expand_seg_hits`]. A trap
+    /// mid-segment reconstructs the exact partial counters the
+    /// per-instruction path would have left. Whenever the gate fails,
+    /// the **exact** tier — per-instruction dispatch with full
+    /// `begin`/`finish` bookkeeping — takes over until the next taken
+    /// branch, where the gate is retried. Both tiers produce
+    /// bit-identical observables; the split is pure wall-clock.
+    fn drive(&mut self, frames: &mut Vec<CFrame>, arena: &mut Vec<u64>) -> Result<RunEnd, Stop> {
+        let module = self.module;
+        let code = self.code;
+        let mut move_buf: Vec<u64> = Vec::new();
+        let mut arg_buf: Vec<u64> = Vec::new();
+        'outer: loop {
+            if self.profile.value_dynamic >= self.next_vd {
+                if let Some(end) = self.boundary(frames, arena) {
+                    return Ok(end);
+                }
+            }
+            let fidx = frames.len() - 1;
+            let exit = {
+                let frame = &mut frames[fidx];
+                let fid = frame.fid;
+                let cf = &code.funcs[fid.0 as usize];
+                let pcb = code.pc_base[fid.0 as usize] as usize;
+                let base = frame.base as usize;
+                let frame_pc = &mut frame.pc;
+                let regs = &mut arena[base..];
+                let mut pc = *frame_pc as usize;
+                'inner: loop {
+                    if !H::ENABLED && !self.static_pending {
+                        // ---- turbo tier ----
+                        let gate_vd = self.inj_vd.min(self.next_vd);
+                        let max_dyn = self.limits.max_dynamic;
+                        let mut dynamic = self.profile.dynamic;
+                        let mut vd = self.profile.value_dynamic;
+                        'turbo: loop {
+                            debug_assert!(pc < cf.seg.len(), "pc out of bounds");
+                            let s = unsafe { *cf.seg.get_unchecked(pc) };
+                            if vd + s.n_defs as u64 >= gate_vd || dynamic + s.n_ops as u64 > max_dyn
+                            {
+                                break 'turbo;
+                            }
+                            let seg_start = pc;
+                            let dyn0 = dynamic;
+                            macro_rules! turbo_trap {
+                                ($e:expr) => {{
+                                    self.profile.dynamic = dynamic;
+                                    self.profile.value_dynamic = vd;
+                                    self.credit_partial(cf, seg_start, dynamic - dyn0);
+                                    return Err($e);
+                                }};
+                            }
+                            'ops: loop {
+                                debug_assert!(pc < cf.code.len(), "pc out of bounds");
+                                let bc = unsafe { *cf.code.get_unchecked(pc) };
+                                match bc {
+                                    Bc::Bin { op, ty, dst, a, b } => {
+                                        dynamic += 1;
+                                        match exec_bin(op, ty, rd(regs, a), rd(regs, b)) {
+                                            Ok(r) => {
+                                                vd += 1;
+                                                wr(regs, dst, r);
+                                                pc += 1;
+                                            }
+                                            Err(e) => turbo_trap!(e),
+                                        }
+                                    }
+                                    Bc::IAdd { dst, a, b } => {
+                                        dynamic += 1;
+                                        let r = (rd(regs, a) as i64)
+                                            .wrapping_add(rd(regs, b) as i64)
+                                            as u64;
+                                        vd += 1;
+                                        wr(regs, dst, r);
+                                        pc += 1;
+                                    }
+                                    Bc::ISub { dst, a, b } => {
+                                        dynamic += 1;
+                                        let r = (rd(regs, a) as i64)
+                                            .wrapping_sub(rd(regs, b) as i64)
+                                            as u64;
+                                        vd += 1;
+                                        wr(regs, dst, r);
+                                        pc += 1;
+                                    }
+                                    Bc::IMul { dst, a, b } => {
+                                        dynamic += 1;
+                                        let r = (rd(regs, a) as i64)
+                                            .wrapping_mul(rd(regs, b) as i64)
+                                            as u64;
+                                        vd += 1;
+                                        wr(regs, dst, r);
+                                        pc += 1;
+                                    }
+                                    Bc::FAdd { dst, a, b } => {
+                                        dynamic += 1;
+                                        let r = (f64::from_bits(rd(regs, a))
+                                            + f64::from_bits(rd(regs, b)))
+                                        .to_bits();
+                                        vd += 1;
+                                        wr(regs, dst, r);
+                                        pc += 1;
+                                    }
+                                    Bc::FSub { dst, a, b } => {
+                                        dynamic += 1;
+                                        let r = (f64::from_bits(rd(regs, a))
+                                            - f64::from_bits(rd(regs, b)))
+                                        .to_bits();
+                                        vd += 1;
+                                        wr(regs, dst, r);
+                                        pc += 1;
+                                    }
+                                    Bc::FMul { dst, a, b } => {
+                                        dynamic += 1;
+                                        let r = (f64::from_bits(rd(regs, a))
+                                            * f64::from_bits(rd(regs, b)))
+                                        .to_bits();
+                                        vd += 1;
+                                        wr(regs, dst, r);
+                                        pc += 1;
+                                    }
+                                    Bc::FDiv { dst, a, b } => {
+                                        dynamic += 1;
+                                        let r = (f64::from_bits(rd(regs, a))
+                                            / f64::from_bits(rd(regs, b)))
+                                        .to_bits();
+                                        vd += 1;
+                                        wr(regs, dst, r);
+                                        pc += 1;
+                                    }
+                                    Bc::FMulAdd { t, a, b, dst, x, y } => {
+                                        dynamic += 1;
+                                        let m = (f64::from_bits(rd(regs, a))
+                                            * f64::from_bits(rd(regs, b)))
+                                        .to_bits();
+                                        vd += 1;
+                                        wr(regs, t, m);
+                                        dynamic += 1;
+                                        let s = (f64::from_bits(rd(regs, x))
+                                            + f64::from_bits(rd(regs, y)))
+                                        .to_bits();
+                                        vd += 1;
+                                        wr(regs, dst, s);
+                                        pc += 2;
+                                    }
+                                    Bc::Un { op, ty, dst, a } => {
+                                        dynamic += 1;
+                                        let r = exec_un(op, ty, rd(regs, a));
+                                        vd += 1;
+                                        wr(regs, dst, r);
+                                        pc += 1;
+                                    }
+                                    Bc::Icmp { pred, dst, a, b } => {
+                                        dynamic += 1;
+                                        let r = icmp(pred, rd(regs, a), rd(regs, b));
+                                        vd += 1;
+                                        wr(regs, dst, r);
+                                        pc += 1;
+                                    }
+                                    Bc::Fcmp { pred, dst, a, b } => {
+                                        dynamic += 1;
+                                        let r = fcmp(pred, rd(regs, a), rd(regs, b));
+                                        vd += 1;
+                                        wr(regs, dst, r);
+                                        pc += 1;
+                                    }
+                                    Bc::Select { dst, cond, t, f } => {
+                                        dynamic += 1;
+                                        let c = rd(regs, cond) & 1;
+                                        let r = if c != 0 { rd(regs, t) } else { rd(regs, f) };
+                                        vd += 1;
+                                        wr(regs, dst, r);
+                                        pc += 1;
+                                    }
+                                    Bc::Cast {
+                                        kind,
+                                        from,
+                                        to,
+                                        dst,
+                                        a,
+                                    } => {
+                                        dynamic += 1;
+                                        let r = exec_cast(kind, from, to, rd(regs, a));
+                                        vd += 1;
+                                        wr(regs, dst, r);
+                                        pc += 1;
+                                    }
+                                    Bc::Load { ty, dst, addr } => {
+                                        dynamic += 1;
+                                        match self.mem_read(rd(regs, addr)) {
+                                            Ok(w) => {
+                                                vd += 1;
+                                                wr(regs, dst, canon(ty, w));
+                                                pc += 1;
+                                            }
+                                            Err(e) => turbo_trap!(e),
+                                        }
+                                    }
+                                    Bc::Store { addr, val } => {
+                                        dynamic += 1;
+                                        match self.mem_write(rd(regs, addr), rd(regs, val)) {
+                                            Ok(()) => pc += 1,
+                                            Err(e) => turbo_trap!(e),
+                                        }
+                                    }
+                                    Bc::Gep { dst, base, index } => {
+                                        dynamic += 1;
+                                        let r = rd(regs, base).wrapping_add(rd(regs, index));
+                                        vd += 1;
+                                        wr(regs, dst, r);
+                                        pc += 1;
+                                    }
+                                    Bc::Alloca { dst, words } => {
+                                        dynamic += 1;
+                                        match self.alloca(fid, pc, rd(regs, words)) {
+                                            Ok(r) => {
+                                                vd += 1;
+                                                wr(regs, dst, r);
+                                                pc += 1;
+                                            }
+                                            Err(e) => turbo_trap!(e),
+                                        }
+                                    }
+                                    Bc::Output { val } => {
+                                        dynamic += 1;
+                                        let v = rd(regs, val);
+                                        self.output.push(v);
+                                        pc += 1;
+                                    }
+                                    Bc::GepLoad {
+                                        ty,
+                                        gep_dst,
+                                        base,
+                                        index,
+                                        dst,
+                                    } => {
+                                        dynamic += 1;
+                                        let p = rd(regs, base).wrapping_add(rd(regs, index));
+                                        vd += 1;
+                                        wr(regs, gep_dst, p);
+                                        dynamic += 1;
+                                        match self.mem_read(p) {
+                                            Ok(w) => {
+                                                vd += 1;
+                                                wr(regs, dst, canon(ty, w));
+                                                pc += 2;
+                                            }
+                                            Err(e) => turbo_trap!(e),
+                                        }
+                                    }
+                                    Bc::GepStore {
+                                        gep_dst,
+                                        base,
+                                        index,
+                                        val,
+                                    } => {
+                                        dynamic += 1;
+                                        let p = rd(regs, base).wrapping_add(rd(regs, index));
+                                        vd += 1;
+                                        wr(regs, gep_dst, p);
+                                        dynamic += 1;
+                                        match self.mem_write(p, rd(regs, val)) {
+                                            Ok(()) => pc += 2,
+                                            Err(e) => turbo_trap!(e),
+                                        }
+                                    }
+                                    Bc::CmpBrI {
+                                        pred,
+                                        dst,
+                                        a,
+                                        b,
+                                        edge,
+                                    } => {
+                                        dynamic += 1;
+                                        let r = icmp(pred, rd(regs, a), rd(regs, b));
+                                        vd += 1;
+                                        wr(regs, dst, r);
+                                        self.seg_hits[pcb + seg_start] += 1;
+                                        let e = if r != 0 { edge } else { edge + 1 };
+                                        pc = take_edge(cf, e, regs, &mut move_buf) as usize;
+                                        break 'ops;
+                                    }
+                                    Bc::CmpBrF {
+                                        pred,
+                                        dst,
+                                        a,
+                                        b,
+                                        edge,
+                                    } => {
+                                        dynamic += 1;
+                                        let r = fcmp(pred, rd(regs, a), rd(regs, b));
+                                        vd += 1;
+                                        wr(regs, dst, r);
+                                        self.seg_hits[pcb + seg_start] += 1;
+                                        let e = if r != 0 { edge } else { edge + 1 };
+                                        pc = take_edge(cf, e, regs, &mut move_buf) as usize;
+                                        break 'ops;
+                                    }
+                                    Bc::IAddCmpBrI {
+                                        dst,
+                                        a,
+                                        b,
+                                        pred,
+                                        cdst,
+                                        ca,
+                                        cb,
+                                        edge,
+                                    } => {
+                                        dynamic += 1;
+                                        let r = (rd(regs, a) as i64)
+                                            .wrapping_add(rd(regs, b) as i64)
+                                            as u64;
+                                        vd += 1;
+                                        wr(regs, dst, r);
+                                        dynamic += 1;
+                                        let c = icmp(pred, rd(regs, ca), rd(regs, cb));
+                                        vd += 1;
+                                        wr(regs, cdst, c);
+                                        self.seg_hits[pcb + seg_start] += 1;
+                                        let e = if c != 0 { edge } else { edge + 1 };
+                                        pc = take_edge(cf, e, regs, &mut move_buf) as usize;
+                                        break 'ops;
+                                    }
+                                    Bc::Br { edge } => {
+                                        self.seg_hits[pcb + seg_start] += 1;
+                                        pc = take_edge(cf, edge, regs, &mut move_buf) as usize;
+                                        break 'ops;
+                                    }
+                                    Bc::CondBr { cond, edge } => {
+                                        self.seg_hits[pcb + seg_start] += 1;
+                                        let c = rd(regs, cond) & 1;
+                                        let e = if c != 0 { edge } else { edge + 1 };
+                                        pc = take_edge(cf, e, regs, &mut move_buf) as usize;
+                                        break 'ops;
+                                    }
+                                    Bc::Call { .. } => {
+                                        self.seg_hits[pcb + seg_start] += 1;
+                                        self.profile.dynamic = dynamic;
+                                        self.profile.value_dynamic = vd;
+                                        *frame_pc = pc as u32;
+                                        break 'inner Exit::Call;
+                                    }
+                                    Bc::Ret { .. } => {
+                                        self.seg_hits[pcb + seg_start] += 1;
+                                        self.profile.dynamic = dynamic;
+                                        self.profile.value_dynamic = vd;
+                                        *frame_pc = pc as u32;
+                                        break 'inner Exit::Ret;
+                                    }
+                                }
+                            }
+                        }
+                        self.profile.dynamic = dynamic;
+                        self.profile.value_dynamic = vd;
+                    }
+                    // ---- exact tier ----
+                    debug_assert!(pc < cf.code.len(), "pc out of bounds");
+                    let bc = unsafe { *cf.code.get_unchecked(pc) };
+                    match bc {
+                        Bc::Bin { op, ty, dst, a, b } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = exec_bin(op, ty, rd(regs, a), rd(regs, b))?;
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::Un { op, ty, dst, a } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = exec_un(op, ty, rd(regs, a));
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::Icmp { pred, dst, a, b } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = icmp(pred, rd(regs, a), rd(regs, b));
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::Fcmp { pred, dst, a, b } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = fcmp(pred, rd(regs, a), rd(regs, b));
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::Select { dst, cond, t, f } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let c = rd(regs, cond) & 1;
+                            let r = if c != 0 { rd(regs, t) } else { rd(regs, f) };
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::Cast {
+                            kind,
+                            from,
+                            to,
+                            dst,
+                            a,
+                        } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = exec_cast(kind, from, to, rd(regs, a));
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::Load { ty, dst, addr } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let p = rd(regs, addr);
+                            let word = self.mem_read(p)?;
+                            if H::ENABLED {
+                                let ins = self.instr_at(fid, pc);
+                                self.hook.mem_load(ins, p, word);
+                            }
+                            self.finish(fid, cf, pc, dst, canon(ty, word), regs);
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::Store { addr, val } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let p = rd(regs, addr);
+                            let v = rd(regs, val);
+                            self.mem_write(p, v)?;
+                            if H::ENABLED {
+                                let ins = self.instr_at(fid, pc);
+                                self.hook.mem_store(ins, p, v);
+                            }
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::Gep { dst, base, index } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = rd(regs, base).wrapping_add(rd(regs, index));
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::Alloca { dst, words } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = self.alloca(fid, pc, rd(regs, words))?;
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::Output { val } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let v = rd(regs, val);
+                            self.output.push(v);
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::IAdd { dst, a, b } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = (rd(regs, a) as i64).wrapping_add(rd(regs, b) as i64) as u64;
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::ISub { dst, a, b } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = (rd(regs, a) as i64).wrapping_sub(rd(regs, b) as i64) as u64;
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::IMul { dst, a, b } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = (rd(regs, a) as i64).wrapping_mul(rd(regs, b) as i64) as u64;
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::FAdd { dst, a, b } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = (f64::from_bits(rd(regs, a)) + f64::from_bits(rd(regs, b)))
+                                .to_bits();
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::FSub { dst, a, b } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = (f64::from_bits(rd(regs, a)) - f64::from_bits(rd(regs, b)))
+                                .to_bits();
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::FMul { dst, a, b } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = (f64::from_bits(rd(regs, a)) * f64::from_bits(rd(regs, b)))
+                                .to_bits();
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::FDiv { dst, a, b } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = (f64::from_bits(rd(regs, a)) / f64::from_bits(rd(regs, b)))
+                                .to_bits();
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            pc += 1;
+                        }
+                        Bc::FMulAdd { t, a, b, dst, x, y } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let m = (f64::from_bits(rd(regs, a)) * f64::from_bits(rd(regs, b)))
+                                .to_bits();
+                            self.finish(fid, cf, pc, t, m, regs);
+                            self.end(fid, pc, timer);
+                            if self.profile.value_dynamic >= self.next_vd {
+                                // Boundary between the multiply and the
+                                // add: resume at the unfused stub.
+                                *frame_pc = (pc + 1) as u32;
+                                break 'inner Exit::Boundary;
+                            }
+                            let timer = self.begin(fid, cf, pc + 1)?;
+                            let s = (f64::from_bits(rd(regs, x)) + f64::from_bits(rd(regs, y)))
+                                .to_bits();
+                            self.finish(fid, cf, pc + 1, dst, s, regs);
+                            self.end(fid, pc + 1, timer);
+                            pc += 2;
+                        }
+                        Bc::Call { .. } => {
+                            *frame_pc = pc as u32;
+                            break 'inner Exit::Call;
+                        }
+                        Bc::Ret { .. } => {
+                            *frame_pc = pc as u32;
+                            break 'inner Exit::Ret;
+                        }
+                        Bc::Br { edge } => {
+                            if H::ENABLED {
+                                let (b, _) = cf.meta[pc];
+                                let func = module.func(fid);
+                                if let Term::Br { target, args } = &func.blocks[b as usize].term {
+                                    self.hook.branch_transfer(
+                                        None,
+                                        &func.blocks[target.0 as usize].params,
+                                        args,
+                                    );
+                                }
+                            }
+                            pc = take_edge(cf, edge, regs, &mut move_buf) as usize;
+                            continue 'inner;
+                        }
+                        Bc::CondBr { cond, edge } => {
+                            let c = rd(regs, cond) & 1;
+                            let e = if c != 0 { edge } else { edge + 1 };
+                            if H::ENABLED {
+                                self.cond_branch_hook(fid, cf, pc, c);
+                            }
+                            pc = take_edge(cf, e, regs, &mut move_buf) as usize;
+                            continue 'inner;
+                        }
+                        Bc::CmpBrI {
+                            pred,
+                            dst,
+                            a,
+                            b,
+                            edge,
+                        } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = icmp(pred, rd(regs, a), rd(regs, b));
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            if self.profile.value_dynamic >= self.next_vd {
+                                // Boundary between the compare and the
+                                // branch: resume at the unfused stub.
+                                *frame_pc = (pc + 1) as u32;
+                                break 'inner Exit::Boundary;
+                            }
+                            let c = rd(regs, dst) & 1;
+                            let e = if c != 0 { edge } else { edge + 1 };
+                            if H::ENABLED {
+                                self.cond_branch_hook(fid, cf, pc + 1, c);
+                            }
+                            pc = take_edge(cf, e, regs, &mut move_buf) as usize;
+                            continue 'inner;
+                        }
+                        Bc::CmpBrF {
+                            pred,
+                            dst,
+                            a,
+                            b,
+                            edge,
+                        } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = fcmp(pred, rd(regs, a), rd(regs, b));
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            if self.profile.value_dynamic >= self.next_vd {
+                                *frame_pc = (pc + 1) as u32;
+                                break 'inner Exit::Boundary;
+                            }
+                            let c = rd(regs, dst) & 1;
+                            let e = if c != 0 { edge } else { edge + 1 };
+                            if H::ENABLED {
+                                self.cond_branch_hook(fid, cf, pc + 1, c);
+                            }
+                            pc = take_edge(cf, e, regs, &mut move_buf) as usize;
+                            continue 'inner;
+                        }
+                        Bc::IAddCmpBrI {
+                            dst,
+                            a,
+                            b,
+                            pred,
+                            cdst,
+                            ca,
+                            cb,
+                            edge,
+                        } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = (rd(regs, a) as i64).wrapping_add(rd(regs, b) as i64) as u64;
+                            self.finish(fid, cf, pc, dst, r, regs);
+                            self.end(fid, pc, timer);
+                            if self.profile.value_dynamic >= self.next_vd {
+                                // Boundary between the add and the
+                                // compare: resume at the cmp-br stub.
+                                *frame_pc = (pc + 1) as u32;
+                                break 'inner Exit::Boundary;
+                            }
+                            let timer = self.begin(fid, cf, pc + 1)?;
+                            let c = icmp(pred, rd(regs, ca), rd(regs, cb));
+                            self.finish(fid, cf, pc + 1, cdst, c, regs);
+                            self.end(fid, pc + 1, timer);
+                            if self.profile.value_dynamic >= self.next_vd {
+                                // Boundary between the compare and the
+                                // branch: resume at the cond-br stub.
+                                *frame_pc = (pc + 2) as u32;
+                                break 'inner Exit::Boundary;
+                            }
+                            let c = rd(regs, cdst) & 1;
+                            let e = if c != 0 { edge } else { edge + 1 };
+                            if H::ENABLED {
+                                self.cond_branch_hook(fid, cf, pc + 2, c);
+                            }
+                            pc = take_edge(cf, e, regs, &mut move_buf) as usize;
+                            continue 'inner;
+                        }
+                        Bc::GepLoad {
+                            ty,
+                            gep_dst,
+                            base,
+                            index,
+                            dst,
+                        } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = rd(regs, base).wrapping_add(rd(regs, index));
+                            self.finish(fid, cf, pc, gep_dst, r, regs);
+                            self.end(fid, pc, timer);
+                            if self.profile.value_dynamic >= self.next_vd {
+                                *frame_pc = (pc + 1) as u32;
+                                break 'inner Exit::Boundary;
+                            }
+                            let timer = self.begin(fid, cf, pc + 1)?;
+                            let p = rd(regs, gep_dst);
+                            let word = self.mem_read(p)?;
+                            if H::ENABLED {
+                                let ins = self.instr_at(fid, pc + 1);
+                                self.hook.mem_load(ins, p, word);
+                            }
+                            self.finish(fid, cf, pc + 1, dst, canon(ty, word), regs);
+                            self.end(fid, pc + 1, timer);
+                            pc += 2;
+                        }
+                        Bc::GepStore {
+                            gep_dst,
+                            base,
+                            index,
+                            val,
+                        } => {
+                            let timer = self.begin(fid, cf, pc)?;
+                            let r = rd(regs, base).wrapping_add(rd(regs, index));
+                            self.finish(fid, cf, pc, gep_dst, r, regs);
+                            self.end(fid, pc, timer);
+                            if self.profile.value_dynamic >= self.next_vd {
+                                *frame_pc = (pc + 1) as u32;
+                                break 'inner Exit::Boundary;
+                            }
+                            let timer = self.begin(fid, cf, pc + 1)?;
+                            let p = rd(regs, gep_dst);
+                            let v = rd(regs, val);
+                            self.mem_write(p, v)?;
+                            if H::ENABLED {
+                                let ins = self.instr_at(fid, pc + 1);
+                                self.hook.mem_store(ins, p, v);
+                            }
+                            self.end(fid, pc + 1, timer);
+                            pc += 2;
+                        }
+                    }
+                    if self.profile.value_dynamic >= self.next_vd {
+                        *frame_pc = pc as u32;
+                        break 'inner Exit::Boundary;
+                    }
+                }
+            };
+            match exit {
+                Exit::Boundary => continue 'outer,
+                Exit::Call => {
+                    let frame = frames.last_mut().expect("call with no frame");
+                    let fid = frame.fid;
+                    let cf = &code.funcs[fid.0 as usize];
+                    let pc = frame.pc as usize;
+                    let base = frame.base as usize;
+                    let (callee, args_start) = match cf.code[pc] {
+                        Bc::Call { callee, args, .. } => (callee, args as usize),
+                        _ => unreachable!("Exit::Call at a non-call pc"),
+                    };
+                    let timer = self.begin(fid, cf, pc)?;
+                    let nargs = module.func(callee).params.len();
+                    arg_buf.clear();
+                    arg_buf.extend(
+                        cf.call_args[args_start..args_start + nargs]
+                            .iter()
+                            .map(|&r| rd(&arena[base..], r)),
+                    );
+                    if H::ENABLED {
+                        let ins = self.instr_at(fid, pc);
+                        self.hook.call_enter(ins, callee);
+                    }
+                    self.push_cframe(frames, arena, callee, &arg_buf, timer)?;
+                    continue 'outer;
+                }
+                Exit::Ret => {
+                    let frame = frames.last().expect("ret with no frame");
+                    let fid = frame.fid;
+                    let cf = &code.funcs[fid.0 as usize];
+                    let pc = frame.pc as usize;
+                    let val_reg = match cf.code[pc] {
+                        Bc::Ret { val } => val,
+                        _ => unreachable!("Exit::Ret at a non-ret pc"),
+                    };
+                    if H::ENABLED {
+                        let (b, _) = cf.meta[pc];
+                        if let Term::Ret { value } = &module.func(fid).blocks[b as usize].term {
+                            self.hook.func_ret(value.as_ref());
+                        }
+                    }
+                    let v = if val_reg == NO_REG {
+                        None
+                    } else {
+                        Some(rd(&arena[frame.base as usize..], val_reg))
+                    };
+                    let frame_sp = frame.frame_sp;
+                    let freed = frame_sp as usize..self.stack_ptr as usize;
+                    if !freed.is_empty() {
+                        let len = (freed.end - freed.start) as u64;
+                        self.memory[freed].fill(0);
+                        if H::ENABLED {
+                            self.hook.mem_clear(frame_sp, len);
+                        }
+                    }
+                    self.stack_ptr = frame_sp;
+                    let popped = frames.pop().expect("ret with no frame");
+                    arena.truncate(popped.base as usize);
+                    let timer = popped.call_timer;
+                    match frames.last_mut() {
+                        None => return Ok(RunEnd::Done(v)),
+                        Some(caller) => {
+                            let ccf = &code.funcs[caller.fid.0 as usize];
+                            let cpc = caller.pc as usize;
+                            let dst = match ccf.code[cpc] {
+                                Bc::Call { dst, .. } => dst,
+                                _ => unreachable!("caller pc not at its call"),
+                            };
+                            if dst != NO_REG {
+                                let cfid = caller.fid;
+                                let bits = v.expect("value call returned nothing");
+                                let cbase = caller.base as usize;
+                                self.finish(cfid, ccf, cpc, dst, bits, &mut arena[cbase..]);
+                            }
+                            caller.pc += 1;
+                            if timer.is_some() {
+                                let cfid = caller.fid;
+                                self.end(cfid, cpc, timer);
+                            }
+                        }
+                    }
+                    continue 'outer;
+                }
+            }
+        }
+    }
+
+    /// Alloca with the interpreter's exact trap/high-water semantics.
+    fn alloca(&mut self, _fid: FuncId, _pc: usize, words: u64) -> Result<u64, Stop> {
+        let w = words as i64;
+        if w < 0 {
+            return Err(Stop::Trap(Trap::StackOverflow));
+        }
+        let base = self.stack_ptr;
+        let end = base
+            .checked_add(w as u64)
+            .ok_or(Stop::Trap(Trap::StackOverflow))?;
+        if end > self.memory.len() as u64 {
+            return Err(Stop::Trap(Trap::StackOverflow));
+        }
+        self.memory[base as usize..end as usize].fill(0);
+        self.hwm = self.hwm.max(end as usize);
+        if H::ENABLED {
+            self.hook.mem_clear(base, w as u64);
+        }
+        self.stack_ptr = end;
+        Ok(base)
+    }
+
+    /// `branch_transfer` for a conditional branch: recover the `Term`
+    /// operands the interpreter would pass. `pc` must be the pc whose
+    /// `meta` names the branching block (the cond-br stub for fused
+    /// pairs).
+    #[cold]
+    fn cond_branch_hook(&mut self, fid: FuncId, cf: &CompiledFunc, pc: usize, c: u64) {
+        let (b, _) = cf.meta[pc];
+        let func = self.module.func(fid);
+        if let Term::CondBr {
+            cond,
+            then_target,
+            then_args,
+            else_target,
+            else_args,
+        } = &func.blocks[b as usize].term
+        {
+            let (target, targs) = if c != 0 {
+                (then_target, then_args)
+            } else {
+                (else_target, else_args)
+            };
+            self.hook
+                .branch_transfer(Some(cond), &func.blocks[target.0 as usize].params, targs);
+        }
+    }
+}
+
+#[inline(always)]
+fn icmp(pred: IPred, a: u64, b: u64) -> u64 {
+    let (x, y) = (a as i64, b as i64);
+    let r = match pred {
+        IPred::Eq => x == y,
+        IPred::Ne => x != y,
+        IPred::Slt => x < y,
+        IPred::Sle => x <= y,
+        IPred::Sgt => x > y,
+        IPred::Sge => x >= y,
+        IPred::Ult => (x as u64) < (y as u64),
+    };
+    r as u64
+}
+
+#[inline(always)]
+fn fcmp(pred: FPred, a: u64, b: u64) -> u64 {
+    let x = f64::from_bits(a);
+    let y = f64::from_bits(b);
+    let r = match pred {
+        FPred::Oeq => x == y,
+        FPred::One => x != y && !x.is_nan() && !y.is_nan(),
+        FPred::Olt => x < y,
+        FPred::Ole => x <= y,
+        FPred::Ogt => x > y,
+        FPred::Oge => x >= y,
+    };
+    r as u64
+}
+
+/// Applies a branch edge's block-argument moves and returns the target
+/// pc. Safe edges copy in place; unsafe ones buffer sources first —
+/// both orders equal the interpreter's two-phase `arg_buf` copy (see
+/// [`crate::lower::Edge::in_place`]).
+#[inline(always)]
+fn take_edge(cf: &CompiledFunc, e: u32, regs: &mut [u64], buf: &mut Vec<u64>) -> u32 {
+    let ed = cf.edges[e as usize];
+    let mv = &cf.moves[ed.moves_start as usize..(ed.moves_start + ed.moves_len) as usize];
+    if ed.in_place {
+        for &(d, s) in mv {
+            let v = rd(regs, s);
+            wr(regs, d, v);
+        }
+    } else {
+        buf.clear();
+        buf.extend(mv.iter().map(|&(_, s)| rd(regs, s)));
+        for (&(d, _), &v) in mv.iter().zip(buf.iter()) {
+            wr(regs, d, v);
+        }
+    }
+    ed.target_pc
+}
+
+/// The compiled engine's public face: same constructor shape and entry
+/// points as [`crate::Vm`], dispatching over a pre-lowered
+/// [`CompiledModule`]. Snapshot *capture* stays on the interpreter
+/// (it is a once-per-campaign, fault-free run); everything else —
+/// full runs, hooked runs, snapshot resume, convergence trials — runs
+/// here.
+pub struct CompiledVm<'m> {
+    module: &'m Module,
+    code: &'m CompiledModule,
+    limits: ExecLimits,
+}
+
+impl<'m> CompiledVm<'m> {
+    /// `code` must be the result of [`CompiledModule::lower`] on this
+    /// exact `module`.
+    pub fn new(module: &'m Module, code: &'m CompiledModule, limits: ExecLimits) -> CompiledVm<'m> {
+        assert_eq!(
+            module.functions.len(),
+            code.funcs.len(),
+            "compiled code does not match the module"
+        );
+        CompiledVm {
+            module,
+            code,
+            limits,
+        }
+    }
+
+    pub fn run(&self, input_bits: &[u64], injection: Option<Injection>) -> RunOutput {
+        let mut hook = NoHook;
+        self.run_with_hook(input_bits, injection, &mut hook)
+    }
+
+    /// Golden/trial run from numeric inputs, as [`crate::Vm::run_numeric`].
+    pub fn run_numeric(&self, inputs: &[f64], injection: Option<Injection>) -> RunOutput {
+        let bits = crate::inputs::encode_inputs(self.module.entry_func(), inputs);
+        self.run(&bits, injection)
+    }
+
+    pub fn run_with_hook<H: ExecHook>(
+        &self,
+        input_bits: &[u64],
+        injection: Option<Injection>,
+        hook: &mut H,
+    ) -> RunOutput {
+        self.run_impl(input_bits, injection, hook, None)
+    }
+
+    /// Full run that reuses `scratch`'s memory buffer across trials:
+    /// instead of zero-allocating `memory_words` (the dominant fixed
+    /// cost of a short trial), only the previous run's dirty span is
+    /// zeroed and the prelowered globals image re-copied.
+    pub fn run_amortized(
+        &self,
+        scratch: &mut ResumeScratch,
+        input_bits: &[u64],
+        injection: Option<Injection>,
+    ) -> RunOutput {
+        let mut hook = NoHook;
+        self.run_impl(input_bits, injection, &mut hook, Some(scratch))
+    }
+
+    fn run_impl<H: ExecHook>(
+        &self,
+        input_bits: &[u64],
+        injection: Option<Injection>,
+        hook: &mut H,
+        mut scratch: Option<&mut ResumeScratch>,
+    ) -> RunOutput {
+        let entry = self.module.entry_func();
+        assert_eq!(input_bits.len(), entry.params.len(), "entry arity mismatch");
+        let memory = match scratch.as_deref_mut() {
+            Some(s) => s.take_restored(self.limits.memory_words, &self.code.globals_image),
+            None => {
+                let mut mem = vec![0u64; self.limits.memory_words];
+                mem[..self.code.globals_image.len()].copy_from_slice(&self.code.globals_image);
+                mem
+            }
+        };
+        let mut m = self.machine(memory, hook, injection);
+        m.hwm = self.module.globals_words() as usize;
+        m.stack_ptr = self.module.globals_words();
+        let args: Vec<u64> = input_bits
+            .iter()
+            .zip(&entry.params)
+            .map(|(&b, &t)| canon(t, b))
+            .collect();
+        let mut frames: Vec<CFrame> = Vec::new();
+        let mut arena: Vec<u64> = Vec::new();
+        let end = m
+            .push_cframe(&mut frames, &mut arena, self.module.entry, &args, None)
+            .and_then(|()| m.drive(&mut frames, &mut arena));
+        m.expand_seg_hits();
+        if let Some(s) = scratch {
+            let hwm = m.hwm;
+            s.put_back(std::mem::take(&mut m.memory), hwm);
+        }
+        let (status, ret) = match end {
+            Ok(RunEnd::Done(v)) => (RunStatus::Ok, v),
+            Ok(RunEnd::Converged { .. }) => unreachable!("full runs carry no checkpoints"),
+            Err(Stop::Trap(t)) => (RunStatus::Trap(t), None),
+            Err(Stop::Hang) => (RunStatus::Hang, None),
+        };
+        RunOutput {
+            status,
+            output: m.output,
+            ret,
+            profile: m.profile,
+            fault_activated: m.fault_activated,
+            memory: None,
+        }
+    }
+
+    pub fn resume_from(&self, snap: &VmSnapshot, injection: Option<Injection>) -> RunOutput {
+        let mut hook = NoHook;
+        self.resume_from_with_hook(snap, injection, &mut hook)
+    }
+
+    pub fn resume_from_with_hook<H: ExecHook>(
+        &self,
+        snap: &VmSnapshot,
+        injection: Option<Injection>,
+        hook: &mut H,
+    ) -> RunOutput {
+        match self.resume_impl(snap, injection, hook, &[], None, None, None) {
+            TrialResume::Completed(out) => out,
+            TrialResume::Converged { .. } => unreachable!("no checkpoints supplied"),
+        }
+    }
+
+    pub fn resume_trial(
+        &self,
+        snap: &VmSnapshot,
+        injection: Option<Injection>,
+        checkpoints: &[VmSnapshot],
+    ) -> TrialResume {
+        let mut hook = NoHook;
+        self.resume_impl(snap, injection, &mut hook, checkpoints, None, None, None)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume_trial_amortized(
+        &self,
+        scratch: &mut ResumeScratch,
+        snap: &VmSnapshot,
+        injection: Option<Injection>,
+        checkpoints: &[VmSnapshot],
+        masks: Option<&ConvergeMasks>,
+        read_sets: Option<&ReadSets>,
+    ) -> TrialResume {
+        let mut hook = NoHook;
+        self.resume_impl(
+            snap,
+            injection,
+            &mut hook,
+            checkpoints,
+            masks,
+            read_sets,
+            Some(scratch),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn resume_impl<'a, H: ExecHook>(
+        &'a self,
+        snap: &VmSnapshot,
+        injection: Option<Injection>,
+        hook: &'a mut H,
+        checkpoints: &'a [VmSnapshot],
+        masks: Option<&'a ConvergeMasks>,
+        read_sets: Option<&'a ReadSets>,
+        mut scratch: Option<&mut ResumeScratch>,
+    ) -> TrialResume {
+        let d = snap.data();
+        assert_eq!(
+            d.memory_words, self.limits.memory_words,
+            "snapshot captured under a different memory size"
+        );
+        let memory = match scratch.as_deref_mut() {
+            Some(s) => s.take_restored(self.limits.memory_words, &d.mem),
+            None => {
+                let mut mem = vec![0u64; self.limits.memory_words];
+                mem[..d.mem.len()].copy_from_slice(&d.mem);
+                mem
+            }
+        };
+        let mut m = self.machine(memory, hook, injection);
+        m.hwm = d.hwm;
+        m.stack_ptr = d.stack_ptr;
+        m.profile = Profile {
+            exec_counts: d.exec_counts.clone(),
+            dynamic: d.dynamic,
+            value_dynamic: d.value_dynamic,
+        };
+        m.output = d.output.clone();
+        if !checkpoints.is_empty() {
+            m.next_vd = checkpoints
+                .first()
+                .map_or(u64::MAX, |c| c.data().value_dynamic);
+            m.conv = Some(ConvergeCtl {
+                checkpoints,
+                next: 0,
+                masks,
+                read_sets,
+            });
+        }
+        // Interpreter frames map onto pcs through `pc_of`; the register
+        // file is widened with the function's constant pool.
+        let mut frames: Vec<CFrame> = Vec::with_capacity(d.frames.len());
+        let mut arena: Vec<u64> = Vec::new();
+        for f in &d.frames {
+            let cf = &self.code.funcs[f.fid.0 as usize];
+            let base = arena.len();
+            arena.extend_from_slice(&cf.frame_image);
+            arena[base..base + f.regs.len()].copy_from_slice(&f.regs);
+            frames.push(CFrame {
+                fid: f.fid,
+                base: base as u32,
+                pc: cf.pc_of[f.block as usize][f.instr as usize],
+                frame_sp: f.frame_sp,
+                call_timer: None,
+            });
+        }
+        let end = m.drive(&mut frames, &mut arena);
+        m.expand_seg_hits();
+        if let Some(s) = scratch {
+            let hwm = m.hwm;
+            s.put_back(std::mem::take(&mut m.memory), hwm);
+        }
+        match end {
+            Ok(RunEnd::Done(v)) => TrialResume::Completed(RunOutput {
+                status: RunStatus::Ok,
+                output: m.output,
+                ret: v,
+                profile: m.profile,
+                fault_activated: m.fault_activated,
+                memory: None,
+            }),
+            Ok(RunEnd::Converged {
+                at_value_dynamic,
+                checkpoint_dynamic,
+                dynamic_at_exit,
+                output_matches,
+            }) => TrialResume::Converged {
+                at_value_dynamic,
+                checkpoint_dynamic,
+                dynamic_at_exit,
+                output_matches,
+            },
+            Err(stop) => TrialResume::Completed(RunOutput {
+                status: match stop {
+                    Stop::Trap(t) => RunStatus::Trap(t),
+                    Stop::Hang => RunStatus::Hang,
+                },
+                output: m.output,
+                ret: None,
+                profile: m.profile,
+                fault_activated: m.fault_activated,
+                memory: None,
+            }),
+        }
+    }
+
+    fn machine<'h, H: ExecHook>(
+        &'h self,
+        memory: Vec<u64>,
+        hook: &'h mut H,
+        injection: Option<Injection>,
+    ) -> CMachine<'h, &'h mut H> {
+        let inj_vd = match injection {
+            Some(Injection {
+                target: InjectionTarget::DynamicIndex(k),
+                ..
+            }) => k.saturating_add(1),
+            _ => u64::MAX,
+        };
+        let static_pending = matches!(
+            injection,
+            Some(Injection {
+                target: InjectionTarget::StaticInstance { .. },
+                ..
+            })
+        );
+        CMachine {
+            module: self.module,
+            code: self.code,
+            limits: self.limits,
+            memory,
+            hwm: 0,
+            stack_ptr: 0,
+            profile: Profile::new(self.module.num_instrs),
+            output: Vec::new(),
+            injection,
+            inj_vd,
+            static_pending,
+            fault_activated: false,
+            conv: None,
+            next_vd: u64::MAX,
+            seg_hits: vec![0u64; self.code.total_pcs],
+            hook,
+        }
+    }
+}

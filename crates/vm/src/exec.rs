@@ -153,13 +153,13 @@ impl RunOutput {
     }
 }
 
-enum Stop {
+pub(crate) enum Stop {
     Trap(Trap),
     Hang,
 }
 
 /// How the driver loop ended (besides a trap or hang).
-enum RunEnd {
+pub(crate) enum RunEnd {
     /// The entry function returned.
     Done(Option<u64>),
     /// Convergence early-exit: machine state matched a golden checkpoint.
@@ -232,7 +232,7 @@ impl ResumeScratch {
 
     /// Takes the buffer out, restored to the exact `zeros ++ prefix`
     /// image a fresh allocation would produce.
-    fn take_restored(&mut self, words: usize, prefix: &[u64]) -> Vec<u64> {
+    pub(crate) fn take_restored(&mut self, words: usize, prefix: &[u64]) -> Vec<u64> {
         if self.buf.len() != words {
             self.buf = vec![0u64; words];
             self.dirty = 0;
@@ -244,7 +244,7 @@ impl ResumeScratch {
         std::mem::take(&mut self.buf)
     }
 
-    fn put_back(&mut self, buf: Vec<u64>, hwm: usize) {
+    pub(crate) fn put_back(&mut self, buf: Vec<u64>, hwm: usize) {
         self.buf = buf;
         self.dirty = hwm;
     }
@@ -263,7 +263,7 @@ pub struct Vm<'m> {
 }
 
 #[inline]
-fn canon(ty: Ty, bits: u64) -> u64 {
+pub(crate) fn canon(ty: Ty, bits: u64) -> u64 {
     match ty {
         Ty::I1 => bits & 1,
         Ty::I32 => (bits as u32 as i32 as i64) as u64,
@@ -272,7 +272,7 @@ fn canon(ty: Ty, bits: u64) -> u64 {
 }
 
 #[inline]
-fn flip_bits(ty: Ty, bits: u64, bit: u32, burst: u8) -> u64 {
+pub(crate) fn flip_bits(ty: Ty, bits: u64, bit: u32, burst: u8) -> u64 {
     let w = ty.bits();
     let mut mask = 0u64;
     for k in 0..=burst as u32 {
@@ -1161,7 +1161,7 @@ impl<'m, H: ExecHook> State<'m, H> {
 }
 
 #[inline]
-fn eval(regs: &[u64], op: &Operand) -> u64 {
+pub(crate) fn eval(regs: &[u64], op: &Operand) -> u64 {
     match op {
         Operand::Value(v) => regs[v.0 as usize],
         Operand::Const(c) => canon(c.ty, c.bits),
@@ -1169,7 +1169,7 @@ fn eval(regs: &[u64], op: &Operand) -> u64 {
 }
 
 #[inline]
-fn exec_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> Result<u64, Stop> {
+pub(crate) fn exec_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> Result<u64, Stop> {
     let r = match op {
         BinOp::Add => (a as i64).wrapping_add(b as i64) as u64,
         BinOp::Sub => (a as i64).wrapping_sub(b as i64) as u64,
@@ -1209,7 +1209,7 @@ fn exec_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> Result<u64, Stop> {
 }
 
 #[inline]
-fn exec_un(op: UnOp, ty: Ty, a: u64) -> u64 {
+pub(crate) fn exec_un(op: UnOp, ty: Ty, a: u64) -> u64 {
     let r = match op {
         UnOp::FNeg => (-f64::from_bits(a)).to_bits(),
         UnOp::Not => !a,
@@ -1225,7 +1225,7 @@ fn exec_un(op: UnOp, ty: Ty, a: u64) -> u64 {
 }
 
 #[inline]
-fn exec_cast(kind: CastKind, from: Ty, to: Ty, a: u64) -> u64 {
+pub(crate) fn exec_cast(kind: CastKind, from: Ty, to: Ty, a: u64) -> u64 {
     match kind {
         CastKind::Trunc | CastKind::Bitcast | CastKind::PtrToInt | CastKind::IntToPtr => {
             canon(to, a)

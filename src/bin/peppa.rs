@@ -6,9 +6,11 @@
 //! ```text
 //! peppa compile  prog.mc                          dump the compiled PIR
 //! peppa run      prog.mc --input 8,2.5 [--profile] golden run + profile
+//!                [--engine interp|compiled] selects the execution
+//!                backend (bit-identical; compiled is ~10x faster)
 //! peppa inject   prog.mc --input 8,2.5 [--trials 1000] [--seed 1]
 //!                [--threads N] [--static-prune] [--trace-propagation]
-//!                [--snapshots K]
+//!                [--snapshots K] [--engine interp|compiled]
 //!                [--trace-out t.jsonl] [--metrics-out m.json] [--quiet]
 //!                with --static-prune, trials whose sampled fault cell
 //!                the interprocedural reachability analysis proves
@@ -65,7 +67,9 @@ use peppa_x::inject::{
 use peppa_x::obs::{
     ChromeTrace, JsonlJournal, MetricsRegistry, MultiObserver, ProgressReporter, PropagationHeatmap,
 };
-use peppa_x::vm::{ExecLimits, Injection, InjectionTarget, OpcodeProfile, Vm};
+use peppa_x::vm::{
+    CompiledModule, Engine, EngineKind, ExecLimits, Injection, InjectionTarget, OpcodeProfile,
+};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -103,6 +107,7 @@ struct Opts {
     static_prune: bool,
     trace_propagation: bool,
     snapshots: Option<u32>,
+    engine: EngineKind,
 }
 
 fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
@@ -130,6 +135,7 @@ fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
         static_prune: false,
         trace_propagation: false,
         snapshots: None,
+        engine: EngineKind::Interp,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -171,6 +177,7 @@ fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
             "--snapshots" => {
                 o.snapshots = Some(val("--snapshots")?.parse().map_err(|_| "bad --snapshots")?)
             }
+            "--engine" => o.engine = val("--engine")?.parse()?,
             other if !other.starts_with("--") && file.is_none() => {
                 file = Some(other.to_string());
             }
@@ -334,17 +341,19 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             print!("{}", bench.module);
         }
         "run" => {
-            let vm = Vm::new(&bench.module, limits);
+            let code =
+                (o.engine == EngineKind::Compiled).then(|| CompiledModule::lower(&bench.module));
+            let eng = Engine::new(&bench.module, limits, code.as_ref());
             let out = if o.profile {
                 let bits = peppa_x::vm::encode_inputs(bench.module.entry_func(), &input);
                 let mut prof = OpcodeProfile::new(64);
-                let out = vm.run_with_hook(&bits, None, &mut prof);
+                let out = eng.run_with_hook(&bits, None, &mut prof);
                 println!("{}", prof.hot_table(&bench.module, 10));
                 out
             } else {
-                vm.run_numeric(&input, None)
+                eng.run_numeric(&input, None)
             };
-            println!("status: {:?}", out.status);
+            println!("status: {:?} ({} engine)", out.status, o.engine);
             for (i, w) in out.output.iter().enumerate() {
                 println!(
                     "output[{i}] = {} (as f64: {})",
@@ -364,6 +373,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 trials: o.trials,
                 seed: o.seed,
                 threads: o.threads,
+                engine: o.engine,
                 ..Default::default()
             };
             let mode = validate_flags(o.snapshots, o.static_prune, o.trace_propagation)
@@ -557,6 +567,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 seed: o.seed,
                 final_fi_trials: o.trials,
                 threads: o.threads,
+                engine: o.engine,
                 ..Default::default()
             };
             let px = PeppaX::prepare(&bench, cfg).map_err(|e| e.to_string())?;
