@@ -156,6 +156,21 @@ pub fn analyze_values_seeded<D: AbstractDomain>(
     cfg: &Cfg,
     params: &[D],
 ) -> ValueFacts<D> {
+    analyze_values_ctx(f, cfg, params, &|_, ty| D::top(ty))
+}
+
+/// [`analyze_values_seeded`] with an interprocedural context: call
+/// results take `call_ret(callee, result_ty)` instead of `top`, so a
+/// caller analysis can consume callee return summaries. The supplied
+/// fact must over-approximate every value the callee can return in this
+/// module (the top-down engine in [`crate::summary`] guarantees that by
+/// joining over all call sites and widening recursive cliques).
+pub fn analyze_values_ctx<D: AbstractDomain>(
+    f: &Function,
+    cfg: &Cfg,
+    params: &[D],
+    call_ret: &dyn Fn(peppa_ir::FuncId, Ty) -> D,
+) -> ValueFacts<D> {
     assert_eq!(params.len(), f.params.len());
     let nv = f.value_types.len();
     let mut vals: Vec<D> = (0..nv).map(|v| D::top(f.value_types[v])).collect();
@@ -185,7 +200,10 @@ pub fn analyze_values_seeded<D: AbstractDomain>(
                         })
                         .collect();
                     let arg_tys: Vec<Ty> = operands.iter().map(|o| f.operand_ty(o)).collect();
-                    let next = D::transfer(&ins.op, f.ty_of(r), &args, &arg_tys);
+                    let next = match &ins.op {
+                        Op::Call { func, .. } => call_ret(*func, f.ty_of(r)),
+                        _ => D::transfer(&ins.op, f.ty_of(r), &args, &arg_tys),
+                    };
                     if next != vals[r.0 as usize] {
                         vals[r.0 as usize] = next;
                         changed = true;

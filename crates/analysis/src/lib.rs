@@ -47,6 +47,7 @@ pub mod cfg;
 pub mod coverage;
 pub mod dataflow;
 pub mod defuse;
+pub mod deviation;
 pub mod knownbits;
 pub mod lint;
 pub mod liveness;
@@ -55,6 +56,7 @@ pub mod predict;
 pub mod pruning;
 pub mod range;
 pub mod reach;
+pub mod summary;
 
 pub use callgraph::{CallGraph, CallSite};
 pub use cfg::Cfg;
@@ -64,6 +66,7 @@ pub use dataflow::{
     BlockAnalysis, Direction, ModuleValueFacts, ValueFacts,
 };
 pub use defuse::DefUse;
+pub use deviation::{DeviationAnalysis, GoldenObserver, GoldenStats};
 pub use knownbits::KnownBits;
 pub use lint::{lint_module, Lint, LintReport, Severity};
 pub use liveness::{
@@ -73,4 +76,7 @@ pub use memdep::{MemAccess, MemDepGraph};
 pub use predict::{predict_sdc, SdcPrediction};
 pub use pruning::{prune_fi_space, prune_fi_space_refined, PruningResult};
 pub use range::{AbsRange, FRange, IRange};
-pub use reach::{effective_flip_mask, summarize, FaultReach, FuncSummary, Reach};
+pub use reach::{effective_flip_mask, summarize, FaultReach, FuncSummary, Reach, ReachOpts};
+pub use summary::{
+    analyze_module_interproc, summarize_bits, BitSummary, InterprocFacts, ModuleSummaries,
+};

@@ -30,17 +30,27 @@
 //!   global range no store ever writes: it can only observe the
 //!   implicit zero fill, which is almost always a missing
 //!   initialization.
+//! * `dead-argument` — a parameter of a called function whose
+//!   interprocedural bit summary proves zero reach on every channel
+//!   (sink, return, stored memory): the argument expression at every
+//!   call site is wasted work and a guaranteed-masked fault region.
+//! * `constant-return` — a called function whose interprocedural value
+//!   facts (parameter seeds joined over all call sites, returns
+//!   propagated bottom-up) prove it returns one single value for every
+//!   call in this module.
 //!
 //! Findings are sorted deterministically by `(sid, code, function,
 //! block)` so `peppa lint --json` output is stable across runs and
 //! analysis-order changes.
 
+use crate::callgraph::CallGraph;
 use crate::cfg::Cfg;
 use crate::dataflow::{analyze_values, ValueFacts};
 use crate::knownbits::KnownBits;
 use crate::liveness::observable_live;
 use crate::memdep::MemDepGraph;
 use crate::range::AbsRange;
+use crate::summary::{analyze_module_interproc, summarize_bits};
 use peppa_ir::{verify, BlockId, Function, Module, Op, Operand, Term, ValueId};
 use serde::Serialize;
 
@@ -129,6 +139,7 @@ pub fn lint_module(module: &Module) -> LintReport {
         lint_function(f, &mut report);
     }
     lint_memory(module, &mut report);
+    lint_interproc(module, &mut report);
     report.lints.sort_by(|a, b| {
         (a.sid, &a.code, &a.function, a.block).cmp(&(b.sid, &b.code, &b.function, b.block))
     });
@@ -186,6 +197,69 @@ fn lint_memory(module: &Module, report: &mut LintReport) {
                 sid.0,
                 "reads a zero-initialized global range no store ever writes".into(),
             );
+        }
+    }
+}
+
+/// Interprocedural lints from the per-bit function summaries and the
+/// call-connected value facts. Only *called* non-entry functions are
+/// linted: the entry's arguments come from outside the module, and an
+/// uncalled function has no call sites to be wasteful at (it is already
+/// wholly unreachable — a different problem than a dead argument).
+fn lint_interproc(module: &Module, report: &mut LintReport) {
+    let cg = CallGraph::new(module);
+    let mut called = vec![false; module.functions.len()];
+    for cs in &cg.call_sites {
+        called[cs.callee.0 as usize] = true;
+    }
+
+    let sums = summarize_bits(module, &cg);
+    let ranges = analyze_module_interproc::<AbsRange>(module, &cg);
+    let kbs = analyze_module_interproc::<KnownBits>(module, &cg);
+
+    for (fi, f) in module.functions.iter().enumerate() {
+        if peppa_ir::FuncId(fi as u32) == module.entry || !called[fi] {
+            continue;
+        }
+        for i in 0..f.params.len() {
+            if sums[fi].param_reach(i) == 0 {
+                report.lints.push(Lint {
+                    code: "dead-argument".into(),
+                    severity: Severity::Warning,
+                    function: f.name.clone(),
+                    block: None,
+                    sid: None,
+                    message: format!(
+                        "parameter {i} (v{i}) never influences observable behaviour: \
+                         the argument at every call site is wasted work"
+                    ),
+                });
+            }
+        }
+        if f.ret.is_none() {
+            continue;
+        }
+        let by_range = ranges.ret[fi].as_ref().and_then(|r| match r {
+            AbsRange::Int(r) => r.as_const().map(|v| v.to_string()),
+            AbsRange::Float(r) => {
+                (!r.nan && r.lo == r.hi && r.lo.is_finite()).then(|| r.lo.to_string())
+            }
+        });
+        // Known-bits constants are canonical u64 words: meaningful to
+        // print for the integer types only.
+        let by_kb = (f.ret != Some(peppa_ir::Ty::F64))
+            .then(|| kbs.ret[fi].as_ref().and_then(|k| k.as_const()))
+            .flatten()
+            .map(|v| (v as i64).to_string());
+        if let Some(c) = by_range.or(by_kb) {
+            report.lints.push(Lint {
+                code: "constant-return".into(),
+                severity: Severity::Warning,
+                function: f.name.clone(),
+                block: None,
+                sid: None,
+                message: format!("returns {c} for every call in this module"),
+            });
         }
     }
 }
@@ -469,6 +543,58 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn dead_argument_is_reported() {
+        let m = compile(
+            r#"fn pick(a: int, b: int) -> int { return a; }
+               fn main(x: int) { output pick(x, x * 9); }"#,
+        );
+        let r = lint_module(&m);
+        let dead: Vec<_> = r
+            .lints
+            .iter()
+            .filter(|l| l.code == "dead-argument")
+            .collect();
+        assert_eq!(dead.len(), 1, "{:?}", r.lints);
+        assert_eq!(dead[0].function, "pick");
+        assert!(dead[0].message.contains("parameter 1"), "{:?}", dead[0]);
+    }
+
+    #[test]
+    fn constant_return_is_reported_across_call_sites() {
+        // `ident` is not intrinsically constant — but every call in the
+        // module passes 5, and the interprocedural seeds prove it.
+        let m = compile(
+            r#"fn ident(v: int) -> int { return v; }
+               fn main(x: int) { output ident(5) + ident(5) + x; }"#,
+        );
+        let r = lint_module(&m);
+        let c: Vec<_> = r
+            .lints
+            .iter()
+            .filter(|l| l.code == "constant-return")
+            .collect();
+        assert_eq!(c.len(), 1, "{:?}", r.lints);
+        assert_eq!(c[0].function, "ident");
+        assert!(c[0].message.contains('5'), "{:?}", c[0]);
+    }
+
+    #[test]
+    fn varying_callee_has_no_interproc_findings() {
+        let m = compile(
+            r#"fn double(v: int) -> int { return v * 2; }
+               fn main(x: int) { output double(x) + double(3); }"#,
+        );
+        let r = lint_module(&m);
+        assert!(
+            !r.lints
+                .iter()
+                .any(|l| l.code == "dead-argument" || l.code == "constant-return"),
+            "{:?}",
+            r.lints
+        );
     }
 
     #[test]

@@ -116,6 +116,12 @@ struct FuncSens<'m> {
     /// Per-callee argument factor (0 when the callee has no effectful
     /// sink at all).
     call_effect: Vec<f64>,
+    /// Per-callee, per-parameter reach masks from the interprocedural
+    /// bit summaries: which argument bits can influence *anything* in
+    /// the callee (sink, return, or stored memory). Bits outside the
+    /// mask contribute zero sensitivity; a fully-dead argument drops to
+    /// zero instead of the old flat callee factor.
+    arg_reach: &'m [Vec<u64>],
 }
 
 impl FuncSens<'_> {
@@ -484,7 +490,18 @@ impl FuncSens<'_> {
             Op::Call { func, .. } => {
                 let base = 0.6 * mean(rs).max(0.4 * smax(rs));
                 let eff = self.call_effect[func.0 as usize];
-                flat(base.max(eff))
+                let reach = self.arg_reach[func.0 as usize]
+                    .get(idx)
+                    .copied()
+                    .unwrap_or(crate::reach::FULL);
+                let v = base.max(eff);
+                let mut c = ZERO;
+                for (i, slot) in c.iter_mut().enumerate() {
+                    if reach >> i & 1 != 0 {
+                        *slot = v;
+                    }
+                }
+                c
             }
             Op::Output { .. } => flat(1.0),
         }
@@ -524,6 +541,11 @@ fn effectful_functions(module: &Module) -> Vec<bool> {
 pub fn predict_sdc(module: &Module) -> SdcPrediction {
     let eff = effectful_functions(module);
     let call_effect: Vec<f64> = eff.iter().map(|&e| if e { 0.7 } else { 0.0 }).collect();
+    let cg = crate::callgraph::CallGraph::new(module);
+    let arg_reach: Vec<Vec<u64>> = crate::summary::summarize_bits(module, &cg)
+        .iter()
+        .map(|s| (0..s.sink_bits.len()).map(|i| s.param_reach(i)).collect())
+        .collect();
 
     let mut score: Vec<Option<f64>> = vec![None; module.num_instrs];
     for (fi, f) in module.functions.iter().enumerate() {
@@ -538,6 +560,7 @@ pub fn predict_sdc(module: &Module) -> SdcPrediction {
                 0.8
             },
             call_effect: call_effect.clone(),
+            arg_reach: &arg_reach,
         };
         let sens = fs.solve();
         for ins in f.instrs() {
@@ -574,6 +597,21 @@ mod tests {
     fn output_feeding_value_is_vulnerable() {
         let m = compile("fn main(x: int) { output x + 1; }");
         assert!(score_of(&m, "add") > 0.5, "direct output feed");
+    }
+
+    #[test]
+    fn dead_call_argument_attenuates_its_feeding_chain() {
+        let m = compile(
+            r#"fn pick(a: int, b: int) -> int { return a; }
+               fn main(x: int) { output pick(x + 1, x * 3); }"#,
+        );
+        // The mul only feeds pick's unused second parameter: the bit
+        // summary proves zero reach, so its score collapses, while the
+        // add flows through to the output.
+        let add = score_of(&m, "add");
+        let mul = score_of(&m, "mul");
+        assert!(add > 0.4, "live arg chain keeps its score: {add}");
+        assert!(mul < 0.05, "dead arg chain must attenuate: {mul}");
     }
 
     #[test]

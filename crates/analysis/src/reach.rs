@@ -49,11 +49,12 @@
 //! and the final return are unchanged: the trial is Benign.
 
 use crate::callgraph::CallGraph;
-use crate::dataflow::{analyze_module, ModuleValueFacts, ValueFacts};
+use crate::dataflow::ModuleValueFacts;
 use crate::knownbits::KnownBits;
 use crate::memdep::MemDepGraph;
 use crate::predict::predict_sdc;
 use crate::range::AbsRange;
+use crate::summary::{analyze_module_interproc, compose_ret, summarize_bits, ModuleSummaries};
 use peppa_ir::{
     BinOp, CastKind, FuncId, Function, InstrId, Module, Op, Operand, Term, Ty, UnOp, ValueId,
 };
@@ -87,6 +88,48 @@ pub struct FuncSummary {
     pub param_mem_bits: Vec<u64>,
 }
 
+/// Which precision layers [`FaultReach::analyze_opts`] enables. The
+/// default (everything on) is the production configuration; `coarse()`
+/// reproduces the legacy three-channel pipeline for before/after
+/// comparisons (`repro precision`).
+#[derive(Debug, Clone, Copy)]
+pub struct ReachOpts {
+    /// Compose call returns per result bit through the transfer rows
+    /// instead of all-or-nothing.
+    pub per_bit_calls: bool,
+    /// Use k=1 const-arg specialized summaries at eligible call sites.
+    pub specialize: bool,
+    /// Refine the call mem channel to stores some live load reads,
+    /// instead of any store in the callee.
+    pub live_mem: bool,
+    /// Tighten memdep address intervals with interprocedural value
+    /// facts instead of per-function ⊤-seeded ones.
+    pub interproc_facts: bool,
+}
+
+impl Default for ReachOpts {
+    fn default() -> Self {
+        ReachOpts {
+            per_bit_calls: true,
+            specialize: true,
+            live_mem: true,
+            interproc_facts: true,
+        }
+    }
+}
+
+impl ReachOpts {
+    /// The pre-BitSummary pipeline: every precision layer off.
+    pub fn coarse() -> Self {
+        ReachOpts {
+            per_bit_calls: false,
+            specialize: false,
+            live_mem: false,
+            interproc_facts: false,
+        }
+    }
+}
+
 /// Module-wide fault-propagation result, indexed by static instruction
 /// id.
 #[derive(Debug, Clone)]
@@ -101,14 +144,37 @@ pub struct FaultReach {
 }
 
 impl FaultReach {
-    /// Runs the whole stack: call graph, known-bits, memory dependence,
-    /// summaries, and the global inter-function fixpoint.
+    /// Runs the whole stack: call graph, interprocedural range facts,
+    /// memory dependence, per-bit summaries (with k=1 specialization),
+    /// and the global inter-function fixpoint.
     pub fn analyze(module: &Module) -> FaultReach {
+        FaultReach::analyze_opts(module, ReachOpts::default())
+    }
+
+    /// [`FaultReach::analyze`] with the precision layers individually
+    /// switchable — the `repro precision` before/after comparator. All
+    /// layers on is the production configuration; all off reproduces
+    /// the coarse three-channel pipeline (intraprocedural memdep facts,
+    /// all-or-nothing call-return composition, static mem channel, no
+    /// call-site specialization).
+    pub fn analyze_opts(module: &Module, opts: ReachOpts) -> FaultReach {
         let cg = CallGraph::new(module);
-        let kb: ModuleValueFacts<KnownBits> = analyze_module(module);
-        let ranges: ModuleValueFacts<AbsRange> = analyze_module(module);
-        let memdep = MemDepGraph::with_facts(module, &ranges);
-        FaultReach::analyze_with(module, &cg, &kb, &memdep)
+        // Interprocedural intervals tighten store/load address ranges,
+        // so memdep draws fewer may-alias store→load edges. Sound for
+        // pruning: addresses are FULL sinks, so a fault reaching an
+        // address is never skipped, and inside a skipped fault's cone
+        // every address stays exactly golden — within its static range.
+        let memdep = if opts.interproc_facts {
+            let ranges = analyze_module_interproc::<AbsRange>(module, &cg);
+            MemDepGraph::with_facts(module, &ranges.facts)
+        } else {
+            MemDepGraph::new(module)
+        };
+        let mut sums = ModuleSummaries::compute(module, &cg);
+        if !opts.specialize {
+            sums.spec.clear();
+        }
+        FaultReach::analyze_with_opts(module, &cg, &memdep, &sums, opts)
     }
 
     /// Same as [`FaultReach::analyze`] with the prerequisite analyses
@@ -116,11 +182,31 @@ impl FaultReach {
     pub fn analyze_with(
         module: &Module,
         cg: &CallGraph,
-        kb: &ModuleValueFacts<KnownBits>,
         memdep: &MemDepGraph,
+        sums: &ModuleSummaries,
     ) -> FaultReach {
-        let sums = summarize(module, cg, kb);
+        FaultReach::analyze_with_opts(module, cg, memdep, sums, ReachOpts::default())
+    }
+
+    fn analyze_with_opts(
+        module: &Module,
+        cg: &CallGraph,
+        memdep: &MemDepGraph,
+        sums: &ModuleSummaries,
+        opts: ReachOpts,
+    ) -> FaultReach {
         let n = module.functions.len();
+        // Call-return composition for one site: per-bit transfer rows,
+        // or the coarse all-or-nothing union of them.
+        let ret_compose = |s: &crate::summary::BitSummary, i: usize, r: u64| -> u64 {
+            if opts.per_bit_calls {
+                compose_ret(s, i, r)
+            } else if r != 0 {
+                s.param_ret_bits(i)
+            } else {
+                0
+            }
+        };
 
         // Cross-function state, all growing monotonically.
         let mut ret_mask = vec![0u64; n];
@@ -143,24 +229,76 @@ impl FaultReach {
             }
         }
 
+        // Live-memory channel, refined per round: bits of each param
+        // whose deviation can reach a store some live load actually
+        // reads (per `store_matter`) — strictly tighter than the static
+        // `mem_bits` channel, which counts *any* store. An argument that
+        // only feeds dead callee stores stays masked. Intersecting with
+        // the (possibly k=1-specialized) `mem_bits` keeps the
+        // const-pinned path refinement too.
+        let mut live_mem: Vec<Vec<u64>> = module
+            .functions
+            .iter()
+            .map(|f| vec![0u64; f.params.len()])
+            .collect();
+
         let mut matter: Vec<Vec<u64>> = vec![Vec::new(); n];
         // Each round adds at least one bit to ret_mask/store_matter or
         // stops; 64 bits per store + per function bounds the rounds.
         let max_rounds = 64 * (memdep.stores.len() + n) + 2;
         for _ in 0..max_rounds {
+            // Inner fixpoint for the live-memory channel (monotone in
+            // `store_matter` and itself; bottom-up so callee masks are
+            // fresh when callers compose them).
+            loop {
+                if !opts.live_mem {
+                    break;
+                }
+                let mut lm_changed = false;
+                for comp in &cg.sccs {
+                    for &fid in comp {
+                        let fi = fid.0 as usize;
+                        let f = &module.functions[fi];
+                        let lm = solve_function(
+                            f,
+                            0,
+                            false,
+                            |sid| store_matter.get(&sid.0).copied().unwrap_or(0),
+                            |sid, g, i, r| {
+                                let s = sums.at_site(sid, g);
+                                (live_mem[g.0 as usize][i] & s.mem_bits[i]) | ret_compose(s, i, r)
+                            },
+                            NO_CENV,
+                        );
+                        for i in 0..f.params.len() {
+                            let cur = live_mem[fi][i];
+                            if cur | lm[i] != cur {
+                                live_mem[fi][i] = cur | lm[i];
+                                lm_changed = true;
+                            }
+                        }
+                    }
+                }
+                if !lm_changed {
+                    break;
+                }
+            }
             for (fi, f) in module.functions.iter().enumerate() {
                 matter[fi] = solve_function(
                     f,
-                    &kb.per_func[fi],
                     ret_mask[fi],
                     true,
                     |sid| store_matter.get(&sid.0).copied().unwrap_or(0),
-                    |g, i, r| {
-                        let s = &sums[g.0 as usize];
-                        s.param_sink_bits[i]
-                            | s.param_mem_bits[i]
-                            | if r != 0 { s.param_ret_bits[i] } else { 0 }
+                    |sid, g, i, r| {
+                        let s = sums.at_site(sid, g);
+                        let mem = if opts.live_mem {
+                            live_mem[g.0 as usize][i] & s.mem_bits[i]
+                        } else {
+                            s.mem_bits[i]
+                        };
+                        s.sink_bits[i] | mem | ret_compose(s, i, r)
                     },
+                    NO_CENV,
                 );
             }
             let mut changed = false;
@@ -371,19 +509,30 @@ fn full_if(r: u64) -> u64 {
 /// Canonical bits of a *constant* operand, if it is one. Only constants
 /// may refine a transfer: they cannot be corrupted by a register fault,
 /// so their value holds in faulty runs too (see module docs).
-fn const_bits(o: &Operand) -> Option<u64> {
+fn const_bits(o: &Operand, cenv: ConstEnv) -> Option<u64> {
     match o {
         Operand::Const(c) => Some(c.bits),
-        Operand::Value(_) => None,
+        Operand::Value(v) => cenv(*v),
     }
 }
 
+/// A "provably constant in every run" environment for values. The only
+/// sound non-empty instance is k=1 call-site specialization: a function
+/// parameter bound to a *literal constant* argument at the specialized
+/// site. Neither the literal operand nor the parameter copy is an
+/// injectable value definition, so the binding survives every
+/// single-fault run of that call site (see [`crate::summary`]).
+pub(crate) type ConstEnv<'a> = &'a dyn Fn(ValueId) -> Option<u64>;
+
+/// The empty const-environment (context-insensitive analysis).
+pub(crate) const NO_CENV: ConstEnv<'static> = &|_| None;
+
 /// Per-bit backward transfer: matter contribution of operand `idx`
 /// given result matter `r`. `w` is the operand/result width in bits.
-fn bin_contribution(op: BinOp, idx: usize, r: u64, w: u32, other: &Operand) -> u64 {
+fn bin_contribution(op: BinOp, idx: usize, r: u64, w: u32, other: &Operand, cenv: ConstEnv) -> u64 {
     match op {
         BinOp::Add | BinOp::Sub => smear_down(r),
-        BinOp::Mul => match const_bits(other) {
+        BinOp::Mul => match const_bits(other, cenv) {
             Some(0) => 0,
             Some(c) => smear_down(r) >> c.trailing_zeros().min(63),
             None => smear_down(r),
@@ -397,7 +546,7 @@ fn bin_contribution(op: BinOp, idx: usize, r: u64, w: u32, other: &Operand) -> u
             } else {
                 // Truncated remainder by ±2^k is a function of the
                 // dividend's low k bits and its sign bit only.
-                match const_bits(other).map(|c| (c as i64).unsigned_abs()) {
+                match const_bits(other, cenv).map(|c| (c as i64).unsigned_abs()) {
                     Some(m) if m.is_power_of_two() => {
                         let k = m.trailing_zeros();
                         if k == 0 {
@@ -411,11 +560,11 @@ fn bin_contribution(op: BinOp, idx: usize, r: u64, w: u32, other: &Operand) -> u
             }
         }
         BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv => full_if(r),
-        BinOp::And => match const_bits(other) {
+        BinOp::And => match const_bits(other, cenv) {
             Some(c) => r & c,
             None => r,
         },
-        BinOp::Or => match const_bits(other) {
+        BinOp::Or => match const_bits(other, cenv) {
             Some(c) => r & !c,
             None => r,
         },
@@ -431,7 +580,7 @@ fn bin_contribution(op: BinOp, idx: usize, r: u64, w: u32, other: &Operand) -> u
                     0
                 }
             } else {
-                match const_bits(other).map(|c| (c & amt_mask) as u32) {
+                match const_bits(other, cenv).map(|c| (c & amt_mask) as u32) {
                     Some(s) => match op {
                         BinOp::Shl => r >> s,
                         BinOp::LShr => (r << s) & width_mask(w),
@@ -468,12 +617,19 @@ fn bin_contribution(op: BinOp, idx: usize, r: u64, w: u32, other: &Operand) -> u
 
 /// Matter contribution of `ops[idx]` for a value-producing op with
 /// result matter `r`.
-fn operand_contribution(f: &Function, ins_op: &Op, idx: usize, r: u64, ops: &[Operand]) -> u64 {
+fn operand_contribution(
+    f: &Function,
+    ins_op: &Op,
+    idx: usize,
+    r: u64,
+    ops: &[Operand],
+    cenv: ConstEnv,
+) -> u64 {
     match ins_op {
         Op::Bin { op, .. } => {
             let other = &ops[1 - idx];
             let w = f.operand_ty(&ops[idx]).bits();
-            bin_contribution(*op, idx, r, w, other)
+            bin_contribution(*op, idx, r, w, other, cenv)
         }
         Op::Un { op, .. } => match op {
             UnOp::Not => r,
@@ -528,13 +684,13 @@ fn operand_contribution(f: &Function, ins_op: &Op, idx: usize, r: u64, ops: &[Op
 ///   argument, composed from callee summaries.
 ///
 /// Returns per-value matter masks; parameters are values `0..nparams`.
-fn solve_function(
+pub(crate) fn solve_function(
     f: &Function,
-    _kb: &ValueFacts<KnownBits>,
     ret_mask: u64,
     sink_seeds: bool,
     store_value_mask: impl Fn(InstrId) -> u64,
-    call_arg_mask: impl Fn(FuncId, usize, u64) -> u64,
+    call_arg_mask: impl Fn(InstrId, FuncId, usize, u64) -> u64,
+    cenv: ConstEnv,
 ) -> Vec<u64> {
     let nv = f.value_types.len();
     let mut matter = vec![0u64; nv];
@@ -590,7 +746,7 @@ fn solve_function(
                     }
                     Op::Call { func, args } => {
                         for (i, a) in args.iter().enumerate() {
-                            let m = call_arg_mask(*func, i, r);
+                            let m = call_arg_mask(ins.sid, *func, i, r);
                             changed |= bump(f, &mut matter, a, m);
                         }
                     }
@@ -607,7 +763,7 @@ fn solve_function(
                     | Op::Gep { .. } => {
                         let ops = ins.op.operands();
                         for idx in 0..ops.len() {
-                            let c = operand_contribution(f, &ins.op, idx, r, &ops);
+                            let c = operand_contribution(f, &ins.op, idx, r, &ops, cenv);
                             changed |= bump(f, &mut matter, &ops[idx], c);
                         }
                     }
@@ -652,86 +808,26 @@ fn solve_function(
     matter
 }
 
-/// Computes the three-channel [`FuncSummary`] for every function,
-/// bottom-up over the call-graph SCCs (each SCC iterated to a joint
-/// fixpoint, so recursion is handled).
+/// Three-channel [`FuncSummary`] view of the per-bit
+/// [`crate::summary::BitSummary`]s: each parameter's ret channel is the
+/// union of its per-ret-bit transfer rows. Kept as the stable coarse API
+/// (lint, predictor attenuation); the campaign path composes the per-bit
+/// summaries directly.
 pub fn summarize(
     module: &Module,
     cg: &CallGraph,
-    kb: &ModuleValueFacts<KnownBits>,
+    _kb: &ModuleValueFacts<KnownBits>,
 ) -> Vec<FuncSummary> {
-    let mut sums: Vec<FuncSummary> = module
-        .functions
+    summarize_bits(module, cg)
         .iter()
-        .map(|f| FuncSummary {
-            param_sink_bits: vec![0; f.params.len()],
-            param_ret_bits: vec![0; f.params.len()],
-            param_mem_bits: vec![0; f.params.len()],
+        .map(|b| FuncSummary {
+            param_sink_bits: b.sink_bits.clone(),
+            param_ret_bits: (0..b.sink_bits.len())
+                .map(|i| b.param_ret_bits(i))
+                .collect(),
+            param_mem_bits: b.mem_bits.clone(),
         })
-        .collect();
-    for comp in &cg.sccs {
-        loop {
-            let mut changed = false;
-            for &fid in comp {
-                let fi = fid.0 as usize;
-                let f = &module.functions[fi];
-                let kbf = &kb.per_func[fi];
-                let sink = solve_function(
-                    f,
-                    kbf,
-                    0,
-                    true,
-                    |_| 0,
-                    |g, i, r| {
-                        let s = &sums[g.0 as usize];
-                        s.param_sink_bits[i] | if r != 0 { s.param_ret_bits[i] } else { 0 }
-                    },
-                );
-                let ret = solve_function(
-                    f,
-                    kbf,
-                    if f.ret.is_some() { FULL } else { 0 },
-                    false,
-                    |_| 0,
-                    |g, i, r| {
-                        if r != 0 {
-                            sums[g.0 as usize].param_ret_bits[i]
-                        } else {
-                            0
-                        }
-                    },
-                );
-                let mem = solve_function(
-                    f,
-                    kbf,
-                    0,
-                    false,
-                    |_| FULL,
-                    |g, i, r| {
-                        let s = &sums[g.0 as usize];
-                        s.param_mem_bits[i] | if r != 0 { s.param_ret_bits[i] } else { 0 }
-                    },
-                );
-                let s = &mut sums[fi];
-                for i in 0..f.params.len() {
-                    for (slot, m) in [
-                        (&mut s.param_sink_bits[i], sink[i]),
-                        (&mut s.param_ret_bits[i], ret[i]),
-                        (&mut s.param_mem_bits[i], mem[i]),
-                    ] {
-                        if *slot | m != *slot {
-                            *slot |= m;
-                            changed = true;
-                        }
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-    }
-    sums
+        .collect()
 }
 
 #[cfg(test)]
@@ -914,7 +1010,7 @@ mod tests {
                }"#,
         );
         let cg = CallGraph::new(&m);
-        let kb = analyze_module::<KnownBits>(&m);
+        let kb = crate::dataflow::analyze_module::<KnownBits>(&m);
         let sums = summarize(&m, &cg, &kb);
         let sid = |n: &str| m.func_by_name(n).unwrap().0 as usize;
         let st = &sums[sid("store_it")];

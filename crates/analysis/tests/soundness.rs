@@ -305,3 +305,387 @@ fn reference_inputs_are_sound_on_compiled_engine() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Randomized multi-function module soundness
+//
+// The bundled benchmarks exercise a fixed set of interprocedural shapes.
+// This section *generates* MiniC modules — bounded loops, masked global-
+// array indices, a call DAG with recursion, const-arg call sites (the k=1
+// specialization trigger), int and float chains — and checks, per module:
+//
+//  (a) every concrete def on the golden run is contained in the
+//      *interprocedural* known-bits and interval abstractions
+//      ([`analyze_module_interproc`]), on both engines;
+//  (b) injecting faults into cells the union table (per-bit reachability
+//      ∪ input-specific deviation) claims masked leaves the run Benign —
+//      status Ok and bit-identical outputs, the same classification the
+//      campaign layer uses — on both engines.
+//
+// `PEPPA_SOUNDNESS_MODULES` scales the module count (CI sets 200+); the
+// default keeps the local run fast. Generation is a pure function of the
+// module index, so any failure names a reproducible seed.
+// ---------------------------------------------------------------------------
+
+use peppa_analysis::deviation::combined_skip_cells;
+use peppa_analysis::{analyze_module_interproc, CallGraph, FaultReach, InterprocFacts};
+use peppa_ir::Module;
+use peppa_vm::Injection;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Gen {
+    s: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            s: seed.wrapping_mul(0x9E37_79B9).wrapping_add(1),
+        }
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        splitmix(&mut self.s) % n
+    }
+
+    /// Random int expression over `vars`, trap-free by construction:
+    /// `%` only by positive literals, shifts only by small literals,
+    /// no division (SDiv's `MIN / -1` corner stays out of reach).
+    fn int_expr(&mut self, depth: u32, vars: &[&str]) -> String {
+        if depth == 0 || self.below(4) == 0 {
+            return if self.below(2) == 0 {
+                vars[self.below(vars.len() as u64) as usize].to_string()
+            } else {
+                format!("{}", self.below(1000))
+            };
+        }
+        let a = self.int_expr(depth - 1, vars);
+        let b = self.int_expr(depth - 1, vars);
+        match self.below(9) {
+            0 => format!("({a} + {b})"),
+            1 => format!("({a} - {b})"),
+            2 => format!("({a} * {b})"),
+            3 => format!("({a} & {b})"),
+            4 => format!("({a} | {b})"),
+            5 => format!("({a} ^ {b})"),
+            6 => format!("({a} % {})", [17u64, 97, 257, 4099][self.below(4) as usize]),
+            7 => format!("({a} >> {})", 1 + self.below(7)),
+            _ => format!("min({a}, {b})"),
+        }
+    }
+
+    /// Random float expression; division only by nonzero literals.
+    fn float_expr(&mut self, depth: u32, vars: &[&str]) -> String {
+        if depth == 0 || self.below(4) == 0 {
+            return if self.below(2) == 0 {
+                vars[self.below(vars.len() as u64) as usize].to_string()
+            } else {
+                format!("{:.3}", self.below(4000) as f64 * 0.001)
+            };
+        }
+        let a = self.float_expr(depth - 1, vars);
+        let b = self.float_expr(depth - 1, vars);
+        match self.below(6) {
+            0 => format!("({a} + {b})"),
+            1 => format!("({a} - {b})"),
+            2 => format!("({a} * {b})"),
+            3 => format!("({a} / {})", ["2.0", "4.0", "1.5"][self.below(3) as usize]),
+            4 => format!("fmax({a}, {b})"),
+            _ => format!("fmin({a}, {b})"),
+        }
+    }
+}
+
+/// Generates one random multi-function MiniC module and the input it
+/// will be run on. Deterministic in `seed`.
+fn gen_module_source(seed: u64) -> (String, Vec<f64>) {
+    let mut g = Gen::new(seed);
+    let l1 = 3 + g.below(8);
+    let l2 = 2 + g.below(6);
+    let rec_depth = 2 + g.below(5);
+    let c1 = g.below(64);
+    let c2 = g.below(64);
+    // Half the modules call `mix` with a literal second argument inside
+    // the hot loop: that site plus `mix(c1, c2)` below are the k=1
+    // specialization candidates.
+    let loop_arg = if g.below(2) == 0 {
+        format!("{}", g.below(64))
+    } else {
+        "b".to_string()
+    };
+    let mix_t = g.int_expr(2, &["a", "b"]);
+    let mix_early = g.int_expr(1, &["a", "b", "t"]);
+    let mix_ret = g.int_expr(2, &["a", "b", "t"]);
+    let rec_step = g.int_expr(1, &["acc", "k"]);
+    let blend = g.float_expr(2, &["u", "v"]);
+    let flit = format!("{:.3}", g.below(2000) as f64 * 0.001);
+    let flit2 = format!("{:.3}", 1.0 + g.below(1000) as f64 * 0.001);
+    let src = format!(
+        "global int gi[16];\n\
+         global float gf[16];\n\
+         \n\
+         fn mix(a: int, b: int) -> int {{\n\
+             let t = {mix_t};\n\
+             if (t < 0) {{ return {mix_early}; }}\n\
+             return {mix_ret};\n\
+         }}\n\
+         \n\
+         fn rec(k: int, acc: int) -> int {{\n\
+             if (k <= 0) {{ return acc; }}\n\
+             return rec(k - 1, {rec_step});\n\
+         }}\n\
+         \n\
+         fn blend(u: float, v: float) -> float {{\n\
+             return {blend};\n\
+         }}\n\
+         \n\
+         fn main(a: int, b: int, x: float) {{\n\
+             let s = a * 2654435761 + b;\n\
+             for (i = 0; i < {l1}; i = i + 1) {{\n\
+                 s = mix(s, {loop_arg});\n\
+                 gi[i & 15] = s;\n\
+                 gf[i & 15] = blend(x, i2f(i & 7)) + {flit};\n\
+             }}\n\
+             let t = 0;\n\
+             let acc = 0.0;\n\
+             for (i = 0; i < {l2}; i = i + 1) {{\n\
+                 t = t + (gi[(i * 3) & 15] % 509);\n\
+                 acc = acc + gf[i & 15] * {flit2};\n\
+             }}\n\
+             output t;\n\
+             output acc;\n\
+             output rec({rec_depth}, s & 255);\n\
+             output mix({c1}, {c2});\n\
+         }}\n"
+    );
+    let inputs = vec![
+        g.below(40) as f64,
+        g.below(50) as f64,
+        0.25 + g.below(8) as f64 * 0.5,
+    ];
+    (src, inputs)
+}
+
+/// Per-def containment check against the *interprocedural* facts.
+struct InterprocHook<'a> {
+    kb: &'a InterprocFacts<KnownBits>,
+    rg: &'a InterprocFacts<AbsRange>,
+    by_sid: &'a [Option<(usize, u32, Ty)>],
+    checked: u64,
+    failures: Vec<String>,
+}
+
+impl ExecHook for InterprocHook<'_> {
+    const ENABLED: bool = true;
+
+    fn def_value(&mut self, ins: &Instr, bits: u64) {
+        let Some((fi, v, ty)) = self.by_sid[ins.sid.0 as usize] else {
+            return;
+        };
+        self.checked += 1;
+        if self.failures.len() >= 3 {
+            return;
+        }
+        let kb = &self.kb.facts.per_func[fi].values[v as usize];
+        if !kb.contains(bits) {
+            self.failures.push(format!(
+                "sid {} ({}): bits {bits:#x} violate interproc known-bits zeros={:#x} ones={:#x}",
+                ins.sid.0,
+                ins.op.mnemonic(),
+                kb.zeros,
+                kb.ones,
+            ));
+        }
+        let rg = &self.rg.facts.per_func[fi].values[v as usize];
+        if !rg.contains_bits(ty, bits) {
+            self.failures.push(format!(
+                "sid {} ({}): bits {bits:#x} (ty {ty}) outside interproc range {rg:?}",
+                ins.sid.0,
+                ins.op.mnemonic(),
+            ));
+        }
+    }
+}
+
+fn by_sid_map(module: &Module) -> Vec<Option<(usize, u32, Ty)>> {
+    let mut by_sid = vec![None; module.num_instrs];
+    for (fi, f) in module.functions.iter().enumerate() {
+        for ins in f.instrs() {
+            if let Some(r) = ins.result {
+                by_sid[ins.sid.0 as usize] = Some((fi, r.0, f.ty_of(r)));
+            }
+        }
+    }
+    by_sid
+}
+
+fn generated_module_count() -> u64 {
+    std::env::var("PEPPA_SOUNDNESS_MODULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+/// Checks one generated module on both engines; panics with the seed and
+/// source on any violation.
+fn check_generated(seed: u64) {
+    let (src, inputs) = gen_module_source(seed);
+    let module = peppa_lang::compile(&src, "generated")
+        .unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e:?}\n{src}"));
+    let code = CompiledModule::lower(&module);
+    let cg = CallGraph::new(&module);
+    let kb = analyze_module_interproc::<KnownBits>(&module, &cg);
+    let rg = analyze_module_interproc::<AbsRange>(&module, &cg);
+    let by_sid = by_sid_map(&module);
+
+    // (a) interprocedural abstraction containment, both engines.
+    let bits = encode_inputs(module.entry_func(), &inputs);
+    let mut counts = [0u64; 2];
+    for (k, eng) in [
+        Engine::interp(&module, limits()),
+        Engine::new(&module, limits(), Some(&code)),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let mut hook = InterprocHook {
+            kb: &kb,
+            rg: &rg,
+            by_sid: &by_sid,
+            checked: 0,
+            failures: Vec::new(),
+        };
+        eng.run_with_hook(&bits, None, &mut hook);
+        assert!(
+            hook.failures.is_empty(),
+            "seed {seed} ({}): {}\n{src}",
+            eng.kind().as_str(),
+            hook.failures.join("; ")
+        );
+        assert!(hook.checked > 0, "seed {seed}: no defs executed\n{src}");
+        counts[k] = hook.checked;
+    }
+    assert_eq!(
+        counts[0], counts[1],
+        "seed {seed}: engines checked different def counts\n{src}"
+    );
+
+    // (b) the union masked-cell table is benign under actual injection.
+    let fr = FaultReach::analyze(&module);
+    let cells = combined_skip_cells(&module, &fr, &inputs, limits(), 0);
+    let interp = Engine::interp(&module, limits());
+    let golden = interp.run_numeric(&inputs, None);
+    assert!(
+        golden.status.is_ok(),
+        "seed {seed}: golden run failed\n{src}"
+    );
+
+    let mut pool: Vec<(u32, u32)> = Vec::new();
+    for (sid, &mask) in cells.iter().enumerate() {
+        if golden.profile.exec_counts[sid] == 0 {
+            continue;
+        }
+        for bit in 0..64 {
+            if mask >> bit & 1 != 0 {
+                pool.push((sid as u32, bit));
+            }
+        }
+    }
+    let mut g = Gen::new(seed ^ 0xce11);
+    let n = pool.len().min(6);
+    let compiled_eng = Engine::new(&module, limits(), Some(&code));
+    for k in 0..n {
+        let (sid, bit) = pool[k * pool.len() / n];
+        let instance = g.below(golden.profile.exec_counts[sid as usize]);
+        let inj = Injection {
+            target: peppa_vm::InjectionTarget::StaticInstance {
+                sid: peppa_ir::InstrId(sid),
+                instance,
+            },
+            bit,
+            burst: 0,
+        };
+        for eng in [&interp, &compiled_eng] {
+            let faulty = eng.run_numeric(&inputs, Some(inj));
+            let benign =
+                faulty.status.is_ok() && faulty.output == golden.output && faulty.ret == golden.ret;
+            assert!(
+                benign,
+                "seed {seed} ({}): masked cell sid {sid} bit {bit} instance {instance} \
+                 was not benign (status {:?})\n{src}",
+                eng.kind().as_str(),
+                faulty.status,
+            );
+        }
+    }
+}
+
+#[test]
+fn generated_modules_are_sound_interproc_and_under_injection() {
+    for i in 0..generated_module_count() {
+        check_generated(0x5eed_0000 + i);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The k=1 specialization containment law, property-tested over
+    /// generated modules: a call-site summary specialized on literal
+    /// const arguments must be contained in the context-insensitive
+    /// base summary on *every* channel — constant refinement can only
+    /// shrink transfers, never grow them. A violation would let a
+    /// specialized site claim masking the general summary denies,
+    /// which is exactly the unsoundness `ModuleSummaries::at_site`
+    /// relies on never happening.
+    #[test]
+    fn specialized_summaries_are_contained_in_base(seed in any::<u32>()) {
+        let (src, _) = gen_module_source(seed as u64);
+        let module = peppa_lang::compile(&src, "spec-prop")
+            .unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e:?}\n{src}"));
+        let cg = CallGraph::new(&module);
+        let sums = peppa_analysis::ModuleSummaries::compute(&module, &cg);
+
+        // Map call-site sid → callee for every call in the module.
+        let mut callee_of = std::collections::HashMap::new();
+        for f in &module.functions {
+            for ins in f.instrs() {
+                if let peppa_ir::Op::Call { func, .. } = &ins.op {
+                    callee_of.insert(ins.sid.0, func.0 as usize);
+                }
+            }
+        }
+
+        for (&sid, spec) in &sums.spec {
+            let callee = callee_of[&sid];
+            let base = &sums.base[callee];
+            for i in 0..spec.sink_bits.len() {
+                prop_assert_eq!(
+                    spec.sink_bits[i] & !base.sink_bits[i], 0,
+                    "seed {}: site {} param {}: spec sink ⊄ base", seed, sid, i
+                );
+                prop_assert_eq!(
+                    spec.mem_bits[i] & !base.mem_bits[i], 0,
+                    "seed {}: site {} param {}: spec mem ⊄ base", seed, sid, i
+                );
+                for b in 0..64 {
+                    prop_assert_eq!(
+                        spec.ret_transfer[i][b] & !base.ret_transfer[i][b], 0,
+                        "seed {}: site {} param {} ret bit {}: spec transfer ⊄ base",
+                        seed, sid, i, b
+                    );
+                }
+            }
+            prop_assert_eq!(
+                spec.env_ret & !base.env_ret, 0,
+                "seed {}: site {}: spec env ⊄ base", seed, sid
+            );
+        }
+    }
+}

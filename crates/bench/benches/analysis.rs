@@ -1,9 +1,12 @@
 //! Static-analysis and search-machinery microbenchmarks: def-use
-//! construction, FI-space pruning (Table 4's analysis), the knapsack
-//! solver (§6), and a GA generation step.
+//! construction, FI-space pruning (Table 4's analysis), the per-bit
+//! interprocedural summary and fault-reachability passes behind
+//! `--static-prune`, the input-specific deviation analysis, the
+//! knapsack solver (§6), and a GA generation step.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use peppa_analysis::{defuse::def_use, prune_fi_space};
+use peppa_analysis::deviation::DeviationAnalysis;
+use peppa_analysis::{defuse::def_use, prune_fi_space, CallGraph, FaultReach, ModuleSummaries};
 use peppa_ga::{ArgBounds, GaConfig, GeneticEngine};
 use peppa_protect::{knapsack, Item};
 
@@ -20,6 +23,41 @@ fn analysis_benches(c: &mut Criterion) {
             BenchmarkId::new("prune_fi_space", bench.name),
             &bench.module,
             |b, m| b.iter(|| prune_fi_space(std::hint::black_box(m)).groups.len()),
+        );
+        // The per-bit interprocedural summary pass alone (bottom-up SCC
+        // fixpoint + k=1 call-site specialization)...
+        group.bench_with_input(
+            BenchmarkId::new("summarize_bits", bench.name),
+            &bench.module,
+            |b, m| {
+                b.iter(|| {
+                    let cg = CallGraph::new(std::hint::black_box(m));
+                    ModuleSummaries::compute(m, &cg).base.len()
+                })
+            },
+        );
+        // ...and the full fault-reachability analysis built on it, the
+        // whole static cost of a `--static-prune` campaign table.
+        group.bench_with_input(
+            BenchmarkId::new("fault_reach", bench.name),
+            &bench.module,
+            |b, m| b.iter(|| FaultReach::analyze(std::hint::black_box(m)).widths.len()),
+        );
+        // The input-specific deviation half of the union table (includes
+        // one golden run under the reference input).
+        group.bench_with_input(
+            BenchmarkId::new("deviation", bench.name),
+            &bench,
+            |b, bm| {
+                b.iter(|| {
+                    DeviationAnalysis::from_run(
+                        std::hint::black_box(&bm.module),
+                        &bm.reference_input,
+                        peppa_vm::ExecLimits::default(),
+                    )
+                    .map(|(d, _)| d.tol.len())
+                })
+            },
         );
     }
     group.finish();

@@ -60,12 +60,16 @@ pub struct BaselineRow {
     pub pruned_campaign_wall_s: f64,
     /// Fraction of trials the pruned campaign skipped.
     pub pruned_skip_ratio: f64,
-    /// Whether the prune gate engaged (predicted skip ratio cleared the
-    /// threshold) — `false` means the pruned column measured the plain
+    /// Whether the prune gate engaged (predicted skip ratio strictly
+    /// positive) — `false` means the pruned column measured the plain
     /// runner plus the gate's prediction cost.
     pub prune_applied: bool,
     /// The gate's predicted skip ratio for this benchmark's table.
     pub prune_predicted_skip_ratio: f64,
+    /// Masked cells in the reach ∪ deviation table the pruned column
+    /// ran with, over the `value sids × 64 bits` fault space.
+    pub prune_masked_cells: u64,
+    pub prune_total_cells: u64,
     /// Wall-clock seconds of the same campaign under `--snapshots K`
     /// (identical seed/trials; golden prefix amortized across trials).
     pub snapshot_campaign_wall_s: f64,
@@ -79,9 +83,11 @@ pub struct BaselineRow {
 /// snapshotted-campaign wall time/speedup and the prune-gate decision;
 /// v4: per-engine `vm_instrs_per_sec` columns with the engine speedup,
 /// and percentiles from exact samples instead of log₂ histogram
-/// buckets), so downstream diffing tools can refuse mixed-schema
-/// comparisons.
-pub const BASELINE_SCHEMA_VERSION: u32 = 4;
+/// buckets; v5: the pruned column runs the reach ∪ deviation union
+/// table for the reference input, records its masked-cell counts, and
+/// the gate engages on any strictly-positive predicted skip ratio), so
+/// downstream diffing tools can refuse mixed-schema comparisons.
+pub const BASELINE_SCHEMA_VERSION: u32 = 5;
 
 /// The checked-in `BENCH_baseline.json` payload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -218,8 +224,23 @@ pub fn run_baseline(ctx: &Ctx, observer: Arc<dyn Observer>) -> BaselineReport {
         // gated runner is what the CLI now uses, so the baseline also
         // records whether the savings gate engaged for this table.
         let fr = peppa_analysis::FaultReach::analyze(&bench.module);
+        let cells = peppa_analysis::deviation::combined_skip_cells(
+            &bench.module,
+            &fr,
+            &bench.reference_input,
+            ctx.limits,
+            cfg.burst,
+        );
+        let prune_masked_cells: u64 = fr
+            .widths
+            .iter()
+            .zip(&cells)
+            .filter(|(&w, _)| w != 0)
+            .map(|(_, &c)| c.count_ones() as u64)
+            .sum();
+        let prune_total_cells = 64 * fr.widths.iter().filter(|&&w| w != 0).count() as u64;
         let prune = StaticPrune {
-            cells: fr.skip_cells(cfg.burst),
+            cells,
             burst: cfg.burst,
         };
         let t1 = std::time::Instant::now();
@@ -295,6 +316,8 @@ pub fn run_baseline(ctx: &Ctx, observer: Arc<dyn Observer>) -> BaselineReport {
             pruned_skip_ratio: pruned.result.skip_ratio(),
             prune_applied: pruned.decision.applied,
             prune_predicted_skip_ratio: pruned.decision.predicted_skip_ratio,
+            prune_masked_cells,
+            prune_total_cells,
             snapshot_campaign_wall_s,
             snapshot_speedup: if snapshot_campaign_wall_s > 0.0 {
                 campaign_wall_s / snapshot_campaign_wall_s
@@ -438,6 +461,8 @@ mod tests {
             pruned_skip_ratio: 0.0,
             prune_applied: false,
             prune_predicted_skip_ratio: 0.0,
+            prune_masked_cells: 0,
+            prune_total_cells: 0,
             snapshot_campaign_wall_s: 0.0,
             snapshot_speedup: 0.0,
         };

@@ -18,6 +18,11 @@
 //!   hybrid             static prune table vs FI ground truth
 //!                      (results/hybrid.json; exits 1 on a soundness
 //!                      violation; `--smoke` shrinks it to CI size)
+//!   precision          per-bit interprocedural summaries vs the legacy
+//!                      context-insensitive pipeline: masked-cell and
+//!                      skip-ratio before/after, monotonicity gate,
+//!                      median-skip-ratio floor (results/precision.json;
+//!                      exits 1 on a gate violation)
 //!   provenance         shadow-taint traced campaigns vs static reach:
 //!                      containment (exit 1 on violation) + headroom
 //!                      (results/provenance.json; `--smoke` for CI size)
@@ -57,7 +62,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|table2..6|static-rank|hybrid|snapshot|baseline|all> \
+            "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|table2..6|static-rank|hybrid|precision|snapshot|baseline|all> \
              [--scale quick|paper] [--seed N] [--out DIR] [--threads N] [--smoke] \
              [--engine interp|compiled] [--trace-out FILE.jsonl] [--metrics-out FILE.json] \
              [--chrome-trace FILE.json] [--quiet]"
@@ -139,6 +144,7 @@ fn main() {
             "fig9",
             "static-rank",
             "hybrid",
+            "precision",
             "provenance",
             "snapshot",
             "faultmodel",
@@ -282,6 +288,19 @@ fn main() {
                     eprintln!(
                         "[repro] FAIL: static pruning soundness violated (masked cell \
                          produced an SDC, or pruned counts diverged)"
+                    );
+                    failed = true;
+                }
+            }
+            "precision" => {
+                let r = peppa_bench::precision::run_precision(&ctx, smoke);
+                println!("{}", peppa_bench::precision::render_precision(&r));
+                dump("precision", serde_json::to_string_pretty(&r).unwrap());
+                if !r.sound() {
+                    eprintln!(
+                        "[repro] FAIL: static-precision gate violated (fine analysis \
+                         dropped a coarse-masked cell, or the median skip ratio fell \
+                         below the floor)"
                     );
                     failed = true;
                 }

@@ -21,7 +21,11 @@
 //! ([`static_rank`]), `repro hybrid` validates the interprocedural
 //! fault-reachability analysis behind `--static-prune` campaigns —
 //! exact outcome-count equality plus FI re-injection of provably-masked
-//! cells ([`hybrid`]) — `repro provenance` cross-checks the shadow-
+//! cells ([`hybrid`]) — `repro precision` measures how much the
+//! per-bit interprocedural summaries tighten the masked-cell tables
+//! over the legacy context-insensitive pipeline, with a monotonicity
+//! gate and a median-skip-ratio floor ([`precision`]) —
+//! `repro provenance` cross-checks the shadow-
 //! taint tracer against the static reach analysis (containment + static-
 //! precision headroom, [`provenance`]), and `repro snapshot` measures
 //! the checkpoint/fork campaign engine behind `--snapshots K` — wall-
@@ -40,6 +44,7 @@ pub mod baseline;
 pub mod faultmodel;
 pub mod heatmap;
 pub mod hybrid;
+pub mod precision;
 pub mod protect_exp;
 pub mod provenance;
 pub mod pruning_exp;

@@ -1,0 +1,274 @@
+//! Static-precision study — `repro precision`.
+//!
+//! Measures how much the context-sensitive per-bit interprocedural
+//! layer ([`peppa_analysis::BitSummary`], k=1 call-site specialization,
+//! interprocedural value facts, the live-store channel) tightens the
+//! fault-reachability analysis over the legacy context-insensitive
+//! 3-channel pipeline. Per benchmark it computes three masked-cell
+//! tables over the same `value sids × 64 bits` fault space:
+//!
+//! * **coarse** — [`ReachOpts::coarse()`]: whole-param channel
+//!   summaries, no specialization, no interprocedural value facts,
+//!   static (liveness-blind) callee store channel. This reproduces the
+//!   pre-BitSummary pipeline exactly.
+//! * **fine** — [`ReachOpts::default()`]: the full per-bit analysis.
+//! * **union** — fine ∪ input-specific deviation analysis on the
+//!   benchmark's reference input — the table a `--static-prune`
+//!   campaign actually uses
+//!   ([`peppa_analysis::deviation::combined_skip_cells`]).
+//!
+//! Raw masked-cell counts understate what a campaign gains, so each
+//! table is also reported as the *exec-weighted predicted skip ratio*
+//! ([`StaticPrune::predicted_skip_ratio`]) under the reference input's
+//! golden profile — the exact fraction of uniformly-sampled fault
+//! trials the table would skip.
+//!
+//! Two gates make this a regression test rather than a scoreboard:
+//!
+//! 1. **Monotonicity** — per cell, `fine ⊇ coarse`. Per-bit transfers
+//!    are always contained in the channel join, specialization only
+//!    shrinks transfers, and the live-store/interproc channels only
+//!    remove live bits, so any violation is an analysis bug.
+//! 2. **Floor** — the median union skip ratio across benchmarks must
+//!    stay ≥ [`SKIP_RATIO_FLOOR`]. The honest measured median is
+//!    ~0.017: the bundled benchmarks' live mass is control flow,
+//!    addressing, and float accumulation, which no sound analysis may
+//!    mask (hpccg is the documented all-live case). The issue's
+//!    aspirational 0.10 target is recorded as [`SKIP_RATIO_TARGET`]
+//!    and the per-benchmark gap reported, not gated on — `repro
+//!    hybrid`'s bit-exact parity check is what keeps these numbers
+//!    honest rather than inflatable.
+
+use crate::scale::Ctx;
+use peppa_analysis::deviation::combined_skip_cells;
+use peppa_analysis::{CallGraph, FaultReach, ModuleSummaries, ReachOpts};
+use peppa_apps::{all_benchmarks, Benchmark};
+use peppa_inject::campaign::golden_run;
+use peppa_inject::StaticPrune;
+use serde::{Deserialize, Serialize};
+
+/// Regression floor for the median exec-weighted union skip ratio.
+/// Slightly below the measured 0.0170 so seed jitter cannot flake CI,
+/// but any real precision loss (a summary channel going to ⊤) trips it.
+pub const SKIP_RATIO_FLOOR: f64 = 0.015;
+
+/// The aspirational target from the issue; reported, not gated.
+pub const SKIP_RATIO_TARGET: f64 = 0.10;
+
+/// One benchmark's before/after precision row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrecisionRow {
+    pub benchmark: String,
+    /// Masked cells of the `value sids × 64 bits` space, legacy
+    /// context-insensitive pipeline ([`ReachOpts::coarse`]).
+    pub coarse_masked_cells: u64,
+    /// Masked cells under the full per-bit interprocedural analysis.
+    pub fine_masked_cells: u64,
+    /// Masked cells of fine ∪ deviation on the reference input — the
+    /// table `--static-prune` campaigns use.
+    pub union_masked_cells: u64,
+    pub total_cells: u64,
+    /// Exec-weighted predicted skip ratios under the reference input.
+    pub coarse_skip_ratio: f64,
+    pub fine_skip_ratio: f64,
+    pub union_skip_ratio: f64,
+    /// k=1 specialized call sites whose summary differs from the base.
+    pub spec_sites: usize,
+    /// Per-cell `fine ⊇ coarse` containment (must always hold).
+    pub monotone: bool,
+    /// Shortfall against the aspirational target (0 when met).
+    pub gap_to_target: f64,
+}
+
+/// `repro precision` report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrecisionReport {
+    pub rows: Vec<PrecisionRow>,
+    pub median_union_skip_ratio: f64,
+    pub skip_ratio_floor: f64,
+    pub skip_ratio_target: f64,
+    pub seed: u64,
+    pub smoke: bool,
+}
+
+impl PrecisionReport {
+    /// CI gate: per-cell monotonicity everywhere and the median
+    /// exec-weighted union skip ratio at or above the floor.
+    pub fn sound(&self) -> bool {
+        self.rows.iter().all(|r| r.monotone)
+            && self.median_union_skip_ratio >= self.skip_ratio_floor
+    }
+}
+
+fn masked_count(widths: &[u8], cells: &[u64]) -> u64 {
+    widths
+        .iter()
+        .zip(cells)
+        .filter(|(&w, _)| w != 0)
+        .map(|(_, &c)| c.count_ones() as u64)
+        .sum()
+}
+
+/// Computes one benchmark's precision row.
+pub fn precision_benchmark(bench: &Benchmark, ctx: &Ctx) -> PrecisionRow {
+    let burst = 0u8;
+    let coarse = FaultReach::analyze_opts(&bench.module, ReachOpts::coarse());
+    let fine = FaultReach::analyze(&bench.module);
+    let coarse_cells = coarse.skip_cells(burst);
+    let fine_cells = fine.skip_cells(burst);
+    let union_cells = combined_skip_cells(
+        &bench.module,
+        &fine,
+        &bench.reference_input,
+        ctx.limits,
+        burst,
+    );
+
+    let golden = golden_run(&bench.module, &bench.reference_input, ctx.limits).expect("golden run");
+    let exec = &golden.profile.exec_counts;
+    let vd = golden.profile.value_dynamic;
+    let ratio = |cells: &[u64]| {
+        StaticPrune {
+            cells: cells.to_vec(),
+            burst,
+        }
+        .predicted_skip_ratio(exec, vd)
+    };
+
+    let cg = CallGraph::new(&bench.module);
+    let sums = ModuleSummaries::compute(&bench.module, &cg);
+
+    let monotone = coarse_cells
+        .iter()
+        .zip(&fine_cells)
+        .all(|(&c, &f)| c & !f == 0);
+    let union_skip_ratio = ratio(&union_cells);
+
+    PrecisionRow {
+        benchmark: bench.name.to_string(),
+        coarse_masked_cells: masked_count(&fine.widths, &coarse_cells),
+        fine_masked_cells: masked_count(&fine.widths, &fine_cells),
+        union_masked_cells: masked_count(&fine.widths, &union_cells),
+        total_cells: 64 * fine.widths.iter().filter(|&&w| w != 0).count() as u64,
+        coarse_skip_ratio: ratio(&coarse_cells),
+        fine_skip_ratio: ratio(&fine_cells),
+        union_skip_ratio,
+        spec_sites: sums.spec.len(),
+        monotone,
+        gap_to_target: (SKIP_RATIO_TARGET - union_skip_ratio).max(0.0),
+    }
+}
+
+/// Runs the precision study over every bundled benchmark. The study is
+/// purely static plus one golden run per benchmark, so `smoke` only
+/// tags the report; the full study already fits CI budgets.
+pub fn run_precision(ctx: &Ctx, smoke: bool) -> PrecisionReport {
+    let rows: Vec<PrecisionRow> = all_benchmarks()
+        .iter()
+        .map(|b| precision_benchmark(b, ctx))
+        .collect();
+    let mut ratios: Vec<f64> = rows.iter().map(|r| r.union_skip_ratio).collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_union_skip_ratio = if ratios.is_empty() {
+        0.0
+    } else {
+        ratios[ratios.len() / 2]
+    };
+    PrecisionReport {
+        rows,
+        median_union_skip_ratio,
+        skip_ratio_floor: SKIP_RATIO_FLOOR,
+        skip_ratio_target: SKIP_RATIO_TARGET,
+        seed: ctx.seed,
+        smoke,
+    }
+}
+
+/// Paper-shaped text rendering.
+pub fn render_precision(r: &PrecisionReport) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(s, "Static-precision study: coarse (context-insensitive) vs fine (per-bit interprocedural) vs union (+deviation)").unwrap();
+    writeln!(
+        s,
+        "{:<16} {:>14} {:>14} {:>14} {:>8} {:>8} {:>8} {:>5} {:>9}",
+        "benchmark",
+        "coarse cells",
+        "fine cells",
+        "union cells",
+        "coarse%",
+        "fine%",
+        "union%",
+        "spec",
+        "monotone"
+    )
+    .unwrap();
+    for row in &r.rows {
+        writeln!(
+            s,
+            "{:<16} {:>7}/{:<6} {:>7}/{:<6} {:>7}/{:<6} {:>7.2}% {:>7.2}% {:>7.2}% {:>5} {:>9}",
+            row.benchmark,
+            row.coarse_masked_cells,
+            row.total_cells,
+            row.fine_masked_cells,
+            row.total_cells,
+            row.union_masked_cells,
+            row.total_cells,
+            row.coarse_skip_ratio * 100.0,
+            row.fine_skip_ratio * 100.0,
+            row.union_skip_ratio * 100.0,
+            row.spec_sites,
+            if row.monotone { "ok" } else { "VIOLATED" },
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "median union skip ratio {:.4} (floor {:.3}, aspirational target {:.2})",
+        r.median_union_skip_ratio, r.skip_ratio_floor, r.skip_ratio_target
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "precision gates: {}",
+        if r.sound() {
+            "OK — fine ⊇ coarse per cell on every benchmark; median skip ratio above floor"
+        } else {
+            "VIOLATED"
+        }
+    )
+    .unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn precision_study_is_monotone_and_above_floor() {
+        let ctx = Ctx::new(Scale::Quick, 2021);
+        let r = run_precision(&ctx, true);
+        assert_eq!(r.rows.len(), 7);
+        for row in &r.rows {
+            assert!(row.monotone, "{}: fine lost a coarse cell", row.benchmark);
+            assert!(
+                row.fine_masked_cells >= row.coarse_masked_cells,
+                "{}: fine masks fewer cells than coarse",
+                row.benchmark
+            );
+            assert!(
+                row.union_masked_cells >= row.fine_masked_cells,
+                "{}: union dropped a statically-masked cell",
+                row.benchmark
+            );
+        }
+        assert!(
+            r.sound(),
+            "median union skip ratio {} under floor {}",
+            r.median_union_skip_ratio,
+            r.skip_ratio_floor
+        );
+    }
+}

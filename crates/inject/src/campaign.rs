@@ -881,19 +881,26 @@ pub fn run_campaign_snapshotted_observed(
     })
 }
 
-/// Threshold policy for [`run_campaign_pruned_gated`]: pruning is only
-/// worth its sid-map bookkeeping when enough trials are predicted to
-/// skip.
+/// Threshold policy for [`run_campaign_pruned_gated`]: pruning engages
+/// whenever the predicted skip ratio *exceeds* the threshold.
+///
+/// The default threshold is 0: any table predicting a nonzero skip
+/// ratio engages. The sid-map bookkeeping the gate once guarded against
+/// is O(1) per trial and far cheaper than even a fraction of a percent
+/// of skipped executions; the gate's remaining job is to keep empty
+/// tables (ratio exactly 0, e.g. hpccg's honestly all-live space) on
+/// the classic unpruned path.
 #[derive(Debug, Clone, Copy)]
 pub struct PruneGate {
-    /// Minimum predicted skip ratio for pruning to engage.
+    /// Predicted skip ratio must be strictly greater than this for
+    /// pruning to engage.
     pub min_skip_ratio: f64,
 }
 
 impl Default for PruneGate {
     fn default() -> Self {
         PruneGate {
-            min_skip_ratio: 0.02,
+            min_skip_ratio: 0.0,
         }
     }
 }
@@ -939,12 +946,11 @@ impl StaticPrune {
     }
 }
 
-/// [`run_campaign_pruned`] behind a cost gate: pruning only engages
-/// when the table predicts at least `gate.min_skip_ratio` of trials
-/// skip. Below that, the sid-map instrumentation costs more than the
-/// handful of skipped executions saves (measured as
-/// `pruned_campaign_wall_s > campaign_wall_s` on near-empty tables), so
-/// the campaign runs the classic unpruned path and reports why.
+/// [`run_campaign_pruned`] behind a cost gate: pruning engages whenever
+/// the table predicts strictly more than `gate.min_skip_ratio` of
+/// trials skip (any nonzero prediction under the default). At or below
+/// the threshold, the campaign runs the classic unpruned path and
+/// reports why.
 ///
 /// Outcome counts are identical whichever way the gate decides — a
 /// disengaged gate only stops trials from being *skipped*, and skipped
@@ -987,7 +993,7 @@ pub fn run_campaign_pruned_gated_observed(
         let golden = golden_run(module, inputs, limits)?;
         prune.predicted_skip_ratio(&golden.profile.exec_counts, golden.profile.value_dynamic)
     };
-    let applied = predicted_skip_ratio >= gate.min_skip_ratio;
+    let applied = predicted_skip_ratio > gate.min_skip_ratio;
     let decision = PruneDecision {
         applied,
         masked_cells,
