@@ -56,6 +56,7 @@ pub mod predict;
 pub mod pruning;
 pub mod range;
 pub mod reach;
+pub mod rewrite;
 pub mod summary;
 
 pub use callgraph::{CallGraph, CallSite};
@@ -77,6 +78,7 @@ pub use predict::{predict_sdc, SdcPrediction};
 pub use pruning::{prune_fi_space, prune_fi_space_refined, PruningResult};
 pub use range::{AbsRange, FRange, IRange};
 pub use reach::{effective_flip_mask, summarize, FaultReach, FuncSummary, Reach, ReachOpts};
+pub use rewrite::{optimize, OptLevel, OptResult, Pass, PassStats, PipelineStats};
 pub use summary::{
     analyze_module_interproc, summarize_bits, BitSummary, InterprocFacts, ModuleSummaries,
 };

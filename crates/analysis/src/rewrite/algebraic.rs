@@ -1,0 +1,301 @@
+//! Algebraic simplification and strength reduction.
+//!
+//! Integer-only, by design: every rewrite here is bit-exact under the
+//! VM's canonical representation, which no float identity is (`x + 0.0`
+//! flips the sign of `-0.0`, `x * 1.0` can requiet a signalling NaN
+//! payload, reassociation changes rounding). Float values are left for
+//! constfold, which only replaces them when the bits are proved.
+//!
+//! Strength reductions:
+//! * `x * 2^k` → `x << k` — exact: `wrapping_mul` by a power of two and
+//!   `shl` agree modulo 2^64, and `canon` truncates identically for i32.
+//! * `x sdiv 2^k` → `x >> k` (arithmetic) and `x srem 2^k` →
+//!   `x & (2^k - 1)`, **only** when AbsRange proves `x >= 0` — for
+//!   negative dividends sdiv rounds toward zero while the shift rounds
+//!   toward -inf. The divisor is a nonzero constant, so deleting the
+//!   trap check is sound.
+//!
+//! Identities (`x` stays, instruction becomes a copy that DCE removes):
+//! `x+0`, `x-0`, `x*1`, `x sdiv 1`, `x&-1`, `x|0`, `x^0`, shifts by 0,
+//! `x&x`, `x|x`, select with equal arms, `not (not x)`.
+//! Absorbing/annihilating forms fold to a constant: `x*0`, `x&0`,
+//! `x|-1`, `x^x`, `x-x`, `x srem 1`. (`x srem 1` and `x sdiv 1` have a
+//! constant nonzero divisor — no trap to preserve.)
+
+use super::Pass;
+use crate::cfg::Cfg;
+use crate::dataflow::analyze_values;
+use crate::range::AbsRange;
+use peppa_ir::{BinOp, Const, Module, Op, Operand, Ty, UnOp, ValueId};
+use peppa_vm::canon;
+use std::collections::HashMap;
+
+pub struct Algebraic;
+
+impl Pass for Algebraic {
+    fn name(&self) -> &'static str {
+        "algebraic"
+    }
+
+    fn run(&self, m: &mut Module) -> u64 {
+        let mut applied = 0;
+        for f in &mut m.functions {
+            let cfg = Cfg::new(f);
+            let rg = analyze_values::<AbsRange>(f, &cfg);
+            // Map from value -> defining Op, for the not(not x) chase.
+            let mut def_of: HashMap<ValueId, Op> = HashMap::new();
+            for b in &f.blocks {
+                for ins in &b.instrs {
+                    if let Some(r) = ins.result {
+                        def_of.insert(r, ins.op.clone());
+                    }
+                }
+            }
+
+            // value -> replacement operand (identity rewrites); applied
+            // at the end via replace_uses.
+            let mut repl: HashMap<ValueId, Operand> = HashMap::new();
+            for b in &mut f.blocks {
+                for ins in &mut b.instrs {
+                    let Some(r) = ins.result else { continue };
+                    let ty = f.value_types[r.0 as usize];
+                    if ty == Ty::F64 {
+                        continue;
+                    }
+                    match simplify(&ins.op, ty, &rg, &def_of) {
+                        Simplify::Replace(op) => {
+                            repl.insert(r, op);
+                            applied += 1;
+                        }
+                        Simplify::Rewrite(new_op) => {
+                            ins.op = new_op;
+                            applied += 1;
+                        }
+                        Simplify::None => {}
+                    }
+                }
+            }
+            super::replace_uses(f, &repl);
+        }
+        applied
+    }
+}
+
+enum Simplify {
+    /// All uses of the result become this operand; the def goes dead.
+    Replace(Operand),
+    /// The instruction is rewritten in place (same result, same sid).
+    Rewrite(Op),
+    None,
+}
+
+/// The canonical all-ones word for an integer type.
+fn all_ones(ty: Ty) -> u64 {
+    canon(ty, u64::MAX)
+}
+
+/// A constant operand's canonical bits.
+fn konst(o: &Operand) -> Option<u64> {
+    match o {
+        Operand::Const(c) => Some(canon(c.ty, c.bits)),
+        Operand::Value(_) => None,
+    }
+}
+
+/// A positive power of two and its exponent, from canonical bits.
+fn pow2(bits: u64, ty: Ty) -> Option<u32> {
+    let v = bits as i64;
+    if v > 0 && (v & (v - 1)) == 0 {
+        let k = v.trailing_zeros();
+        let width = match ty {
+            Ty::I32 => 32,
+            _ => 64,
+        };
+        if k < width {
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// True when AbsRange proves the operand is non-negative.
+fn proven_nonneg(o: &Operand, rg: &crate::dataflow::ValueFacts<AbsRange>) -> bool {
+    match rg.of_operand(o) {
+        AbsRange::Int(r) => r.lo >= 0,
+        AbsRange::Float(_) => false,
+    }
+}
+
+fn simplify(
+    op: &Op,
+    ty: Ty,
+    rg: &crate::dataflow::ValueFacts<AbsRange>,
+    def_of: &HashMap<ValueId, Op>,
+) -> Simplify {
+    use Simplify::{None as No, Replace, Rewrite};
+    let zero = Operand::Const(Const { ty, bits: 0 });
+    match op {
+        Op::Bin { op: bop, a, b } => {
+            if bop.is_float() {
+                return No;
+            }
+            let ka = konst(a);
+            let kb = konst(b);
+            let same = a.value().is_some() && a.value() == b.value();
+            match bop {
+                BinOp::Add => {
+                    if kb == Some(0) {
+                        return Replace(*a);
+                    }
+                    if ka == Some(0) {
+                        return Replace(*b);
+                    }
+                }
+                BinOp::Sub => {
+                    if kb == Some(0) {
+                        return Replace(*a);
+                    }
+                    if same {
+                        return Replace(zero);
+                    }
+                }
+                BinOp::Mul => {
+                    if kb == Some(canon(ty, 1)) {
+                        return Replace(*a);
+                    }
+                    if ka == Some(canon(ty, 1)) {
+                        return Replace(*b);
+                    }
+                    if ka == Some(0) || kb == Some(0) {
+                        return Replace(zero);
+                    }
+                    if let Some(k) = kb.and_then(|c| pow2(c, ty)) {
+                        if k > 0 {
+                            return Rewrite(Op::Bin {
+                                op: BinOp::Shl,
+                                a: *a,
+                                b: Operand::Const(Const {
+                                    ty,
+                                    bits: canon(ty, k as u64),
+                                }),
+                            });
+                        }
+                    }
+                    if let Some(k) = ka.and_then(|c| pow2(c, ty)) {
+                        if k > 0 {
+                            return Rewrite(Op::Bin {
+                                op: BinOp::Shl,
+                                a: *b,
+                                b: Operand::Const(Const {
+                                    ty,
+                                    bits: canon(ty, k as u64),
+                                }),
+                            });
+                        }
+                    }
+                }
+                BinOp::SDiv => {
+                    if kb == Some(canon(ty, 1)) {
+                        return Replace(*a);
+                    }
+                    if let Some(k) = kb.and_then(|c| pow2(c, ty)) {
+                        if proven_nonneg(a, rg) {
+                            return Rewrite(Op::Bin {
+                                op: BinOp::AShr,
+                                a: *a,
+                                b: Operand::Const(Const {
+                                    ty,
+                                    bits: canon(ty, k as u64),
+                                }),
+                            });
+                        }
+                    }
+                }
+                BinOp::SRem => {
+                    if kb == Some(canon(ty, 1)) {
+                        return Replace(zero);
+                    }
+                    if let Some(k) = kb.and_then(|c| pow2(c, ty)) {
+                        if proven_nonneg(a, rg) {
+                            return Rewrite(Op::Bin {
+                                op: BinOp::And,
+                                a: *a,
+                                b: Operand::Const(Const {
+                                    ty,
+                                    bits: canon(ty, (1u64 << k) - 1),
+                                }),
+                            });
+                        }
+                    }
+                }
+                BinOp::And => {
+                    if ka == Some(0) || kb == Some(0) {
+                        return Replace(zero);
+                    }
+                    if kb == Some(all_ones(ty)) || same {
+                        return Replace(*a);
+                    }
+                    if ka == Some(all_ones(ty)) {
+                        return Replace(*b);
+                    }
+                }
+                BinOp::Or => {
+                    if kb == Some(0) || same {
+                        return Replace(*a);
+                    }
+                    if ka == Some(0) {
+                        return Replace(*b);
+                    }
+                    if ka == Some(all_ones(ty)) || kb == Some(all_ones(ty)) {
+                        return Replace(Operand::Const(Const {
+                            ty,
+                            bits: all_ones(ty),
+                        }));
+                    }
+                }
+                BinOp::Xor => {
+                    if kb == Some(0) {
+                        return Replace(*a);
+                    }
+                    if ka == Some(0) {
+                        return Replace(*b);
+                    }
+                    if same {
+                        return Replace(zero);
+                    }
+                }
+                // Shift counts are masked to the width at runtime;
+                // only literal zero is an identity we claim.
+                BinOp::Shl | BinOp::LShr | BinOp::AShr if kb == Some(0) => {
+                    return Replace(*a);
+                }
+                _ => {}
+            }
+            No
+        }
+        Op::Select { cond, t, f } => {
+            if let Some(c) = konst(cond) {
+                return Replace(if c & 1 != 0 { *t } else { *f });
+            }
+            if t == f {
+                return Replace(*t);
+            }
+            No
+        }
+        Op::Un { op: UnOp::Not, a } => {
+            if let Some(v) = a.value() {
+                if let Some(Op::Un {
+                    op: UnOp::Not,
+                    a: inner,
+                }) = def_of.get(&v)
+                {
+                    // inner's operand dominates inner, which dominates
+                    // this use — transitively safe to forward.
+                    return Replace(*inner);
+                }
+            }
+            No
+        }
+        _ => No,
+    }
+}

@@ -1,0 +1,226 @@
+//! CFG cleanup: constant-condition branch folding, single-predecessor
+//! block merging, unreachable-block pruning.
+//!
+//! Constfold has already replaced provably-constant branch conditions
+//! with literals (including the interprocedurally-proved ones the
+//! `always-taken-branch` lint reports), so folding here just inspects
+//! the condition operand. A two-way branch whose edges are fully
+//! identical (same target, same args) folds regardless of the
+//! condition: both golden arms are the same edge.
+//!
+//! Merging `b -> t` requires `t` to have exactly one incoming *edge*
+//! (multiplicity counts — a self-loop on `t` is two edges and blocks
+//! the merge, which matters for soundness: `t`'s parameters are
+//! substituted by the branch arguments, valid only when that edge is
+//! the sole way in). The merged-away block goes unreachable and is
+//! pruned immediately, keeping every mid-pipeline module free of
+//! unreachable blocks (the analyses assume it).
+//!
+//! Terminators are not dynamic instructions in the profile, so merging
+//! does not change the dynamic-instruction count — its value is
+//! unblocking other passes (longer straight-line regions for CSE) and
+//! shrinking the static CFG.
+
+use super::normalize::prune_unreachable_blocks;
+use super::Pass;
+use peppa_ir::{Module, Operand, Term};
+use peppa_vm::canon;
+use std::collections::HashMap;
+
+pub struct CfgCleanup;
+
+impl Pass for CfgCleanup {
+    fn name(&self) -> &'static str {
+        "cfg-cleanup"
+    }
+
+    fn run(&self, m: &mut Module) -> u64 {
+        let mut applied = 0;
+        for f in &mut m.functions {
+            // 1. Fold branches with a literal condition or identical
+            // edges.
+            for b in &mut f.blocks {
+                if let Term::CondBr {
+                    cond,
+                    then_target,
+                    then_args,
+                    else_target,
+                    else_args,
+                } = &b.term
+                {
+                    let taken = match cond {
+                        Operand::Const(c) => Some(canon(c.ty, c.bits) & 1 != 0),
+                        Operand::Value(_) => {
+                            if then_target == else_target && then_args == else_args {
+                                Some(true)
+                            } else {
+                                None
+                            }
+                        }
+                    };
+                    if let Some(taken) = taken {
+                        b.term = if taken {
+                            Term::Br {
+                                target: *then_target,
+                                args: then_args.clone(),
+                            }
+                        } else {
+                            Term::Br {
+                                target: *else_target,
+                                args: else_args.clone(),
+                            }
+                        };
+                        applied += 1;
+                    }
+                }
+            }
+            applied += prune_unreachable_blocks(f);
+
+            // 2. Eliminate trivial block parameters (the φ-equivalent
+            // of φ(x, x, self) == x). MiniC lowering threads every
+            // local through loop headers, so unchanged variables look
+            // loop-defined until this runs — it is what unlocks LICM
+            // and cross-iteration CSE on the benchmarks.
+            applied += eliminate_trivial_params(f);
+
+            // 3. Merge single-edge chains until none remain.
+            loop {
+                let n = f.blocks.len();
+                let mut pred_edges = vec![0u32; n];
+                for b in &f.blocks {
+                    for s in b.term.successors() {
+                        pred_edges[s.0 as usize] += 1;
+                    }
+                }
+                let merge = (0..n).find_map(|bi| match &f.blocks[bi].term {
+                    Term::Br { target, .. }
+                        if target.0 != 0
+                            && target.0 as usize != bi
+                            && pred_edges[target.0 as usize] == 1 =>
+                    {
+                        Some((bi, target.0 as usize))
+                    }
+                    _ => None,
+                });
+                let Some((bi, ti)) = merge else { break };
+                let Term::Br { args, .. } =
+                    std::mem::replace(&mut f.blocks[bi].term, Term::Ret { value: None })
+                else {
+                    unreachable!()
+                };
+                let subst: HashMap<_, _> = f.blocks[ti]
+                    .params
+                    .iter()
+                    .zip(&args)
+                    .map(|(&p, &a)| (p, a))
+                    .collect();
+                let mut instrs = std::mem::take(&mut f.blocks[ti].instrs);
+                let term = f.blocks[ti].term.clone();
+                f.blocks[ti].params.clear();
+                f.blocks[bi].instrs.append(&mut instrs);
+                f.blocks[bi].term = term;
+                super::replace_uses(f, &subst);
+                // `ti` is now an empty shell with no predecessors.
+                prune_unreachable_blocks(f);
+                applied += 1;
+            }
+
+            applied += eliminate_trivial_params(f);
+
+            debug_assert!(f.blocks[0].params.is_empty());
+            debug_assert!(f.blocks.iter().all(|b| b
+                .term
+                .successors()
+                .iter()
+                .all(|s| (s.0 as usize) < f.blocks.len())));
+        }
+        applied
+    }
+}
+
+/// Removes block parameters that are provably copies: a param `p`
+/// receiving, on every incoming edge, either `p` itself (back edges) or
+/// one fixed operand `x`, always equals `x`. The replacement's def
+/// dominates the block — every entry path carries `x` — so replacing
+/// uses of `p` and dropping the param/argument column is sound.
+fn eliminate_trivial_params(f: &mut peppa_ir::Function) -> u64 {
+    let mut applied = 0;
+    loop {
+        let n = f.blocks.len();
+        // Per-target list of incoming argument vectors.
+        let mut incoming: Vec<Vec<Vec<Operand>>> = vec![Vec::new(); n];
+        for b in &f.blocks {
+            match &b.term {
+                Term::Br { target, args } => {
+                    incoming[target.0 as usize].push(args.clone());
+                }
+                Term::CondBr {
+                    then_target,
+                    then_args,
+                    else_target,
+                    else_args,
+                    ..
+                } => {
+                    incoming[then_target.0 as usize].push(then_args.clone());
+                    incoming[else_target.0 as usize].push(else_args.clone());
+                }
+                Term::Ret { .. } => {}
+            }
+        }
+        let mut found = None;
+        'outer: for (bi, inc) in incoming.iter().enumerate().take(n) {
+            for (j, &p) in f.blocks[bi].params.iter().enumerate() {
+                let mut x: Option<Operand> = None;
+                let mut trivial = true;
+                for args in inc {
+                    let a = args[j];
+                    if a == Operand::Value(p) {
+                        continue;
+                    }
+                    match x {
+                        None => x = Some(a),
+                        Some(e) => {
+                            if e != a {
+                                trivial = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if trivial {
+                    if let Some(x) = x {
+                        found = Some((bi, j, x));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let Some((bi, j, x)) = found else { break };
+        let target = peppa_ir::BlockId(bi as u32);
+        let p = f.blocks[bi].params.remove(j);
+        for b in &mut f.blocks {
+            let drop_arg = |t: peppa_ir::BlockId, args: &mut Vec<Operand>| {
+                if t == target {
+                    args.remove(j);
+                }
+            };
+            match &mut b.term {
+                Term::Br { target, args } => drop_arg(*target, args),
+                Term::CondBr {
+                    then_target,
+                    then_args,
+                    else_target,
+                    else_args,
+                    ..
+                } => {
+                    drop_arg(*then_target, then_args);
+                    drop_arg(*else_target, else_args);
+                }
+                Term::Ret { .. } => {}
+            }
+        }
+        super::replace_uses(f, &HashMap::from([(p, x)]));
+        applied += 1;
+    }
+    applied
+}

@@ -1,0 +1,149 @@
+//! Constant folding driven by exact VM semantics and the
+//! interprocedural KnownBits/AbsRange facts.
+//!
+//! Two sources of constants:
+//!
+//! 1. **Literal evaluation**: an instruction whose operands are all
+//!    constants is evaluated with the engines' own semantic kernels
+//!    (`exec_bin_checked`, `exec_un`, `exec_cast`, `exec_icmp`,
+//!    `exec_fcmp`) so the folded word is bit-identical to what either
+//!    engine would compute — `i32` sign-extension, masked shifts,
+//!    saturating `fptosi` and all. A division whose divisor is the
+//!    constant zero is *not* folded (`exec_bin_checked` returns `None`):
+//!    the trap must still fire at runtime.
+//! 2. **Analysis facts**: a value the interprocedural KnownBits or
+//!    AbsRange domains prove to be a single bit pattern is a constant
+//!    even when its operands are not — e.g. `x & 0`, a masked value, a
+//!    call whose return summary collapses. Both domains are sound
+//!    over-approximations of the golden run, so an exact fact *is* the
+//!    runtime value.
+//!
+//! The pass only rewrites *uses*: every operand referring to a
+//! known-constant value becomes the constant. The defining instruction
+//! stays where it is — if it is pure it becomes dead and DCE deletes
+//! it; if it could trap it keeps executing, preserving golden-run
+//! status bit-for-bit.
+
+use super::Pass;
+use crate::knownbits::KnownBits;
+use crate::range::AbsRange;
+use crate::summary::analyze_module_interproc;
+use crate::CallGraph;
+use peppa_ir::{Const, Module, Op, Operand, Ty, ValueId};
+use peppa_vm::{canon, exec_bin_checked, exec_cast, exec_fcmp, exec_icmp, exec_un};
+use std::collections::HashMap;
+
+pub struct ConstFold;
+
+impl Pass for ConstFold {
+    fn name(&self) -> &'static str {
+        "constfold"
+    }
+
+    fn run(&self, m: &mut Module) -> u64 {
+        let cg = CallGraph::new(m);
+        let kb = analyze_module_interproc::<KnownBits>(m, &cg);
+        let rg = analyze_module_interproc::<AbsRange>(m, &cg);
+
+        let mut applied = 0;
+        for (fi, f) in m.functions.iter_mut().enumerate() {
+            // Known constants from the interprocedural domains.
+            let mut const_of: HashMap<ValueId, Const> = HashMap::new();
+            for v in 0..f.value_types.len() {
+                let vid = ValueId(v as u32);
+                let ty = f.value_types[v];
+                let bits = fact_const(
+                    ty,
+                    kb.facts.per_func[fi].values.get(v),
+                    rg.facts.per_func[fi].values.get(v),
+                );
+                if let Some(bits) = bits {
+                    const_of.insert(vid, Const { ty, bits });
+                }
+            }
+
+            // Literal evaluation, forward over blocks in layout order
+            // (defs dominate uses, and layout order visits dominators
+            // first for the builder's structured CFGs; a missed
+            // back-edge case just folds on the next sweep).
+            for b in &f.blocks {
+                for ins in &b.instrs {
+                    let Some(r) = ins.result else { continue };
+                    if const_of.contains_key(&r) {
+                        continue;
+                    }
+                    let lit = |o: &Operand| -> Option<u64> {
+                        match o {
+                            Operand::Const(c) => Some(canon(c.ty, c.bits)),
+                            Operand::Value(v) => const_of.get(v).map(|c| canon(c.ty, c.bits)),
+                        }
+                    };
+                    let ty = f.value_types[r.0 as usize];
+                    let bits = (|| -> Option<u64> {
+                        match &ins.op {
+                            Op::Bin { op, a, b } => exec_bin_checked(*op, ty, lit(a)?, lit(b)?),
+                            Op::Un { op, a } => Some(exec_un(*op, ty, lit(a)?)),
+                            Op::Icmp { pred, a, b } => Some(exec_icmp(*pred, lit(a)?, lit(b)?)),
+                            Op::Fcmp { pred, a, b } => Some(exec_fcmp(*pred, lit(a)?, lit(b)?)),
+                            Op::Cast { kind, a, .. } => {
+                                Some(exec_cast(*kind, f.operand_ty(a), ty, lit(a)?))
+                            }
+                            Op::Select { cond, t, f: fo } => {
+                                if lit(cond)? & 1 != 0 {
+                                    Some(lit(t)?)
+                                } else {
+                                    Some(lit(fo)?)
+                                }
+                            }
+                            Op::Gep { base, index } => {
+                                Some(canon(ty, lit(base)?.wrapping_add(lit(index)?)))
+                            }
+                            // Loads, calls, allocas: never foldable from
+                            // literals (memory/stack state, side effects).
+                            _ => None,
+                        }
+                    })();
+                    if let Some(bits) = bits {
+                        const_of.insert(r, Const { ty, bits });
+                    }
+                }
+            }
+
+            if const_of.is_empty() {
+                continue;
+            }
+            let map: HashMap<ValueId, Operand> = const_of
+                .into_iter()
+                .map(|(v, c)| (v, Operand::Const(c)))
+                .collect();
+            applied += super::replace_uses(f, &map);
+        }
+        applied
+    }
+}
+
+/// An exact bit pattern for a value, if either domain proves one.
+fn fact_const(ty: Ty, kb: Option<&KnownBits>, rg: Option<&AbsRange>) -> Option<u64> {
+    if let Some(bits) = kb.and_then(|k| k.as_const()) {
+        // KnownBits facts are already canonical for the value's type.
+        return Some(canon(ty, bits));
+    }
+    match (ty, rg) {
+        (Ty::F64, Some(AbsRange::Float(r))) => {
+            // Exact float interval: a single non-NaN value. (NaN is
+            // excluded — `nan: true` admits many payloads, and an exact
+            // [v, v] interval with v == v is never NaN.)
+            if !r.nan && r.lo == r.hi && r.lo.is_finite() {
+                // Negative zero and positive zero compare equal but have
+                // different bits; only fold when the sign is pinned.
+                if r.lo == 0.0 {
+                    return None;
+                }
+                return Some(r.lo.to_bits());
+            }
+            None
+        }
+        (_, Some(AbsRange::Int(r))) => r.as_const().map(|v| canon(ty, v as u64)),
+        _ => None,
+    }
+}

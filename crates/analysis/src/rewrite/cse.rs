@@ -1,0 +1,220 @@
+//! Dominator-scoped common-subexpression elimination via value
+//! numbering.
+//!
+//! A pre-order walk of the dominator tree keeps a scoped table from
+//! *expression key* (opcode + operands, with commutative integer
+//! operands sorted) to the first value that computed it. An instruction
+//! whose key is already in scope is redundant: the earlier instance
+//! *dominates* it, so on every execution path the earlier value was
+//! already computed — replacing the late instruction cannot change
+//! golden-run behaviour, including traps: a redundant `sdiv x, y` only
+//! executes after the dominating `sdiv x, y` already executed without
+//! trapping on the same operands.
+//!
+//! Eligible: `Bin`, `Un`, `Icmp`, `Fcmp`, `Select`, `Cast`, `Gep` — the
+//! pure value computations. Loads are not (memory may change between
+//! the two sites), allocas are not (each execution is a distinct
+//! object), calls are not (side effects).
+//!
+//! Floats are CSE'd too — two textually identical instructions on
+//! identical operand *bits* produce identical bits — but float operands
+//! are never reordered by the commutativity canonicalization (NaN
+//! payload propagation is order-sensitive).
+//!
+//! [`redundant_computations`] runs the same walk read-only; `peppa
+//! lint`'s `redundant-computation` finding is exactly the set of
+//! instructions this pass would delete.
+
+use super::Pass;
+use crate::cfg::Cfg;
+use peppa_ir::{
+    BinOp, BlockId, CastKind, FPred, Function, IPred, InstrId, Module, Op, Operand, Ty, UnOp,
+    ValueId,
+};
+use peppa_vm::canon;
+use std::collections::{HashMap, HashSet};
+
+pub struct Cse;
+
+impl Pass for Cse {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run(&self, m: &mut Module) -> u64 {
+        let mut applied = 0;
+        for f in &mut m.functions {
+            let hits = value_number(f);
+            if hits.is_empty() {
+                continue;
+            }
+            applied += hits.len() as u64;
+            let dead: HashSet<InstrId> = hits.iter().map(|h| h.sid).collect();
+            let map: HashMap<ValueId, Operand> = hits
+                .iter()
+                .map(|h| (h.result, Operand::Value(h.keep)))
+                .collect();
+            for b in &mut f.blocks {
+                b.instrs.retain(|i| !dead.contains(&i.sid));
+            }
+            super::replace_uses(f, &map);
+        }
+        applied
+    }
+}
+
+/// One redundant instruction found by value numbering.
+pub struct CseHit {
+    /// The redundant (deletable) instruction.
+    pub sid: InstrId,
+    /// Its result value.
+    pub result: ValueId,
+    /// The dominating value that computes the same expression.
+    pub keep: ValueId,
+    /// Opcode mnemonic, for lint messages.
+    pub kind: &'static str,
+}
+
+/// CSE candidates of a function in deterministic (sid) order — the
+/// instructions [`Cse`] would delete. Shared by the
+/// `redundant-computation` lint.
+pub fn redundant_computations(f: &Function) -> Vec<(InstrId, &'static str)> {
+    let mut v: Vec<(InstrId, &'static str)> = value_number(f)
+        .into_iter()
+        .map(|h| (h.sid, h.kind))
+        .collect();
+    v.sort_by_key(|&(sid, _)| sid);
+    v
+}
+
+/// Hashable canonical operand: a (possibly substituted) value id, or a
+/// constant's type and canonical bits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum KOp {
+    V(u32),
+    C(Ty, u64),
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Bin(BinOp, KOp, KOp),
+    Un(UnOp, KOp),
+    Icmp(IPred, KOp, KOp),
+    Fcmp(FPred, KOp, KOp),
+    Select(KOp, KOp, KOp),
+    Cast(CastKind, Ty, KOp),
+    Gep(KOp, KOp),
+}
+
+fn value_number(f: &Function) -> Vec<CseHit> {
+    let cfg = Cfg::new(f);
+    let n = cfg.num_blocks();
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for b in 1..n {
+        children[cfg.idom[b] as usize].push(b as u32);
+    }
+
+    // Value substitutions discovered so far (redundant -> surviving),
+    // applied while keying so chains of redundancy collapse in one walk.
+    let mut subst: HashMap<ValueId, ValueId> = HashMap::new();
+    let kop = |o: &Operand, subst: &HashMap<ValueId, ValueId>| -> KOp {
+        match o {
+            Operand::Value(v) => KOp::V(subst.get(v).copied().unwrap_or(*v).0),
+            Operand::Const(c) => KOp::C(c.ty, canon(c.ty, c.bits)),
+        }
+    };
+
+    let mut table: HashMap<Key, ValueId> = HashMap::new();
+    let mut hits = Vec::new();
+
+    // Pre-order dominator-tree walk with an undo log per scope.
+    enum Step {
+        Enter(u32),
+        Exit(usize),
+    }
+    let mut stack = vec![Step::Enter(0)];
+    let mut undo: Vec<Key> = Vec::new();
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Exit(mark) => {
+                for k in undo.drain(mark..) {
+                    table.remove(&k);
+                }
+            }
+            Step::Enter(b) => {
+                let mark = undo.len();
+                stack.push(Step::Exit(mark));
+                // Push children in reverse so they pop in index order —
+                // the walk order (hence hit order) is deterministic.
+                for &c in children[b as usize].iter().rev() {
+                    stack.push(Step::Enter(c));
+                }
+                for ins in &f.block(BlockId(b)).instrs {
+                    let Some(r) = ins.result else { continue };
+                    let Some(key) = key_of(&ins.op, &subst, &kop) else {
+                        continue;
+                    };
+                    match table.get(&key) {
+                        Some(&keep) => {
+                            subst.insert(r, keep);
+                            hits.push(CseHit {
+                                sid: ins.sid,
+                                result: r,
+                                keep,
+                                kind: ins.op.mnemonic(),
+                            });
+                        }
+                        None => {
+                            table.insert(key.clone(), r);
+                            undo.push(key);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    hits
+}
+
+fn key_of(
+    op: &Op,
+    subst: &HashMap<ValueId, ValueId>,
+    kop: &impl Fn(&Operand, &HashMap<ValueId, ValueId>) -> KOp,
+) -> Option<Key> {
+    Some(match op {
+        Op::Bin { op, a, b } => {
+            let (mut ka, mut kb) = (kop(a, subst), kop(b, subst));
+            if int_commutative(*op) && kb < ka {
+                std::mem::swap(&mut ka, &mut kb);
+            }
+            Key::Bin(*op, ka, kb)
+        }
+        Op::Un { op, a } => Key::Un(*op, kop(a, subst)),
+        Op::Icmp { pred, a, b } => {
+            let (mut ka, mut kb) = (kop(a, subst), kop(b, subst));
+            if matches!(pred, IPred::Eq | IPred::Ne) && kb < ka {
+                std::mem::swap(&mut ka, &mut kb);
+            }
+            Key::Icmp(*pred, ka, kb)
+        }
+        Op::Fcmp { pred, a, b } => Key::Fcmp(*pred, kop(a, subst), kop(b, subst)),
+        Op::Select { cond, t, f } => Key::Select(kop(cond, subst), kop(t, subst), kop(f, subst)),
+        Op::Cast { kind, a, to } => Key::Cast(*kind, *to, kop(a, subst)),
+        Op::Gep { base, index } => Key::Gep(kop(base, subst), kop(index, subst)),
+        Op::Load { .. }
+        | Op::Store { .. }
+        | Op::Alloca { .. }
+        | Op::Call { .. }
+        | Op::Output { .. } => return None,
+    })
+}
+
+/// Commutative *integer* binary ops. Float add/mul are mathematically
+/// commutative but NaN payload propagation is operand-order dependent,
+/// so they are excluded from operand canonicalization.
+fn int_commutative(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+    )
+}

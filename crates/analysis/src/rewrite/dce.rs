@@ -1,0 +1,260 @@
+//! Dead-code elimination from observable-liveness, plus provably-safe
+//! dead-store removal from the memory-dependence graph.
+//!
+//! A value outside [`observable_live`] never influences the output
+//! stream, the return value, a store, a call, or a branch — deleting
+//! its defining instruction cannot change golden-run *values*. What it
+//! can change is golden-run *status*: deleting a trapping instruction
+//! deletes its trap. So deletion is restricted to instructions that
+//! provably cannot trap:
+//!
+//! * pure value ops: `Bin` (with `sdiv`/`srem` only when the divisor is
+//!   a nonzero constant), `Un`, `Icmp`, `Fcmp`, `Select`, `Cast`, `Gep`;
+//! * `Load`s whose address interval is proved inside the static global
+//!   segment (in-bounds ⇒ no trap);
+//! * never `Alloca` — each alloca shifts every later stack address in
+//!   the function, and addresses are observable through `ptrtoint` and
+//!   pointer stores;
+//! * never `Call` (side effects), `Store`/`Output` (sinks).
+//!
+//! Observable-liveness sees through kept instructions (a load's address
+//! is "dead" when the loaded value is), so a retention fixpoint walks
+//! back from every *kept* use: an operand of a surviving instruction,
+//! terminator, or live block-parameter wire must survive too. Block
+//! parameters that remain dead after the fixpoint are excised together
+//! with the matching branch argument in every predecessor — that is
+//! where dead loop-carried chains (`i = i + 1` feeding only itself) go.
+//!
+//! Dead stores ([`MemDepGraph::dead_stores`]: no load may ever read the
+//! stored word) are deleted when the store address is proved inside the
+//! global segment, so removing the store cannot remove a trap.
+
+use super::Pass;
+use crate::liveness::observable_live;
+use crate::memdep::MemDepGraph;
+use peppa_ir::{BinOp, InstrId, Module, Op, Operand, Term, ValueId};
+use std::collections::{HashMap, HashSet};
+
+pub struct Dce;
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, m: &mut Module) -> u64 {
+        // Module-level memory facts: address intervals per access and
+        // the set of never-read stores.
+        let mdg = MemDepGraph::new(m);
+        let gwords = m.globals_words() as i64;
+        let mut bounds: HashMap<InstrId, (i64, i64)> = HashMap::new();
+        for a in mdg.stores.iter().chain(mdg.loads.iter()) {
+            bounds.insert(a.sid, (a.lo, a.hi));
+        }
+        let in_globals = |sid: InstrId| -> bool {
+            bounds
+                .get(&sid)
+                .is_some_and(|&(lo, hi)| lo >= 1 && hi < 1 + gwords)
+        };
+        let dead_stores: HashSet<InstrId> = mdg
+            .dead_stores()
+            .into_iter()
+            .filter(|&sid| in_globals(sid))
+            .collect();
+
+        let mut applied = 0;
+        for f in &mut m.functions {
+            let live = observable_live(f);
+
+            // Phase 1: candidate deletions — non-observable results
+            // whose defining instruction provably cannot trap.
+            let mut del_instrs: HashSet<InstrId> = HashSet::new();
+            let mut def_site: HashMap<ValueId, InstrId> = HashMap::new();
+            // Dead block params: (block index, param index).
+            let mut del_params: HashSet<ValueId> = HashSet::new();
+            for b in &f.blocks {
+                for &p in &b.params {
+                    if !live.contains(p) {
+                        del_params.insert(p);
+                    }
+                }
+                for ins in &b.instrs {
+                    let Some(r) = ins.result else { continue };
+                    def_site.insert(r, ins.sid);
+                    if !live.contains(r) && cannot_trap(&ins.op, &in_globals, ins.sid) {
+                        del_instrs.insert(ins.sid);
+                    }
+                }
+            }
+
+            // Phase 2: retention fixpoint. Any operand of a kept
+            // instruction, a terminator condition/return, or a branch
+            // argument feeding a kept parameter must survive.
+            loop {
+                let mut changed = false;
+                let retain = |o: &Operand,
+                              del_instrs: &mut HashSet<InstrId>,
+                              del_params: &mut HashSet<ValueId>|
+                 -> bool {
+                    let Some(v) = o.value() else { return false };
+                    let mut ch = false;
+                    if del_params.remove(&v) {
+                        ch = true;
+                    }
+                    if let Some(sid) = def_site.get(&v) {
+                        if del_instrs.remove(sid) {
+                            ch = true;
+                        }
+                    }
+                    ch
+                };
+                for b in &f.blocks {
+                    for ins in &b.instrs {
+                        if ins
+                            .result
+                            .is_some_and(|r| del_instrs.contains(&def_site[&r]))
+                            || dead_stores.contains(&ins.sid)
+                        {
+                            continue;
+                        }
+                        for o in ins.op.operands() {
+                            changed |= retain(&o, &mut del_instrs, &mut del_params);
+                        }
+                    }
+                    let retain_args = |target: peppa_ir::BlockId,
+                                       args: &[Operand],
+                                       del_instrs: &mut HashSet<InstrId>,
+                                       del_params: &mut HashSet<ValueId>,
+                                       changed: &mut bool| {
+                        for (&p, a) in f.blocks[target.0 as usize].params.iter().zip(args) {
+                            if !del_params.contains(&p) {
+                                *changed |= retain(a, del_instrs, del_params);
+                            }
+                        }
+                    };
+                    match &b.term {
+                        Term::Br { target, args } => retain_args(
+                            *target,
+                            args,
+                            &mut del_instrs,
+                            &mut del_params,
+                            &mut changed,
+                        ),
+                        Term::CondBr {
+                            cond,
+                            then_target,
+                            then_args,
+                            else_target,
+                            else_args,
+                        } => {
+                            changed |= retain(cond, &mut del_instrs, &mut del_params);
+                            retain_args(
+                                *then_target,
+                                then_args,
+                                &mut del_instrs,
+                                &mut del_params,
+                                &mut changed,
+                            );
+                            retain_args(
+                                *else_target,
+                                else_args,
+                                &mut del_instrs,
+                                &mut del_params,
+                                &mut changed,
+                            );
+                        }
+                        Term::Ret { value } => {
+                            if let Some(v) = value {
+                                changed |= retain(v, &mut del_instrs, &mut del_params);
+                            }
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+
+            // Phase 3: apply. Delete instructions, then excise dead
+            // params together with the matching branch argument in
+            // every predecessor.
+            let n_stores = f
+                .blocks
+                .iter()
+                .flat_map(|b| b.instrs.iter())
+                .filter(|i| dead_stores.contains(&i.sid))
+                .count() as u64;
+            applied += del_instrs.len() as u64 + n_stores + del_params.len() as u64;
+            for b in &mut f.blocks {
+                b.instrs
+                    .retain(|i| !del_instrs.contains(&i.sid) && !dead_stores.contains(&i.sid));
+            }
+            if !del_params.is_empty() {
+                // keep[bi][j] = does block bi keep its j-th param?
+                let keep: Vec<Vec<bool>> = f
+                    .blocks
+                    .iter()
+                    .map(|b| b.params.iter().map(|p| !del_params.contains(p)).collect())
+                    .collect();
+                for b in &mut f.blocks {
+                    let filter_args = |target: peppa_ir::BlockId, args: &mut Vec<Operand>| {
+                        let k = &keep[target.0 as usize];
+                        let mut j = 0;
+                        args.retain(|_| {
+                            let keep_it = k[j];
+                            j += 1;
+                            keep_it
+                        });
+                    };
+                    match &mut b.term {
+                        Term::Br { target, args } => filter_args(*target, args),
+                        Term::CondBr {
+                            then_target,
+                            then_args,
+                            else_target,
+                            else_args,
+                            ..
+                        } => {
+                            filter_args(*then_target, then_args);
+                            filter_args(*else_target, else_args);
+                        }
+                        Term::Ret { .. } => {}
+                    }
+                }
+                for (bi, b) in f.blocks.iter_mut().enumerate() {
+                    let k = keep[bi].clone();
+                    let mut j = 0;
+                    b.params.retain(|_| {
+                        let keep_it = k[j];
+                        j += 1;
+                        keep_it
+                    });
+                }
+            }
+        }
+        applied
+    }
+}
+
+/// True when executing this op can never trap, so deleting it can never
+/// delete a trap. `in_globals` proves a memory access in-bounds.
+fn cannot_trap(op: &Op, in_globals: &impl Fn(InstrId) -> bool, sid: InstrId) -> bool {
+    match op {
+        Op::Bin {
+            op: BinOp::SDiv | BinOp::SRem,
+            b,
+            ..
+        } => matches!(b, Operand::Const(c) if peppa_vm::canon(c.ty, c.bits) != 0),
+        Op::Bin { .. }
+        | Op::Un { .. }
+        | Op::Icmp { .. }
+        | Op::Fcmp { .. }
+        | Op::Select { .. }
+        | Op::Cast { .. }
+        | Op::Gep { .. } => true,
+        Op::Load { .. } => in_globals(sid),
+        // Allocas shift later stack addresses; calls have effects;
+        // stores/outputs are sinks handled separately.
+        Op::Alloca { .. } | Op::Call { .. } | Op::Store { .. } | Op::Output { .. } => false,
+    }
+}

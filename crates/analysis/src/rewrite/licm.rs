@@ -1,0 +1,224 @@
+//! Loop-invariant code motion.
+//!
+//! Natural loops are found from back edges (`u -> h` with `h`
+//! dominating `u`); loops sharing a header are merged. For each loop, a
+//! fresh *preheader* block is inserted: every entry edge is retargeted
+//! to it and it forwards the header's block arguments through fresh
+//! parameters, so the preheader dominates the header and everything the
+//! loop dominates. Hoisting a pure, provably non-trapping instruction
+//! whose operands are all loop-invariant into the preheader then
+//! preserves every golden-run observable: the moved instruction
+//! computes the same bits (same operands, same VM semantics) and can
+//! neither trap nor touch memory or output.
+//!
+//! Two deliberate restrictions:
+//!
+//! * Loads are never hoisted — a store or call inside the loop may
+//!   clobber the address between iterations.
+//! * Only instructions whose block dominates every latch (i.e. that
+//!   execute on *every* iteration) are hoisted, so the dynamic
+//!   instruction count can only grow in the zero-trip case — one
+//!   preheader execution against zero body executions — and strictly
+//!   shrinks whenever the loop runs more than once.
+//!
+//! The pass transforms one loop at a time and recomputes the CFG after
+//! each, which handles nesting naturally: an instruction hoisted out of
+//! an inner loop lands in the inner preheader, which is part of the
+//! outer loop's body, and a later round lifts it again.
+
+use super::Pass;
+use crate::cfg::Cfg;
+use peppa_ir::{BinOp, Block, BlockId, Instr, Module, Op, Operand, Term, ValueId};
+use peppa_vm::canon;
+use std::collections::HashSet;
+
+pub struct Licm;
+
+impl Pass for Licm {
+    fn name(&self) -> &'static str {
+        "licm"
+    }
+
+    fn run(&self, m: &mut Module) -> u64 {
+        let mut applied = 0;
+        for f in &mut m.functions {
+            // One loop per round; stop when no loop has hoistable work.
+            loop {
+                let n = hoist_one_loop(f);
+                if n == 0 {
+                    break;
+                }
+                applied += n;
+            }
+        }
+        applied
+    }
+}
+
+/// Finds the first loop (by header index) with hoistable instructions,
+/// hoists them into a fresh preheader, and returns how many moved.
+fn hoist_one_loop(f: &mut peppa_ir::Function) -> u64 {
+    let cfg = Cfg::new(f);
+    let nb = cfg.num_blocks();
+
+    // Back edges grouped by header; skip the entry block (it cannot be
+    // given a preheader — there is no edge into it to retarget).
+    for h in 1..nb {
+        let latches: Vec<u32> = (0..nb as u32)
+            .filter(|&u| {
+                cfg.succs[u as usize].contains(&(h as u32))
+                    && cfg.dominates(BlockId(h as u32), BlockId(u))
+            })
+            .collect();
+        if latches.is_empty() {
+            continue;
+        }
+        // Natural loop body: blocks that reach a latch without passing
+        // through the header.
+        let mut body: HashSet<u32> = HashSet::from([h as u32]);
+        let mut stack: Vec<u32> = latches.clone();
+        while let Some(b) = stack.pop() {
+            if body.insert(b) {
+                for &p in &cfg.preds[b as usize] {
+                    stack.push(p);
+                }
+            }
+        }
+
+        // Values defined inside the body (params + results).
+        let mut defined_in: HashSet<ValueId> = HashSet::new();
+        for &bi in &body {
+            let blk = &f.blocks[bi as usize];
+            defined_in.extend(blk.params.iter().copied());
+            defined_in.extend(blk.instrs.iter().filter_map(|i| i.result));
+        }
+
+        // Candidates, in RPO-and-program order so dependencies between
+        // hoisted instructions stay def-before-use in the preheader.
+        let mut hoist: Vec<(u32, peppa_ir::InstrId)> = Vec::new();
+        let mut hoisted_vals: HashSet<ValueId> = HashSet::new();
+        for &bi in cfg.rpo.iter().filter(|b| body.contains(b)) {
+            if !latches
+                .iter()
+                .all(|&u| cfg.dominates(BlockId(bi), BlockId(u)))
+            {
+                continue;
+            }
+            for ins in &f.blocks[bi as usize].instrs {
+                if ins.result.is_none() || !hoistable_op(&ins.op) {
+                    continue;
+                }
+                let invariant = ins.op.operands().iter().all(|o| match o {
+                    Operand::Const(_) => true,
+                    Operand::Value(v) => !defined_in.contains(v) || hoisted_vals.contains(v),
+                });
+                if invariant {
+                    hoist.push((bi, ins.sid));
+                    hoisted_vals.insert(ins.result.unwrap());
+                }
+            }
+        }
+        if hoist.is_empty() {
+            continue;
+        }
+
+        // Build the preheader: fresh params mirroring the header's,
+        // forwarding them unchanged.
+        let header = BlockId(h as u32);
+        let nparams = f.blocks[h].params.len();
+        let mut pre_params = Vec::with_capacity(nparams);
+        for i in 0..nparams {
+            let p = f.blocks[h].params[i];
+            let v = ValueId(f.value_types.len() as u32);
+            f.value_types.push(f.ty_of(p));
+            pre_params.push(v);
+        }
+        let pre = BlockId(f.blocks.len() as u32);
+        f.blocks.push(Block {
+            params: pre_params.clone(),
+            instrs: Vec::new(),
+            term: Term::Br {
+                target: header,
+                args: pre_params.iter().map(|&v| Operand::Value(v)).collect(),
+            },
+        });
+
+        // Retarget every entry (non-back) edge to the preheader.
+        let latch_set: HashSet<u32> = latches.iter().copied().collect();
+        for (bi, b) in f.blocks.iter_mut().enumerate() {
+            if bi == pre.0 as usize || latch_set.contains(&(bi as u32)) {
+                continue;
+            }
+            let retarget = |t: &mut BlockId| {
+                if *t == header {
+                    *t = pre;
+                }
+            };
+            match &mut b.term {
+                Term::Br { target, .. } => retarget(target),
+                Term::CondBr {
+                    then_target,
+                    else_target,
+                    ..
+                } => {
+                    retarget(then_target);
+                    retarget(else_target);
+                }
+                Term::Ret { .. } => {}
+            }
+        }
+
+        // Move the instructions, preserving order.
+        let moved = hoist.len() as u64;
+        let sids: HashSet<_> = hoist.iter().map(|&(_, sid)| sid).collect();
+        let mut lifted: Vec<Instr> = Vec::with_capacity(hoist.len());
+        for &(bi, _) in &hoist {
+            let blk = &mut f.blocks[bi as usize];
+            let mut rest = Vec::with_capacity(blk.instrs.len());
+            for ins in blk.instrs.drain(..) {
+                if sids.contains(&ins.sid) && !lifted.iter().any(|l| l.sid == ins.sid) {
+                    lifted.push(ins);
+                } else {
+                    rest.push(ins);
+                }
+            }
+            blk.instrs = rest;
+        }
+        // `hoist` was built in dependency order, but drain order above
+        // follows block order; re-sort the lifted list to the recorded
+        // hoist order.
+        let order: std::collections::HashMap<_, _> = hoist
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, sid))| (sid, i))
+            .collect();
+        lifted.sort_by_key(|i| order[&i.sid]);
+        f.blocks[pre.0 as usize].instrs = lifted;
+        return moved;
+    }
+    0
+}
+
+/// Pure and provably non-trapping: safe to execute speculatively in the
+/// preheader.
+fn hoistable_op(op: &Op) -> bool {
+    match op {
+        Op::Bin {
+            op: BinOp::SDiv | BinOp::SRem,
+            b,
+            ..
+        } => matches!(b, Operand::Const(c) if canon(c.ty, c.bits) != 0),
+        Op::Bin { .. }
+        | Op::Un { .. }
+        | Op::Icmp { .. }
+        | Op::Fcmp { .. }
+        | Op::Select { .. }
+        | Op::Cast { .. }
+        | Op::Gep { .. } => true,
+        Op::Load { .. }
+        | Op::Store { .. }
+        | Op::Alloca { .. }
+        | Op::Call { .. }
+        | Op::Output { .. } => false,
+    }
+}

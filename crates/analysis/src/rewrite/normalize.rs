@@ -1,0 +1,137 @@
+//! Post-pipeline normalization: dense sid renumbering with provenance,
+//! plus the unreachable-block pruner CFG cleanup uses mid-pipeline.
+//!
+//! Passes never renumber sids while the pipeline runs — deletions just
+//! leave gaps, so every sid-indexed analysis array stays valid and each
+//! surviving instruction keeps its identity. The one renumbering happens
+//! here, after the fixpoint, restoring the verifier's density invariant
+//! and producing the new-sid → original-sid map the optstudy experiment
+//! needs to pair per-instruction SDC ranks across opt levels.
+
+use peppa_ir::{Function, InstrId, Module, Term, ValueId};
+use std::collections::HashMap;
+
+/// Renumbers all sids densely in ascending original order and fixes
+/// `num_instrs`. Returns `provenance` with `provenance[new] = old`.
+pub fn renumber_sids(m: &mut Module) -> Vec<u32> {
+    let mut old: Vec<u32> = m
+        .functions
+        .iter()
+        .flat_map(|f| f.blocks.iter())
+        .flat_map(|b| b.instrs.iter().map(|i| i.sid.0))
+        .collect();
+    old.sort_unstable();
+    let map: HashMap<u32, u32> = old
+        .iter()
+        .enumerate()
+        .map(|(new, &o)| (o, new as u32))
+        .collect();
+    for f in &mut m.functions {
+        for b in &mut f.blocks {
+            for i in &mut b.instrs {
+                i.sid = InstrId(map[&i.sid.0]);
+            }
+        }
+    }
+    m.num_instrs = old.len();
+    old
+}
+
+/// Compacts value ids densely per function (params keep `0..n`, then
+/// definition order), dropping the orphan `value_types` slots deletions
+/// leave behind. Keeps printed modules re-parseable to structural
+/// equality: the parser reconstructs `value_types` from definition
+/// sites and would have to guess types for never-defined ids.
+pub fn compact_values(m: &mut Module) {
+    for f in &mut m.functions {
+        let nv = f.value_types.len();
+        let mut remap: Vec<u32> = vec![u32::MAX; nv];
+        let mut next = 0u32;
+        let mut assign = |v: ValueId, remap: &mut Vec<u32>| {
+            debug_assert_eq!(remap[v.0 as usize], u32::MAX, "value defined twice");
+            remap[v.0 as usize] = next;
+            next += 1;
+        };
+        for p in 0..f.params.len() {
+            assign(ValueId(p as u32), &mut remap);
+        }
+        for b in &f.blocks {
+            for &p in &b.params {
+                assign(p, &mut remap);
+            }
+            for ins in &b.instrs {
+                if let Some(r) = ins.result {
+                    assign(r, &mut remap);
+                }
+            }
+        }
+        if next as usize == nv {
+            continue; // already dense
+        }
+        let mut types = vec![f.value_types[0]; next as usize];
+        for (old, &new) in remap.iter().enumerate() {
+            if new != u32::MAX {
+                types[new as usize] = f.value_types[old];
+            }
+        }
+        f.value_types = types;
+        let rv = |v: &mut ValueId| v.0 = remap[v.0 as usize];
+        for b in &mut f.blocks {
+            for p in &mut b.params {
+                rv(p);
+            }
+            for ins in &mut b.instrs {
+                if let Some(r) = &mut ins.result {
+                    rv(r);
+                }
+                super::for_each_operand_mut(&mut ins.op, |o| {
+                    if let peppa_ir::Operand::Value(v) = o {
+                        rv(v);
+                    }
+                });
+            }
+            super::for_each_term_operand_mut(&mut b.term, |o| {
+                if let peppa_ir::Operand::Value(v) = o {
+                    rv(v);
+                }
+            });
+        }
+    }
+}
+
+/// Drops unreachable blocks and remaps branch targets to the compacted
+/// block indices. Returns the number of blocks removed. (Reimplements the
+/// builder's private pruner: `BlockId`s are positional, so removal must
+/// rewrite every terminator.)
+pub fn prune_unreachable_blocks(f: &mut Function) -> u64 {
+    let reach = f.reachable_blocks();
+    if reach.iter().all(|&r| r) {
+        return 0;
+    }
+    let mut remap = vec![u32::MAX; f.blocks.len()];
+    let mut next = 0u32;
+    for (i, &r) in reach.iter().enumerate() {
+        if r {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    let removed = f.blocks.len() as u64 - next as u64;
+    let mut keep = reach.iter().copied();
+    f.blocks.retain(|_| keep.next().unwrap());
+    for b in &mut f.blocks {
+        match &mut b.term {
+            Term::Br { target, .. } => target.0 = remap[target.0 as usize],
+            Term::CondBr {
+                then_target,
+                else_target,
+                ..
+            } => {
+                then_target.0 = remap[then_target.0 as usize];
+                else_target.0 = remap[else_target.0 as usize];
+            }
+            Term::Ret { .. } => {}
+        }
+    }
+    removed
+}

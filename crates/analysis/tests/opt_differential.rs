@@ -1,0 +1,148 @@
+//! The optimizer's bit-identity gate (CI must-not-skip).
+//!
+//! Every benchmark module, optimized at O1 and O2, must produce the
+//! exact same observables as the unoptimized module — output stream,
+//! return value, and status, bit for bit — on both execution engines,
+//! at the reference input and at a deterministic spread of other
+//! in-range inputs. This is the acceptance criterion of the rewrite
+//! engine: the fault *space* may change across opt levels, golden-run
+//! behaviour may not.
+
+use peppa_analysis::rewrite::{optimize, OptLevel};
+use peppa_apps::{all_benchmarks, Benchmark};
+use peppa_ir::Module;
+use peppa_vm::{CompiledModule, Engine, ExecLimits, RunOutput};
+
+fn limits() -> ExecLimits {
+    ExecLimits {
+        max_dynamic: 50_000_000,
+        ..ExecLimits::default()
+    }
+}
+
+/// Runs on both engines and asserts they agree with each other (the
+/// pre-existing engine differential), returning the interp result.
+fn run_both(m: &Module, inputs: &[f64], what: &str) -> RunOutput {
+    let interp = Engine::interp(m, limits()).run_numeric(inputs, None);
+    let lowered = CompiledModule::lower(m);
+    let compiled = Engine::new(m, limits(), Some(&lowered)).run_numeric(inputs, None);
+    assert_eq!(
+        interp.status, compiled.status,
+        "{what}: engine status split"
+    );
+    assert_eq!(
+        interp.output, compiled.output,
+        "{what}: engine output split"
+    );
+    assert_eq!(interp.ret, compiled.ret, "{what}: engine ret split");
+    interp
+}
+
+/// A deterministic spread of in-range inputs around the reference.
+fn probe_inputs(b: &Benchmark) -> Vec<Vec<f64>> {
+    let mut probes = vec![b.reference_input.clone()];
+    // Each arg pinned to its range corners and small-window corners.
+    for scale in [0.0f64, 1.0] {
+        let v: Vec<f64> = b
+            .args
+            .iter()
+            .map(|a| a.clamp(a.lo + scale * (a.hi - a.lo)))
+            .collect();
+        probes.push(v);
+    }
+    let small: Vec<f64> = b.args.iter().map(|a| a.clamp(a.small.0)).collect();
+    probes.push(small);
+    // A mid-range point, nudged per-arg so args differ.
+    let mid: Vec<f64> = b
+        .args
+        .iter()
+        .enumerate()
+        .map(|(i, a)| a.clamp(a.lo + (a.hi - a.lo) * (0.3 + 0.1 * (i % 5) as f64)))
+        .collect();
+    probes.push(mid);
+    probes
+}
+
+#[test]
+fn benchmarks_bit_identical_across_opt_levels_and_engines() {
+    for b in all_benchmarks() {
+        for level in [OptLevel::O1, OptLevel::O2] {
+            // optimize() verifies the output module and panics on any
+            // broken invariant.
+            let opt = optimize(&b.module, level);
+            assert!(
+                opt.module.num_instrs <= b.module.num_instrs,
+                "{}@{level}: optimizer grew the module",
+                b.name
+            );
+            assert_eq!(
+                opt.provenance.len(),
+                opt.module.num_instrs,
+                "{}@{level}: provenance arity",
+                b.name
+            );
+            for (i, inputs) in probe_inputs(&b).iter().enumerate() {
+                let what = format!("{} probe {i} at {level}", b.name);
+                let base = run_both(&b.module, inputs, &format!("{what} (O0)"));
+                let tuned = run_both(&opt.module, inputs, &what);
+                assert_eq!(base.status, tuned.status, "{what}: status changed");
+                assert_eq!(base.output, tuned.output, "{what}: output changed");
+                assert_eq!(base.ret, tuned.ret, "{what}: ret changed");
+                // LICM may execute a handful of hoisted instructions
+                // for loops that run zero iterations; allow that slack
+                // but catch any real regression.
+                assert!(
+                    tuned.profile.dynamic <= base.profile.dynamic + 64,
+                    "{what}: dynamic instrs grew ({} -> {})",
+                    base.profile.dynamic,
+                    tuned.profile.dynamic
+                );
+            }
+        }
+    }
+}
+
+/// Not a gate (optstudy is) — a quick console report of the per-bench
+/// dynamic-instruction reduction: `cargo test -p peppa-analysis --test
+/// opt_differential report_dynamic_reduction -- --ignored --nocapture`.
+#[test]
+#[ignore]
+fn report_dynamic_reduction() {
+    let mut geo = 0.0;
+    let mut n = 0;
+    for b in all_benchmarks() {
+        let opt = optimize(&b.module, OptLevel::O2);
+        let base = Engine::interp(&b.module, limits()).run_numeric(&b.reference_input, None);
+        let tuned = Engine::interp(&opt.module, limits()).run_numeric(&b.reference_input, None);
+        let red = 1.0 - tuned.profile.dynamic as f64 / base.profile.dynamic as f64;
+        if std::env::var("PEPPA_OPT_STATS").is_ok() {
+            print!("{}", peppa_analysis::rewrite::render_stats(&opt.stats));
+        }
+        geo += (1.0 - red).ln();
+        n += 1;
+        println!(
+            "{:<16} static {:>5} -> {:>5}  dynamic {:>12} -> {:>12}  ({:.1}% fewer)",
+            b.name,
+            b.module.num_instrs,
+            opt.module.num_instrs,
+            base.profile.dynamic,
+            tuned.profile.dynamic,
+            red * 100.0
+        );
+    }
+    println!(
+        "geomean reduction: {:.1}%",
+        (1.0 - (geo / n as f64).exp()) * 100.0
+    );
+}
+
+#[test]
+fn optimized_benchmarks_round_trip_through_printer() {
+    for b in all_benchmarks() {
+        let opt = optimize(&b.module, OptLevel::O2).module;
+        let text = opt.to_string();
+        let reparsed = peppa_ir::parse_module(&text)
+            .unwrap_or_else(|e| panic!("{}@O2 failed to re-parse: {e}", b.name));
+        assert_eq!(reparsed, opt, "{}: O2 module round-trip mismatch", b.name);
+    }
+}

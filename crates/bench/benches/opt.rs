@@ -1,0 +1,41 @@
+//! Optimizer microbenchmarks: per-pass cost and the full `-O2` fixpoint
+//! pipeline on every bundled benchmark. The pipeline reruns its sweep
+//! until no pass fires, so the full-pipeline numbers include the
+//! convergence overhead the `peppa opt` CLI actually pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peppa_analysis::rewrite::pipeline;
+use peppa_analysis::{optimize, OptLevel};
+
+fn opt_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt");
+    for bench in peppa_apps::all_benchmarks() {
+        // Each pass alone, one sweep over the unoptimized module (the
+        // clone is part of the measured loop; the pipeline rows below
+        // give the clone-free end-to-end figure).
+        for pass in pipeline(OptLevel::O2) {
+            group.bench_with_input(
+                BenchmarkId::new(pass.name(), bench.name),
+                &bench.module,
+                |b, m| {
+                    b.iter(|| {
+                        let mut module = std::hint::black_box(m).clone();
+                        pass.run(&mut module)
+                    })
+                },
+            );
+        }
+        // The full fixpoint pipelines the CLI levels map to.
+        for level in [OptLevel::O1, OptLevel::O2] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("pipeline_{level}"), bench.name),
+                &bench.module,
+                |b, m| b.iter(|| optimize(std::hint::black_box(m), level).module.num_instrs),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(opt, opt_benches);
+criterion_main!(opt);

@@ -76,6 +76,10 @@ pub struct BaselineRow {
     /// `campaign_wall_s / snapshot_campaign_wall_s` — the measured
     /// trials-per-second improvement the fork engine buys.
     pub snapshot_speedup: f64,
+    /// Dynamic-instruction reduction the `-O2` rewrite pipeline buys at
+    /// the reference input (`1 - optimized/golden_dynamic`) — the
+    /// regression signal for the optimizer itself.
+    pub o2_instr_reduction: f64,
 }
 
 /// Version of the `BENCH_baseline.json` layout. Bumped when fields
@@ -85,9 +89,11 @@ pub struct BaselineRow {
 /// and percentiles from exact samples instead of log₂ histogram
 /// buckets; v5: the pruned column runs the reach ∪ deviation union
 /// table for the reference input, records its masked-cell counts, and
-/// the gate engages on any strictly-positive predicted skip ratio), so
+/// the gate engages on any strictly-positive predicted skip ratio;
+/// v6: the `o2_instr_reduction` column tracks the `-O2` rewrite
+/// pipeline's dynamic-instruction savings at the reference input), so
 /// downstream diffing tools can refuse mixed-schema comparisons.
-pub const BASELINE_SCHEMA_VERSION: u32 = 5;
+pub const BASELINE_SCHEMA_VERSION: u32 = 6;
 
 /// The checked-in `BENCH_baseline.json` payload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -283,6 +289,15 @@ pub fn run_baseline(ctx: &Ctx, observer: Arc<dyn Observer>) -> BaselineReport {
             bench.name
         );
 
+        // The optimizer's dynamic savings at the same reference input —
+        // one golden run on the -O2 module, no campaign.
+        let opt = peppa_analysis::optimize(&bench.module, peppa_analysis::OptLevel::O2);
+        let opt_dynamic =
+            peppa_inject::campaign::golden_run(&opt.module, &bench.reference_input, ctx.limits)
+                .unwrap_or_else(|e| panic!("{}: optimized golden run failed: {e}", bench.name))
+                .profile
+                .dynamic;
+
         let trials = registry.counter_value("campaign.trials.finished");
         let golden_dynamic = registry.counter_value("golden.dynamic_instrs");
         let wall_s = registry.counter_value("campaign.wall_ns") as f64 / 1e9;
@@ -324,6 +339,7 @@ pub fn run_baseline(ctx: &Ctx, observer: Arc<dyn Observer>) -> BaselineReport {
             } else {
                 0.0
             },
+            o2_instr_reduction: 1.0 - opt_dynamic as f64 / golden_dynamic.max(1) as f64,
         });
     }
     BaselineReport {
@@ -346,7 +362,7 @@ pub fn render_baseline(r: &BaselineReport) -> String {
         r.engine
     ));
     out.push_str(&format!(
-        "{:<12} {:>14} {:>12} {:>13} {:>13} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6} {:>7} {:>8}\n",
+        "{:<12} {:>14} {:>12} {:>13} {:>13} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6} {:>7} {:>8} {:>7}\n",
         "benchmark",
         "golden dyn",
         "trials/s",
@@ -361,11 +377,12 @@ pub fn render_baseline(r: &BaselineReport) -> String {
         "skip %",
         "gate",
         "snap s",
-        "speedup"
+        "speedup",
+        "O2 red"
     ));
     for row in &r.rows {
         out.push_str(&format!(
-            "{:<12} {:>14} {:>12.1} {:>13.3e} {:>13.3e} {:>6.1}x {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>6.2}% {:>6} {:>7.2} {:>7.2}x\n",
+            "{:<12} {:>14} {:>12.1} {:>13.3e} {:>13.3e} {:>6.1}x {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>6.2}% {:>6} {:>7.2} {:>7.2}x {:>6.1}%\n",
             row.benchmark,
             row.golden_dynamic,
             row.trials_per_sec,
@@ -380,7 +397,8 @@ pub fn render_baseline(r: &BaselineReport) -> String {
             row.pruned_skip_ratio * 100.0,
             if row.prune_applied { "on" } else { "off" },
             row.snapshot_campaign_wall_s,
-            row.snapshot_speedup
+            row.snapshot_speedup,
+            row.o2_instr_reduction * 100.0
         ));
     }
     out
@@ -465,6 +483,7 @@ mod tests {
             prune_total_cells: 0,
             snapshot_campaign_wall_s: 0.0,
             snapshot_speedup: 0.0,
+            o2_instr_reduction: 0.0,
         };
         (row, sorted)
     }

@@ -30,6 +30,14 @@
 //!                      speedup + bit-identity with the classic runner
 //!                      (results/snapshot.json; exits 1 on divergence;
 //!                      `--smoke` shrinks it to CI size)
+//!   optstudy           optimization-vs-SDC-vulnerability study: -O2
+//!                      each benchmark and compare dynamic cost, FI
+//!                      outcome distributions, provenance-paired
+//!                      per-instruction SDC ranks, and GA worst-case
+//!                      input transfer against -O0
+//!                      (results/optstudy.json; exits 1 if the geomean
+//!                      dynamic-instruction reduction falls below 10%;
+//!                      `--smoke` shrinks it to CI size)
 //!   baseline           VM + campaign throughput (BENCH_baseline.json)
 //!   all                everything above
 //! ```
@@ -62,7 +70,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|table2..6|static-rank|hybrid|precision|snapshot|baseline|all> \
+            "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|table2..6|static-rank|hybrid|precision|snapshot|optstudy|baseline|all> \
              [--scale quick|paper] [--seed N] [--out DIR] [--threads N] [--smoke] \
              [--engine interp|compiled] [--trace-out FILE.jsonl] [--metrics-out FILE.json] \
              [--chrome-trace FILE.json] [--quiet]"
@@ -147,6 +155,7 @@ fn main() {
             "precision",
             "provenance",
             "snapshot",
+            "optstudy",
             "faultmodel",
             "ablation",
             "baseline",
@@ -325,6 +334,18 @@ fn main() {
                     eprintln!(
                         "[repro] FAIL: snapshot determinism violated (snapshotted outcome \
                          counts diverged from the classic campaign runner)"
+                    );
+                    failed = true;
+                }
+            }
+            "optstudy" => {
+                let r = peppa_bench::optstudy::run_optstudy(&ctx, smoke);
+                println!("{}", peppa_bench::optstudy::render_optstudy(&r));
+                dump("optstudy", serde_json::to_string_pretty(&r).unwrap());
+                if !r.sound() {
+                    eprintln!(
+                        "[repro] FAIL: optimization gate violated (geomean dynamic-\
+                         instruction reduction at O2 fell below 10%)"
                     );
                     failed = true;
                 }

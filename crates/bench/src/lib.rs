@@ -44,6 +44,7 @@ pub mod baseline;
 pub mod faultmodel;
 pub mod heatmap;
 pub mod hybrid;
+pub mod optstudy;
 pub mod precision;
 pub mod protect_exp;
 pub mod provenance;

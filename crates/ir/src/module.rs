@@ -73,7 +73,7 @@ impl Const {
 
 /// A basic block: a parameter list (the φ-replacement), a straight-line
 /// instruction body, and one terminator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Block {
     /// Values bound on entry by the predecessor's branch arguments.
     pub params: Vec<ValueId>,
@@ -84,7 +84,7 @@ pub struct Block {
 }
 
 /// A PIR function.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Function {
     pub name: String,
     /// Parameter types; parameters are values `0..params.len()`.
@@ -159,7 +159,7 @@ impl Function {
 }
 
 /// A statically allocated global array of 64-bit words.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Global {
     pub name: String,
     /// Size in 64-bit words.
@@ -170,7 +170,7 @@ pub struct Global {
 }
 
 /// A complete PIR program.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Module {
     pub name: String,
     pub functions: Vec<Function>,

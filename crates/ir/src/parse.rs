@@ -112,19 +112,37 @@ impl<'a> Parser<'a> {
                     .to_string();
                 self.pos += 1;
             } else if let Some(rest) = l.strip_prefix("global @") {
-                // global @name[words]
-                let (gname, size) = rest.split_once('[').ok_or_else(|| ParseError {
+                // global @name[words] [= w0, w1, ...]
+                let (gname, rest) = rest.split_once('[').ok_or_else(|| ParseError {
                     line: ln,
                     message: "bad global".into(),
                 })?;
-                let words: u64 = size.trim_end_matches(']').parse().map_err(|_| ParseError {
+                let (size, tail) = rest.split_once(']').ok_or_else(|| ParseError {
+                    line: ln,
+                    message: "bad global".into(),
+                })?;
+                let words: u64 = size.parse().map_err(|_| ParseError {
                     line: ln,
                     message: "bad global size".into(),
                 })?;
+                let tail = tail.trim();
+                let init = if let Some(list) = tail.strip_prefix('=') {
+                    list.split(',')
+                        .map(|w| w.trim().parse::<u64>())
+                        .collect::<Result<Vec<u64>, _>>()
+                        .map_err(|_| ParseError {
+                            line: ln,
+                            message: "bad global initializer".into(),
+                        })?
+                } else if tail.is_empty() {
+                    Vec::new()
+                } else {
+                    return err(ln, "bad global");
+                };
                 globals.push(Global {
                     name: gname.to_string(),
                     words,
-                    init: Vec::new(),
+                    init,
                 });
                 self.pos += 1;
             } else if l.starts_with("fn @") {

@@ -160,7 +160,12 @@ impl std::fmt::Display for Module {
             self.name, self.num_instrs
         )?;
         for g in &self.globals {
-            writeln!(f, "global @{}[{}]", g.name, g.words)?;
+            write!(f, "global @{}[{}]", g.name, g.words)?;
+            if !g.init.is_empty() {
+                let words: Vec<String> = g.init.iter().map(|w| w.to_string()).collect();
+                write!(f, " = {}", words.join(", "))?;
+            }
+            writeln!(f)?;
         }
         for (i, func) in self.functions.iter().enumerate() {
             let marker = if crate::module::FuncId(i as u32) == self.entry {

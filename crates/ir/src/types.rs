@@ -4,7 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A first-class PIR type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Ty {
     /// 1-bit boolean (comparison results, branch conditions).
     I1,

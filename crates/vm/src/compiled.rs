@@ -25,14 +25,15 @@
 //! builds keep the assertions.
 
 use crate::exec::{
-    canon, exec_bin, exec_cast, exec_un, flip_bits, ExecLimits, Injection, InjectionTarget,
-    ResumeScratch, RunEnd, RunOutput, RunStatus, Stop, Trap,
+    canon, exec_bin, exec_cast, exec_fcmp as fcmp, exec_icmp as icmp, exec_un, flip_bits,
+    ExecLimits, Injection, InjectionTarget, ResumeScratch, RunEnd, RunOutput, RunStatus, Stop,
+    Trap,
 };
 use crate::hooks::{ExecHook, NoHook};
 use crate::lower::{Bc, CompiledFunc, CompiledModule, NO_REG};
 use crate::profile::Profile;
 use crate::snapshot::{mask_contains, ConvergeMasks, ReadSets, SnapData, TrialResume, VmSnapshot};
-use peppa_ir::{FPred, FuncId, IPred, Instr, Module, Term};
+use peppa_ir::{FuncId, Instr, Module, Term};
 use std::time::Instant;
 
 #[inline(always)]
@@ -1288,36 +1289,6 @@ impl<'m, H: ExecHook> CMachine<'m, H> {
                 .branch_transfer(Some(cond), &func.blocks[target.0 as usize].params, targs);
         }
     }
-}
-
-#[inline(always)]
-fn icmp(pred: IPred, a: u64, b: u64) -> u64 {
-    let (x, y) = (a as i64, b as i64);
-    let r = match pred {
-        IPred::Eq => x == y,
-        IPred::Ne => x != y,
-        IPred::Slt => x < y,
-        IPred::Sle => x <= y,
-        IPred::Sgt => x > y,
-        IPred::Sge => x >= y,
-        IPred::Ult => (x as u64) < (y as u64),
-    };
-    r as u64
-}
-
-#[inline(always)]
-fn fcmp(pred: FPred, a: u64, b: u64) -> u64 {
-    let x = f64::from_bits(a);
-    let y = f64::from_bits(b);
-    let r = match pred {
-        FPred::Oeq => x == y,
-        FPred::One => x != y && !x.is_nan() && !y.is_nan(),
-        FPred::Olt => x < y,
-        FPred::Ole => x <= y,
-        FPred::Ogt => x > y,
-        FPred::Oge => x >= y,
-    };
-    r as u64
 }
 
 /// Applies a branch edge's block-argument moves and returns the target

@@ -262,8 +262,12 @@ pub struct Vm<'m> {
     limits: ExecLimits,
 }
 
+/// Canonical 64-bit representation of a value of type `ty`: `i32` is
+/// kept sign-extended, `i1` is 0/1, everything else is raw bits. Public
+/// because the optimizer's constant folder must produce exactly the
+/// representation the engines compute with.
 #[inline]
-pub(crate) fn canon(ty: Ty, bits: u64) -> u64 {
+pub fn canon(ty: Ty, bits: u64) -> u64 {
     match ty {
         Ty::I1 => bits & 1,
         Ty::I32 => (bits as u32 as i32 as i64) as u64,
@@ -1003,32 +1007,8 @@ impl<'m, H: ExecHook> State<'m, H> {
                 let ty = func.operand_ty(a);
                 Some(exec_un(*op, ty, eval(regs, a)))
             }
-            Op::Icmp { pred, a, b } => {
-                let (x, y) = (eval(regs, a) as i64, eval(regs, b) as i64);
-                let r = match pred {
-                    IPred::Eq => x == y,
-                    IPred::Ne => x != y,
-                    IPred::Slt => x < y,
-                    IPred::Sle => x <= y,
-                    IPred::Sgt => x > y,
-                    IPred::Sge => x >= y,
-                    IPred::Ult => (x as u64) < (y as u64),
-                };
-                Some(r as u64)
-            }
-            Op::Fcmp { pred, a, b } => {
-                let x = f64::from_bits(eval(regs, a));
-                let y = f64::from_bits(eval(regs, b));
-                let r = match pred {
-                    FPred::Oeq => x == y,
-                    FPred::One => x != y && !x.is_nan() && !y.is_nan(),
-                    FPred::Olt => x < y,
-                    FPred::Ole => x <= y,
-                    FPred::Ogt => x > y,
-                    FPred::Oge => x >= y,
-                };
-                Some(r as u64)
-            }
+            Op::Icmp { pred, a, b } => Some(exec_icmp(*pred, eval(regs, a), eval(regs, b))),
+            Op::Fcmp { pred, a, b } => Some(exec_fcmp(*pred, eval(regs, a), eval(regs, b))),
             Op::Select { cond, t, f } => {
                 let c = eval(regs, cond) & 1;
                 Some(if c != 0 { eval(regs, t) } else { eval(regs, f) })
@@ -1170,6 +1150,14 @@ pub(crate) fn eval(regs: &[u64], op: &Operand) -> u64 {
 
 #[inline]
 pub(crate) fn exec_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> Result<u64, Stop> {
+    exec_bin_checked(op, ty, a, b).ok_or(Stop::Trap(Trap::DivByZero))
+}
+
+/// Bit-exact binary-op semantics shared by both engines and the
+/// optimizer's constant folder. `None` means the operation traps
+/// (integer division/remainder by zero).
+#[inline]
+pub fn exec_bin_checked(op: BinOp, ty: Ty, a: u64, b: u64) -> Option<u64> {
     let r = match op {
         BinOp::Add => (a as i64).wrapping_add(b as i64) as u64,
         BinOp::Sub => (a as i64).wrapping_sub(b as i64) as u64,
@@ -1177,14 +1165,14 @@ pub(crate) fn exec_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> Result<u64, Stop> {
         BinOp::SDiv => {
             let (x, y) = (a as i64, b as i64);
             if y == 0 {
-                return Err(Stop::Trap(Trap::DivByZero));
+                return None;
             }
             x.wrapping_div(y) as u64
         }
         BinOp::SRem => {
             let (x, y) = (a as i64, b as i64);
             if y == 0 {
-                return Err(Stop::Trap(Trap::DivByZero));
+                return None;
             }
             x.wrapping_rem(y) as u64
         }
@@ -1205,11 +1193,45 @@ pub(crate) fn exec_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> Result<u64, Stop> {
         }
         BinOp::AShr => ((a as i64) >> (b & (ty.bits() as u64 - 1).max(1))) as u64,
     };
-    Ok(canon(ty, r))
+    Some(canon(ty, r))
 }
 
+/// Bit-exact integer-compare semantics (operands in canonical form).
 #[inline]
-pub(crate) fn exec_un(op: UnOp, ty: Ty, a: u64) -> u64 {
+pub fn exec_icmp(pred: IPred, a: u64, b: u64) -> u64 {
+    let (x, y) = (a as i64, b as i64);
+    let r = match pred {
+        IPred::Eq => x == y,
+        IPred::Ne => x != y,
+        IPred::Slt => x < y,
+        IPred::Sle => x <= y,
+        IPred::Sgt => x > y,
+        IPred::Sge => x >= y,
+        IPred::Ult => (x as u64) < (y as u64),
+    };
+    r as u64
+}
+
+/// Bit-exact float-compare semantics (ordered: NaN compares false).
+#[inline]
+pub fn exec_fcmp(pred: FPred, a: u64, b: u64) -> u64 {
+    let x = f64::from_bits(a);
+    let y = f64::from_bits(b);
+    let r = match pred {
+        FPred::Oeq => x == y,
+        FPred::One => x != y && !x.is_nan() && !y.is_nan(),
+        FPred::Olt => x < y,
+        FPred::Ole => x <= y,
+        FPred::Ogt => x > y,
+        FPred::Oge => x >= y,
+    };
+    r as u64
+}
+
+/// Bit-exact unary-op semantics shared by both engines and the
+/// optimizer's constant folder.
+#[inline]
+pub fn exec_un(op: UnOp, ty: Ty, a: u64) -> u64 {
     let r = match op {
         UnOp::FNeg => (-f64::from_bits(a)).to_bits(),
         UnOp::Not => !a,
@@ -1224,8 +1246,10 @@ pub(crate) fn exec_un(op: UnOp, ty: Ty, a: u64) -> u64 {
     canon(ty, r)
 }
 
+/// Bit-exact cast semantics shared by both engines and the optimizer's
+/// constant folder (`FpToSi` saturates; see [`CastKind`] docs).
 #[inline]
-pub(crate) fn exec_cast(kind: CastKind, from: Ty, to: Ty, a: u64) -> u64 {
+pub fn exec_cast(kind: CastKind, from: Ty, to: Ty, a: u64) -> u64 {
     match kind {
         CastKind::Trunc | CastKind::Bitcast | CastKind::PtrToInt | CastKind::IntToPtr => {
             canon(to, a)

@@ -37,7 +37,8 @@ pub mod taint;
 pub use compiled::CompiledVm;
 pub use engine::{Engine, EngineKind};
 pub use exec::{
-    ExecLimits, Injection, InjectionTarget, ResumeScratch, RunOutput, RunStatus, Trap, Vm,
+    canon, exec_bin_checked, exec_cast, exec_fcmp, exec_icmp, exec_un, ExecLimits, Injection,
+    InjectionTarget, ResumeScratch, RunOutput, RunStatus, Trap, Vm,
 };
 pub use hooks::{ExecHook, NoHook, OpcodeProfile};
 pub use inputs::encode_inputs;

@@ -5,6 +5,11 @@
 //!
 //! ```text
 //! peppa compile  prog.mc                          dump the compiled PIR
+//! peppa opt      prog.mc [-O0|-O1|-O2] [--print-pipeline]
+//!                optimize through the rewrite engine and dump the
+//!                optimized PIR (stdout); per-pass statistics go to
+//!                stderr. Defaults to -O2; `--print-pipeline` lists the
+//!                pass pipeline for the level and exits
 //! peppa run      prog.mc --input 8,2.5 [--profile] golden run + profile
 //!                [--engine interp|compiled] selects the execution
 //!                backend (bit-identical; compiled is ~10x faster)
@@ -54,6 +59,12 @@
 //! in Perfetto or `chrome://tracing`), `--quiet` suppresses the live
 //! progress line, `--threads N` sets the FI worker count (0 = all
 //! cores).
+//!
+//! Every subcommand accepts `--opt-level N` (or `-O0`/`-O1`/`-O2`): the
+//! module is run through the analysis-driven rewrite engine before the
+//! command executes, so `run`, `inject`, `search`, `ci` and `lint` all
+//! operate on the optimized program. The default is `-O0` (no rewriting)
+//! everywhere except `peppa opt`, which defaults to `-O2`.
 
 use peppa_x::analysis::FaultReach;
 use peppa_x::apps::{ArgSpec, Benchmark};
@@ -108,6 +119,8 @@ struct Opts {
     trace_propagation: bool,
     snapshots: Option<u32>,
     engine: EngineKind,
+    opt_level: Option<peppa_x::analysis::OptLevel>,
+    print_pipeline: bool,
 }
 
 fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
@@ -136,6 +149,8 @@ fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
         trace_propagation: false,
         snapshots: None,
         engine: EngineKind::Interp,
+        opt_level: None,
+        print_pipeline: false,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -178,6 +193,9 @@ fn parse_opts(rest: &[String]) -> Result<(Option<String>, Opts), String> {
                 o.snapshots = Some(val("--snapshots")?.parse().map_err(|_| "bad --snapshots")?)
             }
             "--engine" => o.engine = val("--engine")?.parse()?,
+            "--opt-level" => o.opt_level = Some(val("--opt-level")?.parse()?),
+            "-O0" | "-O1" | "-O2" => o.opt_level = Some(a.parse()?),
+            "--print-pipeline" => o.print_pipeline = true,
             other if !other.starts_with("--") && file.is_none() => {
                 file = Some(other.to_string());
             }
@@ -323,11 +341,30 @@ fn write_metrics(o: &Opts, registry: &Option<Arc<MetricsRegistry>>) -> Result<()
 fn run(args: Vec<String>) -> Result<ExitCode, String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(
-            "usage: peppa <compile|run|inject|analyze|lint|trace|corpus|search|ci> ...".into(),
+            "usage: peppa <compile|opt|run|inject|analyze|lint|trace|corpus|search|ci> ...".into(),
         );
     };
     let (file, o) = parse_opts(rest)?;
-    let bench = load_program(file, &o)?;
+    let level = o.opt_level.unwrap_or(if cmd == "opt" {
+        peppa_x::analysis::OptLevel::O2
+    } else {
+        peppa_x::analysis::OptLevel::O0
+    });
+    if cmd == "opt" && o.print_pipeline {
+        println!("{level} pipeline:");
+        for p in peppa_x::analysis::rewrite::pipeline(level) {
+            println!("  {}", p.name());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let mut bench = load_program(file, &o)?;
+    // Rewrite the module up front so every subcommand — run, inject,
+    // search, ci, lint, analyze — operates on the optimized program.
+    let opt_stats = (level != peppa_x::analysis::OptLevel::O0).then(|| {
+        let r = peppa_x::analysis::optimize(&bench.module, level);
+        bench.module = r.module;
+        r.stats
+    });
     let limits = ExecLimits::default();
     let input = o
         .input
@@ -339,6 +376,14 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
     match cmd.as_str() {
         "compile" => {
             print!("{}", bench.module);
+        }
+        "opt" => {
+            // Optimized PIR on stdout (re-parseable), statistics on
+            // stderr so redirection keeps the module clean.
+            print!("{}", bench.module);
+            if let Some(stats) = &opt_stats {
+                eprint!("{}", peppa_x::analysis::rewrite::render_stats(stats));
+            }
         }
         "run" => {
             let code =
